@@ -1,0 +1,392 @@
+// Root-level benchmarks: one per table/figure of the paper's evaluation,
+// plus ablations of the design decisions called out in DESIGN.md.
+//
+// The benchmarks run the same experiment drivers as cmd/checl-bench at a
+// reduced problem scale (benchScale) and surface the headline quantities
+// as testing.B custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation and prints, e.g., the average CheCL
+// runtime overhead per configuration (Fig. 4), the checkpoint-time /
+// file-size correlation (Fig. 5), and the migration-prediction error
+// (Fig. 8).
+package checl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"checl/internal/apps"
+	"checl/internal/core"
+	"checl/internal/harness"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+const benchScale = 0.2
+
+// BenchmarkTable1Systems exercises the Table I hardware models and
+// reports the headline bandwidths as metrics.
+func BenchmarkTable1Systems(b *testing.B) {
+	var spec hw.SystemSpec
+	for i := 0; i < b.N; i++ {
+		spec = hw.TableISpec()
+		_ = spec.LocalDisk.WriteTime(32 << 20)
+		_ = spec.Inter.PCIeHtoD.Transfer(32 << 20)
+	}
+	b.ReportMetric(float64(spec.Inter.PCIeHtoD)/1e9, "PCIe-HtoD-GB/s")
+	b.ReportMetric(float64(spec.Inter.PCIeDtoH)/1e9, "PCIe-DtoH-GB/s")
+	b.ReportMetric(float64(spec.LocalDisk.Write)/1e6, "disk-write-MB/s")
+	b.ReportMetric(float64(spec.NFS.Write)/1e6, "nfs-write-MB/s")
+	b.ReportMetric(float64(spec.RAMDisk.Write)/1e6, "ramdisk-write-MB/s")
+}
+
+// BenchmarkFig4RuntimeOverhead regenerates Fig. 4 for each configuration
+// and reports the average CheCL runtime overhead (paper: 10.1% NVIDIA GPU,
+// 19.0% AMD GPU, 12.2% AMD CPU).
+func BenchmarkFig4RuntimeOverhead(b *testing.B) {
+	for _, cfg := range harness.Configs() {
+		cfg := cfg
+		b.Run(cfg.Key, func(b *testing.B) {
+			var sum harness.Fig4Summary
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, sum, err = harness.Fig4(cfg, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sum.AverageOverhead, "avg-overhead-%")
+			b.ReportMetric(float64(sum.Apps), "benchmarks")
+			b.ReportMetric(sum.InitOverhead.Seconds()*1e3, "init-ms")
+		})
+	}
+}
+
+// BenchmarkFig5CheckpointOverheads regenerates Fig. 5 per configuration
+// and reports the checkpoint-time vs file-size correlation (paper: 0.99).
+func BenchmarkFig5CheckpointOverheads(b *testing.B) {
+	for _, cfg := range harness.Configs() {
+		cfg := cfg
+		b.Run(cfg.Key, func(b *testing.B) {
+			var res harness.Fig5Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = harness.Fig5(cfg, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.SizeTimeCorrelation, "corr-size-time")
+			var post, total float64
+			for _, r := range res.Rows {
+				post += r.Postprocess.Seconds()
+				total += r.Total().Seconds()
+			}
+			if total > 0 {
+				b.ReportMetric(100*post/total, "postprocess-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6MPICheckpoint regenerates the Fig. 6 sweep and reports how
+// checkpoint time scales with problem size and node count.
+func BenchmarkFig6MPICheckpoint(b *testing.B) {
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6([]float64{0.25, 0.5, 1}, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CheckpointTime.Seconds()*1e3,
+			fmt.Sprintf("scale%.2f-nodes%d-ms", r.ProblemScale, r.Nodes))
+	}
+}
+
+// BenchmarkFig7RestartBreakdown regenerates Fig. 7 per configuration and
+// reports the share of restart time spent recreating cl_mem and
+// cl_program objects (the paper's dominant classes).
+func BenchmarkFig7RestartBreakdown(b *testing.B) {
+	for _, cfg := range harness.Configs() {
+		cfg := cfg
+		b.Run(cfg.Key, func(b *testing.B) {
+			var rows []harness.Fig7Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = harness.Fig7(cfg, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var mem, prog, total float64
+			var s3dProg float64
+			for _, r := range rows {
+				mem += r.PerClass["mem"].Seconds()
+				prog += r.PerClass["prog"].Seconds()
+				total += r.Total.Seconds()
+				if r.App == "S3D" {
+					s3dProg = r.PerClass["prog"].Seconds()
+				}
+			}
+			if total > 0 {
+				b.ReportMetric(100*(mem+prog)/total, "mem+prog-%")
+			}
+			b.ReportMetric(s3dProg*1e3, "S3D-recompile-ms")
+		})
+	}
+}
+
+// BenchmarkFig8MigrationPrediction regenerates Fig. 8 per configuration
+// and reports the fitted model parameters and the prediction error.
+func BenchmarkFig8MigrationPrediction(b *testing.B) {
+	for _, cfg := range harness.Configs() {
+		cfg := cfg
+		b.Run(cfg.Key, func(b *testing.B) {
+			var res harness.Fig8Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = harness.Fig8(cfg, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MAPE, "MAPE-%")
+			b.ReportMetric(res.Model.Alpha*1e6, "alpha-s/MB")
+			b.ReportMetric(res.Model.Beta*1e3, "beta-ms")
+		})
+	}
+}
+
+// ---- ablation benchmarks (DESIGN.md §5) ----
+
+// benchCheCLApp attaches CheCL on a fresh NVIDIA node and runs the app.
+func benchCheCLApp(b *testing.B, appName string, opts core.Options) (*proc.Node, *core.CheCL, apps.App) {
+	b.Helper()
+	node := proc.NewNode("bench", hw.TableISpec(), ocl.NVIDIA())
+	p := node.Spawn(appName)
+	c, err := core.Attach(p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, ok := apps.ByName(appName)
+	if !ok {
+		b.Fatalf("unknown app %s", appName)
+	}
+	env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: benchScale}
+	if _, err := app.Run(env); err != nil {
+		b.Fatal(err)
+	}
+	return node, c, app
+}
+
+// BenchmarkAblationCheckpointMode contrasts the immediate and delayed
+// checkpoint modes. A 16 MB asynchronous transfer is in flight when the
+// checkpoint signal arrives: the immediate mode forces synchronisation
+// and pays its full remaining time in the checkpoint's sync phase, while
+// the delayed mode postpones the checkpoint to the application's own
+// clFinish, after which the queue is already drained (§III-C).
+func BenchmarkAblationCheckpointMode(b *testing.B) {
+	for _, mode := range []core.Mode{core.Immediate, core.Delayed} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var sync vtime.Duration
+			for i := 0; i < b.N; i++ {
+				node := proc.NewNode("bench", hw.TableISpec(), ocl.NVIDIA())
+				p := node.Spawn("async-writer")
+				c, err := core.Attach(p, core.Options{
+					Mode: mode, CkptFS: node.RAMDisk, CkptPath: "m.ckpt",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				plats, _ := c.GetPlatformIDs()
+				devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+				ctx, _ := c.CreateContext(devs)
+				q, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+				m, err := c.CreateBuffer(ctx, ocl.MemReadWrite, 16<<20, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Non-blocking 16 MB write: ~3 ms of queue time at PCIe
+				// bandwidth. The signal arrives while it is in flight.
+				if _, err := c.EnqueueWriteBuffer(q, m, false, 0, make([]byte, 16<<20), nil); err != nil {
+					b.Fatal(err)
+				}
+				p.Signal(proc.SIGUSR1)
+				// An unrelated API call (a query) follows the signal, then
+				// the application's own synchronisation point.
+				if _, err := c.GetDeviceInfo(devs[0]); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Finish(q); err != nil {
+					b.Fatal(err)
+				}
+				st := c.LastCheckpoint()
+				if st == nil {
+					b.Fatal("checkpoint did not fire")
+				}
+				sync = st.Phases.Sync
+				c.Detach()
+			}
+			b.ReportMetric(sync.Seconds()*1e3, "sync-ms")
+		})
+	}
+}
+
+// BenchmarkAblationDestructiveVsProxy contrasts CheCL's keep-objects-alive
+// design against the CheCUDA-style delete-and-recreate approach: the
+// postprocessing phase explodes in destructive mode (§IV-B).
+func BenchmarkAblationDestructiveVsProxy(b *testing.B) {
+	for _, destructive := range []bool{false, true} {
+		destructive := destructive
+		name := "api-proxy"
+		if destructive {
+			name = "checuda-destructive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var post vtime.Duration
+			for i := 0; i < b.N; i++ {
+				node, c, _ := benchCheCLApp(b, "oclMatrixMul", core.Options{Destructive: destructive})
+				st, err := c.Checkpoint(node.LocalDisk, "d.ckpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				post = st.Phases.Postprocess
+				c.Detach()
+			}
+			b.ReportMetric(post.Seconds()*1e3, "postprocess-ms")
+		})
+	}
+}
+
+// BenchmarkAblationIncremental contrasts full vs incremental object
+// checkpointing (the paper's future-work feature): the second checkpoint
+// after an idle period stages nothing in incremental mode.
+func BenchmarkAblationIncremental(b *testing.B) {
+	for _, inc := range []bool{false, true} {
+		inc := inc
+		name := "full"
+		if inc {
+			name = "incremental"
+		}
+		b.Run(name, func(b *testing.B) {
+			var second vtime.Duration
+			for i := 0; i < b.N; i++ {
+				node, c, _ := benchCheCLApp(b, "oclVectorAdd", core.Options{Incremental: inc})
+				if _, err := c.Checkpoint(node.LocalDisk, "i1.ckpt"); err != nil {
+					b.Fatal(err)
+				}
+				st, err := c.Checkpoint(node.LocalDisk, "i2.ckpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				second = st.Phases.Preprocess
+				c.Detach()
+			}
+			b.ReportMetric(second.Seconds()*1e6, "second-ckpt-preprocess-us")
+		})
+	}
+}
+
+// BenchmarkAblationStorageTarget contrasts checkpoint targets: local disk
+// vs NFS vs RAM disk (the RAM disk enables cheap runtime processor
+// selection, §IV-C).
+func BenchmarkAblationStorageTarget(b *testing.B) {
+	targets := []struct {
+		name string
+		fs   func(n *proc.Node) *proc.FS
+	}{
+		{"local-disk", func(n *proc.Node) *proc.FS { return n.LocalDisk }},
+		{"ramdisk", func(n *proc.Node) *proc.FS { return n.RAMDisk }},
+		{"nfs", func(n *proc.Node) *proc.FS {
+			if n.NFS == nil {
+				n.NFS = proc.NewFS("nfs", n.Spec.NFS)
+			}
+			return n.NFS
+		}},
+	}
+	for _, tgt := range targets {
+		tgt := tgt
+		b.Run(tgt.name, func(b *testing.B) {
+			var write vtime.Duration
+			for i := 0; i < b.N; i++ {
+				node, c, _ := benchCheCLApp(b, "oclFDTD3d", core.Options{})
+				st, err := c.Checkpoint(tgt.fs(node), "s.ckpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				write = st.Phases.Write
+				c.Detach()
+			}
+			b.ReportMetric(write.Seconds()*1e3, "write-ms")
+		})
+	}
+}
+
+// BenchmarkProxyCallOverhead measures the wall-clock (not virtual) cost of
+// one forwarded API call through the gob/pipe transport — the engineering
+// overhead of the interposition itself.
+func BenchmarkProxyCallOverhead(b *testing.B) {
+	node := proc.NewNode("bench", hw.TableISpec(), ocl.NVIDIA())
+	p := node.Spawn("bench")
+	c, err := core.Attach(p, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Detach()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetPlatformIDs(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterThroughput measures the OpenCL C interpreter on the
+// vadd kernel (wall-clock work-items per second).
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	rt := ocl.NewRuntime(ocl.NVIDIA(), hw.TableISpec(), vtime.NewClock())
+	plats, _ := rt.GetPlatformIDs()
+	devs, _ := rt.GetDeviceIDs(plats[0], ocl.DeviceTypeAll)
+	ctx, _ := rt.CreateContext(devs)
+	q, _ := rt.CreateCommandQueue(ctx, devs[0], 0)
+	prog, _ := rt.CreateProgramWithSource(ctx, `
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}`)
+	if err := rt.BuildProgram(prog, ""); err != nil {
+		b.Fatal(err)
+	}
+	k, _ := rt.CreateKernel(prog, "vadd")
+	const n = 1 << 14
+	buf, _ := rt.CreateBuffer(ctx, ocl.MemReadWrite, 4*n, nil)
+	h := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		h[i] = byte(uint64(buf) >> (8 * i))
+	}
+	nn := make([]byte, 4)
+	nv := uint32(n)
+	for i := 0; i < 4; i++ {
+		nn[i] = byte(nv >> (8 * i))
+	}
+	rt.SetKernelArg(k, 0, 8, h)
+	rt.SetKernelArg(k, 1, 8, h)
+	rt.SetKernelArg(k, 2, 8, h)
+	rt.SetKernelArg(k, 3, 4, nn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{n}, [3]int{64}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "work-items/op")
+}

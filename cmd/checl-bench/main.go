@@ -1,0 +1,117 @@
+// checl-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	checl-bench [-scale f] [-config key] [table1|fig4|fig5|fig6|fig7|fig8|ablations|all]...
+//
+// Each experiment prints the text equivalent of the corresponding table or
+// figure of the paper. -scale shrinks or grows every benchmark's problem
+// size (1.0 = the repository defaults); -config restricts the per-
+// configuration experiments to one of nvidia-gpu, amd-gpu, amd-cpu.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"checl/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "problem-size multiplier for every benchmark")
+	configKey := flag.String("config", "", "restrict to one configuration (nvidia-gpu, amd-gpu, amd-cpu)")
+	flag.Parse()
+
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, e := range experiments {
+		if e == "all" {
+			for _, k := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations"} {
+				want[k] = true
+			}
+			continue
+		}
+		want[e] = true
+	}
+
+	configs := harness.Configs()
+	if *configKey != "" {
+		cfg, ok := harness.ConfigByKey(*configKey)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "checl-bench: unknown config %q\n", *configKey)
+			os.Exit(2)
+		}
+		configs = []harness.Config{cfg}
+	}
+
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "checl-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if want["table1"] {
+		harness.Rule(out, "Table I")
+		harness.RenderTable1(out)
+	}
+	if want["fig4"] {
+		for _, cfg := range configs {
+			harness.Rule(out, "Figure 4 — "+cfg.Name)
+			rows, sum, err := harness.Fig4(cfg, *scale)
+			if err != nil {
+				fail(err)
+			}
+			harness.RenderFig4(out, rows, sum)
+		}
+	}
+	if want["fig5"] {
+		for _, cfg := range configs {
+			harness.Rule(out, "Figure 5 — "+cfg.Name)
+			res, err := harness.Fig5(cfg, *scale)
+			if err != nil {
+				fail(err)
+			}
+			harness.RenderFig5(out, res)
+		}
+	}
+	if want["fig6"] {
+		harness.Rule(out, "Figure 6 — MPI MD checkpointing")
+		rows, err := harness.Fig6([]float64{0.5 * *scale, 1 * *scale, 2 * *scale}, []int{1, 2, 4})
+		if err != nil {
+			fail(err)
+		}
+		harness.RenderFig6(out, rows)
+	}
+	if want["fig7"] {
+		for _, cfg := range configs {
+			harness.Rule(out, "Figure 7 — "+cfg.Name)
+			rows, err := harness.Fig7(cfg, *scale)
+			if err != nil {
+				fail(err)
+			}
+			harness.RenderFig7(out, cfg, rows)
+		}
+	}
+	if want["ablations"] {
+		harness.Rule(out, "Ablations")
+		results, err := harness.Ablations(*scale)
+		if err != nil {
+			fail(err)
+		}
+		harness.RenderAblations(out, results)
+	}
+	if want["fig8"] {
+		for _, cfg := range configs {
+			harness.Rule(out, "Figure 8 — "+cfg.Name)
+			res, err := harness.Fig8(cfg, *scale)
+			if err != nil {
+				fail(err)
+			}
+			harness.RenderFig8(out, res)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Runtime processor selection: switching a live job between CPU and GPU.
+//
+// With the AMD-like OpenCL implementation both the Radeon HD5870 and the
+// Core i7 are OpenCL devices, so a job scheduler can take a running
+// OpenCL process off the GPU and resume it on the CPU (and back), using a
+// RAM-disk checkpoint to make the switch cheap (§IV-C). This example does
+// exactly that with the SGEMM workload and prints the switch costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"checl/internal/apps"
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+)
+
+func main() {
+	node := proc.NewNode("pc0", hw.TableISpec(), ocl.AMD())
+	app, _ := apps.ByName("SGEMM")
+
+	p := node.Spawn(app.Name)
+	cl, err := core.Attach(p, core.Options{VendorName: "Advanced Micro Devices, Inc."})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runOn := func(c *core.CheCL, mask ocl.DeviceTypeMask, label string) {
+		env := &apps.Env{API: c, DeviceMask: mask, Verify: true}
+		sw := nodeStopwatch(node)
+		if _, err := app.Run(env); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on the %s: %s virtual time\n", app.Name, label, sw())
+	}
+
+	runOn(cl, ocl.DeviceTypeGPU, "Radeon HD5870 (GPU)")
+
+	// The scheduler decides the GPU is needed elsewhere: move to the CPU.
+	onCPU, msToCPU, err := core.SelectProcessor(cl, hw.DeviceCPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPU -> CPU switch via %s checkpoint: %s (file %.2f MB)\n",
+		msToCPU.Checkpoint.FSName, msToCPU.Total, float64(msToCPU.Checkpoint.FileSize)/1e6)
+	runOn(onCPU, ocl.DeviceTypeCPU, "Core i7 (CPU device)")
+
+	// The GPU frees up again: move back.
+	onGPU, msToGPU, err := core.SelectProcessor(onCPU, hw.DeviceGPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer onGPU.Detach()
+	fmt.Printf("CPU -> GPU switch: %s\n", msToGPU.Total)
+	runOn(onGPU, ocl.DeviceTypeGPU, "Radeon HD5870 (GPU), round trip")
+
+	// Contrast with what the same checkpoint would cost on the hard disk.
+	diskTime := node.Spec.LocalDisk.WriteTime(msToCPU.Checkpoint.FileSize) +
+		node.Spec.LocalDisk.ReadTime(msToCPU.Checkpoint.FileSize)
+	ramTime := node.Spec.RAMDisk.WriteTime(msToCPU.Checkpoint.FileSize) +
+		node.Spec.RAMDisk.ReadTime(msToCPU.Checkpoint.FileSize)
+	fmt.Printf("file I/O for the switch: RAM disk %s vs hard disk %s\n", ramTime, diskTime)
+}
+
+// nodeStopwatch returns a closure reporting virtual time since creation.
+func nodeStopwatch(n *proc.Node) func() string {
+	start := n.Clock.Now()
+	return func() string { return n.Clock.Now().Sub(start).String() }
+}

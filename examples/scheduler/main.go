@@ -1,0 +1,158 @@
+// Scheduler: dynamic job scheduling on a heterogeneous GPU cluster —
+// the application the paper positions CheCL as an infrastructure for
+// (§IV-C, §VI).
+//
+// Two long-running jobs start on a CPU-only node. A GPU node with a Tesla
+// C1060 and one with a Radeon HD5870 have free slots. The planner uses
+// the migration-cost model Tm = α·M + Tr + β (calibrated from one probe
+// migration) to decide which job each GPU slot is worth paying the
+// migration cost for, and the scheduler then really migrates the chosen
+// jobs with CheCL over the shared NFS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"checl/internal/apps"
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/sched"
+)
+
+func main() {
+	// A heterogeneous cluster: one CPU-only node and two GPU nodes.
+	cluster := proc.NewCluster("node", 3, hw.TableISpec(), func(i int) []*ocl.Vendor {
+		switch i {
+		case 0:
+			return []*ocl.Vendor{ocl.AMDCPUOnly()}
+		case 1:
+			return []*ocl.Vendor{ocl.NVIDIA()}
+		default:
+			return []*ocl.Vendor{ocl.AMD()}
+		}
+	})
+	cpuNode, teslaNode, radeonNode := cluster.Nodes[0], cluster.Nodes[1], cluster.Nodes[2]
+
+	// Two jobs run on the CPU node for lack of anything better.
+	type runningJob struct {
+		name  string
+		app   apps.App
+		checl *core.CheCL
+		state sched.JobState
+	}
+	startJob := func(name, appName string, remaining float64, memBytes int64) *runningJob {
+		app, _ := apps.ByName(appName)
+		p := cpuNode.Spawn(name)
+		c, err := core.Attach(p, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeCPU, Scale: 0.5}
+		if _, err := app.Run(env); err != nil {
+			log.Fatal(err)
+		}
+		return &runningJob{
+			name: name, app: app, checl: c,
+			state: sched.JobState{
+				Name: name, RemainingFlops: remaining, MemBytes: memBytes,
+				Device: hw.CoreI7920(), NodeName: cpuNode.Name,
+			},
+		}
+	}
+	jobs := []*runningJob{
+		startJob("md-sim", "MD", 5e13, 96<<20),         // a week of CPU time left
+		startJob("sgemm-batch", "SGEMM", 8e11, 32<<20), // a modest batch
+	}
+	fmt.Printf("jobs started on %s (CPU only)\n", cpuNode.Name)
+
+	// Calibrate the cost model with one probe migration (CPU node -> CPU
+	// node over NFS) at two sizes, as a production scheduler would from
+	// its migration history.
+	model := calibrate(cluster)
+	fmt.Printf("calibrated cost model: %s\n", model)
+
+	planner := &sched.Planner{Model: model}
+	slots := []sched.Slot{
+		{NodeName: teslaNode.Name, Device: hw.TeslaC1060()},
+		{NodeName: radeonNode.Name, Device: hw.RadeonHD5870()},
+	}
+	states := make([]sched.JobState, len(jobs))
+	for i, j := range jobs {
+		states[i] = j.state
+	}
+	plan := planner.Plan(states, slots)
+	fmt.Println("plan:")
+	for _, m := range plan {
+		fmt.Printf("  %s\n", m)
+	}
+
+	// Execute the plan with real CheCL migrations.
+	nodeByName := map[string]*proc.Node{
+		teslaNode.Name: teslaNode, radeonNode.Name: radeonNode,
+	}
+	for _, move := range plan {
+		for _, j := range jobs {
+			if j.name != move.Job {
+				continue
+			}
+			target := nodeByName[move.ToNode]
+			rc, ms, err := core.Migrate(j.checl, cluster.NFS, j.name+".ckpt", target,
+				core.Options{PreferDeviceType: hw.DeviceGPU})
+			if err != nil {
+				log.Fatal(err)
+			}
+			j.checl = rc
+			fmt.Printf("migrated %s to %s: actual Tm %s (model predicted %s for the declared %d MiB working set; the demo job's real footprint is far smaller)\n",
+				j.name, move.ToNode, ms.Total, move.MigrationCost, j.state.MemBytes>>20)
+			// The job keeps running on its new device.
+			env := &apps.Env{API: rc, DeviceMask: ocl.DeviceTypeGPU, Verify: true, Scale: 0.5}
+			if _, err := j.app.Run(env); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s verified on %s\n", j.name, move.ToDevice)
+		}
+	}
+	for _, j := range jobs {
+		j.checl.Detach()
+	}
+}
+
+// calibrate fits Eq. 1 from two probe migrations of different sizes.
+func calibrate(cluster *proc.Cluster) core.CostModel {
+	var samples []core.CostSample
+	for _, mb := range []int64{8, 32} {
+		src := cluster.Nodes[0]
+		p := src.Spawn("probe")
+		c, err := core.Attach(p, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeAll)
+		ctx, _ := c.CreateContext(devs[:1])
+		if _, err := c.CreateCommandQueue(ctx, devs[0], 0); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.CreateBuffer(ctx, ocl.MemReadWrite, mb<<20, nil); err != nil {
+			log.Fatal(err)
+		}
+		rc, ms, err := core.Migrate(c, cluster.NFS, "probe.ckpt", cluster.Nodes[0], core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc.Detach()
+		samples = append(samples, core.CostSample{
+			FileSize:  ms.Checkpoint.FileSize,
+			Recompile: ms.Restart.Recompile,
+			Measured:  ms.Total,
+		})
+	}
+	model, err := core.FitCostModel(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model
+}

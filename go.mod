@@ -1,0 +1,3 @@
+module checl
+
+go 1.22

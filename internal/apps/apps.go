@@ -1,0 +1,346 @@
+// Package apps re-implements the benchmark programs of the paper's
+// evaluation against the public ocl.API surface: 19 NVIDIA-SDK-style
+// samples, the SHOC suite, and the three Parboil ports (cp, mri-fhd,
+// mri-q, with the paper's size variants). Every program carries real
+// OpenCL C kernel source (compiled and interpreted by the simulated
+// devices), a host driver, and an optional self-verification against a Go
+// reference.
+//
+// Each app runs against ANY ocl.API implementation — the vendor runtime
+// directly (the paper's "native OpenCL" baseline) or a CheCL instance —
+// which is exactly how Fig. 4 compares the two.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"checl/internal/ocl"
+)
+
+// Env is the execution environment handed to an app.
+type Env struct {
+	// API is the OpenCL implementation (native runtime or CheCL).
+	API ocl.API
+	// DeviceMask selects the compute device (GPU for the two GPU
+	// configurations, CPU for AMD-on-CPU). Zero selects any device.
+	DeviceMask ocl.DeviceTypeMask
+	// Scale multiplies default problem sizes (Fig. 6 sweeps it).
+	Scale float64
+	// Verify enables self-checking against the Go reference.
+	Verify bool
+	// AfterLaunch, when set, runs after every kernel enqueue — the hook
+	// the Fig. 5 harness uses to checkpoint "once after every kernel
+	// execution" with at least one uncompleted command in the queue.
+	AfterLaunch func(q ocl.CommandQueue) error
+}
+
+func (e *Env) scale(n int) int {
+	if e.Scale <= 0 {
+		return n
+	}
+	v := int(float64(n) * e.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Result summarises one app run.
+type Result struct {
+	Launches  int   // kernel launches performed
+	HostBytes int64 // bytes explicitly transferred host<->device
+	Verified  bool
+}
+
+// App is one benchmark program.
+type App struct {
+	Name  string
+	Suite string // "nvsdk", "shoc", "parboil"
+	// HasKernel is false for pure-transfer/compile benchmarks, which the
+	// paper excludes from the checkpoint experiments (Fig. 5).
+	HasKernel bool
+	// WorkGroupX is the widest x-dimension work-group the app launches;
+	// devices with a smaller limit cannot run it (oclSortingNetworks on
+	// the AMD GPU, §IV-A).
+	WorkGroupX int
+	Run        func(env *Env) (Result, error)
+}
+
+// registry is populated by the per-suite files' init functions.
+var registry []App
+
+func register(a App) { registry = append(registry, a) }
+
+// All returns every app, NVIDIA SDK first, then SHOC, then Parboil, each
+// suite in registration order — the x-axis order of Figs. 4, 5, 7, 8.
+func All() []App {
+	out := append([]App(nil), registry...)
+	rank := map[string]int{"nvsdk": 0, "shoc": 1, "parboil": 2}
+	sort.SliceStable(out, func(i, j int) bool { return rank[out[i].Suite] < rank[out[j].Suite] })
+	return out
+}
+
+// ByName returns the named app.
+func ByName(name string) (App, bool) {
+	for _, a := range registry {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// BySuite returns the apps of one suite in registration order.
+func BySuite(suite string) []App {
+	var out []App
+	for _, a := range registry {
+		if a.Suite == suite {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ---- shared driver helpers ----
+
+// session wraps the boilerplate every app shares: platform, device,
+// context, queue, program, kernels.
+type session struct {
+	env     *Env
+	api     ocl.API
+	dev     ocl.DeviceID
+	info    ocl.DeviceInfo
+	ctx     ocl.Context
+	q       ocl.CommandQueue
+	prog    ocl.Program
+	kernels map[string]ocl.Kernel
+	res     Result
+}
+
+// begin sets up a session and builds source (when non-empty).
+func begin(env *Env, source string) (*session, error) {
+	s := &session{env: env, api: env.API, kernels: map[string]ocl.Kernel{}}
+	plats, err := s.api.GetPlatformIDs()
+	if err != nil {
+		return nil, err
+	}
+	mask := env.DeviceMask
+	if mask == 0 {
+		mask = ocl.DeviceTypeAll
+	}
+	devs, err := s.api.GetDeviceIDs(plats[0], mask)
+	if err != nil {
+		return nil, err
+	}
+	s.dev = devs[0]
+	if s.info, err = s.api.GetDeviceInfo(s.dev); err != nil {
+		return nil, err
+	}
+	if s.ctx, err = s.api.CreateContext(devs[:1]); err != nil {
+		return nil, err
+	}
+	if s.q, err = s.api.CreateCommandQueue(s.ctx, s.dev, ocl.QueueProfilingEnable); err != nil {
+		return nil, err
+	}
+	if source != "" {
+		if err := s.buildProgram(source); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *session) buildProgram(source string) error {
+	p, err := s.api.CreateProgramWithSource(s.ctx, source)
+	if err != nil {
+		return err
+	}
+	if err := s.api.BuildProgram(p, ""); err != nil {
+		return err
+	}
+	s.prog = p
+	return nil
+}
+
+// kernel creates (and caches) a kernel from the session program.
+func (s *session) kernel(name string) (ocl.Kernel, error) {
+	if k, ok := s.kernels[name]; ok {
+		return k, nil
+	}
+	k, err := s.api.CreateKernel(s.prog, name)
+	if err != nil {
+		return 0, err
+	}
+	s.kernels[name] = k
+	return k, nil
+}
+
+// buffer allocates a device buffer, optionally initialised from host data.
+func (s *session) buffer(flags ocl.MemFlags, size int64, host []byte) (ocl.Mem, error) {
+	if host != nil {
+		flags |= ocl.MemCopyHostPtr
+	}
+	return s.api.CreateBuffer(s.ctx, flags, size, host)
+}
+
+// write transfers host data to a buffer (blocking).
+func (s *session) write(m ocl.Mem, data []byte) error {
+	_, err := s.api.EnqueueWriteBuffer(s.q, m, true, 0, data, nil)
+	s.res.HostBytes += int64(len(data))
+	return err
+}
+
+// read transfers a buffer back to the host (blocking).
+func (s *session) read(m ocl.Mem, size int64) ([]byte, error) {
+	data, _, err := s.api.EnqueueReadBuffer(s.q, m, true, 0, size, nil)
+	s.res.HostBytes += size
+	return data, err
+}
+
+// args binds kernel arguments: ocl.Mem values become 8-byte handles,
+// uint32/int32/float32 become 4-byte scalars, nil+size pairs are not
+// supported here (use argLocal).
+func (s *session) args(k ocl.Kernel, vals ...any) error {
+	for i, v := range vals {
+		var (
+			size int64
+			raw  []byte
+		)
+		switch x := v.(type) {
+		case ocl.Mem:
+			raw = make([]byte, 8)
+			binary.LittleEndian.PutUint64(raw, uint64(x))
+			size = 8
+		case ocl.Sampler:
+			raw = make([]byte, 8)
+			binary.LittleEndian.PutUint64(raw, uint64(x))
+			size = 8
+		case uint32:
+			raw = make([]byte, 4)
+			binary.LittleEndian.PutUint32(raw, x)
+			size = 4
+		case int32:
+			raw = make([]byte, 4)
+			binary.LittleEndian.PutUint32(raw, uint32(x))
+			size = 4
+		case int:
+			raw = make([]byte, 4)
+			binary.LittleEndian.PutUint32(raw, uint32(int32(x)))
+			size = 4
+		case float32:
+			raw = make([]byte, 4)
+			binary.LittleEndian.PutUint32(raw, math.Float32bits(x))
+			size = 4
+		case localArg:
+			if err := s.api.SetKernelArg(k, i, int64(x), nil); err != nil {
+				return fmt.Errorf("arg %d (__local %d bytes): %w", i, int64(x), err)
+			}
+			continue
+		default:
+			return fmt.Errorf("arg %d: unsupported argument type %T", i, v)
+		}
+		if err := s.api.SetKernelArg(k, i, size, raw); err != nil {
+			return fmt.Errorf("arg %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// localArg marks a __local allocation size in session.args.
+type localArg int64
+
+// launch enqueues a 1D kernel and fires the harness hook.
+func (s *session) launch(k ocl.Kernel, global, local int) error {
+	return s.launchND(k, 1, [3]int{global}, [3]int{local})
+}
+
+// launchND enqueues an N-D kernel and fires the harness hook.
+func (s *session) launchND(k ocl.Kernel, dims int, global, local [3]int) error {
+	if _, err := s.api.EnqueueNDRangeKernel(s.q, k, dims, [3]int{}, global, local, nil); err != nil {
+		return err
+	}
+	s.res.Launches++
+	if s.env.AfterLaunch != nil {
+		if err := s.env.AfterLaunch(s.q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish drains the queue.
+func (s *session) finish() error { return s.api.Finish(s.q) }
+
+// ---- float32 byte helpers ----
+
+func f32sToBytes(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+func bytesToF32s(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func u32sToBytes(vals []uint32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return b
+}
+
+func bytesToU32s(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// roundUp rounds n up to the next multiple of m (for padding NDRange
+// global sizes to the work-group size; kernels guard the excess items).
+func roundUp(n, m int) int { return (n + m - 1) / m * m }
+
+// approxEqual compares float32 results with a relative tolerance.
+func approxEqual(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	m := math.Abs(want)
+	if m < 1 {
+		m = 1
+	}
+	return d <= tol*m
+}
+
+// lcg is a deterministic pseudo-random stream for input generation (the
+// stdlib's math/rand would also do; a local LCG keeps inputs stable across
+// Go releases).
+type lcg struct{ state uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{state: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state
+}
+
+// float32n returns a float32 in [0, 1).
+func (l *lcg) float32n() float32 {
+	return float32(l.next()>>40) / float32(1<<24)
+}
+
+// uint32n returns a uint32.
+func (l *lcg) uint32n() uint32 { return uint32(l.next() >> 32) }

@@ -1,0 +1,212 @@
+package apps
+
+import (
+	"testing"
+
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/vtime"
+)
+
+// config mirrors the paper's three evaluation configurations.
+type config struct {
+	name   string
+	vendor func() *ocl.Vendor
+	mask   ocl.DeviceTypeMask
+}
+
+func configs() []config {
+	return []config{
+		{"nvidia-gpu", ocl.NVIDIA, ocl.DeviceTypeGPU},
+		{"amd-gpu", ocl.AMD, ocl.DeviceTypeGPU},
+		{"amd-cpu", ocl.AMD, ocl.DeviceTypeCPU},
+	}
+}
+
+func nativeEnv(cfg config) *Env {
+	clock := vtime.NewClock()
+	rt := ocl.NewRuntime(cfg.vendor(), hw.TableISpec(), clock)
+	return &Env{API: rt, DeviceMask: cfg.mask, Verify: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 34 {
+		t.Fatalf("registered apps = %d, want >= 34 (19 SDK + 12+ SHOC + Parboil)", len(all))
+	}
+	if n := len(BySuite("nvsdk")); n != 19 {
+		t.Errorf("nvsdk apps = %d, want 19", n)
+	}
+	if n := len(BySuite("shoc")); n < 12 {
+		t.Errorf("shoc apps = %d, want >= 12", n)
+	}
+	if n := len(BySuite("parboil")); n != 5 {
+		t.Errorf("parboil apps = %d, want 5 (cp + 2x mri-fhd + 2x mri-q)", n)
+	}
+	// Ordering: nvsdk first, parboil last (the figures' x-axis layout).
+	if all[0].Suite != "nvsdk" || all[len(all)-1].Suite != "parboil" {
+		t.Errorf("suite ordering wrong: first %s last %s", all[0].Suite, all[len(all)-1].Suite)
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if _, ok := ByName("oclVectorAdd"); !ok {
+		t.Error("ByName lookup failed")
+	}
+	if _, ok := ByName("no-such-app"); ok {
+		t.Error("ByName should miss unknown names")
+	}
+}
+
+// TestAllAppsVerifyOnAllConfigs runs every benchmark with verification on
+// the three paper configurations against the native runtimes. The one
+// expected failure is oclSortingNetworks on the AMD GPU (work-group limit,
+// §IV-A).
+func TestAllAppsVerifyOnAllConfigs(t *testing.T) {
+	for _, cfg := range configs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, app := range All() {
+				app := app
+				t.Run(app.Name, func(t *testing.T) {
+					env := nativeEnv(cfg)
+					info := deviceInfoFor(t, env)
+					res, err := app.Run(env)
+					if app.WorkGroupX > info.MaxWorkItemSizes[0] {
+						// Non-portable geometry: must fail with the
+						// work-group error, exactly like the paper's AMD
+						// GPU runs of oclSortingNetworks.
+						if ocl.StatusOf(err) != ocl.InvalidWorkGroupSize {
+							t.Fatalf("expected CL_INVALID_WORK_GROUP_SIZE on %s, got %v", cfg.name, err)
+						}
+						return
+					}
+					if err != nil {
+						t.Fatalf("%s failed: %v", app.Name, err)
+					}
+					if !res.Verified {
+						t.Fatalf("%s did not verify", app.Name)
+					}
+					if app.HasKernel && res.Launches == 0 {
+						t.Fatalf("%s declared HasKernel but launched nothing", app.Name)
+					}
+					if !app.HasKernel && res.Launches != 0 {
+						t.Fatalf("%s declared !HasKernel but launched %d kernels", app.Name, res.Launches)
+					}
+				})
+			}
+		})
+	}
+}
+
+func deviceInfoFor(t *testing.T, env *Env) ocl.DeviceInfo {
+	t.Helper()
+	plats, err := env.API.GetPlatformIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := env.DeviceMask
+	if mask == 0 {
+		mask = ocl.DeviceTypeAll
+	}
+	devs, err := env.API.GetDeviceIDs(plats[0], mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := env.API.GetDeviceInfo(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestAfterLaunchHookFires(t *testing.T) {
+	env := nativeEnv(configs()[0])
+	hooks := 0
+	env.AfterLaunch = func(q ocl.CommandQueue) error {
+		hooks++
+		return nil
+	}
+	app, _ := ByName("oclVectorAdd")
+	res, err := app.Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooks != res.Launches || hooks == 0 {
+		t.Errorf("hook fired %d times for %d launches", hooks, res.Launches)
+	}
+}
+
+func TestScaleChangesProblemSize(t *testing.T) {
+	run := func(scale float64) int64 {
+		env := nativeEnv(configs()[0])
+		env.Scale = scale
+		env.Verify = false
+		app, _ := ByName("oclVectorAdd")
+		res, err := app.Run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HostBytes
+	}
+	small := run(0.25)
+	big := run(1)
+	if !(big > 2*small) {
+		t.Errorf("Scale had no effect: %d vs %d bytes", small, big)
+	}
+}
+
+func TestMatVecMulSizesFromDeviceMemory(t *testing.T) {
+	// The paper: oclMatVecMul picks its problem from device memory, so
+	// the 1 GB HD5870 runs a smaller problem than the 4 GB Tesla.
+	bytesOn := func(cfg config) int64 {
+		env := nativeEnv(cfg)
+		env.Verify = false
+		app, _ := ByName("oclMatVecMul")
+		res, err := app.Run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HostBytes
+	}
+	tesla := bytesOn(configs()[0])
+	radeon := bytesOn(configs()[1])
+	if !(radeon < tesla) {
+		t.Errorf("HD5870 problem (%d B) should be smaller than Tesla's (%d B)", radeon, tesla)
+	}
+}
+
+func TestTransferBoundAppsMoveData(t *testing.T) {
+	for _, name := range []string{"oclBandwidthTest", "BusSpeedDownload", "BusSpeedReadback", "Triad"} {
+		app, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing app %s", name)
+		}
+		env := nativeEnv(configs()[0])
+		res, err := app.Run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HostBytes < 1<<20 {
+			t.Errorf("%s moved only %d bytes", name, res.HostBytes)
+		}
+	}
+}
+
+func TestCallHeavyAppsLaunchMany(t *testing.T) {
+	for _, name := range []string{"QueueDelay", "oclRadixSort", "Stencil2D"} {
+		app, _ := ByName(name)
+		env := nativeEnv(configs()[0])
+		res, err := app.Run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Launches < 8 {
+			t.Errorf("%s launched only %d kernels", name, res.Launches)
+		}
+	}
+}

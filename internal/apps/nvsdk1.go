@@ -1,0 +1,900 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"checl/internal/ocl"
+)
+
+// NVIDIA GPU Computing SDK 3.0 style samples (1/2). As in the paper's
+// methodology (§IV), the CPU golden-computation parts of the original
+// samples are only executed when Verify is set, so the measured section
+// is the GPU part.
+
+func init() {
+	register(App{Name: "oclBandwidthTest", Suite: "nvsdk", HasKernel: false, Run: runOclBandwidthTest})
+	register(App{Name: "oclBlackScholes", Suite: "nvsdk", HasKernel: true, WorkGroupX: 128, Run: runOclBlackScholes})
+	register(App{Name: "oclConvolutionSeparable", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclConvolutionSeparable})
+	register(App{Name: "oclDCT8x8", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclDCT8x8})
+	register(App{Name: "oclDXTCompression", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclDXTCompression})
+	register(App{Name: "oclDotProduct", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclDotProduct})
+	register(App{Name: "oclFDTD3d", Suite: "nvsdk", HasKernel: true, WorkGroupX: 32, Run: runOclFDTD3d})
+	register(App{Name: "oclHistogram", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclHistogram})
+	register(App{Name: "oclMatVecMul", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclMatVecMul})
+	register(App{Name: "oclMatrixMul", Suite: "nvsdk", HasKernel: true, WorkGroupX: 16, Run: runOclMatrixMul})
+}
+
+// oclBandwidthTest: pure host<->device transfer benchmark; no kernel.
+func runOclBandwidthTest(env *Env) (Result, error) {
+	s, err := begin(env, "")
+	if err != nil {
+		return Result{}, err
+	}
+	size := int64(env.scale(16 << 20))
+	m, err := s.buffer(ocl.MemReadWrite, size, nil)
+	if err != nil {
+		return s.res, err
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for rep := 0; rep < 3; rep++ {
+		if err := s.write(m, payload); err != nil {
+			return s.res, err
+		}
+		back, err := s.read(m, size)
+		if err != nil {
+			return s.res, err
+		}
+		if env.Verify && (back[0] != payload[0] || back[size-1] != payload[size-1]) {
+			return s.res, fmt.Errorf("oclBandwidthTest: data corrupted in transfer")
+		}
+	}
+	s.res.Verified = env.Verify
+	return s.res, s.finish()
+}
+
+const blackScholesSrc = `
+float cnd(float d) {
+    float K = 1.0f / (1.0f + 0.2316419f * fabs(d));
+    float v = 0.3989422804f * exp(-0.5f * d * d) *
+        (K * (0.31938153f + K * (-0.356563782f + K * (1.781477937f +
+         K * (-1.821255978f + K * 1.330274429f)))));
+    if (d > 0.0f) v = 1.0f - v;
+    return v;
+}
+__kernel void blackScholes(__global const float* price,
+                           __global const float* strike,
+                           __global const float* years,
+                           __global float* callOut,
+                           __global float* putOut,
+                           float riskfree, float volatility, uint n) {
+    size_t i = get_global_id(0);
+    if (i >= n) return;
+    float S = price[i];
+    float X = strike[i];
+    float T = years[i];
+    float sqrtT = sqrt(T);
+    float d1 = (log(S / X) + (riskfree + 0.5f * volatility * volatility) * T) /
+               (volatility * sqrtT);
+    float d2 = d1 - volatility * sqrtT;
+    float cndD1 = cnd(d1);
+    float cndD2 = cnd(d2);
+    float expRT = exp(-riskfree * T);
+    callOut[i] = S * cndD1 - X * expRT * cndD2;
+    putOut[i] = X * expRT * (1.0f - cndD2) - S * (1.0f - cndD1);
+}`
+
+// oclBlackScholes: European option pricing.
+func runOclBlackScholes(env *Env) (Result, error) {
+	s, err := begin(env, blackScholesSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(8192)
+	rng := newLCG(7)
+	price := make([]float32, n)
+	strike := make([]float32, n)
+	years := make([]float32, n)
+	for i := 0; i < n; i++ {
+		price[i] = 5 + 25*rng.float32n()
+		strike[i] = 1 + 99*rng.float32n()
+		years[i] = 0.25 + 9.75*rng.float32n()
+	}
+	const riskfree, volatility = float32(0.02), float32(0.30)
+	bp, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(price))
+	if err != nil {
+		return s.res, err
+	}
+	bx, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(strike))
+	if err != nil {
+		return s.res, err
+	}
+	bt, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(years))
+	if err != nil {
+		return s.res, err
+	}
+	bc, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bpu, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("blackScholes")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bp, bx, bt, bc, bpu, riskfree, volatility, uint32(n)); err != nil {
+		return s.res, err
+	}
+	global := (n + 127) / 128 * 128
+	if err := s.launch(k, global, 128); err != nil {
+		return s.res, err
+	}
+	callBytes, err := s.read(bc, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		call := bytesToF32s(callBytes)
+		for i := 0; i < n; i += 97 {
+			want := blackScholesRef(float64(price[i]), float64(strike[i]), float64(years[i]),
+				float64(riskfree), float64(volatility))
+			if !approxEqual(float64(call[i]), want, 1e-3) {
+				return s.res, fmt.Errorf("oclBlackScholes: call[%d] = %v, want %v", i, call[i], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func blackScholesRef(S, X, T, r, v float64) float64 {
+	cnd := func(d float64) float64 {
+		K := 1 / (1 + 0.2316419*math.Abs(d))
+		c := 0.3989422804 * math.Exp(-0.5*d*d) *
+			(K * (0.31938153 + K*(-0.356563782+K*(1.781477937+K*(-1.821255978+K*1.330274429)))))
+		if d > 0 {
+			return 1 - c
+		}
+		return c
+	}
+	sqrtT := math.Sqrt(T)
+	d1 := (math.Log(S/X) + (r+0.5*v*v)*T) / (v * sqrtT)
+	d2 := d1 - v*sqrtT
+	return S*cnd(d1) - X*math.Exp(-r*T)*cnd(d2)
+}
+
+const convolutionSrc = `
+__kernel void convRows(__global const float* in, __global float* out,
+                       __global const float* filter,
+                       int w, int h, int radius) {
+    int x = (int)get_global_id(0);
+    int y = (int)get_global_id(1);
+    if (x >= w || y >= h) return;
+    float sum = 0.0f;
+    for (int k = -radius; k <= radius; k++) {
+        int xx = x + k;
+        if (xx < 0) xx = 0;
+        if (xx >= w) xx = w - 1;
+        sum = sum + in[y * w + xx] * filter[k + radius];
+    }
+    out[y * w + x] = sum;
+}
+__kernel void convCols(__global const float* in, __global float* out,
+                       __global const float* filter,
+                       int w, int h, int radius) {
+    int x = (int)get_global_id(0);
+    int y = (int)get_global_id(1);
+    if (x >= w || y >= h) return;
+    float sum = 0.0f;
+    for (int k = -radius; k <= radius; k++) {
+        int yy = y + k;
+        if (yy < 0) yy = 0;
+        if (yy >= h) yy = h - 1;
+        sum = sum + in[yy * w + x] * filter[k + radius];
+    }
+    out[y * w + x] = sum;
+}`
+
+// oclConvolutionSeparable: separable 2D convolution (rows then columns).
+func runOclConvolutionSeparable(env *Env) (Result, error) {
+	s, err := begin(env, convolutionSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	w, h, radius := env.scale(192), 96, 4
+	rng := newLCG(11)
+	img := make([]float32, w*h)
+	for i := range img {
+		img[i] = rng.float32n()
+	}
+	filter := make([]float32, 2*radius+1)
+	var fsum float32
+	for i := range filter {
+		filter[i] = rng.float32n()
+		fsum += filter[i]
+	}
+	for i := range filter {
+		filter[i] /= fsum
+	}
+	bin, err := s.buffer(ocl.MemReadOnly, int64(4*w*h), f32sToBytes(img))
+	if err != nil {
+		return s.res, err
+	}
+	btmp, err := s.buffer(ocl.MemReadWrite, int64(4*w*h), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bout, err := s.buffer(ocl.MemWriteOnly, int64(4*w*h), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bf, err := s.buffer(ocl.MemReadOnly, int64(4*len(filter)), f32sToBytes(filter))
+	if err != nil {
+		return s.res, err
+	}
+	kr, err := s.kernel("convRows")
+	if err != nil {
+		return s.res, err
+	}
+	kc, err := s.kernel("convCols")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(kr, bin, btmp, bf, int32(w), int32(h), int32(radius)); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(kr, 2, [3]int{roundUp(w, 64), h}, [3]int{64, 1}); err != nil {
+		return s.res, err
+	}
+	if err := s.args(kc, btmp, bout, bf, int32(w), int32(h), int32(radius)); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(kc, 2, [3]int{roundUp(w, 64), h}, [3]int{64, 1}); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bout, int64(4*w*h))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		ref := convRef(img, filter, w, h, radius)
+		for i := 0; i < w*h; i += 31 {
+			if !approxEqual(float64(out[i]), float64(ref[i]), 1e-3) {
+				return s.res, fmt.Errorf("oclConvolutionSeparable: out[%d] = %v, want %v", i, out[i], ref[i])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func convRef(img, filter []float32, w, h, radius int) []float32 {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	tmp := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum float32
+			for k := -radius; k <= radius; k++ {
+				sum += img[y*w+clamp(x+k, 0, w-1)] * filter[k+radius]
+			}
+			tmp[y*w+x] = sum
+		}
+	}
+	out := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum float32
+			for k := -radius; k <= radius; k++ {
+				sum += tmp[clamp(y+k, 0, h-1)*w+x] * filter[k+radius]
+			}
+			out[y*w+x] = sum
+		}
+	}
+	return out
+}
+
+const dct8x8Src = `
+__kernel void dct8x8(__global const float* in, __global float* out, int w, int h) {
+    int u = (int)get_global_id(0);
+    int v = (int)get_global_id(1);
+    if (u >= w || v >= h) return;
+    int bx = (u / 8) * 8;
+    int by = (v / 8) * 8;
+    int fu = u % 8;
+    int fv = v % 8;
+    float cu = 0.353553391f;
+    float cv = 0.353553391f;
+    if (fu > 0) cu = 0.5f;
+    if (fv > 0) cv = 0.5f;
+    float sum = 0.0f;
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            float pix = in[(by + y) * w + bx + x];
+            float bu = cos((2.0f * (float)x + 1.0f) * (float)fu * 0.196349541f);
+            float bv = cos((2.0f * (float)y + 1.0f) * (float)fv * 0.196349541f);
+            sum = sum + pix * bu * bv;
+        }
+    }
+    out[v * w + u] = 0.25f * cu * cv * sum;
+}`
+
+// oclDCT8x8: blockwise 8x8 discrete cosine transform.
+func runOclDCT8x8(env *Env) (Result, error) {
+	s, err := begin(env, dct8x8Src)
+	if err != nil {
+		return Result{}, err
+	}
+	w, h := env.scale(96), 64
+	w = (w / 8) * 8
+	rng := newLCG(13)
+	img := make([]float32, w*h)
+	for i := range img {
+		img[i] = 255 * rng.float32n()
+	}
+	bin, err := s.buffer(ocl.MemReadOnly, int64(4*w*h), f32sToBytes(img))
+	if err != nil {
+		return s.res, err
+	}
+	bout, err := s.buffer(ocl.MemWriteOnly, int64(4*w*h), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("dct8x8")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bin, bout, int32(w), int32(h)); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(k, 2, [3]int{w, h}, [3]int{8, 8}); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bout, int64(4*w*h))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		for _, idx := range []int{0, w*h/2 + 3, w*h - 1} {
+			u, v := idx%w, idx/w
+			want := dctRef(img, w, u, v)
+			if !approxEqual(float64(out[idx]), want, 2e-3) {
+				return s.res, fmt.Errorf("oclDCT8x8: out[%d] = %v, want %v", idx, out[idx], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func dctRef(img []float32, w, u, v int) float64 {
+	bx, by := (u/8)*8, (v/8)*8
+	fu, fv := u%8, v%8
+	cu, cv := 0.353553391, 0.353553391
+	if fu > 0 {
+		cu = 0.5
+	}
+	if fv > 0 {
+		cv = 0.5
+	}
+	var sum float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			pix := float64(img[(by+y)*w+bx+x])
+			bu := math.Cos((2*float64(x) + 1) * float64(fu) * 0.196349541)
+			bv := math.Cos((2*float64(y) + 1) * float64(fv) * 0.196349541)
+			sum += pix * bu * bv
+		}
+	}
+	return 0.25 * cu * cv * sum
+}
+
+const dxtSrc = `
+__kernel void dxtCompress(__global const float* img, __global uint* out, int w, int blocksPerRow, int nBlocks) {
+    int block = (int)get_global_id(0);
+    if (block >= nBlocks) return;
+    int bx = (block % blocksPerRow) * 4;
+    int by = (block / blocksPerRow) * 4;
+    float lo = 1000000.0f;
+    float hi = -1000000.0f;
+    for (int y = 0; y < 4; y++) {
+        for (int x = 0; x < 4; x++) {
+            float p = img[(by + y) * w + bx + x];
+            lo = fmin(lo, p);
+            hi = fmax(hi, p);
+        }
+    }
+    uint bits = 0u;
+    float range = hi - lo;
+    if (range < 0.000001f) range = 1.0f;
+    for (int y = 0; y < 4; y++) {
+        for (int x = 0; x < 4; x++) {
+            float p = img[(by + y) * w + bx + x];
+            uint q = (uint)((p - lo) / range * 3.0f + 0.5f);
+            if (q > 3u) q = 3u;
+            bits = bits | (q << (uint)(2 * (y * 4 + x)));
+        }
+    }
+    out[block * 3 + 0] = as_uint(lo);
+    out[block * 3 + 1] = as_uint(hi);
+    out[block * 3 + 2] = bits;
+}`
+
+// oclDXTCompression: simplified DXT1-style 4x4 block compression.
+func runOclDXTCompression(env *Env) (Result, error) {
+	s, err := begin(env, dxtSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	w, h := env.scale(128), 64
+	w = (w / 4) * 4
+	rng := newLCG(17)
+	img := make([]float32, w*h)
+	for i := range img {
+		img[i] = rng.float32n()
+	}
+	blocksPerRow := w / 4
+	blocks := blocksPerRow * (h / 4)
+	bin, err := s.buffer(ocl.MemReadOnly, int64(4*w*h), f32sToBytes(img))
+	if err != nil {
+		return s.res, err
+	}
+	bout, err := s.buffer(ocl.MemWriteOnly, int64(4*3*blocks), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("dxtCompress")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bin, bout, int32(w), int32(blocksPerRow), int32(blocks)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, roundUp(blocks, 64), 64); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bout, int64(4*3*blocks))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToU32s(outBytes)
+		// Check block 0's range bounds.
+		lo := math.Float32frombits(out[0])
+		hi := math.Float32frombits(out[1])
+		var wantLo, wantHi float32 = 2, -2
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				p := img[y*w+x]
+				if p < wantLo {
+					wantLo = p
+				}
+				if p > wantHi {
+					wantHi = p
+				}
+			}
+		}
+		if lo != wantLo || hi != wantHi {
+			return s.res, fmt.Errorf("oclDXTCompression: block 0 range [%v,%v], want [%v,%v]", lo, hi, wantLo, wantHi)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const dotProductSrc = `
+__kernel void dotProduct(__global const float* a, __global const float* b,
+                         __global float* partial, __local float* scratch, uint n) {
+    size_t gid = get_global_id(0);
+    size_t lid = get_local_id(0);
+    float v = 0.0f;
+    if (gid < n) v = a[gid] * b[gid];
+    scratch[lid] = v;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint s = get_local_size(0) / 2; s > 0u; s >>= 1) {
+        if (lid < s) scratch[lid] = scratch[lid] + scratch[lid + s];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0u) partial[get_group_id(0)] = scratch[0];
+}`
+
+// oclDotProduct: elementwise product with in-group tree reduction.
+func runOclDotProduct(env *Env) (Result, error) {
+	s, err := begin(env, dotProductSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(32768)
+	local := 64
+	global := (n + local - 1) / local * local
+	groups := global / local
+	rng := newLCG(19)
+	a := make([]float32, n)
+	b := make([]float32, n)
+	var want float64
+	for i := 0; i < n; i++ {
+		a[i] = rng.float32n()
+		b[i] = rng.float32n()
+		want += float64(a[i]) * float64(b[i])
+	}
+	ba, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(a))
+	if err != nil {
+		return s.res, err
+	}
+	bb, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(b))
+	if err != nil {
+		return s.res, err
+	}
+	bp, err := s.buffer(ocl.MemWriteOnly, int64(4*groups), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("dotProduct")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, ba, bb, bp, localArg(4*local), uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, global, local); err != nil {
+		return s.res, err
+	}
+	partBytes, err := s.read(bp, int64(4*groups))
+	if err != nil {
+		return s.res, err
+	}
+	var got float64
+	for _, p := range bytesToF32s(partBytes) {
+		got += float64(p)
+	}
+	if env.Verify {
+		if !approxEqual(got, want, 1e-3) {
+			return s.res, fmt.Errorf("oclDotProduct: %v, want %v", got, want)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const fdtd3dSrc = `
+__kernel void stencil3d(__global const float* in, __global float* out,
+                        int dim, float c0, float c1) {
+    int x = (int)get_global_id(0);
+    int y = (int)get_global_id(1);
+    int z = (int)get_global_id(2);
+    if (x >= dim || y >= dim || z >= dim) return;
+    int i = (z * dim + y) * dim + x;
+    if (x == 0 || y == 0 || z == 0 || x == dim - 1 || y == dim - 1 || z == dim - 1) {
+        out[i] = in[i];
+        return;
+    }
+    float acc = c0 * in[i];
+    acc = acc + c1 * in[i - 1];
+    acc = acc + c1 * in[i + 1];
+    acc = acc + c1 * in[i - dim];
+    acc = acc + c1 * in[i + dim];
+    acc = acc + c1 * in[i - dim * dim];
+    acc = acc + c1 * in[i + dim * dim];
+    out[i] = acc;
+}`
+
+// oclFDTD3d: 3D finite-difference time stepping. As in the paper, the
+// problem size is determined at runtime from the device memory size, so
+// the AMD GPU (1 GB) runs a smaller grid than the Tesla (4 GB).
+func runOclFDTD3d(env *Env) (Result, error) {
+	s, err := begin(env, fdtd3dSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	dim := 16
+	for int64(dim*2)*int64(dim*2)*int64(dim*2)*4*2 < s.info.GlobalMemSize/(64<<10) {
+		dim *= 2
+		if dim >= 64 {
+			break
+		}
+	}
+	dim = env.scale(dim)
+	steps := 4
+	n := dim * dim * dim
+	rng := newLCG(23)
+	grid := make([]float32, n)
+	for i := range grid {
+		grid[i] = rng.float32n()
+	}
+	const c0, c1 = float32(0.4), float32(0.1)
+	bufs := [2]ocl.Mem{}
+	if bufs[0], err = s.buffer(ocl.MemReadWrite, int64(4*n), f32sToBytes(grid)); err != nil {
+		return s.res, err
+	}
+	if bufs[1], err = s.buffer(ocl.MemReadWrite, int64(4*n), nil); err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("stencil3d")
+	if err != nil {
+		return s.res, err
+	}
+	for step := 0; step < steps; step++ {
+		src, dst := bufs[step%2], bufs[(step+1)%2]
+		if err := s.args(k, src, dst, int32(dim), c0, c1); err != nil {
+			return s.res, err
+		}
+		if err := s.launchND(k, 3, [3]int{roundUp(dim, 8), roundUp(dim, 4), dim}, [3]int{8, 4, 1}); err != nil {
+			return s.res, err
+		}
+	}
+	outBytes, err := s.read(bufs[steps%2], int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		ref := fdtdRef(grid, dim, steps, c0, c1)
+		center := (dim/2*dim+dim/2)*dim + dim/2
+		for _, idx := range []int{0, center, n - 1} {
+			if !approxEqual(float64(out[idx]), float64(ref[idx]), 1e-3) {
+				return s.res, fmt.Errorf("oclFDTD3d: out[%d] = %v, want %v", idx, out[idx], ref[idx])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func fdtdRef(grid []float32, dim, steps int, c0, c1 float32) []float32 {
+	cur := append([]float32(nil), grid...)
+	next := make([]float32, len(grid))
+	for step := 0; step < steps; step++ {
+		for z := 0; z < dim; z++ {
+			for y := 0; y < dim; y++ {
+				for x := 0; x < dim; x++ {
+					i := (z*dim+y)*dim + x
+					if x == 0 || y == 0 || z == 0 || x == dim-1 || y == dim-1 || z == dim-1 {
+						next[i] = cur[i]
+						continue
+					}
+					acc := c0 * cur[i]
+					acc += c1 * cur[i-1]
+					acc += c1 * cur[i+1]
+					acc += c1 * cur[i-dim]
+					acc += c1 * cur[i+dim]
+					acc += c1 * cur[i-dim*dim]
+					acc += c1 * cur[i+dim*dim]
+					next[i] = acc
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+const histogramSrc = `
+__kernel void histogram(__global const uint* data, __global int* bins, uint n) {
+    size_t i = get_global_id(0);
+    if (i >= n) return;
+    uint v = data[i] & 63u;
+    atomic_inc(&bins[v]);
+}`
+
+// oclHistogram: 64-bin histogram using global atomics.
+func runOclHistogram(env *Env) (Result, error) {
+	s, err := begin(env, histogramSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(65536)
+	rng := newLCG(29)
+	data := make([]uint32, n)
+	want := make([]int32, 64)
+	for i := range data {
+		data[i] = rng.uint32n()
+		want[data[i]&63]++
+	}
+	bd, err := s.buffer(ocl.MemReadOnly, int64(4*n), u32sToBytes(data))
+	if err != nil {
+		return s.res, err
+	}
+	bb, err := s.buffer(ocl.MemReadWrite, 4*64, make([]byte, 4*64))
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("histogram")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bd, bb, uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (n+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	binBytes, err := s.read(bb, 4*64)
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := bytesToU32s(binBytes)
+		for i := 0; i < 64; i++ {
+			if int32(got[i]) != want[i] {
+				return s.res, fmt.Errorf("oclHistogram: bin %d = %d, want %d", i, got[i], want[i])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const matVecMulSrc = `
+__kernel void matVecMul(__global const float* mat, __global const float* vec,
+                        __global float* out, int rows, int cols) {
+    int r = (int)get_global_id(0);
+    if (r >= rows) return;
+    float sum = 0.0f;
+    for (int c = 0; c < cols; c++) {
+        sum = mad(mat[r * cols + c], vec[c], sum);
+    }
+    out[r] = sum;
+}`
+
+// oclMatVecMul: matrix-vector product; like oclFDTD3d, the row count is
+// derived from the device memory size (§IV-B).
+func runOclMatVecMul(env *Env) (Result, error) {
+	s, err := begin(env, matVecMulSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	cols := 512
+	rows := int(s.info.GlobalMemSize / (4 << 30) * 768)
+	if rows < 192 {
+		rows = 192
+	}
+	if rows > 768 {
+		rows = 768
+	}
+	rows = env.scale(rows)
+	rng := newLCG(31)
+	mat := make([]float32, rows*cols)
+	vec := make([]float32, cols)
+	for i := range mat {
+		mat[i] = rng.float32n()
+	}
+	for i := range vec {
+		vec[i] = rng.float32n()
+	}
+	bm, err := s.buffer(ocl.MemReadOnly, int64(4*rows*cols), f32sToBytes(mat))
+	if err != nil {
+		return s.res, err
+	}
+	bv, err := s.buffer(ocl.MemReadOnly, int64(4*cols), f32sToBytes(vec))
+	if err != nil {
+		return s.res, err
+	}
+	bo, err := s.buffer(ocl.MemWriteOnly, int64(4*rows), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("matVecMul")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bm, bv, bo, int32(rows), int32(cols)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (rows+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bo, int64(4*rows))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		for _, r := range []int{0, rows / 2, rows - 1} {
+			var want float64
+			for c := 0; c < cols; c++ {
+				want += float64(mat[r*cols+c]) * float64(vec[c])
+			}
+			if !approxEqual(float64(out[r]), want, 1e-3) {
+				return s.res, fmt.Errorf("oclMatVecMul: out[%d] = %v, want %v", r, out[r], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const matrixMulSrc = `
+__kernel void matrixMul(__global const float* A, __global const float* B,
+                        __global float* C, int n) {
+    __local float tileA[256];
+    __local float tileB[256];
+    int tx = (int)get_local_id(0);
+    int ty = (int)get_local_id(1);
+    int col = (int)get_global_id(0);
+    int row = (int)get_global_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < n; t += 16) {
+        tileA[ty * 16 + tx] = A[row * n + t + tx];
+        tileB[ty * 16 + tx] = B[(t + ty) * n + col];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < 16; k++) {
+            acc = mad(tileA[ty * 16 + k], tileB[k * 16 + tx], acc);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[row * n + col] = acc;
+}`
+
+// oclMatrixMul: tiled dense matrix multiplication with local-memory
+// staging and barriers.
+func runOclMatrixMul(env *Env) (Result, error) {
+	s, err := begin(env, matrixMulSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(64)
+	n = (n + 15) / 16 * 16
+	rng := newLCG(37)
+	A := make([]float32, n*n)
+	B := make([]float32, n*n)
+	for i := range A {
+		A[i] = rng.float32n()
+		B[i] = rng.float32n()
+	}
+	ba, err := s.buffer(ocl.MemReadOnly, int64(4*n*n), f32sToBytes(A))
+	if err != nil {
+		return s.res, err
+	}
+	bb, err := s.buffer(ocl.MemReadOnly, int64(4*n*n), f32sToBytes(B))
+	if err != nil {
+		return s.res, err
+	}
+	bc, err := s.buffer(ocl.MemWriteOnly, int64(4*n*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("matrixMul")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, ba, bb, bc, int32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(k, 2, [3]int{n, n}, [3]int{16, 16}); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bc, int64(4*n*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		C := bytesToF32s(outBytes)
+		for _, idx := range []int{0, n*n/2 + n/3, n*n - 1} {
+			r, col := idx/n, idx%n
+			var want float64
+			for kk := 0; kk < n; kk++ {
+				want += float64(A[r*n+kk]) * float64(B[kk*n+col])
+			}
+			if !approxEqual(float64(C[idx]), want, 1e-3) {
+				return s.res, fmt.Errorf("oclMatrixMul: C[%d] = %v, want %v", idx, C[idx], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}

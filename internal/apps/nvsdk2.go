@@ -1,0 +1,835 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"checl/internal/ocl"
+)
+
+// NVIDIA GPU Computing SDK 3.0 style samples (2/2).
+
+func init() {
+	register(App{Name: "oclMersenneTwister", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclMersenneTwister})
+	register(App{Name: "oclQuasirandomGenerator", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclQuasirandom})
+	register(App{Name: "oclRadixSort", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclRadixSort})
+	register(App{Name: "oclReduction", Suite: "nvsdk", HasKernel: true, WorkGroupX: 128, Run: runOclReduction})
+	register(App{Name: "oclScan", Suite: "nvsdk", HasKernel: true, WorkGroupX: 128, Run: runOclScan})
+	register(App{Name: "oclSimpleMultiGPU", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclSimpleMultiGPU})
+	register(App{Name: "oclSortingNetworks", Suite: "nvsdk", HasKernel: true, WorkGroupX: 512, Run: runOclSortingNetworks})
+	register(App{Name: "oclTranspose", Suite: "nvsdk", HasKernel: true, WorkGroupX: 16, Run: runOclTranspose})
+	register(App{Name: "oclVectorAdd", Suite: "nvsdk", HasKernel: true, WorkGroupX: 64, Run: runOclVectorAdd})
+}
+
+const mersenneSrc = `
+__kernel void mtGenerate(__global const uint* seeds, __global float* out,
+                         int perThread, uint nThreads) {
+    size_t tid = get_global_id(0);
+    if (tid >= nThreads) return;
+    uint state = seeds[tid];
+    for (int i = 0; i < perThread; i++) {
+        state = state * 1664525u + 1013904223u;
+        uint bits = (state >> 9) | 0x3f800000u;
+        out[tid * (uint)perThread + (uint)i] = as_float(bits) - 1.0f;
+    }
+}`
+
+// oclMersenneTwister: per-thread PRNG stream generation (the original uses
+// the MT19937 recurrence; the structure — seeds in, per-thread streams
+// out — is preserved with an LCG tempered into [0,1)).
+func runOclMersenneTwister(env *Env) (Result, error) {
+	s, err := begin(env, mersenneSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	threads := env.scale(4096)
+	perThread := 16
+	rng := newLCG(41)
+	seeds := make([]uint32, threads)
+	for i := range seeds {
+		seeds[i] = rng.uint32n()
+	}
+	bs, err := s.buffer(ocl.MemReadOnly, int64(4*threads), u32sToBytes(seeds))
+	if err != nil {
+		return s.res, err
+	}
+	bo, err := s.buffer(ocl.MemWriteOnly, int64(4*threads*perThread), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("mtGenerate")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bs, bo, int32(perThread), uint32(threads)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (threads+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bo, int64(4*threads*perThread))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		// Mirror the kernel for thread 0 and the last thread.
+		for _, tid := range []int{0, threads - 1} {
+			state := seeds[tid]
+			for i := 0; i < perThread; i++ {
+				state = state*1664525 + 1013904223
+				bits := (state >> 9) | 0x3f800000
+				want := f32FromBits(bits) - 1
+				if out[tid*perThread+i] != want {
+					return s.res, fmt.Errorf("oclMersenneTwister: stream %d[%d] = %v, want %v",
+						tid, i, out[tid*perThread+i], want)
+				}
+			}
+			// All outputs must lie in [0, 1).
+			for i := 0; i < perThread; i++ {
+				v := out[tid*perThread+i]
+				if v < 0 || v >= 1 {
+					return s.res, fmt.Errorf("oclMersenneTwister: out of range value %v", v)
+				}
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const quasirandomSrc = `
+__kernel void quasirandom(__global float* out, uint n) {
+    size_t i = get_global_id(0);
+    if (i >= n) return;
+    uint v = (uint)i;
+    uint r = 0u;
+    for (int b = 0; b < 24; b++) {
+        r = (r << 1) | (v & 1u);
+        v = v >> 1;
+    }
+    out[i] = (float)r / 16777216.0f;
+}`
+
+// oclQuasirandomGenerator: van der Corput radical-inverse sequence (the
+// structure of the SDK's Sobol/Niederreiter generator: integer bit
+// manipulation producing a low-discrepancy [0,1) sequence).
+func runOclQuasirandom(env *Env) (Result, error) {
+	s, err := begin(env, quasirandomSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(32768)
+	bo, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("quasirandom")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bo, uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (n+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bo, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		for _, i := range []int{0, 1, 2, 3, n - 1} {
+			var r uint32
+			v := uint32(i)
+			for b := 0; b < 24; b++ {
+				r = r<<1 | v&1
+				v >>= 1
+			}
+			want := float32(r) / 16777216.0
+			if out[i] != want {
+				return s.res, fmt.Errorf("oclQuasirandomGenerator: out[%d] = %v, want %v", i, out[i], want)
+			}
+		}
+		// Low-discrepancy property: the mean of the sequence approaches 0.5.
+		var mean float64
+		for _, v := range out {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		if mean < 0.45 || mean > 0.55 {
+			return s.res, fmt.Errorf("oclQuasirandomGenerator: mean %v, want ~0.5", mean)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const radixSortSrc = `
+__kernel void digitCount(__global const uint* keys, __global uint* counts,
+                         int blockSize, uint shift, uint n, uint nBlocks) {
+    size_t block = get_global_id(0);
+    if (block >= nBlocks) return;
+    uint base = (uint)block * (uint)blockSize;
+    uint c0 = 0u;
+    uint c1 = 0u;
+    uint c2 = 0u;
+    uint c3 = 0u;
+    for (int i = 0; i < blockSize; i++) {
+        uint idx = base + (uint)i;
+        if (idx >= n) break;
+        switch ((int)((keys[idx] >> shift) & 3u)) {
+        case 0:
+            c0 = c0 + 1u;
+            break;
+        case 1:
+            c1 = c1 + 1u;
+            break;
+        case 2:
+            c2 = c2 + 1u;
+            break;
+        default:
+            c3 = c3 + 1u;
+        }
+    }
+    counts[block * 4u + 0u] = c0;
+    counts[block * 4u + 1u] = c1;
+    counts[block * 4u + 2u] = c2;
+    counts[block * 4u + 3u] = c3;
+}
+__kernel void scatter(__global const uint* keys, __global uint* out,
+                      __global const uint* offsets,
+                      int blockSize, uint shift, uint n, uint nBlocks) {
+    size_t block = get_global_id(0);
+    if (block >= nBlocks) return;
+    uint base = (uint)block * (uint)blockSize;
+    uint o0 = offsets[block * 4u + 0u];
+    uint o1 = offsets[block * 4u + 1u];
+    uint o2 = offsets[block * 4u + 2u];
+    uint o3 = offsets[block * 4u + 3u];
+    for (int i = 0; i < blockSize; i++) {
+        uint idx = base + (uint)i;
+        if (idx >= n) break;
+        uint key = keys[idx];
+        switch ((int)((key >> shift) & 3u)) {
+        case 0:
+            out[o0] = key;
+            o0 = o0 + 1u;
+            break;
+        case 1:
+            out[o1] = key;
+            o1 = o1 + 1u;
+            break;
+        case 2:
+            out[o2] = key;
+            o2 = o2 + 1u;
+            break;
+        default:
+            out[o3] = key;
+            o3 = o3 + 1u;
+        }
+    }
+}`
+
+// runRadixSortCommon implements the block-count/host-scan/scatter LSD
+// radix sort shared by oclRadixSort and the SHOC Sort benchmark.
+func runRadixSortCommon(env *Env, n, bits int) (Result, error) {
+	s, err := begin(env, radixSortSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	blockSize := 64
+	blocks := (n + blockSize - 1) / blockSize
+	rng := newLCG(43)
+	keys := make([]uint32, n)
+	mask := uint32(1)<<uint(bits) - 1
+	for i := range keys {
+		keys[i] = rng.uint32n() & mask
+	}
+	bufA, err := s.buffer(ocl.MemReadWrite, int64(4*n), u32sToBytes(keys))
+	if err != nil {
+		return s.res, err
+	}
+	bufB, err := s.buffer(ocl.MemReadWrite, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bCounts, err := s.buffer(ocl.MemReadWrite, int64(4*4*blocks), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bOffsets, err := s.buffer(ocl.MemReadWrite, int64(4*4*blocks), nil)
+	if err != nil {
+		return s.res, err
+	}
+	kCount, err := s.kernel("digitCount")
+	if err != nil {
+		return s.res, err
+	}
+	kScatter, err := s.kernel("scatter")
+	if err != nil {
+		return s.res, err
+	}
+	src, dst := bufA, bufB
+	for shift := 0; shift < bits; shift += 2 {
+		if err := s.args(kCount, src, bCounts, int32(blockSize), uint32(shift), uint32(n), uint32(blocks)); err != nil {
+			return s.res, err
+		}
+		if err := s.launch(kCount, roundUp(blocks, 64), 64); err != nil {
+			return s.res, err
+		}
+		countBytes, err := s.read(bCounts, int64(4*4*blocks))
+		if err != nil {
+			return s.res, err
+		}
+		counts := bytesToU32s(countBytes)
+		// Host-side exclusive scan in digit-major order for a stable sort.
+		offsets := make([]uint32, 4*blocks)
+		var running uint32
+		for d := 0; d < 4; d++ {
+			for b := 0; b < blocks; b++ {
+				offsets[b*4+d] = running
+				running += counts[b*4+d]
+			}
+		}
+		if err := s.write(bOffsets, u32sToBytes(offsets)); err != nil {
+			return s.res, err
+		}
+		if err := s.args(kScatter, src, dst, bOffsets, int32(blockSize), uint32(shift), uint32(n), uint32(blocks)); err != nil {
+			return s.res, err
+		}
+		if err := s.launch(kScatter, roundUp(blocks, 64), 64); err != nil {
+			return s.res, err
+		}
+		src, dst = dst, src
+	}
+	outBytes, err := s.read(src, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := bytesToU32s(outBytes)
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				return s.res, fmt.Errorf("radix sort: out[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+// oclRadixSort: LSD radix sort over 16-bit keys. Invokes many small
+// kernels with host work between them — the call-heavy pattern that
+// exposes API-forwarding overheads (§IV-A).
+func runOclRadixSort(env *Env) (Result, error) {
+	return runRadixSortCommon(env, env.scale(8192), 16)
+}
+
+const reductionSrc = `
+__kernel void reduceSum(__global const float* in, __global float* out,
+                        __local float* scratch, uint n) {
+    size_t gid = get_global_id(0);
+    size_t lid = get_local_id(0);
+    float acc = 0.0f;
+    size_t stride = get_global_size(0);
+    for (size_t i = gid; i < n; i += stride) {
+        acc = acc + in[i];
+    }
+    scratch[lid] = acc;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint s = get_local_size(0) / 2; s > 0u; s >>= 1) {
+        if (lid < s) scratch[lid] = scratch[lid] + scratch[lid + s];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0u) out[get_group_id(0)] = scratch[0];
+}`
+
+// runReductionCommon: grid-stride tree reduction (two kernel passes),
+// shared by oclReduction and the SHOC Reduction benchmark.
+func runReductionCommon(env *Env, n int, local int) (Result, error) {
+	s, err := begin(env, reductionSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := newLCG(47)
+	in := make([]float32, n)
+	var want float64
+	for i := range in {
+		in[i] = rng.float32n()
+		want += float64(in[i])
+	}
+	groups := 16
+	bi, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(in))
+	if err != nil {
+		return s.res, err
+	}
+	bp, err := s.buffer(ocl.MemReadWrite, int64(4*groups), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bf, err := s.buffer(ocl.MemWriteOnly, 4, nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("reduceSum")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bi, bp, localArg(4*local), uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, groups*local, local); err != nil {
+		return s.res, err
+	}
+	// Second pass: one group reduces the partials.
+	if err := s.args(k, bp, bf, localArg(4*local), uint32(groups)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, local, local); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bf, 4)
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := float64(bytesToF32s(outBytes)[0])
+		if !approxEqual(got, want, 1e-3) {
+			return s.res, fmt.Errorf("reduction: %v, want %v", got, want)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+// oclReduction: parallel sum reduction.
+func runOclReduction(env *Env) (Result, error) {
+	return runReductionCommon(env, env.scale(131072), 128)
+}
+
+const scanSrc = `
+__kernel void scanBlock(__global const float* in, __global float* out,
+                        __global float* blockSums,
+                        __local float* a, __local float* b, uint n) {
+    size_t gid = get_global_id(0);
+    size_t lid = get_local_id(0);
+    size_t lsz = get_local_size(0);
+    float v = 0.0f;
+    if (gid < n) v = in[gid];
+    a[lid] = v;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint off = 1u; off < lsz; off <<= 1) {
+        if (lid >= off) {
+            b[lid] = a[lid] + a[lid - off];
+        } else {
+            b[lid] = a[lid];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        a[lid] = b[lid];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (gid < n) out[gid] = a[lid];
+    if (lid == lsz - 1u) blockSums[get_group_id(0)] = a[lid];
+}
+__kernel void addOffsets(__global float* data, __global const float* offsets, uint n) {
+    size_t gid = get_global_id(0);
+    if (gid >= n) return;
+    data[gid] = data[gid] + offsets[get_group_id(0)];
+}`
+
+// runScanCommon: Hillis–Steele inclusive scan per block, host scan of the
+// block sums, then an offset-add pass. oclScan and SHOC Scan share it.
+func runScanCommon(env *Env, n, local int) (Result, error) {
+	s, err := begin(env, scanSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	global := (n + local - 1) / local * local
+	groups := global / local
+	rng := newLCG(53)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = rng.float32n()
+	}
+	bi, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(in))
+	if err != nil {
+		return s.res, err
+	}
+	bo, err := s.buffer(ocl.MemReadWrite, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bsums, err := s.buffer(ocl.MemReadWrite, int64(4*groups), nil)
+	if err != nil {
+		return s.res, err
+	}
+	boff, err := s.buffer(ocl.MemReadOnly, int64(4*groups), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k1, err := s.kernel("scanBlock")
+	if err != nil {
+		return s.res, err
+	}
+	k2, err := s.kernel("addOffsets")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k1, bi, bo, bsums, localArg(4*local), localArg(4*local), uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k1, global, local); err != nil {
+		return s.res, err
+	}
+	sumBytes, err := s.read(bsums, int64(4*groups))
+	if err != nil {
+		return s.res, err
+	}
+	sums := bytesToF32s(sumBytes)
+	offsets := make([]float32, groups)
+	var running float32
+	for i := 0; i < groups; i++ {
+		offsets[i] = running
+		running += sums[i]
+	}
+	if err := s.write(boff, f32sToBytes(offsets)); err != nil {
+		return s.res, err
+	}
+	if err := s.args(k2, bo, boff, uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k2, global, local); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bo, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		var acc float64
+		for _, i := range []int{0, n / 3, n - 1} {
+			acc = 0
+			for j := 0; j <= i; j++ {
+				acc += float64(in[j])
+			}
+			if !approxEqual(float64(out[i]), acc, 1e-3) {
+				return s.res, fmt.Errorf("scan: out[%d] = %v, want %v", i, out[i], acc)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+// oclScan: inclusive prefix sum.
+func runOclScan(env *Env) (Result, error) {
+	return runScanCommon(env, env.scale(32768), 128)
+}
+
+const multiGPUSrc = `
+__kernel void reduceChunk(__global const float* in, __global float* partial,
+                          __local float* scratch, uint n) {
+    size_t gid = get_global_id(0);
+    size_t lid = get_local_id(0);
+    float acc = 0.0f;
+    size_t stride = get_global_size(0);
+    for (size_t i = gid; i < n; i += stride) {
+        acc = acc + in[i];
+    }
+    scratch[lid] = acc;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint s = get_local_size(0) / 2; s > 0u; s >>= 1) {
+        if (lid < s) scratch[lid] = scratch[lid] + scratch[lid + s];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0u) partial[get_group_id(0)] = scratch[0];
+}`
+
+// oclSimpleMultiGPU: splits a reduction across every device the platform
+// exposes, one command queue per device. On NVIDIA OpenCL this is the one
+// GPU; on AMD OpenCL the work spans the Radeon and the CPU device.
+func runOclSimpleMultiGPU(env *Env) (Result, error) {
+	api := env.API
+	res := Result{}
+	plats, err := api.GetPlatformIDs()
+	if err != nil {
+		return res, err
+	}
+	devs, err := api.GetDeviceIDs(plats[0], ocl.DeviceTypeAll)
+	if err != nil {
+		return res, err
+	}
+	ctx, err := api.CreateContext(devs)
+	if err != nil {
+		return res, err
+	}
+	prog, err := api.CreateProgramWithSource(ctx, multiGPUSrc)
+	if err != nil {
+		return res, err
+	}
+	if err := api.BuildProgram(prog, ""); err != nil {
+		return res, err
+	}
+	n := env.scale(65536)
+	rng := newLCG(59)
+	data := make([]float32, n)
+	var want float64
+	for i := range data {
+		data[i] = rng.float32n()
+		want += float64(data[i])
+	}
+	per := n / len(devs)
+	var got float64
+	const local, groups = 64, 8
+	for di, dev := range devs {
+		q, err := api.CreateCommandQueue(ctx, dev, 0)
+		if err != nil {
+			return res, err
+		}
+		lo := di * per
+		hi := lo + per
+		if di == len(devs)-1 {
+			hi = n
+		}
+		chunk := data[lo:hi]
+		bm, err := api.CreateBuffer(ctx, ocl.MemReadOnly|ocl.MemCopyHostPtr, int64(4*len(chunk)), f32sToBytes(chunk))
+		if err != nil {
+			return res, err
+		}
+		bp, err := api.CreateBuffer(ctx, ocl.MemWriteOnly, 4*groups, nil)
+		if err != nil {
+			return res, err
+		}
+		k, err := api.CreateKernel(prog, "reduceChunk")
+		if err != nil {
+			return res, err
+		}
+		sess := &session{env: env, api: api, q: q, res: res}
+		if err := sess.args(k, bm, bp, localArg(4*local), uint32(len(chunk))); err != nil {
+			return res, err
+		}
+		if err := sess.launch(k, groups*local, local); err != nil {
+			return sess.res, err
+		}
+		partBytes, _, err := api.EnqueueReadBuffer(q, bp, true, 0, 4*groups, nil)
+		if err != nil {
+			return sess.res, err
+		}
+		for _, p := range bytesToF32s(partBytes) {
+			got += float64(p)
+		}
+		res = sess.res
+	}
+	if env.Verify {
+		if !approxEqual(got, want, 1e-3) {
+			return res, fmt.Errorf("oclSimpleMultiGPU: sum %v, want %v", got, want)
+		}
+		res.Verified = true
+	}
+	return res, nil
+}
+
+const sortingNetworksSrc = `
+__kernel void bitonicSortLocal(__global uint* keys, __local uint* tile, uint n) {
+    size_t lid = get_local_id(0);
+    size_t lsz = get_local_size(0);
+    tile[lid] = keys[lid];
+    tile[lid + lsz] = keys[lid + lsz];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint size = 2u; size <= n; size <<= 1) {
+        for (uint stride = size / 2u; stride > 0u; stride >>= 1) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            uint pos = 2u * (uint)lid - ((uint)lid & (stride - 1u));
+            uint other = pos + stride;
+            uint dir = ((uint)pos & size) == 0u ? 0u : 1u;
+            uint x = tile[pos];
+            uint y = tile[other];
+            uint doSwap = 0u;
+            if (dir == 0u && x > y) doSwap = 1u;
+            if (dir == 1u && x < y) doSwap = 1u;
+            if (doSwap == 1u) {
+                tile[pos] = y;
+                tile[other] = x;
+            }
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    keys[lid] = tile[lid];
+    keys[lid + lsz] = tile[lid + lsz];
+}`
+
+// oclSortingNetworks: bitonic sort of 1024 keys by one 512-wide work-group
+// — the geometry that does not fit the AMD GPU's 256 work-item x-limit
+// (the non-portable sample of §IV-A).
+func runOclSortingNetworks(env *Env) (Result, error) {
+	s, err := begin(env, sortingNetworksSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	const n, local = 1024, 512
+	rng := newLCG(61)
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.uint32n()
+	}
+	bk, err := s.buffer(ocl.MemReadWrite, 4*n, u32sToBytes(keys))
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("bitonicSortLocal")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bk, localArg(4*n), uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, local, local); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bk, 4*n)
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := bytesToU32s(outBytes)
+		for i := 1; i < n; i++ {
+			if got[i-1] > got[i] {
+				return s.res, fmt.Errorf("oclSortingNetworks: not sorted at %d", i)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const transposeSrc = `
+__kernel void transpose(__global const float* in, __global float* out,
+                        __local float* tile, int w, int h) {
+    int x = (int)get_global_id(0);
+    int y = (int)get_global_id(1);
+    int lx = (int)get_local_id(0);
+    int ly = (int)get_local_id(1);
+    int lw = (int)get_local_size(0);
+    if (x < w && y < h) tile[ly * lw + lx] = in[y * w + x];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int ox = (int)get_group_id(1) * (int)get_local_size(1) + lx;
+    int oy = (int)get_group_id(0) * lw + ly;
+    if (ox < h && oy < w) out[oy * h + ox] = tile[lx * lw + ly];
+}`
+
+// oclTranspose: tiled matrix transpose through local memory.
+func runOclTranspose(env *Env) (Result, error) {
+	s, err := begin(env, transposeSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	w, h := env.scale(128), 64
+	w = (w / 16) * 16
+	rng := newLCG(67)
+	in := make([]float32, w*h)
+	for i := range in {
+		in[i] = rng.float32n()
+	}
+	bi, err := s.buffer(ocl.MemReadOnly, int64(4*w*h), f32sToBytes(in))
+	if err != nil {
+		return s.res, err
+	}
+	bo, err := s.buffer(ocl.MemWriteOnly, int64(4*w*h), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("transpose")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bi, bo, localArg(4*16*16), int32(w), int32(h)); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(k, 2, [3]int{w, h}, [3]int{16, 16}); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bo, int64(4*w*h))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		for y := 0; y < h; y += 7 {
+			for x := 0; x < w; x += 13 {
+				if out[x*h+y] != in[y*w+x] {
+					return s.res, fmt.Errorf("oclTranspose: [%d,%d] = %v, want %v", x, y, out[x*h+y], in[y*w+x])
+				}
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const vectorAddSrc = `
+__kernel void vectorAdd(__global const float* a, __global const float* b,
+                        __global float* c, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}`
+
+// oclVectorAdd: the canonical first OpenCL program.
+func runOclVectorAdd(env *Env) (Result, error) {
+	s, err := begin(env, vectorAddSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(131072)
+	rng := newLCG(71)
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.float32n()
+		b[i] = rng.float32n()
+	}
+	ba, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(a))
+	if err != nil {
+		return s.res, err
+	}
+	bb, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(b))
+	if err != nil {
+		return s.res, err
+	}
+	bc, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("vectorAdd")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, ba, bb, bc, uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (n+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bc, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		out := bytesToF32s(outBytes)
+		for i := 0; i < n; i += 997 {
+			if out[i] != a[i]+b[i] {
+				return s.res, fmt.Errorf("oclVectorAdd: c[%d] = %v, want %v", i, out[i], a[i]+b[i])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func f32FromBits(bits uint32) float32 {
+	return bytesToF32s([]byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24)})[0]
+}

@@ -1,0 +1,339 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"checl/internal/ocl"
+)
+
+// Parboil benchmark ports (cp, mri-fhd, mri-q), translated from CUDA to
+// OpenCL as the paper did for its evaluation, with the paper's small/large
+// dataset variants.
+
+func init() {
+	register(App{Name: "cp_default", Suite: "parboil", HasKernel: true, WorkGroupX: 64,
+		Run: func(e *Env) (Result, error) { return runCP(e, 64, 128) }})
+	register(App{Name: "mri-fhd_small", Suite: "parboil", HasKernel: true, WorkGroupX: 64,
+		Run: func(e *Env) (Result, error) { return runMRIFHD(e, 256, 512) }})
+	register(App{Name: "mri-fhd_large", Suite: "parboil", HasKernel: true, WorkGroupX: 64,
+		Run: func(e *Env) (Result, error) { return runMRIFHD(e, 512, 1024) }})
+	register(App{Name: "mri-q_small", Suite: "parboil", HasKernel: true, WorkGroupX: 64,
+		Run: func(e *Env) (Result, error) { return runMRIQ(e, 256, 512) }})
+	register(App{Name: "mri-q_large", Suite: "parboil", HasKernel: true, WorkGroupX: 64,
+		Run: func(e *Env) (Result, error) { return runMRIQ(e, 512, 1024) }})
+}
+
+const cpSrc = `
+__kernel void cenergy(__global const float* atomX, __global const float* atomY,
+                      __global const float* atomQ,
+                      __global float* grid,
+                      int gridW, int nAtoms, float spacing) {
+    int gx = (int)get_global_id(0);
+    int gy = (int)get_global_id(1);
+    if (gx >= gridW || gy >= gridW) return;
+    float x = (float)gx * spacing;
+    float y = (float)gy * spacing;
+    float energy = 0.0f;
+    for (int a = 0; a < nAtoms; a++) {
+        float dx = x - atomX[a];
+        float dy = y - atomY[a];
+        float r2 = dx * dx + dy * dy + 0.01f;
+        energy = energy + atomQ[a] * rsqrt(r2);
+    }
+    grid[gy * gridW + gx] = energy;
+}`
+
+// runCP: Coulombic potential over a 2D grid slice (Parboil cp).
+func runCP(env *Env, gridW, nAtoms int) (Result, error) {
+	s, err := begin(env, cpSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	gridW = env.scale(gridW)
+	const spacing = float32(0.1)
+	rng := newLCG(107)
+	ax := make([]float32, nAtoms)
+	ay := make([]float32, nAtoms)
+	aq := make([]float32, nAtoms)
+	for i := 0; i < nAtoms; i++ {
+		ax[i] = float32(gridW) * spacing * rng.float32n()
+		ay[i] = float32(gridW) * spacing * rng.float32n()
+		aq[i] = 2*rng.float32n() - 1
+	}
+	bx, err := s.buffer(ocl.MemReadOnly, int64(4*nAtoms), f32sToBytes(ax))
+	if err != nil {
+		return s.res, err
+	}
+	by, err := s.buffer(ocl.MemReadOnly, int64(4*nAtoms), f32sToBytes(ay))
+	if err != nil {
+		return s.res, err
+	}
+	bq, err := s.buffer(ocl.MemReadOnly, int64(4*nAtoms), f32sToBytes(aq))
+	if err != nil {
+		return s.res, err
+	}
+	bg, err := s.buffer(ocl.MemWriteOnly, int64(4*gridW*gridW), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("cenergy")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bx, by, bq, bg, int32(gridW), int32(nAtoms), spacing); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(k, 2, [3]int{roundUp(gridW, 64), gridW}, [3]int{64, 1}); err != nil {
+		return s.res, err
+	}
+	gridBytes, err := s.read(bg, int64(4*gridW*gridW))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		grid := bytesToF32s(gridBytes)
+		for _, idx := range []int{0, gridW*gridW/2 + 3, gridW*gridW - 1} {
+			gx, gy := idx%gridW, idx/gridW
+			x := float64(gx) * float64(spacing)
+			y := float64(gy) * float64(spacing)
+			var want float64
+			for a := 0; a < nAtoms; a++ {
+				dx := x - float64(ax[a])
+				dy := y - float64(ay[a])
+				want += float64(aq[a]) / math.Sqrt(dx*dx+dy*dy+0.01)
+			}
+			if !approxEqual(float64(grid[idx]), want, 1e-2) {
+				return s.res, fmt.Errorf("cp: grid[%d] = %v, want %v", idx, grid[idx], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const mriFhdSrc = `
+__kernel void computeFHD(__global const float* rPhi, __global const float* iPhi,
+                         __global const float* kx, __global const float* ky,
+                         __global const float* x, __global const float* y,
+                         __global float* rFHD, __global float* iFHD,
+                         int numK, uint numX) {
+    size_t i = get_global_id(0);
+    if (i >= numX) return;
+    float xi = x[i];
+    float yi = y[i];
+    float rAcc = 0.0f;
+    float iAcc = 0.0f;
+    for (int k = 0; k < numK; k++) {
+        float arg = 6.2831853f * (kx[k] * xi + ky[k] * yi);
+        float c = cos(arg);
+        float s = sin(arg);
+        rAcc = rAcc + rPhi[k] * c - iPhi[k] * s;
+        iAcc = iAcc + iPhi[k] * c + rPhi[k] * s;
+    }
+    rFHD[i] = rAcc;
+    iFHD[i] = iAcc;
+}`
+
+// runMRIFHD: Parboil mri-fhd — F^H·d computation for non-Cartesian MRI
+// reconstruction.
+func runMRIFHD(env *Env, numK, numX int) (Result, error) {
+	s, err := begin(env, mriFhdSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	numX = env.scale(numX)
+	rng := newLCG(109)
+	rPhi := make([]float32, numK)
+	iPhi := make([]float32, numK)
+	kx := make([]float32, numK)
+	ky := make([]float32, numK)
+	for i := 0; i < numK; i++ {
+		rPhi[i] = rng.float32n() - 0.5
+		iPhi[i] = rng.float32n() - 0.5
+		kx[i] = rng.float32n() - 0.5
+		ky[i] = rng.float32n() - 0.5
+	}
+	x := make([]float32, numX)
+	y := make([]float32, numX)
+	for i := 0; i < numX; i++ {
+		x[i] = rng.float32n()
+		y[i] = rng.float32n()
+	}
+	mk := func(d []float32, ro bool) (ocl.Mem, error) {
+		fl := ocl.MemReadOnly
+		if !ro {
+			fl = ocl.MemWriteOnly
+		}
+		if d == nil {
+			return s.buffer(fl, int64(4*numX), nil)
+		}
+		return s.buffer(fl, int64(4*len(d)), f32sToBytes(d))
+	}
+	brp, err := mk(rPhi, true)
+	if err != nil {
+		return s.res, err
+	}
+	bip, err := mk(iPhi, true)
+	if err != nil {
+		return s.res, err
+	}
+	bkx, err := mk(kx, true)
+	if err != nil {
+		return s.res, err
+	}
+	bky, err := mk(ky, true)
+	if err != nil {
+		return s.res, err
+	}
+	bx, err := mk(x, true)
+	if err != nil {
+		return s.res, err
+	}
+	bby, err := mk(y, true)
+	if err != nil {
+		return s.res, err
+	}
+	brf, err := mk(nil, false)
+	if err != nil {
+		return s.res, err
+	}
+	bif, err := mk(nil, false)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("computeFHD")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, brp, bip, bkx, bky, bx, bby, brf, bif, int32(numK), uint32(numX)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (numX+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	rBytes, err := s.read(brf, int64(4*numX))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		rOut := bytesToF32s(rBytes)
+		for _, i := range []int{0, numX - 1} {
+			var want float64
+			for kk := 0; kk < numK; kk++ {
+				arg := 2 * math.Pi * (float64(kx[kk])*float64(x[i]) + float64(ky[kk])*float64(y[i]))
+				want += float64(rPhi[kk])*math.Cos(arg) - float64(iPhi[kk])*math.Sin(arg)
+			}
+			if !approxEqual(float64(rOut[i]), want, 2e-2) {
+				return s.res, fmt.Errorf("mri-fhd: rFHD[%d] = %v, want %v", i, rOut[i], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const mriQSrc = `
+__kernel void computeQ(__global const float* phiMag,
+                       __global const float* kx, __global const float* ky,
+                       __global const float* x, __global const float* y,
+                       __global float* rQ, __global float* iQ,
+                       int numK, uint numX) {
+    size_t i = get_global_id(0);
+    if (i >= numX) return;
+    float xi = x[i];
+    float yi = y[i];
+    float rAcc = 0.0f;
+    float iAcc = 0.0f;
+    for (int k = 0; k < numK; k++) {
+        float arg = 6.2831853f * (kx[k] * xi + ky[k] * yi);
+        rAcc = mad(phiMag[k], cos(arg), rAcc);
+        iAcc = mad(phiMag[k], sin(arg), iAcc);
+    }
+    rQ[i] = rAcc;
+    iQ[i] = iAcc;
+}`
+
+// runMRIQ: Parboil mri-q — the Q matrix computation.
+func runMRIQ(env *Env, numK, numX int) (Result, error) {
+	s, err := begin(env, mriQSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	numX = env.scale(numX)
+	rng := newLCG(113)
+	phi := make([]float32, numK)
+	kx := make([]float32, numK)
+	ky := make([]float32, numK)
+	for i := 0; i < numK; i++ {
+		phi[i] = rng.float32n()
+		kx[i] = rng.float32n() - 0.5
+		ky[i] = rng.float32n() - 0.5
+	}
+	x := make([]float32, numX)
+	y := make([]float32, numX)
+	for i := 0; i < numX; i++ {
+		x[i] = rng.float32n()
+		y[i] = rng.float32n()
+	}
+	ro := func(d []float32) (ocl.Mem, error) {
+		return s.buffer(ocl.MemReadOnly, int64(4*len(d)), f32sToBytes(d))
+	}
+	bphi, err := ro(phi)
+	if err != nil {
+		return s.res, err
+	}
+	bkx, err := ro(kx)
+	if err != nil {
+		return s.res, err
+	}
+	bky, err := ro(ky)
+	if err != nil {
+		return s.res, err
+	}
+	bx, err := ro(x)
+	if err != nil {
+		return s.res, err
+	}
+	bby, err := ro(y)
+	if err != nil {
+		return s.res, err
+	}
+	brq, err := s.buffer(ocl.MemWriteOnly, int64(4*numX), nil)
+	if err != nil {
+		return s.res, err
+	}
+	biq, err := s.buffer(ocl.MemWriteOnly, int64(4*numX), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("computeQ")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bphi, bkx, bky, bx, bby, brq, biq, int32(numK), uint32(numX)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (numX+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	rBytes, err := s.read(brq, int64(4*numX))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		rOut := bytesToF32s(rBytes)
+		for _, i := range []int{0, numX / 2, numX - 1} {
+			var want float64
+			for kk := 0; kk < numK; kk++ {
+				arg := 2 * math.Pi * (float64(kx[kk])*float64(x[i]) + float64(ky[kk])*float64(y[i]))
+				want += float64(phi[kk]) * math.Cos(arg)
+			}
+			if !approxEqual(float64(rOut[i]), want, 2e-2) {
+				return s.res, fmt.Errorf("mri-q: rQ[%d] = %v, want %v", i, rOut[i], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}

@@ -1,0 +1,831 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"checl/internal/ocl"
+)
+
+// SHOC benchmark suite (version 0.9.1 style). Spmv is omitted exactly as
+// in the paper (it misbehaved even under native OpenCL, §IV fn. 1).
+
+func init() {
+	register(App{Name: "BusSpeedDownload", Suite: "shoc", HasKernel: false, Run: runBusSpeedDownload})
+	register(App{Name: "BusSpeedReadback", Suite: "shoc", HasKernel: false, Run: runBusSpeedReadback})
+	register(App{Name: "DeviceMemory", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runDeviceMemory})
+	register(App{Name: "FFT", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runFFT})
+	register(App{Name: "KernelCompile", Suite: "shoc", HasKernel: false, Run: runKernelCompile})
+	register(App{Name: "MaxFlops", Suite: "shoc", HasKernel: true, WorkGroupX: 128, Run: runMaxFlops})
+	register(App{Name: "MD", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runMD})
+	register(App{Name: "QueueDelay", Suite: "shoc", HasKernel: true, WorkGroupX: 32, Run: runQueueDelay})
+	register(App{Name: "Reduction", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runShocReduction})
+	register(App{Name: "S3D", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runS3D})
+	register(App{Name: "SGEMM", Suite: "shoc", HasKernel: true, WorkGroupX: 16, Run: runSGEMM})
+	register(App{Name: "Scan", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runShocScan})
+	register(App{Name: "Sort", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runShocSort})
+	register(App{Name: "Stencil2D", Suite: "shoc", HasKernel: true, WorkGroupX: 32, Run: runStencil2D})
+	register(App{Name: "Triad", Suite: "shoc", HasKernel: true, WorkGroupX: 64, Run: runTriad})
+}
+
+// BusSpeedDownload: host-to-device bandwidth sweep; no kernel.
+func runBusSpeedDownload(env *Env) (Result, error) {
+	s, err := begin(env, "")
+	if err != nil {
+		return Result{}, err
+	}
+	for _, mb := range []int{1, 4, 16} {
+		size := int64(env.scale(mb << 20))
+		m, err := s.buffer(ocl.MemReadWrite, size, nil)
+		if err != nil {
+			return s.res, err
+		}
+		if err := s.write(m, make([]byte, size)); err != nil {
+			return s.res, err
+		}
+		if err := s.api.ReleaseMemObject(m); err != nil {
+			return s.res, err
+		}
+	}
+	s.res.Verified = env.Verify
+	return s.res, s.finish()
+}
+
+// BusSpeedReadback: device-to-host bandwidth sweep; no kernel.
+func runBusSpeedReadback(env *Env) (Result, error) {
+	s, err := begin(env, "")
+	if err != nil {
+		return Result{}, err
+	}
+	for _, mb := range []int{1, 4, 16} {
+		size := int64(env.scale(mb << 20))
+		m, err := s.buffer(ocl.MemReadWrite, size, make([]byte, size))
+		if err != nil {
+			return s.res, err
+		}
+		if _, err := s.read(m, size); err != nil {
+			return s.res, err
+		}
+		if err := s.api.ReleaseMemObject(m); err != nil {
+			return s.res, err
+		}
+	}
+	s.res.Verified = env.Verify
+	return s.res, s.finish()
+}
+
+const deviceMemorySrc = `
+__kernel void readGlobal(__global const float* data, __global float* out, int repeats, uint n) {
+    size_t gid = get_global_id(0);
+    if (gid >= n) return;
+    float acc = 0.0f;
+    for (int r = 0; r < repeats; r++) {
+        size_t idx = (gid + (size_t)r * 1024u) % n;
+        acc = acc + data[idx];
+    }
+    out[gid] = acc;
+}
+__kernel void writeGlobal(__global float* data, int repeats, uint n) {
+    size_t gid = get_global_id(0);
+    if (gid >= n) return;
+    for (int r = 0; r < repeats; r++) {
+        size_t idx = (gid + (size_t)r * 1024u) % n;
+        data[idx] = (float)gid;
+    }
+}`
+
+// DeviceMemory: global-memory read and write bandwidth kernels.
+func runDeviceMemory(env *Env) (Result, error) {
+	s, err := begin(env, deviceMemorySrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(65536)
+	rng := newLCG(73)
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = rng.float32n()
+	}
+	bd, err := s.buffer(ocl.MemReadWrite, int64(4*n), f32sToBytes(data))
+	if err != nil {
+		return s.res, err
+	}
+	bo, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	kr, err := s.kernel("readGlobal")
+	if err != nil {
+		return s.res, err
+	}
+	kw, err := s.kernel("writeGlobal")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(kr, bd, bo, int32(8), uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(kr, roundUp(n, 64), 64); err != nil {
+		return s.res, err
+	}
+	if err := s.args(kw, bd, int32(8), uint32(n)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(kw, roundUp(n, 64), 64); err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		outBytes, err := s.read(bd, 16)
+		if err != nil {
+			return s.res, err
+		}
+		_ = outBytes
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const fftSrc = `
+__kernel void fftStage(__global float* re, __global float* im, int halfSize, uint n) {
+    size_t tid = get_global_id(0);
+    if (tid >= n / 2u) return;
+    int group = (int)tid / halfSize;
+    int pos = (int)tid % halfSize;
+    int i = group * halfSize * 2 + pos;
+    int j = i + halfSize;
+    float angle = -3.14159265f * (float)pos / (float)halfSize;
+    float wr = cos(angle);
+    float wi = sin(angle);
+    float tr = re[j] * wr - im[j] * wi;
+    float ti = re[j] * wi + im[j] * wr;
+    float ur = re[i];
+    float ui = im[i];
+    re[i] = ur + tr;
+    im[i] = ui + ti;
+    re[j] = ur - tr;
+    im[j] = ui - ti;
+}`
+
+// FFT: iterative radix-2 Cooley–Tukey, one kernel launch per stage (the
+// host performs the bit-reversal permutation before upload).
+func runFFT(env *Env) (Result, error) {
+	s, err := begin(env, fftSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	logN := 10
+	n := 1 << logN
+	rng := newLCG(79)
+	re := make([]float32, n)
+	im := make([]float32, n)
+	for i := range re {
+		re[i] = rng.float32n() - 0.5
+		im[i] = rng.float32n() - 0.5
+	}
+	// Bit-reverse permutation on the host.
+	rre := make([]float32, n)
+	rim := make([]float32, n)
+	for i := 0; i < n; i++ {
+		j := 0
+		for b := 0; b < logN; b++ {
+			j = j<<1 | (i>>b)&1
+		}
+		rre[j] = re[i]
+		rim[j] = im[i]
+	}
+	br, err := s.buffer(ocl.MemReadWrite, int64(4*n), f32sToBytes(rre))
+	if err != nil {
+		return s.res, err
+	}
+	bi, err := s.buffer(ocl.MemReadWrite, int64(4*n), f32sToBytes(rim))
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("fftStage")
+	if err != nil {
+		return s.res, err
+	}
+	for half := 1; half < n; half *= 2 {
+		if err := s.args(k, br, bi, int32(half), uint32(n)); err != nil {
+			return s.res, err
+		}
+		if err := s.launch(k, n/2, 64); err != nil {
+			return s.res, err
+		}
+	}
+	reOut, err := s.read(br, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	imOut, err := s.read(bi, int64(4*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		gotRe := bytesToF32s(reOut)
+		gotIm := bytesToF32s(imOut)
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = complex(float64(re[i]), float64(im[i]))
+		}
+		want = fftRef(want)
+		for _, i := range []int{0, 1, n / 3, n - 1} {
+			got := complex(float64(gotRe[i]), float64(gotIm[i]))
+			if cmplx.Abs(got-want[i]) > 1e-2*math.Max(1, cmplx.Abs(want[i])) {
+				return s.res, fmt.Errorf("FFT: X[%d] = %v, want %v", i, got, want[i])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func fftRef(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return x
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	even = fftRef(even)
+	odd = fftRef(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		out[k] = even[k] + w*odd[k]
+		out[k+n/2] = even[k] - w*odd[k]
+	}
+	return out
+}
+
+// KernelCompile: builds several program variants; measures nothing but
+// the compiler. No kernel is executed (excluded from Fig. 5, §IV-B).
+func runKernelCompile(env *Env) (Result, error) {
+	s, err := begin(env, "")
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < 5; i++ {
+		src := fmt.Sprintf(`
+__kernel void variant%d(__global float* x, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) x[i] = x[i] * %d.0f + %d.0f;
+}`, i, i+1, i)
+		p, err := s.api.CreateProgramWithSource(s.ctx, src)
+		if err != nil {
+			return s.res, err
+		}
+		if err := s.api.BuildProgram(p, ""); err != nil {
+			return s.res, err
+		}
+	}
+	s.res.Verified = env.Verify
+	return s.res, s.finish()
+}
+
+const maxFlopsSrc = `
+__kernel void maxFlops(__global float* out, int iters, uint n) {
+    size_t gid = get_global_id(0);
+    if (gid >= n) return;
+    float a = 1.00001f;
+    float b = 0.99999f;
+    float c = (float)gid * 0.000001f + 1.0f;
+    for (int i = 0; i < iters; i++) {
+        a = mad(a, b, c) * 0.25f;
+        b = mad(b, c, a) * 0.25f;
+        c = mad(c, a, b) * 0.25f;
+        a = a + 0.125f;
+        b = b + 0.125f;
+        c = c + 0.125f;
+    }
+    out[gid] = a + b + c;
+}`
+
+// MaxFlops: register-resident compute kernel; several launches are left
+// in-flight, making the checkpoint synchronisation phase dominant (§IV-B).
+func runMaxFlops(env *Env) (Result, error) {
+	s, err := begin(env, maxFlopsSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(4096)
+	bo, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("maxFlops")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bo, int32(64), uint32(n)); err != nil {
+		return s.res, err
+	}
+	for rep := 0; rep < 4; rep++ {
+		if err := s.launch(k, roundUp(n, 128), 128); err != nil {
+			return s.res, err
+		}
+	}
+	outBytes, err := s.read(bo, 16)
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		v := bytesToF32s(outBytes)[0]
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return s.res, fmt.Errorf("MaxFlops: non-finite result %v", v)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const mdSrc = `
+__kernel void ljForce(__global const float* posX, __global const float* posY,
+                      __global const float* posZ,
+                      __global const int* neighbors,
+                      __global float* forceX, __global float* forceY,
+                      __global float* forceZ,
+                      int maxNeighbors, uint nAtoms) {
+    size_t i = get_global_id(0);
+    if (i >= nAtoms) return;
+    float xi = posX[i];
+    float yi = posY[i];
+    float zi = posZ[i];
+    float fx = 0.0f;
+    float fy = 0.0f;
+    float fz = 0.0f;
+    for (int jj = 0; jj < maxNeighbors; jj++) {
+        int j = neighbors[i * (size_t)maxNeighbors + (size_t)jj];
+        float dx = posX[j] - xi;
+        float dy = posY[j] - yi;
+        float dz = posZ[j] - zi;
+        float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+        float inv2 = 1.0f / r2;
+        float inv6 = inv2 * inv2 * inv2;
+        float s = inv6 * (inv6 - 0.5f) * inv2;
+        fx = mad(s, dx, fx);
+        fy = mad(s, dy, fy);
+        fz = mad(s, dz, fz);
+    }
+    forceX[i] = fx;
+    forceY[i] = fy;
+    forceZ[i] = fz;
+}`
+
+// MD: Lennard-Jones force evaluation over a fixed neighbour list — the
+// program the paper's MPI checkpoint experiment (Fig. 6) runs per rank.
+func runMD(env *Env) (Result, error) {
+	s, err := begin(env, mdSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	nAtoms := env.scale(1024)
+	maxNeighbors := 16
+	rng := newLCG(83)
+	px := make([]float32, nAtoms)
+	py := make([]float32, nAtoms)
+	pz := make([]float32, nAtoms)
+	for i := 0; i < nAtoms; i++ {
+		px[i] = 10 * rng.float32n()
+		py[i] = 10 * rng.float32n()
+		pz[i] = 10 * rng.float32n()
+	}
+	neigh := make([]uint32, nAtoms*maxNeighbors)
+	for i := range neigh {
+		neigh[i] = rng.uint32n() % uint32(nAtoms)
+	}
+	mk := func(data []float32) (ocl.Mem, error) {
+		return s.buffer(ocl.MemReadOnly, int64(4*len(data)), f32sToBytes(data))
+	}
+	bx, err := mk(px)
+	if err != nil {
+		return s.res, err
+	}
+	by, err := mk(py)
+	if err != nil {
+		return s.res, err
+	}
+	bz, err := mk(pz)
+	if err != nil {
+		return s.res, err
+	}
+	bn, err := s.buffer(ocl.MemReadOnly, int64(4*len(neigh)), u32sToBytes(neigh))
+	if err != nil {
+		return s.res, err
+	}
+	bfx, err := s.buffer(ocl.MemWriteOnly, int64(4*nAtoms), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bfy, err := s.buffer(ocl.MemWriteOnly, int64(4*nAtoms), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bfz, err := s.buffer(ocl.MemWriteOnly, int64(4*nAtoms), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("ljForce")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bx, by, bz, bn, bfx, bfy, bfz, int32(maxNeighbors), uint32(nAtoms)); err != nil {
+		return s.res, err
+	}
+	if err := s.launch(k, (nAtoms+63)/64*64, 64); err != nil {
+		return s.res, err
+	}
+	fxBytes, err := s.read(bfx, int64(4*nAtoms))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		fx := bytesToF32s(fxBytes)
+		for _, i := range []int{0, nAtoms / 2, nAtoms - 1} {
+			var want float64
+			for jj := 0; jj < maxNeighbors; jj++ {
+				j := neigh[i*maxNeighbors+jj]
+				dx := float64(px[j]) - float64(px[i])
+				dy := float64(py[j]) - float64(py[i])
+				dz := float64(pz[j]) - float64(pz[i])
+				r2 := dx*dx + dy*dy + dz*dz + 0.01
+				inv2 := 1 / r2
+				inv6 := inv2 * inv2 * inv2
+				want += inv6 * (inv6 - 0.5) * inv2 * dx
+			}
+			if !approxEqual(float64(fx[i]), want, 5e-2) {
+				return s.res, fmt.Errorf("MD: fx[%d] = %v, want %v", i, fx[i], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const queueDelaySrc = `
+__kernel void nop(__global int* out) {
+    if (get_global_id(0) == 0u) out[0] = out[0] + 1;
+}`
+
+// QueueDelay: many tiny kernel launches back to back — pure API-call
+// overhead, the worst case for the forwarding proxy (§IV-A).
+func runQueueDelay(env *Env) (Result, error) {
+	s, err := begin(env, queueDelaySrc)
+	if err != nil {
+		return Result{}, err
+	}
+	launches := env.scale(100)
+	bo, err := s.buffer(ocl.MemReadWrite, 4, make([]byte, 4))
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("nop")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, bo); err != nil {
+		return s.res, err
+	}
+	for i := 0; i < launches; i++ {
+		if err := s.launch(k, 32, 32); err != nil {
+			return s.res, err
+		}
+	}
+	outBytes, err := s.read(bo, 4)
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := int32(bytesToU32s(outBytes)[0])
+		if got != int32(launches) {
+			return s.res, fmt.Errorf("QueueDelay: counter = %d, want %d", got, launches)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+// Reduction (SHOC flavour): same tree reduction at SHOC's sizes.
+func runShocReduction(env *Env) (Result, error) {
+	return runReductionCommon(env, env.scale(65536), 64)
+}
+
+// s3dProgramCount is the paper's S3D program-object count: its restart
+// time is dominated by recompiling all of them (Fig. 7).
+const s3dProgramCount = 27
+
+// S3D: combustion chemistry rate kernels, one cl_program per reaction
+// group — 27 program objects as the paper reports.
+func runS3D(env *Env) (Result, error) {
+	s, err := begin(env, "")
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(2048)
+	rng := newLCG(89)
+	temp := make([]float32, n)
+	for i := range temp {
+		temp[i] = 800 + 1200*rng.float32n()
+	}
+	bt, err := s.buffer(ocl.MemReadOnly, int64(4*n), f32sToBytes(temp))
+	if err != nil {
+		return s.res, err
+	}
+	bo, err := s.buffer(ocl.MemReadWrite, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	for p := 0; p < s3dProgramCount; p++ {
+		src := fmt.Sprintf(`
+__kernel void rates%d(__global const float* temp, __global float* out, uint n) {
+    size_t i = get_global_id(0);
+    if (i >= n) return;
+    float t = temp[i];
+    float invT = 1.0f / t;
+    float logT = log(t);
+    float k0 = exp(%d.%02df - 2000.0f * invT + 0.%02df * logT);
+    out[i] = out[i] + k0;
+}`, p, 10+p%7, p, p)
+		prog, err := s.api.CreateProgramWithSource(s.ctx, src)
+		if err != nil {
+			return s.res, err
+		}
+		if err := s.api.BuildProgram(prog, ""); err != nil {
+			return s.res, err
+		}
+		k, err := s.api.CreateKernel(prog, fmt.Sprintf("rates%d", p))
+		if err != nil {
+			return s.res, err
+		}
+		sess := session{env: env, api: s.api, q: s.q, res: s.res}
+		if err := sess.args(k, bt, bo, uint32(n)); err != nil {
+			return s.res, err
+		}
+		if err := sess.launch(k, (n+63)/64*64, 64); err != nil {
+			return sess.res, err
+		}
+		s.res = sess.res
+	}
+	outBytes, err := s.read(bo, 16)
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		v := bytesToF32s(outBytes)[0]
+		if math.IsNaN(float64(v)) || v <= 0 {
+			return s.res, fmt.Errorf("S3D: suspicious rate sum %v", v)
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+const sgemmSrc = `
+__kernel void sgemm(__global const float* A, __global const float* B,
+                    __global float* C, int n, float alpha, float beta) {
+    int col = (int)get_global_id(0);
+    int row = (int)get_global_id(1);
+    if (col >= n || row >= n) return;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+        acc = mad(A[row * n + k], B[k * n + col], acc);
+    }
+    C[row * n + col] = alpha * acc + beta * C[row * n + col];
+}`
+
+// SGEMM: single-precision general matrix multiply.
+func runSGEMM(env *Env) (Result, error) {
+	s, err := begin(env, sgemmSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(64)
+	const alpha, beta = float32(1.5), float32(0.5)
+	rng := newLCG(97)
+	A := make([]float32, n*n)
+	B := make([]float32, n*n)
+	C := make([]float32, n*n)
+	for i := range A {
+		A[i] = rng.float32n()
+		B[i] = rng.float32n()
+		C[i] = rng.float32n()
+	}
+	ba, err := s.buffer(ocl.MemReadOnly, int64(4*n*n), f32sToBytes(A))
+	if err != nil {
+		return s.res, err
+	}
+	bb, err := s.buffer(ocl.MemReadOnly, int64(4*n*n), f32sToBytes(B))
+	if err != nil {
+		return s.res, err
+	}
+	bc, err := s.buffer(ocl.MemReadWrite, int64(4*n*n), f32sToBytes(C))
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("sgemm")
+	if err != nil {
+		return s.res, err
+	}
+	if err := s.args(k, ba, bb, bc, int32(n), alpha, beta); err != nil {
+		return s.res, err
+	}
+	if err := s.launchND(k, 2, [3]int{roundUp(n, 16), roundUp(n, 4)}, [3]int{16, 4}); err != nil {
+		return s.res, err
+	}
+	outBytes, err := s.read(bc, int64(4*n*n))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := bytesToF32s(outBytes)
+		for _, idx := range []int{0, n*n/2 + 1, n*n - 1} {
+			r, col := idx/n, idx%n
+			var acc float64
+			for kk := 0; kk < n; kk++ {
+				acc += float64(A[r*n+kk]) * float64(B[kk*n+col])
+			}
+			want := float64(alpha)*acc + float64(beta)*float64(C[idx])
+			if !approxEqual(float64(got[idx]), want, 1e-3) {
+				return s.res, fmt.Errorf("SGEMM: C[%d] = %v, want %v", idx, got[idx], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+// Scan (SHOC flavour).
+func runShocScan(env *Env) (Result, error) {
+	return runScanCommon(env, env.scale(16384), 64)
+}
+
+// Sort (SHOC flavour): radix sort over full 16-bit keys, larger n.
+func runShocSort(env *Env) (Result, error) {
+	return runRadixSortCommon(env, env.scale(16384), 16)
+}
+
+const stencil2DSrc = `
+__kernel void stencil9(__global const float* in, __global float* out,
+                       int w, int h, float cc, float cn, float cd) {
+    int x = (int)get_global_id(0);
+    int y = (int)get_global_id(1);
+    if (x >= w || y >= h) return;
+    int i = y * w + x;
+    if (x == 0 || y == 0 || x == w - 1 || y == h - 1) {
+        out[i] = in[i];
+        return;
+    }
+    float acc = cc * in[i];
+    acc = acc + cn * (in[i - 1] + in[i + 1] + in[i - w] + in[i + w]);
+    acc = acc + cd * (in[i - w - 1] + in[i - w + 1] + in[i + w - 1] + in[i + w + 1]);
+    out[i] = acc;
+}`
+
+// Stencil2D: 9-point stencil iterated over ping-pong buffers — many
+// launches with little per-launch work (§IV-A notes it exposes the
+// per-call overhead).
+func runStencil2D(env *Env) (Result, error) {
+	s, err := begin(env, stencil2DSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	w, h, iters := env.scale(128), 64, 8
+	const cc, cn, cd = float32(0.5), float32(0.1), float32(0.025)
+	rng := newLCG(101)
+	grid := make([]float32, w*h)
+	for i := range grid {
+		grid[i] = rng.float32n()
+	}
+	bufs := [2]ocl.Mem{}
+	if bufs[0], err = s.buffer(ocl.MemReadWrite, int64(4*w*h), f32sToBytes(grid)); err != nil {
+		return s.res, err
+	}
+	if bufs[1], err = s.buffer(ocl.MemReadWrite, int64(4*w*h), nil); err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("stencil9")
+	if err != nil {
+		return s.res, err
+	}
+	for it := 0; it < iters; it++ {
+		if err := s.args(k, bufs[it%2], bufs[(it+1)%2], int32(w), int32(h), cc, cn, cd); err != nil {
+			return s.res, err
+		}
+		if err := s.launchND(k, 2, [3]int{roundUp(w, 32), h}, [3]int{32, 1}); err != nil {
+			return s.res, err
+		}
+	}
+	outBytes, err := s.read(bufs[iters%2], int64(4*w*h))
+	if err != nil {
+		return s.res, err
+	}
+	if env.Verify {
+		got := bytesToF32s(outBytes)
+		ref := stencilRef(grid, w, h, iters, cc, cn, cd)
+		for _, idx := range []int{w + 1, w*h/2 + 5, w*h - w - 2} {
+			if !approxEqual(float64(got[idx]), float64(ref[idx]), 1e-3) {
+				return s.res, fmt.Errorf("Stencil2D: out[%d] = %v, want %v", idx, got[idx], ref[idx])
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}
+
+func stencilRef(grid []float32, w, h, iters int, cc, cn, cd float32) []float32 {
+	cur := append([]float32(nil), grid...)
+	next := make([]float32, len(grid))
+	for it := 0; it < iters; it++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				if x == 0 || y == 0 || x == w-1 || y == h-1 {
+					next[i] = cur[i]
+					continue
+				}
+				acc := cc * cur[i]
+				acc += cn * (cur[i-1] + cur[i+1] + cur[i-w] + cur[i+w])
+				acc += cd * (cur[i-w-1] + cur[i-w+1] + cur[i+w-1] + cur[i+w+1])
+				next[i] = acc
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+const triadSrc = `
+__kernel void triad(__global const float* b, __global const float* c,
+                    __global float* a, float scalar, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) a[i] = b[i] + scalar * c[i];
+}`
+
+// Triad: STREAM triad with fresh transfers every iteration —
+// transfer-dominated, the worst case for the proxy's extra copy (§IV-A).
+func runTriad(env *Env) (Result, error) {
+	s, err := begin(env, triadSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	n := env.scale(65536)
+	const scalar = float32(1.75)
+	rng := newLCG(103)
+	b := make([]float32, n)
+	c := make([]float32, n)
+	for i := 0; i < n; i++ {
+		b[i] = rng.float32n()
+		c[i] = rng.float32n()
+	}
+	ba, err := s.buffer(ocl.MemWriteOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bb, err := s.buffer(ocl.MemReadOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	bc, err := s.buffer(ocl.MemReadOnly, int64(4*n), nil)
+	if err != nil {
+		return s.res, err
+	}
+	k, err := s.kernel("triad")
+	if err != nil {
+		return s.res, err
+	}
+	var lastOut []float32
+	for it := 0; it < 4; it++ {
+		if err := s.write(bb, f32sToBytes(b)); err != nil {
+			return s.res, err
+		}
+		if err := s.write(bc, f32sToBytes(c)); err != nil {
+			return s.res, err
+		}
+		if err := s.args(k, bb, bc, ba, scalar, uint32(n)); err != nil {
+			return s.res, err
+		}
+		if err := s.launch(k, (n+63)/64*64, 64); err != nil {
+			return s.res, err
+		}
+		outBytes, err := s.read(ba, int64(4*n))
+		if err != nil {
+			return s.res, err
+		}
+		lastOut = bytesToF32s(outBytes)
+	}
+	if env.Verify {
+		for i := 0; i < n; i += 499 {
+			want := b[i] + scalar*c[i]
+			if lastOut[i] != want {
+				return s.res, fmt.Errorf("Triad: a[%d] = %v, want %v", i, lastOut[i], want)
+			}
+		}
+		s.res.Verified = true
+	}
+	return s.res, s.finish()
+}

@@ -1,0 +1,420 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AddrSpace is an OpenCL address-space qualifier.
+type AddrSpace int
+
+// Address spaces. Private is the default for unqualified declarations.
+const (
+	ASPrivate AddrSpace = iota
+	ASGlobal
+	ASLocal
+	ASConstant
+)
+
+func (a AddrSpace) String() string {
+	switch a {
+	case ASGlobal:
+		return "__global"
+	case ASLocal:
+		return "__local"
+	case ASConstant:
+		return "__constant"
+	default:
+		return "__private"
+	}
+}
+
+// TypeKind enumerates the scalar and opaque types of the supported subset.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TBool
+	TChar
+	TUChar
+	TShort
+	TUShort
+	TInt
+	TUInt
+	TLong
+	TULong
+	TFloat
+	TDouble
+	TSizeT
+	TImage2D
+	TImage3D
+	TSampler
+	TPtr
+)
+
+// Type describes an OpenCL C type in the supported subset: scalars, the
+// opaque image/sampler types, and (possibly qualified) pointers to them.
+type Type struct {
+	Kind  TypeKind
+	Elem  *Type     // element type when Kind == TPtr
+	Space AddrSpace // address space of the pointee for TPtr, of the object otherwise
+}
+
+// Primitive singleton types.
+var (
+	TypeVoid    = &Type{Kind: TVoid}
+	TypeBool    = &Type{Kind: TBool}
+	TypeChar    = &Type{Kind: TChar}
+	TypeUChar   = &Type{Kind: TUChar}
+	TypeShort   = &Type{Kind: TShort}
+	TypeUShort  = &Type{Kind: TUShort}
+	TypeInt     = &Type{Kind: TInt}
+	TypeUInt    = &Type{Kind: TUInt}
+	TypeLong    = &Type{Kind: TLong}
+	TypeULong   = &Type{Kind: TULong}
+	TypeFloat   = &Type{Kind: TFloat}
+	TypeDouble  = &Type{Kind: TDouble}
+	TypeSizeT   = &Type{Kind: TSizeT}
+	TypeImage2D = &Type{Kind: TImage2D}
+	TypeImage3D = &Type{Kind: TImage3D}
+	TypeSampler = &Type{Kind: TSampler}
+)
+
+// PtrTo returns a pointer type to elem in the given address space.
+func PtrTo(elem *Type, space AddrSpace) *Type {
+	return &Type{Kind: TPtr, Elem: elem, Space: space}
+}
+
+// IsFloat reports whether the type is a floating-point scalar.
+func (t *Type) IsFloat() bool { return t.Kind == TFloat || t.Kind == TDouble }
+
+// IsInteger reports whether the type is an integer scalar (including bool).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case TBool, TChar, TUChar, TShort, TUShort, TInt, TUInt, TLong, TULong, TSizeT:
+		return true
+	}
+	return false
+}
+
+// IsUnsigned reports whether the integer type is unsigned.
+func (t *Type) IsUnsigned() bool {
+	switch t.Kind {
+	case TBool, TUChar, TUShort, TUInt, TULong, TSizeT:
+		return true
+	}
+	return false
+}
+
+// Size reports the storage size of the type in bytes, matching the OpenCL
+// device-side layout.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TBool, TChar, TUChar:
+		return 1
+	case TShort, TUShort:
+		return 2
+	case TInt, TUInt, TFloat:
+		return 4
+	case TLong, TULong, TDouble, TSizeT, TPtr:
+		return 8
+	case TImage2D, TImage3D, TSampler:
+		return 8 // opaque handles
+	default:
+		return 0
+	}
+}
+
+// String renders the type in OpenCL C syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TPtr:
+		space := ""
+		if t.Space != ASPrivate {
+			space = t.Space.String() + " "
+		}
+		return space + t.Elem.String() + "*"
+	case TVoid:
+		return "void"
+	case TBool:
+		return "bool"
+	case TChar:
+		return "char"
+	case TUChar:
+		return "uchar"
+	case TShort:
+		return "short"
+	case TUShort:
+		return "ushort"
+	case TInt:
+		return "int"
+	case TUInt:
+		return "uint"
+	case TLong:
+		return "long"
+	case TULong:
+		return "ulong"
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TSizeT:
+		return "size_t"
+	case TImage2D:
+		return "image2d_t"
+	case TImage3D:
+		return "image3d_t"
+	case TSampler:
+		return "sampler_t"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t.Kind))
+	}
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == nil || u == nil {
+		return t == u
+	}
+	if t.Kind != u.Kind {
+		return false
+	}
+	if t.Kind == TPtr {
+		return t.Space == u.Space && t.Elem.Equal(u.Elem)
+	}
+	return true
+}
+
+// Param is one formal parameter of a kernel or helper function.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition (or prototype, when Body is nil).
+type FuncDecl struct {
+	Name     string
+	IsKernel bool
+	Return   *Type
+	Params   []Param
+	Body     *BlockStmt
+	Line     int
+}
+
+// GlobalVar is a file-scope __constant (or const) variable with an
+// optional initializer list.
+type GlobalVar struct {
+	Name  string
+	Type  *Type
+	Elems int // array length; 0 for scalar
+	Init  []Expr
+}
+
+// Unit is a parsed translation unit.
+type Unit struct {
+	Funcs   []*FuncDecl
+	Globals []*GlobalVar
+}
+
+// Lookup returns the function with the given name, or nil.
+func (u *Unit) Lookup(name string) *FuncDecl {
+	for _, f := range u.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Kernels returns the kernel functions in declaration order.
+func (u *Unit) Kernels() []*FuncDecl {
+	var ks []*FuncDecl
+	for _, f := range u.Funcs {
+		if f.IsKernel {
+			ks = append(ks, f)
+		}
+	}
+	return ks
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a brace-enclosed statement list.
+type BlockStmt struct{ List []Stmt }
+
+// DeclStmt declares one local variable, optionally an array, optionally
+// initialised.
+type DeclStmt struct {
+	Name  string
+	Type  *Type
+	Space AddrSpace // ASLocal for __local arrays inside kernels
+	Elems Expr      // array length expression, nil for scalars
+	Init  Expr
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a C for loop; Init/Cond/Post may be nil. Init may be a
+// DeclStmt or ExprStmt.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+}
+
+// SwitchStmt is a C switch with fallthrough semantics.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []SwitchCase
+}
+
+// SwitchCase is one labelled arm; Vals is nil for default. Consecutive
+// labels with no statements between them share one SwitchCase.
+type SwitchCase struct {
+	Vals []Expr
+	Body []Stmt
+}
+
+// ReturnStmt returns from the current function; X may be nil.
+type ReturnStmt struct{ X Expr }
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// Ident references a variable or function by name.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal (value already decoded).
+type IntLit struct{ Val int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Val float64 }
+
+// BinaryExpr is a binary operation: + - * / % << >> < > <= >= == != & | ^ && ||.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is a prefix operation: - ! ~ * & ++ --.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Op string
+	X  Expr
+}
+
+// AssignExpr is an assignment, possibly compound (Op is "=", "+=", ...).
+type AssignExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// IndexExpr is base[index].
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+}
+
+// CallExpr calls a builtin or user helper function.
+type CallExpr struct {
+	Fun  string
+	Args []Expr
+}
+
+// CondExpr is the ternary c ? a : b.
+type CondExpr struct {
+	Cond, Then, Else Expr
+}
+
+// CastExpr converts X to Type.
+type CastExpr struct {
+	Type *Type
+	X    Expr
+}
+
+func (*Ident) exprNode()       {}
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*PostfixExpr) exprNode() {}
+func (*AssignExpr) exprNode()  {}
+func (*IndexExpr) exprNode()   {}
+func (*CallExpr) exprNode()    {}
+func (*CondExpr) exprNode()    {}
+func (*CastExpr) exprNode()    {}
+
+// Signature renders a function declaration header, used in diagnostics.
+func (f *FuncDecl) Signature() string {
+	var sb strings.Builder
+	if f.IsKernel {
+		sb.WriteString("__kernel ")
+	}
+	sb.WriteString(f.Return.String())
+	sb.WriteByte(' ')
+	sb.WriteString(f.Name)
+	sb.WriteByte('(')
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Type.String())
+		sb.WriteByte(' ')
+		sb.WriteString(p.Name)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

@@ -1,0 +1,386 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer converts OpenCL C source into a token stream. It strips comments,
+// applies simple object-like #define macros, and discards all other
+// preprocessor directives (the benchmark kernels only use #define and
+// #pragma).
+type Lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	macros map[string]string
+	// expanding guards against recursive macro expansion.
+	expanding map[string]bool
+	pending   []Token
+}
+
+// LexError describes a lexical error with position information.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("clc: lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, macros: map[string]string{}, expanding: map[string]bool{}}
+}
+
+// Tokenize runs the lexer to completion and returns all tokens excluding
+// the trailing EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &LexError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token, expanding macros.
+func (l *Lexer) Next() (Token, error) {
+	if n := len(l.pending); n > 0 {
+		t := l.pending[0]
+		l.pending = l.pending[1:]
+		return t, nil
+	}
+	t, err := l.lexRaw()
+	if err != nil {
+		return t, err
+	}
+	// Object-like macro expansion.
+	if t.Kind == TokIdent {
+		if body, ok := l.macros[t.Text]; ok && !l.expanding[t.Text] {
+			l.expanding[t.Text] = true
+			subLexer := &Lexer{src: body, line: 1, col: 1, macros: l.macros, expanding: l.expanding}
+			var sub []Token
+			var subErr error
+			for {
+				st, err := subLexer.Next()
+				if err != nil {
+					subErr = err
+					break
+				}
+				if st.Kind == TokEOF {
+					break
+				}
+				sub = append(sub, st)
+			}
+			l.expanding[t.Text] = false
+			if subErr != nil {
+				return Token{}, l.errf("in expansion of macro %s: %v", t.Text, subErr)
+			}
+			if len(sub) == 0 {
+				return l.Next()
+			}
+			for i := range sub {
+				sub[i].Line, sub[i].Col = t.Line, t.Col
+			}
+			l.pending = append(l.pending, sub[1:]...)
+			return sub[0], nil
+		}
+	}
+	return t, nil
+}
+
+func (l *Lexer) lexRaw() (Token, error) {
+restart:
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return Token{}, l.errf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			goto scanned
+		}
+	}
+scanned:
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+
+	startLine, startCol := l.line, l.col
+	c := l.peekByte()
+
+	// Preprocessor directive: consume the (possibly continued) line.
+	if c == '#' && startCol == 1 || (c == '#' && l.atLineStart()) {
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.peekByte()
+			if ch == '\n' {
+				if strings.HasSuffix(strings.TrimRight(sb.String(), " \t"), "\\") {
+					s := strings.TrimRight(sb.String(), " \t")
+					sb.Reset()
+					sb.WriteString(s[:len(s)-1])
+					sb.WriteByte(' ')
+					l.advance()
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+			l.advance()
+		}
+		l.handleDirective(sb.String())
+		goto restart
+	}
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: startLine, Col: startCol}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peekByteAt(1))):
+		return l.lexNumber(startLine, startCol)
+
+	case c == '\'':
+		l.advance()
+		var text strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated char literal")
+			}
+			ch := l.advance()
+			if ch == '\\' {
+				text.WriteByte(ch)
+				if l.pos < len(l.src) {
+					text.WriteByte(l.advance())
+				}
+				continue
+			}
+			if ch == '\'' {
+				break
+			}
+			text.WriteByte(ch)
+		}
+		return Token{Kind: TokCharLit, Text: text.String(), Line: startLine, Col: startCol}, nil
+
+	case c == '"':
+		l.advance()
+		var text strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\\' {
+				text.WriteByte(ch)
+				if l.pos < len(l.src) {
+					text.WriteByte(l.advance())
+				}
+				continue
+			}
+			if ch == '"' {
+				break
+			}
+			text.WriteByte(ch)
+		}
+		return Token{Kind: TokStringLit, Text: text.String(), Line: startLine, Col: startCol}, nil
+
+	default:
+		return l.lexPunct(startLine, startCol)
+	}
+}
+
+// atLineStart reports whether only whitespace precedes l.pos on its line.
+func (l *Lexer) atLineStart() bool {
+	i := l.pos - 1
+	for i >= 0 && l.src[i] != '\n' {
+		if l.src[i] != ' ' && l.src[i] != '\t' {
+			return false
+		}
+		i--
+	}
+	return true
+}
+
+// handleDirective interprets "#define NAME body" (object-like only);
+// every other directive (e.g. #pragma, #ifdef) is ignored.
+func (l *Lexer) handleDirective(line string) {
+	line = strings.TrimPrefix(strings.TrimSpace(line), "#")
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "define") {
+		return
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "define"))
+	if rest == "" {
+		return
+	}
+	// Split the macro name from its body.
+	i := 0
+	for i < len(rest) && isIdentCont(rest[i]) {
+		i++
+	}
+	name := rest[:i]
+	if name == "" {
+		return
+	}
+	// Function-like macros (NAME followed immediately by '(') are not
+	// supported; skip them rather than mis-expanding.
+	if i < len(rest) && rest[i] == '(' {
+		return
+	}
+	l.macros[name] = strings.TrimSpace(rest[i:])
+}
+
+func (l *Lexer) lexNumber(line, col int) (Token, error) {
+	start := l.pos
+	isFloat := false
+	if l.peekByte() == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+	} else {
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.peekByte() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if c := l.peekByte(); c == 'e' || c == 'E' {
+			next := l.peekByteAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekByteAt(2))) {
+				isFloat = true
+				l.advance()
+				if c := l.peekByte(); c == '+' || c == '-' {
+					l.advance()
+				}
+				for l.pos < len(l.src) && isDigit(l.peekByte()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: f F u U l L in any combination.
+	for {
+		c := l.peekByte()
+		if c == 'f' || c == 'F' {
+			isFloat = true
+			l.advance()
+			continue
+		}
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+	"?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+}
+
+func (l *Lexer) lexPunct(line, col int) (Token, error) {
+	rest := l.src[l.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				l.advance()
+			}
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", l.peekByte())
+}

@@ -1,0 +1,165 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+func tokTexts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]string, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Text
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := tokTexts(t, "int x = a + 42;")
+	want := []string{"int", "x", "=", "a", "+", "42", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// a line comment
+int a; /* block
+comment */ float b;`
+	got := tokTexts(t, src)
+	want := []string{"int", "a", ";", "float", "b", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Tokenize("int a; /* oops"); err == nil {
+		t.Error("unterminated block comment should error")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Tokenize("1 42u 0x1F 3.14f 1e-3 2.5E+2 10UL .5f 07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokIntLit, TokIntLit, TokIntLit, TokFloatLit, TokFloatLit, TokFloatLit, TokIntLit, TokFloatLit, TokIntLit}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d (%q) kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPunctuationMaximalMunch(t *testing.T) {
+	got := tokTexts(t, "a<<=b>>c<=d&&e")
+	want := []string{"a", "<<=", "b", ">>", "c", "<=", "d", "&&", "e"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Tokenize("__kernel void foo(__global float* x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[1].Kind != TokKeyword {
+		t.Error("__kernel and void should be keywords")
+	}
+	if toks[2].Kind != TokIdent || toks[2].Text != "foo" {
+		t.Errorf("foo should be an identifier, got %v %q", toks[2].Kind, toks[2].Text)
+	}
+}
+
+func TestLexDefineMacro(t *testing.T) {
+	src := `
+#define BLOCK 16
+#define TWO_BLOCKS (BLOCK * 2)
+int a = BLOCK;
+int b = TWO_BLOCKS;`
+	got := tokTexts(t, src)
+	want := []string{"int", "a", "=", "16", ";", "int", "b", "=", "(", "16", "*", "2", ")", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexDefineContinuation(t *testing.T) {
+	src := "#define N 4 + \\\n 4\nint a = N;"
+	got := tokTexts(t, src)
+	want := []string{"int", "a", "=", "4", "+", "4", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexIgnoresOtherDirectives(t *testing.T) {
+	src := `#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+#ifdef FOO
+#endif
+int x;`
+	got := tokTexts(t, src)
+	want := []string{"int", "x", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexFunctionLikeMacroSkipped(t *testing.T) {
+	src := "#define SQR(x) ((x)*(x))\nint a = 3;"
+	got := tokTexts(t, src)
+	want := []string{"int", "a", "=", "3", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexCharAndStringLiterals(t *testing.T) {
+	toks, err := Tokenize(`char c = 'A'; // and "str"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TokCharLit && tk.Text == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("char literal not lexed: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokenize("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("positions wrong: %+v", toks)
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := Tokenize("int a;\n  @")
+	if err == nil {
+		t.Fatal("expected error on '@'")
+	}
+	le, ok := err.(*LexError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if le.Line != 2 {
+		t.Errorf("error line = %d, want 2", le.Line)
+	}
+}

@@ -1,0 +1,979 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the supported OpenCL C subset.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseError describes a syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("clc: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse lexes and parses a full translation unit.
+func Parse(src string) (*Unit, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseUnit()
+}
+
+func (p *Parser) cur() Token {
+	if p.pos >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peek(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) accept(text string) bool {
+	if p.cur().Is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+// parseUnit parses the whole file: kernel/helper functions and file-scope
+// constant declarations.
+func (p *Parser) parseUnit() (*Unit, error) {
+	u := &Unit{}
+	for p.cur().Kind != TokEOF {
+		// Stray semicolons.
+		if p.accept(";") {
+			continue
+		}
+		isKernel := false
+		for {
+			t := p.cur()
+			if t.Is("__kernel") || t.Is("kernel") {
+				isKernel = true
+				p.pos++
+				continue
+			}
+			if t.Is("__attribute__") {
+				p.pos++
+				if err := p.skipParens(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if t.Is("inline") || t.Is("static") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		typ, space, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.cur()
+		if nameTok.Kind != TokIdent {
+			return nil, p.errf("expected declarator name, found %s", nameTok)
+		}
+		p.pos++
+		if p.cur().Is("(") {
+			fn, err := p.parseFuncRest(nameTok.Text, typ, isKernel)
+			if err != nil {
+				return nil, err
+			}
+			u.Funcs = append(u.Funcs, fn)
+			continue
+		}
+		// File-scope variable: only meaningful for __constant/const tables.
+		gv := &GlobalVar{Name: nameTok.Text, Type: typ}
+		_ = space
+		if p.accept("[") {
+			if !p.cur().Is("]") {
+				n, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit, ok := constFold(n)
+				if !ok {
+					return nil, p.errf("global array length must be constant")
+				}
+				gv.Elems = int(lit)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept("=") {
+			if p.accept("{") {
+				for !p.cur().Is("}") {
+					e, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					gv.Init = append(gv.Init, e)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+				if gv.Elems == 0 {
+					gv.Elems = len(gv.Init)
+				}
+			} else {
+				e, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				gv.Init = []Expr{e}
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		u.Globals = append(u.Globals, gv)
+	}
+	return u, nil
+}
+
+// skipParens consumes a balanced ( ... ) group starting at the current
+// token, which must be "(".
+func (p *Parser) skipParens() error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch {
+		case t.Kind == TokEOF:
+			return p.errf("unbalanced parentheses")
+		case t.Is("("):
+			depth++
+		case t.Is(")"):
+			depth--
+		}
+	}
+	return nil
+}
+
+// parseType parses a type specifier: qualifiers, base type, and pointer
+// declarators. It returns the type and the address space that qualified it
+// (relevant for __local declarations of arrays inside kernels).
+func (p *Parser) parseType() (*Type, AddrSpace, error) {
+	space := ASPrivate
+	unsigned := false
+	var base *Type
+	sawBase := false
+	for {
+		t := p.cur()
+		switch {
+		case t.Is("__global") || t.Is("global"):
+			space = ASGlobal
+			p.pos++
+		case t.Is("__local") || t.Is("local"):
+			space = ASLocal
+			p.pos++
+		case t.Is("__constant") || t.Is("constant"):
+			space = ASConstant
+			p.pos++
+		case t.Is("__private") || t.Is("private"):
+			space = ASPrivate
+			p.pos++
+		case t.Is("const") || t.Is("volatile") || t.Is("restrict"):
+			p.pos++
+		case t.Is("__read_only") || t.Is("read_only") || t.Is("__write_only") ||
+			t.Is("write_only") || t.Is("__read_write") || t.Is("read_write"):
+			p.pos++
+		case t.Is("unsigned"):
+			unsigned = true
+			p.pos++
+		case t.Is("signed"):
+			p.pos++
+		case t.Kind == TokKeyword && !sawBase:
+			var bt *Type
+			switch t.Text {
+			case "void":
+				bt = TypeVoid
+			case "bool":
+				bt = TypeBool
+			case "char":
+				bt = TypeChar
+			case "uchar":
+				bt = TypeUChar
+			case "short":
+				bt = TypeShort
+			case "ushort":
+				bt = TypeUShort
+			case "int":
+				bt = TypeInt
+			case "uint":
+				bt = TypeUInt
+			case "long":
+				bt = TypeLong
+			case "ulong":
+				bt = TypeULong
+			case "float":
+				bt = TypeFloat
+			case "double", "half":
+				bt = TypeDouble
+			case "size_t", "ptrdiff_t":
+				bt = TypeSizeT
+			case "image2d_t":
+				bt = TypeImage2D
+			case "image3d_t":
+				bt = TypeImage3D
+			case "sampler_t":
+				bt = TypeSampler
+			}
+			if bt == nil {
+				goto done
+			}
+			base = bt
+			sawBase = true
+			p.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	if base == nil {
+		if unsigned {
+			base = TypeUInt
+		} else {
+			return nil, space, p.errf("expected type, found %s", p.cur())
+		}
+	} else if unsigned {
+		switch base.Kind {
+		case TChar:
+			base = TypeUChar
+		case TShort:
+			base = TypeUShort
+		case TInt:
+			base = TypeUInt
+		case TLong:
+			base = TypeULong
+		}
+	}
+	typ := base
+	for p.cur().Is("*") {
+		p.pos++
+		typ = PtrTo(typ, space)
+		// const/restrict after '*'.
+		for p.cur().Is("const") || p.cur().Is("restrict") || p.cur().Is("volatile") {
+			p.pos++
+		}
+	}
+	return typ, space, nil
+}
+
+// parseFuncRest parses "( params ) { body }" after the name.
+func (p *Parser) parseFuncRest(name string, ret *Type, isKernel bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Return: ret, IsKernel: isKernel, Line: p.cur().Line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.cur().Is(")") && !p.cur().Is("void") || (p.cur().Is("void") && !p.peek(1).Is(")")) {
+		for {
+			typ, _, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pname := ""
+			if p.cur().Kind == TokIdent {
+				pname = p.next().Text
+			}
+			// Array parameter declarator decays to a pointer.
+			if p.accept("[") {
+				for !p.cur().Is("]") && p.cur().Kind != TokEOF {
+					p.pos++
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				typ = PtrTo(typ, ASPrivate)
+			}
+			fn.Params = append(fn.Params, Param{Name: pname, Type: typ})
+			if !p.accept(",") {
+				break
+			}
+		}
+	} else if p.cur().Is("void") {
+		p.pos++ // f(void)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.accept(";") {
+		return fn, nil // prototype
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.cur().Is("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.List = append(b.List, s)
+		}
+	}
+	p.pos++ // consume '}'
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Is(";"):
+		p.pos++
+		return nil, nil
+	case t.Is("{"):
+		return p.parseBlock()
+	case t.Is("if"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept("else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case t.Is("for"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var initStmt Stmt
+		if !p.cur().Is(";") {
+			if p.cur().IsTypeStart() {
+				ds, err := p.parseDecl()
+				if err != nil {
+					return nil, err
+				}
+				initStmt = ds
+			} else {
+				e, err := p.parseExprList()
+				if err != nil {
+					return nil, err
+				}
+				initStmt = &ExprStmt{X: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.pos++
+		}
+		var cond Expr
+		if !p.cur().Is(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var post Expr
+		if !p.cur().Is(")") {
+			var err error
+			post, err = p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: initStmt, Cond: cond, Post: post, Body: body}, nil
+	case t.Is("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case t.Is("do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond}, nil
+	case t.Is("switch"):
+		return p.parseSwitch()
+	case t.Is("return"):
+		p.pos++
+		var x Expr
+		if !p.cur().Is(";") {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x}, nil
+	case t.Is("break"):
+		p.pos++
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{}, nil
+	case t.Is("continue"):
+		p.pos++
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{}, nil
+	case t.IsTypeStart():
+		return p.parseDecl()
+	default:
+		e, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+// parseSwitch parses a C switch statement. Consecutive labels with no
+// intervening statements are collapsed into one SwitchCase with several
+// Vals; execution falls through cases until a break.
+func (p *Parser) parseSwitch() (Stmt, error) {
+	p.pos++ // consume 'switch'
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sw := &SwitchStmt{Tag: tag}
+	var cur *SwitchCase
+	sawDefault := false
+	for !p.cur().Is("}") {
+		switch {
+		case p.cur().Is("case"):
+			p.pos++
+			v, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if cur == nil || len(cur.Body) > 0 || cur.Vals == nil {
+				sw.Cases = append(sw.Cases, SwitchCase{})
+				cur = &sw.Cases[len(sw.Cases)-1]
+			}
+			cur.Vals = append(cur.Vals, v)
+		case p.cur().Is("default"):
+			if sawDefault {
+				return nil, p.errf("duplicate default label")
+			}
+			sawDefault = true
+			p.pos++
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			sw.Cases = append(sw.Cases, SwitchCase{})
+			cur = &sw.Cases[len(sw.Cases)-1]
+		case p.cur().Kind == TokEOF:
+			return nil, p.errf("unterminated switch")
+		default:
+			if cur == nil {
+				return nil, p.errf("statement before the first case label")
+			}
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if st != nil {
+				cur.Body = append(cur.Body, st)
+			}
+		}
+	}
+	p.pos++ // consume '}'
+	return sw, nil
+}
+
+// parseDecl parses one local declaration statement (possibly multiple
+// declarators are not supported; the kernels in this repo declare one name
+// per statement, and the parser reports an informative error otherwise).
+func (p *Parser) parseDecl() (Stmt, error) {
+	typ, space, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	nameTok := p.cur()
+	if nameTok.Kind != TokIdent {
+		return nil, p.errf("expected declarator name, found %s", nameTok)
+	}
+	p.pos++
+	d := &DeclStmt{Name: nameTok.Text, Type: typ, Space: space}
+	if p.accept("[") {
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Elems = n
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		init, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if p.cur().Is(",") {
+		return nil, p.errf("multiple declarators in one statement are not supported; split %q into separate declarations", nameTok.Text)
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseExprList parses comma-separated expressions (the C comma operator),
+// returning the last one but evaluating all — modelled as nested binary ','.
+func (p *Parser) parseExprList() (Expr, error) {
+	e, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(",") {
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		e = &BinaryExpr{Op: ",", L: e, R: r}
+	}
+	return e, nil
+}
+
+// parseExpr parses a full expression without top-level commas.
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	l, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if op := p.cur(); op.Kind == TokPunct && assignOps[op.Text] {
+		p.pos++
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Op: op.Text, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		then, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{Cond: c, Then: then, Else: els}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence (C-like).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Text]
+		if op.Kind != TokPunct || !ok || prec < minPrec {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op.Text, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Is("-") || t.Is("!") || t.Is("~") || t.Is("*") || t.Is("&") || t.Is("+"):
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Text == "+" {
+			return x, nil
+		}
+		return &UnaryExpr{Op: t.Text, X: x}, nil
+	case t.Is("++") || t.Is("--"):
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x}, nil
+	case t.Is("sizeof"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		typ, _, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &IntLit{Val: int64(typ.Size())}, nil
+	case t.Is("("):
+		// Disambiguate cast from parenthesised expression.
+		if p.peek(1).IsTypeStart() {
+			p.pos++
+			typ, _, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Type: typ, X: x}, nil
+		}
+		p.pos++
+		e, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return p.parsePostfix(e)
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.pos++
+		v, err := parseIntLit(t.Text)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q: %v", t.Text, err)
+		}
+		return p.parsePostfix(&IntLit{Val: v})
+	case TokFloatLit:
+		p.pos++
+		v, err := parseFloatLit(t.Text)
+		if err != nil {
+			return nil, p.errf("bad float literal %q: %v", t.Text, err)
+		}
+		return p.parsePostfix(&FloatLit{Val: v})
+	case TokCharLit:
+		p.pos++
+		return p.parsePostfix(&IntLit{Val: charValue(t.Text)})
+	case TokIdent:
+		p.pos++
+		if p.cur().Is("(") {
+			p.pos++
+			call := &CallExpr{Fun: t.Text}
+			for !p.cur().Is(")") {
+				a, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return p.parsePostfix(call)
+		}
+		return p.parsePostfix(&Ident{Name: t.Text})
+	default:
+		return nil, p.errf("unexpected token %s", t)
+	}
+}
+
+func (p *Parser) parsePostfix(e Expr) (Expr, error) {
+	for {
+		switch {
+		case p.cur().Is("["):
+			p.pos++
+			idx, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Base: e, Index: idx}
+		case p.cur().Is("++"):
+			p.pos++
+			e = &PostfixExpr{Op: "++", X: e}
+		case p.cur().Is("--"):
+			p.pos++
+			e = &PostfixExpr{Op: "--", X: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func parseIntLit(text string) (int64, error) {
+	s := strings.TrimRight(text, "uUlL")
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		return int64(v), err
+	}
+	if len(s) > 1 && s[0] == '0' {
+		v, err := strconv.ParseUint(s[1:], 8, 64)
+		return int64(v), err
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	return int64(v), err
+}
+
+func parseFloatLit(text string) (float64, error) {
+	s := strings.TrimRight(text, "fF")
+	return strconv.ParseFloat(s, 64)
+}
+
+func charValue(text string) int64 {
+	if len(text) == 0 {
+		return 0
+	}
+	if text[0] == '\\' && len(text) >= 2 {
+		switch text[1] {
+		case 'n':
+			return '\n'
+		case 't':
+			return '\t'
+		case 'r':
+			return '\r'
+		case '0':
+			return 0
+		case '\\':
+			return '\\'
+		case '\'':
+			return '\''
+		}
+	}
+	return int64(text[0])
+}
+
+// constFold evaluates a compile-time constant integer expression; the
+// second result reports whether folding succeeded.
+func constFold(e Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *IntLit:
+		return v.Val, true
+	case *UnaryExpr:
+		x, ok := constFold(v.X)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case "-":
+			return -x, true
+		case "~":
+			return ^x, true
+		case "!":
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *BinaryExpr:
+		l, lok := constFold(v.L)
+		r, rok := constFold(v.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch v.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r != 0 {
+				return l / r, true
+			}
+		case "%":
+			if r != 0 {
+				return l % r, true
+			}
+		case "<<":
+			return l << uint(r&63), true
+		case ">>":
+			return l >> uint(r&63), true
+		case "&":
+			return l & r, true
+		case "|":
+			return l | r, true
+		case "^":
+			return l ^ r, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,229 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return u
+}
+
+func TestParseKernelSignature(t *testing.T) {
+	u := mustParse(t, `
+__kernel void vadd(__global const float* a,
+                   __global const float* b,
+                   __global float* c,
+                   const unsigned int n)
+{
+    int i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}`)
+	ks := u.Kernels()
+	if len(ks) != 1 {
+		t.Fatalf("kernels = %d, want 1", len(ks))
+	}
+	k := ks[0]
+	if k.Name != "vadd" || len(k.Params) != 4 {
+		t.Fatalf("signature: %s", k.Signature())
+	}
+	if k.Params[0].Type.Kind != TPtr || k.Params[0].Type.Space != ASGlobal {
+		t.Errorf("param a type = %v", k.Params[0].Type)
+	}
+	if k.Params[3].Type.Kind != TUInt {
+		t.Errorf("param n type = %v, want uint", k.Params[3].Type)
+	}
+}
+
+func TestParseNonKernelHelpers(t *testing.T) {
+	u := mustParse(t, `
+float square(float x) { return x * x; }
+__kernel void k(__global float* out) { out[get_global_id(0)] = square(2.0f); }`)
+	if len(u.Kernels()) != 1 {
+		t.Fatalf("kernels = %d, want 1", len(u.Kernels()))
+	}
+	if u.Lookup("square") == nil || u.Lookup("square").IsKernel {
+		t.Error("square should be a non-kernel helper")
+	}
+}
+
+func TestParseAttributeSkipped(t *testing.T) {
+	u := mustParse(t, `
+__kernel __attribute__((reqd_work_group_size(64,1,1)))
+void k(__global int* x) { x[0] = 1; }`)
+	if len(u.Kernels()) != 1 {
+		t.Error("kernel with attribute not parsed")
+	}
+}
+
+func TestParseLocalParam(t *testing.T) {
+	u := mustParse(t, `__kernel void k(__global float* g, __local float* scratch) {}`)
+	p := u.Kernels()[0].Params[1]
+	if p.Type.Kind != TPtr || p.Type.Space != ASLocal {
+		t.Errorf("scratch type = %v, want __local float*", p.Type)
+	}
+}
+
+func TestParseImageAndSamplerParams(t *testing.T) {
+	u := mustParse(t, `__kernel void k(__read_only image2d_t img, sampler_t s, __global float* out) {}`)
+	ps := u.Kernels()[0].Params
+	if ps[0].Type.Kind != TImage2D {
+		t.Errorf("img type = %v", ps[0].Type)
+	}
+	if ps[1].Type.Kind != TSampler {
+		t.Errorf("s type = %v", ps[1].Type)
+	}
+}
+
+func TestParseConstantGlobalTable(t *testing.T) {
+	u := mustParse(t, `
+__constant float weights[4] = { 0.25f, 0.25f, 0.25f, 0.25f };
+__kernel void k(__global float* out) { out[0] = weights[1]; }`)
+	if len(u.Globals) != 1 {
+		t.Fatalf("globals = %d, want 1", len(u.Globals))
+	}
+	g := u.Globals[0]
+	if g.Name != "weights" || g.Elems != 4 || len(g.Init) != 4 {
+		t.Errorf("global = %+v", g)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	u := mustParse(t, `
+__kernel void k(__global int* x, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) continue;
+        s += i;
+        if (s > 100) break;
+    }
+    int j = 0;
+    while (j < 3) { j++; }
+    do { j--; } while (j > 0);
+    x[0] = s;
+}`)
+	body := u.Kernels()[0].Body
+	if len(body.List) < 5 {
+		t.Errorf("body statements = %d, want >= 5", len(body.List))
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	u := mustParse(t, `__kernel void k(__global int* x) { x[0] = 1 + 2 * 3; }`)
+	st := u.Kernels()[0].Body.List[0].(*ExprStmt)
+	asn := st.X.(*AssignExpr)
+	add := asn.R.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op = %q, want +", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("right op = %q, want *", mul.Op)
+	}
+}
+
+func TestParseTernaryAndCast(t *testing.T) {
+	u := mustParse(t, `__kernel void k(__global float* x, int n) {
+        x[0] = (n > 0) ? (float)n : 0.0f;
+    }`)
+	st := u.Kernels()[0].Body.List[0].(*ExprStmt)
+	asn := st.X.(*AssignExpr)
+	if _, ok := asn.R.(*CondExpr); !ok {
+		t.Errorf("rhs = %T, want CondExpr", asn.R)
+	}
+}
+
+func TestParseSizeofFolded(t *testing.T) {
+	u := mustParse(t, `__kernel void k(__global int* x) { x[0] = sizeof(float); }`)
+	st := u.Kernels()[0].Body.List[0].(*ExprStmt)
+	asn := st.X.(*AssignExpr)
+	lit, ok := asn.R.(*IntLit)
+	if !ok || lit.Val != 4 {
+		t.Errorf("sizeof(float) = %#v, want IntLit 4", asn.R)
+	}
+}
+
+func TestParsePrototypeOnly(t *testing.T) {
+	u := mustParse(t, `float helper(float x);
+float helper(float x) { return x; }
+__kernel void k(__global float* o) { o[0] = helper(1.0f); }`)
+	if len(u.Funcs) != 3 {
+		t.Errorf("funcs = %d, want 3 (prototype + definition + kernel)", len(u.Funcs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`__kernel void k(__global float* x) { x[0] = ; }`,
+		`__kernel void k() { int a b; }`,
+		`__kernel void k() { if (1 { } }`,
+		`__kernel void k() {`,
+		`__kernel void k(int a, float b, ) {}`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseMultipleDeclaratorsRejectedHelpfully(t *testing.T) {
+	_, err := Parse(`__kernel void k() { int a, b; }`)
+	if err == nil || !strings.Contains(err.Error(), "separate declarations") {
+		t.Errorf("want helpful multi-declarator error, got %v", err)
+	}
+}
+
+func TestParseUnsignedSpellings(t *testing.T) {
+	u := mustParse(t, `__kernel void k(unsigned int a, unsigned b, uint c) {}`)
+	for i, p := range u.Kernels()[0].Params {
+		if p.Type.Kind != TUInt {
+			t.Errorf("param %d type = %v, want uint", i, p.Type)
+		}
+	}
+}
+
+func TestParseArrayParamDecays(t *testing.T) {
+	u := mustParse(t, `float sum(float vals[], int n) { return vals[0]; }`)
+	p := u.Lookup("sum").Params[0]
+	if p.Type.Kind != TPtr {
+		t.Errorf("array parameter should decay to pointer, got %v", p.Type)
+	}
+}
+
+func TestTypeStringRoundtrip(t *testing.T) {
+	cases := map[string]*Type{
+		"float":             TypeFloat,
+		"__global float*":   PtrTo(TypeFloat, ASGlobal),
+		"__local int*":      PtrTo(TypeInt, ASLocal),
+		"__constant uchar*": PtrTo(TypeUChar, ASConstant),
+		"image2d_t":         TypeImage2D,
+		"sampler_t":         TypeSampler,
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	sizes := map[*Type]int{
+		TypeChar: 1, TypeUChar: 1, TypeShort: 2, TypeUShort: 2,
+		TypeInt: 4, TypeUInt: 4, TypeFloat: 4,
+		TypeLong: 8, TypeULong: 8, TypeDouble: 8, TypeSizeT: 8,
+	}
+	for typ, want := range sizes {
+		if got := typ.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", typ, got, want)
+		}
+	}
+	if PtrTo(TypeFloat, ASGlobal).Size() != 8 {
+		t.Error("pointer size should be 8")
+	}
+}

@@ -1,0 +1,129 @@
+package clc
+
+import "fmt"
+
+// ParamKind classifies a kernel parameter for the purpose CheCL cares
+// about: deciding, at clSetKernelArg time, whether the (void*, size_t)
+// argument carries an OpenCL handle that must be translated.
+type ParamKind int
+
+// Parameter classifications (see §III-B of the paper).
+const (
+	// ParamScalar is a by-value scalar; the argument bytes are passed
+	// through untouched.
+	ParamScalar ParamKind = iota
+	// ParamMemHandle is a __global or __constant pointer; the argument is
+	// a cl_mem handle that must be translated.
+	ParamMemHandle
+	// ParamLocalSize is a __local pointer; the argument is a size with a
+	// NULL value (local memory is allocated per work-group, no handle).
+	ParamLocalSize
+	// ParamImageHandle is an image2d_t/image3d_t; the argument is a
+	// cl_mem (image) handle.
+	ParamImageHandle
+	// ParamSamplerHandle is a sampler_t; the argument is a cl_sampler
+	// handle.
+	ParamSamplerHandle
+)
+
+func (k ParamKind) String() string {
+	switch k {
+	case ParamScalar:
+		return "scalar"
+	case ParamMemHandle:
+		return "mem-handle"
+	case ParamLocalSize:
+		return "local-size"
+	case ParamImageHandle:
+		return "image-handle"
+	case ParamSamplerHandle:
+		return "sampler-handle"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// IsHandle reports whether arguments of this kind carry an OpenCL object
+// handle that CheCL must translate between CheCL and real handle spaces.
+func (k ParamKind) IsHandle() bool {
+	return k == ParamMemHandle || k == ParamImageHandle || k == ParamSamplerHandle
+}
+
+// ParamSig describes one kernel parameter.
+type ParamSig struct {
+	Name string
+	Type string // OpenCL C rendering, for diagnostics
+	Kind ParamKind
+}
+
+// KernelSig is the parsed signature of one kernel function.
+type KernelSig struct {
+	Name   string
+	Params []ParamSig
+}
+
+// ClassifyParam maps a parsed parameter type to its ParamKind using the
+// paper's rule: address-space qualifiers __global/__local/__constant and
+// the special types image2d_t/image3d_t/sampler_t identify handle-bearing
+// arguments.
+func ClassifyParam(t *Type) ParamKind {
+	switch t.Kind {
+	case TImage2D, TImage3D:
+		return ParamImageHandle
+	case TSampler:
+		return ParamSamplerHandle
+	case TPtr:
+		switch t.Space {
+		case ASGlobal, ASConstant:
+			return ParamMemHandle
+		case ASLocal:
+			return ParamLocalSize
+		default:
+			// A __private pointer parameter is not addressable from the
+			// host; treat as scalar bytes (cannot occur in valid kernels).
+			return ParamScalar
+		}
+	default:
+		return ParamScalar
+	}
+}
+
+// ExtractSignatures parses OpenCL C source and returns the signature of
+// every kernel function, in declaration order. This is the operation CheCL
+// performs at clCreateProgramWithSource time (§III-B).
+func ExtractSignatures(source string) ([]KernelSig, error) {
+	unit, err := Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return SignaturesFromUnit(unit), nil
+}
+
+// SignaturesFromUnit extracts kernel signatures from an already-parsed
+// unit.
+func SignaturesFromUnit(unit *Unit) []KernelSig {
+	var sigs []KernelSig
+	for _, fn := range unit.Kernels() {
+		sig := KernelSig{Name: fn.Name}
+		for _, p := range fn.Params {
+			sig.Params = append(sig.Params, ParamSig{
+				Name: p.Name,
+				Type: p.Type.String(),
+				Kind: ClassifyParam(p.Type),
+			})
+		}
+		sigs = append(sigs, sig)
+	}
+	return sigs
+}
+
+// Lookup returns the signature with the given kernel name from sigs, or
+// false if absent.
+func Lookup(sigs []KernelSig, name string) (KernelSig, bool) {
+	for _, s := range sigs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return KernelSig{}, false
+}

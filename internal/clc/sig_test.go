@@ -1,0 +1,80 @@
+package clc
+
+import "testing"
+
+func TestExtractSignaturesHandleDetection(t *testing.T) {
+	// Mirrors §III-B: qualified pointers and special types are handles.
+	src := `
+__kernel void mix(__global float* data,
+                  __constant float* table,
+                  __local float* scratch,
+                  image2d_t img,
+                  sampler_t smp,
+                  float scale,
+                  unsigned int n) {}
+`
+	sigs, err := ExtractSignatures(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 1 {
+		t.Fatalf("got %d signatures", len(sigs))
+	}
+	want := []ParamKind{
+		ParamMemHandle, ParamMemHandle, ParamLocalSize,
+		ParamImageHandle, ParamSamplerHandle, ParamScalar, ParamScalar,
+	}
+	for i, k := range want {
+		if got := sigs[0].Params[i].Kind; got != k {
+			t.Errorf("param %d (%s) kind = %v, want %v", i, sigs[0].Params[i].Name, got, k)
+		}
+	}
+}
+
+func TestExtractSignaturesMultipleKernels(t *testing.T) {
+	src := `
+__kernel void a(__global int* x) {}
+void helper(float y) {}
+kernel void b(__global float* p, int n) {}
+`
+	sigs, err := ExtractSignatures(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 2 || sigs[0].Name != "a" || sigs[1].Name != "b" {
+		t.Fatalf("sigs = %+v", sigs)
+	}
+	if _, ok := Lookup(sigs, "helper"); ok {
+		t.Error("helper is not a kernel and must not be in the signature set")
+	}
+	if s, ok := Lookup(sigs, "b"); !ok || len(s.Params) != 2 {
+		t.Errorf("Lookup(b) = %+v, %v", s, ok)
+	}
+}
+
+func TestParamKindIsHandle(t *testing.T) {
+	cases := map[ParamKind]bool{
+		ParamScalar:        false,
+		ParamMemHandle:     true,
+		ParamLocalSize:     false,
+		ParamImageHandle:   true,
+		ParamSamplerHandle: true,
+	}
+	for k, want := range cases {
+		if got := k.IsHandle(); got != want {
+			t.Errorf("%v.IsHandle() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestClassifyParamPrivatePointer(t *testing.T) {
+	if got := ClassifyParam(PtrTo(TypeFloat, ASPrivate)); got != ParamScalar {
+		t.Errorf("private pointer classified %v, want scalar", got)
+	}
+}
+
+func TestExtractSignaturesBadSource(t *testing.T) {
+	if _, err := ExtractSignatures("__kernel void broken("); err == nil {
+		t.Error("expected parse error")
+	}
+}

@@ -1,0 +1,124 @@
+// Package clc implements an OpenCL C front end: a lexer, a recursive-descent
+// parser, kernel-signature extraction, a static write-set analysis, and a
+// tree-walking interpreter able to execute a useful subset of OpenCL C over
+// an NDRange.
+//
+// The paper uses Clang/LLVM 2.7 only to parse kernel parameter lists so that
+// CheCL can tell which clSetKernelArg arguments carry OpenCL handles
+// (parameters qualified __global/__local/__constant, or typed image2d_t /
+// image3d_t / sampler_t). This package provides that exact capability
+// (ExtractSignatures), and additionally interprets kernel bodies so that the
+// simulated devices in internal/ocl compute real, verifiable results.
+package clc
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStringLit
+	TokPunct
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokIntLit:
+		return "integer literal"
+	case TokFloatLit:
+		return "float literal"
+	case TokCharLit:
+		return "char literal"
+	case TokStringLit:
+		return "string literal"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords is the set of reserved words the parser understands. It covers
+// the OpenCL C subset used by the benchmark kernels plus the qualifiers the
+// signature extractor must recognise.
+var keywords = map[string]bool{
+	// type specifiers
+	"void": true, "bool": true, "char": true, "uchar": true,
+	"short": true, "ushort": true, "int": true, "uint": true,
+	"long": true, "ulong": true, "float": true, "double": true,
+	"half": true, "size_t": true, "ptrdiff_t": true,
+	"unsigned": true, "signed": true,
+	"image2d_t": true, "image3d_t": true, "sampler_t": true,
+	"event_t": true,
+	// address-space and access qualifiers
+	"__global": true, "global": true,
+	"__local": true, "local": true,
+	"__constant": true, "constant": true,
+	"__private": true, "private": true,
+	"__read_only": true, "read_only": true,
+	"__write_only": true, "write_only": true,
+	"__read_write": true, "read_write": true,
+	// function qualifiers
+	"__kernel": true, "kernel": true,
+	"__attribute__": true, "inline": true, "static": true,
+	"const": true, "volatile": true, "restrict": true,
+	// statements
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "goto": true,
+	"typedef": true, "struct": true, "union": true, "enum": true,
+	"sizeof": true,
+}
+
+// IsTypeStart reports whether the token can begin a type specifier.
+func (t Token) IsTypeStart() bool {
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+		"long", "ulong", "float", "double", "half", "size_t", "ptrdiff_t",
+		"unsigned", "signed", "image2d_t", "image3d_t", "sampler_t",
+		"const", "volatile", "restrict",
+		"__global", "global", "__local", "local",
+		"__constant", "constant", "__private", "private",
+		"__read_only", "read_only", "__write_only", "write_only",
+		"__read_write", "read_write":
+		return true
+	}
+	return false
+}
+
+// Is reports whether the token is a punctuation or keyword with exactly
+// the given text.
+func (t Token) Is(text string) bool {
+	return (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == text
+}

@@ -1,0 +1,244 @@
+package clc
+
+// Write-set analysis: determine, statically and conservatively, which
+// __global/__constant pointer parameters a kernel may store through. The
+// paper lists this capability as future work (§III-D): with it, CheCL can
+// perform *incremental* checkpointing of OpenCL objects, writing a memory
+// object into the checkpoint file only if some kernel executed since the
+// previous checkpoint may have modified it.
+
+// WriteSet reports, for the kernel named name, the indices of parameters
+// that the kernel (or any helper it calls) may write through. Parameters
+// not in the set are read-only and their buffers cannot be dirtied by the
+// kernel. The analysis is conservative: pointer values that flow through
+// locals, helper calls or arithmetic are tracked by name; any store whose
+// base cannot be traced marks every pointer parameter as written.
+func (p *Program) WriteSet(name string) ([]int, bool) {
+	fn := p.Unit.Lookup(name)
+	if fn == nil || !fn.IsKernel || fn.Body == nil {
+		return nil, false
+	}
+	a := &writeAnalysis{prog: p}
+	written := a.analyzeFunc(fn, nil)
+	var out []int
+	for i, prm := range fn.Params {
+		if ClassifyParam(prm.Type) != ParamMemHandle {
+			continue
+		}
+		if written[prm.Name] || written[wildcard] {
+			out = append(out, i)
+		}
+	}
+	return out, true
+}
+
+// wildcard marks "some untraceable pointer was stored through".
+const wildcard = "*"
+
+type writeAnalysis struct {
+	prog  *Program
+	depth int
+}
+
+// analyzeFunc returns the set of parameter/alias names written through.
+// aliasOf maps a formal parameter name to the caller-side name it aliases
+// (nil for the kernel entry).
+func (a *writeAnalysis) analyzeFunc(fn *FuncDecl, aliasOf map[string]string) map[string]bool {
+	if a.depth > 32 {
+		return map[string]bool{wildcard: true}
+	}
+	a.depth++
+	defer func() { a.depth-- }()
+
+	// aliases maps each local pointer variable to the root name it may
+	// point into (a parameter name or wildcard).
+	aliases := map[string]string{}
+	for _, p := range fn.Params {
+		if p.Type.Kind == TPtr {
+			aliases[p.Name] = p.Name
+		}
+	}
+	written := map[string]bool{}
+
+	var root func(e Expr) string
+	root = func(e Expr) string {
+		switch v := e.(type) {
+		case *Ident:
+			if r, ok := aliases[v.Name]; ok {
+				return r
+			}
+			return "" // local array or non-pointer
+		case *IndexExpr:
+			return root(v.Base)
+		case *UnaryExpr:
+			if v.Op == "*" || v.Op == "&" {
+				return root(v.X)
+			}
+			return ""
+		case *BinaryExpr:
+			if r := root(v.L); r != "" {
+				return r
+			}
+			return root(v.R)
+		case *CastExpr:
+			return root(v.X)
+		case *CondExpr:
+			if r := root(v.Then); r != "" {
+				return r
+			}
+			return root(v.Else)
+		case *AssignExpr:
+			return root(v.L)
+		default:
+			return ""
+		}
+	}
+
+	mark := func(name string) {
+		if name == "" {
+			return
+		}
+		written[name] = true
+	}
+
+	var walkExpr func(e Expr)
+	var walkStmt func(s Stmt)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case nil:
+			return
+		case *AssignExpr:
+			// A store through an lvalue rooted at a pointer parameter.
+			switch lhs := v.L.(type) {
+			case *IndexExpr:
+				mark(root(lhs.Base))
+				walkExpr(lhs.Index)
+			case *UnaryExpr:
+				if lhs.Op == "*" {
+					mark(root(lhs.X))
+				}
+			case *Ident:
+				// Re-binding a local pointer: track the new alias.
+				if _, isPtr := aliases[lhs.Name]; isPtr || rootIsPtr(v.R, aliases) {
+					r := root(v.R)
+					if r == "" {
+						r = wildcard
+					}
+					aliases[lhs.Name] = r
+				}
+			}
+			walkExpr(v.R)
+		case *BinaryExpr:
+			walkExpr(v.L)
+			walkExpr(v.R)
+		case *UnaryExpr:
+			walkExpr(v.X)
+		case *PostfixExpr:
+			walkExpr(v.X)
+		case *IndexExpr:
+			walkExpr(v.Base)
+			walkExpr(v.Index)
+		case *CondExpr:
+			walkExpr(v.Cond)
+			walkExpr(v.Then)
+			walkExpr(v.Else)
+		case *CastExpr:
+			walkExpr(v.X)
+		case *CallExpr:
+			for _, arg := range v.Args {
+				walkExpr(arg)
+			}
+			// Atomics write through their first argument.
+			if len(v.Args) > 0 && isAtomicName(v.Fun) {
+				mark(root(v.Args[0]))
+				return
+			}
+			if callee := a.prog.Unit.Lookup(v.Fun); callee != nil && callee.Body != nil {
+				sub := a.analyzeFunc(callee, nil)
+				for i, prm := range callee.Params {
+					if i >= len(v.Args) {
+						break
+					}
+					if prm.Type.Kind == TPtr && sub[prm.Name] {
+						mark(root(v.Args[i]))
+					}
+				}
+				if sub[wildcard] {
+					mark(wildcard)
+				}
+			}
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch v := s.(type) {
+		case nil:
+			return
+		case *BlockStmt:
+			for _, c := range v.List {
+				walkStmt(c)
+			}
+		case *DeclStmt:
+			if v.Type.Kind == TPtr && v.Init != nil {
+				r := root(v.Init)
+				if r == "" {
+					r = wildcard
+				}
+				aliases[v.Name] = r
+			}
+			walkExpr(v.Elems)
+			walkExpr(v.Init)
+		case *ExprStmt:
+			walkExpr(v.X)
+		case *IfStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Then)
+			walkStmt(v.Else)
+		case *ForStmt:
+			walkStmt(v.Init)
+			walkExpr(v.Cond)
+			walkExpr(v.Post)
+			walkStmt(v.Body)
+		case *WhileStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Body)
+		case *DoWhileStmt:
+			walkStmt(v.Body)
+			walkExpr(v.Cond)
+		case *SwitchStmt:
+			walkExpr(v.Tag)
+			for _, cs := range v.Cases {
+				for _, lv := range cs.Vals {
+					walkExpr(lv)
+				}
+				for _, st := range cs.Body {
+					walkStmt(st)
+				}
+			}
+		case *ReturnStmt:
+			walkExpr(v.X)
+		}
+	}
+	walkStmt(fn.Body)
+	_ = aliasOf
+	return written
+}
+
+func rootIsPtr(e Expr, aliases map[string]string) bool {
+	switch v := e.(type) {
+	case *Ident:
+		_, ok := aliases[v.Name]
+		return ok
+	case *BinaryExpr:
+		return rootIsPtr(v.L, aliases) || rootIsPtr(v.R, aliases)
+	case *CastExpr:
+		return v.Type.Kind == TPtr
+	case *UnaryExpr:
+		return v.Op == "&"
+	default:
+		return false
+	}
+}
+
+func isAtomicName(name string) bool {
+	return len(name) > 5 && (name[:6] == "atomic" || (len(name) > 4 && name[:5] == "atom_"))
+}

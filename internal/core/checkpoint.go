@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+
+	"checl/internal/cpr"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/proxy"
+	"checl/internal/vtime"
+)
+
+// dbRegion is the name of the application memory region holding the
+// serialised CheCL object database during a dump.
+const dbRegion = "checl.db"
+
+// PhaseTimes is the four-phase breakdown of §III-C / Fig. 5.
+type PhaseTimes struct {
+	Sync        vtime.Duration // drain host + all command queues
+	Preprocess  vtime.Duration // copy device buffers to host memory
+	Write       vtime.Duration // conventional CPR dump of the host image
+	Postprocess vtime.Duration // free the staged copies
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() vtime.Duration {
+	return p.Sync + p.Preprocess + p.Write + p.Postprocess
+}
+
+// CheckpointStats describes one completed checkpoint.
+type CheckpointStats struct {
+	Phases        PhaseTimes
+	FileSize      int64
+	Path          string
+	FSName        string
+	StagedBuffers int
+	StagedBytes   int64
+}
+
+// Checkpoint performs the §III-C procedure: synchronise, stage device
+// buffers into host memory, dump the (now OpenCL-free) application process
+// with the conventional CPR backend, and drop the staged copies.
+func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
+	clock := c.app.Clock()
+	stats := CheckpointStats{Path: path, FSName: fs.Name()}
+
+	// Phase 1: synchronisation. The host waits for every enqueued command
+	// on every queue to complete.
+	sw := vtime.NewStopwatch(clock)
+	for _, q := range c.db.orderedQueues() {
+		if err := c.px.Client.Finish(q.real); err != nil {
+			return stats, fmt.Errorf("checl: checkpoint sync: %w", err)
+		}
+	}
+	stats.Phases.Sync = sw.Reset()
+
+	// Phase 2: preprocessing. Copy user data from device memory to host
+	// memory. In incremental mode only buffers possibly modified since
+	// the previous checkpoint are re-staged.
+	for _, m := range c.db.orderedMems() {
+		if c.opts.Incremental && !m.Dirty && m.Data != nil {
+			continue
+		}
+		qrec := c.anyQueueFor(m.Ctx)
+		if qrec == nil {
+			// No queue in this context: the buffer was never usable by a
+			// kernel; stage zeros of the right size.
+			m.Data = make([]byte, m.Size)
+		} else {
+			data, _, err := c.px.Client.EnqueueReadBuffer(qrec.real, m.real, true, 0, m.Size, nil)
+			if err != nil {
+				return stats, fmt.Errorf("checl: checkpoint preprocess: %w", err)
+			}
+			m.Data = data
+		}
+		m.Dirty = false
+		stats.StagedBuffers++
+		stats.StagedBytes += m.Size
+	}
+	stats.Phases.Preprocess = sw.Reset()
+
+	// Destructive (CheCUDA-style) ablation: tear down every OpenCL object
+	// and the proxy before the dump.
+	if c.opts.Destructive {
+		c.px.Kill()
+	}
+
+	// Phase 3: write. Serialise the object database into the application's
+	// address space and let the conventional CPR system dump the process.
+	blob, err := c.db.encode()
+	if err != nil {
+		return stats, err
+	}
+	c.app.SetRegion(dbRegion, blob)
+	wst, err := c.opts.Backend.Checkpoint(c.app, fs, path)
+	if err != nil {
+		return stats, fmt.Errorf("checl: checkpoint write: %w", err)
+	}
+	stats.Phases.Write = sw.Reset()
+	stats.FileSize = wst.Bytes
+
+	// Phase 4: postprocessing. Drop the staged copies to reclaim host
+	// memory. (CheCL keeps the OpenCL objects alive — unlike CheCUDA, no
+	// recreation is needed, which is why this phase is negligible.)
+	c.app.RemoveRegion(dbRegion)
+	if c.opts.Destructive {
+		// CheCUDA-style recreation of everything that was torn down,
+		// using the staged copies before they are dropped.
+		vendor, verr := selectVendor(c.app.Node(), c.opts.VendorName)
+		if verr != nil {
+			return stats, verr
+		}
+		px, perr := proxy.Spawn(c.app, vendor)
+		if perr != nil {
+			return stats, perr
+		}
+		c.px = px
+		if _, err := c.rebindAll(); err != nil {
+			return stats, fmt.Errorf("checl: destructive postprocess: %w", err)
+		}
+	}
+	if !c.opts.Incremental {
+		for _, m := range c.db.mems {
+			m.Data = nil
+			m.Dirty = true
+		}
+	}
+	stats.Phases.Postprocess = sw.Reset()
+	c.lastCkpt = &stats
+	return stats, nil
+}
+
+// anyQueueFor returns some queue of the given context, or nil.
+func (c *CheCL) anyQueueFor(ctx Handle) *queueRec {
+	for _, q := range c.db.orderedQueues() {
+		if q.Ctx == ctx {
+			return q
+		}
+	}
+	return nil
+}
+
+// RestartStats is the per-class object recreation breakdown of Fig. 7.
+type RestartStats struct {
+	PerClass  map[string]vtime.Duration
+	Recompile vtime.Duration // total clBuildProgram time (the Tr of Eq. 1)
+	ReadTime  vtime.Duration // checkpoint file read
+	Total     vtime.Duration
+}
+
+// Restore restarts a checkpointed CheCL application on node: the CPR
+// backend restores the host image, a fresh API proxy is forked, and every
+// OpenCL object is recreated in the dependency order of §III-C.
+func Restore(node *proc.Node, fs *proc.FS, path string, opts Options) (*CheCL, RestartStats, error) {
+	if opts.Backend == nil {
+		opts.Backend = cpr.BLCR{}
+	}
+	stats := RestartStats{PerClass: map[string]vtime.Duration{}}
+	total := vtime.NewStopwatch(node.Clock)
+
+	app, rst, err := opts.Backend.Restart(node, fs, path)
+	if err != nil {
+		return nil, stats, fmt.Errorf("checl: restart: %w", err)
+	}
+	stats.ReadTime = rst.Time
+
+	blob := app.Region(dbRegion)
+	if blob == nil {
+		return nil, stats, fmt.Errorf("checl: checkpoint %q has no CheCL object database", path)
+	}
+	db, err := decodeDatabase(blob)
+	if err != nil {
+		return nil, stats, err
+	}
+	app.RemoveRegion(dbRegion)
+
+	vendor, err := selectVendor(node, opts.VendorName)
+	if err != nil {
+		return nil, stats, err
+	}
+	px, err := proxy.Spawn(app, vendor)
+	if err != nil {
+		return nil, stats, err
+	}
+	c := &CheCL{app: app, opts: opts, px: px, db: db}
+	rs, err := c.rebindAll()
+	if err != nil {
+		return nil, stats, err
+	}
+	for k, v := range rs.PerClass {
+		stats.PerClass[k] = v
+	}
+	stats.Recompile = rs.Recompile
+	stats.Total = total.Elapsed()
+	return c, stats, nil
+}
+
+// rebindAll recreates every object in the database via the current proxy,
+// in the dependency order of §III-C, and rebinds the real handles hidden
+// behind the (unchanged) CheCL handles.
+func (c *CheCL) rebindAll() (RestartStats, error) {
+	stats := RestartStats{PerClass: map[string]vtime.Duration{}}
+	clock := c.app.Clock()
+	api := c.px.Client
+	sw := vtime.NewStopwatch(clock)
+
+	// 1) cl_platform_id
+	plats, err := api.GetPlatformIDs()
+	if err != nil {
+		return stats, err
+	}
+	for _, p := range c.db.platforms {
+		info, err := api.GetPlatformInfo(plats[0])
+		if err != nil {
+			return stats, err
+		}
+		p.real = plats[0]
+		p.Info = info
+	}
+	stats.PerClass["platform"] = sw.Reset()
+
+	// 2) cl_device_id — with runtime processor selection: each recorded
+	// device is remapped onto an available device, preferring the option
+	// set in PreferDeviceType, then the original device type.
+	devs, err := api.GetDeviceIDs(plats[0], ocl.DeviceTypeAll)
+	if err != nil {
+		return stats, err
+	}
+	infos := make([]ocl.DeviceInfo, len(devs))
+	for i, d := range devs {
+		if infos[i], err = api.GetDeviceInfo(d); err != nil {
+			return stats, err
+		}
+	}
+	pick := func(want hw.DeviceType) int {
+		if want != 0 {
+			for i, inf := range infos {
+				if inf.Type == want {
+					return i
+				}
+			}
+		}
+		return 0
+	}
+	for _, d := range orderedVals(c.db.devices, func(r *deviceRec) uint64 { return r.Seq }) {
+		want := d.Info.Type
+		if c.opts.PreferDeviceType != 0 {
+			want = c.opts.PreferDeviceType
+		}
+		i := pick(want)
+		d.real = devs[i]
+		d.Info = infos[i]
+	}
+	stats.PerClass["device"] = sw.Reset()
+
+	// 3) cl_context
+	for _, ctx := range c.db.orderedContexts() {
+		realDevs := make([]ocl.DeviceID, 0, len(ctx.Devices))
+		for _, dh := range ctx.Devices {
+			drec, err := c.db.device(dh)
+			if err != nil {
+				return stats, err
+			}
+			realDevs = append(realDevs, drec.real)
+		}
+		// Device remapping can alias several recorded devices onto one
+		// physical device; contexts must not list duplicates.
+		realDevs = dedupeDevices(realDevs)
+		real, err := api.CreateContext(realDevs)
+		if err != nil {
+			return stats, err
+		}
+		ctx.real = real
+	}
+	stats.PerClass["context"] = sw.Reset()
+
+	// 4) cl_command_queue
+	for _, q := range c.db.orderedQueues() {
+		ctx, err := c.db.context(q.Ctx)
+		if err != nil {
+			return stats, err
+		}
+		dev, err := c.db.device(q.Device)
+		if err != nil {
+			return stats, err
+		}
+		real, err := api.CreateCommandQueue(ctx.real, dev.real, q.Props)
+		if err != nil {
+			return stats, err
+		}
+		q.real = real
+	}
+	stats.PerClass["cmd_que"] = sw.Reset()
+
+	// 5) cl_mem — recreate and send the staged user data back to device
+	// memory (the HtoD transfers that dominate Fig. 7 for data-heavy
+	// programs).
+	for _, m := range c.db.orderedMems() {
+		ctx, err := c.db.context(m.Ctx)
+		if err != nil {
+			return stats, err
+		}
+		flags := m.Flags &^ (ocl.MemUseHostPtr | ocl.MemCopyHostPtr)
+		real, err := api.CreateBuffer(ctx.real, flags, m.Size, nil)
+		if err != nil {
+			return stats, err
+		}
+		m.real = real
+		if m.Data != nil {
+			q := c.anyQueueFor(m.Ctx)
+			if q != nil {
+				if _, err := api.EnqueueWriteBuffer(q.real, m.real, true, 0, m.Data, nil); err != nil {
+					return stats, err
+				}
+			}
+			if !c.opts.Incremental {
+				m.Data = nil
+			}
+		}
+		m.Dirty = false
+		// CL_MEM_USE_HOST_PTR aliasing cannot survive a restart: the
+		// original host region belongs to the old incarnation. The buffer
+		// continues with copy semantics.
+		m.UseHostPtr = false
+		m.hostPtr = nil
+	}
+	stats.PerClass["mem"] = sw.Reset()
+
+	// 6) cl_sampler
+	for _, s := range c.db.orderedSamplers() {
+		ctx, err := c.db.context(s.Ctx)
+		if err != nil {
+			return stats, err
+		}
+		real, err := api.CreateSampler(ctx.real, s.Normalized, s.AMode, s.FMode)
+		if err != nil {
+			return stats, err
+		}
+		s.real = real
+	}
+	stats.PerClass["sampler"] = sw.Reset()
+
+	// 7) cl_program — recreate and recompile; the build time is the Tr of
+	// the migration cost model.
+	var recompile vtime.Duration
+	for _, p := range c.db.orderedPrograms() {
+		ctx, err := c.db.context(p.Ctx)
+		if err != nil {
+			return stats, err
+		}
+		var real ocl.Program
+		if p.FromBinary {
+			// Deprecated path (§III-D): the stored binary is only valid
+			// on a node with the same vendor implementation.
+			someDev := devs[0]
+			real, err = api.CreateProgramWithBinary(ctx.real, someDev, p.Binary)
+			if err != nil {
+				return stats, fmt.Errorf("checl: restoring binary program (clCreateProgramWithBinary is deprecated under CheCL): %w", err)
+			}
+		} else {
+			real, err = api.CreateProgramWithSource(ctx.real, p.Source)
+			if err != nil {
+				return stats, err
+			}
+		}
+		p.real = real
+		if p.Built {
+			bsw := vtime.NewStopwatch(clock)
+			if err := api.BuildProgram(p.real, p.Options); err != nil {
+				return stats, err
+			}
+			d := bsw.Elapsed()
+			recompile += d
+			p.BuildCost = d
+		}
+	}
+	stats.PerClass["prog"] = sw.Reset()
+	stats.Recompile = recompile
+
+	// 8) cl_kernel — recreate and replay the recorded clSetKernelArg
+	// calls, translating CheCL handles to the *new* real handles.
+	for _, k := range c.db.orderedKernels() {
+		prog, err := c.db.program(k.Prog)
+		if err != nil {
+			return stats, err
+		}
+		real, err := api.CreateKernel(prog.real, k.Name)
+		if err != nil {
+			return stats, err
+		}
+		k.real = real
+		for i, a := range k.Args {
+			if !a.Set {
+				continue
+			}
+			forward, _, err := c.translateArg(prog, k.Name, i, a.Size, a.Raw)
+			if err != nil {
+				return stats, err
+			}
+			if err := api.SetKernelArg(k.real, i, a.Size, forward); err != nil {
+				return stats, err
+			}
+		}
+	}
+	stats.PerClass["kernel"] = sw.Reset()
+
+	// 9) cl_event — dummy events via clEnqueueMarker (§III-C): the queues
+	// are empty, so the markers complete immediately and can stand in for
+	// the completed pre-checkpoint events.
+	for _, e := range c.db.orderedEvents() {
+		q, err := c.db.queue(e.Queue)
+		if err != nil {
+			return stats, err
+		}
+		real, err := api.EnqueueMarker(q.real)
+		if err != nil {
+			return stats, err
+		}
+		e.real = real
+		e.Dummy = true
+	}
+	stats.PerClass["event"] = sw.Reset()
+
+	for _, d := range stats.PerClass {
+		stats.Total += d
+	}
+	return stats, nil
+}
+
+func dedupeDevices(devs []ocl.DeviceID) []ocl.DeviceID {
+	seen := map[ocl.DeviceID]bool{}
+	out := devs[:0]
+	for _, d := range devs {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MigrationStats aggregates the cost of a completed migration.
+type MigrationStats struct {
+	Checkpoint CheckpointStats
+	Restart    RestartStats
+	Transfer   vtime.Duration // checkpoint file movement between nodes
+	Total      vtime.Duration // Tm: checkpoint + transfer + restart
+}
+
+// Migrate checkpoints the application, moves the checkpoint file to the
+// target node if the filesystem is not shared, kills the source
+// incarnation, and restores on the target (§IV-C). fs must be reachable
+// from the source node; if it is the cluster NFS the restore reads it
+// directly, otherwise the file is copied over the NIC to the target's
+// local disk.
+func Migrate(c *CheCL, fs *proc.FS, path string, target *proc.Node, opts Options) (*CheCL, MigrationStats, error) {
+	var ms MigrationStats
+	src := c.app.Node()
+
+	ckpt, err := c.Checkpoint(fs, path)
+	if err != nil {
+		return nil, ms, err
+	}
+	ms.Checkpoint = ckpt
+
+	restoreFS := fs
+	if target != src && fs != target.NFS {
+		// scp-like transfer: read on the source, push over the NIC,
+		// land on the target's local disk.
+		data, err := fs.ReadFile(src.Clock, path)
+		if err != nil {
+			return nil, ms, err
+		}
+		sw := vtime.NewStopwatch(target.Clock)
+		target.Clock.Advance(src.Spec.Inter.NIC.Transfer(int64(len(data))))
+		if err := target.LocalDisk.WriteFile(target.Clock, path, data); err != nil {
+			return nil, ms, err
+		}
+		ms.Transfer = sw.Elapsed()
+		restoreFS = target.LocalDisk
+	}
+
+	// The source incarnation terminates: process migration, not cloning.
+	c.px.Kill()
+	c.app.Kill()
+
+	nc, rst, err := Restore(target, restoreFS, path, opts)
+	if err != nil {
+		return nil, ms, err
+	}
+	ms.Restart = rst
+	ms.Total = ckpt.Phases.Total() + ms.Transfer + rst.Total
+	return nc, ms, nil
+}
+
+// SelectProcessor re-targets a *running* CheCL application onto a
+// different compute device kind on the same node (runtime processor
+// selection, §IV-C): a checkpoint is taken on the RAM disk, the current
+// incarnation is torn down, and the application restarts preferring the
+// requested device type.
+func SelectProcessor(c *CheCL, want hw.DeviceType) (*CheCL, MigrationStats, error) {
+	node := c.app.Node()
+	opts := c.opts
+	opts.PreferDeviceType = want
+	return Migrate(c, node.RAMDisk, "procsel.ckpt", node, opts)
+}

@@ -1,0 +1,1066 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"checl/internal/clc"
+	"checl/internal/cpr"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/proxy"
+	"checl/internal/vtime"
+)
+
+// Mode selects when a signalled checkpoint is taken (§III-C).
+type Mode int
+
+// Checkpoint trigger modes.
+const (
+	// Immediate: the checkpoint (including a forced synchronisation) runs
+	// at the next intercepted API call after the signal.
+	Immediate Mode = iota
+	// Delayed: the checkpoint is postponed to the next natural
+	// synchronisation point (clFinish, clWaitForEvents, a blocking
+	// transfer), avoiding the extra synchronisation overhead.
+	Delayed
+)
+
+func (m Mode) String() string {
+	if m == Delayed {
+		return "delayed"
+	}
+	return "immediate"
+}
+
+// Options configures a CheCL attachment.
+type Options struct {
+	// VendorName selects the installed OpenCL implementation by platform
+	// vendor string; empty selects the node's first installed vendor.
+	VendorName string
+	// PreferDeviceType biases device selection at restore time (runtime
+	// processor selection, §IV-C); zero keeps the original device types.
+	PreferDeviceType hw.DeviceType
+	// Mode is the checkpoint trigger mode.
+	Mode Mode
+	// Backend is the underlying conventional CPR system (default BLCR).
+	Backend cpr.Backend
+	// Incremental enables the future-work incremental object
+	// checkpointing (§III-D): only buffers possibly written since the
+	// previous checkpoint are re-staged and re-written.
+	Incremental bool
+	// CkptFS/CkptPath are the destination of signal-triggered checkpoints.
+	CkptFS   *proc.FS
+	CkptPath string
+	// Destructive enables the CheCUDA-style ablation: all OpenCL objects
+	// are deleted before the dump and recreated after it, instead of
+	// being kept alive in the proxy.
+	Destructive bool
+}
+
+// CheCL is one attached instance of the tool: it implements ocl.API for
+// the application while maintaining the CheCL object database.
+type CheCL struct {
+	app     *proc.Process
+	opts    Options
+	px      *proxy.Proxy
+	db      *database
+	pending bool // a signalled checkpoint is waiting (delayed mode)
+
+	lastCkpt *CheckpointStats
+}
+
+var _ ocl.API = (*CheCL)(nil)
+
+// Attach interposes CheCL on an application process: it forks the API
+// proxy for the selected vendor and returns the API the application should
+// use. This is what dynamically loading the CheCL libOpenCL.so does in the
+// paper.
+func Attach(app *proc.Process, opts Options) (*CheCL, error) {
+	if opts.Backend == nil {
+		opts.Backend = cpr.BLCR{}
+	}
+	vendor, err := selectVendor(app.Node(), opts.VendorName)
+	if err != nil {
+		return nil, err
+	}
+	px, err := proxy.Spawn(app, vendor)
+	if err != nil {
+		return nil, err
+	}
+	return &CheCL{app: app, opts: opts, px: px, db: newDatabase()}, nil
+}
+
+func selectVendor(node *proc.Node, name string) (*ocl.Vendor, error) {
+	if name == "" {
+		if len(node.Vendors) == 0 {
+			return nil, fmt.Errorf("checl: node %s has no OpenCL implementation installed", node.Name)
+		}
+		return node.Vendors[0], nil
+	}
+	v := node.Vendor(name)
+	if v == nil {
+		return nil, fmt.Errorf("checl: node %s has no OpenCL implementation by %q", node.Name, name)
+	}
+	return v, nil
+}
+
+// Proxy exposes the running API proxy (tests and tooling).
+func (c *CheCL) Proxy() *proxy.Proxy { return c.px }
+
+// App returns the application process CheCL is attached to.
+func (c *CheCL) App() *proc.Process { return c.app }
+
+// Options returns the attachment options.
+func (c *CheCL) Options() Options { return c.opts }
+
+// LastCheckpoint returns statistics of the most recent checkpoint, or nil.
+func (c *CheCL) LastCheckpoint() *CheckpointStats { return c.lastCkpt }
+
+// ObjectCounts reports live CheCL objects per class.
+func (c *CheCL) ObjectCounts() map[string]int { return c.db.Counts() }
+
+// Detach kills the API proxy. The application process survives.
+func (c *CheCL) Detach() { c.px.Kill() }
+
+// handleToBytes encodes a handle the way it crosses clSetKernelArg.
+func handleToBytes(h uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, h)
+	return b
+}
+
+// enterCall runs at every intercepted API call: it polls for checkpoint
+// signals and, in immediate mode, takes the checkpoint before the call
+// proceeds.
+func (c *CheCL) enterCall() {
+	for {
+		sig, ok := c.app.PollSignal()
+		if !ok {
+			break
+		}
+		if sig == proc.SIGUSR1 {
+			c.pending = true
+		}
+	}
+	if c.pending && c.opts.Mode == Immediate {
+		c.triggerCheckpoint()
+	}
+}
+
+// atSyncPoint runs after synchronisation calls; in delayed mode this is
+// where a pending checkpoint fires (§III-C).
+func (c *CheCL) atSyncPoint() {
+	if c.pending && c.opts.Mode == Delayed {
+		c.triggerCheckpoint()
+	}
+}
+
+func (c *CheCL) triggerCheckpoint() {
+	c.pending = false
+	if c.opts.CkptFS == nil || c.opts.CkptPath == "" {
+		return // nowhere configured to write; drop the request
+	}
+	st, err := c.Checkpoint(c.opts.CkptFS, c.opts.CkptPath)
+	if err == nil {
+		c.lastCkpt = &st
+	}
+}
+
+// ---- platform & device wrappers ----
+
+// GetPlatformIDs wraps clGetPlatformIDs, returning CheCL platform handles.
+func (c *CheCL) GetPlatformIDs() ([]ocl.PlatformID, error) {
+	c.enterCall()
+	real, err := c.px.Client.GetPlatformIDs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ocl.PlatformID, len(real))
+	for i, rp := range real {
+		rec := c.findPlatformByReal(rp)
+		if rec == nil {
+			info, err := c.px.Client.GetPlatformInfo(rp)
+			if err != nil {
+				return nil, err
+			}
+			rec = &platformRec{H: c.db.newHandle(hPlatform), Seq: c.db.seq, real: rp, Info: info}
+			c.db.platforms[rec.H] = rec
+		}
+		out[i] = ocl.PlatformID(rec.H)
+	}
+	return out, nil
+}
+
+func (c *CheCL) findPlatformByReal(rp ocl.PlatformID) *platformRec {
+	for _, r := range c.db.platforms {
+		if r.real == rp {
+			return r
+		}
+	}
+	return nil
+}
+
+// GetPlatformInfo wraps clGetPlatformInfo.
+func (c *CheCL) GetPlatformInfo(p ocl.PlatformID) (ocl.PlatformInfo, error) {
+	c.enterCall()
+	rec, err := c.db.platform(Handle(p))
+	if err != nil {
+		return ocl.PlatformInfo{}, err
+	}
+	return c.px.Client.GetPlatformInfo(rec.real)
+}
+
+// GetDeviceIDs wraps clGetDeviceIDs, returning CheCL device handles.
+func (c *CheCL) GetDeviceIDs(p ocl.PlatformID, mask ocl.DeviceTypeMask) ([]ocl.DeviceID, error) {
+	c.enterCall()
+	prec, err := c.db.platform(Handle(p))
+	if err != nil {
+		return nil, err
+	}
+	real, err := c.px.Client.GetDeviceIDs(prec.real, mask)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ocl.DeviceID, len(real))
+	for i, rd := range real {
+		rec := c.findDeviceByReal(rd)
+		if rec == nil {
+			info, err := c.px.Client.GetDeviceInfo(rd)
+			if err != nil {
+				return nil, err
+			}
+			rec = &deviceRec{H: c.db.newHandle(hDevice), Seq: c.db.seq, Platform: prec.H, real: rd, Info: info}
+			c.db.devices[rec.H] = rec
+		}
+		out[i] = ocl.DeviceID(rec.H)
+	}
+	return out, nil
+}
+
+func (c *CheCL) findDeviceByReal(rd ocl.DeviceID) *deviceRec {
+	for _, r := range c.db.devices {
+		if r.real == rd {
+			return r
+		}
+	}
+	return nil
+}
+
+// GetDeviceInfo wraps clGetDeviceInfo.
+func (c *CheCL) GetDeviceInfo(d ocl.DeviceID) (ocl.DeviceInfo, error) {
+	c.enterCall()
+	rec, err := c.db.device(Handle(d))
+	if err != nil {
+		return ocl.DeviceInfo{}, err
+	}
+	return c.px.Client.GetDeviceInfo(rec.real)
+}
+
+// ---- context wrappers ----
+
+// CreateContext wraps clCreateContext: the devices are CheCL handles and
+// are translated before forwarding; the returned handle is a CheCL handle.
+func (c *CheCL) CreateContext(devices []ocl.DeviceID) (ocl.Context, error) {
+	c.enterCall()
+	realDevs := make([]ocl.DeviceID, len(devices))
+	hs := make([]Handle, len(devices))
+	for i, d := range devices {
+		rec, err := c.db.device(Handle(d))
+		if err != nil {
+			return 0, err
+		}
+		realDevs[i] = rec.real
+		hs[i] = rec.H
+	}
+	real, err := c.px.Client.CreateContext(realDevs)
+	if err != nil {
+		return 0, err
+	}
+	rec := &contextRec{H: c.db.newHandle(hContext), Seq: c.db.seq, Devices: hs, Refs: 1, real: real}
+	c.db.contexts[rec.H] = rec
+	return ocl.Context(rec.H), nil
+}
+
+// RetainContext wraps clRetainContext.
+func (c *CheCL) RetainContext(h ocl.Context) error {
+	c.enterCall()
+	rec, err := c.db.context(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainContext(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseContext wraps clReleaseContext.
+func (c *CheCL) ReleaseContext(h ocl.Context) error {
+	c.enterCall()
+	rec, err := c.db.context(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseContext(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.contexts, rec.H)
+	}
+	return nil
+}
+
+// ---- queue wrappers ----
+
+// CreateCommandQueue wraps clCreateCommandQueue.
+func (c *CheCL) CreateCommandQueue(ctx ocl.Context, d ocl.DeviceID, props ocl.QueueProps) (ocl.CommandQueue, error) {
+	c.enterCall()
+	crec, err := c.db.context(Handle(ctx))
+	if err != nil {
+		return 0, err
+	}
+	drec, err := c.db.device(Handle(d))
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.CreateCommandQueue(crec.real, drec.real, props)
+	if err != nil {
+		return 0, err
+	}
+	rec := &queueRec{H: c.db.newHandle(hQueue), Seq: c.db.seq, Ctx: crec.H, Device: drec.H, Props: props, Refs: 1, real: real}
+	c.db.queues[rec.H] = rec
+	return ocl.CommandQueue(rec.H), nil
+}
+
+// RetainCommandQueue wraps clRetainCommandQueue.
+func (c *CheCL) RetainCommandQueue(h ocl.CommandQueue) error {
+	c.enterCall()
+	rec, err := c.db.queue(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainCommandQueue(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseCommandQueue wraps clReleaseCommandQueue.
+func (c *CheCL) ReleaseCommandQueue(h ocl.CommandQueue) error {
+	c.enterCall()
+	rec, err := c.db.queue(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseCommandQueue(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.queues, rec.H)
+	}
+	return nil
+}
+
+// ---- buffer wrappers ----
+
+// CreateBuffer wraps clCreateBuffer. For CL_MEM_USE_HOST_PTR the host
+// slice is remembered so kernel launches can emulate the caching protocol
+// (§III-D) across the proxy boundary.
+func (c *CheCL) CreateBuffer(ctx ocl.Context, flags ocl.MemFlags, size int64, hostData []byte) (ocl.Mem, error) {
+	c.enterCall()
+	crec, err := c.db.context(Handle(ctx))
+	if err != nil {
+		return 0, err
+	}
+	// CL_MEM_USE_HOST_PTR cannot alias across the proxy process boundary:
+	// CheCL validates the host region itself, forwards the buffer with
+	// copy semantics, and emulates the caching protocol around every
+	// kernel launch (§III-D).
+	useHost := flags&ocl.MemUseHostPtr != 0
+	fwdFlags := flags
+	if useHost {
+		if hostData == nil || int64(len(hostData)) < size {
+			return 0, ocl.Errf("clCreateBuffer", ocl.InvalidValue,
+				"CL_MEM_USE_HOST_PTR requires a host region of at least %d bytes", size)
+		}
+		fwdFlags = (flags &^ ocl.MemUseHostPtr) | ocl.MemCopyHostPtr
+	}
+	real, err := c.px.Client.CreateBuffer(crec.real, fwdFlags, size, hostData)
+	if err != nil {
+		return 0, err
+	}
+	rec := &memRec{
+		H: c.db.newHandle(hMem), Seq: c.db.seq, Ctx: crec.H,
+		Flags: flags, Size: size, Refs: 1, Dirty: true,
+		UseHostPtr: useHost,
+		real:       real,
+	}
+	if useHost {
+		rec.hostPtr = hostData[:size]
+	}
+	c.db.mems[rec.H] = rec
+	return ocl.Mem(rec.H), nil
+}
+
+// RetainMemObject wraps clRetainMemObject.
+func (c *CheCL) RetainMemObject(h ocl.Mem) error {
+	c.enterCall()
+	rec, err := c.db.mem(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainMemObject(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseMemObject wraps clReleaseMemObject.
+func (c *CheCL) ReleaseMemObject(h ocl.Mem) error {
+	c.enterCall()
+	rec, err := c.db.mem(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseMemObject(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.mems, rec.H)
+	}
+	return nil
+}
+
+// ---- sampler wrappers ----
+
+// CreateSampler wraps clCreateSampler.
+func (c *CheCL) CreateSampler(ctx ocl.Context, normalized bool, am ocl.AddressingMode, fm ocl.FilterMode) (ocl.Sampler, error) {
+	c.enterCall()
+	crec, err := c.db.context(Handle(ctx))
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.CreateSampler(crec.real, normalized, am, fm)
+	if err != nil {
+		return 0, err
+	}
+	rec := &samplerRec{
+		H: c.db.newHandle(hSampler), Seq: c.db.seq, Ctx: crec.H,
+		Normalized: normalized, AMode: am, FMode: fm, Refs: 1, real: real,
+	}
+	c.db.samplers[rec.H] = rec
+	return ocl.Sampler(rec.H), nil
+}
+
+// RetainSampler wraps clRetainSampler.
+func (c *CheCL) RetainSampler(h ocl.Sampler) error {
+	c.enterCall()
+	rec, err := c.db.sampler(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainSampler(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseSampler wraps clReleaseSampler.
+func (c *CheCL) ReleaseSampler(h ocl.Sampler) error {
+	c.enterCall()
+	rec, err := c.db.sampler(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseSampler(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.samplers, rec.H)
+	}
+	return nil
+}
+
+// ---- program wrappers ----
+
+// CreateProgramWithSource wraps clCreateProgramWithSource. CheCL parses
+// the kernel parameter lists here (the paper does it with Clang) so that
+// clSetKernelArg can later distinguish handles from scalars.
+func (c *CheCL) CreateProgramWithSource(ctx ocl.Context, source string) (ocl.Program, error) {
+	c.enterCall()
+	crec, err := c.db.context(Handle(ctx))
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.CreateProgramWithSource(crec.real, source)
+	if err != nil {
+		return 0, err
+	}
+	rec := &programRec{
+		H: c.db.newHandle(hProgram), Seq: c.db.seq, Ctx: crec.H,
+		Source: source, Refs: 1, real: real,
+	}
+	if compiled, cerr := clc.Compile(source); cerr == nil {
+		rec.Sigs = compiled.Sigs
+		rec.WriteSets = map[string][]int{}
+		for _, sig := range compiled.Sigs {
+			if ws, ok := compiled.WriteSet(sig.Name); ok {
+				rec.WriteSets[sig.Name] = ws
+			}
+		}
+	}
+	c.db.programs[rec.H] = rec
+	return ocl.Program(rec.H), nil
+}
+
+// CreateProgramWithBinary wraps clCreateProgramWithBinary. Its use is
+// deprecated under CheCL (§III-D): without source there are no parsed
+// signatures, so clSetKernelArg falls back to the address-based heuristic,
+// and the recorded binary may be invalid on the restart node.
+func (c *CheCL) CreateProgramWithBinary(ctx ocl.Context, d ocl.DeviceID, binaryBlob []byte) (ocl.Program, error) {
+	c.enterCall()
+	crec, err := c.db.context(Handle(ctx))
+	if err != nil {
+		return 0, err
+	}
+	drec, err := c.db.device(Handle(d))
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.CreateProgramWithBinary(crec.real, drec.real, binaryBlob)
+	if err != nil {
+		return 0, err
+	}
+	rec := &programRec{
+		H: c.db.newHandle(hProgram), Seq: c.db.seq, Ctx: crec.H,
+		Binary: append([]byte(nil), binaryBlob...), FromBinary: true, Refs: 1, real: real,
+	}
+	c.db.programs[rec.H] = rec
+	return ocl.Program(rec.H), nil
+}
+
+// BuildProgram wraps clBuildProgram and records the measured build time —
+// the Tr input of the migration-cost model.
+func (c *CheCL) BuildProgram(h ocl.Program, options string) error {
+	c.enterCall()
+	rec, err := c.db.program(Handle(h))
+	if err != nil {
+		return err
+	}
+	sw := vtime.NewStopwatch(c.app.Clock())
+	if err := c.px.Client.BuildProgram(rec.real, options); err != nil {
+		return err
+	}
+	rec.Built = true
+	rec.Options = options
+	rec.BuildCost = sw.Elapsed()
+	return nil
+}
+
+// GetProgramBuildInfo wraps clGetProgramBuildInfo.
+func (c *CheCL) GetProgramBuildInfo(h ocl.Program, d ocl.DeviceID) (ocl.BuildInfo, error) {
+	c.enterCall()
+	rec, err := c.db.program(Handle(h))
+	if err != nil {
+		return ocl.BuildInfo{}, err
+	}
+	drec, err := c.db.device(Handle(d))
+	if err != nil {
+		return ocl.BuildInfo{}, err
+	}
+	return c.px.Client.GetProgramBuildInfo(rec.real, drec.real)
+}
+
+// GetProgramBinary wraps clGetProgramInfo(CL_PROGRAM_BINARIES).
+func (c *CheCL) GetProgramBinary(h ocl.Program) ([]byte, error) {
+	c.enterCall()
+	rec, err := c.db.program(Handle(h))
+	if err != nil {
+		return nil, err
+	}
+	return c.px.Client.GetProgramBinary(rec.real)
+}
+
+// RetainProgram wraps clRetainProgram.
+func (c *CheCL) RetainProgram(h ocl.Program) error {
+	c.enterCall()
+	rec, err := c.db.program(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainProgram(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseProgram wraps clReleaseProgram.
+func (c *CheCL) ReleaseProgram(h ocl.Program) error {
+	c.enterCall()
+	rec, err := c.db.program(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseProgram(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.programs, rec.H)
+	}
+	return nil
+}
+
+// ---- kernel wrappers ----
+
+// CreateKernel wraps clCreateKernel.
+func (c *CheCL) CreateKernel(p ocl.Program, name string) (ocl.Kernel, error) {
+	c.enterCall()
+	prec, err := c.db.program(Handle(p))
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.CreateKernel(prec.real, name)
+	if err != nil {
+		return 0, err
+	}
+	nargs := 0
+	if sig, ok := clc.Lookup(prec.Sigs, name); ok {
+		nargs = len(sig.Params)
+	} else {
+		// Program created from binary: the argument count is unknown to
+		// CheCL; grow the slot list on demand.
+		nargs = 0
+	}
+	rec := &kernelRec{
+		H: c.db.newHandle(hKernel), Seq: c.db.seq, Prog: prec.H,
+		Name: name, Args: make([]argRec, nargs), Refs: 1, real: real,
+	}
+	c.db.kernels[rec.H] = rec
+	return ocl.Kernel(rec.H), nil
+}
+
+// RetainKernel wraps clRetainKernel.
+func (c *CheCL) RetainKernel(h ocl.Kernel) error {
+	c.enterCall()
+	rec, err := c.db.kernel(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainKernel(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseKernel wraps clReleaseKernel.
+func (c *CheCL) ReleaseKernel(h ocl.Kernel) error {
+	c.enterCall()
+	rec, err := c.db.kernel(Handle(h))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseKernel(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.kernels, rec.H)
+	}
+	return nil
+}
+
+// SetKernelArg wraps clSetKernelArg — the call whose (void*, size_t)
+// contract required the signature machinery of §III-B. The raw bytes the
+// application passed are recorded for restart replay; handle-bearing
+// arguments are translated from CheCL to real handle space before
+// forwarding.
+func (c *CheCL) SetKernelArg(h ocl.Kernel, index int, size int64, value []byte) error {
+	c.enterCall()
+	rec, err := c.db.kernel(Handle(h))
+	if err != nil {
+		return err
+	}
+	prec, err := c.db.program(rec.Prog)
+	if err != nil {
+		return err
+	}
+	forward, local, err := c.translateArg(prec, rec.Name, index, size, value)
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.SetKernelArg(rec.real, index, size, forward); err != nil {
+		return err
+	}
+	for index >= len(rec.Args) {
+		rec.Args = append(rec.Args, argRec{})
+	}
+	rec.Args[index] = argRec{Set: true, Size: size, Raw: append([]byte(nil), value...), Local: local}
+	return nil
+}
+
+// translateArg converts one clSetKernelArg value from CheCL handle space
+// to real handle space. It returns the bytes to forward and whether the
+// parameter is a __local size-only argument.
+func (c *CheCL) translateArg(prec *programRec, kernel string, index int, size int64, value []byte) ([]byte, bool, error) {
+	if sig, ok := clc.Lookup(prec.Sigs, kernel); ok && index < len(sig.Params) {
+		switch sig.Params[index].Kind {
+		case clc.ParamLocalSize:
+			return nil, true, nil
+		case clc.ParamMemHandle, clc.ParamImageHandle:
+			if size != 8 || len(value) != 8 {
+				return nil, false, ocl.Errf("clSetKernelArg", ocl.InvalidArgSize,
+					"kernel %s argument %d (%s) is a mem handle and must be 8 bytes",
+					kernel, index, sig.Params[index].Name)
+			}
+			mh := Handle(binary.LittleEndian.Uint64(value))
+			mrec, err := c.db.mem(mh)
+			if err != nil {
+				return nil, false, err
+			}
+			return handleToBytes(uint64(mrec.real)), false, nil
+		case clc.ParamSamplerHandle:
+			if size != 8 || len(value) != 8 {
+				return nil, false, ocl.Errf("clSetKernelArg", ocl.InvalidArgSize,
+					"kernel %s argument %d is a sampler handle and must be 8 bytes", kernel, index)
+			}
+			sh := Handle(binary.LittleEndian.Uint64(value))
+			srec, err := c.db.sampler(sh)
+			if err != nil {
+				return nil, false, err
+			}
+			return handleToBytes(uint64(srec.real)), false, nil
+		default:
+			return value, false, nil
+		}
+	}
+	// No parsed signature (program from binary): fall back to the
+	// address-based heuristic of §III-D — an 8-byte value that matches a
+	// live CheCL handle is assumed to BE one. A scalar that happens to
+	// collide with a handle value is mis-translated; this is the
+	// documented false-positive risk.
+	if value == nil {
+		return nil, true, nil
+	}
+	if size == 8 && len(value) == 8 {
+		maybe := Handle(binary.LittleEndian.Uint64(value))
+		if mrec, ok := c.db.mems[maybe]; ok {
+			return handleToBytes(uint64(mrec.real)), false, nil
+		}
+		if srec, ok := c.db.samplers[maybe]; ok {
+			return handleToBytes(uint64(srec.real)), false, nil
+		}
+	}
+	return value, false, nil
+}
+
+// ---- enqueue wrappers ----
+
+// translateWaits converts a CheCL event wait list to real events.
+func (c *CheCL) translateWaits(waits []ocl.Event) ([]ocl.Event, error) {
+	if len(waits) == 0 {
+		return nil, nil
+	}
+	out := make([]ocl.Event, len(waits))
+	for i, w := range waits {
+		rec, err := c.db.event(Handle(w))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec.real
+	}
+	return out, nil
+}
+
+// wrapEvent registers a real event and returns its CheCL handle.
+func (c *CheCL) wrapEvent(q Handle, kind string, real ocl.Event) ocl.Event {
+	rec := &eventRec{H: c.db.newHandle(hEvent), Seq: c.db.seq, Queue: q, Kind: kind, Refs: 1, real: real}
+	c.db.events[rec.H] = rec
+	return ocl.Event(rec.H)
+}
+
+// EnqueueWriteBuffer wraps clEnqueueWriteBuffer.
+func (c *CheCL) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset int64, data []byte, waits []ocl.Event) (ocl.Event, error) {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return 0, err
+	}
+	mrec, err := c.db.mem(Handle(m))
+	if err != nil {
+		return 0, err
+	}
+	rw, err := c.translateWaits(waits)
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.EnqueueWriteBuffer(qrec.real, mrec.real, blocking, offset, data, rw)
+	if err != nil {
+		return 0, err
+	}
+	mrec.Dirty = true
+	ev := c.wrapEvent(qrec.H, "write", real)
+	if blocking {
+		c.atSyncPoint()
+	}
+	return ev, nil
+}
+
+// EnqueueReadBuffer wraps clEnqueueReadBuffer.
+func (c *CheCL) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event) ([]byte, ocl.Event, error) {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return nil, 0, err
+	}
+	mrec, err := c.db.mem(Handle(m))
+	if err != nil {
+		return nil, 0, err
+	}
+	rw, err := c.translateWaits(waits)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, real, err := c.px.Client.EnqueueReadBuffer(qrec.real, mrec.real, blocking, offset, size, rw)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev := c.wrapEvent(qrec.H, "read", real)
+	if blocking {
+		c.atSyncPoint()
+	}
+	return data, ev, nil
+}
+
+// EnqueueCopyBuffer wraps clEnqueueCopyBuffer.
+func (c *CheCL) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, dstOff, size int64, waits []ocl.Event) (ocl.Event, error) {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return 0, err
+	}
+	srec, err := c.db.mem(Handle(src))
+	if err != nil {
+		return 0, err
+	}
+	drec, err := c.db.mem(Handle(dst))
+	if err != nil {
+		return 0, err
+	}
+	rw, err := c.translateWaits(waits)
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.EnqueueCopyBuffer(qrec.real, srec.real, drec.real, srcOff, dstOff, size, rw)
+	if err != nil {
+		return 0, err
+	}
+	drec.Dirty = true
+	return c.wrapEvent(qrec.H, "copy", real), nil
+}
+
+// EnqueueNDRangeKernel wraps clEnqueueNDRangeKernel. Buffers the kernel
+// may write (per the parsed write set, or all bound buffers without one)
+// are marked dirty for incremental checkpointing. USE_HOST_PTR buffers get
+// the §III-D cache protocol: host copy sent before the launch and written
+// back after it.
+func (c *CheCL) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int, offset, global, local [3]int, waits []ocl.Event) (ocl.Event, error) {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return 0, err
+	}
+	krec, err := c.db.kernel(Handle(k))
+	if err != nil {
+		return 0, err
+	}
+	prec, err := c.db.program(krec.Prog)
+	if err != nil {
+		return 0, err
+	}
+	rw, err := c.translateWaits(waits)
+	if err != nil {
+		return 0, err
+	}
+
+	boundMems := c.boundMems(prec, krec)
+	// USE_HOST_PTR cache protocol: push host copies before launch.
+	for _, mrec := range boundMems {
+		if mrec.UseHostPtr && mrec.hostPtr != nil {
+			if _, err := c.px.Client.EnqueueWriteBuffer(qrec.real, mrec.real, true, 0, mrec.hostPtr, nil); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	real, err := c.px.Client.EnqueueNDRangeKernel(qrec.real, krec.real, dims, offset, global, local, rw)
+	if err != nil {
+		return 0, err
+	}
+
+	// Dirty marking for incremental checkpointing.
+	if ws, ok := prec.WriteSets[krec.Name]; ok {
+		sig, _ := clc.Lookup(prec.Sigs, krec.Name)
+		for _, idx := range ws {
+			if idx < len(krec.Args) && krec.Args[idx].Set && idx < len(sig.Params) {
+				mh := Handle(binary.LittleEndian.Uint64(krec.Args[idx].Raw))
+				if mrec, ok := c.db.mems[mh]; ok {
+					mrec.Dirty = true
+				}
+			}
+		}
+	} else {
+		for _, mrec := range boundMems {
+			mrec.Dirty = true
+		}
+	}
+
+	// USE_HOST_PTR cache protocol: pull results back after the launch.
+	for _, mrec := range boundMems {
+		if mrec.UseHostPtr && mrec.hostPtr != nil {
+			data, _, err := c.px.Client.EnqueueReadBuffer(qrec.real, mrec.real, true, 0, mrec.Size, nil)
+			if err != nil {
+				return 0, err
+			}
+			copy(mrec.hostPtr, data)
+		}
+	}
+	return c.wrapEvent(qrec.H, "ndrange:"+krec.Name, real), nil
+}
+
+// boundMems resolves the mem records currently bound to handle-bearing
+// arguments of the kernel.
+func (c *CheCL) boundMems(prec *programRec, krec *kernelRec) []*memRec {
+	var out []*memRec
+	sig, hasSig := clc.Lookup(prec.Sigs, krec.Name)
+	for i, a := range krec.Args {
+		if !a.Set || a.Local || len(a.Raw) != 8 {
+			continue
+		}
+		if hasSig && i < len(sig.Params) && !sig.Params[i].Kind.IsHandle() {
+			continue
+		}
+		mh := Handle(binary.LittleEndian.Uint64(a.Raw))
+		if mrec, ok := c.db.mems[mh]; ok {
+			out = append(out, mrec)
+		}
+	}
+	return out
+}
+
+// EnqueueMarker wraps clEnqueueMarker.
+func (c *CheCL) EnqueueMarker(q ocl.CommandQueue) (ocl.Event, error) {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return 0, err
+	}
+	real, err := c.px.Client.EnqueueMarker(qrec.real)
+	if err != nil {
+		return 0, err
+	}
+	return c.wrapEvent(qrec.H, "marker", real), nil
+}
+
+// EnqueueBarrier wraps clEnqueueBarrier.
+func (c *CheCL) EnqueueBarrier(q ocl.CommandQueue) error {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return err
+	}
+	return c.px.Client.EnqueueBarrier(qrec.real)
+}
+
+// Flush wraps clFlush.
+func (c *CheCL) Flush(q ocl.CommandQueue) error {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return err
+	}
+	return c.px.Client.Flush(qrec.real)
+}
+
+// Finish wraps clFinish; it is a synchronisation point for delayed
+// checkpointing.
+func (c *CheCL) Finish(q ocl.CommandQueue) error {
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.Finish(qrec.real); err != nil {
+		return err
+	}
+	c.atSyncPoint()
+	return nil
+}
+
+// WaitForEvents wraps clWaitForEvents; it is a synchronisation point for
+// delayed checkpointing.
+func (c *CheCL) WaitForEvents(events []ocl.Event) error {
+	c.enterCall()
+	rw, err := c.translateWaits(events)
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.WaitForEvents(rw); err != nil {
+		return err
+	}
+	c.atSyncPoint()
+	return nil
+}
+
+// GetEventProfile wraps clGetEventProfilingInfo.
+func (c *CheCL) GetEventProfile(e ocl.Event) (ocl.EventProfile, error) {
+	c.enterCall()
+	rec, err := c.db.event(Handle(e))
+	if err != nil {
+		return ocl.EventProfile{}, err
+	}
+	return c.px.Client.GetEventProfile(rec.real)
+}
+
+// RetainEvent wraps clRetainEvent.
+func (c *CheCL) RetainEvent(e ocl.Event) error {
+	c.enterCall()
+	rec, err := c.db.event(Handle(e))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.RetainEvent(rec.real); err != nil {
+		return err
+	}
+	rec.Refs++
+	return nil
+}
+
+// ReleaseEvent wraps clReleaseEvent.
+func (c *CheCL) ReleaseEvent(e ocl.Event) error {
+	c.enterCall()
+	rec, err := c.db.event(Handle(e))
+	if err != nil {
+		return err
+	}
+	if err := c.px.Client.ReleaseEvent(rec.real); err != nil {
+		return err
+	}
+	rec.Refs--
+	if rec.Refs <= 0 {
+		delete(c.db.events, rec.H)
+	}
+	return nil
+}

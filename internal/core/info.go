@@ -1,0 +1,99 @@
+package core
+
+import "checl/internal/ocl"
+
+// Info-query wrappers. These perform the *reverse* of the usual handle
+// translation: a query like clGetKernelInfo(CL_KERNEL_PROGRAM) returns a
+// handle, and the application must receive the CheCL handle — not the
+// real one — or it would hold a value CheCL cannot rebind after restart.
+// CheCL answers the handle-valued fields from its own object database and
+// forwards the rest.
+
+// GetMemObjectInfo wraps clGetMemObjectInfo.
+func (c *CheCL) GetMemObjectInfo(h ocl.Mem) (ocl.MemObjectInfo, error) {
+	c.enterCall()
+	rec, err := c.db.mem(Handle(h))
+	if err != nil {
+		return ocl.MemObjectInfo{}, err
+	}
+	info, err := c.px.Client.GetMemObjectInfo(rec.real)
+	if err != nil {
+		return ocl.MemObjectInfo{}, err
+	}
+	info.Context = ocl.Context(rec.Ctx)
+	info.RefCount = rec.Refs
+	// Flags are reported as the application requested them, including
+	// CL_MEM_USE_HOST_PTR, which CheCL strips before forwarding.
+	info.Flags = rec.Flags
+	return info, nil
+}
+
+// GetKernelInfo wraps clGetKernelInfo.
+func (c *CheCL) GetKernelInfo(h ocl.Kernel) (ocl.KernelInfo, error) {
+	c.enterCall()
+	rec, err := c.db.kernel(Handle(h))
+	if err != nil {
+		return ocl.KernelInfo{}, err
+	}
+	info, err := c.px.Client.GetKernelInfo(rec.real)
+	if err != nil {
+		return ocl.KernelInfo{}, err
+	}
+	info.Program = ocl.Program(rec.Prog)
+	info.RefCount = rec.Refs
+	if prec, perr := c.db.program(rec.Prog); perr == nil {
+		info.Context = ocl.Context(prec.Ctx)
+	}
+	return info, nil
+}
+
+// GetContextInfo wraps clGetContextInfo.
+func (c *CheCL) GetContextInfo(h ocl.Context) (ocl.ContextInfo, error) {
+	c.enterCall()
+	rec, err := c.db.context(Handle(h))
+	if err != nil {
+		return ocl.ContextInfo{}, err
+	}
+	info, err := c.px.Client.GetContextInfo(rec.real)
+	if err != nil {
+		return ocl.ContextInfo{}, err
+	}
+	devs := make([]ocl.DeviceID, len(rec.Devices))
+	for i, dh := range rec.Devices {
+		devs[i] = ocl.DeviceID(dh)
+	}
+	info.Devices = devs
+	info.RefCount = rec.Refs
+	return info, nil
+}
+
+// GetCommandQueueInfo wraps clGetCommandQueueInfo.
+func (c *CheCL) GetCommandQueueInfo(h ocl.CommandQueue) (ocl.CommandQueueInfo, error) {
+	c.enterCall()
+	rec, err := c.db.queue(Handle(h))
+	if err != nil {
+		return ocl.CommandQueueInfo{}, err
+	}
+	info, err := c.px.Client.GetCommandQueueInfo(rec.real)
+	if err != nil {
+		return ocl.CommandQueueInfo{}, err
+	}
+	info.Context = ocl.Context(rec.Ctx)
+	info.Device = ocl.DeviceID(rec.Device)
+	info.RefCount = rec.Refs
+	return info, nil
+}
+
+// GetKernelWorkGroupInfo wraps clGetKernelWorkGroupInfo.
+func (c *CheCL) GetKernelWorkGroupInfo(h ocl.Kernel, d ocl.DeviceID) (ocl.KernelWorkGroupInfo, error) {
+	c.enterCall()
+	krec, err := c.db.kernel(Handle(h))
+	if err != nil {
+		return ocl.KernelWorkGroupInfo{}, err
+	}
+	drec, err := c.db.device(Handle(d))
+	if err != nil {
+		return ocl.KernelWorkGroupInfo{}, err
+	}
+	return c.px.Client.GetKernelWorkGroupInfo(krec.real, drec.real)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"checl/internal/ocl"
+)
+
+// TestInfoQueriesReturnCheCLHandles: handle-valued info fields must come
+// back in CheCL handle space — and remain valid across a restart.
+func TestInfoQueriesReturnCheCLHandles(t *testing.T) {
+	node := newNodeNV("pc0")
+	_, c := attach(t, node, Options{})
+	app := setupVaddApp(t, c, 64)
+
+	mi, err := c.GetMemObjectInfo(app.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Context != app.ctx {
+		t.Errorf("mem info context = %#x, want the CheCL handle %#x", uint64(mi.Context), uint64(app.ctx))
+	}
+	if mi.Size != 4*64 {
+		t.Errorf("mem info size = %d", mi.Size)
+	}
+
+	ki, err := c.GetKernelInfo(app.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ki.Program != app.prog {
+		t.Errorf("kernel info program = %#x, want CheCL handle %#x", uint64(ki.Program), uint64(app.prog))
+	}
+	if ki.Context != app.ctx || ki.FunctionName != "vadd" || ki.NumArgs != 4 {
+		t.Errorf("kernel info = %+v", ki)
+	}
+
+	ci, err := c.GetContextInfo(app.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Devices) != 1 || ci.Devices[0] != app.dev {
+		t.Errorf("context info devices = %v, want [%#x]", ci.Devices, uint64(app.dev))
+	}
+
+	qi, err := c.GetCommandQueueInfo(app.q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi.Context != app.ctx || qi.Device != app.dev {
+		t.Errorf("queue info = %+v", qi)
+	}
+
+	wgi, err := c.GetKernelWorkGroupInfo(app.k, app.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgi.WorkGroupSize != 512 { // Tesla C1060 limit
+		t.Errorf("work-group size = %d, want 512", wgi.WorkGroupSize)
+	}
+
+	// The chain "query program from kernel, then query its build info"
+	// must work purely in CheCL handle space.
+	bi, err := c.GetProgramBuildInfo(ki.Program, ci.Devices[0])
+	if err != nil || !bi.Success {
+		t.Errorf("build info through queried handles: %+v, %v", bi, err)
+	}
+
+	// After a restart, the same queries still answer with the SAME CheCL
+	// handles (the real ones changed underneath).
+	if _, err := c.Checkpoint(node.LocalDisk, "info.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	c.Proxy().Kill()
+	c.App().Kill()
+	rc, _, err := Restore(node, node.LocalDisk, "info.ckpt", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Detach()
+	ki2, err := rc.GetKernelInfo(app.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ki2.Program != app.prog || ki2.FunctionName != "vadd" {
+		t.Errorf("kernel info after restart = %+v", ki2)
+	}
+	mi2, err := rc.GetMemObjectInfo(app.a)
+	if err != nil || mi2.Context != app.ctx {
+		t.Errorf("mem info after restart = %+v, %v", mi2, err)
+	}
+}
+
+// TestInfoQueriesReportAppFlags: USE_HOST_PTR is visible to the app even
+// though CheCL forwards the buffer with copy semantics.
+func TestInfoQueriesReportAppFlags(t *testing.T) {
+	node := newNodeNV("pc0")
+	_, c := attach(t, node, Options{})
+	app := setupVaddApp(t, c, 64)
+	host := make([]byte, 256)
+	m, err := c.CreateBuffer(app.ctx, ocl.MemReadWrite|ocl.MemUseHostPtr, 256, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := c.GetMemObjectInfo(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Flags&ocl.MemUseHostPtr == 0 {
+		t.Error("CL_MEM_USE_HOST_PTR not reported back to the application")
+	}
+}
+
+// TestInfoQueriesForeignHandles: all five queries reject non-CheCL handles.
+func TestInfoQueriesForeignHandles(t *testing.T) {
+	node := newNodeNV("pc0")
+	_, c := attach(t, node, Options{})
+	if _, err := c.GetMemObjectInfo(ocl.Mem(1)); ocl.StatusOf(err) != ocl.InvalidMemObject {
+		t.Errorf("mem: %v", err)
+	}
+	if _, err := c.GetKernelInfo(ocl.Kernel(1)); ocl.StatusOf(err) != ocl.InvalidKernel {
+		t.Errorf("kernel: %v", err)
+	}
+	if _, err := c.GetContextInfo(ocl.Context(1)); ocl.StatusOf(err) != ocl.InvalidContext {
+		t.Errorf("context: %v", err)
+	}
+	if _, err := c.GetCommandQueueInfo(ocl.CommandQueue(1)); ocl.StatusOf(err) != ocl.InvalidCommandQueue {
+		t.Errorf("queue: %v", err)
+	}
+	if _, err := c.GetKernelWorkGroupInfo(ocl.Kernel(1), ocl.DeviceID(1)); ocl.StatusOf(err) != ocl.InvalidKernel {
+		t.Errorf("wg info: %v", err)
+	}
+}

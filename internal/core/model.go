@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"checl/internal/vtime"
+)
+
+// This file implements the migration-cost prediction model of §IV-C:
+//
+//	Tm = α·M + Tr + β                                   (Eq. 1)
+//
+// where M is the checkpoint file size, α is a system parameter dominated
+// by the checkpoint-file write (and read-back) bandwidth, Tr is the
+// program recompilation time, and β is a system-specific constant (proxy
+// fork, object recreation overheads, filesystem latency).
+
+// CostSample is one observed migration used for calibration.
+type CostSample struct {
+	FileSize  int64          // M
+	Recompile vtime.Duration // Tr
+	Measured  vtime.Duration // Tm
+}
+
+// CostModel is a fitted instance of Eq. 1.
+type CostModel struct {
+	Alpha float64 // seconds per byte
+	Beta  float64 // seconds
+}
+
+// Predict evaluates Tm = α·M + Tr + β.
+func (m CostModel) Predict(fileSize int64, recompile vtime.Duration) vtime.Duration {
+	sec := m.Alpha*float64(fileSize) + recompile.Seconds() + m.Beta
+	return vtime.FromSeconds(sec)
+}
+
+// String renders the fitted parameters.
+func (m CostModel) String() string {
+	return fmt.Sprintf("Tm = %.4g s/MB * M + Tr + %.3f s", m.Alpha*1e6, m.Beta)
+}
+
+// FitCostModel computes α and β by least squares over the samples,
+// regressing (Tm − Tr) against M. At least two samples with distinct file
+// sizes are required.
+func FitCostModel(samples []CostSample) (CostModel, error) {
+	if len(samples) < 2 {
+		return CostModel{}, fmt.Errorf("checl: cost model needs at least 2 samples, got %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(samples))
+	for _, s := range samples {
+		x := float64(s.FileSize)
+		y := (s.Measured - s.Recompile).Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return CostModel{}, fmt.Errorf("checl: cost model needs samples with distinct file sizes")
+	}
+	alpha := (n*sxy - sx*sy) / den
+	beta := (sy - alpha*sx) / n
+	return CostModel{Alpha: alpha, Beta: beta}, nil
+}
+
+// Correlation computes the Pearson correlation coefficient between two
+// equally long series — used to reproduce the paper's observation that
+// total checkpoint time and checkpoint file size correlate at r ≈ 0.99
+// (§IV-B).
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("checl: correlation needs two series of equal length >= 2")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, fmt.Errorf("checl: correlation undefined for a constant series")
+	}
+	return cov / sqrt(vx*vy), nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iteration; avoids importing math for one call and keeps the
+	// function total for negative inputs.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// MeanAbsolutePercentError reports the MAPE of predictions vs measurements
+// (used by the Fig. 8 harness to quantify prediction quality).
+func MeanAbsolutePercentError(predicted, actual []vtime.Duration) (float64, error) {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return 0, fmt.Errorf("checl: MAPE needs two equal non-empty series")
+	}
+	var sum float64
+	n := 0
+	for i := range predicted {
+		a := actual[i].Seconds()
+		if a == 0 {
+			continue
+		}
+		d := predicted[i].Seconds() - a
+		if d < 0 {
+			d = -d
+		}
+		sum += d / a
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("checl: MAPE undefined for all-zero actuals")
+	}
+	return 100 * sum / float64(n), nil
+}

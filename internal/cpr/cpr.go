@@ -1,0 +1,179 @@
+// Package cpr provides the conventional checkpoint/restart substrate that
+// CheCL builds on: backends that dump a (simulated) process's host memory
+// image to a checkpoint file on a simulated filesystem and restore it.
+//
+// Two backends mirror the systems discussed in the paper:
+//
+//   - BLCR: checkpoints a single process. It refuses a process whose
+//     address space has GPU device mappings — the exact failure that makes
+//     plain OpenCL processes uncheckpointable (§II) and that the API proxy
+//     exists to avoid.
+//   - DMTCP: checkpoints a process *and its children* by default, so it
+//     fails when the API proxy (a child with device mappings) is alive; it
+//     succeeds if the proxy is killed before the checkpoint and re-forked
+//     afterwards (§V).
+package cpr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+// Image is the content of a checkpoint file: the process's registered
+// memory regions plus an opaque application-state blob.
+type Image struct {
+	ProcessName string
+	Regions     map[string][]byte
+	AppState    []byte
+}
+
+// Stats reports what a checkpoint or restart cost.
+type Stats struct {
+	Bytes int64          // checkpoint file size
+	Time  vtime.Duration // virtual time spent writing or reading the file
+}
+
+// Backend is a conventional CPR system.
+type Backend interface {
+	// Name identifies the backend ("blcr", "dmtcp").
+	Name() string
+	// Checkpoint dumps p's memory image to path on fs.
+	Checkpoint(p *proc.Process, fs *proc.FS, path string) (Stats, error)
+	// Restart re-creates a process on node n from the file at path.
+	Restart(n *proc.Node, fs *proc.FS, path string) (*proc.Process, Stats, error)
+}
+
+// encodeImage serialises an image to the on-disk representation.
+func encodeImage(img Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("cpr: encoding image: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeImage parses an on-disk checkpoint file.
+func decodeImage(data []byte) (Image, error) {
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return Image{}, fmt.Errorf("cpr: decoding image: %w", err)
+	}
+	return img, nil
+}
+
+// ReadImage loads and decodes a checkpoint file without restarting it
+// (used by tooling and by MPI global-snapshot aggregation).
+func ReadImage(clock *vtime.Clock, fs *proc.FS, path string) (Image, error) {
+	data, err := fs.ReadFile(clock, path)
+	if err != nil {
+		return Image{}, err
+	}
+	return decodeImage(data)
+}
+
+// BLCR is the Berkeley Lab Checkpoint/Restart-like backend.
+type BLCR struct{}
+
+// Name implements Backend.
+func (BLCR) Name() string { return "blcr" }
+
+// Checkpoint implements Backend. It fails with ErrDeviceMapped when the
+// target process has device mappings in its address space.
+func (BLCR) Checkpoint(p *proc.Process, fs *proc.FS, path string) (Stats, error) {
+	if !p.Alive() {
+		return Stats{}, fmt.Errorf("blcr: process %d (%s) is not running", p.PID, p.Name)
+	}
+	if p.DeviceMapped() {
+		return Stats{}, &DeviceMappedError{Backend: "blcr", PID: p.PID, Name: p.Name}
+	}
+	img := Image{ProcessName: p.Name, Regions: p.SnapshotRegions()}
+	data, err := encodeImage(img)
+	if err != nil {
+		return Stats{}, err
+	}
+	clock := p.Clock()
+	sw := vtime.NewStopwatch(clock)
+	if err := fs.WriteFile(clock, path, data); err != nil {
+		return Stats{}, err
+	}
+	return Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, nil
+}
+
+// Restart implements Backend.
+func (BLCR) Restart(n *proc.Node, fs *proc.FS, path string) (*proc.Process, Stats, error) {
+	sw := vtime.NewStopwatch(n.Clock)
+	data, err := fs.ReadFile(n.Clock, path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	img, err := decodeImage(data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	p := n.Spawn(img.ProcessName)
+	p.RestoreRegions(img.Regions)
+	return p, Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, nil
+}
+
+// DMTCP is the Distributed MultiThreaded CheckPointing-like backend: a
+// user-level CPR system that checkpoints the whole process tree.
+type DMTCP struct{}
+
+// Name implements Backend.
+func (DMTCP) Name() string { return "dmtcp" }
+
+// Checkpoint implements Backend. DMTCP walks the process tree: a live
+// child with device mappings (the API proxy) makes the checkpoint fail,
+// reproducing the §V observation. Killing the proxy first makes it work.
+func (DMTCP) Checkpoint(p *proc.Process, fs *proc.FS, path string) (Stats, error) {
+	if !p.Alive() {
+		return Stats{}, fmt.Errorf("dmtcp: process %d (%s) is not running", p.PID, p.Name)
+	}
+	var check func(q *proc.Process) error
+	check = func(q *proc.Process) error {
+		if q.DeviceMapped() {
+			return &DeviceMappedError{Backend: "dmtcp", PID: q.PID, Name: q.Name}
+		}
+		for _, c := range q.Children() {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(p); err != nil {
+		return Stats{}, err
+	}
+	img := Image{ProcessName: p.Name, Regions: p.SnapshotRegions()}
+	data, err := encodeImage(img)
+	if err != nil {
+		return Stats{}, err
+	}
+	clock := p.Clock()
+	sw := vtime.NewStopwatch(clock)
+	if err := fs.WriteFile(clock, path, data); err != nil {
+		return Stats{}, err
+	}
+	return Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, nil
+}
+
+// Restart implements Backend.
+func (DMTCP) Restart(n *proc.Node, fs *proc.FS, path string) (*proc.Process, Stats, error) {
+	return BLCR{}.Restart(n, fs, path)
+}
+
+// DeviceMappedError reports the canonical CPR failure on GPU processes.
+type DeviceMappedError struct {
+	Backend string
+	PID     int
+	Name    string
+}
+
+func (e *DeviceMappedError) Error() string {
+	return fmt.Sprintf("%s: cannot checkpoint process %d (%s): address space has device memory mappings",
+		e.Backend, e.PID, e.Name)
+}

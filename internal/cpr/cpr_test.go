@@ -1,0 +1,173 @@
+package cpr
+
+import (
+	"errors"
+	"testing"
+
+	"checl/internal/hw"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+func node() *proc.Node { return proc.NewNode("pc0", hw.TableISpec()) }
+
+func TestBLCRCheckpointRestartRoundtrip(t *testing.T) {
+	n := node()
+	p := n.Spawn("app")
+	p.SetRegion("heap", []byte{1, 2, 3, 4})
+	p.SetRegion("data", make([]byte, 1<<20))
+
+	st, err := BLCR{}.Checkpoint(p, n.LocalDisk, "app.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes < 1<<20 {
+		t.Errorf("checkpoint bytes = %d, want >= 1 MiB", st.Bytes)
+	}
+	if st.Time <= 0 {
+		t.Error("checkpoint write time not charged")
+	}
+
+	p.Kill()
+	q, rst, err := BLCR{}.Restart(n, n.LocalDisk, "app.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "app" || q.Region("heap")[2] != 3 || q.MemoryUsage() != 4+1<<20 {
+		t.Error("restored image wrong")
+	}
+	if rst.Time <= 0 {
+		t.Error("restart read time not charged")
+	}
+}
+
+func TestBLCRRefusesDeviceMappedProcess(t *testing.T) {
+	// The §II failure: an OpenCL process has devices mapped into its
+	// address space, so the conventional CPR system cannot dump it.
+	n := node()
+	p := n.Spawn("opencl-app")
+	p.MapDevice()
+	_, err := BLCR{}.Checkpoint(p, n.LocalDisk, "x.ckpt")
+	var dme *DeviceMappedError
+	if !errors.As(err, &dme) {
+		t.Fatalf("err = %v, want DeviceMappedError", err)
+	}
+	if dme.Backend != "blcr" {
+		t.Errorf("backend = %q", dme.Backend)
+	}
+}
+
+func TestBLCRIgnoresChildren(t *testing.T) {
+	// BLCR checkpoints a single process: a device-mapped child (the API
+	// proxy) does not block it. This is exactly why CheCL works with BLCR.
+	n := node()
+	app := n.Spawn("app")
+	proxy := app.Fork("proxy")
+	proxy.MapDevice()
+	if _, err := (BLCR{}).Checkpoint(app, n.LocalDisk, "app.ckpt"); err != nil {
+		t.Fatalf("BLCR should ignore children: %v", err)
+	}
+}
+
+func TestDMTCPWalksProcessTree(t *testing.T) {
+	// DMTCP checkpoints the tree by default, so a live API proxy makes it
+	// fail (§V)...
+	n := node()
+	app := n.Spawn("app")
+	proxy := app.Fork("proxy")
+	proxy.MapDevice()
+	_, err := DMTCP{}.Checkpoint(app, n.LocalDisk, "app.ckpt")
+	var dme *DeviceMappedError
+	if !errors.As(err, &dme) {
+		t.Fatalf("err = %v, want DeviceMappedError", err)
+	}
+	// ...but works if the proxy is killed before the checkpoint.
+	proxy.Kill()
+	if _, err := (DMTCP{}).Checkpoint(app, n.LocalDisk, "app.ckpt"); err != nil {
+		t.Fatalf("DMTCP after killing proxy: %v", err)
+	}
+	if _, _, err := (DMTCP{}).Restart(n, n.LocalDisk, "app.ckpt"); err != nil {
+		t.Fatalf("DMTCP restart: %v", err)
+	}
+}
+
+func TestCheckpointDeadProcess(t *testing.T) {
+	n := node()
+	p := n.Spawn("app")
+	p.Kill()
+	if _, err := (BLCR{}).Checkpoint(p, n.LocalDisk, "x"); err == nil {
+		t.Error("checkpointing a dead process must fail")
+	}
+	if _, err := (DMTCP{}).Checkpoint(p, n.LocalDisk, "x"); err == nil {
+		t.Error("dmtcp checkpointing a dead process must fail")
+	}
+}
+
+func TestRestartErrors(t *testing.T) {
+	n := node()
+	if _, _, err := (BLCR{}).Restart(n, n.LocalDisk, "missing.ckpt"); err == nil {
+		t.Error("restart from missing file must fail")
+	}
+	n.LocalDisk.WriteFile(n.Clock, "garbage.ckpt", []byte("not a checkpoint"))
+	if _, _, err := (BLCR{}).Restart(n, n.LocalDisk, "garbage.ckpt"); err == nil {
+		t.Error("restart from garbage must fail")
+	}
+}
+
+func TestCheckpointTimeTracksStorageModel(t *testing.T) {
+	// Writing the same image to the RAM disk must be much faster than to
+	// the local disk — the property runtime processor selection exploits
+	// (§IV-C).
+	n := node()
+	p := n.Spawn("app")
+	p.SetRegion("data", make([]byte, 16<<20))
+	stDisk, err := BLCR{}.Checkpoint(p, n.LocalDisk, "a.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRAM, err := BLCR{}.Checkpoint(p, n.RAMDisk, "a.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(stRAM.Time < stDisk.Time/10) {
+		t.Errorf("RAM-disk checkpoint (%v) should be >10x faster than disk (%v)", stRAM.Time, stDisk.Time)
+	}
+}
+
+func TestReadImage(t *testing.T) {
+	n := node()
+	p := n.Spawn("app")
+	p.SetRegion("heap", []byte{7})
+	if _, err := (BLCR{}).Checkpoint(p, n.LocalDisk, "a.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	img, err := ReadImage(vtime.NewClock(), n.LocalDisk, "a.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.ProcessName != "app" || img.Regions["heap"][0] != 7 {
+		t.Errorf("image = %+v", img)
+	}
+}
+
+func TestCheckpointTimeProportionalToSize(t *testing.T) {
+	// Fig. 5/6 premise: checkpoint time is dominated by file size.
+	n := node()
+	times := make([]vtime.Duration, 0, 3)
+	for _, mb := range []int{4, 8, 16} {
+		p := n.Spawn("app")
+		p.SetRegion("data", make([]byte, mb<<20))
+		st, err := BLCR{}.Checkpoint(p, n.LocalDisk, "s.ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, st.Time)
+	}
+	if !(times[1] > times[0] && times[2] > times[1]) {
+		t.Errorf("times not increasing: %v", times)
+	}
+	ratio := float64(times[2]) / float64(times[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("doubling size should ~double time, ratio = %.2f", ratio)
+	}
+}

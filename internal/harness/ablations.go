@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"checl/internal/apps"
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+// Ablations of the design decisions listed in DESIGN.md §5, runnable from
+// cmd/checl-bench ("ablations") and mirrored by the root benchmarks.
+
+// AblationVariant is one measured arm of an ablation.
+type AblationVariant struct {
+	Name   string
+	Metric string
+	Value  vtime.Duration
+}
+
+// AblationResult is one complete ablation.
+type AblationResult struct {
+	Name     string
+	Claim    string
+	Variants []AblationVariant
+}
+
+// Ablations runs all four ablations and returns their measurements.
+func Ablations(scale float64) ([]AblationResult, error) {
+	var out []AblationResult
+
+	mode, err := ablationCheckpointMode()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mode)
+
+	destr, err := ablationDestructive(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, destr)
+
+	inc, err := ablationIncremental(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, inc)
+
+	storage, err := ablationStorage(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, storage)
+	return out, nil
+}
+
+// runAppUnderCheCL attaches CheCL on a fresh NVIDIA node and runs appName.
+func runAppUnderCheCL(appName string, scale float64, opts core.Options) (*proc.Node, *core.CheCL, error) {
+	node := proc.NewNode("ablation", hw.TableISpec(), ocl.NVIDIA())
+	p := node.Spawn(appName)
+	c, err := core.Attach(p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	app, ok := apps.ByName(appName)
+	if !ok {
+		c.Detach()
+		return nil, nil, fmt.Errorf("harness: unknown app %q", appName)
+	}
+	env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: scale}
+	if _, err := app.Run(env); err != nil {
+		c.Detach()
+		return nil, nil, err
+	}
+	return node, c, nil
+}
+
+// ablationCheckpointMode: immediate vs delayed with a 16 MB transfer in
+// flight when the signal arrives (§III-C).
+func ablationCheckpointMode() (AblationResult, error) {
+	res := AblationResult{
+		Name:  "checkpoint-mode",
+		Claim: "delayed mode avoids the forced synchronisation of in-flight commands",
+	}
+	for _, mode := range []core.Mode{core.Immediate, core.Delayed} {
+		node := proc.NewNode("ablation", hw.TableISpec(), ocl.NVIDIA())
+		p := node.Spawn("async-writer")
+		c, err := core.Attach(p, core.Options{
+			Mode: mode, CkptFS: node.RAMDisk, CkptPath: "mode.ckpt",
+		})
+		if err != nil {
+			return res, err
+		}
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+		ctx, _ := c.CreateContext(devs)
+		q, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+		m, err := c.CreateBuffer(ctx, ocl.MemReadWrite, 16<<20, nil)
+		if err != nil {
+			c.Detach()
+			return res, err
+		}
+		if _, err := c.EnqueueWriteBuffer(q, m, false, 0, make([]byte, 16<<20), nil); err != nil {
+			c.Detach()
+			return res, err
+		}
+		p.Signal(proc.SIGUSR1)
+		if _, err := c.GetDeviceInfo(devs[0]); err != nil {
+			c.Detach()
+			return res, err
+		}
+		if err := c.Finish(q); err != nil {
+			c.Detach()
+			return res, err
+		}
+		st := c.LastCheckpoint()
+		if st == nil {
+			c.Detach()
+			return res, fmt.Errorf("harness: %s-mode checkpoint did not fire", mode)
+		}
+		res.Variants = append(res.Variants, AblationVariant{
+			Name: mode.String(), Metric: "sync phase", Value: st.Phases.Sync,
+		})
+		c.Detach()
+	}
+	return res, nil
+}
+
+// ablationDestructive: API-proxy (keep objects) vs CheCUDA-style
+// delete-and-recreate (§IV-B).
+func ablationDestructive(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "destructive-checkpoint",
+		Claim: "keeping OpenCL objects alive makes postprocessing negligible (vs CheCUDA)",
+	}
+	for _, destructive := range []bool{false, true} {
+		name := "api-proxy"
+		if destructive {
+			name = "checuda-destructive"
+		}
+		node, c, err := runAppUnderCheCL("oclMatrixMul", scale, core.Options{Destructive: destructive})
+		if err != nil {
+			return res, err
+		}
+		st, err := c.Checkpoint(node.LocalDisk, "d.ckpt")
+		if err != nil {
+			c.Detach()
+			return res, err
+		}
+		res.Variants = append(res.Variants, AblationVariant{
+			Name: name, Metric: "postprocess phase", Value: st.Phases.Postprocess,
+		})
+		c.Detach()
+	}
+	return res, nil
+}
+
+// ablationIncremental: full vs incremental object checkpointing (the
+// §III-D future-work feature).
+func ablationIncremental(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "incremental-checkpoint",
+		Claim: "a second checkpoint with no intervening kernel stages nothing",
+	}
+	for _, inc := range []bool{false, true} {
+		name := "full"
+		if inc {
+			name = "incremental"
+		}
+		node, c, err := runAppUnderCheCL("oclVectorAdd", scale, core.Options{Incremental: inc})
+		if err != nil {
+			return res, err
+		}
+		if _, err := c.Checkpoint(node.LocalDisk, "i1.ckpt"); err != nil {
+			c.Detach()
+			return res, err
+		}
+		st, err := c.Checkpoint(node.LocalDisk, "i2.ckpt")
+		if err != nil {
+			c.Detach()
+			return res, err
+		}
+		res.Variants = append(res.Variants, AblationVariant{
+			Name: name, Metric: "2nd-checkpoint preprocess", Value: st.Phases.Preprocess,
+		})
+		c.Detach()
+	}
+	return res, nil
+}
+
+// ablationStorage: checkpoint target local disk vs NFS vs RAM disk
+// (§IV-C: the RAM disk enables cheap runtime processor selection).
+func ablationStorage(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "checkpoint-storage",
+		Claim: "RAM-disk checkpoints are orders of magnitude cheaper than disk/NFS",
+	}
+	type target struct {
+		name string
+		fs   func(n *proc.Node) *proc.FS
+	}
+	targets := []target{
+		{"local-disk", func(n *proc.Node) *proc.FS { return n.LocalDisk }},
+		{"nfs", func(n *proc.Node) *proc.FS {
+			if n.NFS == nil {
+				n.NFS = proc.NewFS("nfs", n.Spec.NFS)
+			}
+			return n.NFS
+		}},
+		{"ramdisk", func(n *proc.Node) *proc.FS { return n.RAMDisk }},
+	}
+	for _, tgt := range targets {
+		node, c, err := runAppUnderCheCL("oclFDTD3d", scale, core.Options{})
+		if err != nil {
+			return res, err
+		}
+		st, err := c.Checkpoint(tgt.fs(node), "s.ckpt")
+		if err != nil {
+			c.Detach()
+			return res, err
+		}
+		res.Variants = append(res.Variants, AblationVariant{
+			Name: tgt.name, Metric: "write phase", Value: st.Phases.Write,
+		})
+		c.Detach()
+	}
+	return res, nil
+}
+
+// RenderAblations prints the ablation table.
+func RenderAblations(w io.Writer, results []AblationResult) {
+	fmt.Fprintln(w, "Design-decision ablations (DESIGN.md §5)")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %s — %s\n", r.Name, r.Claim)
+		for _, v := range r.Variants {
+			fmt.Fprintf(w, "    %-22s %-26s %12s\n", v.Name, v.Metric, v.Value)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	results, err := Ablations(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("ablations = %d, want 4", len(results))
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+
+	mode := byName["checkpoint-mode"]
+	if len(mode.Variants) != 2 || !(mode.Variants[0].Value > 5*mode.Variants[1].Value) {
+		t.Errorf("mode ablation: immediate sync should dwarf delayed: %+v", mode.Variants)
+	}
+
+	destr := byName["destructive-checkpoint"]
+	if len(destr.Variants) != 2 || !(destr.Variants[1].Value > 100*maxDur(destr.Variants[0].Value, 1)) {
+		t.Errorf("destructive ablation: %+v", destr.Variants)
+	}
+
+	inc := byName["incremental-checkpoint"]
+	if len(inc.Variants) != 2 || !(inc.Variants[0].Value > inc.Variants[1].Value) {
+		t.Errorf("incremental ablation: %+v", inc.Variants)
+	}
+
+	storage := byName["checkpoint-storage"]
+	if len(storage.Variants) != 3 {
+		t.Fatalf("storage ablation: %+v", storage.Variants)
+	}
+	var disk, nfs, ram = storage.Variants[0].Value, storage.Variants[1].Value, storage.Variants[2].Value
+	if !(ram < disk/10 && disk < nfs) {
+		t.Errorf("storage ordering: disk=%v nfs=%v ram=%v", disk, nfs, ram)
+	}
+
+	var buf bytes.Buffer
+	RenderAblations(&buf, results)
+	if !strings.Contains(buf.String(), "checkpoint-storage") {
+		t.Errorf("render missing sections:\n%s", buf.String())
+	}
+}
+
+func maxDur[T ~int64](a T, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}

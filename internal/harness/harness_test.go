@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Harness tests run the real experiment drivers at reduced scale; the full
+// scale sweeps live in the root-level Go benchmarks and cmd/checl-bench.
+const testScale = 0.2
+
+func TestConfigs(t *testing.T) {
+	cs := Configs()
+	if len(cs) != 3 {
+		t.Fatalf("configs = %d, want 3", len(cs))
+	}
+	if _, ok := ConfigByKey("amd-cpu"); !ok {
+		t.Error("ConfigByKey(amd-cpu) missed")
+	}
+	if _, ok := ConfigByKey("nope"); ok {
+		t.Error("ConfigByKey should miss unknown keys")
+	}
+}
+
+func TestFig4NvidiaGPU(t *testing.T) {
+	cfg, _ := ConfigByKey("nvidia-gpu")
+	rows, sum, err := Fig4(cfg, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 34 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every portable app must show overhead >= 1x (CheCL adds cost).
+	for _, r := range rows {
+		if !r.Portable {
+			t.Errorf("%s should be portable on the Tesla", r.App)
+			continue
+		}
+		if r.Ratio < 1 {
+			t.Errorf("%s: CheCL faster than native (%.3fx)?", r.App, r.Ratio)
+		}
+	}
+	if sum.AverageOverhead <= 0 || sum.AverageOverhead > 300 {
+		t.Errorf("average overhead = %.1f%%, implausible", sum.AverageOverhead)
+	}
+}
+
+func TestFig4AMDGPUNonPortable(t *testing.T) {
+	cfg, _ := ConfigByKey("amd-gpu")
+	rows, _, err := Fig4(cfg, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.App == "oclSortingNetworks" {
+			found = true
+			if r.Portable {
+				t.Error("oclSortingNetworks must be non-portable on the AMD GPU (§IV-A)")
+			}
+		}
+	}
+	if !found {
+		t.Error("oclSortingNetworks missing from Fig. 4 rows")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	cfg, _ := ConfigByKey("nvidia-gpu")
+	res, err := Fig5(cfg, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 25 {
+		t.Fatalf("fig5 rows = %d", len(res.Rows))
+	}
+	// The strong size/time correlation of §IV-B.
+	if res.SizeTimeCorrelation < 0.9 {
+		t.Errorf("corr(time, size) = %.3f, want >= 0.9 (paper: 0.99)", res.SizeTimeCorrelation)
+	}
+	names := map[string]bool{}
+	for _, r := range res.Rows {
+		names[r.App] = true
+		if r.Checkpoints == 0 || r.FileSize == 0 {
+			t.Errorf("%s: no checkpoints recorded", r.App)
+		}
+		// Postprocess is negligible under the API-proxy design.
+		if r.Postprocess > r.Total()/4 {
+			t.Errorf("%s: postprocess %v not negligible vs total %v", r.App, r.Postprocess, r.Total())
+		}
+	}
+	// Kernel-free programs are excluded, per the paper.
+	for _, excluded := range []string{"oclBandwidthTest", "BusSpeedDownload", "BusSpeedReadback", "KernelCompile"} {
+		if names[excluded] {
+			t.Errorf("%s must be excluded from Fig. 5", excluded)
+		}
+	}
+	// MaxFlops leaves several launches in flight: sync should be visible.
+	for _, r := range res.Rows {
+		if r.App == "MaxFlops" && r.Sync <= 0 {
+			t.Error("MaxFlops sync phase should be non-zero (§IV-B)")
+		}
+	}
+}
+
+func TestFig6ScalesWithSizeAndNodes(t *testing.T) {
+	rows, err := Fig6([]float64{0.25, 0.5}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(scale float64, nodes int) Fig6Row {
+		for _, r := range rows {
+			if r.ProblemScale == scale && r.Nodes == nodes {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%d", scale, nodes)
+		return Fig6Row{}
+	}
+	// Checkpoint time grows with the problem size...
+	if !(get(0.5, 1).CheckpointTime > get(0.25, 1).CheckpointTime) {
+		t.Error("checkpoint time should grow with problem size")
+	}
+	// ...and with the number of nodes (global snapshot aggregation).
+	if !(get(0.25, 2).CheckpointTime > get(0.25, 1).CheckpointTime) {
+		t.Error("checkpoint time should grow with node count")
+	}
+	if !(get(0.25, 2).GlobalSize > get(0.25, 1).GlobalSize) {
+		t.Error("global snapshot should grow with node count")
+	}
+}
+
+func TestFig7BreakdownShape(t *testing.T) {
+	cfg, _ := ConfigByKey("nvidia-gpu")
+	rows, err := Fig7(cfg, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 25 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var s3d, vadd Fig7Row
+	for _, r := range rows {
+		if r.App == "S3D" {
+			s3d = r
+		}
+		if r.App == "oclVectorAdd" {
+			vadd = r
+		}
+		// mem + prog dominate the recreation time (§IV-C).
+		domin := r.PerClass["mem"] + r.PerClass["prog"]
+		if r.Total > 0 && float64(domin) < 0.5*float64(r.Total) {
+			t.Errorf("%s: mem+prog = %v of total %v, expected dominant", r.App, domin, r.Total)
+		}
+	}
+	// S3D's 27 programs make it the recompilation outlier.
+	if !(s3d.PerClass["prog"] > 4*vadd.PerClass["prog"]) {
+		t.Errorf("S3D prog recreation (%v) should dwarf oclVectorAdd's (%v)",
+			s3d.PerClass["prog"], vadd.PerClass["prog"])
+	}
+}
+
+func TestFig7AMDRecompilesSlower(t *testing.T) {
+	nv, _ := ConfigByKey("nvidia-gpu")
+	amd, _ := ConfigByKey("amd-cpu")
+	nvRows, err := Fig7(nv, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amdRows, err := Fig7(amd, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progTime := func(rows []Fig7Row, app string) float64 {
+		for _, r := range rows {
+			if r.App == app {
+				return r.PerClass["prog"].Seconds()
+			}
+		}
+		t.Fatalf("app %s missing", app)
+		return 0
+	}
+	if !(progTime(amdRows, "S3D") > progTime(nvRows, "S3D")) {
+		t.Error("AMD OpenCL should recompile S3D slower than NVIDIA (Fig. 7)")
+	}
+}
+
+func TestFig8PredictionQuality(t *testing.T) {
+	cfg, _ := ConfigByKey("nvidia-gpu")
+	res, err := Fig8(cfg, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 25 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Model.Alpha <= 0 {
+		t.Errorf("alpha = %v, want > 0", res.Model.Alpha)
+	}
+	if res.MAPE > 25 {
+		t.Errorf("MAPE = %.1f%%, want <= 25%%", res.MAPE)
+	}
+	for _, r := range res.Rows {
+		if r.Predicted <= 0 || r.Actual <= 0 {
+			t.Errorf("%s: degenerate times %v / %v", r.App, r.Predicted, r.Actual)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf)
+	if !strings.Contains(buf.String(), "Tesla C1060") || !strings.Contains(buf.String(), "5.35 GB/s") {
+		t.Errorf("Table1 render missing fields:\n%s", buf.String())
+	}
+	buf.Reset()
+	RenderFig4(&buf, []Fig4Row{{App: "x", Suite: "nvsdk", Portable: true, Ratio: 1.1}},
+		Fig4Summary{Config: "c", AverageOverhead: 10, Apps: 1})
+	if !strings.Contains(buf.String(), "1.100x") {
+		t.Errorf("Fig4 render:\n%s", buf.String())
+	}
+	buf.Reset()
+	RenderFig6(&buf, []Fig6Row{{ProblemScale: 1, Nodes: 2, GlobalSize: 1e6, CheckpointTime: 0}})
+	if !strings.Contains(buf.String(), "MPI MD") {
+		t.Errorf("Fig6 render:\n%s", buf.String())
+	}
+}

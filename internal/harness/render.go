@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"checl/internal/core"
+	"checl/internal/hw"
+)
+
+// This file renders experiment results as the text equivalents of the
+// paper's tables and figures.
+
+// RenderTable1 prints the Table I system specification.
+func RenderTable1(w io.Writer) {
+	s := hw.TableISpec()
+	fmt.Fprintln(w, "Table I — System Specifications")
+	rows := [][2]string{
+		{"CPU", fmt.Sprintf("%s (DDR3 %d GB)", s.CPU.Name, s.HostMem>>30)},
+		{"NVIDIA GPU", fmt.Sprintf("%s (GDDR3 %d GB)", hw.TeslaC1060().Name, hw.TeslaC1060().GlobalMemory>>30)},
+		{"AMD GPU", fmt.Sprintf("%s (GDDR5 %d GB)", hw.RadeonHD5870().Name, hw.RadeonHD5870().GlobalMemory>>30)},
+		{"File Write Perf.", fmt.Sprintf("RAM disk: %s | Local: %s | NFS: %s", s.RAMDisk.Write, s.LocalDisk.Write, s.NFS.Write)},
+		{"File Read Perf.", fmt.Sprintf("RAM disk: %s | Local: %s | NFS: %s", s.RAMDisk.Read, s.LocalDisk.Read, s.NFS.Read)},
+		{"PCIe Perf.", fmt.Sprintf("HtoD: %s | DtoH: %s", s.Inter.PCIeHtoD, s.Inter.PCIeDtoH)},
+		{"NIC", s.Inter.NIC.String()},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %s\n", r[0], r[1])
+	}
+}
+
+// RenderFig4 prints the runtime-overhead figure for one configuration.
+func RenderFig4(w io.Writer, rows []Fig4Row, sum Fig4Summary) {
+	fmt.Fprintf(w, "Fig. 4 — Timing overhead caused by the CheCL runtime system (%s)\n", sum.Config)
+	fmt.Fprintf(w, "  %-26s %-8s %12s %12s %10s\n", "benchmark", "suite", "native", "CheCL", "normalized")
+	for _, r := range rows {
+		if !r.Portable {
+			fmt.Fprintf(w, "  %-26s %-8s %12s %12s %10s\n", r.App, r.Suite, "-", "-", "non-portable")
+			continue
+		}
+		fmt.Fprintf(w, "  %-26s %-8s %12s %12s %9.3fx\n", r.App, r.Suite, r.Native, r.CheCL, r.Ratio)
+	}
+	fmt.Fprintf(w, "  average runtime overhead: %.1f%% of total execution time (%d benchmarks)\n",
+		sum.AverageOverhead, sum.Apps)
+	fmt.Fprintf(w, "  one-time CheCL initialisation (proxy fork): %s per process\n", sum.InitOverhead)
+}
+
+// RenderFig5 prints the checkpoint-phase breakdown for one configuration.
+func RenderFig5(w io.Writer, res Fig5Result) {
+	fmt.Fprintf(w, "Fig. 5 — Timing overheads for sync/preprocess/write/postprocess (%s)\n", res.Config)
+	fmt.Fprintf(w, "  %-26s %10s %10s %10s %10s %10s %10s\n",
+		"benchmark", "sync", "preproc", "write", "postproc", "total", "file[MB]")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "  %-26s %10s %10s %10s %10s %10s %10.2f\n",
+			r.App, r.Sync, r.Preprocess, r.Write, r.Postprocess, r.Total(), float64(r.FileSize)/1e6)
+	}
+	fmt.Fprintf(w, "  corr(total checkpoint time, file size) = %.3f\n", res.SizeTimeCorrelation)
+}
+
+// RenderFig6 prints the MPI MD checkpoint sweep.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Fig. 6 — Checkpoint time for the MPI MD application")
+	fmt.Fprintf(w, "  %-14s %-6s %12s %14s\n", "problem scale", "nodes", "global[MB]", "ckpt time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14.2f %-6d %12.2f %14s\n",
+			r.ProblemScale, r.Nodes, float64(r.GlobalSize)/1e6, r.CheckpointTime)
+	}
+}
+
+// RenderFig7 prints the per-class restart breakdown.
+func RenderFig7(w io.Writer, cfg Config, rows []Fig7Row) {
+	fmt.Fprintf(w, "Fig. 7 — Timing results for recreating OpenCL objects (%s)\n", cfg.Name)
+	fmt.Fprintf(w, "  %-26s", "benchmark")
+	for _, cl := range core.RestoreOrder {
+		fmt.Fprintf(w, " %9s", cl)
+	}
+	fmt.Fprintf(w, " %10s\n", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-26s", r.App)
+		for _, cl := range core.RestoreOrder {
+			fmt.Fprintf(w, " %9s", r.PerClass[cl])
+		}
+		fmt.Fprintf(w, " %10s\n", r.Total)
+	}
+}
+
+// RenderFig8 prints the migration-cost prediction figure.
+func RenderFig8(w io.Writer, res Fig8Result) {
+	fmt.Fprintf(w, "Fig. 8 — Migration cost prediction (%s)\n", res.Config)
+	fmt.Fprintf(w, "  model: %s\n", res.Model)
+	fmt.Fprintf(w, "  %-26s %10s %12s %12s %12s\n", "benchmark", "file[MB]", "recompile", "actual", "predicted")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "  %-26s %10.2f %12s %12s %12s\n",
+			r.App, float64(r.FileSize)/1e6, r.Recompile, r.Actual, r.Predicted)
+	}
+	fmt.Fprintf(w, "  mean absolute prediction error: %.1f%%\n", res.MAPE)
+}
+
+// Rule prints a section divider.
+func Rule(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,197 @@
+// Package hw defines the hardware models that parameterise the simulation:
+// compute devices (GPUs and CPUs used as OpenCL devices), storage systems,
+// interconnects, and whole-system specifications mirroring Table I of the
+// CheCL paper.
+//
+// Every timing model in the repository derives its costs from these
+// structures, so reproducing the paper's evaluation on a different
+// "machine" is a matter of constructing a different SystemSpec.
+package hw
+
+import (
+	"fmt"
+
+	"checl/internal/vtime"
+)
+
+// Bandwidth is a data rate in bytes per second.
+type Bandwidth float64
+
+// Convenience units for constructing Bandwidth values.
+const (
+	KBps Bandwidth = 1e3
+	MBps Bandwidth = 1e6
+	GBps Bandwidth = 1e9
+)
+
+// Transfer reports the virtual time needed to move n bytes at this rate.
+// A zero or negative bandwidth reports zero time (infinitely fast), which
+// is used by tests that want to isolate other costs.
+func (b Bandwidth) Transfer(n int64) vtime.Duration {
+	if b <= 0 || n <= 0 {
+		return 0
+	}
+	return vtime.FromSeconds(float64(n) / float64(b))
+}
+
+// String formats the bandwidth in the customary MB/s or GB/s.
+func (b Bandwidth) String() string {
+	switch {
+	case b >= GBps:
+		return fmt.Sprintf("%.2f GB/s", float64(b)/float64(GBps))
+	case b >= MBps:
+		return fmt.Sprintf("%.1f MB/s", float64(b)/float64(MBps))
+	default:
+		return fmt.Sprintf("%.1f KB/s", float64(b)/float64(KBps))
+	}
+}
+
+// DeviceType distinguishes the two OpenCL device kinds the paper uses.
+type DeviceType int
+
+// Device kinds.
+const (
+	DeviceCPU DeviceType = iota + 1
+	DeviceGPU
+)
+
+// String names the device type with the OpenCL constant it mirrors.
+func (t DeviceType) String() string {
+	switch t {
+	case DeviceCPU:
+		return "CL_DEVICE_TYPE_CPU"
+	case DeviceGPU:
+		return "CL_DEVICE_TYPE_GPU"
+	default:
+		return fmt.Sprintf("DeviceType(%d)", int(t))
+	}
+}
+
+// DeviceModel describes one compute device: its headline rates (used by the
+// kernel-execution cost model) and the capability limits that determine
+// portability of work-group geometries across devices.
+type DeviceModel struct {
+	Name         string
+	Vendor       string
+	Type         DeviceType
+	GFLOPS       float64   // peak single-precision rate, GFLOP/s
+	MemBandwidth Bandwidth // device (global) memory bandwidth
+	GlobalMemory int64     // device memory capacity, bytes
+
+	ComputeUnits     int
+	MaxWorkGroupSize int    // total work-items per group
+	MaxWorkItemSizes [3]int // per-dimension limits; x-limit differs per device
+
+	// LaunchOverhead is the fixed cost of dispatching one kernel
+	// (driver + command-processor latency).
+	LaunchOverhead vtime.Duration
+}
+
+// KernelTime models the execution time of a kernel instance that performs
+// flops floating-point operations and moves memBytes to/from global
+// memory. The device is modelled as a roofline: the kernel is bound by
+// whichever of compute or memory traffic takes longer, plus launch
+// overhead. Efficiency derates the peak rates to sustained ones.
+func (d DeviceModel) KernelTime(flops float64, memBytes int64) vtime.Duration {
+	const efficiency = 0.55 // sustained fraction of peak, uniform across devices
+	var compute, memory float64
+	if d.GFLOPS > 0 {
+		compute = flops / (d.GFLOPS * 1e9 * efficiency)
+	}
+	if d.MemBandwidth > 0 {
+		memory = float64(memBytes) / (float64(d.MemBandwidth) * efficiency)
+	}
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return d.LaunchOverhead + vtime.FromSeconds(t)
+}
+
+// FitsWorkGroup reports whether a work-group geometry is legal on this
+// device. This is the capability check that makes oclSortingNetworks
+// non-portable to the AMD GPU in the paper (x-dimension limit 256 there
+// versus 1024 on the CPU device).
+func (d DeviceModel) FitsWorkGroup(local [3]int) error {
+	total := 1
+	for i, n := range local {
+		if n <= 0 {
+			continue
+		}
+		if d.MaxWorkItemSizes[i] > 0 && n > d.MaxWorkItemSizes[i] {
+			return fmt.Errorf("work-group dimension %d size %d exceeds device limit %d on %s",
+				i, n, d.MaxWorkItemSizes[i], d.Name)
+		}
+		total *= n
+	}
+	if d.MaxWorkGroupSize > 0 && total > d.MaxWorkGroupSize {
+		return fmt.Errorf("work-group size %d exceeds device limit %d on %s",
+			total, d.MaxWorkGroupSize, d.Name)
+	}
+	return nil
+}
+
+// StorageModel describes one file-system target for checkpoint files.
+type StorageModel struct {
+	Name    string
+	Write   Bandwidth
+	Read    Bandwidth
+	Latency vtime.Duration // per-operation fixed cost (open/close/metadata)
+}
+
+// WriteTime reports the virtual time to persist n bytes.
+func (s StorageModel) WriteTime(n int64) vtime.Duration {
+	return s.Latency + s.Write.Transfer(n)
+}
+
+// ReadTime reports the virtual time to load n bytes.
+func (s StorageModel) ReadTime(n int64) vtime.Duration {
+	return s.Latency + s.Read.Transfer(n)
+}
+
+// CompileModel parameterises how long a vendor's OpenCL compiler takes to
+// build a program from source. The paper observes that AMD's compiler is
+// markedly slower than NVIDIA's (Fig. 7), and that S3D's 27 program
+// objects make recompilation the dominant restart cost.
+type CompileModel struct {
+	// Base is charged once per clBuildProgram call.
+	Base vtime.Duration
+	// PerByte is charged for every byte of program source.
+	PerByte vtime.Duration
+	// PerKernel is charged for each kernel function in the program.
+	PerKernel vtime.Duration
+}
+
+// BuildTime reports the modelled compilation time of a program with the
+// given source length and kernel count.
+func (c CompileModel) BuildTime(sourceBytes int, kernels int) vtime.Duration {
+	return c.Base + vtime.Duration(sourceBytes)*c.PerByte + vtime.Duration(kernels)*c.PerKernel
+}
+
+// InterconnectModel describes host<->device and host<->host data paths.
+type InterconnectModel struct {
+	PCIeHtoD Bandwidth // host to device
+	PCIeDtoH Bandwidth // device to host
+	Memcpy   Bandwidth // host-memory copy rate (process-to-process IPC copies)
+	NIC      Bandwidth // node-to-node network
+}
+
+// SystemSpec is a whole evaluation machine: Table I of the paper.
+type SystemSpec struct {
+	Name      string
+	CPU       DeviceModel
+	HostMem   int64
+	Inter     InterconnectModel
+	LocalDisk StorageModel
+	NFS       StorageModel
+	RAMDisk   StorageModel
+
+	// IPCCallLatency is the fixed one-way cost of forwarding one API call
+	// from the application process to its API proxy. Two are charged per
+	// round trip. The paper measures ~0.08 s of one-time proxy fork cost
+	// and per-call forwarding overheads that dominate call-heavy programs.
+	IPCCallLatency vtime.Duration
+	// ProxyForkCost is the one-time cost of forking the API proxy when
+	// the CheCL shared object is loaded.
+	ProxyForkCost vtime.Duration
+}

@@ -1,0 +1,166 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"checl/internal/vtime"
+)
+
+func TestBandwidthTransfer(t *testing.T) {
+	b := 100 * MBps
+	if got := b.Transfer(100e6); got != vtime.Second {
+		t.Errorf("100MB at 100MB/s = %v, want 1s", got)
+	}
+	if got := b.Transfer(0); got != 0 {
+		t.Errorf("zero bytes = %v, want 0", got)
+	}
+	if got := Bandwidth(0).Transfer(1 << 20); got != 0 {
+		t.Errorf("zero bandwidth = %v, want 0", got)
+	}
+}
+
+func TestBandwidthTransferMonotoneProperty(t *testing.T) {
+	b := TableISpec().Inter.PCIeHtoD
+	f := func(a, c uint32) bool {
+		lo, hi := int64(a), int64(c)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return b.Transfer(lo) <= b.Transfer(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (5.35 * GBps).String(); got != "5.35 GB/s" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (72.5 * MBps).String(); got != "72.5 MB/s" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (500 * KBps).String(); got != "500.0 KB/s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if DeviceCPU.String() != "CL_DEVICE_TYPE_CPU" || DeviceGPU.String() != "CL_DEVICE_TYPE_GPU" {
+		t.Error("device type names wrong")
+	}
+	if !strings.Contains(DeviceType(99).String(), "99") {
+		t.Error("unknown device type should embed its value")
+	}
+}
+
+func TestKernelTimeRoofline(t *testing.T) {
+	d := TeslaC1060()
+	// A pure-compute kernel should scale with flops.
+	t1 := d.KernelTime(1e9, 0)
+	t2 := d.KernelTime(2e9, 0)
+	if !(t2 > t1) {
+		t.Errorf("compute-bound kernel time not increasing: %v then %v", t1, t2)
+	}
+	// A memory-bound kernel: enormous traffic, trivial flops.
+	mem := d.KernelTime(1, 1<<30)
+	cmp := d.KernelTime(1, 0)
+	if !(mem > cmp) {
+		t.Errorf("memory traffic not reflected: %v vs %v", mem, cmp)
+	}
+	// Launch overhead floors the time.
+	if got := d.KernelTime(0, 0); got != d.LaunchOverhead {
+		t.Errorf("empty kernel = %v, want launch overhead %v", got, d.LaunchOverhead)
+	}
+}
+
+func TestKernelTimeDeviceOrdering(t *testing.T) {
+	// The same compute-heavy kernel must be faster on the HD5870 (2.7 TFLOPS)
+	// than on the CPU device (42.6 GFLOPS).
+	gpu := RadeonHD5870().KernelTime(1e10, 0)
+	cpu := CoreI7920().KernelTime(1e10, 0)
+	if !(gpu < cpu) {
+		t.Errorf("GPU (%v) should beat CPU (%v) on compute-bound kernel", gpu, cpu)
+	}
+}
+
+func TestFitsWorkGroup(t *testing.T) {
+	amd := RadeonHD5870()
+	cpu := CoreI7920()
+	// The oclSortingNetworks geometry: 512 work-items in x.
+	geom := [3]int{512, 1, 1}
+	if err := amd.FitsWorkGroup(geom); err == nil {
+		t.Error("512-wide group should not fit the AMD GPU (x-limit 256)")
+	}
+	if err := cpu.FitsWorkGroup(geom); err != nil {
+		t.Errorf("512-wide group should fit the CPU device: %v", err)
+	}
+	if err := amd.FitsWorkGroup([3]int{256, 1, 1}); err != nil {
+		t.Errorf("256-wide group should fit the AMD GPU: %v", err)
+	}
+	// Total-size limit.
+	if err := amd.FitsWorkGroup([3]int{256, 2, 1}); err == nil {
+		t.Error("512 total work-items should exceed AMD max work-group size 256")
+	}
+}
+
+func TestStorageModelTimes(t *testing.T) {
+	s := StorageModel{Name: "x", Write: 100 * MBps, Read: 200 * MBps, Latency: vtime.Millisecond}
+	if got := s.WriteTime(100e6); got != vtime.Second+vtime.Millisecond {
+		t.Errorf("WriteTime = %v", got)
+	}
+	if got := s.ReadTime(200e6); got != vtime.Second+vtime.Millisecond {
+		t.Errorf("ReadTime = %v", got)
+	}
+}
+
+func TestCompileModelAMDSlower(t *testing.T) {
+	src := 20_000
+	nv := NVIDIACompiler().BuildTime(src, 3)
+	amd := AMDCompiler().BuildTime(src, 3)
+	if !(amd > nv) {
+		t.Errorf("AMD compile (%v) should exceed NVIDIA compile (%v)", amd, nv)
+	}
+}
+
+func TestTableISpecValues(t *testing.T) {
+	s := TableISpec()
+	checks := []struct {
+		name string
+		got  Bandwidth
+		want float64 // MB/s
+	}{
+		{"PCIe HtoD", s.Inter.PCIeHtoD, 5350},
+		{"PCIe DtoH", s.Inter.PCIeDtoH, 4870},
+		{"local write", s.LocalDisk.Write, 110},
+		{"local read", s.LocalDisk.Read, 106},
+		{"nfs write", s.NFS.Write, 72.5},
+		{"nfs read", s.NFS.Read, 21.2},
+		{"ramdisk write", s.RAMDisk.Write, 2881},
+		{"ramdisk read", s.RAMDisk.Read, 4800},
+	}
+	for _, c := range checks {
+		if math.Abs(float64(c.got)/1e6-c.want) > 1e-6 {
+			t.Errorf("%s = %v, want %.1f MB/s", c.name, c.got, c.want)
+		}
+	}
+	if s.HostMem != 12<<30 {
+		t.Errorf("host memory = %d, want 12 GiB", s.HostMem)
+	}
+	// The paper's measured bandwidth ordering: RAM disk >> PCIe ordering is
+	// not required, but disk << PCIe is load-bearing for Fig. 5's analysis.
+	if !(s.LocalDisk.Write < s.Inter.PCIeDtoH/10) {
+		t.Error("disk write should be far slower than PCIe readback (Fig. 5 premise)")
+	}
+}
+
+func TestDeviceMemoryOrdering(t *testing.T) {
+	// HD5870 has the smallest device memory; the paper notes oclFDTD3d and
+	// oclMatVecMul auto-shrink their problems on it.
+	if !(RadeonHD5870().GlobalMemory < TeslaC1060().GlobalMemory) {
+		t.Error("HD5870 memory should be smaller than C1060")
+	}
+}

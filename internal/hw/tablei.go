@@ -1,0 +1,119 @@
+package hw
+
+import "checl/internal/vtime"
+
+// Device models for the three compute devices of the paper's evaluation
+// systems (Table I). Peak rates are the published figures for each part:
+// Tesla C1060 (933 GFLOPS SP, 102 GB/s GDDR3, 4 GB), Radeon HD5870
+// (2720 GFLOPS SP, 154 GB/s GDDR5, 1 GB) and Core i7 920 used as an
+// OpenCL CPU device (~42.6 GFLOPS SP, ~25.6 GB/s DDR3, 12 GB host RAM).
+// Work-group limits reproduce the portability constraint the paper calls
+// out: 256 work-items in the x-dimension on the AMD GPU, 1024 on the CPU.
+
+// TeslaC1060 models the NVIDIA Tesla C1060 GPU.
+func TeslaC1060() DeviceModel {
+	return DeviceModel{
+		Name:             "Tesla C1060",
+		Vendor:           "NVIDIA Corporation",
+		Type:             DeviceGPU,
+		GFLOPS:           933,
+		MemBandwidth:     102 * GBps,
+		GlobalMemory:     4 << 30,
+		ComputeUnits:     30,
+		MaxWorkGroupSize: 512,
+		MaxWorkItemSizes: [3]int{512, 512, 64},
+		LaunchOverhead:   8 * vtime.Microsecond,
+	}
+}
+
+// RadeonHD5870 models the AMD Radeon HD5870 GPU.
+func RadeonHD5870() DeviceModel {
+	return DeviceModel{
+		Name:             "Radeon HD5870",
+		Vendor:           "Advanced Micro Devices, Inc.",
+		Type:             DeviceGPU,
+		GFLOPS:           2720,
+		MemBandwidth:     154 * GBps,
+		GlobalMemory:     1 << 30,
+		ComputeUnits:     20,
+		MaxWorkGroupSize: 256,
+		MaxWorkItemSizes: [3]int{256, 256, 256},
+		LaunchOverhead:   12 * vtime.Microsecond,
+	}
+}
+
+// CoreI7920 models the Intel Core i7 920 used as an OpenCL CPU device by
+// the AMD OpenCL implementation.
+func CoreI7920() DeviceModel {
+	return DeviceModel{
+		Name:             "Intel Core i7 920",
+		Vendor:           "GenuineIntel",
+		Type:             DeviceCPU,
+		GFLOPS:           42.6,
+		MemBandwidth:     25.6 * GBps,
+		GlobalMemory:     12 << 30,
+		ComputeUnits:     8, // 4 cores x 2 SMT
+		MaxWorkGroupSize: 1024,
+		MaxWorkItemSizes: [3]int{1024, 1024, 1024},
+		LaunchOverhead:   3 * vtime.Microsecond,
+	}
+}
+
+// NVIDIACompiler models the NVIDIA OpenCL compiler: fast builds, but with
+// visible platform/context creation cost (Fig. 7 shows non-negligible
+// platform and context recreation time on NVIDIA OpenCL).
+func NVIDIACompiler() CompileModel {
+	return CompileModel{
+		Base:      18 * vtime.Millisecond,
+		PerByte:   1500 * vtime.Nanosecond,
+		PerKernel: 4 * vtime.Millisecond,
+	}
+}
+
+// AMDCompiler models the AMD OpenCL compiler, which the paper observes to
+// recompile programs considerably more slowly than NVIDIA's (S3D with its
+// 27 program objects takes ~5 s to rebuild on AMD OpenCL).
+func AMDCompiler() CompileModel {
+	return CompileModel{
+		Base:      45 * vtime.Millisecond,
+		PerByte:   5200 * vtime.Nanosecond,
+		PerKernel: 11 * vtime.Millisecond,
+	}
+}
+
+// TableISpec reproduces the evaluation machine of Table I:
+// Core i7 920 host (12 GB DDR3), Intel X58/ICH10R, gigabit Ethernet,
+// measured file and PCIe bandwidths as printed in the table.
+func TableISpec() SystemSpec {
+	return SystemSpec{
+		Name:    "TableI-PC",
+		CPU:     CoreI7920(),
+		HostMem: 12 << 30,
+		Inter: InterconnectModel{
+			PCIeHtoD: 5.35 * GBps,
+			PCIeDtoH: 4.87 * GBps,
+			Memcpy:   6.0 * GBps,
+			NIC:      125 * MBps, // 1000BASE-T
+		},
+		LocalDisk: StorageModel{
+			Name:    "local",
+			Write:   110 * MBps,
+			Read:    106 * MBps,
+			Latency: 5 * vtime.Millisecond,
+		},
+		NFS: StorageModel{
+			Name:    "nfs",
+			Write:   72.5 * MBps,
+			Read:    21.2 * MBps,
+			Latency: 12 * vtime.Millisecond,
+		},
+		RAMDisk: StorageModel{
+			Name:    "ramdisk",
+			Write:   2881 * MBps,
+			Read:    4800 * MBps,
+			Latency: 50 * vtime.Microsecond,
+		},
+		IPCCallLatency: 9 * vtime.Microsecond,
+		ProxyForkCost:  80 * vtime.Millisecond,
+	}
+}

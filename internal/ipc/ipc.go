@@ -1,0 +1,201 @@
+// Package ipc provides the framed gob RPC transport that connects an
+// application process to its API proxy. The transport runs over any
+// io.ReadWriteCloser: an in-memory net.Pipe for the common same-node case
+// or a Unix-domain/TCP socket for out-of-process and remote proxies.
+//
+// The transport counts bytes on the wire so callers can charge the
+// modelled cost of the extra process-to-process copy (the dominant CheCL
+// overhead for transfer-bound programs, §IV-A).
+package ipc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// reqEnvelope precedes every request body on the wire.
+type reqEnvelope struct {
+	Method string
+}
+
+// respEnvelope precedes every response body. A non-empty ErrOp signals a
+// remote error; the body is then omitted.
+type respEnvelope struct {
+	ErrOp     string
+	ErrDetail string
+	ErrStatus int32
+}
+
+// RemoteError is an error propagated from the server side of a call.
+type RemoteError struct {
+	Op     string
+	Detail string
+	Status int32
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %s failed (status %d): %s", e.Op, e.Status, e.Detail)
+}
+
+// ErrorCoder lets server handlers attach a numeric status that survives
+// the wire (ocl.Error implements the shape via a shim in internal/proxy).
+type ErrorCoder interface {
+	error
+	ErrorCode() (op string, status int32, detail string)
+}
+
+// countingRWC counts the bytes crossing an io.ReadWriteCloser.
+type countingRWC struct {
+	rwc io.ReadWriteCloser
+	mu  sync.Mutex
+	n   int64
+}
+
+func (c *countingRWC) Read(p []byte) (int, error) {
+	n, err := c.rwc.Read(p)
+	c.mu.Lock()
+	c.n += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *countingRWC) Write(p []byte) (int, error) {
+	n, err := c.rwc.Write(p)
+	c.mu.Lock()
+	c.n += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *countingRWC) Close() error { return c.rwc.Close() }
+
+func (c *countingRWC) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Conn is the client side of an RPC connection. One call is outstanding
+// at a time; Conn is safe for concurrent use.
+type Conn struct {
+	mu    sync.Mutex
+	count *countingRWC
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+}
+
+// NewConn wraps a byte stream as an RPC client connection.
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	c := &countingRWC{rwc: rwc}
+	return &Conn{count: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Call invokes method remotely: req is sent, the reply is decoded into
+// resp (which must be a pointer). It returns the number of bytes the call
+// moved across the transport.
+func (c *Conn) Call(method string, req, resp any) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.count.bytes()
+	if err := c.enc.Encode(reqEnvelope{Method: method}); err != nil {
+		return 0, fmt.Errorf("ipc: sending %s envelope: %w", method, err)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return 0, fmt.Errorf("ipc: sending %s request: %w", method, err)
+	}
+	var env respEnvelope
+	if err := c.dec.Decode(&env); err != nil {
+		return 0, fmt.Errorf("ipc: receiving %s response envelope: %w", method, err)
+	}
+	if env.ErrOp != "" {
+		return c.count.bytes() - before, &RemoteError{Op: env.ErrOp, Detail: env.ErrDetail, Status: env.ErrStatus}
+	}
+	if err := c.dec.Decode(resp); err != nil {
+		return 0, fmt.Errorf("ipc: receiving %s response: %w", method, err)
+	}
+	return c.count.bytes() - before, nil
+}
+
+// Close tears down the transport.
+func (c *Conn) Close() error { return c.count.Close() }
+
+// Server dispatches RPCs to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]func(dec *gob.Decoder, enc *gob.Encoder) error
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: map[string]func(*gob.Decoder, *gob.Encoder) error{}}
+}
+
+// Register installs a typed handler for method.
+func Register[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = func(dec *gob.Decoder, enc *gob.Encoder) error {
+		var req Req
+		if err := dec.Decode(&req); err != nil {
+			return fmt.Errorf("ipc: decoding %s request: %w", method, err)
+		}
+		resp, err := fn(req)
+		var env respEnvelope
+		if err != nil {
+			var ec ErrorCoder
+			if errors.As(err, &ec) {
+				env.ErrOp, env.ErrStatus, env.ErrDetail = ec.ErrorCode()
+			} else {
+				env.ErrOp = method
+				env.ErrDetail = err.Error()
+				env.ErrStatus = -9999
+			}
+		}
+		if err := enc.Encode(env); err != nil {
+			return fmt.Errorf("ipc: encoding %s response envelope: %w", method, err)
+		}
+		if env.ErrOp != "" {
+			return nil
+		}
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("ipc: encoding %s response: %w", method, err)
+		}
+		return nil
+	}
+}
+
+// ServeConn processes calls on the stream until EOF or a transport error.
+// A clean peer close returns nil.
+func (s *Server) ServeConn(rwc io.ReadWriteCloser) error {
+	dec := gob.NewDecoder(rwc)
+	enc := gob.NewEncoder(rwc)
+	for {
+		var env reqEnvelope
+		if err := dec.Decode(&env); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("ipc: reading request envelope: %w", err)
+		}
+		s.mu.Lock()
+		h, ok := s.handlers[env.Method]
+		s.mu.Unlock()
+		if !ok {
+			// Consume the request body so the (unbuffered) transport does
+			// not deadlock: every request is a struct, and gob decodes any
+			// struct into an empty one by ignoring its fields.
+			var skel struct{}
+			_ = dec.Decode(&skel)
+			if err := enc.Encode(respEnvelope{ErrOp: env.Method, ErrDetail: "unknown method", ErrStatus: -9998}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := h(dec, enc); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ipc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type addReq struct{ A, B int }
+type addResp struct{ Sum int }
+
+type codedError struct{ op, detail string }
+
+func (e *codedError) Error() string { return e.op + ": " + e.detail }
+func (e *codedError) ErrorCode() (string, int32, string) {
+	return e.op, -42, e.detail
+}
+
+func pair(t *testing.T, s *Server) *Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	go s.ServeConn(b)
+	conn := NewConn(a)
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestCallRoundtrip(t *testing.T) {
+	s := NewServer()
+	Register(s, "add", func(r addReq) (addResp, error) {
+		return addResp{Sum: r.A + r.B}, nil
+	})
+	conn := pair(t, s)
+	var resp addResp
+	n, err := conn.Call("add", addReq{A: 2, B: 40}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sum != 42 {
+		t.Errorf("sum = %d", resp.Sum)
+	}
+	if n <= 0 {
+		t.Error("wire bytes not counted")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	s := NewServer()
+	Register(s, "fail", func(r addReq) (addResp, error) {
+		return addResp{}, &codedError{op: "clFail", detail: "nope"}
+	})
+	Register(s, "plain", func(r addReq) (addResp, error) {
+		return addResp{}, errors.New("vanilla")
+	})
+	conn := pair(t, s)
+
+	var resp addResp
+	_, err := conn.Call("fail", addReq{}, &resp)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Op != "clFail" || re.Status != -42 || re.Detail != "nope" {
+		t.Errorf("remote error = %+v", re)
+	}
+
+	_, err = conn.Call("plain", addReq{}, &resp)
+	if !errors.As(err, &re) || !strings.Contains(re.Detail, "vanilla") {
+		t.Errorf("plain error = %v", err)
+	}
+	// The connection survives errors: a normal call still works.
+	Register(s, "ok", func(r addReq) (addResp, error) { return addResp{Sum: 1}, nil })
+	if _, err := conn.Call("ok", addReq{}, &resp); err != nil || resp.Sum != 1 {
+		t.Errorf("post-error call: %v, %d", err, resp.Sum)
+	}
+}
+
+func TestUnknownMethodTerminates(t *testing.T) {
+	s := NewServer()
+	conn := pair(t, s)
+	var resp addResp
+	_, err := conn.Call("nosuch", addReq{}, &resp)
+	if err == nil {
+		t.Fatal("unknown method should error")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s := NewServer()
+	Register(s, "echo", func(r addReq) (addResp, error) {
+		return addResp{Sum: r.A}, nil
+	})
+	conn := pair(t, s)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp addResp
+			_, err := conn.Call("echo", addReq{A: i}, &resp)
+			if err == nil && resp.Sum != i {
+				err = errors.New("wrong echo")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestCleanCloseEndsServe(t *testing.T) {
+	s := NewServer()
+	a, b := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- s.ServeConn(b) }()
+	conn := NewConn(a)
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Errorf("ServeConn after clean close = %v, want nil", err)
+	}
+}
+
+func TestBytesScaleWithPayload(t *testing.T) {
+	type blobReq struct{ Data []byte }
+	type blobResp struct{ N int }
+	s := NewServer()
+	Register(s, "blob", func(r blobReq) (blobResp, error) { return blobResp{N: len(r.Data)}, nil })
+	conn := pair(t, s)
+	var r blobResp
+	small, err := conn.Call("blob", blobReq{Data: make([]byte, 100)}, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := conn.Call("blob", blobReq{Data: make([]byte, 100_000)}, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < small+99_000 {
+		t.Errorf("payload not reflected in wire bytes: small=%d big=%d", small, big)
+	}
+}

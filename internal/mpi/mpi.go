@@ -1,0 +1,338 @@
+// Package mpi is a minimal message-passing substrate in the spirit of
+// Open MPI, sufficient to reproduce the paper's MPI experiments: ranks
+// mapped onto simulated cluster nodes, point-to-point Send/Recv with
+// NIC-modelled transfer costs, Barrier/Bcast/Allreduce collectives, and
+// Hursey-style coordinated checkpointing where per-node local snapshots
+// are aggregated into one global snapshot on NFS (§IV-B, Fig. 6).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"checl/internal/core"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	from   int
+	tag    int
+	data   []byte
+	sentAt vtime.Time // sender clock at send time
+}
+
+// World is one MPI job: size ranks mapped round-robin onto cluster nodes.
+type World struct {
+	cluster *proc.Cluster
+	ranks   []*Rank
+	barrier *clockBarrier
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	world *World
+	rank  int
+	size  int
+	proc  *proc.Process
+	node  *proc.Node
+	inbox chan message
+}
+
+// NewWorld creates size ranks over the cluster, one process per rank,
+// placed round-robin across nodes.
+func NewWorld(cluster *proc.Cluster, size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d", size)
+	}
+	if len(cluster.Nodes) == 0 {
+		return nil, fmt.Errorf("mpi: cluster has no nodes")
+	}
+	w := &World{cluster: cluster, barrier: newClockBarrier(size)}
+	for i := 0; i < size; i++ {
+		node := cluster.Nodes[i%len(cluster.Nodes)]
+		r := &Rank{
+			world: w,
+			rank:  i,
+			size:  size,
+			proc:  node.Spawn(fmt.Sprintf("mpi-rank-%d", i)),
+			node:  node,
+			inbox: make(chan message, 1024),
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w, nil
+}
+
+// Ranks exposes the world's ranks.
+func (w *World) Ranks() []*Rank { return w.ranks }
+
+// Run executes body concurrently on every rank and returns the first
+// error (all ranks are waited for regardless).
+func (w *World) Run(body func(r *Rank) error) error {
+	errs := make([]error, len(w.ranks))
+	var wg sync.WaitGroup
+	for i, r := range w.ranks {
+		wg.Add(1)
+		go func(i int, r *Rank) {
+			defer wg.Done()
+			errs[i] = body(r)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank reports this rank's index.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return r.size }
+
+// Node reports the node this rank runs on.
+func (r *Rank) Node() *proc.Node { return r.node }
+
+// Process reports the rank's simulated process.
+func (r *Rank) Process() *proc.Process { return r.proc }
+
+// transferCost models moving n bytes from rank s to rank d.
+func (w *World) transferCost(s, d *Rank, n int) vtime.Duration {
+	spec := s.node.Spec
+	if s.node == d.node {
+		return spec.Inter.Memcpy.Transfer(int64(n))
+	}
+	return 50*vtime.Microsecond + spec.Inter.NIC.Transfer(int64(n))
+}
+
+// Send delivers data to rank 'to' with the given tag. It is buffered
+// (eager protocol): the sender does not wait for a matching receive.
+func (r *Rank) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= r.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", to)
+	}
+	dst := r.world.ranks[to]
+	msg := message{from: r.rank, tag: tag, data: append([]byte(nil), data...), sentAt: r.node.Clock.Now()}
+	select {
+	case dst.inbox <- msg:
+		return nil
+	default:
+		return fmt.Errorf("mpi: rank %d inbox full sending tag %d", to, tag)
+	}
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+// Out-of-order messages with other tags/sources are re-queued.
+func (r *Rank) Recv(from, tag int) ([]byte, error) {
+	var stash []message
+	defer func() {
+		for _, m := range stash {
+			r.inbox <- m
+		}
+	}()
+	for {
+		msg, ok := <-r.inbox
+		if !ok {
+			return nil, fmt.Errorf("mpi: rank %d inbox closed", r.rank)
+		}
+		if (from < 0 || msg.from == from) && msg.tag == tag {
+			src := r.world.ranks[msg.from]
+			cost := r.world.transferCost(src, r, len(msg.data))
+			arrival := msg.sentAt.Add(cost)
+			r.node.Clock.AdvanceTo(arrival)
+			return msg.data, nil
+		}
+		stash = append(stash, msg)
+	}
+}
+
+// clockBarrier synchronises all ranks and aligns their virtual clocks to
+// the latest participant (what a real barrier does to wall time).
+type clockBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     int
+	maxTime vtime.Time
+}
+
+func newClockBarrier(parties int) *clockBarrier {
+	b := &clockBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *clockBarrier) await(clock *vtime.Clock) {
+	b.mu.Lock()
+	gen := b.gen
+	if now := clock.Now(); now > b.maxTime {
+		b.maxTime = now
+	}
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	max := b.maxTime
+	b.mu.Unlock()
+	clock.AdvanceTo(max)
+}
+
+// Barrier blocks until every rank has entered it; on exit all ranks'
+// clocks agree on the barrier's completion time.
+func (r *Rank) Barrier() {
+	r.world.barrier.await(r.node.Clock)
+}
+
+// Bcast distributes root's data to every rank and returns each rank's
+// copy.
+func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
+	if r.rank == root {
+		for i := 0; i < r.size; i++ {
+			if i == root {
+				continue
+			}
+			if err := r.Send(i, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return r.Recv(root, tagBcast)
+}
+
+// AllreduceSum sums one float64 across ranks (gather at rank 0 + bcast).
+func (r *Rank) AllreduceSum(v float64) (float64, error) {
+	if r.rank == 0 {
+		sum := v
+		for i := 1; i < r.size; i++ {
+			data, err := r.Recv(i, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			sum += decodeF64(data)
+		}
+		if _, err := r.Bcast(0, encodeF64(sum)); err != nil {
+			return 0, err
+		}
+		return sum, nil
+	}
+	if err := r.Send(0, tagReduce, encodeF64(v)); err != nil {
+		return 0, err
+	}
+	data, err := r.Recv(0, tagBcast)
+	if err != nil {
+		return 0, err
+	}
+	return decodeF64(data), nil
+}
+
+const (
+	tagBcast  = -100
+	tagReduce = -101
+	tagCkpt   = -102
+)
+
+func encodeF64(v float64) []byte {
+	bits := f64bits(v)
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+	return b
+}
+
+func decodeF64(b []byte) float64 {
+	var bits uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		bits |= uint64(b[i]) << (8 * i)
+	}
+	return f64frombits(bits)
+}
+
+// GlobalSnapshotStats describes one coordinated checkpoint.
+type GlobalSnapshotStats struct {
+	LocalTimes    []vtime.Duration // per-rank local snapshot time
+	LocalSizes    []int64
+	AggregateTime vtime.Duration // reading local snapshots + writing NFS
+	GlobalSize    int64
+	Total         vtime.Duration // slowest local + aggregation
+}
+
+// CoordinatedCheckpoint takes a global snapshot of an MPI+CheCL job
+// (Hursey et al. style, as Open MPI's CPR service does): every rank
+// synchronises, writes a local snapshot of its process to its node's
+// local disk, and rank 0 aggregates the local snapshots into one global
+// snapshot file on the shared NFS. The CheCL instance of rank r.rank must
+// be passed as checl.
+func (r *Rank) CoordinatedCheckpoint(checl *core.CheCL, globalPath string) (GlobalSnapshotStats, error) {
+	var stats GlobalSnapshotStats
+	r.Barrier()
+
+	localPath := fmt.Sprintf("%s.local.%d", globalPath, r.rank)
+	st, err := checl.Checkpoint(r.node.LocalDisk, localPath)
+	if err != nil {
+		return stats, fmt.Errorf("mpi: rank %d local snapshot: %w", r.rank, err)
+	}
+	r.Barrier() // all local snapshots complete
+
+	if r.rank != 0 {
+		// Ship the local snapshot to the coordinator.
+		data, err := r.node.LocalDisk.ReadFile(r.node.Clock, localPath)
+		if err != nil {
+			return stats, err
+		}
+		if err := r.Send(0, tagCkpt, data); err != nil {
+			return stats, err
+		}
+		r.Barrier() // global snapshot complete
+		stats.LocalTimes = []vtime.Duration{st.Phases.Total()}
+		stats.LocalSizes = []int64{st.FileSize}
+		return stats, nil
+	}
+
+	// Rank 0: aggregate local snapshots into the global snapshot on NFS.
+	sw := vtime.NewStopwatch(r.node.Clock)
+	locals := make([][]byte, r.size)
+	var err0 error
+	locals[0], err0 = r.node.LocalDisk.ReadFile(r.node.Clock, localPath)
+	if err0 != nil {
+		return stats, err0
+	}
+	for i := 1; i < r.size; i++ {
+		data, err := r.Recv(i, tagCkpt)
+		if err != nil {
+			return stats, err
+		}
+		locals[i] = data
+	}
+	global, err := encodeGlobalSnapshot(locals)
+	if err != nil {
+		return stats, err
+	}
+	nfs := r.node.NFS
+	if nfs == nil {
+		return stats, fmt.Errorf("mpi: no shared NFS for the global snapshot")
+	}
+	if err := nfs.WriteFile(r.node.Clock, globalPath, global); err != nil {
+		return stats, err
+	}
+	stats.AggregateTime = sw.Elapsed()
+	stats.GlobalSize = int64(len(global))
+	stats.LocalTimes = []vtime.Duration{st.Phases.Total()}
+	stats.LocalSizes = []int64{st.FileSize}
+	stats.Total = st.Phases.Total() + stats.AggregateTime
+	r.Barrier()
+	return stats, nil
+}

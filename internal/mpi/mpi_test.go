@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+func cluster(n int) *proc.Cluster {
+	return proc.NewCluster("pc", n, hw.TableISpec(), func(int) []*ocl.Vendor {
+		return []*ocl.Vendor{ocl.AMD()}
+	})
+}
+
+func TestSendRecv(t *testing.T) {
+	w, err := NewWorld(cluster(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			return r.Send(1, 7, []byte("hello"))
+		}
+		data, err := r.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "hello" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	w, _ := NewWorld(cluster(1), 2)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Send(1, 1, []byte("first")); err != nil {
+				return err
+			}
+			return r.Send(1, 2, []byte("second"))
+		}
+		// Receive out of order: tag 2 first.
+		d2, err := r.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		d1, err := r.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(d2) != "second" || string(d1) != "first" {
+			return fmt.Errorf("tags mixed up: %q %q", d2, d1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterNodeTransferSlowerThanIntraNode(t *testing.T) {
+	// Rank 0 and 1 on different nodes; 0 and... use two worlds.
+	measure := func(nodes int) vtime.Duration {
+		w, _ := NewWorld(cluster(nodes), 2)
+		var elapsed vtime.Duration
+		err := w.Run(func(r *Rank) error {
+			payload := make([]byte, 8<<20)
+			if r.Rank() == 0 {
+				return r.Send(1, 1, payload)
+			}
+			start := r.Node().Clock.Now()
+			if _, err := r.Recv(0, 1); err != nil {
+				return err
+			}
+			elapsed = r.Node().Clock.Now().Sub(start)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	intra := measure(1) // both ranks on one node
+	inter := measure(2)
+	if !(inter > intra) {
+		t.Errorf("inter-node transfer (%v) should exceed intra-node (%v)", inter, intra)
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	w, _ := NewWorld(cluster(3), 3)
+	err := w.Run(func(r *Rank) error {
+		// Skew the clocks: rank i burns i seconds.
+		r.Node().Clock.Advance(vtime.Duration(r.Rank()) * vtime.Second)
+		r.Barrier()
+		if now := r.Node().Clock.Now(); now < vtime.Time(2*vtime.Second) {
+			return fmt.Errorf("rank %d clock %v after barrier, want >= 2s", r.Rank(), now)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAndAllreduce(t *testing.T) {
+	w, _ := NewWorld(cluster(2), 4)
+	err := w.Run(func(r *Rank) error {
+		data, err := r.Bcast(0, []byte{42})
+		if err != nil {
+			return err
+		}
+		if data[0] != 42 {
+			return fmt.Errorf("bcast got %v", data)
+		}
+		sum, err := r.AllreduceSum(float64(r.Rank() + 1))
+		if err != nil {
+			return err
+		}
+		if math.Abs(sum-10) > 1e-12 { // 1+2+3+4
+			return fmt.Errorf("allreduce = %v, want 10", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(cluster(1), 0); err == nil {
+		t.Error("zero-size world should fail")
+	}
+	if _, err := NewWorld(&proc.Cluster{}, 2); err == nil {
+		t.Error("empty cluster should fail")
+	}
+}
+
+// TestCoordinatedCheckpoint runs a tiny CheCL+MPI job on 2 nodes and takes
+// a global snapshot, verifying the aggregation path and that the global
+// snapshot lands on NFS with the combined size.
+func TestCoordinatedCheckpoint(t *testing.T) {
+	cl := cluster(2)
+	w, _ := NewWorld(cl, 2)
+	const vadd = `
+__kernel void scale(__global float* x, float s) {
+    x[get_global_id(0)] = x[get_global_id(0)] * s;
+}`
+	var rank0Stats GlobalSnapshotStats
+	err := w.Run(func(r *Rank) error {
+		c, err := core.Attach(r.Process(), core.Options{})
+		if err != nil {
+			return err
+		}
+		defer c.Detach()
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeAll)
+		ctx, _ := c.CreateContext(devs[:1])
+		q, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+		prog, _ := c.CreateProgramWithSource(ctx, vadd)
+		if err := c.BuildProgram(prog, ""); err != nil {
+			return err
+		}
+		m, err := c.CreateBuffer(ctx, ocl.MemReadWrite, 1<<20, nil)
+		if err != nil {
+			return err
+		}
+		_ = m
+		_ = q
+		st, err := r.CoordinatedCheckpoint(c, "md.global")
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			rank0Stats = st
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.NFS.Exists("md.global") {
+		t.Fatal("global snapshot not on NFS")
+	}
+	sz, _ := cl.NFS.Size("md.global")
+	if rank0Stats.GlobalSize != sz || sz < 2<<20 {
+		t.Errorf("global size = %d (stats %d), want >= 2 MiB", sz, rank0Stats.GlobalSize)
+	}
+	if rank0Stats.AggregateTime <= 0 || rank0Stats.Total <= rank0Stats.AggregateTime {
+		t.Errorf("stats = %+v", rank0Stats)
+	}
+}

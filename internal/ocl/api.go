@@ -1,0 +1,219 @@
+package ocl
+
+import (
+	"checl/internal/hw"
+	"checl/internal/vtime"
+)
+
+// Opaque handle types. In OpenCL every handle is an opaque pointer
+// (typedef struct _cl_context* cl_context); in this runtime a handle is an
+// opaque 64-bit value whose numeric value changes when the object is
+// recreated — exactly the property that forces CheCL to rebind handles on
+// restart (§III-B).
+type (
+	PlatformID   uint64
+	DeviceID     uint64
+	Context      uint64
+	CommandQueue uint64
+	Mem          uint64
+	Sampler      uint64
+	Program      uint64
+	Kernel       uint64
+	Event        uint64
+)
+
+// DeviceTypeMask selects devices in GetDeviceIDs.
+type DeviceTypeMask uint32
+
+// Device selection masks (mirror CL_DEVICE_TYPE_*).
+const (
+	DeviceTypeCPU     DeviceTypeMask = 1 << 1
+	DeviceTypeGPU     DeviceTypeMask = 1 << 2
+	DeviceTypeAll     DeviceTypeMask = 0xFFFFFFFF
+	DeviceTypeDefault DeviceTypeMask = 1 << 0
+)
+
+// MemFlags qualifies buffer creation (mirror CL_MEM_*).
+type MemFlags uint32
+
+// Memory flags.
+const (
+	MemReadWrite    MemFlags = 1 << 0
+	MemWriteOnly    MemFlags = 1 << 1
+	MemReadOnly     MemFlags = 1 << 2
+	MemUseHostPtr   MemFlags = 1 << 3
+	MemAllocHostPtr MemFlags = 1 << 4
+	MemCopyHostPtr  MemFlags = 1 << 5
+)
+
+// QueueProps qualifies command-queue creation.
+type QueueProps uint32
+
+// Queue properties.
+const (
+	QueueProfilingEnable QueueProps = 1 << 1
+)
+
+// Addressing and filter modes for samplers.
+type (
+	AddressingMode uint32
+	FilterMode     uint32
+)
+
+// Sampler modes.
+const (
+	AddressClamp  AddressingMode = 0x1132
+	AddressRepeat AddressingMode = 0x1133
+	FilterNearest FilterMode     = 0x1140
+	FilterLinear  FilterMode     = 0x1141
+)
+
+// PlatformInfo describes one platform.
+type PlatformInfo struct {
+	Name    string
+	Vendor  string
+	Version string
+	Profile string
+}
+
+// DeviceInfo describes one device; applications use it to size problems
+// (the paper notes oclFDTD3d and oclMatVecMul size their working sets from
+// the available device memory).
+type DeviceInfo struct {
+	Name             string
+	Vendor           string
+	Type             hw.DeviceType
+	GlobalMemSize    int64
+	MaxWorkGroupSize int
+	MaxWorkItemSizes [3]int
+	ComputeUnits     int
+	MaxAllocSize     int64
+}
+
+// EventProfile is the profiling information of a completed command
+// (mirrors CL_PROFILING_COMMAND_*).
+type EventProfile struct {
+	Queued vtime.Time
+	Submit vtime.Time
+	Start  vtime.Time
+	End    vtime.Time
+}
+
+// BuildInfo is the result of a program build on one device.
+type BuildInfo struct {
+	Success bool
+	Log     string
+}
+
+// API is the OpenCL entry-point surface shared by the in-process runtime
+// (Runtime) and the forwarding proxy client (internal/proxy.Client). It is
+// the boundary at which CheCL intercepts calls: everything the application
+// can do to the OpenCL implementation goes through this interface.
+//
+// Signatures are Go-ified (multiple returns instead of out-parameters,
+// []byte instead of void*), but each method corresponds one-to-one to the
+// OpenCL C API function named in its comment.
+type API interface {
+	// clGetPlatformIDs
+	GetPlatformIDs() ([]PlatformID, error)
+	// clGetPlatformInfo
+	GetPlatformInfo(p PlatformID) (PlatformInfo, error)
+	// clGetDeviceIDs
+	GetDeviceIDs(p PlatformID, mask DeviceTypeMask) ([]DeviceID, error)
+	// clGetDeviceInfo
+	GetDeviceInfo(d DeviceID) (DeviceInfo, error)
+
+	// clCreateContext
+	CreateContext(devices []DeviceID) (Context, error)
+	// clRetainContext
+	RetainContext(c Context) error
+	// clReleaseContext
+	ReleaseContext(c Context) error
+
+	// clCreateCommandQueue
+	CreateCommandQueue(c Context, d DeviceID, props QueueProps) (CommandQueue, error)
+	// clRetainCommandQueue
+	RetainCommandQueue(q CommandQueue) error
+	// clReleaseCommandQueue
+	ReleaseCommandQueue(q CommandQueue) error
+
+	// clCreateBuffer; hostData is consulted for MemCopyHostPtr and
+	// MemUseHostPtr.
+	CreateBuffer(c Context, flags MemFlags, size int64, hostData []byte) (Mem, error)
+	// clRetainMemObject
+	RetainMemObject(m Mem) error
+	// clReleaseMemObject
+	ReleaseMemObject(m Mem) error
+
+	// clCreateSampler
+	CreateSampler(c Context, normalized bool, amode AddressingMode, fmode FilterMode) (Sampler, error)
+	// clRetainSampler
+	RetainSampler(s Sampler) error
+	// clReleaseSampler
+	ReleaseSampler(s Sampler) error
+
+	// clCreateProgramWithSource
+	CreateProgramWithSource(c Context, source string) (Program, error)
+	// clCreateProgramWithBinary
+	CreateProgramWithBinary(c Context, d DeviceID, binary []byte) (Program, error)
+	// clBuildProgram
+	BuildProgram(p Program, options string) error
+	// clGetProgramBuildInfo
+	GetProgramBuildInfo(p Program, d DeviceID) (BuildInfo, error)
+	// clGetProgramInfo(CL_PROGRAM_BINARIES)
+	GetProgramBinary(p Program) ([]byte, error)
+	// clRetainProgram
+	RetainProgram(p Program) error
+	// clReleaseProgram
+	ReleaseProgram(p Program) error
+
+	// clCreateKernel
+	CreateKernel(p Program, name string) (Kernel, error)
+	// clRetainKernel
+	RetainKernel(k Kernel) error
+	// clReleaseKernel
+	ReleaseKernel(k Kernel) error
+	// clSetKernelArg: value carries the raw argument bytes; for __local
+	// parameters value is nil and size is the allocation size — exactly
+	// the (const void*, size_t) contract whose ambiguity CheCL resolves
+	// by signature parsing.
+	SetKernelArg(k Kernel, index int, size int64, value []byte) error
+
+	// clEnqueueWriteBuffer
+	EnqueueWriteBuffer(q CommandQueue, m Mem, blocking bool, offset int64, data []byte, waits []Event) (Event, error)
+	// clEnqueueReadBuffer
+	EnqueueReadBuffer(q CommandQueue, m Mem, blocking bool, offset, size int64, waits []Event) ([]byte, Event, error)
+	// clEnqueueCopyBuffer
+	EnqueueCopyBuffer(q CommandQueue, src, dst Mem, srcOff, dstOff, size int64, waits []Event) (Event, error)
+	// clEnqueueNDRangeKernel
+	EnqueueNDRangeKernel(q CommandQueue, k Kernel, dims int, offset, global, local [3]int, waits []Event) (Event, error)
+	// clEnqueueMarker — the call CheCL uses to mint dummy events on
+	// restart (§III-C).
+	EnqueueMarker(q CommandQueue) (Event, error)
+	// clEnqueueBarrier
+	EnqueueBarrier(q CommandQueue) error
+
+	// clFlush
+	Flush(q CommandQueue) error
+	// clFinish
+	Finish(q CommandQueue) error
+	// clWaitForEvents
+	WaitForEvents(events []Event) error
+	// clGetMemObjectInfo
+	GetMemObjectInfo(m Mem) (MemObjectInfo, error)
+	// clGetKernelInfo
+	GetKernelInfo(k Kernel) (KernelInfo, error)
+	// clGetContextInfo
+	GetContextInfo(c Context) (ContextInfo, error)
+	// clGetCommandQueueInfo
+	GetCommandQueueInfo(q CommandQueue) (CommandQueueInfo, error)
+	// clGetKernelWorkGroupInfo
+	GetKernelWorkGroupInfo(k Kernel, d DeviceID) (KernelWorkGroupInfo, error)
+
+	// clGetEventProfilingInfo
+	GetEventProfile(e Event) (EventProfile, error)
+	// clRetainEvent
+	RetainEvent(e Event) error
+	// clReleaseEvent
+	ReleaseEvent(e Event) error
+}

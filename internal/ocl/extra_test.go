@@ -1,0 +1,238 @@
+package ocl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"checl/internal/vtime"
+)
+
+// TestBufferWriteReadRoundtripProperty: arbitrary payloads at arbitrary
+// in-range offsets survive the device round trip.
+func TestBufferWriteReadRoundtripProperty(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, _ := setupVadd(t, r)
+	const size = 4096
+	m, err := r.CreateBuffer(ctx, MemReadWrite, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		offset := int64(off) % (size - int64(len(data)%size))
+		payload := data
+		if int64(len(payload)) > size-offset {
+			payload = payload[:size-offset]
+		}
+		if _, err := r.EnqueueWriteBuffer(q, m, true, offset, payload, nil); err != nil {
+			return false
+		}
+		back, _, err := r.EnqueueReadBuffer(q, m, true, offset, int64(len(payload)), nil)
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if back[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueTimelineMonotoneProperty: successive commands on an in-order
+// queue complete in submission order, whatever their sizes.
+func TestQueueTimelineMonotoneProperty(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, _ := setupVadd(t, r)
+	m, err := r.CreateBuffer(ctx, MemReadWrite, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sizes []uint16) bool {
+		var prevEnd vtime.Time
+		for _, s := range sizes {
+			n := int64(s)%(1<<20) + 1
+			ev, err := r.EnqueueWriteBuffer(q, m, false, 0, make([]byte, n), nil)
+			if err != nil {
+				return false
+			}
+			p, err := r.GetEventProfile(ev)
+			if err != nil {
+				return false
+			}
+			if p.End < prevEnd || p.Start > p.End {
+				return false
+			}
+			prevEnd = p.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCopyBuffer verifies device-side copies (contents and ordering).
+func TestCopyBuffer(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, _ := setupVadd(t, r)
+	src, _ := r.CreateBuffer(ctx, MemReadWrite, 256, nil)
+	dst, _ := r.CreateBuffer(ctx, MemReadWrite, 256, nil)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(255 - i)
+	}
+	if _, err := r.EnqueueWriteBuffer(q, src, true, 0, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := r.EnqueueCopyBuffer(q, src, dst, 16, 32, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitForEvents([]Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := r.EnqueueReadBuffer(q, dst, true, 32, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if back[i] != payload[16+i] {
+			t.Fatalf("copy mismatch at %d", i)
+		}
+	}
+	// Out-of-range copy fails.
+	if _, err := r.EnqueueCopyBuffer(q, src, dst, 250, 0, 64, nil); StatusOf(err) != InvalidValue {
+		t.Errorf("oob copy: %v", err)
+	}
+	// Unknown handles fail.
+	if _, err := r.EnqueueCopyBuffer(q, Mem(1), dst, 0, 0, 8, nil); StatusOf(err) != InvalidMemObject {
+		t.Errorf("bad src: %v", err)
+	}
+}
+
+// TestEnqueueBarrierAndFlushValidate exercises the remaining queue ops.
+func TestEnqueueBarrierAndFlushValidate(t *testing.T) {
+	r, _ := newNV(t)
+	_, q, _ := setupVadd(t, r)
+	if err := r.EnqueueBarrier(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnqueueBarrier(CommandQueue(9)); StatusOf(err) != InvalidCommandQueue {
+		t.Errorf("barrier on bad queue: %v", err)
+	}
+	if err := r.Flush(CommandQueue(9)); StatusOf(err) != InvalidCommandQueue {
+		t.Errorf("flush on bad queue: %v", err)
+	}
+	if err := r.Finish(CommandQueue(9)); StatusOf(err) != InvalidCommandQueue {
+		t.Errorf("finish on bad queue: %v", err)
+	}
+}
+
+// TestEventRefcounting covers retain/release and the empty wait list.
+func TestEventRefcounting(t *testing.T) {
+	r, _ := newNV(t)
+	_, q, _ := setupVadd(t, r)
+	ev, err := r.EnqueueMarker(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RetainEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseEvent(ev); StatusOf(err) != InvalidEvent {
+		t.Errorf("released event: %v", err)
+	}
+	if err := r.WaitForEvents(nil); StatusOf(err) != InvalidValue {
+		t.Errorf("empty wait list: %v", err)
+	}
+}
+
+// TestContextQueueValidation covers remaining create error paths.
+func TestContextQueueValidation(t *testing.T) {
+	r, _ := newNV(t)
+	plats, _ := r.GetPlatformIDs()
+	devs, _ := r.GetDeviceIDs(plats[0], DeviceTypeAll)
+	if _, err := r.CreateContext(nil); StatusOf(err) != InvalidValue {
+		t.Errorf("empty devices: %v", err)
+	}
+	if _, err := r.CreateContext([]DeviceID{DeviceID(777)}); StatusOf(err) != InvalidDevice {
+		t.Errorf("bad device: %v", err)
+	}
+	ctx, _ := r.CreateContext(devs)
+	if _, err := r.CreateCommandQueue(Context(5), devs[0], 0); StatusOf(err) != InvalidContext {
+		t.Errorf("bad ctx: %v", err)
+	}
+	if _, err := r.CreateCommandQueue(ctx, DeviceID(777), 0); StatusOf(err) != InvalidDevice {
+		t.Errorf("queue on foreign device: %v", err)
+	}
+	// Retain/release of contexts and queues to zero.
+	if err := r.RetainContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseContext(ctx); StatusOf(err) != InvalidContext {
+		t.Errorf("released ctx: %v", err)
+	}
+}
+
+// TestGetPlatformInfoValues sanity-checks the vendor identity strings the
+// CheCL vendor-selection logic matches on.
+func TestGetPlatformInfoValues(t *testing.T) {
+	amd, _ := newAMD(t)
+	plats, _ := amd.GetPlatformIDs()
+	info, err := amd.GetPlatformInfo(plats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vendor != "Advanced Micro Devices, Inc." || info.Profile != "FULL_PROFILE" {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := amd.GetPlatformInfo(PlatformID(3)); StatusOf(err) != InvalidPlatform {
+		t.Errorf("bad platform: %v", err)
+	}
+	if _, err := amd.GetDeviceIDs(PlatformID(3), DeviceTypeAll); StatusOf(err) != InvalidPlatform {
+		t.Errorf("bad platform for devices: %v", err)
+	}
+	if _, err := amd.GetDeviceInfo(DeviceID(3)); StatusOf(err) != InvalidDevice {
+		t.Errorf("bad device info: %v", err)
+	}
+}
+
+// TestCreateBufferHostPtrValidation covers the host-data flag contracts.
+func TestCreateBufferHostPtrValidation(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, _, _ := setupVadd(t, r)
+	if _, err := r.CreateBuffer(ctx, MemReadWrite|MemCopyHostPtr, 64, nil); StatusOf(err) != InvalidValue {
+		t.Errorf("copy without host data: %v", err)
+	}
+	if _, err := r.CreateBuffer(ctx, MemReadWrite|MemUseHostPtr, 64, make([]byte, 8)); StatusOf(err) != InvalidValue {
+		t.Errorf("short host data: %v", err)
+	}
+	if _, err := r.CreateBuffer(ctx, MemReadWrite, 0, nil); StatusOf(err) != InvalidBufferSize {
+		t.Errorf("zero size: %v", err)
+	}
+	if _, err := r.CreateBuffer(Context(1), MemReadWrite, 64, nil); StatusOf(err) != InvalidContext {
+		t.Errorf("bad context: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package ocl
+
+// Info-query API surface (clGet*Info). These matter to CheCL beyond mere
+// completeness: queries that return handles (a kernel's program, a
+// queue's context and device) must be translated *back* from real handle
+// space into CheCL handle space by the interposition layer, the reverse
+// of the translation every other call performs.
+
+// MemObjectInfo mirrors clGetMemObjectInfo.
+type MemObjectInfo struct {
+	Size     int64
+	Flags    MemFlags
+	Context  Context
+	RefCount int
+}
+
+// KernelInfo mirrors clGetKernelInfo.
+type KernelInfo struct {
+	FunctionName string
+	NumArgs      int
+	Program      Program
+	Context      Context
+	RefCount     int
+}
+
+// ContextInfo mirrors clGetContextInfo.
+type ContextInfo struct {
+	Devices  []DeviceID
+	RefCount int
+}
+
+// CommandQueueInfo mirrors clGetCommandQueueInfo.
+type CommandQueueInfo struct {
+	Context  Context
+	Device   DeviceID
+	Props    QueueProps
+	RefCount int
+}
+
+// KernelWorkGroupInfo mirrors clGetKernelWorkGroupInfo.
+type KernelWorkGroupInfo struct {
+	WorkGroupSize        int
+	CompileWorkGroupSize [3]int
+	LocalMemSize         int64
+}
+
+// GetMemObjectInfo implements clGetMemObjectInfo.
+func (r *Runtime) GetMemObjectInfo(id Mem) (MemObjectInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buffers[id]
+	if !ok {
+		return MemObjectInfo{}, Errf("clGetMemObjectInfo", InvalidMemObject, "unknown mem object %#x", uint64(id))
+	}
+	return MemObjectInfo{Size: b.size, Flags: b.flags, Context: b.ctx, RefCount: b.refs}, nil
+}
+
+// GetKernelInfo implements clGetKernelInfo.
+func (r *Runtime) GetKernelInfo(id Kernel) (KernelInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k, ok := r.kernels[id]
+	if !ok {
+		return KernelInfo{}, Errf("clGetKernelInfo", InvalidKernel, "unknown kernel %#x", uint64(id))
+	}
+	var ctx Context
+	if p, ok := r.programs[k.prog]; ok {
+		ctx = p.ctx
+	}
+	return KernelInfo{
+		FunctionName: k.name,
+		NumArgs:      len(k.args),
+		Program:      k.prog,
+		Context:      ctx,
+		RefCount:     k.refs,
+	}, nil
+}
+
+// GetContextInfo implements clGetContextInfo.
+func (r *Runtime) GetContextInfo(id Context) (ContextInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.contexts[id]
+	if !ok {
+		return ContextInfo{}, Errf("clGetContextInfo", InvalidContext, "unknown context %#x", uint64(id))
+	}
+	return ContextInfo{Devices: append([]DeviceID(nil), c.devices...), RefCount: c.refs}, nil
+}
+
+// GetCommandQueueInfo implements clGetCommandQueueInfo.
+func (r *Runtime) GetCommandQueueInfo(id CommandQueue) (CommandQueueInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.queues[id]
+	if !ok {
+		return CommandQueueInfo{}, Errf("clGetCommandQueueInfo", InvalidCommandQueue, "unknown queue %#x", uint64(id))
+	}
+	return CommandQueueInfo{Context: q.ctx, Device: q.dev, Props: q.props, RefCount: q.refs}, nil
+}
+
+// GetKernelWorkGroupInfo implements clGetKernelWorkGroupInfo.
+func (r *Runtime) GetKernelWorkGroupInfo(id Kernel, d DeviceID) (KernelWorkGroupInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.kernels[id]; !ok {
+		return KernelWorkGroupInfo{}, Errf("clGetKernelWorkGroupInfo", InvalidKernel, "unknown kernel %#x", uint64(id))
+	}
+	dev, ok := r.devices[d]
+	if !ok {
+		return KernelWorkGroupInfo{}, Errf("clGetKernelWorkGroupInfo", InvalidDevice, "unknown device %#x", uint64(d))
+	}
+	return KernelWorkGroupInfo{
+		WorkGroupSize: dev.model.MaxWorkGroupSize,
+		LocalMemSize:  32 << 10, // 32 KiB local memory, typical of the era
+	}, nil
+}

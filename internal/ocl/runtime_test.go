@@ -1,0 +1,613 @@
+package ocl
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"checl/internal/hw"
+	"checl/internal/vtime"
+)
+
+const vaddSrc = `
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}`
+
+func newNV(t *testing.T) (*Runtime, *vtime.Clock) {
+	t.Helper()
+	clock := vtime.NewClock()
+	return NewRuntime(NVIDIA(), hw.TableISpec(), clock), clock
+}
+
+func newAMD(t *testing.T) (*Runtime, *vtime.Clock) {
+	t.Helper()
+	clock := vtime.NewClock()
+	return NewRuntime(AMD(), hw.TableISpec(), clock), clock
+}
+
+// setup builds a ready-to-launch vadd kernel on the first device.
+func setupVadd(t *testing.T, r *Runtime) (Context, CommandQueue, Kernel) {
+	t.Helper()
+	plats, err := r.GetPlatformIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := r.GetDeviceIDs(plats[0], DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := r.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.CreateCommandQueue(ctx, devs[0], QueueProfilingEnable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := r.CreateProgramWithSource(ctx, vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildProgram(prog, ""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := r.CreateKernel(prog, "vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, q, k
+}
+
+func handleBytes[T ~uint64](h T) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(h))
+	return b
+}
+
+func u32bytes(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+func TestPlatformAndDeviceEnumeration(t *testing.T) {
+	nv, _ := newNV(t)
+	amd, _ := newAMD(t)
+
+	np, _ := nv.GetPlatformIDs()
+	info, err := nv.GetPlatformInfo(np[0])
+	if err != nil || info.Vendor != "NVIDIA Corporation" {
+		t.Errorf("NVIDIA platform info = %+v, %v", info, err)
+	}
+	if _, err := nv.GetDeviceIDs(np[0], DeviceTypeCPU); err == nil {
+		t.Error("NVIDIA OpenCL must not expose a CPU device (paper §IV-C)")
+	}
+	gpus, err := nv.GetDeviceIDs(np[0], DeviceTypeGPU)
+	if err != nil || len(gpus) != 1 {
+		t.Fatalf("NVIDIA GPUs = %v, %v", gpus, err)
+	}
+	di, _ := nv.GetDeviceInfo(gpus[0])
+	if di.Name != "Tesla C1060" || di.Type != hw.DeviceGPU {
+		t.Errorf("device info = %+v", di)
+	}
+
+	ap, _ := amd.GetPlatformIDs()
+	all, err := amd.GetDeviceIDs(ap[0], DeviceTypeAll)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("AMD devices = %v, %v", all, err)
+	}
+	cpus, err := amd.GetDeviceIDs(ap[0], DeviceTypeCPU)
+	if err != nil || len(cpus) != 1 {
+		t.Fatalf("AMD CPUs = %v, %v", cpus, err)
+	}
+	ci, _ := amd.GetDeviceInfo(cpus[0])
+	if ci.Type != hw.DeviceCPU {
+		t.Errorf("AMD CPU device info = %+v", ci)
+	}
+}
+
+func TestHandleValuesDifferAcrossRuntimes(t *testing.T) {
+	// A recreated object (new proxy, new runtime) must get a different
+	// handle value — the property that forces CheCL handle rebinding.
+	r1, _ := newNV(t)
+	r2, _ := newNV(t)
+	p1, _ := r1.GetPlatformIDs()
+	p2, _ := r2.GetPlatformIDs()
+	if p1[0] == p2[0] {
+		t.Error("two runtime instances returned identical platform handles")
+	}
+	d1, _ := r1.GetDeviceIDs(p1[0], DeviceTypeAll)
+	c1a, _ := r1.CreateContext(d1)
+	d2, _ := r2.GetDeviceIDs(p2[0], DeviceTypeAll)
+	c2a, _ := r2.CreateContext(d2)
+	if c1a == c2a {
+		t.Error("contexts in different runtimes share a handle value")
+	}
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, _ := setupVadd(t, r)
+
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m, err := r.CreateBuffer(ctx, MemReadWrite|MemCopyHostPtr, 1024, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r.EnqueueReadBuffer(q, m, true, 0, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("COPY_HOST_PTR contents wrong at %d", i)
+		}
+	}
+	// Partial write + read.
+	if _, err := r.EnqueueWriteBuffer(q, m, true, 100, []byte{9, 9, 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = r.EnqueueReadBuffer(q, m, true, 100, 3, nil)
+	if got[0] != 9 || got[2] != 9 {
+		t.Error("partial write not visible")
+	}
+	// Out-of-range accesses.
+	if _, err := r.EnqueueWriteBuffer(q, m, true, 1020, []byte{1, 2, 3, 4, 5}, nil); err == nil {
+		t.Error("overflowing write must fail")
+	}
+	if _, _, err := r.EnqueueReadBuffer(q, m, true, -1, 4, nil); err == nil {
+		t.Error("negative offset read must fail")
+	}
+	// Release frees device memory accounting.
+	if err := r.RetainMemObject(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseMemObject(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseMemObject(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseMemObject(m); err == nil {
+		t.Error("double release of freed object must fail")
+	}
+}
+
+func TestBufferAllocationFailure(t *testing.T) {
+	// The HD5870 has 1 GB: a context on it must refuse a 2 GB buffer
+	// (this is what shrinks oclFDTD3d problems on the AMD GPU).
+	r, _ := newAMD(t)
+	plats, _ := r.GetPlatformIDs()
+	gpus, _ := r.GetDeviceIDs(plats[0], DeviceTypeGPU)
+	ctx, _ := r.CreateContext(gpus)
+	_, err := r.CreateBuffer(ctx, MemReadWrite, 2<<30, nil)
+	if StatusOf(err) != MemObjectAllocFailure {
+		t.Errorf("err = %v, want CL_MEM_OBJECT_ALLOCATION_FAILURE", err)
+	}
+	// Freeing returns capacity.
+	m1, err := r.CreateBuffer(ctx, MemReadWrite, 600<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateBuffer(ctx, MemReadWrite, 600<<20, nil); err == nil {
+		t.Fatal("second 600MB allocation should exceed 1GB")
+	}
+	if err := r.ReleaseMemObject(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateBuffer(ctx, MemReadWrite, 600<<20, nil); err != nil {
+		t.Errorf("allocation after release failed: %v", err)
+	}
+}
+
+func TestKernelExecution(t *testing.T) {
+	r, clock := newNV(t)
+	ctx, q, k := setupVadd(t, r)
+
+	n := 256
+	mkData := func(f func(int) float32) []byte {
+		b := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(f(i)))
+		}
+		return b
+	}
+	a, _ := r.CreateBuffer(ctx, MemReadOnly|MemCopyHostPtr, int64(4*n), mkData(func(i int) float32 { return float32(i) }))
+	b, _ := r.CreateBuffer(ctx, MemReadOnly|MemCopyHostPtr, int64(4*n), mkData(func(i int) float32 { return 10 }))
+	c, _ := r.CreateBuffer(ctx, MemWriteOnly, int64(4*n), nil)
+
+	if err := r.SetKernelArg(k, 0, 8, handleBytes(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetKernelArg(k, 1, 8, handleBytes(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetKernelArg(k, 2, 8, handleBytes(c)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetKernelArg(k, 3, 4, u32bytes(uint32(n))); err != nil {
+		t.Fatal(err)
+	}
+
+	before := clock.Now()
+	ev, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{n}, [3]int{64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue is asynchronous: host time must not jump past the kernel.
+	if err := r.Finish(q); err != nil {
+		t.Fatal(err)
+	}
+	after := clock.Now()
+	if !(after > before) {
+		t.Error("Finish did not advance the clock past kernel execution")
+	}
+	prof, err := r.GetEventProfile(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(prof.End > prof.Start) || prof.Start < prof.Queued {
+		t.Errorf("profile not monotone: %+v", prof)
+	}
+
+	out, _, err := r.EnqueueReadBuffer(q, c, true, 0, int64(4*n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(out[4*i:]))
+		if got != float32(i)+10 {
+			t.Fatalf("c[%d] = %v, want %v", i, got, float32(i)+10)
+		}
+	}
+}
+
+func TestKernelArgValidation(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, k := setupVadd(t, r)
+	a, _ := r.CreateBuffer(ctx, MemReadWrite, 64, nil)
+
+	if err := r.SetKernelArg(k, 9, 8, handleBytes(a)); StatusOf(err) != InvalidArgIndex {
+		t.Errorf("bad index: %v", err)
+	}
+	if err := r.SetKernelArg(k, 3, 4, nil); StatusOf(err) != InvalidArgValue {
+		t.Errorf("nil scalar: %v", err)
+	}
+	if err := r.SetKernelArg(k, 3, 8, u32bytes(1)); StatusOf(err) != InvalidArgSize {
+		t.Errorf("size mismatch: %v", err)
+	}
+	// Launch with unset args.
+	if _, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{64}, [3]int{64}, nil); StatusOf(err) != InvalidKernelArgs {
+		t.Errorf("unset args: %v", err)
+	}
+	// Launch with a stale mem handle.
+	r.SetKernelArg(k, 0, 8, handleBytes(a))
+	r.SetKernelArg(k, 1, 8, handleBytes(a))
+	r.SetKernelArg(k, 2, 8, handleBytes(Mem(0xdead)))
+	r.SetKernelArg(k, 3, 4, u32bytes(4))
+	if _, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{16}, [3]int{16}, nil); StatusOf(err) != InvalidMemObject {
+		t.Errorf("stale handle: %v", err)
+	}
+}
+
+func TestWorkGroupLimits(t *testing.T) {
+	// 512-wide groups fit the Tesla C1060 but not the Radeon HD5870 —
+	// the oclSortingNetworks portability failure from §IV-A.
+	run := func(r *Runtime, devMask DeviceTypeMask) error {
+		plats, _ := r.GetPlatformIDs()
+		devs, err := r.GetDeviceIDs(plats[0], devMask)
+		if err != nil {
+			return err
+		}
+		ctx, _ := r.CreateContext(devs)
+		q, _ := r.CreateCommandQueue(ctx, devs[0], 0)
+		prog, _ := r.CreateProgramWithSource(ctx, vaddSrc)
+		if err := r.BuildProgram(prog, ""); err != nil {
+			return err
+		}
+		k, _ := r.CreateKernel(prog, "vadd")
+		a, _ := r.CreateBuffer(ctx, MemReadWrite, 4*1024, nil)
+		r.SetKernelArg(k, 0, 8, handleBytes(a))
+		r.SetKernelArg(k, 1, 8, handleBytes(a))
+		r.SetKernelArg(k, 2, 8, handleBytes(a))
+		r.SetKernelArg(k, 3, 4, u32bytes(1024))
+		_, err = r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{1024}, [3]int{512}, nil)
+		return err
+	}
+	nv, _ := newNV(t)
+	if err := run(nv, DeviceTypeGPU); err != nil {
+		t.Errorf("512-wide group should work on Tesla C1060: %v", err)
+	}
+	amd, _ := newAMD(t)
+	if err := run(amd, DeviceTypeGPU); StatusOf(err) != InvalidWorkGroupSize {
+		t.Errorf("512-wide group on HD5870: got %v, want CL_INVALID_WORK_GROUP_SIZE", err)
+	}
+	amd2, _ := newAMD(t)
+	if err := run(amd2, DeviceTypeCPU); err != nil {
+		t.Errorf("512-wide group should work on the CPU device: %v", err)
+	}
+}
+
+func TestProgramBuildFailure(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, _, _ := setupVadd(t, r)
+	prog, err := r.CreateProgramWithSource(ctx, "__kernel void broken( {")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildProgram(prog, ""); StatusOf(err) != BuildProgramFailure {
+		t.Fatalf("build err = %v", err)
+	}
+	bi, _ := r.GetProgramBuildInfo(prog, 0)
+	if bi.Success || bi.Log == "" {
+		t.Errorf("build info = %+v, want failure with log", bi)
+	}
+	if _, err := r.CreateKernel(prog, "broken"); StatusOf(err) != InvalidProgramExec {
+		t.Errorf("CreateKernel on unbuilt program: %v", err)
+	}
+}
+
+func TestProgramBinaryRoundtrip(t *testing.T) {
+	nv1, _ := newNV(t)
+	ctx, _, _ := setupVadd(t, nv1)
+	prog, _ := nv1.CreateProgramWithSource(ctx, vaddSrc)
+	if err := nv1.BuildProgram(prog, ""); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := nv1.GetProgramBinary(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same vendor: loads and builds.
+	nv2, _ := newNV(t)
+	p2, _ := nv2.GetPlatformIDs()
+	d2, _ := nv2.GetDeviceIDs(p2[0], DeviceTypeAll)
+	ctx2, _ := nv2.CreateContext(d2)
+	bp, err := nv2.CreateProgramWithBinary(ctx2, d2[0], bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nv2.BuildProgram(bp, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nv2.CreateKernel(bp, "vadd"); err != nil {
+		t.Errorf("kernel from binary: %v", err)
+	}
+
+	// Different vendor: rejected (why CheCL deprecates binaries, §III-D).
+	amd, _ := newAMD(t)
+	pa, _ := amd.GetPlatformIDs()
+	da, _ := amd.GetDeviceIDs(pa[0], DeviceTypeAll)
+	ctxa, _ := amd.CreateContext(da)
+	if _, err := amd.CreateProgramWithBinary(ctxa, da[0], bin); StatusOf(err) != InvalidBinary {
+		t.Errorf("cross-vendor binary: %v, want CL_INVALID_BINARY", err)
+	}
+}
+
+func TestCompileTimeAsymmetry(t *testing.T) {
+	// Building the same program must take longer under the AMD compiler
+	// model than the NVIDIA one (Fig. 7).
+	build := func(r *Runtime, clock *vtime.Clock) vtime.Duration {
+		plats, _ := r.GetPlatformIDs()
+		devs, _ := r.GetDeviceIDs(plats[0], DeviceTypeAll)
+		ctx, _ := r.CreateContext(devs)
+		prog, _ := r.CreateProgramWithSource(ctx, vaddSrc)
+		start := clock.Now()
+		if err := r.BuildProgram(prog, ""); err != nil {
+			t.Fatal(err)
+		}
+		return clock.Now().Sub(start)
+	}
+	nv, nvc := newNV(t)
+	amd, amdc := newAMD(t)
+	tn := build(nv, nvc)
+	ta := build(amd, amdc)
+	if !(ta > tn) {
+		t.Errorf("AMD build %v should exceed NVIDIA build %v", ta, tn)
+	}
+}
+
+func TestMarkerAndQueueTail(t *testing.T) {
+	r, clock := newNV(t)
+	ctx, q, k := setupVadd(t, r)
+	n := 1 << 16
+	a, _ := r.CreateBuffer(ctx, MemReadWrite, int64(4*n), nil)
+	r.SetKernelArg(k, 0, 8, handleBytes(a))
+	r.SetKernelArg(k, 1, 8, handleBytes(a))
+	r.SetKernelArg(k, 2, 8, handleBytes(a))
+	r.SetKernelArg(k, 3, 4, u32bytes(uint32(n)))
+	if _, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{n}, [3]int{256}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := r.QueueTail(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tail > clock.Now()) {
+		t.Error("queue should have pending work after async enqueue")
+	}
+	// A marker completes at the tail without blocking the host.
+	ev, err := r.EnqueueMarker(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := r.GetEventProfile(ev)
+	if p.End != tail {
+		t.Errorf("marker completes at %v, want queue tail %v", p.End, tail)
+	}
+	if clock.Now() >= tail {
+		t.Error("marker must not block the host")
+	}
+	// WaitForEvents on the marker synchronises.
+	if err := r.WaitForEvents([]Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != tail {
+		t.Errorf("WaitForEvents advanced to %v, want %v", clock.Now(), tail)
+	}
+}
+
+func TestUseHostPtrCoherenceAndCost(t *testing.T) {
+	r, clock := newNV(t)
+	ctx, q, k := setupVadd(t, r)
+	n := 1 << 14
+	host := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[4*i:], math.Float32bits(1))
+	}
+	m, err := r.CreateBuffer(ctx, MemReadWrite|MemUseHostPtr, int64(4*n), host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := r.CreateBuffer(ctx, MemReadWrite|MemCopyHostPtr, int64(4*n), host)
+	out, _ := r.CreateBuffer(ctx, MemReadWrite, int64(4*n), nil)
+
+	// Mutate the host region directly after creation; the kernel must see
+	// the updated contents (the cached copy is re-sent on every launch).
+	binary.LittleEndian.PutUint32(host[0:], math.Float32bits(5))
+
+	r.SetKernelArg(k, 0, 8, handleBytes(m))
+	r.SetKernelArg(k, 1, 8, handleBytes(plain))
+	r.SetKernelArg(k, 2, 8, handleBytes(out))
+	r.SetKernelArg(k, 3, 4, u32bytes(uint32(n)))
+	before := clock.Now()
+	if _, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{n}, [3]int{64}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Finish(q)
+	withHostPtr := clock.Now().Sub(before)
+	got, _, _ := r.EnqueueReadBuffer(q, out, true, 0, 4, nil)
+	if v := math.Float32frombits(binary.LittleEndian.Uint32(got)); v != 6 {
+		t.Errorf("kernel saw stale USE_HOST_PTR data: out[0] = %v, want 6", v)
+	}
+
+	// The same launch using only plain buffers must be faster.
+	r.SetKernelArg(k, 0, 8, handleBytes(plain))
+	before = clock.Now()
+	if _, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{n}, [3]int{64}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Finish(q)
+	without := clock.Now().Sub(before)
+	if !(withHostPtr > without) {
+		t.Errorf("USE_HOST_PTR launch (%v) should cost more than plain launch (%v)", withHostPtr, without)
+	}
+}
+
+func TestDefaultLocalSize(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, k := setupVadd(t, r)
+	a, _ := r.CreateBuffer(ctx, MemReadWrite, 4*1000, nil)
+	r.SetKernelArg(k, 0, 8, handleBytes(a))
+	r.SetKernelArg(k, 1, 8, handleBytes(a))
+	r.SetKernelArg(k, 2, 8, handleBytes(a))
+	r.SetKernelArg(k, 3, 4, u32bytes(1000))
+	// NULL local size: implementation chooses one that divides 1000.
+	if _, err := r.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{1000}, [3]int{}, nil); err != nil {
+		t.Fatalf("default local size launch failed: %v", err)
+	}
+}
+
+func TestEventWaitListOrdering(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, q, _ := setupVadd(t, r)
+	m, _ := r.CreateBuffer(ctx, MemReadWrite, 1<<20, nil)
+	ev1, err := r.EnqueueWriteBuffer(q, m, false, 0, make([]byte, 1<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second queue command waiting on ev1 must start at or after its end.
+	q2, _ := r.CreateCommandQueue(ctx, mustFirstDevice(t, r), 0)
+	ev2, err := r.EnqueueWriteBuffer(q2, m, false, 0, make([]byte, 4), []Event{ev1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := r.GetEventProfile(ev1)
+	p2, _ := r.GetEventProfile(ev2)
+	if p2.Start < p1.End {
+		t.Errorf("dependent command started %v before dependency end %v", p2.Start, p1.End)
+	}
+	if err := r.WaitForEvents([]Event{Event(0xbad)}); StatusOf(err) != InvalidEventWaitList {
+		t.Errorf("bad wait list: %v", err)
+	}
+}
+
+func mustFirstDevice(t *testing.T, r *Runtime) DeviceID {
+	t.Helper()
+	p, _ := r.GetPlatformIDs()
+	d, err := r.GetDeviceIDs(p[0], DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d[0]
+}
+
+func TestSamplerLifecycle(t *testing.T) {
+	r, _ := newNV(t)
+	ctx, _, _ := setupVadd(t, r)
+	s, err := r.CreateSampler(ctx, true, AddressClamp, FilterLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RetainSampler(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseSampler(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseSampler(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseSampler(s); StatusOf(err) != InvalidSampler {
+		t.Errorf("released sampler: %v", err)
+	}
+}
+
+func TestStatusStringsAndErrors(t *testing.T) {
+	if Success.String() != "CL_SUCCESS" {
+		t.Error("Success name wrong")
+	}
+	if InvalidContext.String() != "CL_INVALID_CONTEXT" {
+		t.Error("InvalidContext name wrong")
+	}
+	e := Errf("clFoo", InvalidValue, "because %d", 7)
+	if e.Error() != "clFoo: CL_INVALID_VALUE: because 7" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	if StatusOf(nil) != Success {
+		t.Error("StatusOf(nil)")
+	}
+}
+
+func TestTransferTimingAsymmetry(t *testing.T) {
+	// PCIe HtoD (5.35 GB/s) vs DtoH (4.87 GB/s): reading back the same
+	// payload must take longer than writing it.
+	r, clock := newNV(t)
+	ctx, q, _ := setupVadd(t, r)
+	const sz = 32 << 20
+	m, _ := r.CreateBuffer(ctx, MemReadWrite, sz, nil)
+	t0 := clock.Now()
+	if _, err := r.EnqueueWriteBuffer(q, m, true, 0, make([]byte, sz), nil); err != nil {
+		t.Fatal(err)
+	}
+	htod := clock.Now().Sub(t0)
+	t0 = clock.Now()
+	if _, _, err := r.EnqueueReadBuffer(q, m, true, 0, sz, nil); err != nil {
+		t.Fatal(err)
+	}
+	dtoh := clock.Now().Sub(t0)
+	if !(dtoh > htod) {
+		t.Errorf("DtoH (%v) should be slower than HtoD (%v)", dtoh, htod)
+	}
+	// 32 MB at 5.35 GB/s is about 6.3 ms.
+	if htod < 5*vtime.Millisecond || htod > 8*vtime.Millisecond {
+		t.Errorf("HtoD of 32MB = %v, want ~6.3ms", htod)
+	}
+}

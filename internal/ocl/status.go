@@ -1,0 +1,134 @@
+// Package ocl implements the "vendor OpenCL implementation" of the
+// simulation: a complete OpenCL-1.0-style runtime with platforms, devices,
+// contexts, command queues, buffers, programs, kernels, events and
+// samplers, executing kernels with the internal/clc interpreter and
+// accounting all costs on a virtual timeline.
+//
+// Two vendor flavours are provided (NVIDIA-like and AMD-like, see
+// vendor.go) so that the CheCL layer above can demonstrate restarting an
+// application under a different OpenCL implementation, as §III of the
+// paper describes.
+package ocl
+
+import "fmt"
+
+// Status is an OpenCL status/error code. The values mirror CL/cl.h.
+type Status int32
+
+// Status codes used by this runtime.
+const (
+	Success                Status = 0
+	DeviceNotFound         Status = -1
+	CompileProgramFailure  Status = -15
+	MemObjectAllocFailure  Status = -4
+	OutOfResources         Status = -5
+	OutOfHostMemory        Status = -6
+	BuildProgramFailure    Status = -11
+	InvalidValue           Status = -30
+	InvalidDeviceType      Status = -31
+	InvalidPlatform        Status = -32
+	InvalidDevice          Status = -33
+	InvalidContext         Status = -34
+	InvalidQueueProperties Status = -35
+	InvalidCommandQueue    Status = -36
+	InvalidMemObject       Status = -38
+	InvalidBinary          Status = -42
+	InvalidBuildOptions    Status = -43
+	InvalidProgram         Status = -44
+	InvalidProgramExec     Status = -45
+	InvalidKernelName      Status = -46
+	InvalidKernel          Status = -48
+	InvalidArgIndex        Status = -49
+	InvalidArgValue        Status = -50
+	InvalidArgSize         Status = -51
+	InvalidKernelArgs      Status = -52
+	InvalidWorkDimension   Status = -53
+	InvalidWorkGroupSize   Status = -54
+	InvalidWorkItemSize    Status = -55
+	InvalidEventWaitList   Status = -57
+	InvalidEvent           Status = -58
+	InvalidOperation       Status = -59
+	InvalidBufferSize      Status = -61
+	InvalidSampler         Status = -41
+)
+
+var statusNames = map[Status]string{
+	Success:                "CL_SUCCESS",
+	DeviceNotFound:         "CL_DEVICE_NOT_FOUND",
+	CompileProgramFailure:  "CL_COMPILE_PROGRAM_FAILURE",
+	MemObjectAllocFailure:  "CL_MEM_OBJECT_ALLOCATION_FAILURE",
+	OutOfResources:         "CL_OUT_OF_RESOURCES",
+	OutOfHostMemory:        "CL_OUT_OF_HOST_MEMORY",
+	BuildProgramFailure:    "CL_BUILD_PROGRAM_FAILURE",
+	InvalidValue:           "CL_INVALID_VALUE",
+	InvalidDeviceType:      "CL_INVALID_DEVICE_TYPE",
+	InvalidPlatform:        "CL_INVALID_PLATFORM",
+	InvalidDevice:          "CL_INVALID_DEVICE",
+	InvalidContext:         "CL_INVALID_CONTEXT",
+	InvalidQueueProperties: "CL_INVALID_QUEUE_PROPERTIES",
+	InvalidCommandQueue:    "CL_INVALID_COMMAND_QUEUE",
+	InvalidMemObject:       "CL_INVALID_MEM_OBJECT",
+	InvalidBinary:          "CL_INVALID_BINARY",
+	InvalidBuildOptions:    "CL_INVALID_BUILD_OPTIONS",
+	InvalidProgram:         "CL_INVALID_PROGRAM",
+	InvalidProgramExec:     "CL_INVALID_PROGRAM_EXECUTABLE",
+	InvalidKernelName:      "CL_INVALID_KERNEL_NAME",
+	InvalidKernel:          "CL_INVALID_KERNEL",
+	InvalidArgIndex:        "CL_INVALID_ARG_INDEX",
+	InvalidArgValue:        "CL_INVALID_ARG_VALUE",
+	InvalidArgSize:         "CL_INVALID_ARG_SIZE",
+	InvalidKernelArgs:      "CL_INVALID_KERNEL_ARGS",
+	InvalidWorkDimension:   "CL_INVALID_WORK_DIMENSION",
+	InvalidWorkGroupSize:   "CL_INVALID_WORK_GROUP_SIZE",
+	InvalidWorkItemSize:    "CL_INVALID_WORK_ITEM_SIZE",
+	InvalidEventWaitList:   "CL_INVALID_EVENT_WAIT_LIST",
+	InvalidEvent:           "CL_INVALID_EVENT",
+	InvalidOperation:       "CL_INVALID_OPERATION",
+	InvalidBufferSize:      "CL_INVALID_BUFFER_SIZE",
+	InvalidSampler:         "CL_INVALID_SAMPLER",
+}
+
+// String returns the CL constant name for the status.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("CL_ERROR(%d)", int32(s))
+}
+
+// Error is the error type returned by every runtime entry point.
+type Error struct {
+	Status Status
+	Op     string // the API function that failed, e.g. "clCreateBuffer"
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%s: %s", e.Op, e.Status)
+	}
+	return fmt.Sprintf("%s: %s: %s", e.Op, e.Status, e.Detail)
+}
+
+// ErrorCode exposes the error's structure for transports that must carry
+// it across a process boundary (implements internal/ipc.ErrorCoder).
+func (e *Error) ErrorCode() (op string, status int32, detail string) {
+	return e.Op, int32(e.Status), e.Detail
+}
+
+// Errf constructs an *Error.
+func Errf(op string, st Status, format string, args ...any) *Error {
+	return &Error{Status: st, Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+// StatusOf extracts the Status from an error returned by this package;
+// it returns Success for nil and OutOfResources for foreign errors.
+func StatusOf(err error) Status {
+	if err == nil {
+		return Success
+	}
+	if e, ok := err.(*Error); ok {
+		return e.Status
+	}
+	return OutOfResources
+}

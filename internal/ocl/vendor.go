@@ -1,0 +1,49 @@
+package ocl
+
+import "checl/internal/hw"
+
+// Vendor describes one OpenCL implementation: its platform identity, the
+// devices it exposes, and its compiler's cost model. The two constructors
+// mirror the implementations used in the paper's evaluation.
+type Vendor struct {
+	PlatformName    string
+	PlatformVendor  string
+	PlatformVersion string
+	Devices         []hw.DeviceModel
+	Compiler        hw.CompileModel
+}
+
+// NVIDIA returns the NVIDIA-like OpenCL implementation: one platform
+// exposing only the Tesla C1060 GPU. (The paper notes NVIDIA OpenCL did
+// not yet support CPU devices.)
+func NVIDIA() *Vendor {
+	return &Vendor{
+		PlatformName:    "NVIDIA CUDA",
+		PlatformVendor:  "NVIDIA Corporation",
+		PlatformVersion: "OpenCL 1.0 CUDA 3.0.1",
+		Devices:         []hw.DeviceModel{hw.TeslaC1060()},
+		Compiler:        hw.NVIDIACompiler(),
+	}
+}
+
+// AMD returns the AMD-like OpenCL implementation: one platform exposing
+// the Radeon HD5870 GPU and the Core i7 CPU device, complying with the
+// OpenCL requirement to support CPU devices.
+func AMD() *Vendor {
+	return &Vendor{
+		PlatformName:    "AMD Accelerated Parallel Processing",
+		PlatformVendor:  "Advanced Micro Devices, Inc.",
+		PlatformVersion: "OpenCL 1.0 ATI-Stream-v2.1",
+		Devices:         []hw.DeviceModel{hw.RadeonHD5870(), hw.CoreI7920()},
+		Compiler:        hw.AMDCompiler(),
+	}
+}
+
+// AMDCPUOnly returns an AMD-like implementation exposing only the CPU
+// device — the configuration a node without any GPU would present, used
+// by the migration experiments.
+func AMDCPUOnly() *Vendor {
+	v := AMD()
+	v.Devices = []hw.DeviceModel{hw.CoreI7920()}
+	return v
+}

@@ -1,0 +1,111 @@
+package proc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"checl/internal/hw"
+	"checl/internal/vtime"
+)
+
+// FS is a simulated filesystem with a bandwidth/latency model. A node has
+// a local-disk FS and a RAM-disk FS of its own; a cluster additionally
+// shares one NFS FS across nodes. Operations charge their modelled cost to
+// the caller's clock, so the same NFS is slower than the same node's RAM
+// disk by exactly the Table I ratios.
+type FS struct {
+	name  string
+	model hw.StorageModel
+
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFS constructs an empty filesystem with the given storage model.
+func NewFS(name string, model hw.StorageModel) *FS {
+	return &FS{name: name, model: model, files: map[string][]byte{}}
+}
+
+// Name identifies the filesystem ("local", "ramdisk", "nfs").
+func (fs *FS) Name() string { return fs.name }
+
+// Model exposes the storage model (used by migration-cost prediction).
+func (fs *FS) Model() hw.StorageModel { return fs.model }
+
+// WriteFile stores data at path, charging the write time to clock.
+func (fs *FS) WriteFile(clock *vtime.Clock, path string, data []byte) error {
+	if path == "" {
+		return fmt.Errorf("fs %s: empty path", fs.name)
+	}
+	clock.Advance(fs.model.WriteTime(int64(len(data))))
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// ReadFile loads the file at path, charging the read time to clock.
+func (fs *FS) ReadFile(clock *vtime.Clock, path string) ([]byte, error) {
+	fs.mu.Lock()
+	data, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fs %s: no such file %q", fs.name, path)
+	}
+	clock.Advance(fs.model.ReadTime(int64(len(data))))
+	return append([]byte(nil), data...), nil
+}
+
+// Remove deletes the file at path. Removing a missing file is an error.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("fs %s: no such file %q", fs.name, path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Size reports the size of the file at path, or an error if absent.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("fs %s: no such file %q", fs.name, path)
+	}
+	return int64(len(data)), nil
+}
+
+// Exists reports whether path holds a file.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// List returns all stored paths in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes reports the sum of all file sizes.
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, d := range fs.files {
+		n += int64(len(d))
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package proc
+
+import (
+	"testing"
+
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/vtime"
+)
+
+func testNode() *Node {
+	return NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
+}
+
+func TestSpawnForkKill(t *testing.T) {
+	n := testNode()
+	app := n.Spawn("app")
+	if !app.Alive() || app.Node() != n {
+		t.Fatal("spawned process wrong")
+	}
+	proxy := app.Fork("proxy")
+	if proxy.PID == app.PID {
+		t.Error("child shares PID with parent")
+	}
+	if got := app.Children(); len(got) != 1 || got[0] != proxy {
+		t.Errorf("children = %v", got)
+	}
+	if len(n.Processes()) != 2 {
+		t.Errorf("node processes = %d, want 2", len(n.Processes()))
+	}
+	// Killing the parent kills the tree.
+	app.Kill()
+	if app.Alive() || proxy.Alive() {
+		t.Error("kill did not terminate the tree")
+	}
+	if len(n.Processes()) != 0 {
+		t.Errorf("node processes after kill = %d, want 0", len(n.Processes()))
+	}
+	app.Kill() // idempotent
+}
+
+func TestRegions(t *testing.T) {
+	n := testNode()
+	p := n.Spawn("app")
+	p.SetRegion("heap", make([]byte, 1024))
+	p.SetRegion("stack", make([]byte, 256))
+	if p.MemoryUsage() != 1280 {
+		t.Errorf("memory usage = %d", p.MemoryUsage())
+	}
+	if got := p.RegionNames(); len(got) != 2 || got[0] != "heap" || got[1] != "stack" {
+		t.Errorf("region names = %v", got)
+	}
+	snap := p.SnapshotRegions()
+	// The snapshot must be a deep copy.
+	p.Region("heap")[0] = 42
+	if snap["heap"][0] == 42 {
+		t.Error("snapshot aliases live region")
+	}
+	p.RemoveRegion("stack")
+	if p.MemoryUsage() != 1024 {
+		t.Errorf("after remove: %d", p.MemoryUsage())
+	}
+	// Restore replaces the image.
+	q := n.Spawn("restored")
+	q.RestoreRegions(snap)
+	if q.MemoryUsage() != 1280 || q.Region("heap")[0] == 42 {
+		t.Error("restore wrong")
+	}
+}
+
+func TestSignalsCooperativeDelivery(t *testing.T) {
+	n := testNode()
+	p := n.Spawn("app")
+	if _, ok := p.PollSignal(); ok {
+		t.Error("no signal should be pending")
+	}
+	p.Signal(SIGUSR1)
+	p.Signal(SIGTERM)
+	if p.PendingSignals() != 2 {
+		t.Errorf("pending = %d", p.PendingSignals())
+	}
+	s1, ok1 := p.PollSignal()
+	s2, ok2 := p.PollSignal()
+	if !ok1 || !ok2 || s1 != SIGUSR1 || s2 != SIGTERM {
+		t.Errorf("signals = %v %v", s1, s2)
+	}
+	p.Kill()
+	p.Signal(SIGUSR1)
+	if p.PendingSignals() != 0 {
+		t.Error("dead process accepted a signal")
+	}
+}
+
+func TestDeviceMapping(t *testing.T) {
+	n := testNode()
+	p := n.Spawn("app")
+	if p.DeviceMapped() {
+		t.Error("fresh process has device mappings")
+	}
+	p.MapDevice()
+	if !p.DeviceMapped() {
+		t.Error("MapDevice not recorded")
+	}
+}
+
+func TestClusterSharedNFS(t *testing.T) {
+	c := NewCluster("pc", 3, hw.TableISpec(), func(int) []*ocl.Vendor { return []*ocl.Vendor{ocl.AMD()} })
+	if len(c.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	if n0.NFS != n1.NFS {
+		t.Fatal("NFS not shared")
+	}
+	if err := n0.NFS.WriteFile(n0.Clock, "snap.ckpt", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n1.NFS.ReadFile(n1.Clock, "snap.ckpt")
+	if err != nil || len(got) != 1<<20 {
+		t.Fatalf("read from another node: %d bytes, %v", len(got), err)
+	}
+	// NFS read (21.2 MB/s) of 1 MiB should cost roughly 49 ms on n1's clock.
+	if n1.Clock.Now() < vtime.Time(40*vtime.Millisecond) {
+		t.Errorf("NFS read cost not charged: clock at %v", n1.Clock.Now())
+	}
+	if n0.Vendor("Advanced Micro Devices, Inc.") == nil {
+		t.Error("vendor lookup failed")
+	}
+	if n0.Vendor("NVIDIA Corporation") != nil {
+		t.Error("vendor lookup returned uninstalled vendor")
+	}
+}
+
+func TestFSOperations(t *testing.T) {
+	fs := NewFS("test", hw.StorageModel{Name: "x", Write: 100 * hw.MBps, Read: 100 * hw.MBps})
+	clock := vtime.NewClock()
+	if fs.Exists("a") {
+		t.Error("empty fs has file")
+	}
+	if _, err := fs.ReadFile(clock, "a"); err == nil {
+		t.Error("reading missing file should fail")
+	}
+	if err := fs.WriteFile(clock, "", nil); err == nil {
+		t.Error("empty path should fail")
+	}
+	if err := fs.WriteFile(clock, "a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(clock, "b", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := fs.Size("a"); sz != 5 {
+		t.Errorf("size = %d", sz)
+	}
+	if got := fs.List(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("list = %v", got)
+	}
+	if fs.TotalBytes() != 105 {
+		t.Errorf("total = %d", fs.TotalBytes())
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err == nil {
+		t.Error("double remove should fail")
+	}
+	// Written data is copied, not aliased.
+	buf := []byte{1, 2, 3}
+	fs.WriteFile(clock, "c", buf)
+	buf[0] = 99
+	got, _ := fs.ReadFile(clock, "c")
+	if got[0] != 1 {
+		t.Error("WriteFile aliased caller buffer")
+	}
+}
+
+func TestRAMDiskFasterThanLocalDisk(t *testing.T) {
+	n := testNode()
+	payload := make([]byte, 8<<20)
+	c1 := vtime.NewClock()
+	n.LocalDisk.WriteFile(c1, "x", payload)
+	c2 := vtime.NewClock()
+	n.RAMDisk.WriteFile(c2, "x", payload)
+	if !(c2.Now() < c1.Now()/10) {
+		t.Errorf("RAM disk (%v) should be far faster than local disk (%v)", c2.Now(), c1.Now())
+	}
+}
+
+func TestMigrateTo(t *testing.T) {
+	c := NewCluster("pc", 2, hw.TableISpec(), func(int) []*ocl.Vendor { return nil })
+	c.Nodes[1].Spawn("other") // skew destination PID counter
+	p := c.Nodes[0].Spawn("app")
+	oldPID := p.PID
+	p.MigrateTo(c.Nodes[1])
+	if p.Node() != c.Nodes[1] {
+		t.Error("node not updated")
+	}
+	if p.PID == oldPID {
+		t.Error("destination node assigned the same PID despite skewed counter")
+	}
+	if len(c.Nodes[0].Processes()) != 0 || len(c.Nodes[1].Processes()) != 2 {
+		t.Error("process tables not updated")
+	}
+}

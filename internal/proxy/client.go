@@ -1,0 +1,323 @@
+package proxy
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"checl/internal/hw"
+	"checl/internal/ipc"
+	"checl/internal/ocl"
+	"checl/internal/vtime"
+)
+
+// CostModel prices one forwarded API call: a fixed round-trip latency plus
+// a copy of the payload at the given bandwidth. For a same-node proxy the
+// bandwidth is host memcpy; for a remote proxy (the §V extension) it is
+// the NIC.
+type CostModel struct {
+	CallLatency vtime.Duration // one-way; charged twice per round trip
+	CopyBW      hw.Bandwidth
+}
+
+// Stats counts the traffic a client has forwarded.
+type Stats struct {
+	Calls int64
+	Bytes int64
+}
+
+// Client implements ocl.API by forwarding every call to an API proxy over
+// an ipc.Conn, charging the forwarding overhead to the application's
+// clock. This is the client half of §III-A.
+type Client struct {
+	conn  *ipc.Conn
+	clock *vtime.Clock
+	cost  CostModel
+
+	calls atomic.Int64
+	bytes atomic.Int64
+}
+
+var _ ocl.API = (*Client)(nil)
+
+// NewClient wraps an RPC connection as an API client.
+func NewClient(conn *ipc.Conn, clock *vtime.Clock, cost CostModel) *Client {
+	return &Client{conn: conn, clock: clock, cost: cost}
+}
+
+// Stats reports the calls and bytes forwarded so far.
+func (c *Client) Stats() Stats {
+	return Stats{Calls: c.calls.Load(), Bytes: c.bytes.Load()}
+}
+
+// Close tears down the connection to the proxy.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call forwards one API call and charges its modelled cost.
+func (c *Client) call(method string, req, resp any) error {
+	n, err := c.conn.Call(method, req, resp)
+	c.calls.Add(1)
+	c.bytes.Add(n)
+	c.clock.Advance(2*c.cost.CallLatency + c.cost.CopyBW.Transfer(n))
+	if err != nil {
+		var re *ipc.RemoteError
+		if errors.As(err, &re) {
+			return &ocl.Error{Status: ocl.Status(re.Status), Op: re.Op, Detail: re.Detail}
+		}
+		return err
+	}
+	return nil
+}
+
+// --- forwarded API surface (one method per OpenCL entry point) ---
+
+func (c *Client) GetPlatformIDs() ([]ocl.PlatformID, error) {
+	var r GetPlatformIDsResp
+	err := c.call("clGetPlatformIDs", Empty{}, &r)
+	return r.Platforms, err
+}
+
+func (c *Client) GetPlatformInfo(p ocl.PlatformID) (ocl.PlatformInfo, error) {
+	var r GetPlatformInfoResp
+	err := c.call("clGetPlatformInfo", GetPlatformInfoReq{Platform: p}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetDeviceIDs(p ocl.PlatformID, mask ocl.DeviceTypeMask) ([]ocl.DeviceID, error) {
+	var r GetDeviceIDsResp
+	err := c.call("clGetDeviceIDs", GetDeviceIDsReq{Platform: p, Mask: mask}, &r)
+	return r.Devices, err
+}
+
+func (c *Client) GetDeviceInfo(d ocl.DeviceID) (ocl.DeviceInfo, error) {
+	var r GetDeviceInfoResp
+	err := c.call("clGetDeviceInfo", GetDeviceInfoReq{Device: d}, &r)
+	return r.Info, err
+}
+
+func (c *Client) CreateContext(devices []ocl.DeviceID) (ocl.Context, error) {
+	var r CreateContextResp
+	err := c.call("clCreateContext", CreateContextReq{Devices: devices}, &r)
+	return r.Context, err
+}
+
+func (c *Client) RetainContext(ctx ocl.Context) error {
+	var r Empty
+	return c.call("clRetainContext", ContextReq{Context: ctx}, &r)
+}
+
+func (c *Client) ReleaseContext(ctx ocl.Context) error {
+	var r Empty
+	return c.call("clReleaseContext", ContextReq{Context: ctx}, &r)
+}
+
+func (c *Client) CreateCommandQueue(ctx ocl.Context, d ocl.DeviceID, props ocl.QueueProps) (ocl.CommandQueue, error) {
+	var r CreateCommandQueueResp
+	err := c.call("clCreateCommandQueue", CreateCommandQueueReq{Context: ctx, Device: d, Props: props}, &r)
+	return r.Queue, err
+}
+
+func (c *Client) RetainCommandQueue(q ocl.CommandQueue) error {
+	var r Empty
+	return c.call("clRetainCommandQueue", QueueReq{Queue: q}, &r)
+}
+
+func (c *Client) ReleaseCommandQueue(q ocl.CommandQueue) error {
+	var r Empty
+	return c.call("clReleaseCommandQueue", QueueReq{Queue: q}, &r)
+}
+
+func (c *Client) CreateBuffer(ctx ocl.Context, flags ocl.MemFlags, size int64, hostData []byte) (ocl.Mem, error) {
+	var r CreateBufferResp
+	err := c.call("clCreateBuffer", CreateBufferReq{Context: ctx, Flags: flags, Size: size, HostData: hostData}, &r)
+	return r.Mem, err
+}
+
+func (c *Client) RetainMemObject(m ocl.Mem) error {
+	var r Empty
+	return c.call("clRetainMemObject", MemReq{Mem: m}, &r)
+}
+
+func (c *Client) ReleaseMemObject(m ocl.Mem) error {
+	var r Empty
+	return c.call("clReleaseMemObject", MemReq{Mem: m}, &r)
+}
+
+func (c *Client) CreateSampler(ctx ocl.Context, normalized bool, am ocl.AddressingMode, fm ocl.FilterMode) (ocl.Sampler, error) {
+	var r CreateSamplerResp
+	err := c.call("clCreateSampler", CreateSamplerReq{Context: ctx, Normalized: normalized, AMode: am, FMode: fm}, &r)
+	return r.Sampler, err
+}
+
+func (c *Client) RetainSampler(s ocl.Sampler) error {
+	var r Empty
+	return c.call("clRetainSampler", SamplerReq{Sampler: s}, &r)
+}
+
+func (c *Client) ReleaseSampler(s ocl.Sampler) error {
+	var r Empty
+	return c.call("clReleaseSampler", SamplerReq{Sampler: s}, &r)
+}
+
+func (c *Client) CreateProgramWithSource(ctx ocl.Context, source string) (ocl.Program, error) {
+	var r CreateProgramResp
+	err := c.call("clCreateProgramWithSource", CreateProgramWithSourceReq{Context: ctx, Source: source}, &r)
+	return r.Program, err
+}
+
+func (c *Client) CreateProgramWithBinary(ctx ocl.Context, d ocl.DeviceID, binary []byte) (ocl.Program, error) {
+	var r CreateProgramResp
+	err := c.call("clCreateProgramWithBinary", CreateProgramWithBinaryReq{Context: ctx, Device: d, Binary: binary}, &r)
+	return r.Program, err
+}
+
+func (c *Client) BuildProgram(p ocl.Program, options string) error {
+	var r Empty
+	return c.call("clBuildProgram", BuildProgramReq{Program: p, Options: options}, &r)
+}
+
+func (c *Client) GetProgramBuildInfo(p ocl.Program, d ocl.DeviceID) (ocl.BuildInfo, error) {
+	var r GetProgramBuildInfoResp
+	err := c.call("clGetProgramBuildInfo", GetProgramBuildInfoReq{Program: p, Device: d}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetProgramBinary(p ocl.Program) ([]byte, error) {
+	var r GetProgramBinaryResp
+	err := c.call("clGetProgramBinary", ProgramReq{Program: p}, &r)
+	return r.Binary, err
+}
+
+func (c *Client) RetainProgram(p ocl.Program) error {
+	var r Empty
+	return c.call("clRetainProgram", ProgramReq{Program: p}, &r)
+}
+
+func (c *Client) ReleaseProgram(p ocl.Program) error {
+	var r Empty
+	return c.call("clReleaseProgram", ProgramReq{Program: p}, &r)
+}
+
+func (c *Client) CreateKernel(p ocl.Program, name string) (ocl.Kernel, error) {
+	var r CreateKernelResp
+	err := c.call("clCreateKernel", CreateKernelReq{Program: p, Name: name}, &r)
+	return r.Kernel, err
+}
+
+func (c *Client) RetainKernel(k ocl.Kernel) error {
+	var r Empty
+	return c.call("clRetainKernel", KernelReq{Kernel: k}, &r)
+}
+
+func (c *Client) ReleaseKernel(k ocl.Kernel) error {
+	var r Empty
+	return c.call("clReleaseKernel", KernelReq{Kernel: k}, &r)
+}
+
+func (c *Client) SetKernelArg(k ocl.Kernel, index int, size int64, value []byte) error {
+	var r Empty
+	return c.call("clSetKernelArg", SetKernelArgReq{Kernel: k, Index: index, Size: size, Value: value}, &r)
+}
+
+func (c *Client) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset int64, data []byte, waits []ocl.Event) (ocl.Event, error) {
+	var r EventResp
+	err := c.call("clEnqueueWriteBuffer", EnqueueWriteBufferReq{
+		Queue: q, Mem: m, Blocking: blocking, Offset: offset, Data: data, Waits: waits,
+	}, &r)
+	return r.Event, err
+}
+
+func (c *Client) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event) ([]byte, ocl.Event, error) {
+	var r EnqueueReadBufferResp
+	err := c.call("clEnqueueReadBuffer", EnqueueReadBufferReq{
+		Queue: q, Mem: m, Blocking: blocking, Offset: offset, Size: size, Waits: waits,
+	}, &r)
+	return r.Data, r.Event, err
+}
+
+func (c *Client) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, dstOff, size int64, waits []ocl.Event) (ocl.Event, error) {
+	var r EventResp
+	err := c.call("clEnqueueCopyBuffer", EnqueueCopyBufferReq{
+		Queue: q, Src: src, Dst: dst, SrcOff: srcOff, DstOff: dstOff, Size: size, Waits: waits,
+	}, &r)
+	return r.Event, err
+}
+
+func (c *Client) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int, offset, global, local [3]int, waits []ocl.Event) (ocl.Event, error) {
+	var r EventResp
+	err := c.call("clEnqueueNDRangeKernel", EnqueueNDRangeKernelReq{
+		Queue: q, Kernel: k, Dims: dims, Offset: offset, Global: global, Local: local, Waits: waits,
+	}, &r)
+	return r.Event, err
+}
+
+func (c *Client) EnqueueMarker(q ocl.CommandQueue) (ocl.Event, error) {
+	var r EventResp
+	err := c.call("clEnqueueMarker", QueueReq{Queue: q}, &r)
+	return r.Event, err
+}
+
+func (c *Client) EnqueueBarrier(q ocl.CommandQueue) error {
+	var r Empty
+	return c.call("clEnqueueBarrier", QueueReq{Queue: q}, &r)
+}
+
+func (c *Client) Flush(q ocl.CommandQueue) error {
+	var r Empty
+	return c.call("clFlush", QueueReq{Queue: q}, &r)
+}
+
+func (c *Client) Finish(q ocl.CommandQueue) error {
+	var r Empty
+	return c.call("clFinish", QueueReq{Queue: q}, &r)
+}
+
+func (c *Client) WaitForEvents(events []ocl.Event) error {
+	var r Empty
+	return c.call("clWaitForEvents", WaitForEventsReq{Events: events}, &r)
+}
+
+func (c *Client) GetMemObjectInfo(m ocl.Mem) (ocl.MemObjectInfo, error) {
+	var r GetMemObjectInfoResp
+	err := c.call("clGetMemObjectInfo", MemReq{Mem: m}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetKernelInfo(k ocl.Kernel) (ocl.KernelInfo, error) {
+	var r GetKernelInfoResp
+	err := c.call("clGetKernelInfo", KernelReq{Kernel: k}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetContextInfo(ctx ocl.Context) (ocl.ContextInfo, error) {
+	var r GetContextInfoResp
+	err := c.call("clGetContextInfo", ContextReq{Context: ctx}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetCommandQueueInfo(q ocl.CommandQueue) (ocl.CommandQueueInfo, error) {
+	var r GetCommandQueueInfoResp
+	err := c.call("clGetCommandQueueInfo", QueueReq{Queue: q}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetKernelWorkGroupInfo(k ocl.Kernel, d ocl.DeviceID) (ocl.KernelWorkGroupInfo, error) {
+	var r GetKernelWorkGroupInfoResp
+	err := c.call("clGetKernelWorkGroupInfo", GetKernelWorkGroupInfoReq{Kernel: k, Device: d}, &r)
+	return r.Info, err
+}
+
+func (c *Client) GetEventProfile(e ocl.Event) (ocl.EventProfile, error) {
+	var r GetEventProfileResp
+	err := c.call("clGetEventProfilingInfo", EventReq{Event: e}, &r)
+	return r.Profile, err
+}
+
+func (c *Client) RetainEvent(e ocl.Event) error {
+	var r Empty
+	return c.call("clRetainEvent", EventReq{Event: e}, &r)
+}
+
+func (c *Client) ReleaseEvent(e ocl.Event) error {
+	var r Empty
+	return c.call("clReleaseEvent", EventReq{Event: e}, &r)
+}

@@ -1,0 +1,165 @@
+// Package proxy implements the API proxy of §III-A: a separate process
+// that is the only one to touch the OpenCL implementation. The application
+// process holds a Client (which implements ocl.API by forwarding every
+// call over internal/ipc); the proxy process runs a Server wrapping a real
+// ocl.Runtime.
+//
+// Because the proxy — not the application — loads the vendor
+// implementation, only the proxy's address space acquires device mappings,
+// and the application process stays checkpointable by internal/cpr.
+package proxy
+
+import "checl/internal/ocl"
+
+// Request/response message pairs, one per forwarded API entry point. The
+// wire format is gob; fields are exported for encoding.
+
+type (
+	// Empty is the request or response of calls with no payload.
+	Empty struct{}
+
+	GetPlatformIDsResp struct{ Platforms []ocl.PlatformID }
+
+	GetPlatformInfoReq  struct{ Platform ocl.PlatformID }
+	GetPlatformInfoResp struct{ Info ocl.PlatformInfo }
+
+	GetDeviceIDsReq struct {
+		Platform ocl.PlatformID
+		Mask     ocl.DeviceTypeMask
+	}
+	GetDeviceIDsResp struct{ Devices []ocl.DeviceID }
+
+	GetDeviceInfoReq  struct{ Device ocl.DeviceID }
+	GetDeviceInfoResp struct{ Info ocl.DeviceInfo }
+
+	CreateContextReq  struct{ Devices []ocl.DeviceID }
+	CreateContextResp struct{ Context ocl.Context }
+
+	ContextReq struct{ Context ocl.Context }
+
+	CreateCommandQueueReq struct {
+		Context ocl.Context
+		Device  ocl.DeviceID
+		Props   ocl.QueueProps
+	}
+	CreateCommandQueueResp struct{ Queue ocl.CommandQueue }
+
+	QueueReq struct{ Queue ocl.CommandQueue }
+
+	CreateBufferReq struct {
+		Context  ocl.Context
+		Flags    ocl.MemFlags
+		Size     int64
+		HostData []byte
+	}
+	CreateBufferResp struct{ Mem ocl.Mem }
+
+	MemReq struct{ Mem ocl.Mem }
+
+	CreateSamplerReq struct {
+		Context    ocl.Context
+		Normalized bool
+		AMode      ocl.AddressingMode
+		FMode      ocl.FilterMode
+	}
+	CreateSamplerResp struct{ Sampler ocl.Sampler }
+
+	SamplerReq struct{ Sampler ocl.Sampler }
+
+	CreateProgramWithSourceReq struct {
+		Context ocl.Context
+		Source  string
+	}
+	CreateProgramWithBinaryReq struct {
+		Context ocl.Context
+		Device  ocl.DeviceID
+		Binary  []byte
+	}
+	CreateProgramResp struct{ Program ocl.Program }
+
+	BuildProgramReq struct {
+		Program ocl.Program
+		Options string
+	}
+
+	ProgramReq struct{ Program ocl.Program }
+
+	GetProgramBuildInfoReq struct {
+		Program ocl.Program
+		Device  ocl.DeviceID
+	}
+	GetProgramBuildInfoResp struct{ Info ocl.BuildInfo }
+
+	GetProgramBinaryResp struct{ Binary []byte }
+
+	CreateKernelReq struct {
+		Program ocl.Program
+		Name    string
+	}
+	CreateKernelResp struct{ Kernel ocl.Kernel }
+
+	KernelReq struct{ Kernel ocl.Kernel }
+
+	SetKernelArgReq struct {
+		Kernel ocl.Kernel
+		Index  int
+		Size   int64
+		Value  []byte
+	}
+
+	EnqueueWriteBufferReq struct {
+		Queue    ocl.CommandQueue
+		Mem      ocl.Mem
+		Blocking bool
+		Offset   int64
+		Data     []byte
+		Waits    []ocl.Event
+	}
+	EnqueueReadBufferReq struct {
+		Queue    ocl.CommandQueue
+		Mem      ocl.Mem
+		Blocking bool
+		Offset   int64
+		Size     int64
+		Waits    []ocl.Event
+	}
+	EnqueueReadBufferResp struct {
+		Data  []byte
+		Event ocl.Event
+	}
+	EnqueueCopyBufferReq struct {
+		Queue  ocl.CommandQueue
+		Src    ocl.Mem
+		Dst    ocl.Mem
+		SrcOff int64
+		DstOff int64
+		Size   int64
+		Waits  []ocl.Event
+	}
+	EnqueueNDRangeKernelReq struct {
+		Queue  ocl.CommandQueue
+		Kernel ocl.Kernel
+		Dims   int
+		Offset [3]int
+		Global [3]int
+		Local  [3]int
+		Waits  []ocl.Event
+	}
+	EventResp struct{ Event ocl.Event }
+
+	WaitForEventsReq struct{ Events []ocl.Event }
+
+	EventReq struct{ Event ocl.Event }
+
+	GetEventProfileResp struct{ Profile ocl.EventProfile }
+
+	GetMemObjectInfoResp      struct{ Info ocl.MemObjectInfo }
+	GetKernelInfoResp         struct{ Info ocl.KernelInfo }
+	GetContextInfoResp        struct{ Info ocl.ContextInfo }
+	GetCommandQueueInfoResp   struct{ Info ocl.CommandQueueInfo }
+	GetKernelWorkGroupInfoReq struct {
+		Kernel ocl.Kernel
+		Device ocl.DeviceID
+	}
+	GetKernelWorkGroupInfoResp struct{ Info ocl.KernelWorkGroupInfo }
+)

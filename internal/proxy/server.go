@@ -1,0 +1,188 @@
+package proxy
+
+import (
+	"io"
+
+	"checl/internal/ipc"
+	"checl/internal/ocl"
+)
+
+// NewServer builds an RPC server that forwards every API method to api
+// (normally an *ocl.Runtime living in the proxy process).
+func NewServer(api ocl.API) *ipc.Server {
+	s := ipc.NewServer()
+
+	ipc.Register(s, "clGetPlatformIDs", func(Empty) (GetPlatformIDsResp, error) {
+		ps, err := api.GetPlatformIDs()
+		return GetPlatformIDsResp{Platforms: ps}, err
+	})
+	ipc.Register(s, "clGetPlatformInfo", func(r GetPlatformInfoReq) (GetPlatformInfoResp, error) {
+		info, err := api.GetPlatformInfo(r.Platform)
+		return GetPlatformInfoResp{Info: info}, err
+	})
+	ipc.Register(s, "clGetDeviceIDs", func(r GetDeviceIDsReq) (GetDeviceIDsResp, error) {
+		ds, err := api.GetDeviceIDs(r.Platform, r.Mask)
+		return GetDeviceIDsResp{Devices: ds}, err
+	})
+	ipc.Register(s, "clGetDeviceInfo", func(r GetDeviceInfoReq) (GetDeviceInfoResp, error) {
+		info, err := api.GetDeviceInfo(r.Device)
+		return GetDeviceInfoResp{Info: info}, err
+	})
+
+	ipc.Register(s, "clCreateContext", func(r CreateContextReq) (CreateContextResp, error) {
+		c, err := api.CreateContext(r.Devices)
+		return CreateContextResp{Context: c}, err
+	})
+	ipc.Register(s, "clRetainContext", func(r ContextReq) (Empty, error) {
+		return Empty{}, api.RetainContext(r.Context)
+	})
+	ipc.Register(s, "clReleaseContext", func(r ContextReq) (Empty, error) {
+		return Empty{}, api.ReleaseContext(r.Context)
+	})
+
+	ipc.Register(s, "clCreateCommandQueue", func(r CreateCommandQueueReq) (CreateCommandQueueResp, error) {
+		q, err := api.CreateCommandQueue(r.Context, r.Device, r.Props)
+		return CreateCommandQueueResp{Queue: q}, err
+	})
+	ipc.Register(s, "clRetainCommandQueue", func(r QueueReq) (Empty, error) {
+		return Empty{}, api.RetainCommandQueue(r.Queue)
+	})
+	ipc.Register(s, "clReleaseCommandQueue", func(r QueueReq) (Empty, error) {
+		return Empty{}, api.ReleaseCommandQueue(r.Queue)
+	})
+
+	ipc.Register(s, "clCreateBuffer", func(r CreateBufferReq) (CreateBufferResp, error) {
+		m, err := api.CreateBuffer(r.Context, r.Flags, r.Size, r.HostData)
+		return CreateBufferResp{Mem: m}, err
+	})
+	ipc.Register(s, "clRetainMemObject", func(r MemReq) (Empty, error) {
+		return Empty{}, api.RetainMemObject(r.Mem)
+	})
+	ipc.Register(s, "clReleaseMemObject", func(r MemReq) (Empty, error) {
+		return Empty{}, api.ReleaseMemObject(r.Mem)
+	})
+
+	ipc.Register(s, "clCreateSampler", func(r CreateSamplerReq) (CreateSamplerResp, error) {
+		sm, err := api.CreateSampler(r.Context, r.Normalized, r.AMode, r.FMode)
+		return CreateSamplerResp{Sampler: sm}, err
+	})
+	ipc.Register(s, "clRetainSampler", func(r SamplerReq) (Empty, error) {
+		return Empty{}, api.RetainSampler(r.Sampler)
+	})
+	ipc.Register(s, "clReleaseSampler", func(r SamplerReq) (Empty, error) {
+		return Empty{}, api.ReleaseSampler(r.Sampler)
+	})
+
+	ipc.Register(s, "clCreateProgramWithSource", func(r CreateProgramWithSourceReq) (CreateProgramResp, error) {
+		p, err := api.CreateProgramWithSource(r.Context, r.Source)
+		return CreateProgramResp{Program: p}, err
+	})
+	ipc.Register(s, "clCreateProgramWithBinary", func(r CreateProgramWithBinaryReq) (CreateProgramResp, error) {
+		p, err := api.CreateProgramWithBinary(r.Context, r.Device, r.Binary)
+		return CreateProgramResp{Program: p}, err
+	})
+	ipc.Register(s, "clBuildProgram", func(r BuildProgramReq) (Empty, error) {
+		return Empty{}, api.BuildProgram(r.Program, r.Options)
+	})
+	ipc.Register(s, "clGetProgramBuildInfo", func(r GetProgramBuildInfoReq) (GetProgramBuildInfoResp, error) {
+		info, err := api.GetProgramBuildInfo(r.Program, r.Device)
+		return GetProgramBuildInfoResp{Info: info}, err
+	})
+	ipc.Register(s, "clGetProgramBinary", func(r ProgramReq) (GetProgramBinaryResp, error) {
+		bin, err := api.GetProgramBinary(r.Program)
+		return GetProgramBinaryResp{Binary: bin}, err
+	})
+	ipc.Register(s, "clRetainProgram", func(r ProgramReq) (Empty, error) {
+		return Empty{}, api.RetainProgram(r.Program)
+	})
+	ipc.Register(s, "clReleaseProgram", func(r ProgramReq) (Empty, error) {
+		return Empty{}, api.ReleaseProgram(r.Program)
+	})
+
+	ipc.Register(s, "clCreateKernel", func(r CreateKernelReq) (CreateKernelResp, error) {
+		k, err := api.CreateKernel(r.Program, r.Name)
+		return CreateKernelResp{Kernel: k}, err
+	})
+	ipc.Register(s, "clRetainKernel", func(r KernelReq) (Empty, error) {
+		return Empty{}, api.RetainKernel(r.Kernel)
+	})
+	ipc.Register(s, "clReleaseKernel", func(r KernelReq) (Empty, error) {
+		return Empty{}, api.ReleaseKernel(r.Kernel)
+	})
+	ipc.Register(s, "clSetKernelArg", func(r SetKernelArgReq) (Empty, error) {
+		return Empty{}, api.SetKernelArg(r.Kernel, r.Index, r.Size, r.Value)
+	})
+
+	ipc.Register(s, "clEnqueueWriteBuffer", func(r EnqueueWriteBufferReq) (EventResp, error) {
+		ev, err := api.EnqueueWriteBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, r.Data, r.Waits)
+		return EventResp{Event: ev}, err
+	})
+	ipc.Register(s, "clEnqueueReadBuffer", func(r EnqueueReadBufferReq) (EnqueueReadBufferResp, error) {
+		data, ev, err := api.EnqueueReadBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, r.Size, r.Waits)
+		return EnqueueReadBufferResp{Data: data, Event: ev}, err
+	})
+	ipc.Register(s, "clEnqueueCopyBuffer", func(r EnqueueCopyBufferReq) (EventResp, error) {
+		ev, err := api.EnqueueCopyBuffer(r.Queue, r.Src, r.Dst, r.SrcOff, r.DstOff, r.Size, r.Waits)
+		return EventResp{Event: ev}, err
+	})
+	ipc.Register(s, "clEnqueueNDRangeKernel", func(r EnqueueNDRangeKernelReq) (EventResp, error) {
+		ev, err := api.EnqueueNDRangeKernel(r.Queue, r.Kernel, r.Dims, r.Offset, r.Global, r.Local, r.Waits)
+		return EventResp{Event: ev}, err
+	})
+	ipc.Register(s, "clEnqueueMarker", func(r QueueReq) (EventResp, error) {
+		ev, err := api.EnqueueMarker(r.Queue)
+		return EventResp{Event: ev}, err
+	})
+	ipc.Register(s, "clEnqueueBarrier", func(r QueueReq) (Empty, error) {
+		return Empty{}, api.EnqueueBarrier(r.Queue)
+	})
+
+	ipc.Register(s, "clFlush", func(r QueueReq) (Empty, error) {
+		return Empty{}, api.Flush(r.Queue)
+	})
+	ipc.Register(s, "clFinish", func(r QueueReq) (Empty, error) {
+		return Empty{}, api.Finish(r.Queue)
+	})
+	ipc.Register(s, "clWaitForEvents", func(r WaitForEventsReq) (Empty, error) {
+		return Empty{}, api.WaitForEvents(r.Events)
+	})
+	ipc.Register(s, "clGetMemObjectInfo", func(r MemReq) (GetMemObjectInfoResp, error) {
+		info, err := api.GetMemObjectInfo(r.Mem)
+		return GetMemObjectInfoResp{Info: info}, err
+	})
+	ipc.Register(s, "clGetKernelInfo", func(r KernelReq) (GetKernelInfoResp, error) {
+		info, err := api.GetKernelInfo(r.Kernel)
+		return GetKernelInfoResp{Info: info}, err
+	})
+	ipc.Register(s, "clGetContextInfo", func(r ContextReq) (GetContextInfoResp, error) {
+		info, err := api.GetContextInfo(r.Context)
+		return GetContextInfoResp{Info: info}, err
+	})
+	ipc.Register(s, "clGetCommandQueueInfo", func(r QueueReq) (GetCommandQueueInfoResp, error) {
+		info, err := api.GetCommandQueueInfo(r.Queue)
+		return GetCommandQueueInfoResp{Info: info}, err
+	})
+	ipc.Register(s, "clGetKernelWorkGroupInfo", func(r GetKernelWorkGroupInfoReq) (GetKernelWorkGroupInfoResp, error) {
+		info, err := api.GetKernelWorkGroupInfo(r.Kernel, r.Device)
+		return GetKernelWorkGroupInfoResp{Info: info}, err
+	})
+
+	ipc.Register(s, "clGetEventProfilingInfo", func(r EventReq) (GetEventProfileResp, error) {
+		p, err := api.GetEventProfile(r.Event)
+		return GetEventProfileResp{Profile: p}, err
+	})
+	ipc.Register(s, "clRetainEvent", func(r EventReq) (Empty, error) {
+		return Empty{}, api.RetainEvent(r.Event)
+	})
+	ipc.Register(s, "clReleaseEvent", func(r EventReq) (Empty, error) {
+		return Empty{}, api.ReleaseEvent(r.Event)
+	})
+
+	return s
+}
+
+// Serve runs the server loop on rwc until the peer closes the connection.
+// It is intended to run in the proxy process's goroutine.
+func Serve(api ocl.API, rwc io.ReadWriteCloser) error {
+	return NewServer(api).ServeConn(rwc)
+}

@@ -1,0 +1,48 @@
+package proxy
+
+import (
+	"net"
+	"sync"
+
+	"checl/internal/ocl"
+	"checl/internal/proc"
+)
+
+// Proxy is a running API proxy: a forked child process whose address space
+// holds the vendor OpenCL implementation (and therefore device mappings),
+// plus the connection the application uses to reach it.
+type Proxy struct {
+	Client  *Client
+	Process *proc.Process
+	Runtime *ocl.Runtime
+
+	closeOnce sync.Once
+	appEnd    net.Conn
+	proxyEnd  net.Conn
+	done      chan struct{}
+}
+
+// Spawn forks an API proxy child of app, loads the given vendor's OpenCL
+// implementation into it, and returns the connected Proxy. The fork and
+// library-load cost (the ~0.08 s initialisation the paper measures) is
+// charged to the node clock. Loading the vendor library maps the GPU
+// devices into the *proxy's* address space — the application process
+// stays clean.
+func Spawn(app *proc.Process, vendor *ocl.Vendor) (*Proxy, error) {
+	return SpawnWithTransport(app, vendor, TransportPipe)
+}
+
+// Kill terminates the proxy process and closes the transport. It is what
+// CheCL does to the old proxy before a DMTCP checkpoint and implicitly on
+// restart (the old proxy died with the old incarnation).
+func (p *Proxy) Kill() {
+	p.closeOnce.Do(func() {
+		_ = p.appEnd.Close()
+		_ = p.proxyEnd.Close()
+		p.Process.Kill()
+		<-p.done
+	})
+}
+
+// Alive reports whether the proxy process is still running.
+func (p *Proxy) Alive() bool { return p.Process.Alive() }

@@ -1,0 +1,112 @@
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+
+	"checl/internal/ipc"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+)
+
+// Transport selects the byte stream carrying the app<->proxy RPC.
+type Transport int
+
+// Transports. The modelled virtual cost is identical (same-node IPC);
+// the choice matters for engineering fidelity — a real CheCL uses Unix
+// domain sockets between processes — and lets the benchmark suite
+// measure the wall-clock (host) cost difference of the two transports.
+const (
+	// TransportPipe uses an in-memory synchronous pipe (net.Pipe).
+	TransportPipe Transport = iota
+	// TransportUnix uses a real Unix domain socket pair.
+	TransportUnix
+)
+
+func (t Transport) String() string {
+	if t == TransportUnix {
+		return "unix-socket"
+	}
+	return "pipe"
+}
+
+// SpawnWithTransport is Spawn with an explicit transport choice.
+func SpawnWithTransport(app *proc.Process, vendor *ocl.Vendor, transport Transport) (*Proxy, error) {
+	if vendor == nil {
+		return nil, fmt.Errorf("proxy: no vendor OpenCL implementation to load")
+	}
+	node := app.Node()
+	child := app.Fork("api-proxy:" + vendor.PlatformVendor)
+	node.Clock.Advance(node.Spec.ProxyForkCost)
+
+	rt := ocl.NewRuntime(vendor, node.Spec, node.Clock)
+	child.MapDevice()
+
+	appEnd, proxyEnd, err := connect(transport)
+	if err != nil {
+		child.Kill()
+		return nil, err
+	}
+	p := &Proxy{
+		Process:  child,
+		Runtime:  rt,
+		appEnd:   appEnd,
+		proxyEnd: proxyEnd,
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		_ = Serve(rt, proxyEnd)
+	}()
+	cost := CostModel{
+		CallLatency: node.Spec.IPCCallLatency,
+		CopyBW:      node.Spec.Inter.Memcpy,
+	}
+	p.Client = NewClient(ipc.NewConn(appEnd), node.Clock, cost)
+	return p, nil
+}
+
+// connect builds both endpoints of the chosen transport.
+func connect(transport Transport) (appEnd, proxyEnd net.Conn, err error) {
+	switch transport {
+	case TransportUnix:
+		dir, err := os.MkdirTemp("", "checl-proxy-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("proxy: socket dir: %w", err)
+		}
+		path := filepath.Join(dir, "api.sock")
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, fmt.Errorf("proxy: unix listen: %w", err)
+		}
+		accepted := make(chan net.Conn, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				close(accepted)
+				return
+			}
+			accepted <- conn
+		}()
+		client, err := net.Dial("unix", path)
+		if err != nil {
+			ln.Close()
+			os.RemoveAll(dir)
+			return nil, nil, fmt.Errorf("proxy: unix dial: %w", err)
+		}
+		server, ok := <-accepted
+		ln.Close()
+		os.RemoveAll(dir) // the socket stays connected after unlinking
+		if !ok {
+			client.Close()
+			return nil, nil, fmt.Errorf("proxy: unix accept failed")
+		}
+		return client, server, nil
+	default:
+		a, b := net.Pipe()
+		return a, b, nil
+	}
+}

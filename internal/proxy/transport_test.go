@@ -1,0 +1,93 @@
+package proxy
+
+import (
+	"testing"
+
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+)
+
+func TestTransportString(t *testing.T) {
+	if TransportPipe.String() != "pipe" || TransportUnix.String() != "unix-socket" {
+		t.Error("transport names wrong")
+	}
+}
+
+// TestUnixSocketTransport runs the full API path over a real Unix domain
+// socket — the transport an actual CheCL deployment would use between the
+// application and its proxy process.
+func TestUnixSocketTransport(t *testing.T) {
+	node := proc.NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
+	app := node.Spawn("app")
+	px, err := SpawnWithTransport(app, node.Vendors[0], TransportUnix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Kill()
+
+	api := px.Client
+	plats, err := api.GetPlatformIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := api.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := api.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := api.CreateCommandQueue(ctx, devs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := api.CreateBuffer(ctx, ocl.MemReadWrite, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if _, err := api.EnqueueWriteBuffer(q, m, true, 0, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := api.EnqueueReadBuffer(q, m, true, 0, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != payload[i] {
+			t.Fatalf("byte %d corrupted over unix socket", i)
+		}
+	}
+	// Error statuses survive this transport too.
+	if _, err := api.CreateContext(nil); ocl.StatusOf(err) != ocl.InvalidValue {
+		t.Errorf("error over unix socket: %v", err)
+	}
+}
+
+// TestBothTransportsSameVirtualCost: the transport choice is an
+// engineering detail; the modelled IPC cost is identical.
+func TestBothTransportsSameVirtualCost(t *testing.T) {
+	elapsed := func(tr Transport) int64 {
+		node := proc.NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
+		app := node.Spawn("app")
+		px, err := SpawnWithTransport(app, node.Vendors[0], tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer px.Kill()
+		for i := 0; i < 10; i++ {
+			if _, err := px.Client.GetPlatformIDs(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return int64(node.Clock.Now())
+	}
+	if p, u := elapsed(TransportPipe), elapsed(TransportUnix); p != u {
+		t.Errorf("virtual cost differs across transports: pipe %d vs unix %d", p, u)
+	}
+}

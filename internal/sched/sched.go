@@ -1,0 +1,146 @@
+// Package sched implements the dynamic job scheduler the paper presents
+// CheCL as an infrastructure for (§IV-C and §VI): given running jobs on a
+// heterogeneous GPU cluster, it decides whether migrating a job to a
+// faster node — or to a different device kind on the same node — pays off,
+// using the fitted migration-cost model Tm = α·M + Tr + β.
+//
+// "If the performance difference between two nodes or between two compute
+// devices for a process is large enough to justify the migration cost,
+// the process should be migrated to a higher-performance node or compute
+// device." — §IV-C.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/vtime"
+)
+
+// JobState is the scheduler's view of one running job.
+type JobState struct {
+	Name string
+	// RemainingFlops is the job's estimated remaining computation.
+	RemainingFlops float64
+	// MemBytes is the job's working set (dominates the checkpoint file
+	// size M of the cost model).
+	MemBytes int64
+	// RecompileTime is the job's measured program build time (the Tr of
+	// the cost model; CheCL records it at clBuildProgram, see
+	// core.RestartStats.Recompile).
+	RecompileTime vtime.Duration
+	// Device is the compute device the job currently runs on.
+	Device hw.DeviceModel
+	// NodeName locates the job.
+	NodeName string
+}
+
+// Slot is one free compute device the scheduler may move a job onto.
+type Slot struct {
+	NodeName string
+	Device   hw.DeviceModel
+}
+
+// Move is one planned migration.
+type Move struct {
+	Job      string
+	FromNode string
+	ToNode   string
+	ToDevice string
+	// Gain is the predicted completion-time improvement after paying the
+	// migration cost.
+	Gain vtime.Duration
+	// MigrationCost is the predicted Tm.
+	MigrationCost vtime.Duration
+}
+
+// Planner decides migrations with a calibrated cost model.
+type Planner struct {
+	// Model is the fitted Eq. 1 instance (see core.FitCostModel).
+	Model core.CostModel
+	// MinGain suppresses churn: a move must improve completion time by at
+	// least this much. Zero means any positive gain qualifies.
+	MinGain vtime.Duration
+}
+
+// deviceEfficiency mirrors the sustained fraction the hw roofline uses.
+const deviceEfficiency = 0.55
+
+// EstimateRuntime predicts how long work flops take on dev.
+func EstimateRuntime(flops float64, dev hw.DeviceModel) vtime.Duration {
+	if dev.GFLOPS <= 0 {
+		return vtime.Duration(1<<62 - 1)
+	}
+	return vtime.FromSeconds(flops / (dev.GFLOPS * 1e9 * deviceEfficiency))
+}
+
+// MigrationCost predicts Tm for moving the job (checkpoint file size is
+// approximated by the job's working set plus a fixed image overhead).
+func (p *Planner) MigrationCost(job JobState) vtime.Duration {
+	const imageOverhead = 1 << 20 // host image beyond the staged buffers
+	return p.Model.Predict(job.MemBytes+imageOverhead, job.RecompileTime)
+}
+
+// Evaluate decides whether moving job onto slot pays off.
+func (p *Planner) Evaluate(job JobState, slot Slot) (Move, bool) {
+	stay := EstimateRuntime(job.RemainingFlops, job.Device)
+	cost := p.MigrationCost(job)
+	move := EstimateRuntime(job.RemainingFlops, slot.Device) + cost
+	gain := stay - move
+	if gain <= p.MinGain {
+		return Move{}, false
+	}
+	return Move{
+		Job:           job.Name,
+		FromNode:      job.NodeName,
+		ToNode:        slot.NodeName,
+		ToDevice:      slot.Device.Name,
+		Gain:          gain,
+		MigrationCost: cost,
+	}, true
+}
+
+// Plan greedily assigns free slots to the jobs that gain the most. Each
+// slot is used at most once and each job moves at most once.
+func (p *Planner) Plan(jobs []JobState, slots []Slot) []Move {
+	type candidate struct {
+		move Move
+		job  int
+		slot int
+	}
+	var cands []candidate
+	for ji, job := range jobs {
+		for si, slot := range slots {
+			if m, ok := p.Evaluate(job, slot); ok {
+				cands = append(cands, candidate{move: m, job: ji, slot: si})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].move.Gain != cands[j].move.Gain {
+			return cands[i].move.Gain > cands[j].move.Gain
+		}
+		// Deterministic tie-break.
+		return cands[i].move.Job < cands[j].move.Job
+	})
+	usedJob := map[int]bool{}
+	usedSlot := map[int]bool{}
+	var plan []Move
+	for _, c := range cands {
+		if usedJob[c.job] || usedSlot[c.slot] {
+			continue
+		}
+		usedJob[c.job] = true
+		usedSlot[c.slot] = true
+		plan = append(plan, c.move)
+	}
+	return plan
+}
+
+// String renders a move.
+func (m Move) String() string {
+	return fmt.Sprintf("%s: %s -> %s/%s (gain %s, cost %s)",
+		m.Job, m.FromNode, m.ToNode, m.ToDevice, m.Gain, m.MigrationCost)
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/vtime"
+)
+
+func planner() *Planner {
+	// A model in the ballpark the Fig. 8 fit produces on Table I hardware.
+	return &Planner{Model: core.CostModel{Alpha: 3.5e-8, Beta: 0.1}}
+}
+
+func TestEstimateRuntimeOrdering(t *testing.T) {
+	const work = 1e12
+	cpu := EstimateRuntime(work, hw.CoreI7920())
+	tesla := EstimateRuntime(work, hw.TeslaC1060())
+	radeon := EstimateRuntime(work, hw.RadeonHD5870())
+	if !(radeon < tesla && tesla < cpu) {
+		t.Errorf("runtime ordering wrong: radeon %v, tesla %v, cpu %v", radeon, tesla, cpu)
+	}
+}
+
+func TestEvaluateLongJobMigrates(t *testing.T) {
+	p := planner()
+	// A long job on the CPU with a GPU slot free: the ~20x speedup dwarfs
+	// the migration cost.
+	job := JobState{
+		Name: "md-long", RemainingFlops: 1e13, MemBytes: 64 << 20,
+		RecompileTime: 100 * vtime.Millisecond,
+		Device:        hw.CoreI7920(), NodeName: "pc-0",
+	}
+	slot := Slot{NodeName: "pc-1", Device: hw.TeslaC1060()}
+	m, ok := p.Evaluate(job, slot)
+	if !ok {
+		t.Fatal("long CPU job should migrate to a free GPU")
+	}
+	if m.Gain <= 0 || m.ToNode != "pc-1" {
+		t.Errorf("move = %+v", m)
+	}
+	if !strings.Contains(m.String(), "md-long") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestEvaluateShortJobStays(t *testing.T) {
+	p := planner()
+	// A nearly-finished job: the migration cost exceeds any speedup.
+	job := JobState{
+		Name: "short", RemainingFlops: 1e8, MemBytes: 512 << 20,
+		RecompileTime: 2 * vtime.Second, // an S3D-like recompile bill
+		Device:        hw.CoreI7920(), NodeName: "pc-0",
+	}
+	slot := Slot{NodeName: "pc-1", Device: hw.RadeonHD5870()}
+	if _, ok := p.Evaluate(job, slot); ok {
+		t.Error("short job should not pay a multi-second migration")
+	}
+}
+
+func TestEvaluateDowngradeNeverPays(t *testing.T) {
+	p := planner()
+	job := JobState{
+		Name: "gpu-job", RemainingFlops: 1e12, MemBytes: 16 << 20,
+		Device: hw.TeslaC1060(), NodeName: "pc-0",
+	}
+	slot := Slot{NodeName: "pc-1", Device: hw.CoreI7920()}
+	if _, ok := p.Evaluate(job, slot); ok {
+		t.Error("moving a GPU job to a CPU must never be a gain")
+	}
+}
+
+func TestMinGainSuppressesChurn(t *testing.T) {
+	p := planner()
+	job := JobState{
+		Name: "marginal", RemainingFlops: 2e12, MemBytes: 8 << 20,
+		Device: hw.TeslaC1060(), NodeName: "pc-0",
+	}
+	// HD5870 is ~3x the Tesla: a marginal but positive gain.
+	slot := Slot{NodeName: "pc-1", Device: hw.RadeonHD5870()}
+	if _, ok := p.Evaluate(job, slot); !ok {
+		t.Fatal("expected a positive-gain move without MinGain")
+	}
+	p.MinGain = 10 * vtime.Second
+	if _, ok := p.Evaluate(job, slot); ok {
+		t.Error("MinGain should suppress the marginal move")
+	}
+}
+
+func TestPlanAssignsBestGainsFirst(t *testing.T) {
+	p := planner()
+	jobs := []JobState{
+		{Name: "huge", RemainingFlops: 1e14, MemBytes: 32 << 20, Device: hw.CoreI7920(), NodeName: "cpu-0"},
+		{Name: "medium", RemainingFlops: 1e12, MemBytes: 32 << 20, Device: hw.CoreI7920(), NodeName: "cpu-1"},
+		{Name: "tiny", RemainingFlops: 1e7, MemBytes: 32 << 20, Device: hw.CoreI7920(), NodeName: "cpu-2"},
+	}
+	slots := []Slot{
+		{NodeName: "gpu-0", Device: hw.RadeonHD5870()},
+	}
+	plan := p.Plan(jobs, slots)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %v, want exactly one move (one slot)", plan)
+	}
+	if plan[0].Job != "huge" {
+		t.Errorf("the single GPU slot should go to the biggest job, got %s", plan[0].Job)
+	}
+}
+
+func TestPlanOneMovePerJobAndSlot(t *testing.T) {
+	p := planner()
+	jobs := []JobState{
+		{Name: "a", RemainingFlops: 1e13, MemBytes: 8 << 20, Device: hw.CoreI7920(), NodeName: "n0"},
+		{Name: "b", RemainingFlops: 1e13, MemBytes: 8 << 20, Device: hw.CoreI7920(), NodeName: "n1"},
+	}
+	slots := []Slot{
+		{NodeName: "g0", Device: hw.TeslaC1060()},
+		{NodeName: "g1", Device: hw.RadeonHD5870()},
+	}
+	plan := p.Plan(jobs, slots)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v, want 2 moves", plan)
+	}
+	seenJob := map[string]bool{}
+	seenSlot := map[string]bool{}
+	for _, m := range plan {
+		if seenJob[m.Job] || seenSlot[m.ToNode] {
+			t.Errorf("duplicate assignment in %v", plan)
+		}
+		seenJob[m.Job] = true
+		seenSlot[m.ToNode] = true
+	}
+	// The faster device goes to a job; both jobs are identical, so the
+	// higher-gain pairing is job->HD5870.
+	for _, m := range plan {
+		if m.ToNode == "g1" && m.Gain <= 0 {
+			t.Errorf("bad gain for %v", m)
+		}
+	}
+}
+
+func TestPlanEmptyInputs(t *testing.T) {
+	p := planner()
+	if got := p.Plan(nil, nil); len(got) != 0 {
+		t.Errorf("empty plan = %v", got)
+	}
+	if got := p.Plan([]JobState{{Name: "x", RemainingFlops: 1e12, Device: hw.CoreI7920()}}, nil); len(got) != 0 {
+		t.Errorf("no slots plan = %v", got)
+	}
+}
+
+func TestEstimateRuntimeZeroDevice(t *testing.T) {
+	if EstimateRuntime(1e9, hw.DeviceModel{}) < vtime.Duration(1<<61) {
+		t.Error("zero-rate device should report effectively infinite time")
+	}
+}

@@ -1,0 +1,140 @@
+// Package vtime provides the virtual (simulated) time base used by every
+// timing model in the repository.
+//
+// All costs in the simulation — PCIe transfers, kernel executions, disk
+// writes, IPC round trips — are expressed as vtime.Duration and accumulate
+// on per-node vtime.Clock instances. Wall-clock time never enters any
+// reported result, which keeps every experiment deterministic and fast
+// regardless of the machine running the reproduction.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Time is an instant on a virtual timeline, in nanoseconds since the
+// simulation epoch (construction of the owning Clock).
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// FromSeconds converts a floating-point number of seconds to a Duration.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis reports the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration with a unit chosen by magnitude.
+func (d Duration) String() string {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case abs >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case abs >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds reports the instant as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add offsets an instant by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub reports the duration between two instants.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the instant as seconds since the epoch.
+func (t Time) String() string { return fmt.Sprintf("t+%.6fs", t.Seconds()) }
+
+// Max returns the later of two instants.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is a monotone virtual clock. A Clock is shared by every process on
+// a simulated node: blocking operations advance it, and asynchronous device
+// work is modelled as timeline arithmetic against it (see internal/ocl).
+//
+// Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// NewClock returns a clock positioned at the epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual instant.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+// Negative durations are ignored: virtual time is monotone.
+func (c *Clock) Advance(d Duration) Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to instant t if t is in the future,
+// and returns the (possibly unchanged) current instant. It models a
+// blocking wait until t.
+func (c *Clock) AdvanceTo(t Time) Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Stopwatch measures spans of virtual time against a Clock.
+type Stopwatch struct {
+	clock *Clock
+	start Time
+}
+
+// NewStopwatch starts a stopwatch at the clock's current instant.
+func NewStopwatch(c *Clock) *Stopwatch { return &Stopwatch{clock: c, start: c.Now()} }
+
+// Elapsed reports virtual time elapsed since construction or the last Reset.
+func (s *Stopwatch) Elapsed() Duration { return s.clock.Now().Sub(s.start) }
+
+// Reset restarts the stopwatch at the clock's current instant and returns
+// the span that had elapsed before the reset.
+func (s *Stopwatch) Reset() Duration {
+	e := s.Elapsed()
+	s.start = s.clock.Now()
+	return e
+}
