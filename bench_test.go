@@ -23,6 +23,7 @@ import (
 	"checl/internal/hw"
 	"checl/internal/ocl"
 	"checl/internal/proc"
+	"checl/internal/store"
 	"checl/internal/vtime"
 )
 
@@ -328,6 +329,34 @@ func BenchmarkAblationStorageTarget(b *testing.B) {
 			b.ReportMetric(write.Seconds()*1e3, "write-ms")
 		})
 	}
+}
+
+// BenchmarkStoreDedup takes a 5-checkpoint sequence of one app into the
+// content-addressed store and reports how well checkpoints 2..5 of the
+// unchanged app deduplicate: the aggregate dedup ratio, the new bytes the
+// whole sequence uploaded, and what flat files would have written instead.
+func BenchmarkStoreDedup(b *testing.B) {
+	const checkpoints = 5
+	var totalBytes, newBytes int64
+	for i := 0; i < b.N; i++ {
+		node, c, _ := benchCheCLApp(b, "oclVectorAdd", core.Options{Incremental: true})
+		st := store.New(node.LocalDisk, store.Config{
+			MinChunk: 1 << 10, AvgChunk: 4 << 10, MaxChunk: 16 << 10,
+		})
+		totalBytes, newBytes = 0, 0
+		for j := 0; j < checkpoints; j++ {
+			cst, err := c.CheckpointToStore(st, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalBytes += cst.StorePut.TotalBytes
+			newBytes += cst.StorePut.NewBytes
+		}
+		c.Detach()
+	}
+	b.ReportMetric(1-float64(newBytes)/float64(totalBytes), "dedup-ratio")
+	b.ReportMetric(float64(newBytes)/1e6, "new-MB-written")
+	b.ReportMetric(float64(totalBytes)/1e6, "flat-MB-equivalent")
 }
 
 // BenchmarkProxyCallOverhead measures the wall-clock (not virtual) cost of

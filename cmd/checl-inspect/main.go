@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	checl-inspect [-app name] [-scale f]
+//	checl-inspect [-app name] [-scale f]             inspect a flat checkpoint file
+//	checl-inspect [flags] store ls                   list a demo store's manifests and chunks
+//	checl-inspect [flags] store fsck                 verify every chunk and manifest
+//
+// The store subcommands checkpoint the demo app twice into a
+// content-addressed store, so `ls` shows dedup at work and `fsck` walks a
+// non-trivial chunk set.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"checl/internal/hw"
 	"checl/internal/ocl"
 	"checl/internal/proc"
+	"checl/internal/store"
 	"checl/internal/vtime"
 )
 
@@ -27,6 +34,15 @@ func main() {
 	appName := flag.String("app", "oclMatrixMul", "application to checkpoint and inspect")
 	scale := flag.Float64("scale", 0.5, "problem-size multiplier")
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		if args[0] != "store" || len(args) != 2 || (args[1] != "ls" && args[1] != "fsck") {
+			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\" or \"store fsck\")\n", args)
+			os.Exit(2)
+		}
+		storeCmd(*appName, *scale, args[1])
+		return
+	}
 
 	app, ok := apps.ByName(*appName)
 	if !ok {
@@ -77,6 +93,74 @@ func main() {
 	fmt.Println("  2. fork a fresh API proxy (new OpenCL handle generation)")
 	fmt.Println("  3. recreate objects in the order above; re-upload buffer data;")
 	fmt.Println("     recompile programs; replay clSetKernelArg; mint dummy events")
+}
+
+// storeCmd builds a demonstration store on the node's local disk with two
+// checkpoints of the app (the second deduplicates against the first) and
+// runs the ls or fsck view over it.
+func storeCmd(appName string, scale float64, sub string) {
+	app, ok := apps.ByName(appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "checl-inspect: unknown app %q\n", appName)
+		os.Exit(2)
+	}
+	node := proc.NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
+	p := node.Spawn(app.Name)
+	c, err := core.Attach(p, core.Options{Incremental: true})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Detach()
+	env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: scale}
+	if _, err := app.Run(env); err != nil {
+		fatal(err)
+	}
+	st := store.New(node.LocalDisk, store.Config{})
+	for i := 0; i < 2; i++ {
+		if _, err := c.CheckpointToStore(st, app.Name); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch sub {
+	case "ls":
+		storeLs(st)
+	case "fsck":
+		storeFsck(node, st)
+	}
+}
+
+func storeLs(st *store.Store) {
+	mans, err := st.Manifests()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checkpoint store on %q: %d manifests, %d jobs, %.3f MB stored\n",
+		st.FS().Name(), len(mans), len(st.Jobs()), float64(st.TotalStoredBytes())/1e6)
+	fmt.Printf("  %-20s %-20s %8s %12s %8s\n", "MANIFEST", "PARENT", "CHUNKS", "SIZE", "DIGEST")
+	for _, m := range mans {
+		parent := m.Parent
+		if parent == "" {
+			parent = "-"
+		}
+		fmt.Printf("  %-20s %-20s %8d %12d %8s\n", m.ID(), parent, len(m.Chunks), m.Size, m.Digest[:8])
+	}
+}
+
+func storeFsck(node *proc.Node, st *store.Store) {
+	rep, err := st.Fsck(node.Clock)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fsck: %d manifests, %d chunks checked, %d errors\n",
+		rep.Manifests, rep.ChunksChecked, len(rep.Errors))
+	for _, e := range rep.Errors {
+		fmt.Printf("  ERROR %s\n", e)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+	fmt.Println("  store is consistent")
 }
 
 func fatal(err error) {

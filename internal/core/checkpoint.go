@@ -8,6 +8,7 @@ import (
 	"checl/internal/ocl"
 	"checl/internal/proc"
 	"checl/internal/proxy"
+	"checl/internal/store"
 	"checl/internal/vtime"
 )
 
@@ -36,21 +37,59 @@ type CheckpointStats struct {
 	FSName        string
 	StagedBuffers int
 	StagedBytes   int64
+
+	// Store-backed checkpoints only: the manifest written and the
+	// dedup/compression breakdown of the Put. Nil for flat-file dumps.
+	Manifest string
+	StorePut *store.PutStats
 }
 
 // Checkpoint performs the §III-C procedure: synchronise, stage device
 // buffers into host memory, dump the (now OpenCL-free) application process
 // with the conventional CPR backend, and drop the staged copies.
 func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
-	clock := c.app.Clock()
 	stats := CheckpointStats{Path: path, FSName: fs.Name()}
+	err := c.runCheckpoint(&stats, func() (int64, error) {
+		wst, err := c.opts.Backend.Checkpoint(c.app, fs, path)
+		return wst.Bytes, err
+	})
+	return stats, err
+}
+
+// CheckpointToStore is Checkpoint with the content-addressed store as the
+// destination: phase 3 hands the image to the store, which chunks it and
+// writes only what previous checkpoints (of any job) have not already
+// stored. The configured Backend must support store checkpoints (both
+// simulated backends do).
+func (c *CheCL) CheckpointToStore(st *store.Store, job string) (CheckpointStats, error) {
+	sb, ok := c.opts.Backend.(cpr.StoreBackend)
+	if !ok {
+		return CheckpointStats{}, fmt.Errorf("checl: backend %s cannot checkpoint to a store", c.opts.Backend.Name())
+	}
+	stats := CheckpointStats{Path: job, FSName: st.FS().Name()}
+	err := c.runCheckpoint(&stats, func() (int64, error) {
+		wst, put, err := sb.CheckpointToStore(c.app, st, job)
+		if err != nil {
+			return 0, err
+		}
+		stats.Manifest = put.Manifest
+		stats.StorePut = put
+		return wst.Bytes, nil
+	})
+	return stats, err
+}
+
+// runCheckpoint executes the four §III-C phases around a pluggable
+// phase-3 writer (flat file or store), filling stats in place.
+func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)) error {
+	clock := c.app.Clock()
 
 	// Phase 1: synchronisation. The host waits for every enqueued command
 	// on every queue to complete.
 	sw := vtime.NewStopwatch(clock)
 	for _, q := range c.db.orderedQueues() {
 		if err := c.px.Client.Finish(q.real); err != nil {
-			return stats, fmt.Errorf("checl: checkpoint sync: %w", err)
+			return fmt.Errorf("checl: checkpoint sync: %w", err)
 		}
 	}
 	stats.Phases.Sync = sw.Reset()
@@ -70,7 +109,7 @@ func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
 		} else {
 			data, _, err := c.px.Client.EnqueueReadBuffer(qrec.real, m.real, true, 0, m.Size, nil)
 			if err != nil {
-				return stats, fmt.Errorf("checl: checkpoint preprocess: %w", err)
+				return fmt.Errorf("checl: checkpoint preprocess: %w", err)
 			}
 			m.Data = data
 		}
@@ -87,18 +126,19 @@ func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
 	}
 
 	// Phase 3: write. Serialise the object database into the application's
-	// address space and let the conventional CPR system dump the process.
+	// address space and let the dump function (conventional CPR backend or
+	// checkpoint store) persist the process image.
 	blob, err := c.db.encode()
 	if err != nil {
-		return stats, err
+		return err
 	}
 	c.app.SetRegion(dbRegion, blob)
-	wst, err := c.opts.Backend.Checkpoint(c.app, fs, path)
+	bytes, err := dump()
 	if err != nil {
-		return stats, fmt.Errorf("checl: checkpoint write: %w", err)
+		return fmt.Errorf("checl: checkpoint write: %w", err)
 	}
 	stats.Phases.Write = sw.Reset()
-	stats.FileSize = wst.Bytes
+	stats.FileSize = bytes
 
 	// Phase 4: postprocessing. Drop the staged copies to reclaim host
 	// memory. (CheCL keeps the OpenCL objects alive — unlike CheCUDA, no
@@ -109,15 +149,15 @@ func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
 		// using the staged copies before they are dropped.
 		vendor, verr := selectVendor(c.app.Node(), c.opts.VendorName)
 		if verr != nil {
-			return stats, verr
+			return verr
 		}
 		px, perr := proxy.Spawn(c.app, vendor)
 		if perr != nil {
-			return stats, perr
+			return perr
 		}
 		c.px = px
 		if _, err := c.rebindAll(); err != nil {
-			return stats, fmt.Errorf("checl: destructive postprocess: %w", err)
+			return fmt.Errorf("checl: destructive postprocess: %w", err)
 		}
 	}
 	if !c.opts.Incremental {
@@ -127,8 +167,8 @@ func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
 		}
 	}
 	stats.Phases.Postprocess = sw.Reset()
-	c.lastCkpt = &stats
-	return stats, nil
+	c.lastCkpt = stats
+	return nil
 }
 
 // anyQueueFor returns some queue of the given context, or nil.
@@ -165,35 +205,74 @@ func Restore(node *proc.Node, fs *proc.FS, path string, opts Options) (*CheCL, R
 	}
 	stats.ReadTime = rst.Time
 
+	c, err := rebuild(node, app, path, opts, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Total = total.Elapsed()
+	return c, stats, nil
+}
+
+// RestoreFromStore is Restore reading from a content-addressed checkpoint
+// store instead of a flat file. ref is a manifest ID ("job@seq") or a
+// bare job name (its latest checkpoint).
+func RestoreFromStore(node *proc.Node, st *store.Store, ref string, opts Options) (*CheCL, RestartStats, error) {
+	if opts.Backend == nil {
+		opts.Backend = cpr.BLCR{}
+	}
+	sb, ok := opts.Backend.(cpr.StoreBackend)
+	if !ok {
+		return nil, RestartStats{}, fmt.Errorf("checl: backend %s cannot restart from a store", opts.Backend.Name())
+	}
+	stats := RestartStats{PerClass: map[string]vtime.Duration{}}
+	total := vtime.NewStopwatch(node.Clock)
+
+	app, rst, err := sb.RestartFromStore(node, st, ref)
+	if err != nil {
+		return nil, stats, fmt.Errorf("checl: restart: %w", err)
+	}
+	stats.ReadTime = rst.Time
+
+	c, err := rebuild(node, app, ref, opts, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Total = total.Elapsed()
+	return c, stats, nil
+}
+
+// rebuild is the shared Restore tail: decode the object database out of
+// the restored image, fork a fresh API proxy, and recreate every OpenCL
+// object.
+func rebuild(node *proc.Node, app *proc.Process, what string, opts Options, stats *RestartStats) (*CheCL, error) {
 	blob := app.Region(dbRegion)
 	if blob == nil {
-		return nil, stats, fmt.Errorf("checl: checkpoint %q has no CheCL object database", path)
+		return nil, fmt.Errorf("checl: checkpoint %q has no CheCL object database", what)
 	}
 	db, err := decodeDatabase(blob)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	app.RemoveRegion(dbRegion)
 
 	vendor, err := selectVendor(node, opts.VendorName)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	px, err := proxy.Spawn(app, vendor)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	c := &CheCL{app: app, opts: opts, px: px, db: db}
 	rs, err := c.rebindAll()
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	for k, v := range rs.PerClass {
 		stats.PerClass[k] = v
 	}
 	stats.Recompile = rs.Recompile
-	stats.Total = total.Elapsed()
-	return c, stats, nil
+	return c, nil
 }
 
 // rebindAll recreates every object in the database via the current proxy,
@@ -486,6 +565,47 @@ func Migrate(c *CheCL, fs *proc.FS, path string, target *proc.Node, opts Options
 	c.app.Kill()
 
 	nc, rst, err := Restore(target, restoreFS, path, opts)
+	if err != nil {
+		return nil, ms, err
+	}
+	ms.Restart = rst
+	ms.Total = ckpt.Phases.Total() + ms.Transfer + rst.Total
+	return nc, ms, nil
+}
+
+// MigrateViaStore migrates like Migrate, but through content-addressed
+// stores: the application checkpoints into src (deduplicating against its
+// earlier checkpoints), the checkpoint is replicated to dst over the NIC
+// (moving only chunks dst is missing — repeated migrations of a
+// mostly-unchanged job transfer only the delta), and the application
+// restarts on target reading from dst. Pass dst == nil (or dst == src,
+// e.g. an NFS-backed store both nodes reach) to skip replication and
+// restore straight from src.
+func MigrateViaStore(c *CheCL, src *store.Store, job string, target *proc.Node, dst *store.Store, opts Options) (*CheCL, MigrationStats, error) {
+	var ms MigrationStats
+	srcNode := c.app.Node()
+
+	ckpt, err := c.CheckpointToStore(src, job)
+	if err != nil {
+		return nil, ms, err
+	}
+	ms.Checkpoint = ckpt
+
+	restoreStore := src
+	if dst != nil && dst != src {
+		sw := vtime.NewStopwatch(target.Clock)
+		if _, _, err := src.Replicate(target.Clock, ckpt.Manifest, dst, srcNode.Spec.Inter.NIC); err != nil {
+			return nil, ms, err
+		}
+		ms.Transfer = sw.Elapsed()
+		restoreStore = dst
+	}
+
+	// The source incarnation terminates: process migration, not cloning.
+	c.px.Kill()
+	c.app.Kill()
+
+	nc, rst, err := RestoreFromStore(target, restoreStore, ckpt.Manifest, opts)
 	if err != nil {
 		return nil, ms, err
 	}

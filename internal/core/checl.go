@@ -512,7 +512,7 @@ func (c *CheCL) CreateProgramWithSource(ctx ocl.Context, source string) (ocl.Pro
 	}
 	if compiled, cerr := clc.Compile(source); cerr == nil {
 		rec.Sigs = compiled.Sigs
-		rec.WriteSets = map[string][]int{}
+		rec.WriteSets = writeSets{}
 		for _, sig := range compiled.Sigs {
 			if ws, ok := compiled.WriteSet(sig.Name); ok {
 				rec.WriteSets[sig.Name] = ws

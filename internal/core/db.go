@@ -183,10 +183,48 @@ type programRec struct {
 	Built      bool
 	Options    string
 	Sigs       []clc.KernelSig
-	WriteSets  map[string][]int // kernel -> indices of params it may write
+	WriteSets  writeSets // kernel -> indices of params it may write
 	Refs       int
 	BuildCost  vtime.Duration // measured build time (input to Tr prediction)
 	real       ocl.Program
+}
+
+// writeSets maps kernel name -> indices of params the kernel may write.
+// Plain gob map encoding is iteration-ordered (random), which would make
+// two encodings of an unchanged database differ and defeat the checkpoint
+// store's content-defined dedup — so it gob-encodes as a key-sorted list.
+type writeSets map[string][]int
+
+type writeSetEntry struct {
+	Name string
+	Idx  []int
+}
+
+// GobEncode implements gob.GobEncoder deterministically.
+func (w writeSets) GobEncode() ([]byte, error) {
+	entries := make([]writeSetEntry, 0, len(w))
+	for name, idx := range w {
+		entries = append(entries, writeSetEntry{Name: name, Idx: idx})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (w *writeSets) GobDecode(data []byte) error {
+	var entries []writeSetEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+		return err
+	}
+	*w = writeSets{}
+	for _, e := range entries {
+		(*w)[e.Name] = e.Idx
+	}
+	return nil
 }
 
 type argRec struct {

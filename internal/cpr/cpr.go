@@ -16,8 +16,10 @@ package cpr
 
 import (
 	"bytes"
-	"encoding/gob"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"checl/internal/proc"
 	"checl/internal/vtime"
@@ -47,20 +49,102 @@ type Backend interface {
 	Restart(n *proc.Node, fs *proc.FS, path string) (*proc.Process, Stats, error)
 }
 
-// encodeImage serialises an image to the on-disk representation.
-func encodeImage(img Image) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
-		return nil, fmt.Errorf("cpr: encoding image: %w", err)
-	}
-	return buf.Bytes(), nil
+// On-disk image framing. Every checkpoint file starts with a fixed
+// header — magic, format version, SHA-256 of the body — so truncated or
+// corrupt files fail with a clear error instead of a raw decode failure.
+// The body is a deterministic binary encoding (regions sorted by name):
+// byte-identical inputs produce byte-identical files, which is what lets
+// the content-addressed store deduplicate successive checkpoints.
+const imageVersion = 1
+
+var imageMagic = []byte("CHECLIMG")
+
+func appendBytes(buf []byte, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
 }
 
-// decodeImage parses an on-disk checkpoint file.
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("field of %d bytes exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := r.Read(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// encodeImage serialises an image to the on-disk representation.
+func encodeImage(img Image) ([]byte, error) {
+	body := appendBytes(nil, []byte(img.ProcessName))
+	body = appendBytes(body, img.AppState)
+	names := make([]string, 0, len(img.Regions))
+	for name := range img.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	body = binary.AppendUvarint(body, uint64(len(names)))
+	for _, name := range names {
+		body = appendBytes(body, []byte(name))
+		body = appendBytes(body, img.Regions[name])
+	}
+
+	sum := sha256.Sum256(body)
+	out := make([]byte, 0, len(imageMagic)+2+len(sum)+len(body))
+	out = append(out, imageMagic...)
+	out = binary.BigEndian.AppendUint16(out, imageVersion)
+	out = append(out, sum[:]...)
+	return append(out, body...), nil
+}
+
+// decodeImage parses an on-disk checkpoint file, validating the header
+// before touching the body.
 func decodeImage(data []byte) (Image, error) {
-	var img Image
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+	headerLen := len(imageMagic) + 2 + sha256.Size
+	if len(data) < headerLen {
+		return Image{}, fmt.Errorf("cpr: image truncated (%d bytes, header is %d)", len(data), headerLen)
+	}
+	if !bytes.Equal(data[:len(imageMagic)], imageMagic) {
+		return Image{}, fmt.Errorf("cpr: not a checkpoint image (bad magic)")
+	}
+	if v := binary.BigEndian.Uint16(data[len(imageMagic):]); v != imageVersion {
+		return Image{}, fmt.Errorf("cpr: unsupported image version %d (this build reads %d)", v, imageVersion)
+	}
+	want := data[len(imageMagic)+2 : headerLen]
+	body := data[headerLen:]
+	if got := sha256.Sum256(body); !bytes.Equal(want, got[:]) {
+		return Image{}, fmt.Errorf("cpr: image corrupt (body checksum mismatch)")
+	}
+
+	r := bytes.NewReader(body)
+	img := Image{Regions: map[string][]byte{}}
+	name, err := readBytes(r)
+	if err != nil {
 		return Image{}, fmt.Errorf("cpr: decoding image: %w", err)
+	}
+	img.ProcessName = string(name)
+	if img.AppState, err = readBytes(r); err != nil {
+		return Image{}, fmt.Errorf("cpr: decoding image: %w", err)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Image{}, fmt.Errorf("cpr: decoding image: %w", err)
+	}
+	for i := uint64(0); i < count; i++ {
+		rname, err := readBytes(r)
+		if err != nil {
+			return Image{}, fmt.Errorf("cpr: decoding image region %d: %w", i, err)
+		}
+		rdata, err := readBytes(r)
+		if err != nil {
+			return Image{}, fmt.Errorf("cpr: decoding image region %q: %w", rname, err)
+		}
+		img.Regions[string(rname)] = rdata
 	}
 	return img, nil
 }
@@ -84,11 +168,8 @@ func (BLCR) Name() string { return "blcr" }
 // Checkpoint implements Backend. It fails with ErrDeviceMapped when the
 // target process has device mappings in its address space.
 func (BLCR) Checkpoint(p *proc.Process, fs *proc.FS, path string) (Stats, error) {
-	if !p.Alive() {
-		return Stats{}, fmt.Errorf("blcr: process %d (%s) is not running", p.PID, p.Name)
-	}
-	if p.DeviceMapped() {
-		return Stats{}, &DeviceMappedError{Backend: "blcr", PID: p.PID, Name: p.Name}
+	if err := checkpointable("blcr", p, false); err != nil {
+		return Stats{}, err
 	}
 	img := Image{ProcessName: p.Name, Regions: p.SnapshotRegions()}
 	data, err := encodeImage(img)
@@ -130,22 +211,7 @@ func (DMTCP) Name() string { return "dmtcp" }
 // child with device mappings (the API proxy) makes the checkpoint fail,
 // reproducing the §V observation. Killing the proxy first makes it work.
 func (DMTCP) Checkpoint(p *proc.Process, fs *proc.FS, path string) (Stats, error) {
-	if !p.Alive() {
-		return Stats{}, fmt.Errorf("dmtcp: process %d (%s) is not running", p.PID, p.Name)
-	}
-	var check func(q *proc.Process) error
-	check = func(q *proc.Process) error {
-		if q.DeviceMapped() {
-			return &DeviceMappedError{Backend: "dmtcp", PID: q.PID, Name: q.Name}
-		}
-		for _, c := range q.Children() {
-			if err := check(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := check(p); err != nil {
+	if err := checkpointable("dmtcp", p, true); err != nil {
 		return Stats{}, err
 	}
 	img := Image{ProcessName: p.Name, Regions: p.SnapshotRegions()}

@@ -1,0 +1,114 @@
+package cpr
+
+import (
+	"fmt"
+
+	"checl/internal/proc"
+	"checl/internal/store"
+	"checl/internal/vtime"
+)
+
+// StoreBackend is a Backend that can also checkpoint into and restart
+// from a content-addressed checkpoint store. Both simulated backends
+// implement it; the flat-file Backend methods remain for the baseline
+// (non-deduplicated) path the ablations compare against.
+type StoreBackend interface {
+	Backend
+	// CheckpointToStore dumps p's memory image into st under job,
+	// deduplicating against the job's earlier checkpoints (and any other
+	// job's chunks). The same eligibility rules as Checkpoint apply.
+	CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error)
+	// RestartFromStore re-creates a process on node n from a store
+	// checkpoint. ref is a manifest ID ("job@seq") or a bare job name
+	// (its latest checkpoint).
+	RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error)
+}
+
+// checkpointable reports the same eligibility the flat-file Checkpoint
+// paths enforce: backend "blcr" refuses a device-mapped process,
+// "dmtcp" refuses a device mapping anywhere in the process tree.
+func checkpointable(backend string, p *proc.Process, tree bool) error {
+	if !p.Alive() {
+		return fmt.Errorf("%s: process %d (%s) is not running", backend, p.PID, p.Name)
+	}
+	var check func(q *proc.Process) error
+	check = func(q *proc.Process) error {
+		if q.DeviceMapped() {
+			return &DeviceMappedError{Backend: backend, PID: q.PID, Name: q.Name}
+		}
+		if tree {
+			for _, c := range q.Children() {
+				if err := check(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return check(p)
+}
+
+// checkpointToStore is the shared store write path: encode the image
+// deterministically and hand it to the store, which chunks,
+// deduplicates, compresses and journals it.
+func checkpointToStore(backend string, p *proc.Process, st *store.Store, job string, tree bool) (Stats, *store.PutStats, error) {
+	if err := checkpointable(backend, p, tree); err != nil {
+		return Stats{}, nil, err
+	}
+	img := Image{ProcessName: p.Name, Regions: p.SnapshotRegions()}
+	data, err := encodeImage(img)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	_, put, err := st.Put(p.Clock(), job, data)
+	if err != nil {
+		return Stats{}, nil, fmt.Errorf("%s: checkpoint to store: %w", backend, err)
+	}
+	return Stats{Bytes: int64(len(data)), Time: put.Time}, &put, nil
+}
+
+// CheckpointToStore implements StoreBackend.
+func (BLCR) CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error) {
+	return checkpointToStore("blcr", p, st, job, false)
+}
+
+// CheckpointToStore implements StoreBackend.
+func (DMTCP) CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error) {
+	return checkpointToStore("dmtcp", p, st, job, true)
+}
+
+// restartFromStore is the shared store restart path.
+func restartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error) {
+	sw := vtime.NewStopwatch(n.Clock)
+	data, _, err := st.Get(n.Clock, ref)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	img, err := decodeImage(data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	p := n.Spawn(img.ProcessName)
+	p.RestoreRegions(img.Regions)
+	return p, Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, nil
+}
+
+// RestartFromStore implements StoreBackend.
+func (BLCR) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error) {
+	return restartFromStore(n, st, ref)
+}
+
+// RestartFromStore implements StoreBackend.
+func (DMTCP) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error) {
+	return restartFromStore(n, st, ref)
+}
+
+// ReadImageFromStore loads and decodes a store checkpoint without
+// restarting it (tooling, MPI global-snapshot aggregation).
+func ReadImageFromStore(clock *vtime.Clock, st *store.Store, ref string) (Image, error) {
+	data, _, err := st.Get(clock, ref)
+	if err != nil {
+		return Image{}, err
+	}
+	return decodeImage(data)
+}

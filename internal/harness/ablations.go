@@ -9,6 +9,7 @@ import (
 	"checl/internal/hw"
 	"checl/internal/ocl"
 	"checl/internal/proc"
+	"checl/internal/store"
 	"checl/internal/vtime"
 )
 
@@ -29,7 +30,7 @@ type AblationResult struct {
 	Variants []AblationVariant
 }
 
-// Ablations runs all four ablations and returns their measurements.
+// Ablations runs all five ablations and returns their measurements.
 func Ablations(scale float64) ([]AblationResult, error) {
 	var out []AblationResult
 
@@ -56,6 +57,12 @@ func Ablations(scale float64) ([]AblationResult, error) {
 		return nil, err
 	}
 	out = append(out, storage)
+
+	cas, err := ablationStore(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, cas)
 	return out, nil
 }
 
@@ -229,6 +236,88 @@ func ablationStorage(scale float64) (AblationResult, error) {
 		})
 		c.Detach()
 	}
+	return res, nil
+}
+
+// ablationStore: flat NFS checkpoint files vs the content-addressed
+// checkpoint store, on the phase the store changes — the 2nd checkpoint's
+// write (dedup skips unchanged chunks) — plus restart read time from the
+// NFS store vs a local-disk replica.
+func ablationStore(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "checkpoint-store",
+		Claim: "chunk dedup makes repeat checkpoints cheap; replicas make restarts local",
+	}
+
+	// Both arms run incremental so re-staging does not churn the object
+	// database between otherwise-identical checkpoints; the store arm also
+	// chunks finely so metadata edits dirty little data. The problem is
+	// scaled up so image bandwidth dominates NFS's fixed per-op latency —
+	// dedup saves bandwidth, not the manifest write's open/close cost.
+	scale *= 8
+	chunks := store.Config{MinChunk: 1 << 10, AvgChunk: 4 << 10, MaxChunk: 16 << 10}
+
+	// Arm 1: flat files — the 2nd checkpoint rewrites the full image.
+	node, c, err := runAppUnderCheCL("oclVectorAdd", scale, core.Options{Incremental: true})
+	if err != nil {
+		return res, err
+	}
+	nfs := proc.NewFS("nfs", node.Spec.NFS)
+	if _, err := c.Checkpoint(nfs, "f1.ckpt"); err != nil {
+		c.Detach()
+		return res, err
+	}
+	st, err := c.Checkpoint(nfs, "f2.ckpt")
+	if err != nil {
+		c.Detach()
+		return res, err
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "flat-nfs", Metric: "2nd-checkpoint write", Value: st.Phases.Write,
+	})
+	c.Detach()
+
+	// Arm 2: store — the 2nd checkpoint's chunks all deduplicate.
+	node, c, err = runAppUnderCheCL("oclVectorAdd", scale, core.Options{Incremental: true})
+	if err != nil {
+		return res, err
+	}
+	defer c.Detach()
+	nfsStore := store.New(proc.NewFS("nfs", node.Spec.NFS), chunks)
+	if _, err := c.CheckpointToStore(nfsStore, "abl"); err != nil {
+		return res, err
+	}
+	st, err = c.CheckpointToStore(nfsStore, "abl")
+	if err != nil {
+		return res, err
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "store-nfs", Metric: "2nd-checkpoint write", Value: st.Phases.Write,
+	})
+
+	// Restart arms: read the checkpoint back from the NFS store vs from a
+	// replica on the node's local disk.
+	rc, rst, err := core.RestoreFromStore(node, nfsStore, "abl", core.Options{})
+	if err != nil {
+		return res, err
+	}
+	rc.Detach()
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "restore-nfs-store", Metric: "image read", Value: rst.ReadTime,
+	})
+
+	localStore := store.New(node.LocalDisk, chunks)
+	if _, _, err := nfsStore.Replicate(node.Clock, "abl", localStore, node.Spec.Inter.NIC); err != nil {
+		return res, err
+	}
+	rc, rst, err = core.RestoreFromStore(node, localStore, "abl", core.Options{})
+	if err != nil {
+		return res, err
+	}
+	rc.Detach()
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "restore-local-replica", Metric: "image read", Value: rst.ReadTime,
+	})
 	return res, nil
 }
 

@@ -11,8 +11,8 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("ablations = %d, want 4", len(results))
+	if len(results) != 5 {
+		t.Fatalf("ablations = %d, want 5", len(results))
 	}
 	byName := map[string]AblationResult{}
 	for _, r := range results {
@@ -41,6 +41,19 @@ func TestAblations(t *testing.T) {
 	var disk, nfs, ram = storage.Variants[0].Value, storage.Variants[1].Value, storage.Variants[2].Value
 	if !(ram < disk/10 && disk < nfs) {
 		t.Errorf("storage ordering: disk=%v nfs=%v ram=%v", disk, nfs, ram)
+	}
+
+	cas := byName["checkpoint-store"]
+	if len(cas.Variants) != 4 {
+		t.Fatalf("store ablation: %+v", cas.Variants)
+	}
+	flat, dedup := cas.Variants[0].Value, cas.Variants[1].Value
+	if !(dedup < flat/2) {
+		t.Errorf("store ablation: deduped 2nd checkpoint write %v not under half of flat %v", dedup, flat)
+	}
+	nfsRead, localRead := cas.Variants[2].Value, cas.Variants[3].Value
+	if !(localRead < nfsRead) {
+		t.Errorf("store ablation: local-replica read %v not cheaper than NFS read %v", localRead, nfsRead)
 	}
 
 	var buf bytes.Buffer

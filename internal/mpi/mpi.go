@@ -12,6 +12,7 @@ import (
 
 	"checl/internal/core"
 	"checl/internal/proc"
+	"checl/internal/store"
 	"checl/internal/vtime"
 )
 
@@ -268,6 +269,11 @@ type GlobalSnapshotStats struct {
 	AggregateTime vtime.Duration // reading local snapshots + writing NFS
 	GlobalSize    int64
 	Total         vtime.Duration // slowest local + aggregation
+
+	// Store-backed snapshots only, set on rank 0: the manifest written
+	// and the dedup/compression breakdown of the store Put.
+	Manifest string
+	StorePut *store.PutStats
 }
 
 // CoordinatedCheckpoint takes a global snapshot of an MPI+CheCL job

@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"fmt"
+
+	"checl/internal/core"
+	"checl/internal/proc"
+	"checl/internal/store"
+	"checl/internal/vtime"
+)
+
+// Store-backed global snapshots: the aggregation step lands in a
+// content-addressed checkpoint store (typically on the shared NFS)
+// instead of a flat NFS file, so successive global snapshots of the same
+// job — where most ranks' state is unchanged — write only the delta.
+
+// CoordinatedCheckpointToStore is CoordinatedCheckpoint with the global
+// snapshot written into st under job. Local per-rank snapshots still go
+// to each node's local disk (the Hursey-style two-level flow); only
+// rank 0's aggregate goes through the store. Every rank returns its own
+// stats; rank 0's additionally carries the store Put breakdown.
+func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, job string) (GlobalSnapshotStats, error) {
+	var stats GlobalSnapshotStats
+	r.Barrier()
+
+	localPath := fmt.Sprintf("%s.local.%d", job, r.rank)
+	cst, err := checl.Checkpoint(r.node.LocalDisk, localPath)
+	if err != nil {
+		return stats, fmt.Errorf("mpi: rank %d local snapshot: %w", r.rank, err)
+	}
+	r.Barrier() // all local snapshots complete
+
+	if r.rank != 0 {
+		data, err := r.node.LocalDisk.ReadFile(r.node.Clock, localPath)
+		if err != nil {
+			return stats, err
+		}
+		if err := r.Send(0, tagCkpt, data); err != nil {
+			return stats, err
+		}
+		r.Barrier() // global snapshot complete
+		stats.LocalTimes = []vtime.Duration{cst.Phases.Total()}
+		stats.LocalSizes = []int64{cst.FileSize}
+		return stats, nil
+	}
+
+	// Rank 0: aggregate into the store instead of a flat NFS file.
+	sw := vtime.NewStopwatch(r.node.Clock)
+	locals := make([][]byte, r.size)
+	var err0 error
+	locals[0], err0 = r.node.LocalDisk.ReadFile(r.node.Clock, localPath)
+	if err0 != nil {
+		return stats, err0
+	}
+	for i := 1; i < r.size; i++ {
+		data, err := r.Recv(i, tagCkpt)
+		if err != nil {
+			return stats, err
+		}
+		locals[i] = data
+	}
+	global, err := encodeGlobalSnapshot(locals)
+	if err != nil {
+		return stats, err
+	}
+	man, put, err := st.Put(r.node.Clock, job, global)
+	if err != nil {
+		return stats, fmt.Errorf("mpi: global snapshot to store: %w", err)
+	}
+	stats.AggregateTime = sw.Elapsed()
+	stats.GlobalSize = int64(len(global))
+	stats.LocalTimes = []vtime.Duration{cst.Phases.Total()}
+	stats.LocalSizes = []int64{cst.FileSize}
+	stats.Total = cst.Phases.Total() + stats.AggregateTime
+	stats.Manifest = man.ID()
+	stats.StorePut = &put
+	r.Barrier()
+	return stats, nil
+}
+
+// RestoreGlobalFromStore restarts an MPI+CheCL job from a global snapshot
+// in a checkpoint store. ref is a manifest ID ("job@seq") or a bare job
+// name (its latest snapshot). Placement matches RestoreGlobal: rank i's
+// local snapshot restores on node i%len(nodes).
+func RestoreGlobalFromStore(cluster *proc.Cluster, st *store.Store, ref string, opts core.Options) ([]*core.CheCL, error) {
+	if len(cluster.Nodes) == 0 {
+		return nil, fmt.Errorf("mpi: cluster has no nodes")
+	}
+	coord := cluster.Nodes[0]
+	data, man, err := st.Get(coord.Clock, ref)
+	if err != nil {
+		return nil, err
+	}
+	locals, err := decodeGlobalSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	restored := make([]*core.CheCL, len(locals))
+	for rank, local := range locals {
+		node := cluster.Nodes[rank%len(cluster.Nodes)]
+		localPath := fmt.Sprintf("%s.restore.%d", man.ID(), rank)
+		if err := node.LocalDisk.WriteFile(node.Clock, localPath, local); err != nil {
+			return nil, err
+		}
+		c, _, err := core.Restore(node, node.LocalDisk, localPath, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: restoring rank %d: %w", rank, err)
+		}
+		restored[rank] = c
+	}
+	return restored, nil
+}

@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+
+	"checl/internal/core"
+	"checl/internal/ocl"
+	"checl/internal/store"
+)
+
+// TestCoordinatedCheckpointToStore takes two successive store-backed
+// global snapshots of a 2-rank job and restores both ranks from the
+// second. Successive snapshots of the unchanged job must deduplicate.
+func TestCoordinatedCheckpointToStore(t *testing.T) {
+	cl := cluster(2)
+	st := store.New(cl.NFS, store.Config{})
+	w, _ := NewWorld(cl, 2)
+	const src = `
+__kernel void fill(__global float* x, float v, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) x[i] = v + (float)i;
+}`
+	type rankState struct {
+		q   ocl.CommandQueue
+		buf ocl.Mem
+	}
+	states := make([]rankState, 2)
+	var mu sync.Mutex
+	puts := make([]*store.PutStats, 0, 2)
+	err := w.Run(func(r *Rank) error {
+		c, err := core.Attach(r.Process(), core.Options{Incremental: true})
+		if err != nil {
+			return err
+		}
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+		ctx, _ := c.CreateContext(devs)
+		q, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+		prog, _ := c.CreateProgramWithSource(ctx, src)
+		if err := c.BuildProgram(prog, ""); err != nil {
+			return err
+		}
+		k, _ := c.CreateKernel(prog, "fill")
+		buf, _ := c.CreateBuffer(ctx, ocl.MemReadWrite, 4*1024, nil)
+		h := make([]byte, 8)
+		binary.LittleEndian.PutUint64(h, uint64(buf))
+		if err := c.SetKernelArg(k, 0, 8, h); err != nil {
+			return err
+		}
+		v := make([]byte, 4)
+		binary.LittleEndian.PutUint32(v, math.Float32bits(float32(100*(r.Rank()+1))))
+		if err := c.SetKernelArg(k, 1, 4, v); err != nil {
+			return err
+		}
+		n := make([]byte, 4)
+		binary.LittleEndian.PutUint32(n, 1024)
+		if err := c.SetKernelArg(k, 2, 4, n); err != nil {
+			return err
+		}
+		if _, err := c.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{1024}, [3]int{64}, nil); err != nil {
+			return err
+		}
+		if err := c.Finish(q); err != nil {
+			return err
+		}
+		states[r.Rank()] = rankState{q: q, buf: buf}
+
+		gs1, err := r.CoordinatedCheckpointToStore(c, st, "mpijob")
+		if err != nil {
+			return err
+		}
+		gs2, err := r.CoordinatedCheckpointToStore(c, st, "mpijob")
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			mu.Lock()
+			puts = append(puts, gs1.StorePut, gs2.StorePut)
+			mu.Unlock()
+		}
+		c.Proxy().Kill()
+		r.Process().Kill()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(puts) != 2 || puts[0] == nil || puts[1] == nil {
+		t.Fatalf("rank 0 store puts = %v", puts)
+	}
+	if puts[0].Manifest != "mpijob@1" || puts[1].Manifest != "mpijob@2" {
+		t.Errorf("manifests = %s, %s", puts[0].Manifest, puts[1].Manifest)
+	}
+	if puts[1].NewBytes > puts[0].NewBytes/2 {
+		t.Errorf("2nd global snapshot uploaded %d new bytes, 1st uploaded %d — dedup below 50%%",
+			puts[1].NewBytes, puts[0].NewBytes)
+	}
+
+	restored, err := RestoreGlobalFromStore(cl, st, "mpijob", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 2 {
+		t.Fatalf("restored %d ranks, want 2", len(restored))
+	}
+	for rank, c := range restored {
+		data, _, err := c.EnqueueReadBuffer(states[rank].q, states[rank].buf, true, 0, 4*1024, nil)
+		if err != nil {
+			t.Fatalf("rank %d read after restore: %v", rank, err)
+		}
+		for i := 0; i < 1024; i++ {
+			got := math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			want := float32(100*(rank+1)) + float32(i)
+			if got != want {
+				t.Fatalf("rank %d: buf[%d] = %v, want %v", rank, i, got, want)
+			}
+		}
+		c.Detach()
+	}
+}
+
+func TestRestoreGlobalFromStoreErrors(t *testing.T) {
+	cl := cluster(1)
+	st := store.New(cl.NFS, store.Config{})
+	if _, err := RestoreGlobalFromStore(cl, st, "missing", core.Options{}); err == nil {
+		t.Error("restore from missing snapshot should fail")
+	}
+}

@@ -15,17 +15,49 @@ import (
 // the caller's clock, so the same NFS is slower than the same node's RAM
 // disk by exactly the Table I ratios.
 type FS struct {
-	name  string
-	model hw.StorageModel
+	name     string
+	model    hw.StorageModel
+	capacity int64 // 0 = unbounded
 
 	mu    sync.Mutex
 	files map[string][]byte
 }
 
-// NewFS constructs an empty filesystem with the given storage model.
-func NewFS(name string, model hw.StorageModel) *FS {
-	return &FS{name: name, model: model, files: map[string][]byte{}}
+// FSOption configures a filesystem at construction time.
+type FSOption func(*FS)
+
+// WithCapacity bounds the filesystem at the given total byte count. Writes
+// that would exceed it fail with *ErrNoSpace. A non-positive capacity
+// leaves the filesystem unbounded.
+func WithCapacity(bytes int64) FSOption {
+	return func(fs *FS) { fs.capacity = bytes }
 }
+
+// NewFS constructs an empty filesystem with the given storage model.
+func NewFS(name string, model hw.StorageModel, opts ...FSOption) *FS {
+	fs := &FS{name: name, model: model, files: map[string][]byte{}}
+	for _, o := range opts {
+		o(fs)
+	}
+	return fs
+}
+
+// ErrNoSpace reports a write refused because it would exceed a
+// capacity-limited filesystem. Detect it with errors.As.
+type ErrNoSpace struct {
+	FS       string
+	Capacity int64
+	Used     int64
+	Need     int64 // bytes the refused write required
+}
+
+func (e *ErrNoSpace) Error() string {
+	return fmt.Sprintf("fs %s: no space left on device (capacity %d B, used %d B, write needs %d B)",
+		e.FS, e.Capacity, e.Used, e.Need)
+}
+
+// Capacity reports the configured byte limit; 0 means unbounded.
+func (fs *FS) Capacity() int64 { return fs.capacity }
 
 // Name identifies the filesystem ("local", "ramdisk", "nfs").
 func (fs *FS) Name() string { return fs.name }
@@ -33,16 +65,34 @@ func (fs *FS) Name() string { return fs.name }
 // Model exposes the storage model (used by migration-cost prediction).
 func (fs *FS) Model() hw.StorageModel { return fs.model }
 
-// WriteFile stores data at path, charging the write time to clock.
+// WriteFile stores data at path, charging the write time to clock. On a
+// capacity-limited filesystem a write that would exceed the limit fails
+// with *ErrNoSpace before any time is charged.
 func (fs *FS) WriteFile(clock *vtime.Clock, path string, data []byte) error {
 	if path == "" {
 		return fmt.Errorf("fs %s: empty path", fs.name)
 	}
-	clock.Advance(fs.model.WriteTime(int64(len(data))))
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.capacity > 0 {
+		used := fs.usedLocked()
+		after := used - int64(len(fs.files[path])) + int64(len(data))
+		if after > fs.capacity {
+			return &ErrNoSpace{FS: fs.name, Capacity: fs.capacity, Used: used, Need: int64(len(data))}
+		}
+	}
+	clock.Advance(fs.model.WriteTime(int64(len(data))))
 	fs.files[path] = append([]byte(nil), data...)
 	return nil
+}
+
+// usedLocked sums stored bytes; callers hold fs.mu.
+func (fs *FS) usedLocked() int64 {
+	var n int64
+	for _, d := range fs.files {
+		n += int64(len(d))
+	}
+	return n
 }
 
 // ReadFile loads the file at path, charging the read time to clock.

@@ -1,6 +1,7 @@
 package proc
 
 import (
+	"errors"
 	"testing"
 
 	"checl/internal/hw"
@@ -200,5 +201,50 @@ func TestMigrateTo(t *testing.T) {
 	}
 	if len(c.Nodes[0].Processes()) != 0 || len(c.Nodes[1].Processes()) != 2 {
 		t.Error("process tables not updated")
+	}
+}
+
+func TestFSCapacity(t *testing.T) {
+	fs := NewFS("tiny", hw.TableISpec().LocalDisk, WithCapacity(1024))
+	clock := vtime.NewClock()
+	if fs.Capacity() != 1024 {
+		t.Fatalf("capacity = %d", fs.Capacity())
+	}
+
+	// Writes under the limit succeed.
+	if err := fs.WriteFile(clock, "a", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A write that would exceed it fails with the typed error, before any
+	// time is charged, leaving the filesystem untouched.
+	before := clock.Now()
+	err := fs.WriteFile(clock, "b", make([]byte, 600))
+	var nospace *ErrNoSpace
+	if !errors.As(err, &nospace) {
+		t.Fatalf("err = %v, want *ErrNoSpace", err)
+	}
+	if nospace.FS != "tiny" || nospace.Capacity != 1024 || nospace.Used != 600 || nospace.Need != 600 {
+		t.Errorf("ErrNoSpace = %+v", nospace)
+	}
+	if clock.Now() != before {
+		t.Error("refused write charged time")
+	}
+	if fs.Exists("b") {
+		t.Error("refused write left a file behind")
+	}
+
+	// Overwrites account for the bytes they release.
+	if err := fs.WriteFile(clock, "a", make([]byte, 1024)); err != nil {
+		t.Errorf("overwrite within capacity failed: %v", err)
+	}
+	if err := fs.WriteFile(clock, "a", make([]byte, 1025)); !errors.As(err, &nospace) {
+		t.Errorf("oversized overwrite: err = %v, want *ErrNoSpace", err)
+	}
+
+	// An unbounded filesystem never refuses.
+	unbounded := NewFS("big", hw.TableISpec().LocalDisk)
+	if err := unbounded.WriteFile(clock, "x", make([]byte, 1<<20)); err != nil {
+		t.Errorf("unbounded fs refused a write: %v", err)
 	}
 }

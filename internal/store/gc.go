@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+
+	"checl/internal/vtime"
+)
+
+// GCStats reports what one garbage-collection pass removed.
+type GCStats struct {
+	ManifestsKept    int
+	ManifestsDropped int
+	ChunksKept       int
+	ChunksDropped    int
+	BytesReclaimed   int64 // stored bytes freed on the backing FS
+}
+
+// GC applies the retention policy — keep the last retain checkpoints of
+// every job — then removes every chunk no kept manifest references.
+// Chunks are reference-counted by the sweep itself, so a chunk shared by
+// a dropped and a kept checkpoint survives.
+func (s *Store) GC(retain int) (GCStats, error) {
+	if retain < 1 {
+		return GCStats{}, fmt.Errorf("store: GC retention must be >= 1 (got %d)", retain)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	mans, err := s.Manifests()
+	if err != nil {
+		return GCStats{}, err
+	}
+	// Manifests() orders by job then seq, so the last `retain` entries of
+	// each job group are the newest.
+	perJob := map[string][]Manifest{}
+	for _, m := range mans {
+		perJob[m.Job] = append(perJob[m.Job], m)
+	}
+
+	var st GCStats
+	referenced := map[string]bool{}
+	for _, group := range perJob {
+		cut := len(group) - retain
+		if cut < 0 {
+			cut = 0
+		}
+		for _, m := range group[cut:] {
+			st.ManifestsKept++
+			for _, c := range m.Chunks {
+				referenced[c.Sum] = true
+			}
+		}
+		for _, m := range group[:cut] {
+			if err := s.fs.Remove(s.manifestPath(m.Job, m.Seq)); err != nil {
+				return st, fmt.Errorf("store: gc: %w", err)
+			}
+			st.ManifestsDropped++
+		}
+	}
+
+	for sum, size := range s.chunkSums() {
+		if referenced[sum] {
+			st.ChunksKept++
+			continue
+		}
+		if err := s.fs.Remove(s.chunkPath(sum)); err != nil {
+			return st, fmt.Errorf("store: gc: %w", err)
+		}
+		st.ChunksDropped++
+		st.BytesReclaimed += size
+	}
+	return st, nil
+}
+
+// FsckReport is the result of a store verification pass.
+type FsckReport struct {
+	Manifests     int
+	ChunksChecked int // chunk references verified (shared chunks count once)
+	Errors        []string
+}
+
+// OK reports whether the store verified clean.
+func (r FsckReport) OK() bool { return len(r.Errors) == 0 }
+
+// Fsck verifies the whole store: every manifest frame parses, every
+// referenced chunk exists, decompresses, and hashes to its content
+// address, and every manifest's assembled payload matches its digest.
+// Read and decompression time is charged to clock. Fsck returns an error
+// only for infrastructure failures; integrity findings land in the
+// report.
+func (s *Store) Fsck(clock *vtime.Clock) (FsckReport, error) {
+	var rep FsckReport
+	mans, err := s.Manifests()
+	if err != nil {
+		// A manifest that fails to decode is a finding, not an abort; but
+		// Manifests() stops at the first bad frame, so report it.
+		rep.Errors = append(rep.Errors, err.Error())
+		return rep, nil
+	}
+	verified := map[string]bool{}
+	for _, m := range mans {
+		rep.Manifests++
+		payload, _, err := s.Get(clock, m.ID())
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", m.ID(), err))
+			continue
+		}
+		if int64(len(payload)) != m.Size {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: size %d, manifest says %d", m.ID(), len(payload), m.Size))
+		}
+		for _, c := range m.Chunks {
+			if !verified[c.Sum] {
+				verified[c.Sum] = true
+				rep.ChunksChecked++
+			}
+		}
+	}
+	return rep, nil
+}

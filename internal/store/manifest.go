@@ -1,0 +1,82 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+
+	"checl/internal/vtime"
+)
+
+// manifestVersion is the on-disk manifest format version.
+const manifestVersion = 1
+
+// manifestMagic frames every stored manifest so corruption is detected at
+// decode time rather than surfacing as a gob error.
+var manifestMagic = []byte("CHECLMAN")
+
+// ChunkRef names one chunk of a checkpoint payload.
+type ChunkRef struct {
+	Sum    string // SHA-256 of the uncompressed chunk, hex
+	Size   int64  // uncompressed length
+	Stored int64  // stored (possibly compressed) length, including codec tag
+}
+
+// Manifest describes one checkpoint in the store: which chunks
+// reconstruct it, in order, plus integrity and lineage metadata.
+type Manifest struct {
+	Version   int
+	Job       string // job identity; dedup keys chunks globally, retention groups by job
+	Seq       uint64 // 1-based checkpoint number within the job
+	Parent    string // ID of the previous checkpoint of this job, "" for the first
+	Chunks    []ChunkRef
+	Size      int64  // total payload bytes
+	Digest    string // SHA-256 of the whole payload, hex
+	CreatedAt vtime.Time
+}
+
+// ID names the manifest within the store ("job@seq").
+func (m Manifest) ID() string { return manifestID(m.Job, m.Seq) }
+
+func manifestID(job string, seq uint64) string { return fmt.Sprintf("%s@%d", job, seq) }
+
+// encodeManifest frames a gob-encoded manifest with magic + checksum.
+func encodeManifest(m Manifest) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		return nil, fmt.Errorf("store: encoding manifest %s: %w", m.ID(), err)
+	}
+	sum := sha256.Sum256(body.Bytes())
+	out := make([]byte, 0, len(manifestMagic)+len(sum)+body.Len())
+	out = append(out, manifestMagic...)
+	out = append(out, sum[:]...)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+// decodeManifest validates the frame and parses the manifest.
+func decodeManifest(data []byte) (Manifest, error) {
+	if len(data) < len(manifestMagic)+sha256.Size {
+		return Manifest{}, fmt.Errorf("store: manifest truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:len(manifestMagic)], manifestMagic) {
+		return Manifest{}, fmt.Errorf("store: not a manifest (bad magic)")
+	}
+	want := data[len(manifestMagic) : len(manifestMagic)+sha256.Size]
+	body := data[len(manifestMagic)+sha256.Size:]
+	got := sha256.Sum256(body)
+	if !bytes.Equal(want, got[:]) {
+		return Manifest{}, fmt.Errorf("store: manifest checksum mismatch (want %s, got %s)",
+			hex.EncodeToString(want), hex.EncodeToString(got[:]))
+	}
+	var m Manifest
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("store: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return Manifest{}, fmt.Errorf("store: unsupported manifest version %d (have %d)", m.Version, manifestVersion)
+	}
+	return m, nil
+}

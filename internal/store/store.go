@@ -1,0 +1,346 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+// Config parameterises a Store. The zero value selects sane defaults.
+type Config struct {
+	// Prefix is the directory-like path prefix inside the backing FS;
+	// default "ckptstore".
+	Prefix string
+	// MinChunk/AvgChunk/MaxChunk are the content-defined chunking bounds
+	// in bytes; AvgChunk must be a power of two. Defaults 4 KiB / 16 KiB /
+	// 64 KiB.
+	MinChunk, AvgChunk, MaxChunk int
+	// Compression is the modelled compression stage; the zero value
+	// selects flate.BestSpeed at 400 MB/s compress, 1.2 GB/s decompress.
+	Compression CompressModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Prefix == "" {
+		c.Prefix = "ckptstore"
+	}
+	if c.MinChunk == 0 {
+		c.MinChunk = 4 << 10
+	}
+	if c.AvgChunk == 0 {
+		c.AvgChunk = 16 << 10
+	}
+	if c.MaxChunk == 0 {
+		c.MaxChunk = 64 << 10
+	}
+	if c.Compression == (CompressModel{}) {
+		c.Compression = defaultCompression()
+	}
+	return c
+}
+
+// Store is a content-addressed checkpoint store on one backing
+// filesystem. Chunks live under <prefix>/chunks/<sha256>, shared by every
+// job; manifests live under <prefix>/manifests/<job>/<seq>.
+type Store struct {
+	fs  *proc.FS
+	cfg Config
+
+	mu sync.Mutex // serialises Put/GC/Replicate sequencing
+}
+
+// New opens (or creates — the store is its own directory layout) a store
+// on fs.
+func New(fs *proc.FS, cfg Config) *Store {
+	return &Store{fs: fs, cfg: cfg.withDefaults()}
+}
+
+// FS exposes the backing filesystem (tooling, tests).
+func (s *Store) FS() *proc.FS { return s.fs }
+
+func (s *Store) chunkPath(sum string) string {
+	return s.cfg.Prefix + "/chunks/" + sum
+}
+
+func (s *Store) manifestPath(job string, seq uint64) string {
+	return fmt.Sprintf("%s/manifests/%s/%08d", s.cfg.Prefix, job, seq)
+}
+
+// PutStats reports what one Put cost and how well it deduplicated.
+type PutStats struct {
+	Manifest    string // manifest ID ("job@seq")
+	TotalBytes  int64  // payload size
+	TotalChunks int
+	NewChunks   int            // chunks not already present in the store
+	NewBytes    int64          // uncompressed bytes of those new chunks
+	StoredBytes int64          // bytes actually written for them (post-compression)
+	Time        vtime.Duration // compress + write time charged to the clock
+}
+
+// DedupRatio is the fraction of the payload satisfied by chunks already
+// in the store (1 = everything deduplicated, 0 = everything new).
+func (p PutStats) DedupRatio() float64 {
+	if p.TotalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(p.NewBytes)/float64(p.TotalBytes)
+}
+
+// Put stores one checkpoint payload for job: the payload is chunked,
+// chunks already present (from any job) are skipped, new chunks are
+// compressed and written, and a manifest linking to the job's previous
+// checkpoint is recorded. Compression and write time are charged to
+// clock. A full filesystem surfaces as *proc.ErrNoSpace.
+func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, PutStats, error) {
+	if job == "" || strings.ContainsAny(job, "/@") {
+		return Manifest{}, PutStats{}, fmt.Errorf("store: invalid job name %q", job)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	parent := ""
+	seq := uint64(1)
+	if last, ok, err := s.latest(job); err != nil {
+		return Manifest{}, PutStats{}, err
+	} else if ok {
+		parent = last.ID()
+		seq = last.Seq + 1
+	}
+
+	sw := vtime.NewStopwatch(clock)
+	ck := chunker{min: s.cfg.MinChunk, avg: s.cfg.AvgChunk, max: s.cfg.MaxChunk}
+	man := Manifest{
+		Version: manifestVersion, Job: job, Seq: seq, Parent: parent,
+		Size: int64(len(payload)), CreatedAt: clock.Now(),
+	}
+	stats := PutStats{Manifest: man.ID(), TotalBytes: int64(len(payload))}
+
+	for _, chunk := range ck.split(payload) {
+		sum256 := sha256.Sum256(chunk)
+		sum := hex.EncodeToString(sum256[:])
+		ref := ChunkRef{Sum: sum, Size: int64(len(chunk))}
+		path := s.chunkPath(sum)
+		if stored, err := s.fs.Size(path); err == nil {
+			ref.Stored = stored
+		} else {
+			blob, cerr := s.cfg.Compression.compress(clock, chunk)
+			if cerr != nil {
+				return Manifest{}, stats, cerr
+			}
+			if werr := s.fs.WriteFile(clock, path, blob); werr != nil {
+				return Manifest{}, stats, fmt.Errorf("store: writing chunk %s: %w", sum[:12], werr)
+			}
+			ref.Stored = int64(len(blob))
+			stats.NewChunks++
+			stats.NewBytes += int64(len(chunk))
+			stats.StoredBytes += int64(len(blob))
+		}
+		man.Chunks = append(man.Chunks, ref)
+		stats.TotalChunks++
+	}
+
+	digest := sha256.Sum256(payload)
+	man.Digest = hex.EncodeToString(digest[:])
+	frame, err := encodeManifest(man)
+	if err != nil {
+		return Manifest{}, stats, err
+	}
+	if err := s.fs.WriteFile(clock, s.manifestPath(job, seq), frame); err != nil {
+		return Manifest{}, stats, fmt.Errorf("store: writing manifest %s: %w", man.ID(), err)
+	}
+	stats.Time = sw.Elapsed()
+	return man, stats, nil
+}
+
+// Get reconstructs a checkpoint payload. ref is either a manifest ID
+// ("job@seq") or a bare job name, which selects the job's latest
+// checkpoint. Every chunk is verified against its content address and the
+// assembled payload against the manifest digest.
+func (s *Store) Get(clock *vtime.Clock, ref string) ([]byte, Manifest, error) {
+	man, err := s.Resolve(ref)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	payload := make([]byte, 0, man.Size)
+	for _, cref := range man.Chunks {
+		chunk, err := s.readChunk(clock, cref)
+		if err != nil {
+			return nil, man, err
+		}
+		payload = append(payload, chunk...)
+	}
+	digest := sha256.Sum256(payload)
+	if got := hex.EncodeToString(digest[:]); got != man.Digest {
+		return nil, man, fmt.Errorf("store: %s: payload digest mismatch (manifest %s, assembled %s)",
+			man.ID(), man.Digest[:12], got[:12])
+	}
+	return payload, man, nil
+}
+
+// readChunk loads, decompresses and verifies one chunk.
+func (s *Store) readChunk(clock *vtime.Clock, ref ChunkRef) ([]byte, error) {
+	blob, err := s.fs.ReadFile(clock, s.chunkPath(ref.Sum))
+	if err != nil {
+		return nil, fmt.Errorf("store: chunk %s missing: %w", ref.Sum[:12], err)
+	}
+	chunk, err := s.cfg.Compression.decompress(clock, blob)
+	if err != nil {
+		return nil, fmt.Errorf("store: chunk %s: %w", ref.Sum[:12], err)
+	}
+	sum := sha256.Sum256(chunk)
+	if got := hex.EncodeToString(sum[:]); got != ref.Sum {
+		return nil, fmt.Errorf("store: chunk %s corrupt (content hashes to %s)", ref.Sum[:12], got[:12])
+	}
+	return chunk, nil
+}
+
+// Resolve looks a ref up without reading chunk data. ref is "job@seq" or
+// a bare job name (latest checkpoint of that job).
+func (s *Store) Resolve(ref string) (Manifest, error) {
+	if job, seqStr, ok := strings.Cut(ref, "@"); ok {
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("store: bad manifest ref %q: %w", ref, err)
+		}
+		return s.readManifest(job, seq)
+	}
+	man, ok, err := s.latest(ref)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if !ok {
+		return Manifest{}, fmt.Errorf("store: job %q has no checkpoints", ref)
+	}
+	return man, nil
+}
+
+// Latest reports the newest manifest of a job, if any.
+func (s *Store) Latest(job string) (Manifest, bool, error) {
+	return s.latest(job)
+}
+
+func (s *Store) latest(job string) (Manifest, bool, error) {
+	var best Manifest
+	found := false
+	prefix := fmt.Sprintf("%s/manifests/%s/", s.cfg.Prefix, job)
+	for _, p := range s.fs.List() {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimPrefix(p, prefix), 10, 64)
+		if err != nil {
+			continue
+		}
+		if !found || seq > best.Seq {
+			m, err := s.readManifest(job, seq)
+			if err != nil {
+				return Manifest{}, false, err
+			}
+			best, found = m, true
+		}
+	}
+	return best, found, nil
+}
+
+// readManifest loads and validates one manifest frame. Manifest reads are
+// metadata operations and charge no virtual time (they are a few KB
+// against multi-MB images; the latency is inside the chunk reads).
+func (s *Store) readManifest(job string, seq uint64) (Manifest, error) {
+	data, err := s.fs.ReadFile(vtime.NewClock(), s.manifestPath(job, seq))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest %s: %w", manifestID(job, seq), err)
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest %s: %w", manifestID(job, seq), err)
+	}
+	return m, nil
+}
+
+// Manifests lists every manifest in the store, ordered by job then seq.
+func (s *Store) Manifests() ([]Manifest, error) {
+	prefix := s.cfg.Prefix + "/manifests/"
+	var out []Manifest
+	for _, p := range s.fs.List() {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		job, seqStr, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		m, err := s.readManifest(job, seq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, nil
+}
+
+// Jobs lists the jobs with at least one checkpoint, sorted.
+func (s *Store) Jobs() []string {
+	prefix := s.cfg.Prefix + "/manifests/"
+	seen := map[string]bool{}
+	for _, p := range s.fs.List() {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		if job, _, ok := strings.Cut(strings.TrimPrefix(p, prefix), "/"); ok {
+			seen[job] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for j := range seen {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chunkSums lists every chunk file present, keyed by content address.
+func (s *Store) chunkSums() map[string]int64 {
+	prefix := s.cfg.Prefix + "/chunks/"
+	out := map[string]int64{}
+	for _, p := range s.fs.List() {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		if n, err := s.fs.Size(p); err == nil {
+			out[strings.TrimPrefix(p, prefix)] = n
+		}
+	}
+	return out
+}
+
+// TotalStoredBytes reports the bytes the store occupies on its backing
+// filesystem (chunks + manifests).
+func (s *Store) TotalStoredBytes() int64 {
+	var n int64
+	for _, p := range s.fs.List() {
+		if strings.HasPrefix(p, s.cfg.Prefix+"/") {
+			if sz, err := s.fs.Size(p); err == nil {
+				n += sz
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,379 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"checl/internal/hw"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+func testFS(opts ...proc.FSOption) *proc.FS {
+	return proc.NewFS("local", hw.TableISpec().LocalDisk, opts...)
+}
+
+// payload builds pseudo-random (incompressible-ish) data from a seed so
+// tests control exactly which regions change between checkpoints.
+func payload(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestChunkerBounds(t *testing.T) {
+	ck := chunker{min: 4 << 10, avg: 16 << 10, max: 64 << 10}
+	data := payload(1, 1<<20)
+	chunks := ck.split(data)
+	if len(chunks) < 8 {
+		t.Fatalf("1 MiB split into only %d chunks", len(chunks))
+	}
+	var reassembled []byte
+	for i, c := range chunks {
+		if i < len(chunks)-1 { // the final remainder may be short
+			if len(c) < ck.min || len(c) > ck.max {
+				t.Errorf("chunk %d size %d outside [%d, %d]", i, len(c), ck.min, ck.max)
+			}
+		}
+		reassembled = append(reassembled, c...)
+	}
+	if !bytes.Equal(reassembled, data) {
+		t.Fatal("chunks do not reassemble the payload")
+	}
+}
+
+func TestChunkingSurvivesShift(t *testing.T) {
+	// Content-defined boundaries: inserting bytes near the front must not
+	// re-chunk the whole payload.
+	ck := chunker{min: 2 << 10, avg: 8 << 10, max: 32 << 10}
+	base := payload(2, 512<<10)
+	shifted := append(append([]byte(nil), payload(3, 100)...), base...)
+
+	sums := func(chunks [][]byte) map[string]bool {
+		out := map[string]bool{}
+		for _, c := range chunks {
+			out[string(c)] = true
+		}
+		return out
+	}
+	a, b := sums(ck.split(base)), sums(ck.split(shifted))
+	common := 0
+	for c := range b {
+		if a[c] {
+			common++
+		}
+	}
+	if common < len(a)/2 {
+		t.Errorf("only %d/%d chunks shared after a 100-byte prefix insertion", common, len(a))
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	data := payload(4, 300<<10)
+
+	man, st, err := s.Put(clock, "jobA", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Seq != 1 || man.Parent != "" || man.ID() != "jobA@1" {
+		t.Errorf("manifest = %+v", man)
+	}
+	if st.NewBytes != st.TotalBytes || st.NewChunks != st.TotalChunks {
+		t.Errorf("first put should be all-new: %+v", st)
+	}
+	if st.Time <= 0 {
+		t.Error("put charged no virtual time")
+	}
+
+	got, man2, err := s.Get(clock, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.ID() != man.ID() || !bytes.Equal(got, data) {
+		t.Fatal("get did not return the stored payload")
+	}
+	if _, _, err := s.Get(clock, "jobA@1"); err != nil {
+		t.Fatalf("get by explicit id: %v", err)
+	}
+	if _, _, err := s.Get(clock, "nosuch"); err == nil {
+		t.Error("get of unknown job must fail")
+	}
+}
+
+func TestDedupAcrossCheckpoints(t *testing.T) {
+	s := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	base := payload(5, 1<<20)
+
+	_, st1, err := s.Put(clock, "job", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmodified second checkpoint: everything deduplicates.
+	man2, st2, err := s.Put(clock, "job", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Seq != 2 || man2.Parent != "job@1" {
+		t.Errorf("lineage wrong: %+v", man2)
+	}
+	if st2.NewBytes != 0 || st2.DedupRatio() != 1 {
+		t.Errorf("identical payload should fully dedup: %+v", st2)
+	}
+	if st2.NewBytes > st1.NewBytes/2 {
+		t.Errorf("2nd checkpoint wrote %d new bytes, 1st wrote %d", st2.NewBytes, st1.NewBytes)
+	}
+
+	// A localised edit re-uploads only the chunks around it.
+	edited := append([]byte(nil), base...)
+	copy(edited[512<<10:], payload(6, 4<<10))
+	_, st3, err := s.Put(clock, "job", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.NewBytes == 0 {
+		t.Error("edit produced no new chunks")
+	}
+	if st3.NewBytes > st1.NewBytes/4 {
+		t.Errorf("4 KiB edit re-uploaded %d of %d bytes", st3.NewBytes, st1.NewBytes)
+	}
+}
+
+func TestDedupAcrossJobs(t *testing.T) {
+	s := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	base := payload(7, 256<<10)
+	if _, _, err := s.Put(clock, "job1", base); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := s.Put(clock, "job2", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewBytes != 0 {
+		t.Errorf("identical payload under another job should fully dedup: %+v", st)
+	}
+	if jobs := s.Jobs(); len(jobs) != 2 || jobs[0] != "job1" || jobs[1] != "job2" {
+		t.Errorf("jobs = %v", jobs)
+	}
+}
+
+func TestCompressionShrinksStoredBytes(t *testing.T) {
+	s := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	zeros := make([]byte, 256<<10) // maximally compressible
+	_, st, err := s.Put(clock, "z", zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredBytes >= st.NewBytes/10 {
+		t.Errorf("zero payload stored %d of %d bytes; compression not effective", st.StoredBytes, st.NewBytes)
+	}
+	got, _, err := s.Get(clock, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, zeros) {
+		t.Fatal("compressed payload did not round-trip")
+	}
+}
+
+func TestGCRetention(t *testing.T) {
+	s := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	versions := make([][]byte, 4)
+	for i := range versions {
+		// Each version shares most content with the previous one but adds
+		// a unique tail so dropped manifests own unique chunks.
+		v := append([]byte(nil), payload(8, 512<<10)...)
+		v = append(v, payload(int64(100+i), 128<<10)...)
+		versions[i] = v
+		if _, _, err := s.Put(clock, "job", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.TotalStoredBytes()
+
+	st, err := s.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ManifestsDropped != 2 || st.ManifestsKept != 2 {
+		t.Fatalf("gc stats = %+v", st)
+	}
+	if st.ChunksDropped == 0 || st.BytesReclaimed <= 0 {
+		t.Fatalf("gc reclaimed nothing: %+v", st)
+	}
+	if after := s.TotalStoredBytes(); after >= before {
+		t.Errorf("stored bytes %d -> %d after GC", before, after)
+	}
+
+	// The kept checkpoints still verify and reconstruct bit-for-bit.
+	rep, err := s.Fsck(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck after GC: %v", rep.Errors)
+	}
+	if rep.Manifests != 2 {
+		t.Errorf("fsck saw %d manifests, want 2", rep.Manifests)
+	}
+	for seq := 3; seq <= 4; seq++ {
+		got, _, err := s.Get(clock, manifestID("job", uint64(seq)))
+		if err != nil {
+			t.Fatalf("get kept checkpoint %d: %v", seq, err)
+		}
+		if !bytes.Equal(got, versions[seq-1]) {
+			t.Fatalf("kept checkpoint %d corrupted by GC", seq)
+		}
+	}
+	// The dropped ones are gone.
+	if _, _, err := s.Get(clock, "job@1"); err == nil {
+		t.Error("dropped checkpoint still readable")
+	}
+}
+
+func TestFsckDetectsCorruptionAndLoss(t *testing.T) {
+	fs := testFS()
+	s := New(fs, Config{})
+	clock := vtime.NewClock()
+	if _, _, err := s.Put(clock, "job", payload(9, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	man, err := s.Resolve("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one chunk in place.
+	victim := s.chunkPath(man.Chunks[0].Sum)
+	blob, err := fs.ReadFile(clock, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := append([]byte(nil), blob...)
+	blob[len(blob)/2] ^= 0xFF
+	if err := fs.WriteFile(clock, victim, blob); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Fsck(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("fsck missed a corrupt chunk")
+	}
+	if err := fs.WriteFile(clock, victim, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove another chunk entirely.
+	if err := fs.Remove(s.chunkPath(man.Chunks[1].Sum)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.Fsck(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fsck did not report the missing chunk: %v", rep.Errors)
+	}
+	if _, _, err := s.Get(clock, "job"); err == nil {
+		t.Error("get of a damaged checkpoint must fail")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	srcFS, dstFS := testFS(), testFS()
+	src, dst := New(srcFS, Config{}), New(dstFS, Config{})
+	clock := vtime.NewClock()
+	data := payload(10, 512<<10)
+	if _, _, err := src.Put(clock, "job", data); err != nil {
+		t.Fatal(err)
+	}
+
+	man, st, err := src.Replicate(clock, "job", dst, 125*hw.MBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksCopied == 0 || st.BytesCopied == 0 || st.Time <= 0 {
+		t.Fatalf("replication stats = %+v", st)
+	}
+	got, _, err := dst.Get(clock, man.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("replica does not reconstruct the payload")
+	}
+	rep, err := dst.Fsck(clock)
+	if err != nil || !rep.OK() {
+		t.Fatalf("replica fsck: %v %v", err, rep.Errors)
+	}
+
+	// Re-replicating moves nothing.
+	_, st2, err := src.Replicate(clock, "job", dst, 125*hw.MBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ChunksCopied != 0 || st2.ChunksSkipped == 0 {
+		t.Errorf("second replication should skip everything: %+v", st2)
+	}
+}
+
+func TestPutSurfacesNoSpace(t *testing.T) {
+	s := New(testFS(proc.WithCapacity(64<<10)), Config{})
+	clock := vtime.NewClock()
+	_, _, err := s.Put(clock, "job", payload(11, 1<<20))
+	var nospace *proc.ErrNoSpace
+	if !errors.As(err, &nospace) {
+		t.Fatalf("err = %v, want *proc.ErrNoSpace", err)
+	}
+	if nospace.Capacity != 64<<10 {
+		t.Errorf("ErrNoSpace = %+v", nospace)
+	}
+}
+
+func TestPutRejectsBadJobNames(t *testing.T) {
+	s := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	for _, job := range []string{"", "a/b", "a@1"} {
+		if _, _, err := s.Put(clock, job, []byte("x")); err == nil {
+			t.Errorf("job %q accepted", job)
+		}
+	}
+}
+
+func TestStorageModelCharged(t *testing.T) {
+	// The store charges the same storage model as flat files: writing to
+	// a RAM-disk-backed store must be far cheaper than to a disk-backed
+	// one.
+	spec := hw.TableISpec()
+	disk := New(proc.NewFS("local", spec.LocalDisk), Config{})
+	ram := New(proc.NewFS("ramdisk", spec.RAMDisk), Config{})
+	data := payload(12, 4<<20)
+
+	diskClock, ramClock := vtime.NewClock(), vtime.NewClock()
+	if _, _, err := disk.Put(diskClock, "j", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ram.Put(ramClock, "j", data); err != nil {
+		t.Fatal(err)
+	}
+	if !(ramClock.Now() < diskClock.Now()) {
+		t.Errorf("ram-disk store put (%v) not cheaper than disk (%v)", ramClock.Now(), diskClock.Now())
+	}
+}

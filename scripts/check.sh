@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, and the full test suite under the
+# race detector. CI and pre-merge both run exactly this script.
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "check.sh: all green"
