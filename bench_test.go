@@ -21,6 +21,7 @@ import (
 	"checl/internal/core"
 	"checl/internal/harness"
 	"checl/internal/hw"
+	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
 	"checl/internal/store"
@@ -357,6 +358,36 @@ func BenchmarkStoreDedup(b *testing.B) {
 	b.ReportMetric(1-float64(newBytes)/float64(totalBytes), "dedup-ratio")
 	b.ReportMetric(float64(newBytes)/1e6, "new-MB-written")
 	b.ReportMetric(float64(totalBytes)/1e6, "flat-MB-equivalent")
+}
+
+// BenchmarkProxyFailover runs oclMatrixMul while a seeded plan crashes the
+// proxy process every few calls (AutoFailover + ShadowFull absorb the
+// crashes) and reports the recovery cost: failovers per run, API calls
+// replayed to rebind the object database, and the virtual rebind latency.
+func BenchmarkProxyFailover(b *testing.B) {
+	var fs core.FailoverStats
+	for i := 0; i < b.N; i++ {
+		inj := ipc.NewFaultInjector(ipc.FaultPlan{
+			Seed:      2026,
+			EveryN:    6,
+			SkipFirst: 5,
+			Kinds:     []ipc.FaultKind{ipc.FaultCrashServer},
+		})
+		_, c, _ := benchCheCLApp(b, "oclMatrixMul", core.Options{
+			AutoFailover: true,
+			Shadow:       core.ShadowFull,
+			Fault:        inj,
+		})
+		fs = c.FailoverStats()
+		if fs.Failovers == 0 {
+			b.Fatal("no failover happened; benchmark measures nothing")
+		}
+		c.Detach()
+	}
+	b.ReportMetric(float64(fs.Failovers), "failovers/op")
+	b.ReportMetric(float64(fs.ReplayedCalls), "replayed-calls/op")
+	b.ReportMetric(fs.TotalRecovery.Seconds()*1e3, "recovery-ms")
+	b.ReportMetric(fs.LastRecovery.Seconds()*1e3, "last-recovery-ms")
 }
 
 // BenchmarkProxyCallOverhead measures the wall-clock (not virtual) cost of

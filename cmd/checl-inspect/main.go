@@ -7,6 +7,8 @@
 // Usage:
 //
 //	checl-inspect [-app name] [-scale f]             inspect a flat checkpoint file
+//	checl-inspect [-faults N] ...                    crash the proxy every N calls while the
+//	                                                 app runs; print fault-tolerance counters
 //	checl-inspect [flags] store ls                   list a demo store's manifests and chunks
 //	checl-inspect [flags] store fsck                 verify every chunk and manifest
 //
@@ -24,6 +26,7 @@ import (
 	"checl/internal/core"
 	"checl/internal/cpr"
 	"checl/internal/hw"
+	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
 	"checl/internal/store"
@@ -33,6 +36,7 @@ import (
 func main() {
 	appName := flag.String("app", "oclMatrixMul", "application to checkpoint and inspect")
 	scale := flag.Float64("scale", 0.5, "problem-size multiplier")
+	faults := flag.Int("faults", 0, "crash the API proxy every N calls (0 disables fault injection)")
 	flag.Parse()
 
 	if args := flag.Args(); len(args) > 0 {
@@ -52,7 +56,30 @@ func main() {
 
 	node := proc.NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
 	p := node.Spawn(app.Name)
-	c, err := core.Attach(p, core.Options{})
+	opts := core.Options{}
+	var inj *ipc.FaultInjector
+	if *faults > 0 {
+		// Seeded kill-every-N mix: connection kills at every frame position
+		// plus full proxy crashes. AutoFailover + ShadowFull make the run
+		// indistinguishable from a fault-free one, minus the recovery time.
+		inj = ipc.NewFaultInjector(ipc.FaultPlan{
+			Seed:      2026,
+			EveryN:    *faults,
+			SkipFirst: 4,
+			Kinds: []ipc.FaultKind{
+				ipc.FaultKillBeforeRequest,
+				ipc.FaultKillMidRequest,
+				ipc.FaultKillBeforeResponse,
+				ipc.FaultKillBetween,
+				ipc.FaultKillMidResponse,
+				ipc.FaultCrashServer,
+			},
+		})
+		opts.AutoFailover = true
+		opts.Shadow = core.ShadowFull
+		opts.Fault = inj
+	}
+	c, err := core.Attach(p, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,6 +87,16 @@ func main() {
 	env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: *scale}
 	if _, err := app.Run(env); err != nil {
 		fatal(err)
+	}
+	if inj != nil {
+		fs := c.FailoverStats()
+		cs := c.Proxy().Client.Stats()
+		fmt.Printf("fault injection (kill/crash every %d calls, seed 2026):\n", *faults)
+		fmt.Printf("  injected:      %d faults over %d proxied calls\n", inj.Injected(), inj.Calls())
+		fmt.Printf("  retries:       %d call retries, %d reconnects (current proxy)\n", cs.Retries, cs.Reconnects)
+		fmt.Printf("  dedupe:        %d responses replayed from the seq cache\n", c.Proxy().Replayed())
+		fmt.Printf("  failovers:     %d proxy respawns, %d calls replayed to rebind\n", fs.Failovers, fs.ReplayedCalls)
+		fmt.Printf("  recovery:      last %s, total %s\n\n", fs.LastRecovery, fs.TotalRecovery)
 	}
 	st, err := c.Checkpoint(node.LocalDisk, app.Name+".ckpt")
 	if err != nil {

@@ -88,7 +88,10 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 	// on every queue to complete.
 	sw := vtime.NewStopwatch(clock)
 	for _, q := range c.db.orderedQueues() {
-		if err := c.px.Client.Finish(q.real); err != nil {
+		qrec := q
+		if err := c.forward("clFinish", func(api *proxy.Client) error {
+			return api.Finish(qrec.real)
+		}); err != nil {
 			return fmt.Errorf("checl: checkpoint sync: %w", err)
 		}
 	}
@@ -107,8 +110,13 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 			// kernel; stage zeros of the right size.
 			m.Data = make([]byte, m.Size)
 		} else {
-			data, _, err := c.px.Client.EnqueueReadBuffer(qrec.real, m.real, true, 0, m.Size, nil)
-			if err != nil {
+			mrec := m
+			var data []byte
+			if err := c.forward("clEnqueueReadBuffer", func(api *proxy.Client) error {
+				var e error
+				data, _, e = api.EnqueueReadBuffer(qrec.real, mrec.real, true, 0, mrec.Size, nil)
+				return e
+			}); err != nil {
 				return fmt.Errorf("checl: checkpoint preprocess: %w", err)
 			}
 			m.Data = data
@@ -151,7 +159,7 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 		if verr != nil {
 			return verr
 		}
-		px, perr := proxy.Spawn(c.app, vendor)
+		px, perr := proxy.SpawnWithOptions(c.app, vendor, c.spawnOpts())
 		if perr != nil {
 			return perr
 		}
@@ -160,7 +168,9 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 			return fmt.Errorf("checl: destructive postprocess: %w", err)
 		}
 	}
-	if !c.opts.Incremental {
+	if !c.opts.Incremental && !c.shadowOn() {
+		// With a shadow policy the staged copies double as the failover
+		// shadows and must survive the checkpoint.
 		for _, m := range c.db.mems {
 			m.Data = nil
 			m.Dirty = true
@@ -259,11 +269,12 @@ func rebuild(node *proc.Node, app *proc.Process, what string, opts Options, stat
 	if err != nil {
 		return nil, err
 	}
-	px, err := proxy.Spawn(app, vendor)
+	c := &CheCL{app: app, opts: opts, db: db}
+	px, err := proxy.SpawnWithOptions(app, vendor, c.spawnOpts())
 	if err != nil {
 		return nil, err
 	}
-	c := &CheCL{app: app, opts: opts, px: px, db: db}
+	c.px = px
 	rs, err := c.rebindAll()
 	if err != nil {
 		return nil, err
@@ -393,7 +404,7 @@ func (c *CheCL) rebindAll() (RestartStats, error) {
 					return stats, err
 				}
 			}
-			if !c.opts.Incremental {
+			if !c.opts.Incremental && !c.shadowOn() {
 				m.Data = nil
 			}
 		}

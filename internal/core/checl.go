@@ -7,6 +7,7 @@ import (
 	"checl/internal/clc"
 	"checl/internal/cpr"
 	"checl/internal/hw"
+	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
 	"checl/internal/proxy"
@@ -57,6 +58,22 @@ type Options struct {
 	// are deleted before the dump and recreated after it, instead of
 	// being kept alive in the proxy.
 	Destructive bool
+	// Shadow selects the shadow-buffer policy that bounds what a proxy
+	// crash loses (see ShadowPolicy).
+	Shadow ShadowPolicy
+	// AutoFailover makes an unrecoverable proxy connection error spawn a
+	// fresh proxy, rebind every object, and re-issue the interrupted call
+	// instead of surfacing the error.
+	AutoFailover bool
+	// Fault injects transport faults on the app<->proxy connection
+	// (testing and the proxy-crash ablation).
+	Fault *ipc.FaultInjector
+	// CallTimeout is the per-call virtual deadline on proxy calls; a call
+	// exceeding it counts as a down connection. 0 disables.
+	CallTimeout vtime.Duration
+	// Retry bounds the proxy client's reconnect-and-retry loop; zero
+	// fields fall back to proxy.DefaultRetryPolicy.
+	Retry proxy.RetryPolicy
 }
 
 // CheCL is one attached instance of the tool: it implements ocl.API for
@@ -68,7 +85,9 @@ type CheCL struct {
 	db      *database
 	pending bool // a signalled checkpoint is waiting (delayed mode)
 
-	lastCkpt *CheckpointStats
+	inFailover bool // a failover rebind is running; don't recurse
+	fstats     FailoverStats
+	lastCkpt   *CheckpointStats
 }
 
 var _ ocl.API = (*CheCL)(nil)
@@ -85,11 +104,13 @@ func Attach(app *proc.Process, opts Options) (*CheCL, error) {
 	if err != nil {
 		return nil, err
 	}
-	px, err := proxy.Spawn(app, vendor)
+	c := &CheCL{app: app, opts: opts, db: newDatabase()}
+	px, err := proxy.SpawnWithOptions(app, vendor, c.spawnOpts())
 	if err != nil {
 		return nil, err
 	}
-	return &CheCL{app: app, opts: opts, px: px, db: newDatabase()}, nil
+	c.px = px
+	return c, nil
 }
 
 func selectVendor(node *proc.Node, name string) (*ocl.Vendor, error) {
@@ -173,22 +194,29 @@ func (c *CheCL) triggerCheckpoint() {
 // GetPlatformIDs wraps clGetPlatformIDs, returning CheCL platform handles.
 func (c *CheCL) GetPlatformIDs() ([]ocl.PlatformID, error) {
 	c.enterCall()
-	real, err := c.px.Client.GetPlatformIDs()
+	var out []ocl.PlatformID
+	err := c.forward("clGetPlatformIDs", func(api *proxy.Client) error {
+		real, err := api.GetPlatformIDs()
+		if err != nil {
+			return err
+		}
+		out = make([]ocl.PlatformID, len(real))
+		for i, rp := range real {
+			rec := c.findPlatformByReal(rp)
+			if rec == nil {
+				info, err := api.GetPlatformInfo(rp)
+				if err != nil {
+					return err
+				}
+				rec = &platformRec{H: c.db.newHandle(hPlatform), Seq: c.db.seq, real: rp, Info: info}
+				c.db.platforms[rec.H] = rec
+			}
+			out[i] = ocl.PlatformID(rec.H)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]ocl.PlatformID, len(real))
-	for i, rp := range real {
-		rec := c.findPlatformByReal(rp)
-		if rec == nil {
-			info, err := c.px.Client.GetPlatformInfo(rp)
-			if err != nil {
-				return nil, err
-			}
-			rec = &platformRec{H: c.db.newHandle(hPlatform), Seq: c.db.seq, real: rp, Info: info}
-			c.db.platforms[rec.H] = rec
-		}
-		out[i] = ocl.PlatformID(rec.H)
 	}
 	return out, nil
 }
@@ -209,7 +237,13 @@ func (c *CheCL) GetPlatformInfo(p ocl.PlatformID) (ocl.PlatformInfo, error) {
 	if err != nil {
 		return ocl.PlatformInfo{}, err
 	}
-	return c.px.Client.GetPlatformInfo(rec.real)
+	var info ocl.PlatformInfo
+	err = c.forward("clGetPlatformInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetPlatformInfo(rec.real)
+		return e
+	})
+	return info, err
 }
 
 // GetDeviceIDs wraps clGetDeviceIDs, returning CheCL device handles.
@@ -219,22 +253,29 @@ func (c *CheCL) GetDeviceIDs(p ocl.PlatformID, mask ocl.DeviceTypeMask) ([]ocl.D
 	if err != nil {
 		return nil, err
 	}
-	real, err := c.px.Client.GetDeviceIDs(prec.real, mask)
+	var out []ocl.DeviceID
+	err = c.forward("clGetDeviceIDs", func(api *proxy.Client) error {
+		real, err := api.GetDeviceIDs(prec.real, mask)
+		if err != nil {
+			return err
+		}
+		out = make([]ocl.DeviceID, len(real))
+		for i, rd := range real {
+			rec := c.findDeviceByReal(rd)
+			if rec == nil {
+				info, err := api.GetDeviceInfo(rd)
+				if err != nil {
+					return err
+				}
+				rec = &deviceRec{H: c.db.newHandle(hDevice), Seq: c.db.seq, Platform: prec.H, real: rd, Info: info}
+				c.db.devices[rec.H] = rec
+			}
+			out[i] = ocl.DeviceID(rec.H)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]ocl.DeviceID, len(real))
-	for i, rd := range real {
-		rec := c.findDeviceByReal(rd)
-		if rec == nil {
-			info, err := c.px.Client.GetDeviceInfo(rd)
-			if err != nil {
-				return nil, err
-			}
-			rec = &deviceRec{H: c.db.newHandle(hDevice), Seq: c.db.seq, Platform: prec.H, real: rd, Info: info}
-			c.db.devices[rec.H] = rec
-		}
-		out[i] = ocl.DeviceID(rec.H)
 	}
 	return out, nil
 }
@@ -255,7 +296,13 @@ func (c *CheCL) GetDeviceInfo(d ocl.DeviceID) (ocl.DeviceInfo, error) {
 	if err != nil {
 		return ocl.DeviceInfo{}, err
 	}
-	return c.px.Client.GetDeviceInfo(rec.real)
+	var info ocl.DeviceInfo
+	err = c.forward("clGetDeviceInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetDeviceInfo(rec.real)
+		return e
+	})
+	return info, err
 }
 
 // ---- context wrappers ----
@@ -264,17 +311,26 @@ func (c *CheCL) GetDeviceInfo(d ocl.DeviceID) (ocl.DeviceInfo, error) {
 // are translated before forwarding; the returned handle is a CheCL handle.
 func (c *CheCL) CreateContext(devices []ocl.DeviceID) (ocl.Context, error) {
 	c.enterCall()
-	realDevs := make([]ocl.DeviceID, len(devices))
+	drecs := make([]*deviceRec, len(devices))
 	hs := make([]Handle, len(devices))
 	for i, d := range devices {
 		rec, err := c.db.device(Handle(d))
 		if err != nil {
 			return 0, err
 		}
-		realDevs[i] = rec.real
+		drecs[i] = rec
 		hs[i] = rec.H
 	}
-	real, err := c.px.Client.CreateContext(realDevs)
+	var real ocl.Context
+	err := c.forward("clCreateContext", func(api *proxy.Client) error {
+		realDevs := make([]ocl.DeviceID, len(drecs))
+		for i, rec := range drecs {
+			realDevs[i] = rec.real
+		}
+		var e error
+		real, e = api.CreateContext(realDevs)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -290,7 +346,9 @@ func (c *CheCL) RetainContext(h ocl.Context) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainContext(rec.real); err != nil {
+	if err := c.forward("clRetainContext", func(api *proxy.Client) error {
+		return api.RetainContext(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -304,7 +362,9 @@ func (c *CheCL) ReleaseContext(h ocl.Context) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseContext(rec.real); err != nil {
+	if err := c.forward("clReleaseContext", func(api *proxy.Client) error {
+		return api.ReleaseContext(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--
@@ -327,7 +387,12 @@ func (c *CheCL) CreateCommandQueue(ctx ocl.Context, d ocl.DeviceID, props ocl.Qu
 	if err != nil {
 		return 0, err
 	}
-	real, err := c.px.Client.CreateCommandQueue(crec.real, drec.real, props)
+	var real ocl.CommandQueue
+	err = c.forward("clCreateCommandQueue", func(api *proxy.Client) error {
+		var e error
+		real, e = api.CreateCommandQueue(crec.real, drec.real, props)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -343,7 +408,9 @@ func (c *CheCL) RetainCommandQueue(h ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainCommandQueue(rec.real); err != nil {
+	if err := c.forward("clRetainCommandQueue", func(api *proxy.Client) error {
+		return api.RetainCommandQueue(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -357,7 +424,9 @@ func (c *CheCL) ReleaseCommandQueue(h ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseCommandQueue(rec.real); err != nil {
+	if err := c.forward("clReleaseCommandQueue", func(api *proxy.Client) error {
+		return api.ReleaseCommandQueue(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--
@@ -391,7 +460,12 @@ func (c *CheCL) CreateBuffer(ctx ocl.Context, flags ocl.MemFlags, size int64, ho
 		}
 		fwdFlags = (flags &^ ocl.MemUseHostPtr) | ocl.MemCopyHostPtr
 	}
-	real, err := c.px.Client.CreateBuffer(crec.real, fwdFlags, size, hostData)
+	var real ocl.Mem
+	err = c.forward("clCreateBuffer", func(api *proxy.Client) error {
+		var e error
+		real, e = api.CreateBuffer(crec.real, fwdFlags, size, hostData)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -404,6 +478,7 @@ func (c *CheCL) CreateBuffer(ctx ocl.Context, flags ocl.MemFlags, size int64, ho
 	if useHost {
 		rec.hostPtr = hostData[:size]
 	}
+	c.shadowSeed(rec, hostData)
 	c.db.mems[rec.H] = rec
 	return ocl.Mem(rec.H), nil
 }
@@ -415,7 +490,9 @@ func (c *CheCL) RetainMemObject(h ocl.Mem) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainMemObject(rec.real); err != nil {
+	if err := c.forward("clRetainMemObject", func(api *proxy.Client) error {
+		return api.RetainMemObject(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -429,7 +506,9 @@ func (c *CheCL) ReleaseMemObject(h ocl.Mem) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseMemObject(rec.real); err != nil {
+	if err := c.forward("clReleaseMemObject", func(api *proxy.Client) error {
+		return api.ReleaseMemObject(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--
@@ -448,7 +527,12 @@ func (c *CheCL) CreateSampler(ctx ocl.Context, normalized bool, am ocl.Addressin
 	if err != nil {
 		return 0, err
 	}
-	real, err := c.px.Client.CreateSampler(crec.real, normalized, am, fm)
+	var real ocl.Sampler
+	err = c.forward("clCreateSampler", func(api *proxy.Client) error {
+		var e error
+		real, e = api.CreateSampler(crec.real, normalized, am, fm)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -467,7 +551,9 @@ func (c *CheCL) RetainSampler(h ocl.Sampler) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainSampler(rec.real); err != nil {
+	if err := c.forward("clRetainSampler", func(api *proxy.Client) error {
+		return api.RetainSampler(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -481,7 +567,9 @@ func (c *CheCL) ReleaseSampler(h ocl.Sampler) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseSampler(rec.real); err != nil {
+	if err := c.forward("clReleaseSampler", func(api *proxy.Client) error {
+		return api.ReleaseSampler(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--
@@ -502,7 +590,12 @@ func (c *CheCL) CreateProgramWithSource(ctx ocl.Context, source string) (ocl.Pro
 	if err != nil {
 		return 0, err
 	}
-	real, err := c.px.Client.CreateProgramWithSource(crec.real, source)
+	var real ocl.Program
+	err = c.forward("clCreateProgramWithSource", func(api *proxy.Client) error {
+		var e error
+		real, e = api.CreateProgramWithSource(crec.real, source)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -537,7 +630,12 @@ func (c *CheCL) CreateProgramWithBinary(ctx ocl.Context, d ocl.DeviceID, binaryB
 	if err != nil {
 		return 0, err
 	}
-	real, err := c.px.Client.CreateProgramWithBinary(crec.real, drec.real, binaryBlob)
+	var real ocl.Program
+	err = c.forward("clCreateProgramWithBinary", func(api *proxy.Client) error {
+		var e error
+		real, e = api.CreateProgramWithBinary(crec.real, drec.real, binaryBlob)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -558,7 +656,9 @@ func (c *CheCL) BuildProgram(h ocl.Program, options string) error {
 		return err
 	}
 	sw := vtime.NewStopwatch(c.app.Clock())
-	if err := c.px.Client.BuildProgram(rec.real, options); err != nil {
+	if err := c.forward("clBuildProgram", func(api *proxy.Client) error {
+		return api.BuildProgram(rec.real, options)
+	}); err != nil {
 		return err
 	}
 	rec.Built = true
@@ -578,7 +678,13 @@ func (c *CheCL) GetProgramBuildInfo(h ocl.Program, d ocl.DeviceID) (ocl.BuildInf
 	if err != nil {
 		return ocl.BuildInfo{}, err
 	}
-	return c.px.Client.GetProgramBuildInfo(rec.real, drec.real)
+	var info ocl.BuildInfo
+	err = c.forward("clGetProgramBuildInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetProgramBuildInfo(rec.real, drec.real)
+		return e
+	})
+	return info, err
 }
 
 // GetProgramBinary wraps clGetProgramInfo(CL_PROGRAM_BINARIES).
@@ -588,7 +694,13 @@ func (c *CheCL) GetProgramBinary(h ocl.Program) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.px.Client.GetProgramBinary(rec.real)
+	var bin []byte
+	err = c.forward("clGetProgramBinary", func(api *proxy.Client) error {
+		var e error
+		bin, e = api.GetProgramBinary(rec.real)
+		return e
+	})
+	return bin, err
 }
 
 // RetainProgram wraps clRetainProgram.
@@ -598,7 +710,9 @@ func (c *CheCL) RetainProgram(h ocl.Program) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainProgram(rec.real); err != nil {
+	if err := c.forward("clRetainProgram", func(api *proxy.Client) error {
+		return api.RetainProgram(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -612,7 +726,9 @@ func (c *CheCL) ReleaseProgram(h ocl.Program) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseProgram(rec.real); err != nil {
+	if err := c.forward("clReleaseProgram", func(api *proxy.Client) error {
+		return api.ReleaseProgram(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--
@@ -631,7 +747,12 @@ func (c *CheCL) CreateKernel(p ocl.Program, name string) (ocl.Kernel, error) {
 	if err != nil {
 		return 0, err
 	}
-	real, err := c.px.Client.CreateKernel(prec.real, name)
+	var real ocl.Kernel
+	err = c.forward("clCreateKernel", func(api *proxy.Client) error {
+		var e error
+		real, e = api.CreateKernel(prec.real, name)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -658,7 +779,9 @@ func (c *CheCL) RetainKernel(h ocl.Kernel) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainKernel(rec.real); err != nil {
+	if err := c.forward("clRetainKernel", func(api *proxy.Client) error {
+		return api.RetainKernel(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -672,7 +795,9 @@ func (c *CheCL) ReleaseKernel(h ocl.Kernel) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseKernel(rec.real); err != nil {
+	if err := c.forward("clReleaseKernel", func(api *proxy.Client) error {
+		return api.ReleaseKernel(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--
@@ -697,11 +822,19 @@ func (c *CheCL) SetKernelArg(h ocl.Kernel, index int, size int64, value []byte) 
 	if err != nil {
 		return err
 	}
-	forward, local, err := c.translateArg(prec, rec.Name, index, size, value)
+	_, local, err := c.translateArg(prec, rec.Name, index, size, value)
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.SetKernelArg(rec.real, index, size, forward); err != nil {
+	// translateArg runs inside the closure so a retry after failover picks
+	// up the rebound real handles of any mem/sampler argument.
+	if err := c.forward("clSetKernelArg", func(api *proxy.Client) error {
+		fwd, _, e := c.translateArg(prec, rec.Name, index, size, value)
+		if e != nil {
+			return e
+		}
+		return api.SetKernelArg(rec.real, index, size, fwd)
+	}); err != nil {
 		return err
 	}
 	for index >= len(rec.Args) {
@@ -802,15 +935,22 @@ func (c *CheCL) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool,
 	if err != nil {
 		return 0, err
 	}
-	rw, err := c.translateWaits(waits)
-	if err != nil {
-		return 0, err
-	}
-	real, err := c.px.Client.EnqueueWriteBuffer(qrec.real, mrec.real, blocking, offset, data, rw)
+	// The wait list translates inside the closure: after a failover the
+	// rebound events are fresh dummy markers, not the stale real handles.
+	var real ocl.Event
+	err = c.forward("clEnqueueWriteBuffer", func(api *proxy.Client) error {
+		rw, e := c.translateWaits(waits)
+		if e != nil {
+			return e
+		}
+		real, e = api.EnqueueWriteBuffer(qrec.real, mrec.real, blocking, offset, data, rw)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
 	mrec.Dirty = true
+	c.shadowWrite(mrec, offset, data)
 	ev := c.wrapEvent(qrec.H, "write", real)
 	if blocking {
 		c.atSyncPoint()
@@ -829,14 +969,23 @@ func (c *CheCL) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, 
 	if err != nil {
 		return nil, 0, err
 	}
-	rw, err := c.translateWaits(waits)
+	var (
+		data []byte
+		real ocl.Event
+	)
+	err = c.forward("clEnqueueReadBuffer", func(api *proxy.Client) error {
+		rw, e := c.translateWaits(waits)
+		if e != nil {
+			return e
+		}
+		data, real, e = api.EnqueueReadBuffer(qrec.real, mrec.real, blocking, offset, size, rw)
+		return e
+	})
 	if err != nil {
 		return nil, 0, err
 	}
-	data, real, err := c.px.Client.EnqueueReadBuffer(qrec.real, mrec.real, blocking, offset, size, rw)
-	if err != nil {
-		return nil, 0, err
-	}
+	// A read refreshes our knowledge of the region — fold it into the shadow.
+	c.shadowWrite(mrec, offset, data)
 	ev := c.wrapEvent(qrec.H, "read", real)
 	if blocking {
 		c.atSyncPoint()
@@ -859,15 +1008,20 @@ func (c *CheCL) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, 
 	if err != nil {
 		return 0, err
 	}
-	rw, err := c.translateWaits(waits)
-	if err != nil {
-		return 0, err
-	}
-	real, err := c.px.Client.EnqueueCopyBuffer(qrec.real, srec.real, drec.real, srcOff, dstOff, size, rw)
+	var real ocl.Event
+	err = c.forward("clEnqueueCopyBuffer", func(api *proxy.Client) error {
+		rw, e := c.translateWaits(waits)
+		if e != nil {
+			return e
+		}
+		real, e = api.EnqueueCopyBuffer(qrec.real, srec.real, drec.real, srcOff, dstOff, size, rw)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
 	drec.Dirty = true
+	c.shadowCopy(srec, drec, srcOff, dstOff, size)
 	return c.wrapEvent(qrec.H, "copy", real), nil
 }
 
@@ -890,54 +1044,76 @@ func (c *CheCL) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int,
 	if err != nil {
 		return 0, err
 	}
-	rw, err := c.translateWaits(waits)
-	if err != nil {
-		return 0, err
-	}
-
 	boundMems := c.boundMems(prec, krec)
-	// USE_HOST_PTR cache protocol: push host copies before launch.
-	for _, mrec := range boundMems {
-		if mrec.UseHostPtr && mrec.hostPtr != nil {
-			if _, err := c.px.Client.EnqueueWriteBuffer(qrec.real, mrec.real, true, 0, mrec.hostPtr, nil); err != nil {
-				return 0, err
+	written := c.writtenMems(prec, krec, boundMems)
+
+	// The whole launch interaction — wait-list translation, USE_HOST_PTR
+	// push, the launch itself, the ShadowFull readback, and the
+	// USE_HOST_PTR pull — is one atomic retry unit: a proxy crash anywhere
+	// inside re-runs it end to end against the rebound handles, so the
+	// shadow/host copies always reflect a completed launch.
+	var real ocl.Event
+	err = c.forward("clEnqueueNDRangeKernel", func(api *proxy.Client) error {
+		rw, e := c.translateWaits(waits)
+		if e != nil {
+			return e
+		}
+		// USE_HOST_PTR cache protocol: push host copies before launch.
+		for _, mrec := range boundMems {
+			if mrec.UseHostPtr && mrec.hostPtr != nil {
+				if _, e := api.EnqueueWriteBuffer(qrec.real, mrec.real, true, 0, mrec.hostPtr, nil); e != nil {
+					return e
+				}
 			}
 		}
-	}
-
-	real, err := c.px.Client.EnqueueNDRangeKernel(qrec.real, krec.real, dims, offset, global, local, rw)
+		real, e = api.EnqueueNDRangeKernel(qrec.real, krec.real, dims, offset, global, local, rw)
+		if e != nil {
+			return e
+		}
+		if e := c.shadowReadback(api, qrec, written); e != nil {
+			return e
+		}
+		// USE_HOST_PTR cache protocol: pull results back after the launch.
+		for _, mrec := range boundMems {
+			if mrec.UseHostPtr && mrec.hostPtr != nil {
+				data, _, e := api.EnqueueReadBuffer(qrec.real, mrec.real, true, 0, mrec.Size, nil)
+				if e != nil {
+					return e
+				}
+				copy(mrec.hostPtr, data)
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}
 
 	// Dirty marking for incremental checkpointing.
-	if ws, ok := prec.WriteSets[krec.Name]; ok {
-		sig, _ := clc.Lookup(prec.Sigs, krec.Name)
-		for _, idx := range ws {
-			if idx < len(krec.Args) && krec.Args[idx].Set && idx < len(sig.Params) {
-				mh := Handle(binary.LittleEndian.Uint64(krec.Args[idx].Raw))
-				if mrec, ok := c.db.mems[mh]; ok {
-					mrec.Dirty = true
-				}
-			}
-		}
-	} else {
-		for _, mrec := range boundMems {
-			mrec.Dirty = true
-		}
-	}
-
-	// USE_HOST_PTR cache protocol: pull results back after the launch.
-	for _, mrec := range boundMems {
-		if mrec.UseHostPtr && mrec.hostPtr != nil {
-			data, _, err := c.px.Client.EnqueueReadBuffer(qrec.real, mrec.real, true, 0, mrec.Size, nil)
-			if err != nil {
-				return 0, err
-			}
-			copy(mrec.hostPtr, data)
-		}
+	for _, mrec := range written {
+		mrec.Dirty = true
 	}
 	return c.wrapEvent(qrec.H, "ndrange:"+krec.Name, real), nil
+}
+
+// writtenMems resolves the buffers a kernel launch may write: the parsed
+// write set when the program source was analysed, else every bound buffer.
+func (c *CheCL) writtenMems(prec *programRec, krec *kernelRec, bound []*memRec) []*memRec {
+	ws, ok := prec.WriteSets[krec.Name]
+	if !ok {
+		return bound
+	}
+	sig, _ := clc.Lookup(prec.Sigs, krec.Name)
+	var out []*memRec
+	for _, idx := range ws {
+		if idx < len(krec.Args) && krec.Args[idx].Set && idx < len(sig.Params) {
+			mh := Handle(binary.LittleEndian.Uint64(krec.Args[idx].Raw))
+			if mrec, ok := c.db.mems[mh]; ok {
+				out = append(out, mrec)
+			}
+		}
+	}
+	return out
 }
 
 // boundMems resolves the mem records currently bound to handle-bearing
@@ -967,7 +1143,12 @@ func (c *CheCL) EnqueueMarker(q ocl.CommandQueue) (ocl.Event, error) {
 	if err != nil {
 		return 0, err
 	}
-	real, err := c.px.Client.EnqueueMarker(qrec.real)
+	var real ocl.Event
+	err = c.forward("clEnqueueMarker", func(api *proxy.Client) error {
+		var e error
+		real, e = api.EnqueueMarker(qrec.real)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -981,7 +1162,9 @@ func (c *CheCL) EnqueueBarrier(q ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
-	return c.px.Client.EnqueueBarrier(qrec.real)
+	return c.forward("clEnqueueBarrier", func(api *proxy.Client) error {
+		return api.EnqueueBarrier(qrec.real)
+	})
 }
 
 // Flush wraps clFlush.
@@ -991,7 +1174,9 @@ func (c *CheCL) Flush(q ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
-	return c.px.Client.Flush(qrec.real)
+	return c.forward("clFlush", func(api *proxy.Client) error {
+		return api.Flush(qrec.real)
+	})
 }
 
 // Finish wraps clFinish; it is a synchronisation point for delayed
@@ -1002,7 +1187,9 @@ func (c *CheCL) Finish(q ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.Finish(qrec.real); err != nil {
+	if err := c.forward("clFinish", func(api *proxy.Client) error {
+		return api.Finish(qrec.real)
+	}); err != nil {
 		return err
 	}
 	c.atSyncPoint()
@@ -1013,11 +1200,13 @@ func (c *CheCL) Finish(q ocl.CommandQueue) error {
 // delayed checkpointing.
 func (c *CheCL) WaitForEvents(events []ocl.Event) error {
 	c.enterCall()
-	rw, err := c.translateWaits(events)
-	if err != nil {
-		return err
-	}
-	if err := c.px.Client.WaitForEvents(rw); err != nil {
+	if err := c.forward("clWaitForEvents", func(api *proxy.Client) error {
+		rw, e := c.translateWaits(events)
+		if e != nil {
+			return e
+		}
+		return api.WaitForEvents(rw)
+	}); err != nil {
 		return err
 	}
 	c.atSyncPoint()
@@ -1031,7 +1220,13 @@ func (c *CheCL) GetEventProfile(e ocl.Event) (ocl.EventProfile, error) {
 	if err != nil {
 		return ocl.EventProfile{}, err
 	}
-	return c.px.Client.GetEventProfile(rec.real)
+	var prof ocl.EventProfile
+	err = c.forward("clGetEventProfilingInfo", func(api *proxy.Client) error {
+		var e error
+		prof, e = api.GetEventProfile(rec.real)
+		return e
+	})
+	return prof, err
 }
 
 // RetainEvent wraps clRetainEvent.
@@ -1041,7 +1236,9 @@ func (c *CheCL) RetainEvent(e ocl.Event) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.RetainEvent(rec.real); err != nil {
+	if err := c.forward("clRetainEvent", func(api *proxy.Client) error {
+		return api.RetainEvent(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs++
@@ -1055,7 +1252,9 @@ func (c *CheCL) ReleaseEvent(e ocl.Event) error {
 	if err != nil {
 		return err
 	}
-	if err := c.px.Client.ReleaseEvent(rec.real); err != nil {
+	if err := c.forward("clReleaseEvent", func(api *proxy.Client) error {
+		return api.ReleaseEvent(rec.real)
+	}); err != nil {
 		return err
 	}
 	rec.Refs--

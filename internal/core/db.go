@@ -468,3 +468,12 @@ func decodeDatabase(data []byte) (*database, error) {
 	}
 	return db, nil
 }
+
+// liveObjects totals live objects across every class.
+func (db *database) liveObjects() int {
+	n := 0
+	for _, v := range db.Counts() {
+		n += v
+	}
+	return n
+}

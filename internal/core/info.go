@@ -1,6 +1,9 @@
 package core
 
-import "checl/internal/ocl"
+import (
+	"checl/internal/ocl"
+	"checl/internal/proxy"
+)
 
 // Info-query wrappers. These perform the *reverse* of the usual handle
 // translation: a query like clGetKernelInfo(CL_KERNEL_PROGRAM) returns a
@@ -16,7 +19,12 @@ func (c *CheCL) GetMemObjectInfo(h ocl.Mem) (ocl.MemObjectInfo, error) {
 	if err != nil {
 		return ocl.MemObjectInfo{}, err
 	}
-	info, err := c.px.Client.GetMemObjectInfo(rec.real)
+	var info ocl.MemObjectInfo
+	err = c.forward("clGetMemObjectInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetMemObjectInfo(rec.real)
+		return e
+	})
 	if err != nil {
 		return ocl.MemObjectInfo{}, err
 	}
@@ -35,7 +43,12 @@ func (c *CheCL) GetKernelInfo(h ocl.Kernel) (ocl.KernelInfo, error) {
 	if err != nil {
 		return ocl.KernelInfo{}, err
 	}
-	info, err := c.px.Client.GetKernelInfo(rec.real)
+	var info ocl.KernelInfo
+	err = c.forward("clGetKernelInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetKernelInfo(rec.real)
+		return e
+	})
 	if err != nil {
 		return ocl.KernelInfo{}, err
 	}
@@ -54,7 +67,12 @@ func (c *CheCL) GetContextInfo(h ocl.Context) (ocl.ContextInfo, error) {
 	if err != nil {
 		return ocl.ContextInfo{}, err
 	}
-	info, err := c.px.Client.GetContextInfo(rec.real)
+	var info ocl.ContextInfo
+	err = c.forward("clGetContextInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetContextInfo(rec.real)
+		return e
+	})
 	if err != nil {
 		return ocl.ContextInfo{}, err
 	}
@@ -74,7 +92,12 @@ func (c *CheCL) GetCommandQueueInfo(h ocl.CommandQueue) (ocl.CommandQueueInfo, e
 	if err != nil {
 		return ocl.CommandQueueInfo{}, err
 	}
-	info, err := c.px.Client.GetCommandQueueInfo(rec.real)
+	var info ocl.CommandQueueInfo
+	err = c.forward("clGetCommandQueueInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetCommandQueueInfo(rec.real)
+		return e
+	})
 	if err != nil {
 		return ocl.CommandQueueInfo{}, err
 	}
@@ -95,5 +118,11 @@ func (c *CheCL) GetKernelWorkGroupInfo(h ocl.Kernel, d ocl.DeviceID) (ocl.Kernel
 	if err != nil {
 		return ocl.KernelWorkGroupInfo{}, err
 	}
-	return c.px.Client.GetKernelWorkGroupInfo(krec.real, drec.real)
+	var info ocl.KernelWorkGroupInfo
+	err = c.forward("clGetKernelWorkGroupInfo", func(api *proxy.Client) error {
+		var e error
+		info, e = api.GetKernelWorkGroupInfo(krec.real, drec.real)
+		return e
+	})
+	return info, err
 }

@@ -7,6 +7,7 @@ import (
 	"checl/internal/apps"
 	"checl/internal/core"
 	"checl/internal/hw"
+	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
 	"checl/internal/store"
@@ -30,7 +31,7 @@ type AblationResult struct {
 	Variants []AblationVariant
 }
 
-// Ablations runs all five ablations and returns their measurements.
+// Ablations runs all six ablations and returns their measurements.
 func Ablations(scale float64) ([]AblationResult, error) {
 	var out []AblationResult
 
@@ -63,6 +64,12 @@ func Ablations(scale float64) ([]AblationResult, error) {
 		return nil, err
 	}
 	out = append(out, cas)
+
+	crash, err := ablationProxyCrash(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, crash)
 	return out, nil
 }
 
@@ -317,6 +324,77 @@ func ablationStore(scale float64) (AblationResult, error) {
 	rc.Detach()
 	res.Variants = append(res.Variants, AblationVariant{
 		Name: "restore-local-replica", Metric: "image read", Value: rst.ReadTime,
+	})
+	return res, nil
+}
+
+// ablationProxyCrash: the fault-tolerance arms. A fault-free run with no
+// shadowing is the baseline; shadow-full shows the per-launch readback
+// overhead that makes failover lossless; the crash arm runs the same app
+// while a seeded plan crashes the proxy process every N calls, with
+// AutoFailover absorbing each crash. The last variant isolates the pure
+// recovery cost (respawn + rebind + re-upload) out of the crash arm.
+func ablationProxyCrash(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "proxy-crash",
+		Claim: "failover bounds a proxy crash to rebind + re-upload; shadow-full is the price of losing nothing",
+	}
+	run := func(opts core.Options) (vtime.Duration, core.FailoverStats, error) {
+		node := proc.NewNode("ablation", hw.TableISpec(), ocl.NVIDIA())
+		p := node.Spawn("oclMatrixMul")
+		c, err := core.Attach(p, opts)
+		if err != nil {
+			return 0, core.FailoverStats{}, err
+		}
+		defer c.Detach()
+		app, _ := apps.ByName("oclMatrixMul")
+		sw := vtime.NewStopwatch(node.Clock)
+		env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: scale}
+		if _, err := app.Run(env); err != nil {
+			return 0, core.FailoverStats{}, err
+		}
+		return sw.Elapsed(), c.FailoverStats(), nil
+	}
+
+	base, _, err := run(core.Options{})
+	if err != nil {
+		return res, err
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "no-fault", Metric: "app runtime", Value: base,
+	})
+
+	shadowed, _, err := run(core.Options{Shadow: core.ShadowFull})
+	if err != nil {
+		return res, err
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "shadow-full", Metric: "app runtime", Value: shadowed,
+	})
+
+	const everyN = 6
+	inj := ipc.NewFaultInjector(ipc.FaultPlan{
+		Seed:      2026,
+		EveryN:    everyN,
+		SkipFirst: 5,
+		Kinds:     []ipc.FaultKind{ipc.FaultCrashServer},
+	})
+	crashed, fs, err := run(core.Options{
+		AutoFailover: true,
+		Shadow:       core.ShadowFull,
+		Fault:        inj,
+	})
+	if err != nil {
+		return res, err
+	}
+	if fs.Failovers == 0 {
+		return res, fmt.Errorf("harness: proxy-crash arm absorbed no failovers")
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: fmt.Sprintf("crash-every-%d", everyN), Metric: "app runtime", Value: crashed,
+	})
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: fmt.Sprintf("recovery-x%d", fs.Failovers), Metric: "total rebind time", Value: fs.TotalRecovery,
 	})
 	return res, nil
 }

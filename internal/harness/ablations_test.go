@@ -11,8 +11,8 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("ablations = %d, want 5", len(results))
+	if len(results) != 6 {
+		t.Fatalf("ablations = %d, want 6", len(results))
 	}
 	byName := map[string]AblationResult{}
 	for _, r := range results {
@@ -54,6 +54,23 @@ func TestAblations(t *testing.T) {
 	nfsRead, localRead := cas.Variants[2].Value, cas.Variants[3].Value
 	if !(localRead < nfsRead) {
 		t.Errorf("store ablation: local-replica read %v not cheaper than NFS read %v", localRead, nfsRead)
+	}
+
+	crash := byName["proxy-crash"]
+	if len(crash.Variants) != 4 {
+		t.Fatalf("proxy-crash ablation: %+v", crash.Variants)
+	}
+	noFault, shadowed, crashed, recovery := crash.Variants[0].Value,
+		crash.Variants[1].Value, crash.Variants[2].Value, crash.Variants[3].Value
+	if !(noFault <= shadowed && shadowed <= crashed) {
+		t.Errorf("proxy-crash ordering: no-fault=%v shadow-full=%v crashed=%v",
+			noFault, shadowed, crashed)
+	}
+	if !(recovery > 0 && recovery <= crashed) {
+		t.Errorf("proxy-crash recovery %v out of range (crashed run %v)", recovery, crashed)
+	}
+	if !strings.HasPrefix(crash.Variants[3].Name, "recovery-x") {
+		t.Errorf("proxy-crash recovery variant name: %q", crash.Variants[3].Name)
 	}
 
 	var buf bytes.Buffer

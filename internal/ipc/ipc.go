@@ -3,22 +3,74 @@
 // io.ReadWriteCloser: an in-memory net.Pipe for the common same-node case
 // or a Unix-domain/TCP socket for out-of-process and remote proxies.
 //
+// Every gob message travels inside an explicit length-prefixed frame
+// (4-byte big-endian length + payload). The framing hardens the wire
+// format: oversized frames are rejected with ErrFrameTooLarge and a
+// connection that dies mid-frame surfaces ErrTruncatedFrame instead of a
+// hang or a raw io.ErrUnexpectedEOF. Once a connection has failed it is
+// latched down and every further call fails fast with an error matching
+// ErrConnDown, which is what proxy.Client keys its retry/failover on.
+//
 // The transport counts bytes on the wire so callers can charge the
 // modelled cost of the extra process-to-process copy (the dominant CheCL
 // overhead for transfer-bound programs, §IV-A).
 package ipc
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+
+	"checl/internal/vtime"
 )
 
-// reqEnvelope precedes every request body on the wire.
+// DefaultMaxFrame bounds a single gob frame (request or response body).
+// The largest legitimate payloads are buffer transfers, well under this.
+const DefaultMaxFrame = 256 << 20
+
+// replayWindow bounds the server's request-dedupe cache: responses to the
+// most recent replayWindow sequenced (mutating) calls are kept so a client
+// that lost a response can safely re-send after reconnecting.
+const replayWindow = 512
+
+// Typed transport failures. ErrConnDown is the umbrella the retry layer
+// matches with errors.Is; the frame errors describe why the stream is
+// unusable.
+var (
+	// ErrConnDown marks a connection that can no longer carry calls.
+	ErrConnDown = errors.New("ipc: connection down")
+	// ErrFrameTooLarge rejects a frame above the configured maximum.
+	ErrFrameTooLarge = errors.New("ipc: frame exceeds maximum size")
+	// ErrTruncatedFrame reports a stream that ended inside a frame.
+	ErrTruncatedFrame = errors.New("ipc: truncated frame")
+)
+
+// DownError wraps the transport failure that took a connection down.
+// errors.Is(err, ErrConnDown) is true for every DownError.
+type DownError struct {
+	Method string // the call in flight when the connection failed
+	Err    error  // the underlying transport error
+}
+
+func (e *DownError) Error() string {
+	return fmt.Sprintf("ipc: %s: connection down: %v", e.Method, e.Err)
+}
+
+func (e *DownError) Unwrap() error { return e.Err }
+
+// Is reports ErrConnDown so callers can match the class, not the cause.
+func (e *DownError) Is(target error) bool { return target == ErrConnDown }
+
+// reqEnvelope precedes every request body on the wire. Seq is non-zero
+// for mutating calls: the server remembers the response so a retry after
+// a lost response is answered from cache instead of re-executed.
 type reqEnvelope struct {
 	Method string
+	Seq    uint64
 }
 
 // respEnvelope precedes every response body. A non-empty ErrOp signals a
@@ -45,6 +97,13 @@ func (e *RemoteError) Error() string {
 type ErrorCoder interface {
 	error
 	ErrorCode() (op string, status int32, detail string)
+}
+
+// CallFaulter is implemented by fault-injecting transports (see fault.go).
+// Conn invokes it at the top of every call so the injector can arm one
+// fault per call and align kills with frame boundaries.
+type CallFaulter interface {
+	CallStarting() error
 }
 
 // countingRWC counts the bytes crossing an io.ReadWriteCloser.
@@ -78,69 +137,302 @@ func (c *countingRWC) bytes() int64 {
 	return c.n
 }
 
+// frameWriter buffers one gob message and emits it as a single
+// length-prefixed frame on flush.
+type frameWriter struct {
+	w   io.Writer
+	max int
+	buf []byte
+}
+
+func (f *frameWriter) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *frameWriter) flush() error {
+	n := len(f.buf)
+	f.buf = f.buf[:0]
+	if n == 0 {
+		return nil
+	}
+	if n > f.max {
+		return fmt.Errorf("%d-byte frame: %w (max %d)", n, ErrFrameTooLarge, f.max)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	if _, err := f.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	// The payload was reset above, so re-slice the backing array the
+	// append grew; buf[:0] keeps the bytes alive until the next Write.
+	_, err := f.w.Write(f.buf[:n])
+	return err
+}
+
+// frameReader presents the payloads of consecutive frames as one byte
+// stream, validating each frame header as it goes. A clean peer close at
+// a frame boundary is io.EOF; anywhere else it is ErrTruncatedFrame.
+type frameReader struct {
+	r         io.Reader
+	max       int
+	remaining int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	for f.remaining == 0 {
+		var hdr [4]byte
+		n, err := io.ReadFull(f.r, hdr[:])
+		if err != nil {
+			if err == io.ErrUnexpectedEOF || (err == io.EOF && n > 0) {
+				return 0, fmt.Errorf("frame header cut short: %w", ErrTruncatedFrame)
+			}
+			return 0, err
+		}
+		size := int(binary.BigEndian.Uint32(hdr[:]))
+		if size > f.max {
+			return 0, fmt.Errorf("%d-byte frame: %w (max %d)", size, ErrFrameTooLarge, f.max)
+		}
+		f.remaining = size
+	}
+	if len(p) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= n
+	if f.remaining > 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		err = fmt.Errorf("frame body short by %d bytes: %w", f.remaining, ErrTruncatedFrame)
+	}
+	if n > 0 && err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
 // Conn is the client side of an RPC connection. One call is outstanding
 // at a time; Conn is safe for concurrent use.
 type Conn struct {
-	mu    sync.Mutex
-	count *countingRWC
-	enc   *gob.Encoder
-	dec   *gob.Decoder
+	mu      sync.Mutex
+	count   *countingRWC
+	fw      *frameWriter
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	faulter CallFaulter
+	clock   *vtime.Clock
+	timeout vtime.Duration
+	downErr error // first fatal transport error; latched
 }
 
-// NewConn wraps a byte stream as an RPC client connection.
+// NewConn wraps a byte stream as an RPC client connection. If rwc also
+// implements CallFaulter (a fault-injecting transport), the hook runs at
+// the top of every call.
 func NewConn(rwc io.ReadWriteCloser) *Conn {
-	c := &countingRWC{rwc: rwc}
-	return &Conn{count: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	count := &countingRWC{rwc: rwc}
+	fw := &frameWriter{w: count, max: DefaultMaxFrame}
+	c := &Conn{
+		count: count,
+		fw:    fw,
+		enc:   gob.NewEncoder(fw),
+		dec:   gob.NewDecoder(&frameReader{r: count, max: DefaultMaxFrame}),
+	}
+	if f, ok := rwc.(CallFaulter); ok {
+		c.faulter = f
+	}
+	return c
+}
+
+// SetMaxFrame overrides the outbound frame-size limit (tests use small
+// limits to exercise ErrFrameTooLarge cheaply).
+func (c *Conn) SetMaxFrame(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fw.max = n
+}
+
+// SetDeadline arms a per-call deadline measured on the virtual clock: a
+// call that comes back after more than timeout of virtual time (injected
+// delays included) marks the connection down, modelling a proxy that has
+// stopped responding in useful time.
+func (c *Conn) SetDeadline(clock *vtime.Clock, timeout vtime.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+	c.timeout = timeout
 }
 
 // Call invokes method remotely: req is sent, the reply is decoded into
 // resp (which must be a pointer). It returns the number of bytes the call
 // moved across the transport.
 func (c *Conn) Call(method string, req, resp any) (int64, error) {
+	return c.CallSeq(method, 0, req, resp)
+}
+
+// CallSeq is Call with an explicit dedupe sequence number. Seq 0 means
+// "idempotent, never deduped"; a non-zero seq must be unique per logical
+// call so that re-sending it after a reconnect replays the cached
+// response instead of re-executing the handler.
+func (c *Conn) CallSeq(method string, seq uint64, req, resp any) (int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	before := c.count.bytes()
-	if err := c.enc.Encode(reqEnvelope{Method: method}); err != nil {
-		return 0, fmt.Errorf("ipc: sending %s envelope: %w", method, err)
+	if c.downErr != nil {
+		return 0, &DownError{Method: method, Err: c.downErr}
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return 0, fmt.Errorf("ipc: sending %s request: %w", method, err)
+	var start vtime.Time
+	if c.clock != nil {
+		start = c.clock.Now()
+	}
+	if c.faulter != nil {
+		if err := c.faulter.CallStarting(); err != nil {
+			return 0, c.fail(method, err)
+		}
+	}
+	before := c.count.bytes()
+	if err := c.encodeFrame(reqEnvelope{Method: method, Seq: seq}); err != nil {
+		return c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s envelope: %w", method, err))
+	}
+	if err := c.encodeFrame(req); err != nil {
+		return c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s request: %w", method, err))
 	}
 	var env respEnvelope
 	if err := c.dec.Decode(&env); err != nil {
-		return 0, fmt.Errorf("ipc: receiving %s response envelope: %w", method, err)
+		return c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s response envelope: %w", method, err))
 	}
+	var callErr error
 	if env.ErrOp != "" {
-		return c.count.bytes() - before, &RemoteError{Op: env.ErrOp, Detail: env.ErrDetail, Status: env.ErrStatus}
+		callErr = &RemoteError{Op: env.ErrOp, Detail: env.ErrDetail, Status: env.ErrStatus}
+	} else if err := c.dec.Decode(resp); err != nil {
+		return c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s response: %w", method, err))
 	}
-	if err := c.dec.Decode(resp); err != nil {
-		return 0, fmt.Errorf("ipc: receiving %s response: %w", method, err)
+	if c.clock != nil && c.timeout > 0 {
+		if elapsed := c.clock.Now().Sub(start); elapsed > c.timeout {
+			return c.count.bytes() - before,
+				c.fail(method, fmt.Errorf("%s exceeded the %s call deadline (took %s)", method, c.timeout, elapsed))
+		}
 	}
-	return c.count.bytes() - before, nil
+	return c.count.bytes() - before, callErr
 }
 
-// Close tears down the transport.
-func (c *Conn) Close() error { return c.count.Close() }
+// encodeFrame writes one gob message as one frame.
+func (c *Conn) encodeFrame(v any) error {
+	if err := c.enc.Encode(v); err != nil {
+		return err
+	}
+	return c.fw.flush()
+}
 
-// Server dispatches RPCs to registered handlers.
+// fail latches the connection down, closes the transport so any peer
+// blocked on it wakes up, and wraps err as a DownError.
+func (c *Conn) fail(method string, err error) error {
+	if c.downErr == nil {
+		c.downErr = err
+		_ = c.count.Close()
+	}
+	return &DownError{Method: method, Err: err}
+}
+
+// Down reports whether the connection has been latched down.
+func (c *Conn) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downErr != nil
+}
+
+// Close tears down the transport. Further calls fail with ErrConnDown.
+func (c *Conn) Close() error {
+	err := c.count.Close()
+	c.mu.Lock()
+	if c.downErr == nil {
+		c.downErr = errors.New("connection closed")
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// cachedResp is one remembered response in the server's dedupe cache.
+type cachedResp struct {
+	env  respEnvelope
+	resp any
+}
+
+// Server dispatches RPCs to registered handlers. One Server may serve
+// several connections over its lifetime (the proxy keeps its Server when
+// the application redials after a transport fault), so the request-dedupe
+// cache lives here rather than per connection.
 type Server struct {
 	mu       sync.Mutex
-	handlers map[string]func(dec *gob.Decoder, enc *gob.Encoder) error
+	handlers map[string]func(seq uint64, dec *gob.Decoder, enc *gob.Encoder, flush func() error) error
+	maxFrame int
+
+	seen     map[uint64]cachedResp
+	seenFIFO []uint64
+	replayed int64
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: map[string]func(*gob.Decoder, *gob.Encoder) error{}}
+	return &Server{
+		handlers: map[string]func(uint64, *gob.Decoder, *gob.Encoder, func() error) error{},
+		maxFrame: DefaultMaxFrame,
+		seen:     map[uint64]cachedResp{},
+	}
+}
+
+// SetMaxFrame overrides the inbound frame-size limit.
+func (s *Server) SetMaxFrame(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxFrame = n
+}
+
+// ReplayedCalls reports how many sequenced requests were answered from
+// the dedupe cache instead of re-executed (i.e. retries of calls whose
+// response was lost in a transport fault).
+func (s *Server) ReplayedCalls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayed
+}
+
+// lookupReplay returns the cached response for seq, if any.
+func (s *Server) lookupReplay(seq uint64) (cachedResp, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.seen[seq]
+	if ok {
+		s.replayed++
+	}
+	return r, ok
+}
+
+// storeReplay remembers the response to seq, evicting the oldest entry
+// once the window is full.
+func (s *Server) storeReplay(seq uint64, r cachedResp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.seen[seq]; ok {
+		return
+	}
+	s.seen[seq] = r
+	s.seenFIFO = append(s.seenFIFO, seq)
+	if len(s.seenFIFO) > replayWindow {
+		delete(s.seen, s.seenFIFO[0])
+		s.seenFIFO = s.seenFIFO[1:]
+	}
 }
 
 // Register installs a typed handler for method.
 func Register[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = func(dec *gob.Decoder, enc *gob.Encoder) error {
+	s.handlers[method] = func(seq uint64, dec *gob.Decoder, enc *gob.Encoder, flush func() error) error {
 		var req Req
 		if err := dec.Decode(&req); err != nil {
 			return fmt.Errorf("ipc: decoding %s request: %w", method, err)
+		}
+		if seq != 0 {
+			if cached, ok := s.lookupReplay(seq); ok {
+				return writeResp(method, cached, enc, flush)
+			}
 		}
 		resp, err := fn(req)
 		var env respEnvelope
@@ -154,28 +446,59 @@ func Register[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error
 				env.ErrStatus = -9999
 			}
 		}
-		if err := enc.Encode(env); err != nil {
-			return fmt.Errorf("ipc: encoding %s response envelope: %w", method, err)
+		out := cachedResp{env: env, resp: resp}
+		if seq != 0 {
+			s.storeReplay(seq, out)
 		}
-		if env.ErrOp != "" {
-			return nil
-		}
-		if err := enc.Encode(resp); err != nil {
-			return fmt.Errorf("ipc: encoding %s response: %w", method, err)
-		}
-		return nil
+		return writeResp(method, out, enc, flush)
 	}
 }
 
+// writeResp emits the response envelope and, on success, the body — each
+// as its own frame.
+func writeResp(method string, r cachedResp, enc *gob.Encoder, flush func() error) error {
+	if err := enc.Encode(r.env); err != nil {
+		return fmt.Errorf("ipc: encoding %s response envelope: %w", method, err)
+	}
+	if err := flush(); err != nil {
+		return fmt.Errorf("ipc: flushing %s response envelope: %w", method, err)
+	}
+	if r.env.ErrOp != "" {
+		return nil
+	}
+	if err := enc.Encode(r.resp); err != nil {
+		return fmt.Errorf("ipc: encoding %s response: %w", method, err)
+	}
+	if err := flush(); err != nil {
+		return fmt.Errorf("ipc: flushing %s response: %w", method, err)
+	}
+	return nil
+}
+
 // ServeConn processes calls on the stream until EOF or a transport error.
-// A clean peer close returns nil.
+// A clean peer close returns nil. On a transport error (truncated frame,
+// oversized frame, mid-call disconnect) the stream is closed before
+// returning, so a peer blocked on the synchronous transport wakes up
+// instead of hanging.
 func (s *Server) ServeConn(rwc io.ReadWriteCloser) error {
-	dec := gob.NewDecoder(rwc)
-	enc := gob.NewEncoder(rwc)
+	err := s.serveConn(rwc)
+	if err != nil {
+		_ = rwc.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(rwc io.ReadWriteCloser) error {
+	s.mu.Lock()
+	max := s.maxFrame
+	s.mu.Unlock()
+	fw := &frameWriter{w: rwc, max: max}
+	dec := gob.NewDecoder(&frameReader{r: rwc, max: max})
+	enc := gob.NewEncoder(fw)
 	for {
 		var env reqEnvelope
 		if err := dec.Decode(&env); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("ipc: reading request envelope: %w", err)
@@ -192,9 +515,12 @@ func (s *Server) ServeConn(rwc io.ReadWriteCloser) error {
 			if err := enc.Encode(respEnvelope{ErrOp: env.Method, ErrDetail: "unknown method", ErrStatus: -9998}); err != nil {
 				return err
 			}
+			if err := fw.flush(); err != nil {
+				return err
+			}
 			continue
 		}
-		if err := h(dec, enc); err != nil {
+		if err := h(env.Seq, dec, enc, fw.flush); err != nil {
 			return err
 		}
 	}

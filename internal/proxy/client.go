@@ -2,6 +2,8 @@ package proxy
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"checl/internal/hw"
@@ -19,53 +21,192 @@ type CostModel struct {
 	CopyBW      hw.Bandwidth
 }
 
-// Stats counts the traffic a client has forwarded.
+// RetryPolicy bounds the client's transparent reconnect-and-retry loop.
+// Backoff between attempts is exponential up to MaxBackoff and is charged
+// to the virtual clock like any other modelled wait.
+type RetryPolicy struct {
+	Attempts   int            // total tries per call, including the first
+	Backoff    vtime.Duration // wait before the first retry
+	MaxBackoff vtime.Duration // cap on the exponential backoff
+}
+
+// DefaultRetryPolicy is used when a zero policy is supplied.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts:   3,
+	Backoff:    100 * vtime.Microsecond,
+	MaxBackoff: 10 * vtime.Millisecond,
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy
+	if p.Attempts > 0 {
+		d.Attempts = p.Attempts
+	}
+	if p.Backoff > 0 {
+		d.Backoff = p.Backoff
+	}
+	if p.MaxBackoff > 0 {
+		d.MaxBackoff = p.MaxBackoff
+	}
+	return d
+}
+
+// Stats counts the traffic a client has forwarded and the transport
+// failures it has absorbed.
 type Stats struct {
-	Calls int64
-	Bytes int64
+	Calls      int64 // calls sent on the wire (retries included)
+	Bytes      int64
+	Retries    int64 // calls re-sent after a transport fault
+	Reconnects int64 // fresh connections dialled to the same proxy
 }
 
 // Client implements ocl.API by forwarding every call to an API proxy over
 // an ipc.Conn, charging the forwarding overhead to the application's
 // clock. This is the client half of §III-A.
+//
+// When a redial function is installed (Spawn wires it to the proxy), a
+// call that fails with ipc.ErrConnDown is transparently retried over a
+// fresh connection to the same live proxy process. Mutating calls carry a
+// sequence number, so a retry whose original execution succeeded (only
+// the response was lost) is answered from the server's dedupe cache
+// instead of re-executed. Only when the proxy process itself is gone does
+// the error reach the caller, where core.CheCL's failover takes over.
 type Client struct {
-	conn  *ipc.Conn
 	clock *vtime.Clock
 	cost  CostModel
+	retry RetryPolicy
 
-	calls atomic.Int64
-	bytes atomic.Int64
+	mu     sync.Mutex
+	conn   *ipc.Conn
+	redial func() (*ipc.Conn, error)
+	closed bool
+
+	seq        atomic.Uint64
+	calls      atomic.Int64
+	bytes      atomic.Int64
+	retries    atomic.Int64
+	reconnects atomic.Int64
 }
 
 var _ ocl.API = (*Client)(nil)
 
 // NewClient wraps an RPC connection as an API client.
 func NewClient(conn *ipc.Conn, clock *vtime.Clock, cost CostModel) *Client {
-	return &Client{conn: conn, clock: clock, cost: cost}
+	return &Client{conn: conn, clock: clock, cost: cost, retry: DefaultRetryPolicy}
+}
+
+// SetRedial installs the function that dials a replacement connection to
+// the same proxy after a transport fault.
+func (c *Client) SetRedial(fn func() (*ipc.Conn, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.redial = fn
+}
+
+// SetRetryPolicy overrides the retry policy (zero fields keep defaults).
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p.withDefaults()
 }
 
 // Stats reports the calls and bytes forwarded so far.
 func (c *Client) Stats() Stats {
-	return Stats{Calls: c.calls.Load(), Bytes: c.bytes.Load()}
+	return Stats{
+		Calls:      c.calls.Load(),
+		Bytes:      c.bytes.Load(),
+		Retries:    c.retries.Load(),
+		Reconnects: c.reconnects.Load(),
+	}
 }
 
-// Close tears down the connection to the proxy.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the connection to the proxy and stops any further
+// reconnect attempts.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
+}
 
-// call forwards one API call and charges its modelled cost.
+// idempotent reports whether method can be blindly re-sent: queries and
+// reads change no proxy state worth deduping, so they go out with seq 0.
+func idempotent(method string) bool {
+	if strings.HasPrefix(method, "clGet") {
+		return true
+	}
+	switch method {
+	case "clFinish", "clFlush", "clWaitForEvents", "clEnqueueReadBuffer", "clEnqueueBarrier":
+		return true
+	}
+	return false
+}
+
+// call forwards one API call, charging its modelled cost, retrying over a
+// fresh connection when the transport dies under it.
 func (c *Client) call(method string, req, resp any) error {
-	n, err := c.conn.Call(method, req, resp)
-	c.calls.Add(1)
-	c.bytes.Add(n)
-	c.clock.Advance(2*c.cost.CallLatency + c.cost.CopyBW.Transfer(n))
-	if err != nil {
+	var seq uint64
+	if !idempotent(method) {
+		seq = c.seq.Add(1)
+	}
+	c.mu.Lock()
+	policy := c.retry
+	c.mu.Unlock()
+	backoff := policy.Backoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		n, err := conn.CallSeq(method, seq, req, resp)
+		c.calls.Add(1)
+		c.bytes.Add(n)
+		c.clock.Advance(2*c.cost.CallLatency + c.cost.CopyBW.Transfer(n))
+		if err == nil {
+			return nil
+		}
 		var re *ipc.RemoteError
 		if errors.As(err, &re) {
 			return &ocl.Error{Status: ocl.Status(re.Status), Op: re.Op, Detail: re.Detail}
 		}
-		return err
+		if !errors.Is(err, ipc.ErrConnDown) {
+			return err
+		}
+		lastErr = err
+		if attempt >= policy.Attempts {
+			return lastErr
+		}
+		c.clock.Advance(backoff)
+		if backoff *= 2; backoff > policy.MaxBackoff {
+			backoff = policy.MaxBackoff
+		}
+		if !c.reconnect(conn) {
+			return lastErr
+		}
+		c.retries.Add(1)
 	}
-	return nil
+}
+
+// reconnect swaps in a fresh connection if the failed one is still
+// current. It reports whether a retry is worth attempting.
+func (c *Client) reconnect(failed *ipc.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.redial == nil {
+		return false
+	}
+	if c.conn != failed {
+		return true // another caller already redialled
+	}
+	conn, err := c.redial()
+	if err != nil {
+		return false
+	}
+	_ = c.conn.Close()
+	c.conn = conn
+	c.reconnects.Add(1)
+	return true
 }
 
 // --- forwarded API surface (one method per OpenCL entry point) ---

@@ -50,7 +50,6 @@ func SpawnRemote(app *proc.Process, server *proc.Node, vendor *ocl.Vendor) (*Pro
 	if err != nil {
 		return nil, fmt.Errorf("proxy: listening for remote transport: %w", err)
 	}
-	done := make(chan struct{})
 	accepted := make(chan net.Conn, 1)
 	go func() {
 		conn, err := ln.Accept()
@@ -73,21 +72,25 @@ func SpawnRemote(app *proc.Process, server *proc.Node, vendor *ocl.Vendor) (*Pro
 	}
 
 	p := &Proxy{
-		Process:  child,
-		Runtime:  rt,
-		appEnd:   clientConn,
-		proxyEnd: serverConn,
-		done:     done,
+		Process: child,
+		Runtime: rt,
+		node:    appNode,
+		server:  NewServer(rt),
 	}
+	p.conns = append(p.conns, clientConn, serverConn)
+	p.wg.Add(1)
 	go func() {
-		defer close(done)
-		_ = Serve(rt, serverConn)
+		defer p.wg.Done()
+		_ = p.server.ServeConn(serverConn)
 	}()
 
 	cost := CostModel{
 		CallLatency: remoteCallLatency,
 		CopyBW:      appNode.Spec.Inter.NIC, // payloads cross the network
 	}
+	// No redial: re-establishing a TCP session to a remote node would need
+	// a persistent listener there; a dropped remote link surfaces as
+	// ErrConnDown and the application falls back to a local failover.
 	p.Client = NewClient(ipc.NewConn(clientConn), appNode.Clock, cost)
 	return p, nil
 }

@@ -1,25 +1,43 @@
 package proxy
 
 import (
-	"net"
+	"fmt"
+	"io"
 	"sync"
 
+	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
+	"checl/internal/vtime"
 )
+
+// SpawnOpts configures a spawned proxy beyond the defaults.
+type SpawnOpts struct {
+	Transport   Transport
+	Fault       *ipc.FaultInjector // wraps the app-side stream; nil = no injection
+	CallTimeout vtime.Duration     // per-call virtual deadline; 0 = none
+	Retry       RetryPolicy        // zero fields fall back to DefaultRetryPolicy
+}
 
 // Proxy is a running API proxy: a forked child process whose address space
 // holds the vendor OpenCL implementation (and therefore device mappings),
-// plus the connection the application uses to reach it.
+// plus the connection the application uses to reach it. The proxy keeps
+// its RPC server and spawn configuration so the client can redial a fresh
+// connection (same process, same handle space, same dedupe cache) after a
+// transport fault.
 type Proxy struct {
 	Client  *Client
 	Process *proc.Process
 	Runtime *ocl.Runtime
 
-	closeOnce sync.Once
-	appEnd    net.Conn
-	proxyEnd  net.Conn
-	done      chan struct{}
+	node   *proc.Node
+	server *ipc.Server
+	opts   SpawnOpts
+
+	mu     sync.Mutex
+	killed bool
+	conns  []io.Closer
+	wg     sync.WaitGroup
 }
 
 // Spawn forks an API proxy child of app, loads the given vendor's OpenCL
@@ -29,20 +47,83 @@ type Proxy struct {
 // devices into the *proxy's* address space — the application process
 // stays clean.
 func Spawn(app *proc.Process, vendor *ocl.Vendor) (*Proxy, error) {
-	return SpawnWithTransport(app, vendor, TransportPipe)
+	return SpawnWithOptions(app, vendor, SpawnOpts{})
 }
 
-// Kill terminates the proxy process and closes the transport. It is what
-// CheCL does to the old proxy before a DMTCP checkpoint and implicitly on
-// restart (the old proxy died with the old incarnation).
-func (p *Proxy) Kill() {
-	p.closeOnce.Do(func() {
-		_ = p.appEnd.Close()
-		_ = p.proxyEnd.Close()
-		p.Process.Kill()
-		<-p.done
-	})
+// dial opens a fresh connection to the live proxy process and starts
+// serving it. It is both the initial connect and the Client's redial path
+// after a transport fault.
+func (p *Proxy) dial() (*ipc.Conn, error) {
+	if !p.Process.Alive() {
+		return nil, fmt.Errorf("proxy: cannot dial: proxy process is dead")
+	}
+	appEnd, proxyEnd, err := connect(p.opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		appEnd.Close()
+		proxyEnd.Close()
+		return nil, fmt.Errorf("proxy: cannot dial: proxy was killed")
+	}
+	p.conns = append(p.conns, appEnd, proxyEnd)
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		_ = p.server.ServeConn(proxyEnd)
+	}()
+	var rwc io.ReadWriteCloser = appEnd
+	if p.opts.Fault != nil {
+		rwc = p.opts.Fault.Wrap(appEnd)
+	}
+	conn := ipc.NewConn(rwc)
+	if p.opts.CallTimeout > 0 {
+		conn.SetDeadline(p.node.Clock, p.opts.CallTimeout)
+	}
+	return conn, nil
 }
+
+// Kill terminates the proxy process, closes every transport generation,
+// and drains the serve goroutines so no handler races the teardown. It is
+// what CheCL does to the old proxy before a DMTCP checkpoint and
+// implicitly on restart (the old proxy died with the old incarnation).
+func (p *Proxy) Kill() {
+	conns := p.shutdown()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.Process.Kill()
+	p.wg.Wait()
+}
+
+// crash is the fault injector's CrashServer hook: it kills the process
+// and closes the transports but cannot wait for the serve goroutines,
+// because it runs on the application's own call path.
+func (p *Proxy) crash() {
+	conns := p.shutdown()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.Process.Kill()
+}
+
+// shutdown latches the proxy dead and hands back the connections to close.
+func (p *Proxy) shutdown() []io.Closer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killed = true
+	conns := p.conns
+	p.conns = nil
+	return conns
+}
+
+// Replayed reports how many mutating calls the proxy answered from its
+// request-dedupe cache (retries whose first execution lost only the
+// response).
+func (p *Proxy) Replayed() int64 { return p.server.ReplayedCalls() }
 
 // Alive reports whether the proxy process is still running.
 func (p *Proxy) Alive() bool { return p.Process.Alive() }

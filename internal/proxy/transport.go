@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
 )
@@ -34,6 +33,12 @@ func (t Transport) String() string {
 
 // SpawnWithTransport is Spawn with an explicit transport choice.
 func SpawnWithTransport(app *proc.Process, vendor *ocl.Vendor, transport Transport) (*Proxy, error) {
+	return SpawnWithOptions(app, vendor, SpawnOpts{Transport: transport})
+}
+
+// SpawnWithOptions is Spawn with full control over transport, fault
+// injection, per-call deadlines, and the retry policy.
+func SpawnWithOptions(app *proc.Process, vendor *ocl.Vendor, opts SpawnOpts) (*Proxy, error) {
 	if vendor == nil {
 		return nil, fmt.Errorf("proxy: no vendor OpenCL implementation to load")
 	}
@@ -44,27 +49,29 @@ func SpawnWithTransport(app *proc.Process, vendor *ocl.Vendor, transport Transpo
 	rt := ocl.NewRuntime(vendor, node.Spec, node.Clock)
 	child.MapDevice()
 
-	appEnd, proxyEnd, err := connect(transport)
+	p := &Proxy{
+		Process: child,
+		Runtime: rt,
+		node:    node,
+		server:  NewServer(rt),
+		opts:    opts,
+	}
+	if opts.Fault != nil {
+		opts.Fault.SetClock(node.Clock)
+		opts.Fault.SetCrashServer(p.crash)
+	}
+	conn, err := p.dial()
 	if err != nil {
 		child.Kill()
 		return nil, err
 	}
-	p := &Proxy{
-		Process:  child,
-		Runtime:  rt,
-		appEnd:   appEnd,
-		proxyEnd: proxyEnd,
-		done:     make(chan struct{}),
-	}
-	go func() {
-		defer close(p.done)
-		_ = Serve(rt, proxyEnd)
-	}()
 	cost := CostModel{
 		CallLatency: node.Spec.IPCCallLatency,
 		CopyBW:      node.Spec.Inter.Memcpy,
 	}
-	p.Client = NewClient(ipc.NewConn(appEnd), node.Clock, cost)
+	p.Client = NewClient(conn, node.Clock, cost)
+	p.Client.SetRetryPolicy(opts.Retry)
+	p.Client.SetRedial(p.dial)
 	return p, nil
 }
 

@@ -14,4 +14,8 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# Fault-tolerance soak: the fault-injection and failover tests are the ones
+# most likely to flake under scheduling nondeterminism, so run them repeatedly
+# under the race detector.
+go test -run Fault -count=5 -race ./internal/...
 echo "check.sh: all green"
