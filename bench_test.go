@@ -390,23 +390,176 @@ func BenchmarkProxyFailover(b *testing.B) {
 	b.ReportMetric(fs.LastRecovery.Seconds()*1e3, "last-recovery-ms")
 }
 
-// BenchmarkProxyCallOverhead measures the wall-clock (not virtual) cost of
-// one forwarded API call through the gob/pipe transport — the engineering
-// overhead of the interposition itself.
-func BenchmarkProxyCallOverhead(b *testing.B) {
+// benchProxyApp attaches CheCL and builds the vadd pipeline objects used
+// by the hot-path sub-benchmarks.
+func benchProxyApp(b *testing.B, opts core.Options) (*core.CheCL, ocl.CommandQueue, ocl.Kernel, [3]ocl.Mem) {
+	b.Helper()
 	node := proc.NewNode("bench", hw.TableISpec(), ocl.NVIDIA())
 	p := node.Spawn("bench")
-	c, err := core.Attach(p, core.Options{})
+	c, err := core.Attach(p, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer c.Detach()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.GetPlatformIDs(); err != nil {
+	b.Cleanup(c.Detach)
+	plats, err := c.GetPlatformIDs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	devs, err := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := c.CreateContext(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := c.CreateCommandQueue(ctx, devs[0], 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := c.CreateProgramWithSource(ctx, `
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.BuildProgram(prog, ""); err != nil {
+		b.Fatal(err)
+	}
+	k, err := c.CreateKernel(prog, "vadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 256
+	var mems [3]ocl.Mem
+	for i := range mems {
+		if mems[i], err = c.CreateBuffer(ctx, ocl.MemReadWrite, 4*n, nil); err != nil {
+			b.Fatal(err)
+		}
+		hb := make([]byte, 8)
+		for j := 0; j < 8; j++ {
+			hb[j] = byte(uint64(mems[i]) >> (8 * j))
+		}
+		if err := c.SetKernelArg(k, i, 8, hb); err != nil {
 			b.Fatal(err)
 		}
 	}
+	nb := make([]byte, 4)
+	for j := 0; j < 4; j++ {
+		nb[j] = byte(uint32(n) >> (8 * j))
+	}
+	if err := c.SetKernelArg(k, 3, 4, nb); err != nil {
+		b.Fatal(err)
+	}
+	return c, q, k, mems
+}
+
+// BenchmarkProxyCallOverhead measures the wall-clock (not virtual) cost
+// of the interposition hot path. Sub-benchmarks contrast the pipelined
+// paths this PR adds against the classic one-round-trip-per-call path;
+// the ipc-roundtrips/op metric counts actual wire calls per iteration.
+func BenchmarkProxyCallOverhead(b *testing.B) {
+	roundTrips := func(b *testing.B, c *core.CheCL, before int64) {
+		b.Helper()
+		b.ReportMetric(float64(c.Proxy().Client.Stats().Calls-before)/float64(b.N), "ipc-roundtrips/op")
+	}
+
+	// Immutable info served from the object DB: zero round trips once warm.
+	b.Run("info-cached", func(b *testing.B) {
+		c, _, _, _ := benchProxyApp(b, core.Options{})
+		before := c.Proxy().Client.Stats().Calls
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.GetPlatformIDs(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		roundTrips(b, c, before)
+	})
+
+	// A query CheCL cannot cache: the one-round-trip-per-call baseline.
+	b.Run("info-forwarded", func(b *testing.B) {
+		c, _, _, mems := benchProxyApp(b, core.Options{})
+		before := c.Proxy().Client.Stats().Calls
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.GetMemObjectInfo(mems[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		roundTrips(b, c, before)
+	})
+
+	// The enqueue loop every compute app runs: 3 launches + clFinish.
+	launchLoop := func(b *testing.B, opts core.Options) {
+		c, q, k, _ := benchProxyApp(b, opts)
+		before := c.Proxy().Client.Stats().Calls
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 3; j++ {
+				if _, err := c.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{256}, [3]int{64}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Finish(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		roundTrips(b, c, before)
+	}
+	b.Run("launch-unbatched", func(b *testing.B) { launchLoop(b, core.Options{}) })
+	b.Run("launch-batched", func(b *testing.B) { launchLoop(b, core.Options{BatchEnqueues: true}) })
+
+	// 1 MB buffer traffic over the zero-copy raw frames.
+	bigBuffer := func(b *testing.B, c *core.CheCL, sample ocl.Mem) ocl.Mem {
+		b.Helper()
+		info, err := c.GetMemObjectInfo(sample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		big, err := c.CreateBuffer(info.Context, ocl.MemReadWrite, 1<<20, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return big
+	}
+	b.Run("write-1MB-raw", func(b *testing.B) {
+		c, q, _, mems := benchProxyApp(b, core.Options{})
+		big := bigBuffer(b, c, mems[0])
+		data := make([]byte, 1<<20)
+		b.SetBytes(1 << 20)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.EnqueueWriteBuffer(q, big, true, 0, data, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-1MB-raw", func(b *testing.B) {
+		c, q, _, mems := benchProxyApp(b, core.Options{})
+		big := bigBuffer(b, c, mems[0])
+		if _, err := c.EnqueueWriteBuffer(q, big, true, 0, make([]byte, 1<<20), nil); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(1 << 20)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.EnqueueReadBuffer(q, big, true, 0, 1<<20, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkInterpreterThroughput measures the OpenCL C interpreter on the

@@ -1,0 +1,313 @@
+package core
+
+// Async enqueue batching: the app→proxy hot path pipelined. With
+// Options.BatchEnqueues, fire-and-forget calls — clSetKernelArg, the
+// clEnqueue* family, clFlush/clFinish — do not pay a synchronous IPC
+// round trip each. They are recorded as pending commands and coalesced
+// into one clEnqueueBatch frame, flushed at the next synchronisation
+// point: clFinish, any read (its data must come back), clWaitForEvents,
+// a blocking write, an object release, or a checkpoint drain.
+//
+// OpenCL's error-reporting semantics survive batching the same way they
+// survive a real out-of-order device: an enqueue may return CL_SUCCESS
+// and fail later; the failure then surfaces at a synchronisation point.
+// Here a failing batched command surfaces at the flush as a *BatchError
+// naming the originating entry point and its position in the batch.
+// Commands after the failure were never executed; their events stay
+// unbound (real handle zero) and are skipped by wait-list translation.
+//
+// The PR-2 crash machinery keeps working per batch: clEnqueueBatch is a
+// sequenced (non-idempotent) call, so a connection crash mid-flush
+// either retries the whole frame (answered from the server's dedupe
+// cache if the first delivery executed) or fails over, rebinds every
+// object, and re-runs the translation closure against the fresh real
+// handles. Pending commands hold record pointers, never raw handles, so
+// a post-failover retry re-reads the rebound handles naturally.
+
+import (
+	"fmt"
+
+	"checl/internal/ocl"
+	"checl/internal/proxy"
+)
+
+// Batch growth caps: a batch that hits either bound is flushed before
+// the next command is deferred, so one flush frame stays bounded.
+const (
+	maxBatchCmds  = 256
+	maxBatchBytes = 8 << 20
+)
+
+// pendingCmd is one deferred command. It references database records by
+// pointer — real handles are read only inside the flush closure, so a
+// failover rebind between defer and flush is transparent.
+type pendingCmd struct {
+	op     proxy.BatchOp
+	method string // OpenCL entry point, for deferred-error attribution
+
+	q    *queueRec
+	k    *kernelRec
+	prog *programRec
+	mem  *memRec
+	src  *memRec
+	dst  *memRec
+
+	argIndex int    // SetArg
+	argSize  int64  // SetArg
+	argRaw   []byte // SetArg: bytes as the app passed them (CheCL space)
+
+	blocking               bool
+	offset, srcOff, dstOff int64
+	size                   int64
+	data                   []byte // write payload (private copy)
+
+	dims                int
+	goff, global, local [3]int
+
+	waits []Handle  // CheCL event handles, validated at defer time
+	ev    *eventRec // pre-minted result event; nil for ops without one
+
+	shadowInto *memRec // ShadowFull readback: copy the read data here
+	termRead   bool    // the application's own read; its data is returned
+}
+
+// BatchError is the deferred error of a batched command, delivered at
+// the flush (the next synchronisation point after the failing call).
+type BatchError struct {
+	Method string // entry point of the failing call, e.g. "clEnqueueWriteBuffer"
+	Index  int    // position within the flushed batch
+	Err    error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("checl: deferred %s (batched command %d): %v", e.Method, e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// batching reports whether enqueue batching is active.
+func (c *CheCL) batching() bool { return c.opts.BatchEnqueues }
+
+// PendingBatch reports how many commands are currently deferred
+// (diagnostics and tests).
+func (c *CheCL) PendingBatch() int { return len(c.batch) }
+
+// Drain flushes every deferred command, delivering any pending deferred
+// error. It is the explicit synchronisation point tools and tests use
+// before inspecting proxy-side state directly.
+func (c *CheCL) Drain() error { return c.flushBatch() }
+
+// pendingEvent mints the CheCL event a deferred command will complete.
+// Its real handle stays zero until the flush binds it.
+func (c *CheCL) pendingEvent(q Handle, kind string) *eventRec {
+	rec := &eventRec{H: c.db.newHandle(hEvent), Seq: c.db.seq, Queue: q, Kind: kind, Refs: 1}
+	c.db.events[rec.H] = rec
+	return rec
+}
+
+// waitHandles validates a wait list eagerly (invalid handles must fail
+// at the call, not at the flush) and pins the CheCL handles.
+func (c *CheCL) waitHandles(waits []ocl.Event) ([]Handle, error) {
+	if len(waits) == 0 {
+		return nil, nil
+	}
+	out := make([]Handle, len(waits))
+	for i, w := range waits {
+		rec, err := c.db.event(Handle(w))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec.H
+	}
+	return out, nil
+}
+
+// deferCmd appends one command to the batch, flushing first if adding
+// it would exceed the size caps. A deferred error from that capacity
+// flush surfaces here, attributed via *BatchError to the call that
+// originally failed.
+func (c *CheCL) deferCmd(pc *pendingCmd) error {
+	if len(c.batch) >= maxBatchCmds || c.batchBytes+int64(len(pc.data)) > maxBatchBytes {
+		if err := c.flushBatch(); err != nil {
+			return err
+		}
+	}
+	c.batch = append(c.batch, pc)
+	c.batchBytes += int64(len(pc.data))
+	return nil
+}
+
+// flushBatch ships the deferred commands; any terminal read data is
+// discarded (used by sync points that are not themselves reads).
+func (c *CheCL) flushBatch() error {
+	_, err := c.flushBatchData()
+	return err
+}
+
+// flushBatchData ships every deferred command as one clEnqueueBatch
+// call and distributes the results: pre-minted events are bound to the
+// real events the server returned, ShadowFull readbacks are copied into
+// their shadows, and the terminal read's data (if the flush point is a
+// read) is returned. A failing batched command comes back as a
+// *BatchError; the commands after it were not executed and their events
+// stay unbound.
+func (c *CheCL) flushBatchData() ([]byte, error) {
+	if len(c.batch) == 0 {
+		return nil, nil
+	}
+	// Consume the batch up front: a flush is a one-shot delivery, and a
+	// re-entrant flush (checkpoint triggered at the sync point) must see
+	// an empty batch.
+	cmds := c.batch
+	c.batch = nil
+	c.batchBytes = 0
+
+	// The write payload frame is position-independent: build it once.
+	var payload []byte
+	offs := make([]int64, len(cmds))
+	for i, pc := range cmds {
+		if pc.op == proxy.BatchWrite {
+			offs[i] = int64(len(payload))
+			payload = append(payload, pc.data...)
+		}
+	}
+
+	// In-batch event dependencies resolve by command index, taking
+	// precedence over any real handle a failover rebind minted meanwhile.
+	idxOf := make(map[*eventRec]int, len(cmds))
+	for i, pc := range cmds {
+		if pc.ev != nil {
+			idxOf[pc.ev] = i
+		}
+	}
+
+	var (
+		resp proxy.EnqueueBatchResp
+		raw  []byte
+	)
+	err := c.forward("clEnqueueBatch", func(api *proxy.Client) error {
+		// Translation happens inside the retry closure: after a failover
+		// the records carry fresh real handles, and the whole batch
+		// re-translates and re-ships as one atomic unit.
+		bcmds := make([]proxy.BatchCmd, len(cmds))
+		for i, pc := range cmds {
+			bc := proxy.BatchCmd{Op: pc.op}
+			for _, wh := range pc.waits {
+				rec, err := c.db.event(wh)
+				if err != nil {
+					return err
+				}
+				if j, ok := idxOf[rec]; ok {
+					bc.WaitIdx = append(bc.WaitIdx, j)
+					continue
+				}
+				if rec.real == 0 {
+					// A previously failed batched command: nothing to wait on.
+					continue
+				}
+				bc.Waits = append(bc.Waits, rec.real)
+			}
+			switch pc.op {
+			case proxy.BatchSetArg:
+				fwd, _, err := c.translateArg(pc.prog, pc.k.Name, pc.argIndex, pc.argSize, pc.argRaw)
+				if err != nil {
+					return err
+				}
+				bc.Kernel = pc.k.real
+				bc.Index = pc.argIndex
+				bc.ArgSize = pc.argSize
+				bc.Value = fwd
+			case proxy.BatchWrite:
+				bc.Queue = pc.q.real
+				bc.Mem = pc.mem.real
+				bc.Blocking = pc.blocking
+				bc.Offset = pc.offset
+				bc.PayloadOff = offs[i]
+				bc.PayloadLen = int64(len(pc.data))
+			case proxy.BatchRead:
+				bc.Queue = pc.q.real
+				bc.Mem = pc.mem.real
+				bc.Blocking = true
+				bc.Offset = pc.offset
+				bc.Size = pc.size
+			case proxy.BatchCopy:
+				bc.Queue = pc.q.real
+				bc.Src = pc.src.real
+				bc.Dst = pc.dst.real
+				bc.SrcOff = pc.srcOff
+				bc.DstOff = pc.dstOff
+				bc.Size = pc.size
+			case proxy.BatchNDRange:
+				bc.Queue = pc.q.real
+				bc.Kernel = pc.k.real
+				bc.Dims = pc.dims
+				bc.GOff = pc.goff
+				bc.Global = pc.global
+				bc.Local = pc.local
+			default: // marker, barrier, flush, finish
+				bc.Queue = pc.q.real
+			}
+			bcmds[i] = bc
+		}
+		var e error
+		resp, raw, e = api.EnqueueBatch(bcmds, payload)
+		return e
+	})
+	if err != nil {
+		// Transport-level failure after exhausted recovery: nothing
+		// executed that we can observe. The pre-minted events stay
+		// unbound so wait-list translation skips them.
+		for _, pc := range cmds {
+			if pc.ev != nil {
+				pc.ev.Dummy = true
+			}
+		}
+		return nil, err
+	}
+
+	var (
+		rawOff   int
+		termData []byte
+	)
+	for i, pc := range cmds {
+		if resp.ErrIdx >= 0 && i >= resp.ErrIdx {
+			// The failing command and everything after it never ran.
+			if pc.ev != nil {
+				pc.ev.Dummy = true
+			}
+			continue
+		}
+		if pc.ev != nil && i < len(resp.Events) {
+			pc.ev.real = resp.Events[i]
+			pc.ev.Dummy = false
+		}
+		if pc.op == proxy.BatchRead && i < len(resp.ReadLens) {
+			n := int(resp.ReadLens[i])
+			if rawOff+n > len(raw) {
+				n = len(raw) - rawOff
+			}
+			chunk := raw[rawOff : rawOff+n]
+			rawOff += n
+			if pc.shadowInto != nil {
+				// The raw frame is shared by every read of the batch:
+				// shadows take a copy, never a view.
+				copy(shadow(pc.shadowInto), chunk)
+			}
+			if pc.termRead {
+				termData = chunk
+			}
+		}
+	}
+	if resp.ErrIdx >= 0 && resp.ErrIdx < len(cmds) {
+		op := resp.ErrOp
+		if op == "" {
+			op = cmds[resp.ErrIdx].method
+		}
+		return termData, &BatchError{
+			Method: cmds[resp.ErrIdx].method,
+			Index:  resp.ErrIdx,
+			Err:    ocl.Errf(op, ocl.Status(resp.ErrStatus), "%s", resp.ErrDetail),
+		}
+	}
+	return termData, nil
+}

@@ -84,9 +84,13 @@ func (c *CheCL) CheckpointToStore(st *store.Store, job string) (CheckpointStats,
 func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)) error {
 	clock := c.app.Clock()
 
-	// Phase 1: synchronisation. The host waits for every enqueued command
-	// on every queue to complete.
+	// Phase 1: synchronisation. Deferred batched commands must reach the
+	// proxy before the queues drain, and any deferred error fails the
+	// checkpoint here, before an incomplete state could be dumped.
 	sw := vtime.NewStopwatch(clock)
+	if err := c.flushBatch(); err != nil {
+		return fmt.Errorf("checl: checkpoint drain: %w", err)
+	}
 	for _, q := range c.db.orderedQueues() {
 		qrec := q
 		if err := c.forward("clFinish", func(api *proxy.Client) error {
@@ -290,6 +294,9 @@ func rebuild(node *proc.Node, app *proc.Process, what string, opts Options, stat
 // in the dependency order of §III-C, and rebinds the real handles hidden
 // behind the (unchanged) CheCL handles.
 func (c *CheCL) rebindAll() (RestartStats, error) {
+	// Every cached info answer described the old binding's hardware.
+	c.db.invalidateCaches()
+
 	stats := RestartStats{PerClass: map[string]vtime.Duration{}}
 	clock := c.app.Clock()
 	api := c.px.Client

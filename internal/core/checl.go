@@ -74,6 +74,13 @@ type Options struct {
 	// Retry bounds the proxy client's reconnect-and-retry loop; zero
 	// fields fall back to proxy.DefaultRetryPolicy.
 	Retry proxy.RetryPolicy
+	// BatchEnqueues pipelines the hot path: clSetKernelArg and the
+	// fire-and-forget clEnqueue* calls are coalesced into one IPC frame,
+	// flushed at the next synchronisation point (clFinish, any read,
+	// clWaitForEvents, a blocking write, an object release, a checkpoint
+	// drain). A batched command's error is delivered at the flush as a
+	// *BatchError attributing the originating call.
+	BatchEnqueues bool
 }
 
 // CheCL is one attached instance of the tool: it implements ocl.API for
@@ -88,6 +95,11 @@ type CheCL struct {
 	inFailover bool // a failover rebind is running; don't recurse
 	fstats     FailoverStats
 	lastCkpt   *CheckpointStats
+
+	// Deferred commands awaiting the next synchronisation-point flush
+	// (Options.BatchEnqueues).
+	batch      []*pendingCmd
+	batchBytes int64
 }
 
 var _ ocl.API = (*CheCL)(nil)
@@ -142,6 +154,20 @@ func (c *CheCL) LastCheckpoint() *CheckpointStats { return c.lastCkpt }
 // ObjectCounts reports live CheCL objects per class.
 func (c *CheCL) ObjectCounts() map[string]int { return c.db.Counts() }
 
+// CacheStats describes the immutable-info caches: how many round trips
+// they have absorbed and how many times they have been invalidated by a
+// rebind (restart, failover, destructive checkpoint, processor
+// re-selection).
+type CacheStats struct {
+	Gen  uint64 // invalidation generation
+	Hits uint64 // round trips served from the object database
+}
+
+// CacheStats reports the info-cache counters.
+func (c *CheCL) CacheStats() CacheStats {
+	return CacheStats{Gen: c.db.cacheGen, Hits: c.db.cacheHits}
+}
+
 // Detach kills the API proxy. The application process survives.
 func (c *CheCL) Detach() { c.px.Kill() }
 
@@ -192,8 +218,15 @@ func (c *CheCL) triggerCheckpoint() {
 // ---- platform & device wrappers ----
 
 // GetPlatformIDs wraps clGetPlatformIDs, returning CheCL platform handles.
+// The platform list is immutable for the life of a binding, so repeat
+// calls are answered from the object database without a round trip; a
+// restart or failover rebind invalidates the cache.
 func (c *CheCL) GetPlatformIDs() ([]ocl.PlatformID, error) {
 	c.enterCall()
+	if c.db.platformList != nil {
+		c.db.cacheHits++
+		return append([]ocl.PlatformID(nil), c.db.platformList...), nil
+	}
 	var out []ocl.PlatformID
 	err := c.forward("clGetPlatformIDs", func(api *proxy.Client) error {
 		real, err := api.GetPlatformIDs()
@@ -218,6 +251,7 @@ func (c *CheCL) GetPlatformIDs() ([]ocl.PlatformID, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.db.platformList = append([]ocl.PlatformID(nil), out...)
 	return out, nil
 }
 
@@ -230,28 +264,33 @@ func (c *CheCL) findPlatformByReal(rp ocl.PlatformID) *platformRec {
 	return nil
 }
 
-// GetPlatformInfo wraps clGetPlatformInfo.
+// GetPlatformInfo wraps clGetPlatformInfo. The info was captured when
+// the platform was discovered and is refreshed by every rebind, so it
+// is served from the object database without a round trip.
 func (c *CheCL) GetPlatformInfo(p ocl.PlatformID) (ocl.PlatformInfo, error) {
 	c.enterCall()
 	rec, err := c.db.platform(Handle(p))
 	if err != nil {
 		return ocl.PlatformInfo{}, err
 	}
-	var info ocl.PlatformInfo
-	err = c.forward("clGetPlatformInfo", func(api *proxy.Client) error {
-		var e error
-		info, e = api.GetPlatformInfo(rec.real)
-		return e
-	})
-	return info, err
+	c.db.cacheHits++
+	return rec.Info, nil
 }
 
 // GetDeviceIDs wraps clGetDeviceIDs, returning CheCL device handles.
+// The per-(platform, mask) result is cached: the node's device set is
+// immutable for the life of a binding, and a restart or failover rebind
+// — which may land on different hardware — invalidates the cache.
 func (c *CheCL) GetDeviceIDs(p ocl.PlatformID, mask ocl.DeviceTypeMask) ([]ocl.DeviceID, error) {
 	c.enterCall()
 	prec, err := c.db.platform(Handle(p))
 	if err != nil {
 		return nil, err
+	}
+	key := deviceListKey{platform: prec.H, mask: mask}
+	if cached, ok := c.db.deviceLists[key]; ok {
+		c.db.cacheHits++
+		return append([]ocl.DeviceID(nil), cached...), nil
 	}
 	var out []ocl.DeviceID
 	err = c.forward("clGetDeviceIDs", func(api *proxy.Client) error {
@@ -277,6 +316,10 @@ func (c *CheCL) GetDeviceIDs(p ocl.PlatformID, mask ocl.DeviceTypeMask) ([]ocl.D
 	if err != nil {
 		return nil, err
 	}
+	if c.db.deviceLists == nil {
+		c.db.deviceLists = map[deviceListKey][]ocl.DeviceID{}
+	}
+	c.db.deviceLists[key] = append([]ocl.DeviceID(nil), out...)
 	return out, nil
 }
 
@@ -289,20 +332,17 @@ func (c *CheCL) findDeviceByReal(rd ocl.DeviceID) *deviceRec {
 	return nil
 }
 
-// GetDeviceInfo wraps clGetDeviceInfo.
+// GetDeviceInfo wraps clGetDeviceInfo. Like platform info, the device
+// info was captured at discovery and is refreshed by every rebind, so
+// it is served from the object database without a round trip.
 func (c *CheCL) GetDeviceInfo(d ocl.DeviceID) (ocl.DeviceInfo, error) {
 	c.enterCall()
 	rec, err := c.db.device(Handle(d))
 	if err != nil {
 		return ocl.DeviceInfo{}, err
 	}
-	var info ocl.DeviceInfo
-	err = c.forward("clGetDeviceInfo", func(api *proxy.Client) error {
-		var e error
-		info, e = api.GetDeviceInfo(rec.real)
-		return e
-	})
-	return info, err
+	c.db.cacheHits++
+	return rec.Info, nil
 }
 
 // ---- context wrappers ----
@@ -355,9 +395,13 @@ func (c *CheCL) RetainContext(h ocl.Context) error {
 	return nil
 }
 
-// ReleaseContext wraps clReleaseContext.
+// ReleaseContext wraps clReleaseContext. Releases drain the batch
+// first: a deferred command may reference the object being released.
 func (c *CheCL) ReleaseContext(h ocl.Context) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.context(Handle(h))
 	if err != nil {
 		return err
@@ -420,6 +464,9 @@ func (c *CheCL) RetainCommandQueue(h ocl.CommandQueue) error {
 // ReleaseCommandQueue wraps clReleaseCommandQueue.
 func (c *CheCL) ReleaseCommandQueue(h ocl.CommandQueue) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.queue(Handle(h))
 	if err != nil {
 		return err
@@ -502,6 +549,9 @@ func (c *CheCL) RetainMemObject(h ocl.Mem) error {
 // ReleaseMemObject wraps clReleaseMemObject.
 func (c *CheCL) ReleaseMemObject(h ocl.Mem) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.mem(Handle(h))
 	if err != nil {
 		return err
@@ -563,6 +613,9 @@ func (c *CheCL) RetainSampler(h ocl.Sampler) error {
 // ReleaseSampler wraps clReleaseSampler.
 func (c *CheCL) ReleaseSampler(h ocl.Sampler) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.sampler(Handle(h))
 	if err != nil {
 		return err
@@ -651,6 +704,9 @@ func (c *CheCL) CreateProgramWithBinary(ctx ocl.Context, d ocl.DeviceID, binaryB
 // the Tr input of the migration-cost model.
 func (c *CheCL) BuildProgram(h ocl.Program, options string) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.program(Handle(h))
 	if err != nil {
 		return err
@@ -664,10 +720,19 @@ func (c *CheCL) BuildProgram(h ocl.Program, options string) error {
 	rec.Built = true
 	rec.Options = options
 	rec.BuildCost = sw.Elapsed()
+	// A rebuild can change the build log: drop this program's cached
+	// build-info entries.
+	for k := range c.db.buildInfo {
+		if k.prog == rec.H {
+			delete(c.db.buildInfo, k)
+		}
+	}
 	return nil
 }
 
-// GetProgramBuildInfo wraps clGetProgramBuildInfo.
+// GetProgramBuildInfo wraps clGetProgramBuildInfo. The result is cached
+// per (program, device): it only changes on a rebuild (which drops the
+// entry) or a rebind (which invalidates every cache).
 func (c *CheCL) GetProgramBuildInfo(h ocl.Program, d ocl.DeviceID) (ocl.BuildInfo, error) {
 	c.enterCall()
 	rec, err := c.db.program(Handle(h))
@@ -678,12 +743,23 @@ func (c *CheCL) GetProgramBuildInfo(h ocl.Program, d ocl.DeviceID) (ocl.BuildInf
 	if err != nil {
 		return ocl.BuildInfo{}, err
 	}
+	key := buildInfoKey{prog: rec.H, dev: drec.H}
+	if info, ok := c.db.buildInfo[key]; ok {
+		c.db.cacheHits++
+		return info, nil
+	}
 	var info ocl.BuildInfo
 	err = c.forward("clGetProgramBuildInfo", func(api *proxy.Client) error {
 		var e error
 		info, e = api.GetProgramBuildInfo(rec.real, drec.real)
 		return e
 	})
+	if err == nil {
+		if c.db.buildInfo == nil {
+			c.db.buildInfo = map[buildInfoKey]ocl.BuildInfo{}
+		}
+		c.db.buildInfo[key] = info
+	}
 	return info, err
 }
 
@@ -722,6 +798,9 @@ func (c *CheCL) RetainProgram(h ocl.Program) error {
 // ReleaseProgram wraps clReleaseProgram.
 func (c *CheCL) ReleaseProgram(h ocl.Program) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.program(Handle(h))
 	if err != nil {
 		return err
@@ -791,6 +870,9 @@ func (c *CheCL) RetainKernel(h ocl.Kernel) error {
 // ReleaseKernel wraps clReleaseKernel.
 func (c *CheCL) ReleaseKernel(h ocl.Kernel) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.kernel(Handle(h))
 	if err != nil {
 		return err
@@ -825,6 +907,23 @@ func (c *CheCL) SetKernelArg(h ocl.Kernel, index int, size int64, value []byte) 
 	_, local, err := c.translateArg(prec, rec.Name, index, size, value)
 	if err != nil {
 		return err
+	}
+	if c.batching() {
+		// The arg set must keep its order relative to deferred launches,
+		// so it rides the batch. It was validated above; a runtime-side
+		// failure surfaces at the flush.
+		raw := append([]byte(nil), value...)
+		if err := c.deferCmd(&pendingCmd{
+			op: proxy.BatchSetArg, method: "clSetKernelArg",
+			k: rec, prog: prec, argIndex: index, argSize: size, argRaw: raw,
+		}); err != nil {
+			return err
+		}
+		for index >= len(rec.Args) {
+			rec.Args = append(rec.Args, argRec{})
+		}
+		rec.Args[index] = argRec{Set: true, Size: size, Raw: raw, Local: local}
+		return nil
 	}
 	// translateArg runs inside the closure so a retry after failover picks
 	// up the rebound real handles of any mem/sampler argument.
@@ -901,18 +1000,27 @@ func (c *CheCL) translateArg(prec *programRec, kernel string, index int, size in
 
 // ---- enqueue wrappers ----
 
-// translateWaits converts a CheCL event wait list to real events.
+// translateWaits converts a CheCL event wait list to real events. An
+// event with no real handle — a batched command that never executed
+// because its batch failed earlier — is skipped: its deferred error was
+// already delivered and there is nothing to wait on.
 func (c *CheCL) translateWaits(waits []ocl.Event) ([]ocl.Event, error) {
 	if len(waits) == 0 {
 		return nil, nil
 	}
-	out := make([]ocl.Event, len(waits))
-	for i, w := range waits {
+	out := make([]ocl.Event, 0, len(waits))
+	for _, w := range waits {
 		rec, err := c.db.event(Handle(w))
 		if err != nil {
 			return nil, err
 		}
-		out[i] = rec.real
+		if rec.real == 0 {
+			continue
+		}
+		out = append(out, rec.real)
+	}
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }
@@ -934,6 +1042,29 @@ func (c *CheCL) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool,
 	mrec, err := c.db.mem(Handle(m))
 	if err != nil {
 		return 0, err
+	}
+	if c.batching() {
+		ws, err := c.waitHandles(waits)
+		if err != nil {
+			return 0, err
+		}
+		mrec.Dirty = true
+		c.shadowWrite(mrec, offset, data)
+		ev := c.pendingEvent(qrec.H, "write")
+		if err := c.deferCmd(&pendingCmd{
+			op: proxy.BatchWrite, method: "clEnqueueWriteBuffer",
+			q: qrec, mem: mrec, blocking: blocking, offset: offset,
+			data: append([]byte(nil), data...), waits: ws, ev: ev,
+		}); err != nil {
+			return 0, err
+		}
+		if blocking {
+			if err := c.flushBatch(); err != nil {
+				return 0, err
+			}
+			c.atSyncPoint()
+		}
+		return ocl.Event(ev.H), nil
 	}
 	// The wait list translates inside the closure: after a failover the
 	// rebound events are fresh dummy markers, not the stale real handles.
@@ -968,6 +1099,32 @@ func (c *CheCL) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, 
 	mrec, err := c.db.mem(Handle(m))
 	if err != nil {
 		return nil, 0, err
+	}
+	if c.batching() {
+		// Every read is a flush point — its data must come back now — so
+		// the read rides the batch as its terminal command and the whole
+		// run ships as one frame.
+		ws, err := c.waitHandles(waits)
+		if err != nil {
+			return nil, 0, err
+		}
+		ev := c.pendingEvent(qrec.H, "read")
+		if err := c.deferCmd(&pendingCmd{
+			op: proxy.BatchRead, method: "clEnqueueReadBuffer",
+			q: qrec, mem: mrec, offset: offset, size: size,
+			waits: ws, ev: ev, termRead: true,
+		}); err != nil {
+			return nil, 0, err
+		}
+		data, err := c.flushBatchData()
+		if err != nil {
+			return nil, 0, err
+		}
+		c.shadowWrite(mrec, offset, data)
+		if blocking {
+			c.atSyncPoint()
+		}
+		return data, ocl.Event(ev.H), nil
 	}
 	var (
 		data []byte
@@ -1008,6 +1165,23 @@ func (c *CheCL) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, 
 	if err != nil {
 		return 0, err
 	}
+	if c.batching() {
+		ws, err := c.waitHandles(waits)
+		if err != nil {
+			return 0, err
+		}
+		drec.Dirty = true
+		c.shadowCopy(srec, drec, srcOff, dstOff, size)
+		ev := c.pendingEvent(qrec.H, "copy")
+		if err := c.deferCmd(&pendingCmd{
+			op: proxy.BatchCopy, method: "clEnqueueCopyBuffer",
+			q: qrec, src: srec, dst: drec, srcOff: srcOff, dstOff: dstOff, size: size,
+			waits: ws, ev: ev,
+		}); err != nil {
+			return 0, err
+		}
+		return ocl.Event(ev.H), nil
+	}
 	var real ocl.Event
 	err = c.forward("clEnqueueCopyBuffer", func(api *proxy.Client) error {
 		rw, e := c.translateWaits(waits)
@@ -1046,6 +1220,52 @@ func (c *CheCL) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int,
 	}
 	boundMems := c.boundMems(prec, krec)
 	written := c.writtenMems(prec, krec, boundMems)
+
+	if c.batching() {
+		usesHostPtr := false
+		for _, mrec := range boundMems {
+			if mrec.UseHostPtr && mrec.hostPtr != nil {
+				usesHostPtr = true
+				break
+			}
+		}
+		if !usesHostPtr {
+			ws, err := c.waitHandles(waits)
+			if err != nil {
+				return 0, err
+			}
+			ev := c.pendingEvent(qrec.H, "ndrange:"+krec.Name)
+			if err := c.deferCmd(&pendingCmd{
+				op: proxy.BatchNDRange, method: "clEnqueueNDRangeKernel",
+				q: qrec, k: krec, prog: prec,
+				dims: dims, goff: offset, global: global, local: local,
+				waits: ws, ev: ev,
+			}); err != nil {
+				return 0, err
+			}
+			if c.opts.Shadow == ShadowFull {
+				// The per-launch readbacks ride the same batch; their data
+				// is copied into the shadows at the flush.
+				for _, m := range written {
+					if err := c.deferCmd(&pendingCmd{
+						op: proxy.BatchRead, method: "clEnqueueReadBuffer",
+						q: qrec, mem: m, size: m.Size, shadowInto: m,
+					}); err != nil {
+						return 0, err
+					}
+				}
+			}
+			for _, mrec := range written {
+				mrec.Dirty = true
+			}
+			return ocl.Event(ev.H), nil
+		}
+		// USE_HOST_PTR launches need the synchronous §III-D cache
+		// protocol; the batch must land first to preserve queue order.
+		if err := c.flushBatch(); err != nil {
+			return 0, err
+		}
+	}
 
 	// The whole launch interaction — wait-list translation, USE_HOST_PTR
 	// push, the launch itself, the ShadowFull readback, and the
@@ -1143,6 +1363,13 @@ func (c *CheCL) EnqueueMarker(q ocl.CommandQueue) (ocl.Event, error) {
 	if err != nil {
 		return 0, err
 	}
+	if c.batching() {
+		ev := c.pendingEvent(qrec.H, "marker")
+		if err := c.deferCmd(&pendingCmd{op: proxy.BatchMarker, method: "clEnqueueMarker", q: qrec, ev: ev}); err != nil {
+			return 0, err
+		}
+		return ocl.Event(ev.H), nil
+	}
 	var real ocl.Event
 	err = c.forward("clEnqueueMarker", func(api *proxy.Client) error {
 		var e error
@@ -1162,6 +1389,9 @@ func (c *CheCL) EnqueueBarrier(q ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
+	if c.batching() {
+		return c.deferCmd(&pendingCmd{op: proxy.BatchBarrier, method: "clEnqueueBarrier", q: qrec})
+	}
 	return c.forward("clEnqueueBarrier", func(api *proxy.Client) error {
 		return api.EnqueueBarrier(qrec.real)
 	})
@@ -1173,6 +1403,14 @@ func (c *CheCL) Flush(q ocl.CommandQueue) error {
 	qrec, err := c.db.queue(Handle(q))
 	if err != nil {
 		return err
+	}
+	if c.batching() {
+		// clFlush promises the queued commands will run: the deferred
+		// commands (this flush included) ship now, as one frame.
+		if err := c.deferCmd(&pendingCmd{op: proxy.BatchFlush, method: "clFlush", q: qrec}); err != nil {
+			return err
+		}
+		return c.flushBatch()
 	}
 	return c.forward("clFlush", func(api *proxy.Client) error {
 		return api.Flush(qrec.real)
@@ -1187,6 +1425,18 @@ func (c *CheCL) Finish(q ocl.CommandQueue) error {
 	if err != nil {
 		return err
 	}
+	if c.batching() {
+		// The finish itself rides the batch, so a quiet Finish after a
+		// run of deferred enqueues costs exactly one round trip.
+		if err := c.deferCmd(&pendingCmd{op: proxy.BatchFinish, method: "clFinish", q: qrec}); err != nil {
+			return err
+		}
+		if err := c.flushBatch(); err != nil {
+			return err
+		}
+		c.atSyncPoint()
+		return nil
+	}
 	if err := c.forward("clFinish", func(api *proxy.Client) error {
 		return api.Finish(qrec.real)
 	}); err != nil {
@@ -1200,6 +1450,11 @@ func (c *CheCL) Finish(q ocl.CommandQueue) error {
 // delayed checkpointing.
 func (c *CheCL) WaitForEvents(events []ocl.Event) error {
 	c.enterCall()
+	// An event wait is a synchronisation point: deferred commands (which
+	// may include the waited-on ones) must reach the proxy first.
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	if err := c.forward("clWaitForEvents", func(api *proxy.Client) error {
 		rw, e := c.translateWaits(events)
 		if e != nil {
@@ -1216,6 +1471,10 @@ func (c *CheCL) WaitForEvents(events []ocl.Event) error {
 // GetEventProfile wraps clGetEventProfilingInfo.
 func (c *CheCL) GetEventProfile(e ocl.Event) (ocl.EventProfile, error) {
 	c.enterCall()
+	// The event may still be pending in the batch; land it first.
+	if err := c.flushBatch(); err != nil {
+		return ocl.EventProfile{}, err
+	}
 	rec, err := c.db.event(Handle(e))
 	if err != nil {
 		return ocl.EventProfile{}, err
@@ -1232,6 +1491,9 @@ func (c *CheCL) GetEventProfile(e ocl.Event) (ocl.EventProfile, error) {
 // RetainEvent wraps clRetainEvent.
 func (c *CheCL) RetainEvent(e ocl.Event) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.event(Handle(e))
 	if err != nil {
 		return err
@@ -1248,6 +1510,9 @@ func (c *CheCL) RetainEvent(e ocl.Event) error {
 // ReleaseEvent wraps clReleaseEvent.
 func (c *CheCL) ReleaseEvent(e ocl.Event) error {
 	c.enterCall()
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	rec, err := c.db.event(Handle(e))
 	if err != nil {
 		return err

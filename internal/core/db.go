@@ -89,6 +89,39 @@ type database struct {
 	programs  map[Handle]*programRec
 	kernels   map[Handle]*kernelRec
 	events    map[Handle]*eventRec
+
+	// Immutable-info caches: answers to queries that cannot change while
+	// the current real-handle binding lives. They are transient by
+	// construction (unexported, so never serialised into a checkpoint)
+	// and invalidateCaches drops them whenever the binding changes — a
+	// restart, a failover rebind, a destructive checkpoint, a processor
+	// re-selection — so a stale answer from dead hardware is never served.
+	platformList []ocl.PlatformID
+	deviceLists  map[deviceListKey][]ocl.DeviceID
+	buildInfo    map[buildInfoKey]ocl.BuildInfo
+	wgInfo       map[wgInfoKey]ocl.KernelWorkGroupInfo
+	cacheGen     uint64 // bumped by every invalidation
+	cacheHits    uint64 // round trips avoided
+}
+
+type deviceListKey struct {
+	platform Handle
+	mask     ocl.DeviceTypeMask
+}
+
+type buildInfoKey struct{ prog, dev Handle }
+
+type wgInfoKey struct{ kernel, dev Handle }
+
+// invalidateCaches drops every immutable-info cache. Called whenever
+// real handles are rebound: the cached answers described the old
+// binding's hardware.
+func (db *database) invalidateCaches() {
+	db.platformList = nil
+	db.deviceLists = nil
+	db.buildInfo = nil
+	db.wgInfo = nil
+	db.cacheGen++
 }
 
 func newDatabase() *database {

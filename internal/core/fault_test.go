@@ -157,6 +157,11 @@ func TestFailoverCheckpointAfterCrash(t *testing.T) {
 // its contents, keyed by the stable CheCL handle.
 func memDigests(t *testing.T, c *CheCL) map[Handle]string {
 	t.Helper()
+	// The reads below go straight to the proxy client, bypassing the batch
+	// queue — flush any deferred enqueues first so they are visible.
+	if err := c.Drain(); err != nil {
+		t.Fatalf("draining batch before digest: %v", err)
+	}
 	if c.opts.Fault != nil {
 		c.opts.Fault.Suspend()
 		defer c.opts.Fault.Resume()
@@ -180,11 +185,11 @@ func memDigests(t *testing.T, c *CheCL) map[Handle]string {
 
 // runAppDigest runs one benchmark app under CheCL (optionally fault
 // injected) and returns the digest of every live buffer.
-func runAppDigest(t *testing.T, a apps.App, scale float64, inj *ipc.FaultInjector) map[Handle]string {
+func runAppDigest(t *testing.T, a apps.App, scale float64, inj *ipc.FaultInjector, batch bool) map[Handle]string {
 	t.Helper()
 	node := newNodeNV("pc0")
 	app := node.Spawn(a.Name)
-	opts := Options{AutoFailover: true, Shadow: ShadowFull, Fault: inj}
+	opts := Options{AutoFailover: true, Shadow: ShadowFull, Fault: inj, BatchEnqueues: batch}
 	c, err := Attach(app, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -199,31 +204,42 @@ func runAppDigest(t *testing.T, a apps.App, scale float64, inj *ipc.FaultInjecto
 
 // TestFaultAppsBitIdentical is the acceptance soak: every benchmark app
 // runs to completion under the seeded kill-every-K plan, and its final
-// buffer contents are bit-identical to a fault-free run.
+// buffer contents are bit-identical to a fault-free run. Both the
+// classic one-call-per-enqueue path and the batched hot path must hold
+// the bit-identical guarantee.
 func TestFaultAppsBitIdentical(t *testing.T) {
 	scale := 0.2
 	everyN := 40
 	if testing.Short() {
 		everyN = 80
 	}
-	for _, a := range apps.All() {
-		a := a
-		t.Run(a.Name, func(t *testing.T) {
-			clean := runAppDigest(t, a, scale, nil)
-			inj := ipc.NewFaultInjector(faultKillPlan(2026, everyN))
-			faulted := runAppDigest(t, a, scale, inj)
-			if len(clean) != len(faulted) {
-				t.Fatalf("object count diverged: clean=%d faulted=%d", len(clean), len(faulted))
-			}
-			for h, want := range clean {
-				if got, ok := faulted[h]; !ok {
-					t.Errorf("buffer %v missing from faulted run", h)
-				} else if got != want {
-					t.Errorf("buffer %v contents diverged: %s vs %s", h, got, want)
-				}
-			}
-			if inj.Injected() == 0 {
-				t.Logf("note: %s made too few calls to trigger the plan", a.Name)
+	for _, batch := range []bool{false, true} {
+		batch := batch
+		name := "unbatched"
+		if batch {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, a := range apps.All() {
+				a := a
+				t.Run(a.Name, func(t *testing.T) {
+					clean := runAppDigest(t, a, scale, nil, batch)
+					inj := ipc.NewFaultInjector(faultKillPlan(2026, everyN))
+					faulted := runAppDigest(t, a, scale, inj, batch)
+					if len(clean) != len(faulted) {
+						t.Fatalf("object count diverged: clean=%d faulted=%d", len(clean), len(faulted))
+					}
+					for h, want := range clean {
+						if got, ok := faulted[h]; !ok {
+							t.Errorf("buffer %v missing from faulted run", h)
+						} else if got != want {
+							t.Errorf("buffer %v contents diverged: %s vs %s", h, got, want)
+						}
+					}
+					if inj.Injected() == 0 {
+						t.Logf("note: %s made too few calls to trigger the plan", a.Name)
+					}
+				})
 			}
 		})
 	}

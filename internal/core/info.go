@@ -107,7 +107,10 @@ func (c *CheCL) GetCommandQueueInfo(h ocl.CommandQueue) (ocl.CommandQueueInfo, e
 	return info, nil
 }
 
-// GetKernelWorkGroupInfo wraps clGetKernelWorkGroupInfo.
+// GetKernelWorkGroupInfo wraps clGetKernelWorkGroupInfo. The answer
+// depends only on the (kernel, device) pair for the life of the current
+// binding, so it is cached; a rebind invalidates the cache because the
+// kernel may land on different hardware.
 func (c *CheCL) GetKernelWorkGroupInfo(h ocl.Kernel, d ocl.DeviceID) (ocl.KernelWorkGroupInfo, error) {
 	c.enterCall()
 	krec, err := c.db.kernel(Handle(h))
@@ -118,11 +121,22 @@ func (c *CheCL) GetKernelWorkGroupInfo(h ocl.Kernel, d ocl.DeviceID) (ocl.Kernel
 	if err != nil {
 		return ocl.KernelWorkGroupInfo{}, err
 	}
+	key := wgInfoKey{kernel: krec.H, dev: drec.H}
+	if info, ok := c.db.wgInfo[key]; ok {
+		c.db.cacheHits++
+		return info, nil
+	}
 	var info ocl.KernelWorkGroupInfo
 	err = c.forward("clGetKernelWorkGroupInfo", func(api *proxy.Client) error {
 		var e error
 		info, e = api.GetKernelWorkGroupInfo(krec.real, drec.real)
 		return e
 	})
+	if err == nil {
+		if c.db.wgInfo == nil {
+			c.db.wgInfo = map[wgInfoKey]ocl.KernelWorkGroupInfo{}
+		}
+		c.db.wgInfo[key] = info
+	}
 	return info, err
 }

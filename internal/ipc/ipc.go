@@ -11,6 +11,15 @@
 // latched down and every further call fails fast with an error matching
 // ErrConnDown, which is what proxy.Client keys its retry/failover on.
 //
+// Bulk payloads (buffer transfers, batched enqueue data) can bypass gob
+// entirely: a call whose request envelope sets Raw is followed — after the
+// gob-encoded request body — by one raw frame carrying the payload bytes
+// verbatim, and a response envelope with Raw announces the same on the way
+// back. Raw frames use the identical 4-byte-length framing, so the fault
+// injector's frame tracker and the byte counter see them like any other
+// frame, but they skip the gob reflection/copy cost that dominates the
+// hot path.
+//
 // The transport counts bytes on the wire so callers can charge the
 // modelled cost of the extra process-to-process copy (the dominant CheCL
 // overhead for transfer-bound programs, §IV-A).
@@ -28,7 +37,7 @@ import (
 	"checl/internal/vtime"
 )
 
-// DefaultMaxFrame bounds a single gob frame (request or response body).
+// DefaultMaxFrame bounds a single frame (gob body or raw payload).
 // The largest legitimate payloads are buffer transfers, well under this.
 const DefaultMaxFrame = 256 << 20
 
@@ -36,6 +45,11 @@ const DefaultMaxFrame = 256 << 20
 // most recent replayWindow sequenced (mutating) calls are kept so a client
 // that lost a response can safely re-send after reconnecting.
 const replayWindow = 512
+
+// replayMaxBytes additionally bounds the raw payload bytes the dedupe
+// cache may pin (batched readbacks can be large); the oldest entries are
+// evicted first, like the count bound.
+const replayMaxBytes = 64 << 20
 
 // Typed transport failures. ErrConnDown is the umbrella the retry layer
 // matches with errors.Is; the frame errors describe why the stream is
@@ -67,18 +81,22 @@ func (e *DownError) Is(target error) bool { return target == ErrConnDown }
 
 // reqEnvelope precedes every request body on the wire. Seq is non-zero
 // for mutating calls: the server remembers the response so a retry after
-// a lost response is answered from cache instead of re-executed.
+// a lost response is answered from cache instead of re-executed. Raw
+// announces that one raw payload frame follows the gob request body.
 type reqEnvelope struct {
 	Method string
 	Seq    uint64
+	Raw    bool
 }
 
 // respEnvelope precedes every response body. A non-empty ErrOp signals a
-// remote error; the body is then omitted.
+// remote error; the body (and any raw frame) is then omitted. Raw
+// announces that one raw payload frame follows the gob response body.
 type respEnvelope struct {
 	ErrOp     string
 	ErrDetail string
 	ErrStatus int32
+	Raw       bool
 }
 
 // RemoteError is an error propagated from the server side of a call.
@@ -93,7 +111,7 @@ func (e *RemoteError) Error() string {
 }
 
 // ErrorCoder lets server handlers attach a numeric status that survives
-// the wire (ocl.Error implements the shape via a shim in internal/proxy).
+// the wire (ocl.Error implements the shape directly).
 type ErrorCoder interface {
 	error
 	ErrorCode() (op string, status int32, detail string)
@@ -170,6 +188,25 @@ func (f *frameWriter) flush() error {
 	return err
 }
 
+// writeRaw emits p verbatim as one length-prefixed frame, bypassing the
+// gob buffer. Unlike flush it always writes a header, even for an empty
+// payload, because the peer was promised exactly one frame.
+func (f *frameWriter) writeRaw(p []byte) error {
+	if len(p) > f.max {
+		return fmt.Errorf("%d-byte raw frame: %w (max %d)", len(p), ErrFrameTooLarge, f.max)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	if _, err := f.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	_, err := f.w.Write(p)
+	return err
+}
+
 // frameReader presents the payloads of consecutive frames as one byte
 // stream, validating each frame header as it goes. A clean peer close at
 // a frame boundary is io.EOF; anywhere else it is ErrTruncatedFrame.
@@ -209,12 +246,96 @@ func (f *frameReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// ReadByte satisfies io.ByteReader so gob.NewDecoder uses the frameReader
+// directly instead of wrapping it in a bufio.Reader. This matters for raw
+// frames: a buffered decoder would read ahead past the gob body and
+// swallow the raw frame that follows it.
+func (f *frameReader) ReadByte() (byte, error) {
+	var b [1]byte
+	for {
+		n, err := f.Read(b[:])
+		if n == 1 {
+			return b[0], nil
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// rawHeader reads the 4-byte header of a raw frame. The stream must sit
+// exactly on a frame boundary — a gob body only partially consumed would
+// mean the protocol got out of step.
+func (f *frameReader) rawHeader() (int, error) {
+	if f.remaining != 0 {
+		return 0, fmt.Errorf("ipc: raw frame read with %d bytes of the previous frame pending", f.remaining)
+	}
+	var hdr [4]byte
+	n, err := io.ReadFull(f.r, hdr[:])
+	if err != nil {
+		if err == io.ErrUnexpectedEOF || (err == io.EOF && n > 0) {
+			return 0, fmt.Errorf("raw frame header cut short: %w", ErrTruncatedFrame)
+		}
+		return 0, err
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	if size > f.max {
+		return 0, fmt.Errorf("%d-byte raw frame: %w (max %d)", size, ErrFrameTooLarge, f.max)
+	}
+	return size, nil
+}
+
+// rawBody fills buf with the raw frame's payload; len(buf) must be the
+// size rawHeader returned.
+func (f *frameReader) rawBody(buf []byte) error {
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("raw frame body cut short: %w", ErrTruncatedFrame)
+		}
+		return err
+	}
+	return nil
+}
+
+// readRaw reads one raw frame into a fresh buffer.
+func (f *frameReader) readRaw() ([]byte, error) {
+	size, err := f.rawHeader()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if err := f.rawBody(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// rawBufPool recycles the server's inbound raw-payload buffers. The
+// handler contract — the payload slice is valid only until the handler
+// returns — is what makes reuse safe; ocl.Runtime copies what it keeps.
+var rawBufPool sync.Pool
+
+func getRawBuf(n int) *[]byte {
+	if v := rawBufPool.Get(); v != nil {
+		bp := v.(*[]byte)
+		if cap(*bp) >= n {
+			*bp = (*bp)[:n]
+			return bp
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+func putRawBuf(bp *[]byte) { rawBufPool.Put(bp) }
+
 // Conn is the client side of an RPC connection. One call is outstanding
 // at a time; Conn is safe for concurrent use.
 type Conn struct {
 	mu      sync.Mutex
 	count   *countingRWC
 	fw      *frameWriter
+	fr      *frameReader
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	faulter CallFaulter
@@ -229,11 +350,13 @@ type Conn struct {
 func NewConn(rwc io.ReadWriteCloser) *Conn {
 	count := &countingRWC{rwc: rwc}
 	fw := &frameWriter{w: count, max: DefaultMaxFrame}
+	fr := &frameReader{r: count, max: DefaultMaxFrame}
 	c := &Conn{
 		count: count,
 		fw:    fw,
+		fr:    fr,
 		enc:   gob.NewEncoder(fw),
-		dec:   gob.NewDecoder(&frameReader{r: count, max: DefaultMaxFrame}),
+		dec:   gob.NewDecoder(fr),
 	}
 	if f, ok := rwc.(CallFaulter); ok {
 		c.faulter = f
@@ -264,7 +387,8 @@ func (c *Conn) SetDeadline(clock *vtime.Clock, timeout vtime.Duration) {
 // resp (which must be a pointer). It returns the number of bytes the call
 // moved across the transport.
 func (c *Conn) Call(method string, req, resp any) (int64, error) {
-	return c.CallSeq(method, 0, req, resp)
+	_, n, err := c.exchange(method, 0, req, nil, false, resp)
+	return n, err
 }
 
 // CallSeq is Call with an explicit dedupe sequence number. Seq 0 means
@@ -272,10 +396,32 @@ func (c *Conn) Call(method string, req, resp any) (int64, error) {
 // call so that re-sending it after a reconnect replays the cached
 // response instead of re-executing the handler.
 func (c *Conn) CallSeq(method string, seq uint64, req, resp any) (int64, error) {
+	_, n, err := c.exchange(method, seq, req, nil, false, resp)
+	return n, err
+}
+
+// CallRecvRaw is CallSeq that additionally returns the raw payload frame
+// the server attached to its response (nil when the response carried
+// none).
+func (c *Conn) CallRecvRaw(method string, seq uint64, req, resp any) ([]byte, int64, error) {
+	return c.exchange(method, seq, req, nil, false, resp)
+}
+
+// CallRawSeq is CallSeq with a raw payload attached to the request: rawReq
+// travels as one verbatim frame after the gob body, skipping gob encoding
+// entirely. If the server's handler attached a raw payload to its
+// response, it is returned as rawResp (nil when the response carried
+// none).
+func (c *Conn) CallRawSeq(method string, seq uint64, req any, rawReq []byte, resp any) (rawResp []byte, n int64, err error) {
+	return c.exchange(method, seq, req, rawReq, true, resp)
+}
+
+// exchange runs one request/response cycle under the connection lock.
+func (c *Conn) exchange(method string, seq uint64, req any, rawReq []byte, hasRaw bool, resp any) ([]byte, int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.downErr != nil {
-		return 0, &DownError{Method: method, Err: c.downErr}
+		return nil, 0, &DownError{Method: method, Err: c.downErr}
 	}
 	var start vtime.Time
 	if c.clock != nil {
@@ -283,33 +429,47 @@ func (c *Conn) CallSeq(method string, seq uint64, req, resp any) (int64, error) 
 	}
 	if c.faulter != nil {
 		if err := c.faulter.CallStarting(); err != nil {
-			return 0, c.fail(method, err)
+			return nil, 0, c.fail(method, err)
 		}
 	}
 	before := c.count.bytes()
-	if err := c.encodeFrame(reqEnvelope{Method: method, Seq: seq}); err != nil {
-		return c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s envelope: %w", method, err))
+	if err := c.encodeFrame(reqEnvelope{Method: method, Seq: seq, Raw: hasRaw}); err != nil {
+		return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s envelope: %w", method, err))
 	}
 	if err := c.encodeFrame(req); err != nil {
-		return c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s request: %w", method, err))
+		return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s request: %w", method, err))
+	}
+	if hasRaw {
+		if err := c.fw.writeRaw(rawReq); err != nil {
+			return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("sending %s payload: %w", method, err))
+		}
 	}
 	var env respEnvelope
 	if err := c.dec.Decode(&env); err != nil {
-		return c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s response envelope: %w", method, err))
+		return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s response envelope: %w", method, err))
 	}
 	var callErr error
+	var rawResp []byte
 	if env.ErrOp != "" {
 		callErr = &RemoteError{Op: env.ErrOp, Detail: env.ErrDetail, Status: env.ErrStatus}
-	} else if err := c.dec.Decode(resp); err != nil {
-		return c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s response: %w", method, err))
+	} else {
+		if err := c.dec.Decode(resp); err != nil {
+			return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s response: %w", method, err))
+		}
+		if env.Raw {
+			var err error
+			if rawResp, err = c.fr.readRaw(); err != nil {
+				return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s payload: %w", method, err))
+			}
+		}
 	}
 	if c.clock != nil && c.timeout > 0 {
 		if elapsed := c.clock.Now().Sub(start); elapsed > c.timeout {
-			return c.count.bytes() - before,
+			return nil, c.count.bytes() - before,
 				c.fail(method, fmt.Errorf("%s exceeded the %s call deadline (took %s)", method, c.timeout, elapsed))
 		}
 	}
-	return c.count.bytes() - before, callErr
+	return rawResp, c.count.bytes() - before, callErr
 }
 
 // encodeFrame writes one gob message as one frame.
@@ -352,6 +512,18 @@ func (c *Conn) Close() error {
 type cachedResp struct {
 	env  respEnvelope
 	resp any
+	raw  []byte
+}
+
+// handlerCtx bundles the per-connection streams a handler works with and
+// the request-envelope fields it was dispatched on.
+type handlerCtx struct {
+	seq    uint64
+	rawReq bool // the request envelope announced a raw payload frame
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	fr     *frameReader
+	fw     *frameWriter
 }
 
 // Server dispatches RPCs to registered handlers. One Server may serve
@@ -360,18 +532,19 @@ type cachedResp struct {
 // cache lives here rather than per connection.
 type Server struct {
 	mu       sync.Mutex
-	handlers map[string]func(seq uint64, dec *gob.Decoder, enc *gob.Encoder, flush func() error) error
+	handlers map[string]func(*handlerCtx) error
 	maxFrame int
 
-	seen     map[uint64]cachedResp
-	seenFIFO []uint64
-	replayed int64
+	seen      map[uint64]cachedResp
+	seenFIFO  []uint64
+	seenBytes int64
+	replayed  int64
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
 	return &Server{
-		handlers: map[string]func(uint64, *gob.Decoder, *gob.Encoder, func() error) error{},
+		handlers: map[string]func(*handlerCtx) error{},
 		maxFrame: DefaultMaxFrame,
 		seen:     map[uint64]cachedResp{},
 	}
@@ -404,8 +577,8 @@ func (s *Server) lookupReplay(seq uint64) (cachedResp, bool) {
 	return r, ok
 }
 
-// storeReplay remembers the response to seq, evicting the oldest entry
-// once the window is full.
+// storeReplay remembers the response to seq, evicting the oldest entries
+// once the window is full by count or by pinned raw-payload bytes.
 func (s *Server) storeReplay(seq uint64, r cachedResp) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -414,53 +587,102 @@ func (s *Server) storeReplay(seq uint64, r cachedResp) {
 	}
 	s.seen[seq] = r
 	s.seenFIFO = append(s.seenFIFO, seq)
-	if len(s.seenFIFO) > replayWindow {
-		delete(s.seen, s.seenFIFO[0])
+	s.seenBytes += int64(len(r.raw))
+	for len(s.seenFIFO) > replayWindow || (s.seenBytes > replayMaxBytes && len(s.seenFIFO) > 1) {
+		old := s.seenFIFO[0]
+		s.seenBytes -= int64(len(s.seen[old].raw))
+		delete(s.seen, old)
 		s.seenFIFO = s.seenFIFO[1:]
 	}
 }
 
-// Register installs a typed handler for method.
+// envFor builds the response envelope carrying a handler's error, if any.
+func envFor(method string, err error) respEnvelope {
+	var env respEnvelope
+	if err == nil {
+		return env
+	}
+	var ec ErrorCoder
+	if errors.As(err, &ec) {
+		env.ErrOp, env.ErrStatus, env.ErrDetail = ec.ErrorCode()
+	} else {
+		env.ErrOp = method
+		env.ErrDetail = err.Error()
+		env.ErrStatus = -9999
+	}
+	return env
+}
+
+// Register installs a typed handler for method. If a request arrives with
+// a raw payload frame the frame is consumed and discarded.
 func Register[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
+	RegisterRaw(s, method, func(req Req, _ []byte) (Resp, []byte, error) {
+		resp, err := fn(req)
+		return resp, nil, err
+	})
+}
+
+// RegisterRaw installs a typed handler that additionally receives the
+// request's raw payload frame (nil when the request carried none) and may
+// attach a raw payload to its response by returning a non-nil rawResp.
+// The payload slice is pooled: it is valid only until fn returns, so fn
+// must copy anything it keeps.
+func RegisterRaw[Req, Resp any](s *Server, method string, fn func(req Req, payload []byte) (Resp, []byte, error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = func(seq uint64, dec *gob.Decoder, enc *gob.Encoder, flush func() error) error {
+	s.handlers[method] = func(ctx *handlerCtx) error {
 		var req Req
-		if err := dec.Decode(&req); err != nil {
+		if err := ctx.dec.Decode(&req); err != nil {
 			return fmt.Errorf("ipc: decoding %s request: %w", method, err)
 		}
-		if seq != 0 {
-			if cached, ok := s.lookupReplay(seq); ok {
-				return writeResp(method, cached, enc, flush)
+		var payload []byte
+		var pooled *[]byte
+		if ctx.rawReq {
+			size, err := ctx.fr.rawHeader()
+			if err != nil {
+				return fmt.Errorf("ipc: reading %s payload header: %w", method, err)
+			}
+			pooled = getRawBuf(size)
+			if err := ctx.fr.rawBody(*pooled); err != nil {
+				putRawBuf(pooled)
+				return fmt.Errorf("ipc: reading %s payload: %w", method, err)
+			}
+			payload = *pooled
+		}
+		// The replay lookup happens only after the raw frame is consumed,
+		// so a replayed request leaves the stream at a frame boundary.
+		if ctx.seq != 0 {
+			if cached, ok := s.lookupReplay(ctx.seq); ok {
+				if pooled != nil {
+					putRawBuf(pooled)
+				}
+				return writeResp(method, cached, ctx.enc, ctx.fw)
 			}
 		}
-		resp, err := fn(req)
-		var env respEnvelope
+		resp, rawResp, err := fn(req, payload)
+		if pooled != nil {
+			putRawBuf(pooled)
+		}
+		env := envFor(method, err)
 		if err != nil {
-			var ec ErrorCoder
-			if errors.As(err, &ec) {
-				env.ErrOp, env.ErrStatus, env.ErrDetail = ec.ErrorCode()
-			} else {
-				env.ErrOp = method
-				env.ErrDetail = err.Error()
-				env.ErrStatus = -9999
-			}
+			rawResp = nil
 		}
-		out := cachedResp{env: env, resp: resp}
-		if seq != 0 {
-			s.storeReplay(seq, out)
+		env.Raw = rawResp != nil
+		out := cachedResp{env: env, resp: resp, raw: rawResp}
+		if ctx.seq != 0 {
+			s.storeReplay(ctx.seq, out)
 		}
-		return writeResp(method, out, enc, flush)
+		return writeResp(method, out, ctx.enc, ctx.fw)
 	}
 }
 
 // writeResp emits the response envelope and, on success, the body — each
-// as its own frame.
-func writeResp(method string, r cachedResp, enc *gob.Encoder, flush func() error) error {
+// as its own frame — followed by the raw payload frame if one is attached.
+func writeResp(method string, r cachedResp, enc *gob.Encoder, fw *frameWriter) error {
 	if err := enc.Encode(r.env); err != nil {
 		return fmt.Errorf("ipc: encoding %s response envelope: %w", method, err)
 	}
-	if err := flush(); err != nil {
+	if err := fw.flush(); err != nil {
 		return fmt.Errorf("ipc: flushing %s response envelope: %w", method, err)
 	}
 	if r.env.ErrOp != "" {
@@ -469,8 +691,13 @@ func writeResp(method string, r cachedResp, enc *gob.Encoder, flush func() error
 	if err := enc.Encode(r.resp); err != nil {
 		return fmt.Errorf("ipc: encoding %s response: %w", method, err)
 	}
-	if err := flush(); err != nil {
+	if err := fw.flush(); err != nil {
 		return fmt.Errorf("ipc: flushing %s response: %w", method, err)
+	}
+	if r.env.Raw {
+		if err := fw.writeRaw(r.raw); err != nil {
+			return fmt.Errorf("ipc: writing %s payload: %w", method, err)
+		}
 	}
 	return nil
 }
@@ -493,7 +720,8 @@ func (s *Server) serveConn(rwc io.ReadWriteCloser) error {
 	max := s.maxFrame
 	s.mu.Unlock()
 	fw := &frameWriter{w: rwc, max: max}
-	dec := gob.NewDecoder(&frameReader{r: rwc, max: max})
+	fr := &frameReader{r: rwc, max: max}
+	dec := gob.NewDecoder(fr)
 	enc := gob.NewEncoder(fw)
 	for {
 		var env reqEnvelope
@@ -512,6 +740,9 @@ func (s *Server) serveConn(rwc io.ReadWriteCloser) error {
 			// struct into an empty one by ignoring its fields.
 			var skel struct{}
 			_ = dec.Decode(&skel)
+			if env.Raw {
+				_, _ = fr.readRaw()
+			}
 			if err := enc.Encode(respEnvelope{ErrOp: env.Method, ErrDetail: "unknown method", ErrStatus: -9998}); err != nil {
 				return err
 			}
@@ -520,7 +751,7 @@ func (s *Server) serveConn(rwc io.ReadWriteCloser) error {
 			}
 			continue
 		}
-		if err := h(env.Seq, dec, enc, fw.flush); err != nil {
+		if err := h(&handlerCtx{seq: env.Seq, rawReq: env.Raw, dec: dec, enc: enc, fr: fr, fw: fw}); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,132 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+type rawReqHdr struct{ N int }
+type rawRespHdr struct{ N int }
+
+// TestRawRequestRoundTrip: a request payload travels as a verbatim frame
+// after the gob body and arrives intact; the response payload comes back
+// the same way.
+func TestRawRequestRoundTrip(t *testing.T) {
+	s := NewServer()
+	RegisterRaw(s, "xor", func(r rawReqHdr, payload []byte) (rawRespHdr, []byte, error) {
+		if len(payload) != r.N {
+			t.Errorf("handler payload = %d bytes, header says %d", len(payload), r.N)
+		}
+		// The inbound payload is pooled — copy before transforming.
+		out := make([]byte, len(payload))
+		for i, b := range payload {
+			out[i] = b ^ 0xFF
+		}
+		return rawRespHdr{N: len(out)}, out, nil
+	})
+	conn := pair(t, s)
+
+	payload := bytes.Repeat([]byte{0x5A}, 1<<20)
+	var resp rawRespHdr
+	rawResp, n, err := conn.CallRawSeq("xor", 0, rawReqHdr{N: len(payload)}, payload, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != len(payload) || len(rawResp) != len(payload) {
+		t.Fatalf("sizes: resp.N=%d rawResp=%d", resp.N, len(rawResp))
+	}
+	for i, b := range rawResp {
+		if b != 0x5A^0xFF {
+			t.Fatalf("rawResp[%d] = %#x", i, b)
+		}
+	}
+	if n < int64(2*len(payload)) {
+		t.Errorf("wire bytes = %d, want at least both payloads (%d)", n, 2*len(payload))
+	}
+}
+
+// TestRawResponseOnly: a handler may attach a raw response to a plain
+// gob request, received via CallRecvRaw.
+func TestRawResponseOnly(t *testing.T) {
+	s := NewServer()
+	RegisterRaw(s, "fill", func(r rawReqHdr, payload []byte) (rawRespHdr, []byte, error) {
+		if payload != nil {
+			t.Error("gob-only request delivered a payload")
+		}
+		return rawRespHdr{N: r.N}, bytes.Repeat([]byte{7}, r.N), nil
+	})
+	conn := pair(t, s)
+	var resp rawRespHdr
+	raw, _, err := conn.CallRecvRaw("fill", 0, rawReqHdr{N: 4096}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 4096 || raw[0] != 7 || raw[4095] != 7 {
+		t.Fatalf("raw response corrupted: len=%d", len(raw))
+	}
+}
+
+// TestRawFramingSurvivesErrorsAndMixing: error responses carry no raw
+// frame; after an error — and after raw traffic in general — the framed
+// stream stays aligned and plain gob calls keep working.
+func TestRawFramingSurvivesErrorsAndMixing(t *testing.T) {
+	s := NewServer()
+	RegisterRaw(s, "reject", func(r rawReqHdr, payload []byte) (rawRespHdr, []byte, error) {
+		return rawRespHdr{}, nil, errors.New("no thanks")
+	})
+	RegisterRaw(s, "echo", func(r rawReqHdr, payload []byte) (rawRespHdr, []byte, error) {
+		return rawRespHdr{N: len(payload)}, append([]byte(nil), payload...), nil
+	})
+	Register(s, "add", func(r addReq) (addResp, error) { return addResp{Sum: r.A + r.B}, nil })
+	conn := pair(t, s)
+
+	// A raw-carrying request whose handler fails: the error comes back,
+	// no stray raw frame is left in the stream.
+	var rh rawRespHdr
+	if _, _, err := conn.CallRawSeq("reject", 0, rawReqHdr{N: 3}, []byte{1, 2, 3}, &rh); err == nil {
+		t.Fatal("rejected raw call returned nil error")
+	}
+	// Gob-only call right after the error.
+	var ar addResp
+	if _, err := conn.Call("add", addReq{A: 20, B: 22}, &ar); err != nil || ar.Sum != 42 {
+		t.Fatalf("gob call after raw error: %v, sum=%d", err, ar.Sum)
+	}
+	// Raw call after gob call.
+	raw, _, err := conn.CallRawSeq("echo", 0, rawReqHdr{N: 5}, []byte{9, 8, 7, 6, 5}, &rh)
+	if err != nil || !bytes.Equal(raw, []byte{9, 8, 7, 6, 5}) {
+		t.Fatalf("raw call after gob call: %v, raw=%v", err, raw)
+	}
+}
+
+// TestRawReplayDedupe: a sequenced raw call re-sent with the same seq is
+// answered from the dedupe cache — the handler does not run twice and
+// the cached raw response is returned verbatim (the PR-2 crash-retry
+// contract extended to raw frames).
+func TestRawReplayDedupe(t *testing.T) {
+	var runs atomic.Int64
+	s := NewServer()
+	RegisterRaw(s, "once", func(r rawReqHdr, payload []byte) (rawRespHdr, []byte, error) {
+		runs.Add(1)
+		return rawRespHdr{N: len(payload)}, append([]byte(nil), payload...), nil
+	})
+	conn := pair(t, s)
+
+	payload := []byte("exactly-once")
+	var resp rawRespHdr
+	first, _, err := conn.CallRawSeq("once", 41, rawReqHdr{N: len(payload)}, payload, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := conn.CallRawSeq("once", 41, rawReqHdr{N: len(payload)}, payload, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("handler ran %d times for one seq, want 1", runs.Load())
+	}
+	if !bytes.Equal(first, second) || !bytes.Equal(second, payload) {
+		t.Errorf("replayed raw response diverged: %q vs %q", first, second)
+	}
+}

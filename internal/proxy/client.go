@@ -56,6 +56,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 type Stats struct {
 	Calls      int64 // calls sent on the wire (retries included)
 	Bytes      int64
+	Batched    int64 // commands coalesced into clEnqueueBatch calls
 	Retries    int64 // calls re-sent after a transport fault
 	Reconnects int64 // fresh connections dialled to the same proxy
 }
@@ -84,6 +85,7 @@ type Client struct {
 	seq        atomic.Uint64
 	calls      atomic.Int64
 	bytes      atomic.Int64
+	batched    atomic.Int64
 	retries    atomic.Int64
 	reconnects atomic.Int64
 }
@@ -115,6 +117,7 @@ func (c *Client) Stats() Stats {
 	return Stats{
 		Calls:      c.calls.Load(),
 		Bytes:      c.bytes.Load(),
+		Batched:    c.batched.Load(),
 		Retries:    c.retries.Load(),
 		Reconnects: c.reconnects.Load(),
 	}
@@ -146,6 +149,21 @@ func idempotent(method string) bool {
 // call forwards one API call, charging its modelled cost, retrying over a
 // fresh connection when the transport dies under it.
 func (c *Client) call(method string, req, resp any) error {
+	_, err := c.exchange(method, req, nil, false, resp)
+	return err
+}
+
+// callRaw is call with a raw payload attached to the request; it returns
+// the raw payload the server attached to its response, if any.
+func (c *Client) callRaw(method string, req any, rawReq []byte, resp any) ([]byte, error) {
+	return c.exchange(method, req, rawReq, true, resp)
+}
+
+// exchange forwards one API call, charging its modelled cost, retrying
+// over a fresh connection when the transport dies under it. A retried
+// request re-sends the same raw payload under the same sequence number,
+// so the server's dedupe cache treats the whole frame set as one call.
+func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, resp any) ([]byte, error) {
 	var seq uint64
 	if !idempotent(method) {
 		seq = c.seq.Add(1)
@@ -159,30 +177,39 @@ func (c *Client) call(method string, req, resp any) error {
 		c.mu.Lock()
 		conn := c.conn
 		c.mu.Unlock()
-		n, err := conn.CallSeq(method, seq, req, resp)
+		var (
+			raw []byte
+			n   int64
+			err error
+		)
+		if sendRaw {
+			raw, n, err = conn.CallRawSeq(method, seq, req, rawReq, resp)
+		} else {
+			raw, n, err = conn.CallRecvRaw(method, seq, req, resp)
+		}
 		c.calls.Add(1)
 		c.bytes.Add(n)
 		c.clock.Advance(2*c.cost.CallLatency + c.cost.CopyBW.Transfer(n))
 		if err == nil {
-			return nil
+			return raw, nil
 		}
 		var re *ipc.RemoteError
 		if errors.As(err, &re) {
-			return &ocl.Error{Status: ocl.Status(re.Status), Op: re.Op, Detail: re.Detail}
+			return nil, &ocl.Error{Status: ocl.Status(re.Status), Op: re.Op, Detail: re.Detail}
 		}
 		if !errors.Is(err, ipc.ErrConnDown) {
-			return err
+			return nil, err
 		}
 		lastErr = err
 		if attempt >= policy.Attempts {
-			return lastErr
+			return nil, lastErr
 		}
 		c.clock.Advance(backoff)
 		if backoff *= 2; backoff > policy.MaxBackoff {
 			backoff = policy.MaxBackoff
 		}
 		if !c.reconnect(conn) {
-			return lastErr
+			return nil, lastErr
 		}
 		c.retries.Add(1)
 	}
@@ -361,18 +388,34 @@ func (c *Client) SetKernelArg(k ocl.Kernel, index int, size int64, value []byte)
 
 func (c *Client) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset int64, data []byte, waits []ocl.Event) (ocl.Event, error) {
 	var r EventResp
-	err := c.call("clEnqueueWriteBuffer", EnqueueWriteBufferReq{
-		Queue: q, Mem: m, Blocking: blocking, Offset: offset, Data: data, Waits: waits,
-	}, &r)
+	// The payload rides the raw frame: no gob encode, no intermediate copy.
+	_, err := c.callRaw("clEnqueueWriteBuffer", EnqueueWriteBufferReq{
+		Queue: q, Mem: m, Blocking: blocking, Offset: offset, Waits: waits,
+	}, data, &r)
 	return r.Event, err
 }
 
 func (c *Client) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event) ([]byte, ocl.Event, error) {
 	var r EnqueueReadBufferResp
-	err := c.call("clEnqueueReadBuffer", EnqueueReadBufferReq{
+	// The data comes back as the response's raw frame.
+	data, err := c.exchange("clEnqueueReadBuffer", EnqueueReadBufferReq{
 		Queue: q, Mem: m, Blocking: blocking, Offset: offset, Size: size, Waits: waits,
-	}, &r)
-	return r.Data, r.Event, err
+	}, nil, false, &r)
+	return data, r.Event, err
+}
+
+// EnqueueBatch ships a coalesced run of deferred commands as one
+// sequenced call. payload is the concatenation of every BatchWrite's
+// data, referenced by the commands' PayloadOff/PayloadLen; the returned
+// raw slice is the concatenation of every executed BatchRead's data, in
+// command order, sliced by resp.ReadLens.
+func (c *Client) EnqueueBatch(cmds []BatchCmd, payload []byte) (EnqueueBatchResp, []byte, error) {
+	var r EnqueueBatchResp
+	raw, err := c.callRaw("clEnqueueBatch", EnqueueBatchReq{Cmds: cmds}, payload, &r)
+	if err == nil {
+		c.batched.Add(int64(len(cmds)))
+	}
+	return r, raw, err
 }
 
 func (c *Client) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, dstOff, size int64, waits []ocl.Event) (ocl.Event, error) {

@@ -107,12 +107,13 @@ type (
 		Value  []byte
 	}
 
+	// EnqueueWriteBufferReq carries no Data field: the payload travels as
+	// the call's raw frame, skipping gob encoding (zero-copy on the wire).
 	EnqueueWriteBufferReq struct {
 		Queue    ocl.CommandQueue
 		Mem      ocl.Mem
 		Blocking bool
 		Offset   int64
-		Data     []byte
 		Waits    []ocl.Event
 	}
 	EnqueueReadBufferReq struct {
@@ -123,8 +124,9 @@ type (
 		Size     int64
 		Waits    []ocl.Event
 	}
+	// EnqueueReadBufferResp carries no Data field: the payload comes back
+	// as the response's raw frame.
 	EnqueueReadBufferResp struct {
-		Data  []byte
 		Event ocl.Event
 	}
 	EnqueueCopyBufferReq struct {
@@ -163,3 +165,94 @@ type (
 	}
 	GetKernelWorkGroupInfoResp struct{ Info ocl.KernelWorkGroupInfo }
 )
+
+// BatchOp identifies one deferred command inside a clEnqueueBatch frame.
+// Fire-and-forget enqueues are coalesced client-side and shipped as one
+// sequenced call; the server executes them in order.
+type BatchOp int
+
+const (
+	BatchSetArg BatchOp = iota
+	BatchWrite
+	BatchRead
+	BatchCopy
+	BatchNDRange
+	BatchMarker
+	BatchBarrier
+	BatchFlush
+	BatchFinish
+)
+
+// Method names the OpenCL entry point a batched op stands for, so a
+// deferred error can be attributed to the call the application made.
+func (op BatchOp) Method() string {
+	switch op {
+	case BatchSetArg:
+		return "clSetKernelArg"
+	case BatchWrite:
+		return "clEnqueueWriteBuffer"
+	case BatchRead:
+		return "clEnqueueReadBuffer"
+	case BatchCopy:
+		return "clEnqueueCopyBuffer"
+	case BatchNDRange:
+		return "clEnqueueNDRangeKernel"
+	case BatchMarker:
+		return "clEnqueueMarker"
+	case BatchBarrier:
+		return "clEnqueueBarrier"
+	case BatchFlush:
+		return "clFlush"
+	case BatchFinish:
+		return "clFinish"
+	default:
+		return "clEnqueueBatch"
+	}
+}
+
+// BatchCmd is one deferred command. Write payloads are not carried here:
+// they are concatenated into the batch's raw frame and referenced by
+// [PayloadOff, PayloadOff+PayloadLen). Waits lists event handles that
+// already exist server-side; WaitIdx references events minted by earlier
+// commands of the same batch (by command index).
+type BatchCmd struct {
+	Op         BatchOp
+	Queue      ocl.CommandQueue
+	Kernel     ocl.Kernel
+	Index      int    // SetArg: argument index
+	ArgSize    int64  // SetArg: argument size
+	Value      []byte // SetArg: argument bytes (small; stays in gob)
+	Mem        ocl.Mem
+	Src, Dst   ocl.Mem
+	Blocking   bool
+	Offset     int64
+	SrcOff     int64
+	DstOff     int64
+	Size       int64
+	PayloadOff int64
+	PayloadLen int64
+	Dims       int
+	GOff       [3]int
+	Global     [3]int
+	Local      [3]int
+	Waits      []ocl.Event
+	WaitIdx    []int
+}
+
+// EnqueueBatchReq ships a coalesced run of deferred commands.
+type EnqueueBatchReq struct{ Cmds []BatchCmd }
+
+// EnqueueBatchResp reports per-command results. Commands up to (and
+// excluding) ErrIdx executed; their Events/ReadLens entries are valid and
+// read data for them is concatenated in the response's raw frame. A
+// failed command's error is carried in the Err* fields (resolved via
+// ipc.ErrorCoder) so the client can surface it with correct attribution
+// at the next sync point; commands after ErrIdx were not executed.
+type EnqueueBatchResp struct {
+	Events    []ocl.Event // per command; zero for ops that mint no event
+	ReadLens  []int64     // per command; read-data length for BatchRead
+	ErrIdx    int         // index of the failed command; -1 = all executed
+	ErrOp     string
+	ErrDetail string
+	ErrStatus int32
+}

@@ -1,6 +1,8 @@
 package proxy
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"checl/internal/ipc"
@@ -113,13 +115,19 @@ func NewServer(api ocl.API) *ipc.Server {
 		return Empty{}, api.SetKernelArg(r.Kernel, r.Index, r.Size, r.Value)
 	})
 
-	ipc.Register(s, "clEnqueueWriteBuffer", func(r EnqueueWriteBufferReq) (EventResp, error) {
-		ev, err := api.EnqueueWriteBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, r.Data, r.Waits)
-		return EventResp{Event: ev}, err
+	// Buffer transfers use raw payload frames: the write's data arrives as
+	// a pooled slice (the runtime copies what it keeps) and the read's data
+	// leaves as the response's raw frame, skipping gob both ways.
+	ipc.RegisterRaw(s, "clEnqueueWriteBuffer", func(r EnqueueWriteBufferReq, payload []byte) (EventResp, []byte, error) {
+		ev, err := api.EnqueueWriteBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, payload, r.Waits)
+		return EventResp{Event: ev}, nil, err
 	})
-	ipc.Register(s, "clEnqueueReadBuffer", func(r EnqueueReadBufferReq) (EnqueueReadBufferResp, error) {
+	ipc.RegisterRaw(s, "clEnqueueReadBuffer", func(r EnqueueReadBufferReq, _ []byte) (EnqueueReadBufferResp, []byte, error) {
 		data, ev, err := api.EnqueueReadBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, r.Size, r.Waits)
-		return EnqueueReadBufferResp{Data: data, Event: ev}, err
+		return EnqueueReadBufferResp{Event: ev}, data, err
+	})
+	ipc.RegisterRaw(s, "clEnqueueBatch", func(r EnqueueBatchReq, payload []byte) (EnqueueBatchResp, []byte, error) {
+		return runBatch(api, r, payload)
 	})
 	ipc.Register(s, "clEnqueueCopyBuffer", func(r EnqueueCopyBufferReq) (EventResp, error) {
 		ev, err := api.EnqueueCopyBuffer(r.Queue, r.Src, r.Dst, r.SrcOff, r.DstOff, r.Size, r.Waits)
@@ -179,6 +187,81 @@ func NewServer(api ocl.API) *ipc.Server {
 	})
 
 	return s
+}
+
+// runBatch executes a coalesced command run in order. The first failing
+// command stops the batch: its error is recorded in the response (index,
+// attributed method, status) instead of failing the whole call, because
+// the commands before it did execute and the client needs their events
+// and read data. In-batch event dependencies (WaitIdx) are resolved
+// against the events minted by earlier commands of the same run.
+func runBatch(api ocl.API, r EnqueueBatchReq, payload []byte) (EnqueueBatchResp, []byte, error) {
+	resp := EnqueueBatchResp{
+		Events:   make([]ocl.Event, len(r.Cmds)),
+		ReadLens: make([]int64, len(r.Cmds)),
+		ErrIdx:   -1,
+	}
+	var out []byte
+	for i, cmd := range r.Cmds {
+		waits := cmd.Waits
+		if len(cmd.WaitIdx) > 0 {
+			waits = append([]ocl.Event(nil), cmd.Waits...)
+			for _, j := range cmd.WaitIdx {
+				if j >= 0 && j < i && resp.Events[j] != 0 {
+					waits = append(waits, resp.Events[j])
+				}
+			}
+		}
+		var ev ocl.Event
+		var err error
+		switch cmd.Op {
+		case BatchSetArg:
+			err = api.SetKernelArg(cmd.Kernel, cmd.Index, cmd.ArgSize, cmd.Value)
+		case BatchWrite:
+			if cmd.PayloadOff < 0 || cmd.PayloadLen < 0 || cmd.PayloadOff+cmd.PayloadLen > int64(len(payload)) {
+				err = fmt.Errorf("batch write payload [%d:+%d] outside the %d-byte frame",
+					cmd.PayloadOff, cmd.PayloadLen, len(payload))
+				break
+			}
+			ev, err = api.EnqueueWriteBuffer(cmd.Queue, cmd.Mem, cmd.Blocking, cmd.Offset,
+				payload[cmd.PayloadOff:cmd.PayloadOff+cmd.PayloadLen], waits)
+		case BatchRead:
+			var data []byte
+			data, ev, err = api.EnqueueReadBuffer(cmd.Queue, cmd.Mem, cmd.Blocking, cmd.Offset, cmd.Size, waits)
+			if err == nil {
+				resp.ReadLens[i] = int64(len(data))
+				out = append(out, data...)
+			}
+		case BatchCopy:
+			ev, err = api.EnqueueCopyBuffer(cmd.Queue, cmd.Src, cmd.Dst, cmd.SrcOff, cmd.DstOff, cmd.Size, waits)
+		case BatchNDRange:
+			ev, err = api.EnqueueNDRangeKernel(cmd.Queue, cmd.Kernel, cmd.Dims, cmd.GOff, cmd.Global, cmd.Local, waits)
+		case BatchMarker:
+			ev, err = api.EnqueueMarker(cmd.Queue)
+		case BatchBarrier:
+			err = api.EnqueueBarrier(cmd.Queue)
+		case BatchFlush:
+			err = api.Flush(cmd.Queue)
+		case BatchFinish:
+			err = api.Finish(cmd.Queue)
+		default:
+			err = fmt.Errorf("unknown batch op %d", cmd.Op)
+		}
+		if err != nil {
+			resp.ErrIdx = i
+			var ec ipc.ErrorCoder
+			if errors.As(err, &ec) {
+				resp.ErrOp, resp.ErrStatus, resp.ErrDetail = ec.ErrorCode()
+			} else {
+				resp.ErrOp = cmd.Op.Method()
+				resp.ErrStatus = -9999
+				resp.ErrDetail = err.Error()
+			}
+			break
+		}
+		resp.Events[i] = ev
+	}
+	return resp, out, nil
 }
 
 // Serve runs the server loop on rwc until the peer closes the connection.

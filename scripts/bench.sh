@@ -1,0 +1,71 @@
+#!/bin/sh
+# Hot-path benchmark harness: runs the Fig. 4 overhead sweep and the
+# proxy-call microbenchmarks, then distils the headline metrics into
+# BENCH_pr3.json at the repo root.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 200x)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-200x}
+out=BENCH_pr3.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
+    -benchtime "$benchtime" . >"$tmp"
+go test -run '^$' -bench 'BenchmarkFig4RuntimeOverhead' \
+    -benchtime 1x . >>"$tmp"
+
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkProxyCallOverhead\// {
+    name = $1
+    sub(/^BenchmarkProxyCallOverhead\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name]     = grab($0, "ns/op")
+    trips[name]  = grab($0, "ipc-roundtrips/op")
+    allocs[name] = grab($0, "allocs/op")
+    mbs[name]    = grab($0, "MB/s")
+}
+/^BenchmarkFig4RuntimeOverhead\// {
+    cfg = $1
+    sub(/^BenchmarkFig4RuntimeOverhead\//, "", cfg)
+    sub(/-[0-9]+$/, "", cfg)
+    fig4[cfg] = grab($0, "avg-overhead-%")
+    cfgs = cfgs (cfgs == "" ? "" : " ") cfg
+}
+END {
+    printf "{\n"
+    printf "  \"fig4_avg_overhead_pct\": {"
+    n = split(cfgs, c, " ")
+    for (i = 1; i <= n; i++)
+        printf "%s\"%s\": %s", (i > 1 ? ", " : ""), c[i], fig4[c[i]]
+    printf "},\n"
+    printf "  \"proxy_call\": {\n"
+    first = 1
+    for (name in ns) {
+        printf "%s    \"%s\": {\"ns_per_call\": %s, \"allocs_per_call\": %s",
+               (first ? "" : ",\n"), name, ns[name], allocs[name]
+        if (trips[name] != "") printf ", \"ipc_roundtrips_per_op\": %s", trips[name]
+        if (mbs[name]   != "") printf ", \"mb_per_s\": %s", mbs[name]
+        printf "}"
+        first = 0
+    }
+    printf "\n  },\n"
+    if (trips["launch-batched"] + 0 > 0)
+        printf "  \"launch_roundtrip_reduction\": %.1f,\n",
+               trips["launch-unbatched"] / trips["launch-batched"]
+    if (ns["info-cached"] + 0 > 0)
+        printf "  \"info_cache_speedup\": %.1f,\n",
+               ns["info-forwarded"] / ns["info-cached"]
+    printf "  \"benchtime\": \"%s\"\n", BT
+    printf "}\n"
+}' BT="$benchtime" "$tmp" >"$out"
+
+echo "bench.sh: wrote $out"
+cat "$out"

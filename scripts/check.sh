@@ -18,4 +18,10 @@ go test -race ./...
 # most likely to flake under scheduling nondeterminism, so run them repeatedly
 # under the race detector.
 go test -run Fault -count=5 -race ./internal/...
+# Hot-path gate: the pipelined proxy path (raw frames, enqueue batching,
+# info caches, stats counters) crosses goroutines in ipc/proxy/core, so its
+# tests get their own repeated race-detector pass.
+go vet ./internal/ipc/ ./internal/proxy/ ./internal/core/
+go test -run 'Raw|Batch|Cache|StatsRace' -count=3 -race \
+    ./internal/ipc/ ./internal/proxy/ ./internal/core/
 echo "check.sh: all green"
