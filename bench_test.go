@@ -15,6 +15,8 @@ package checl_test
 
 import (
 	"fmt"
+	"math/rand"
+	"strings"
 	"testing"
 
 	"checl/internal/apps"
@@ -358,6 +360,62 @@ func BenchmarkStoreDedup(b *testing.B) {
 	b.ReportMetric(1-float64(newBytes)/float64(totalBytes), "dedup-ratio")
 	b.ReportMetric(float64(newBytes)/1e6, "new-MB-written")
 	b.ReportMetric(float64(totalBytes)/1e6, "flat-MB-equivalent")
+}
+
+// BenchmarkScrubHeal measures the store's self-repair pass: a 3-generation
+// checkpoint sequence with a replica attached, a quarter of the stored
+// chunks rotted at rest, and one Scrub healing every one of them back from
+// the replica. Reported metrics are the healed volume and the virtual time
+// the repair pass cost.
+func BenchmarkScrubHeal(b *testing.B) {
+	var rep store.ScrubReport
+	var rotted int
+	var scrubTime vtime.Duration
+	for i := 0; i < b.N; i++ {
+		clock := vtime.NewClock()
+		st := store.New(proc.NewFS("ckpt-disk", hw.TableISpec().LocalDisk), store.Config{})
+		replica := store.New(proc.NewFS("replica-disk", hw.TableISpec().LocalDisk), store.Config{})
+		st.AttachReplica(replica, hw.TableISpec().Inter.NIC)
+
+		base := make([]byte, 4<<20)
+		rand.New(rand.NewSource(7)).Read(base)
+		for gen := 0; gen < 3; gen++ {
+			v := append([]byte(nil), base...)
+			rand.New(rand.NewSource(int64(100 + gen))).Read(v[gen<<20 : gen<<20+(64<<10)])
+			if _, _, err := st.Put(clock, "bench", v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rotted = 0
+		for idx, p := range st.FS().List() {
+			if !strings.Contains(p, "/chunks/") || idx%4 != 0 {
+				continue
+			}
+			data, err := st.FS().ReadFile(clock, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xFF
+			if err := st.FS().WriteFile(clock, p, data); err != nil {
+				b.Fatal(err)
+			}
+			rotted++
+		}
+		sw := vtime.NewStopwatch(clock)
+		var err error
+		rep, err = st.Scrub(clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scrubTime = sw.Elapsed()
+		if !rep.OK() || rep.Healed.ChunksHealed < rotted {
+			b.Fatalf("scrub healed %d of %d rotted chunks, findings %v",
+				rep.Healed.ChunksHealed, rotted, rep.Findings)
+		}
+	}
+	b.ReportMetric(float64(rep.Healed.ChunksHealed), "healed-chunks")
+	b.ReportMetric(float64(rep.Healed.BytesHealed)/1e6, "healed-MB")
+	b.ReportMetric(scrubTime.Seconds()*1e3, "scrub-ms")
 }
 
 // BenchmarkProxyFailover runs oclMatrixMul while a seeded plan crashes the

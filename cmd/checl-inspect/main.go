@@ -11,10 +11,15 @@
 //	                                                 app runs; print fault-tolerance counters
 //	checl-inspect [flags] store ls                   list a demo store's manifests and chunks
 //	checl-inspect [flags] store fsck                 verify every chunk and manifest
+//	checl-inspect [flags] store scrub                repair the store from its replica
+//	checl-inspect [-disk-faults N] store ...         inject a disk fault every N filesystem
+//	                                                 operations while the store fills
 //
 // The store subcommands checkpoint the demo app twice into a
-// content-addressed store, so `ls` shows dedup at work and `fsck` walks a
-// non-trivial chunk set.
+// content-addressed store (with one replica attached), so `ls` shows
+// dedup at work, `fsck` walks a non-trivial chunk set, and `scrub` under
+// -disk-faults has real damage to heal. fsck and scrub exit non-zero when
+// findings remain, so CI can gate on them.
 package main
 
 import (
@@ -37,14 +42,16 @@ func main() {
 	appName := flag.String("app", "oclMatrixMul", "application to checkpoint and inspect")
 	scale := flag.Float64("scale", 0.5, "problem-size multiplier")
 	faults := flag.Int("faults", 0, "crash the API proxy every N calls (0 disables fault injection)")
+	diskFaults := flag.Int("disk-faults", 0, "inject a disk fault every N store filesystem operations (0 disables)")
 	flag.Parse()
 
 	if args := flag.Args(); len(args) > 0 {
-		if args[0] != "store" || len(args) != 2 || (args[1] != "ls" && args[1] != "fsck") {
-			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\" or \"store fsck\")\n", args)
+		if args[0] != "store" || len(args) != 2 ||
+			(args[1] != "ls" && args[1] != "fsck" && args[1] != "scrub") {
+			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\" or \"store scrub\")\n", args)
 			os.Exit(2)
 		}
-		storeCmd(*appName, *scale, args[1])
+		storeCmd(*appName, *scale, args[1], *diskFaults)
 		return
 	}
 
@@ -132,10 +139,13 @@ func main() {
 	fmt.Println("     recompile programs; replay clSetKernelArg; mint dummy events")
 }
 
-// storeCmd builds a demonstration store on the node's local disk with two
-// checkpoints of the app (the second deduplicates against the first) and
-// runs the ls or fsck view over it.
-func storeCmd(appName string, scale float64, sub string) {
+// storeCmd builds a demonstration store with two checkpoints of the app
+// (the second deduplicates against the first) and runs the ls, fsck or
+// scrub view over it. The store lives on its own disk with one replica
+// attached; -disk-faults N makes that disk fail every Nth operation, so
+// the checkpoints only land because of write verification and retries —
+// and scrub has real at-rest damage to repair.
+func storeCmd(appName string, scale float64, sub string, diskFaults int) {
 	app, ok := apps.ByName(appName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "checl-inspect: unknown app %q\n", appName)
@@ -152,11 +162,44 @@ func storeCmd(appName string, scale float64, sub string) {
 	if _, err := app.Run(env); err != nil {
 		fatal(err)
 	}
-	st := store.New(node.LocalDisk, store.Config{})
+
+	var inj *proc.FaultInjector
+	ckptDisk := node.LocalDisk
+	if diskFaults > 0 {
+		inj = proc.NewFaultInjector(proc.DiskFaultPlan{
+			Seed:   2026,
+			EveryN: diskFaults,
+			Kinds: []proc.DiskFaultKind{
+				proc.DiskFaultTornWrite,
+				proc.DiskFaultLostWrite,
+				proc.DiskFaultBitRot,
+				proc.DiskFaultEIO,
+			},
+		})
+		ckptDisk = proc.NewFS("ckpt-disk", hw.TableISpec().LocalDisk, proc.WithFault(inj))
+	}
+	st := store.New(ckptDisk, store.Config{})
+	replica := store.New(proc.NewFS("replica-disk", hw.TableISpec().LocalDisk), store.Config{})
+	st.AttachReplica(replica, node.Spec.Inter.NIC)
 	for i := 0; i < 2; i++ {
-		if _, err := c.CheckpointToStore(st, app.Name); err != nil {
-			fatal(err)
+		var perr error
+		for attempt := 0; attempt < 5; attempt++ {
+			if _, perr = c.CheckpointToStore(st, app.Name); perr == nil {
+				break
+			}
+			// A failed Put is a simulated crash: sweep the staging area and
+			// take the checkpoint again, exactly as a production opener would.
+			if _, rerr := st.Recover(); rerr != nil {
+				fatal(rerr)
+			}
 		}
+		if perr != nil {
+			fatal(perr)
+		}
+	}
+	if inj != nil {
+		fmt.Printf("disk faults: injected %d over %d operations (seed 2026, every %d)\n",
+			inj.Injected(), inj.Ops(), diskFaults)
 	}
 
 	switch sub {
@@ -164,16 +207,18 @@ func storeCmd(appName string, scale float64, sub string) {
 		storeLs(st)
 	case "fsck":
 		storeFsck(node, st)
+	case "scrub":
+		storeScrub(node, st)
 	}
 }
 
 func storeLs(st *store.Store) {
-	mans, err := st.Manifests()
-	if err != nil {
-		fatal(err)
-	}
+	mans, issues := st.Manifests()
 	fmt.Printf("checkpoint store on %q: %d manifests, %d jobs, %.3f MB stored\n",
 		st.FS().Name(), len(mans), len(st.Jobs()), float64(st.TotalStoredBytes())/1e6)
+	for _, iss := range issues {
+		fmt.Printf("  UNREADABLE %s: %v\n", iss.ID(), iss.Err)
+	}
 	fmt.Printf("  %-20s %-20s %8s %12s %8s\n", "MANIFEST", "PARENT", "CHUNKS", "SIZE", "DIGEST")
 	for _, m := range mans {
 		parent := m.Parent
@@ -198,6 +243,25 @@ func storeFsck(node *proc.Node, st *store.Store) {
 		os.Exit(1)
 	}
 	fmt.Println("  store is consistent")
+}
+
+func storeScrub(node *proc.Node, st *store.Store) {
+	rep, err := st.Scrub(node.Clock)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scrub: %d manifests, %d chunks checked\n", rep.Manifests, rep.ChunksChecked)
+	fmt.Printf("  healed:       %d chunks (%.3f MB), %d manifests, %d write-back failures\n",
+		rep.Healed.ChunksHealed, float64(rep.Healed.BytesHealed)/1e6,
+		rep.Healed.ManifestsHealed, rep.Healed.WritebackFailures)
+	fmt.Printf("  quarantined:  %d manifests\n", len(rep.Quarantined))
+	for _, f := range rep.Findings {
+		fmt.Printf("  FINDING %s\n", f)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+	fmt.Println("  store is fully healed")
 }
 
 func fatal(err error) {

@@ -201,6 +201,10 @@ type RestartStats struct {
 	Recompile vtime.Duration // total clBuildProgram time (the Tr of Eq. 1)
 	ReadTime  vtime.Duration // checkpoint file read
 	Total     vtime.Duration
+	// Degraded is non-nil when a store restore could not use the newest
+	// generation and fell back along the parent chain; it lists the
+	// generations that were skipped and why.
+	Degraded *store.DegradedRestore
 }
 
 // Restore restarts a checkpointed CheCL application on node: the CPR
@@ -229,7 +233,12 @@ func Restore(node *proc.Node, fs *proc.FS, path string, opts Options) (*CheCL, R
 
 // RestoreFromStore is Restore reading from a content-addressed checkpoint
 // store instead of a flat file. ref is a manifest ID ("job@seq") or a
-// bare job name (its latest checkpoint).
+// bare job name (its latest checkpoint). If the newest generation cannot
+// be restored the walk falls back along the parent chain (healing chunks
+// from the store's replicas as it reads); the skipped generations are
+// reported in RestartStats.Degraded. When no generation restores, the
+// returned error wraps the typed *store.DegradedRestore — the caller
+// always learns exactly what was lost, never gets a wrong payload.
 func RestoreFromStore(node *proc.Node, st *store.Store, ref string, opts Options) (*CheCL, RestartStats, error) {
 	if opts.Backend == nil {
 		opts.Backend = cpr.BLCR{}
@@ -241,7 +250,8 @@ func RestoreFromStore(node *proc.Node, st *store.Store, ref string, opts Options
 	stats := RestartStats{PerClass: map[string]vtime.Duration{}}
 	total := vtime.NewStopwatch(node.Clock)
 
-	app, rst, err := sb.RestartFromStore(node, st, ref)
+	app, rst, deg, err := sb.RestartFromStore(node, st, ref)
+	stats.Degraded = deg
 	if err != nil {
 		return nil, stats, fmt.Errorf("checl: restart: %w", err)
 	}

@@ -20,8 +20,13 @@ type StoreBackend interface {
 	CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error)
 	// RestartFromStore re-creates a process on node n from a store
 	// checkpoint. ref is a manifest ID ("job@seq") or a bare job name
-	// (its latest checkpoint).
-	RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error)
+	// (its latest checkpoint). When the newest generation cannot be
+	// restored — corrupt past healing, or not a decodable image — the
+	// restart walks the generation chain to the newest one that can, and
+	// the returned *store.DegradedRestore reports what was skipped; it is
+	// nil for a clean restore of the newest generation. When no
+	// generation restores at all the DegradedRestore is also the error.
+	RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error)
 }
 
 // checkpointable reports the same eligibility the flat-file Checkpoint
@@ -77,29 +82,37 @@ func (DMTCP) CheckpointToStore(p *proc.Process, st *store.Store, job string) (St
 	return checkpointToStore("dmtcp", p, st, job, true)
 }
 
-// restartFromStore is the shared store restart path.
-func restartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error) {
+// restartFromStore is the shared store restart path: walk the generation
+// chain newest-first, taking the first checkpoint that both assembles
+// bit-identical (healed from replicas where possible) and decodes as a
+// process image.
+func restartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
 	sw := vtime.NewStopwatch(n.Clock)
-	data, _, err := st.Get(n.Clock, ref)
-	if err != nil {
-		return nil, Stats{}, err
+	var img Image
+	validate := func(data []byte, _ store.Manifest) error {
+		i, err := decodeImage(data)
+		if err != nil {
+			return err
+		}
+		img = i
+		return nil
 	}
-	img, err := decodeImage(data)
+	data, _, deg, err := st.GetNewestRestorable(n.Clock, ref, validate)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, Stats{}, deg, err
 	}
 	p := n.Spawn(img.ProcessName)
 	p.RestoreRegions(img.Regions)
-	return p, Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, nil
+	return p, Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, deg, nil
 }
 
 // RestartFromStore implements StoreBackend.
-func (BLCR) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error) {
+func (BLCR) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
 	return restartFromStore(n, st, ref)
 }
 
 // RestartFromStore implements StoreBackend.
-func (DMTCP) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, error) {
+func (DMTCP) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
 	return restartFromStore(n, st, ref)
 }
 

@@ -94,9 +94,12 @@ func TestStoreCheckpointRestartRoundtrip(t *testing.T) {
 	}
 
 	p.Kill()
-	q, rst, err := BLCR{}.RestartFromStore(n, st, "app")
+	q, rst, deg, err := BLCR{}.RestartFromStore(n, st, "app")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if deg != nil {
+		t.Fatalf("clean restart reported degradation: %v", deg)
 	}
 	if q.Name != "app" || q.Region("heap")[2] != 3 || q.MemoryUsage() != 4+1<<20 {
 		t.Error("restored image wrong")

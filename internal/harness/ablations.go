@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"checl/internal/apps"
 	"checl/internal/core"
@@ -31,7 +32,7 @@ type AblationResult struct {
 	Variants []AblationVariant
 }
 
-// Ablations runs all six ablations and returns their measurements.
+// Ablations runs all seven ablations and returns their measurements.
 func Ablations(scale float64) ([]AblationResult, error) {
 	var out []AblationResult
 
@@ -70,6 +71,12 @@ func Ablations(scale float64) ([]AblationResult, error) {
 		return nil, err
 	}
 	out = append(out, crash)
+
+	disk, err := ablationDiskFaults(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, disk)
 	return out, nil
 }
 
@@ -395,6 +402,110 @@ func ablationProxyCrash(scale float64) (AblationResult, error) {
 	})
 	res.Variants = append(res.Variants, AblationVariant{
 		Name: fmt.Sprintf("recovery-x%d", fs.Failovers), Metric: "total rebind time", Value: fs.TotalRecovery,
+	})
+	return res, nil
+}
+
+// ablationDiskFaults: the checkpoint-durability arms. The baseline
+// restores from a clean checkpoint disk; the faulty arm checkpoints and
+// restores through a seeded every-5th-operation disk fault plan with a
+// clean replica attached (the restore must come back undegraded — the
+// difference is the price of retries and healing reads); the scrub arm
+// rots a batch of chunks at rest and measures one repair pass.
+func ablationDiskFaults(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "disk-faults",
+		Claim: "verified writes + replica healing turn disk faults into latency, never data loss",
+	}
+	chunks := store.Config{MinChunk: 1 << 10, AvgChunk: 4 << 10, MaxChunk: 16 << 10}
+
+	// Arm 1: clean disk baseline.
+	node, c, err := runAppUnderCheCL("oclVectorAdd", scale, core.Options{})
+	if err != nil {
+		return res, err
+	}
+	cleanStore := store.New(proc.NewFS("ckpt-disk", hw.TableISpec().LocalDisk), chunks)
+	if _, err := c.CheckpointToStore(cleanStore, "abl"); err != nil {
+		c.Detach()
+		return res, err
+	}
+	rc, rst, err := core.RestoreFromStore(node, cleanStore, "abl", core.Options{})
+	if err != nil {
+		c.Detach()
+		return res, err
+	}
+	rc.Detach()
+	c.Detach()
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "no-fault", Metric: "image read", Value: rst.ReadTime,
+	})
+
+	// Arm 2: the same flow through a disk faulting every 5th operation,
+	// with one clean replica absorbing what retries cannot.
+	node, c, err = runAppUnderCheCL("oclVectorAdd", scale, core.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer c.Detach()
+	inj := proc.NewFaultInjector(proc.DiskFaultPlan{Seed: 2026, EveryN: 5})
+	st := store.New(proc.NewFS("ckpt-disk", hw.TableISpec().LocalDisk, proc.WithFault(inj)), chunks)
+	replica := store.New(proc.NewFS("replica-disk", hw.TableISpec().LocalDisk), chunks)
+	st.AttachReplica(replica, node.Spec.Inter.NIC)
+	committed := false
+	for attempt := 0; attempt < 5 && !committed; attempt++ {
+		if _, err = c.CheckpointToStore(st, "abl"); err == nil {
+			committed = true
+			break
+		}
+		if _, rerr := st.Recover(); rerr != nil {
+			return res, rerr
+		}
+	}
+	if !committed {
+		return res, fmt.Errorf("harness: disk-fault checkpoint failed every attempt: %w", err)
+	}
+	rc, rst, err = core.RestoreFromStore(node, st, "abl", core.Options{})
+	if err != nil {
+		return res, err
+	}
+	rc.Detach()
+	if rst.Degraded != nil {
+		return res, fmt.Errorf("harness: disk-fault restore degraded despite replica: %v", rst.Degraded)
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: "faults-healed", Metric: "image read", Value: rst.ReadTime,
+	})
+
+	// Arm 3: rot a batch of stored chunks and measure one scrub pass
+	// repairing them from the replica.
+	inj.Suspend()
+	clock := vtime.NewClock()
+	rotted := 0
+	for _, p := range st.FS().List() {
+		if !strings.Contains(p, "/chunks/") || rotted >= 16 {
+			continue
+		}
+		data, err := st.FS().ReadFile(clock, p)
+		if err != nil {
+			return res, err
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := st.FS().WriteFile(clock, p, data); err != nil {
+			return res, err
+		}
+		rotted++
+	}
+	sw := vtime.NewStopwatch(node.Clock)
+	rep, err := st.Scrub(node.Clock)
+	if err != nil {
+		return res, err
+	}
+	if !rep.OK() || rep.Healed.ChunksHealed < rotted {
+		return res, fmt.Errorf("harness: scrub healed %d of %d rotted chunks, findings %v",
+			rep.Healed.ChunksHealed, rotted, rep.Findings)
+	}
+	res.Variants = append(res.Variants, AblationVariant{
+		Name: fmt.Sprintf("scrub-heal-x%d", rep.Healed.ChunksHealed), Metric: "scrub pass", Value: sw.Elapsed(),
 	})
 	return res, nil
 }

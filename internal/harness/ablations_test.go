@@ -11,8 +11,8 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 6 {
-		t.Fatalf("ablations = %d, want 6", len(results))
+	if len(results) != 7 {
+		t.Fatalf("ablations = %d, want 7", len(results))
 	}
 	byName := map[string]AblationResult{}
 	for _, r := range results {
@@ -71,6 +71,18 @@ func TestAblations(t *testing.T) {
 	}
 	if !strings.HasPrefix(crash.Variants[3].Name, "recovery-x") {
 		t.Errorf("proxy-crash recovery variant name: %q", crash.Variants[3].Name)
+	}
+
+	dfa := byName["disk-faults"]
+	if len(dfa.Variants) != 3 {
+		t.Fatalf("disk-faults ablation: %+v", dfa.Variants)
+	}
+	clean, healed := dfa.Variants[0].Value, dfa.Variants[1].Value
+	if !(clean > 0 && clean <= healed) {
+		t.Errorf("disk-faults ordering: no-fault=%v faults-healed=%v", clean, healed)
+	}
+	if !strings.HasPrefix(dfa.Variants[2].Name, "scrub-heal-x") || dfa.Variants[2].Value <= 0 {
+		t.Errorf("disk-faults scrub variant: %+v", dfa.Variants[2])
 	}
 
 	var buf bytes.Buffer

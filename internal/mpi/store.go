@@ -82,31 +82,54 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 // in a checkpoint store. ref is a manifest ID ("job@seq") or a bare job
 // name (its latest snapshot). Placement matches RestoreGlobal: rank i's
 // local snapshot restores on node i%len(nodes).
-func RestoreGlobalFromStore(cluster *proc.Cluster, st *store.Store, ref string, opts core.Options) ([]*core.CheCL, error) {
+//
+// The restore is globally consistent or not at all: a candidate
+// generation counts as restorable only if it decodes as a global snapshot
+// AND every rank restores from it — a generation that fails partway is
+// torn down completely before the next older one is tried. The returned
+// *store.DegradedRestore is nil when the newest generation restored;
+// otherwise it lists every newer generation that was skipped and why, and
+// when no generation works it is also the returned error.
+func RestoreGlobalFromStore(cluster *proc.Cluster, st *store.Store, ref string, opts core.Options) ([]*core.CheCL, *store.DegradedRestore, error) {
 	if len(cluster.Nodes) == 0 {
-		return nil, fmt.Errorf("mpi: cluster has no nodes")
+		return nil, nil, fmt.Errorf("mpi: cluster has no nodes")
 	}
 	coord := cluster.Nodes[0]
-	data, man, err := st.Get(coord.Clock, ref)
-	if err != nil {
-		return nil, err
-	}
-	locals, err := decodeGlobalSnapshot(data)
-	if err != nil {
-		return nil, err
-	}
-	restored := make([]*core.CheCL, len(locals))
-	for rank, local := range locals {
-		node := cluster.Nodes[rank%len(cluster.Nodes)]
-		localPath := fmt.Sprintf("%s.restore.%d", man.ID(), rank)
-		if err := node.LocalDisk.WriteFile(node.Clock, localPath, local); err != nil {
-			return nil, err
-		}
-		c, _, err := core.Restore(node, node.LocalDisk, localPath, opts)
+	var restored []*core.CheCL
+	validate := func(data []byte, man store.Manifest) error {
+		locals, err := decodeGlobalSnapshot(data)
 		if err != nil {
-			return nil, fmt.Errorf("mpi: restoring rank %d: %w", rank, err)
+			return err
 		}
-		restored[rank] = c
+		cs := make([]*core.CheCL, len(locals))
+		teardown := func() {
+			for _, c := range cs {
+				if c != nil {
+					c.Detach()
+					c.App().Kill()
+				}
+			}
+		}
+		for rank, local := range locals {
+			node := cluster.Nodes[rank%len(cluster.Nodes)]
+			localPath := fmt.Sprintf("%s.restore.%d", man.ID(), rank)
+			if err := node.LocalDisk.WriteFile(node.Clock, localPath, local); err != nil {
+				teardown()
+				return err
+			}
+			c, _, err := core.Restore(node, node.LocalDisk, localPath, opts)
+			if err != nil {
+				teardown()
+				return fmt.Errorf("rank %d: %w", rank, err)
+			}
+			cs[rank] = c
+		}
+		restored = cs
+		return nil
 	}
-	return restored, nil
+	_, _, deg, err := st.GetNewestRestorable(coord.Clock, ref, validate)
+	if err != nil {
+		return nil, deg, err
+	}
+	return restored, deg, nil
 }

@@ -100,9 +100,12 @@ __kernel void fill(__global float* x, float v, uint n) {
 			puts[1].NewBytes, puts[0].NewBytes)
 	}
 
-	restored, err := RestoreGlobalFromStore(cl, st, "mpijob", core.Options{})
+	restored, deg, err := RestoreGlobalFromStore(cl, st, "mpijob", core.Options{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if deg != nil {
+		t.Fatalf("clean restore reported degradation: %v", deg)
 	}
 	if len(restored) != 2 {
 		t.Fatalf("restored %d ranks, want 2", len(restored))
@@ -123,10 +126,110 @@ __kernel void fill(__global float* x, float v, uint n) {
 	}
 }
 
+// TestRestoreGlobalFromStoreDegraded damages the newest global snapshot
+// past repair (no replicas) and checks the restore walks back to the
+// previous generation with a typed report — a globally consistent older
+// state, never a partial or silently wrong one.
+func TestRestoreGlobalFromStoreDegraded(t *testing.T) {
+	cl := cluster(1)
+	st := store.New(cl.NFS, store.Config{})
+	w, _ := NewWorld(cl, 1)
+	const src = `
+__kernel void fill(__global float* x, float v, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) x[i] = v + (float)i;
+}`
+	var q ocl.CommandQueue
+	var buf ocl.Mem
+	err := w.Run(func(r *Rank) error {
+		c, err := core.Attach(r.Process(), core.Options{})
+		if err != nil {
+			return err
+		}
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+		ctx, _ := c.CreateContext(devs)
+		cq, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+		prog, _ := c.CreateProgramWithSource(ctx, src)
+		if err := c.BuildProgram(prog, ""); err != nil {
+			return err
+		}
+		k, _ := c.CreateKernel(prog, "fill")
+		b, _ := c.CreateBuffer(ctx, ocl.MemReadWrite, 4*1024, nil)
+		h := make([]byte, 8)
+		binary.LittleEndian.PutUint64(h, uint64(b))
+		if err := c.SetKernelArg(k, 0, 8, h); err != nil {
+			return err
+		}
+		v := make([]byte, 4)
+		binary.LittleEndian.PutUint32(v, math.Float32bits(100))
+		if err := c.SetKernelArg(k, 1, 4, v); err != nil {
+			return err
+		}
+		n := make([]byte, 4)
+		binary.LittleEndian.PutUint32(n, 1024)
+		if err := c.SetKernelArg(k, 2, 4, n); err != nil {
+			return err
+		}
+		if _, err := c.EnqueueNDRangeKernel(cq, k, 1, [3]int{}, [3]int{1024}, [3]int{64}, nil); err != nil {
+			return err
+		}
+		if err := c.Finish(cq); err != nil {
+			return err
+		}
+		q, buf = cq, b
+		for i := 0; i < 2; i++ {
+			if _, err := r.CoordinatedCheckpointToStore(c, st, "dmj"); err != nil {
+				return err
+			}
+		}
+		c.Proxy().Kill()
+		r.Process().Kill()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the newest generation's manifest frame in place.
+	clock := cl.Nodes[0].Clock
+	const manPath = "ckptstore/manifests/dmj/00000002"
+	frame, err := cl.NFS.ReadFile(clock, manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0xFF
+	if err := cl.NFS.WriteFile(clock, manPath, frame); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, deg, err := RestoreGlobalFromStore(cl, st, "dmj", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg == nil || deg.Restored != "dmj@1" || len(deg.Skipped) != 1 || deg.Skipped[0].ID != "dmj@2" {
+		t.Fatalf("degradation report = %+v", deg)
+	}
+	if len(restored) != 1 {
+		t.Fatalf("restored %d ranks, want 1", len(restored))
+	}
+	data, _, err := restored[0].EnqueueReadBuffer(q, buf, true, 0, 4*1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+		if want := 100 + float32(i); got != want {
+			t.Fatalf("buf[%d] = %v, want %v", i, got, want)
+		}
+	}
+	restored[0].Detach()
+}
+
 func TestRestoreGlobalFromStoreErrors(t *testing.T) {
 	cl := cluster(1)
 	st := store.New(cl.NFS, store.Config{})
-	if _, err := RestoreGlobalFromStore(cl, st, "missing", core.Options{}); err == nil {
+	if _, _, err := RestoreGlobalFromStore(cl, st, "missing", core.Options{}); err == nil {
 		t.Error("restore from missing snapshot should fail")
 	}
 }

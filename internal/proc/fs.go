@@ -18,6 +18,7 @@ type FS struct {
 	name     string
 	model    hw.StorageModel
 	capacity int64 // 0 = unbounded
+	fault    *FaultInjector
 
 	mu    sync.Mutex
 	files map[string][]byte
@@ -31,6 +32,12 @@ type FSOption func(*FS)
 // leaves the filesystem unbounded.
 func WithCapacity(bytes int64) FSOption {
 	return func(fs *FS) { fs.capacity = bytes }
+}
+
+// WithFault attaches a disk fault injector: every WriteFile, ReadFile,
+// Remove and Rename consults it and fails (or corrupts) per the plan.
+func WithFault(inj *FaultInjector) FSOption {
+	return func(fs *FS) { fs.fault = inj }
 }
 
 // NewFS constructs an empty filesystem with the given storage model.
@@ -59,6 +66,10 @@ func (e *ErrNoSpace) Error() string {
 // Capacity reports the configured byte limit; 0 means unbounded.
 func (fs *FS) Capacity() int64 { return fs.capacity }
 
+// SetFault attaches (or, with nil, detaches) a disk fault injector after
+// construction. Not safe to race with in-flight operations.
+func (fs *FS) SetFault(inj *FaultInjector) { fs.fault = inj }
+
 // Name identifies the filesystem ("local", "ramdisk", "nfs").
 func (fs *FS) Name() string { return fs.name }
 
@@ -81,6 +92,26 @@ func (fs *FS) WriteFile(clock *vtime.Clock, path string, data []byte) error {
 			return &ErrNoSpace{FS: fs.name, Capacity: fs.capacity, Used: used, Need: int64(len(data))}
 		}
 	}
+	if fs.fault != nil {
+		switch kind, _ := fs.fault.next(opWrite, path); kind {
+		case DiskFaultTornWrite:
+			// Only a prefix reaches the disk, replacing any previous
+			// content, and the writer learns about it through an error.
+			n := len(data) / 2
+			clock.Advance(fs.model.WriteTime(int64(n)))
+			fs.files[path] = append([]byte(nil), data[:n]...)
+			return &ErrIO{FS: fs.name, Op: "write", Path: path}
+		case DiskFaultLostWrite:
+			// The write is acknowledged but nothing persists; previous
+			// content, if any, survives untouched.
+			clock.Advance(fs.model.WriteTime(int64(len(data))))
+			return nil
+		case DiskFaultEIO:
+			return &ErrIO{FS: fs.name, Op: "write", Path: path}
+		case DiskFaultNoSpace:
+			return &ErrNoSpace{FS: fs.name, Capacity: fs.capacity, Used: fs.usedLocked(), Need: int64(len(data))}
+		}
+	}
 	clock.Advance(fs.model.WriteTime(int64(len(data))))
 	fs.files[path] = append([]byte(nil), data...)
 	return nil
@@ -99,6 +130,24 @@ func (fs *FS) usedLocked() int64 {
 func (fs *FS) ReadFile(clock *vtime.Clock, path string) ([]byte, error) {
 	fs.mu.Lock()
 	data, ok := fs.files[path]
+	if fs.fault != nil {
+		switch kind, bits := fs.fault.next(opRead, path); kind {
+		case DiskFaultBitRot:
+			// Flip one bit of the stored copy: at-rest decay this read is
+			// the first to observe. The corruption persists until a later
+			// write (or a heal) replaces the file.
+			if ok && len(data) > 0 {
+				rotten := append([]byte(nil), data...)
+				bit := (bits >> 8) % uint64(len(rotten)*8)
+				rotten[bit/8] ^= 1 << (bit % 8)
+				fs.files[path] = rotten
+				data = rotten
+			}
+		case DiskFaultEIO:
+			fs.mu.Unlock()
+			return nil, &ErrIO{FS: fs.name, Op: "read", Path: path}
+		}
+	}
 	fs.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("fs %s: no such file %q", fs.name, path)
@@ -111,10 +160,40 @@ func (fs *FS) ReadFile(clock *vtime.Clock, path string) ([]byte, error) {
 func (fs *FS) Remove(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.fault != nil {
+		if kind, _ := fs.fault.next(opMeta, path); kind != DiskFaultNone {
+			return &ErrIO{FS: fs.name, Op: "remove", Path: path}
+		}
+	}
 	if _, ok := fs.files[path]; !ok {
 		return fmt.Errorf("fs %s: no such file %q", fs.name, path)
 	}
 	delete(fs.files, path)
+	return nil
+}
+
+// Rename atomically moves oldPath to newPath, replacing any existing file
+// there — the publish primitive crash-consistent commits hang off. It is
+// a metadata operation: no transfer time is charged, and an injected
+// fault (always a transient EIO; renames never tear) leaves both paths
+// untouched. Renaming a missing file is an error.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	if newPath == "" {
+		return fmt.Errorf("fs %s: empty path", fs.name)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.fault != nil {
+		if kind, _ := fs.fault.next(opMeta, oldPath); kind != DiskFaultNone {
+			return &ErrIO{FS: fs.name, Op: "rename", Path: oldPath}
+		}
+	}
+	data, ok := fs.files[oldPath]
+	if !ok {
+		return fmt.Errorf("fs %s: no such file %q", fs.name, oldPath)
+	}
+	fs.files[newPath] = data
+	delete(fs.files, oldPath)
 	return nil
 }
 

@@ -19,6 +19,14 @@ type GCStats struct {
 // every job — then removes every chunk no kept manifest references.
 // Chunks are reference-counted by the sweep itself, so a chunk shared by
 // a dropped and a kept checkpoint survives.
+//
+// GC refuses to run while any manifest file is unreadable: a torn frame
+// hides which chunks its checkpoint references, and sweeping "unused"
+// chunks in that state would destroy data a Scrub could still heal. Run
+// Recover (quarantine) or Scrub (repair) first. The removal order is
+// crash-consistent on its own — manifests drop before the chunk sweep,
+// so an interrupted GC leaves at worst unreferenced chunks, which the
+// next GC or Recover reclaims, never a manifest missing chunks.
 func (s *Store) GC(retain int) (GCStats, error) {
 	if retain < 1 {
 		return GCStats{}, fmt.Errorf("store: GC retention must be >= 1 (got %d)", retain)
@@ -26,9 +34,10 @@ func (s *Store) GC(retain int) (GCStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	mans, err := s.Manifests()
-	if err != nil {
-		return GCStats{}, err
+	mans, issues := s.Manifests()
+	if len(issues) > 0 {
+		return GCStats{}, fmt.Errorf("store: gc: %d unreadable manifest(s), run Recover or Scrub first; first: %s: %v",
+			len(issues), issues[0].ID(), issues[0].Err)
 	}
 	// Manifests() orders by job then seq, so the last `retain` entries of
 	// each job group are the newest.
@@ -51,7 +60,7 @@ func (s *Store) GC(retain int) (GCStats, error) {
 			}
 		}
 		for _, m := range group[:cut] {
-			if err := s.fs.Remove(s.manifestPath(m.Job, m.Seq)); err != nil {
+			if err := s.removeRetry(s.manifestPath(m.Job, m.Seq)); err != nil {
 				return st, fmt.Errorf("store: gc: %w", err)
 			}
 			st.ManifestsDropped++
@@ -63,7 +72,7 @@ func (s *Store) GC(retain int) (GCStats, error) {
 			st.ChunksKept++
 			continue
 		}
-		if err := s.fs.Remove(s.chunkPath(sum)); err != nil {
+		if err := s.removeRetry(s.chunkPath(sum)); err != nil {
 			return st, fmt.Errorf("store: gc: %w", err)
 		}
 		st.ChunksDropped++
@@ -82,25 +91,25 @@ type FsckReport struct {
 // OK reports whether the store verified clean.
 func (r FsckReport) OK() bool { return len(r.Errors) == 0 }
 
-// Fsck verifies the whole store: every manifest frame parses, every
-// referenced chunk exists, decompresses, and hashes to its content
-// address, and every manifest's assembled payload matches its digest.
-// Read and decompression time is charged to clock. Fsck returns an error
-// only for infrastructure failures; integrity findings land in the
-// report.
+// Fsck verifies the whole store without modifying it: every manifest
+// frame parses (an undecodable frame is a finding for that manifest only,
+// never an abort that masks the rest), every referenced chunk exists,
+// decompresses, and hashes to its content address, and every manifest's
+// assembled payload matches its digest. Unlike Get, Fsck never heals from
+// replicas — it reports what the primary actually holds; Scrub is the
+// repairing counterpart. Read and decompression time is charged to clock.
+// Fsck returns an error only for infrastructure failures; integrity
+// findings land in the report.
 func (s *Store) Fsck(clock *vtime.Clock) (FsckReport, error) {
 	var rep FsckReport
-	mans, err := s.Manifests()
-	if err != nil {
-		// A manifest that fails to decode is a finding, not an abort; but
-		// Manifests() stops at the first bad frame, so report it.
-		rep.Errors = append(rep.Errors, err.Error())
-		return rep, nil
+	mans, issues := s.Manifests()
+	for _, iss := range issues {
+		rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", iss.ID(), iss.Err))
 	}
 	verified := map[string]bool{}
 	for _, m := range mans {
 		rep.Manifests++
-		payload, _, err := s.Get(clock, m.ID())
+		payload, err := s.assemble(clock, m, false)
 		if err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", m.ID(), err))
 			continue

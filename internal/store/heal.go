@@ -1,0 +1,470 @@
+package store
+
+// Self-healing and crash recovery. A store may have replica stores
+// attached (AttachReplica): reads then fall back per chunk to the
+// replicas on checksum mismatch or loss, re-writing the healed chunk to
+// the primary, and Scrub repairs the whole store in one pass. Recover is
+// the complementary crash-recovery sweep: it reclaims the staging area an
+// interrupted Put/Replicate left behind, quarantines manifest frames that
+// no longer decode, and removes unreferenced chunks, restoring the
+// invariant that every byte of capacity is referenced by a good manifest.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"checl/internal/hw"
+	"checl/internal/vtime"
+)
+
+// HealStats counts the repairs a store has performed on itself since it
+// was opened (healing reads, Scrub passes, write-through repair).
+type HealStats struct {
+	ChunksHealed      int   // chunks re-fetched from a replica
+	BytesHealed       int64 // stored bytes of those chunks
+	ManifestsHealed   int   // manifest frames restored from a replica
+	WritebackFailures int   // healed reads whose primary re-write failed
+}
+
+// Sub returns the difference h - prev (for per-pass deltas).
+func (h HealStats) Sub(prev HealStats) HealStats {
+	return HealStats{
+		ChunksHealed:      h.ChunksHealed - prev.ChunksHealed,
+		BytesHealed:       h.BytesHealed - prev.BytesHealed,
+		ManifestsHealed:   h.ManifestsHealed - prev.ManifestsHealed,
+		WritebackFailures: h.WritebackFailures - prev.WritebackFailures,
+	}
+}
+
+// AttachReplica registers a replica store. Put writes committed
+// checkpoints through to every attached replica, and reads/Scrub heal
+// from them. nic, when positive, models the link to the replica and is
+// charged per healed or written-through byte.
+func (s *Store) AttachReplica(r *Store, nic hw.Bandwidth) {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	s.replicas = append(s.replicas, replicaRef{st: r, nic: nic})
+}
+
+// Replicas reports how many replica stores are attached.
+func (s *Store) Replicas() int {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	return len(s.replicas)
+}
+
+// Heals reports the cumulative self-repair counters.
+func (s *Store) Heals() HealStats {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	return s.heals
+}
+
+func (s *Store) replicaList() []replicaRef {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	out := make([]replicaRef, len(s.replicas))
+	copy(out, s.replicas)
+	return out
+}
+
+func (s *Store) recordChunkHeal(stored int64, writebackFailed bool) {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	s.heals.ChunksHealed++
+	s.heals.BytesHealed += stored
+	if writebackFailed {
+		s.heals.WritebackFailures++
+	}
+}
+
+func (s *Store) recordManifestHeal() {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	s.heals.ManifestsHealed++
+}
+
+// fetchBlob loads one chunk, verified end to end. When the primary copy
+// is missing or corrupt and heal is set, each attached replica is tried
+// in order; the first verified copy is charged across the replica link,
+// re-written to the primary (best effort — a failed write-back degrades
+// the next read, not this one) and counted in HealStats.
+func (s *Store) fetchBlob(clock *vtime.Clock, ref ChunkRef, heal bool) (blob, chunk []byte, err error) {
+	blob, chunk, err = verifyChunkAt(clock, s.fs, s.chunkPath(ref.Sum), s.cfg.Compression, ref.Sum, s.cfg.WriteRetries)
+	if err == nil || !heal {
+		return blob, chunk, err
+	}
+	primaryErr := err
+	for _, r := range s.replicaList() {
+		rblob, rchunk, rerr := verifyChunkAt(clock, r.st.fs, r.st.chunkPath(ref.Sum), r.st.cfg.Compression, ref.Sum, r.st.cfg.WriteRetries)
+		if rerr != nil {
+			continue
+		}
+		if r.nic > 0 {
+			clock.Advance(r.nic.Transfer(int64(len(rblob))))
+		}
+		wbErr := s.writeVerified(clock, s.chunkPath(ref.Sum), rblob)
+		s.recordChunkHeal(int64(len(rblob)), wbErr != nil)
+		return rblob, rchunk, nil
+	}
+	return nil, nil, fmt.Errorf("%w (no replica could supply a good copy)", primaryErr)
+}
+
+// readManifestHealed is readManifest with the same replica fallback the
+// chunk path has: a frame that is present but corrupt (torn write, bit
+// rot) is re-read from the first replica holding a good copy, re-written
+// to the primary best effort, and returned — so a rotted manifest frame
+// costs a restore nothing when a replica is attached, instead of pushing
+// the whole generation onto the skip list until the next Scrub.
+func (s *Store) readManifestHealed(job string, seq uint64) (Manifest, error) {
+	m, err := s.readManifest(job, seq)
+	if err == nil || !errors.Is(err, errCorruptManifest) {
+		return m, err
+	}
+	for _, r := range s.replicaList() {
+		rm, rerr := r.st.readManifest(job, seq)
+		if rerr != nil {
+			continue
+		}
+		frame, ferr := encodeManifest(rm)
+		if ferr != nil {
+			continue
+		}
+		if werr := s.writeVerifiedMeta(vtime.NewClock(), s.manifestPath(job, seq), frame); werr == nil {
+			s.recordManifestHeal()
+		}
+		return rm, nil
+	}
+	return m, err
+}
+
+// RecoverStats reports what one crash-recovery sweep reclaimed.
+type RecoverStats struct {
+	StagedFiles          int   // staged leftovers of interrupted operations
+	StagedBytes          int64 // capacity those occupied
+	OrphanChunks         int   // published chunks no manifest references
+	OrphanBytes          int64
+	ManifestsQuarantined int // undecodable frames moved to quarantine/
+}
+
+// Recover is the crash-recovery sweep a store should run at open (and may
+// run any time — it is idempotent and cheap). It deletes everything under
+// staging/ (an interrupted Put or Replicate never published those files),
+// moves manifest frames that no longer decode into quarantine/ so Latest,
+// GC and the restore walk only ever see good generations, and removes
+// chunks no remaining manifest references — the capacity a failed Put
+// would otherwise leak forever. After Recover the store is fsck-clean by
+// construction, possibly minus quarantined generations.
+func (s *Store) Recover() (RecoverStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st RecoverStats
+
+	for _, p := range s.fs.List() {
+		if !strings.HasPrefix(p, s.stagingPrefix()) {
+			continue
+		}
+		sz, _ := s.fs.Size(p)
+		if err := s.removeRetry(p); err != nil {
+			return st, fmt.Errorf("store: recover: %w", err)
+		}
+		st.StagedFiles++
+		st.StagedBytes += sz
+	}
+
+	_, issues := s.Manifests()
+	for _, iss := range issues {
+		from := s.manifestPath(iss.Job, iss.Seq)
+		to := fmt.Sprintf("%s%s-%08d", s.quarantinePrefix(), iss.Job, iss.Seq)
+		if err := s.renameRetry(from, to); err != nil {
+			return st, fmt.Errorf("store: recover: quarantining %s: %w", iss.ID(), err)
+		}
+		st.ManifestsQuarantined++
+	}
+
+	mans, _ := s.Manifests()
+	referenced := map[string]bool{}
+	for _, m := range mans {
+		for _, c := range m.Chunks {
+			referenced[c.Sum] = true
+		}
+	}
+	for sum, size := range s.chunkSums() {
+		if referenced[sum] {
+			continue
+		}
+		if err := s.removeRetry(s.chunkPath(sum)); err != nil {
+			return st, fmt.Errorf("store: recover: %w", err)
+		}
+		st.OrphanChunks++
+		st.OrphanBytes += size
+	}
+	return st, nil
+}
+
+// ScrubReport is the result of one repair pass.
+type ScrubReport struct {
+	Manifests     int       // decodable manifests verified
+	ChunksChecked int       // distinct chunks verified
+	Healed        HealStats // what this pass repaired from replicas
+	Quarantined   []string  // manifest IDs quarantined as unhealable
+	Findings      []string  // remaining problems (every quarantine is one)
+}
+
+// OK reports whether the store is fully intact after the pass.
+func (r ScrubReport) OK() bool { return len(r.Findings) == 0 }
+
+// Scrub supersedes the detect-only Fsck with a repair pass: it heals
+// undecodable manifest frames from the replicas, pulls back manifests the
+// primary lost entirely (only within a job's surviving sequence range, so
+// generations GC retired stay retired), verifies every chunk of every
+// manifest healing corrupt or missing ones, and quarantines what it
+// cannot heal so the store it leaves behind is trustworthy: after a Scrub
+// with OK()==true, every manifest restores bit-identical.
+func (s *Store) Scrub(clock *vtime.Clock) (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep ScrubReport
+	before := s.Heals()
+
+	// Pass 1: manifest frames that are present but do not decode — heal
+	// from the first replica that still has a good copy, else quarantine.
+	_, issues := s.Manifests()
+	for _, iss := range issues {
+		healed := false
+		for _, r := range s.replicaList() {
+			m, err := r.st.readManifest(iss.Job, iss.Seq)
+			if err != nil {
+				continue
+			}
+			frame, err := encodeManifest(m)
+			if err != nil {
+				continue
+			}
+			if r.nic > 0 {
+				clock.Advance(r.nic.Transfer(int64(len(frame))))
+			}
+			if err := s.writeVerifiedMeta(clock, s.manifestPath(iss.Job, iss.Seq), frame); err != nil {
+				continue
+			}
+			s.recordManifestHeal()
+			healed = true
+			break
+		}
+		if !healed {
+			to := fmt.Sprintf("%s%s-%08d", s.quarantinePrefix(), iss.Job, iss.Seq)
+			if err := s.renameRetry(s.manifestPath(iss.Job, iss.Seq), to); err != nil {
+				return rep, fmt.Errorf("store: scrub: quarantining %s: %w", iss.ID(), err)
+			}
+			rep.Quarantined = append(rep.Quarantined, iss.ID())
+			rep.Findings = append(rep.Findings, fmt.Sprintf("%s: quarantined: %v", iss.ID(), iss.Err))
+		}
+	}
+
+	// Pass 2: manifests the primary lost entirely but a replica kept.
+	s.pullLostManifests(clock, &rep)
+
+	// Pass 3: verify every chunk of every manifest, healing as we read.
+	mans, _ := s.Manifests()
+	chunkState := map[string]error{} // sum -> verification outcome
+	for _, m := range mans {
+		rep.Manifests++
+		var bad []string
+		for _, c := range m.Chunks {
+			verr, seen := chunkState[c.Sum]
+			if !seen {
+				_, _, verr = s.fetchBlob(clock, c, true)
+				chunkState[c.Sum] = verr
+				rep.ChunksChecked++
+			}
+			if verr != nil {
+				bad = append(bad, verr.Error())
+			}
+		}
+		if len(bad) > 0 {
+			to := fmt.Sprintf("%s%s-%08d", s.quarantinePrefix(), m.Job, m.Seq)
+			if err := s.renameRetry(s.manifestPath(m.Job, m.Seq), to); err != nil {
+				return rep, fmt.Errorf("store: scrub: quarantining %s: %w", m.ID(), err)
+			}
+			rep.Quarantined = append(rep.Quarantined, m.ID())
+			rep.Findings = append(rep.Findings, fmt.Sprintf("%s: quarantined: %s", m.ID(), strings.Join(bad, "; ")))
+		}
+	}
+
+	rep.Healed = s.Heals().Sub(before)
+	return rep, nil
+}
+
+// pullLostManifests restores manifests a replica holds that the primary
+// has no file for. Only sequence numbers inside or above the primary's
+// surviving range for a job it already knows are pulled: a generation
+// both GC'd away (below the range) or a whole job the primary never had
+// stays gone, so Scrub can never undo retention policy.
+func (s *Store) pullLostManifests(clock *vtime.Clock, rep *ScrubReport) {
+	replicas := s.replicaList()
+	if len(replicas) == 0 {
+		return
+	}
+	primaryHas := map[string]map[uint64]bool{}
+	minSeq := map[string]uint64{}
+	for _, mf := range s.listManifestFiles() {
+		if primaryHas[mf.Job] == nil {
+			primaryHas[mf.Job] = map[uint64]bool{}
+		}
+		primaryHas[mf.Job][mf.Seq] = true
+		if lo, ok := minSeq[mf.Job]; !ok || mf.Seq < lo {
+			minSeq[mf.Job] = mf.Seq
+		}
+	}
+	for _, r := range replicas {
+		rmans, _ := r.st.Manifests()
+		for _, m := range rmans {
+			seqs, known := primaryHas[m.Job]
+			if !known || seqs[m.Seq] || m.Seq < minSeq[m.Job] {
+				continue
+			}
+			ok := true
+			for _, c := range m.Chunks {
+				if s.fs.Exists(s.chunkPath(c.Sum)) {
+					continue
+				}
+				blob, _, err := verifyChunkAt(clock, r.st.fs, r.st.chunkPath(c.Sum), r.st.cfg.Compression, c.Sum, r.st.cfg.WriteRetries)
+				if err != nil {
+					rep.Findings = append(rep.Findings, fmt.Sprintf("%s: not pulled from replica: %v", m.ID(), err))
+					ok = false
+					break
+				}
+				if r.nic > 0 {
+					clock.Advance(r.nic.Transfer(int64(len(blob))))
+				}
+				if err := s.writeVerified(clock, s.chunkPath(c.Sum), blob); err != nil {
+					rep.Findings = append(rep.Findings, fmt.Sprintf("%s: not pulled from replica: %v", m.ID(), err))
+					ok = false
+					break
+				}
+				s.recordChunkHeal(int64(len(blob)), false)
+			}
+			if !ok {
+				continue
+			}
+			frame, err := encodeManifest(m)
+			if err != nil {
+				continue
+			}
+			if r.nic > 0 {
+				clock.Advance(r.nic.Transfer(int64(len(frame))))
+			}
+			if err := s.writeVerifiedMeta(clock, s.manifestPath(m.Job, m.Seq), frame); err != nil {
+				rep.Findings = append(rep.Findings, fmt.Sprintf("%s: not pulled from replica: %v", m.ID(), err))
+				continue
+			}
+			s.recordManifestHeal()
+			seqs[m.Seq] = true
+		}
+	}
+}
+
+// SkippedCheckpoint records one generation a restore walk had to pass
+// over and why.
+type SkippedCheckpoint struct {
+	ID     string
+	Seq    uint64
+	Reason string
+}
+
+// DegradedRestore is the typed report of a restore that could not use the
+// requested (or newest) generation. It is an error when no generation
+// restored at all (Restored == ""); when attached to a successful restore
+// it documents which newer generations were skipped.
+type DegradedRestore struct {
+	Requested string              // the ref the caller asked for
+	Restored  string              // the manifest that actually restored; "" if none
+	Skipped   []SkippedCheckpoint // newer generations that could not restore
+}
+
+func (d *DegradedRestore) Error() string {
+	if d.Restored == "" {
+		return fmt.Sprintf("store: %s: no restorable generation (%d candidates failed)", d.Requested, len(d.Skipped))
+	}
+	return fmt.Sprintf("store: %s degraded to %s (%d newer generations unrestorable)",
+		d.Requested, d.Restored, len(d.Skipped))
+}
+
+// Generations lists the restore fallback chain for ref: every decodable
+// manifest of the job at or below the requested sequence, newest first,
+// plus one SkippedCheckpoint per undecodable frame in that range.
+func (s *Store) Generations(ref string) ([]Manifest, []SkippedCheckpoint, error) {
+	job, ceiling := ref, uint64(1<<63)
+	if j, seqStr, ok := strings.Cut(ref, "@"); ok {
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: bad manifest ref %q: %w", ref, err)
+		}
+		job, ceiling = j, seq
+	}
+	seqs := s.jobSeqs(job)
+	var mans []Manifest
+	var skipped []SkippedCheckpoint
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if seqs[i] > ceiling {
+			continue
+		}
+		m, err := s.readManifestHealed(job, seqs[i])
+		if err != nil {
+			skipped = append(skipped, SkippedCheckpoint{ID: manifestID(job, seqs[i]), Seq: seqs[i], Reason: err.Error()})
+			continue
+		}
+		mans = append(mans, m)
+	}
+	if len(mans) == 0 && len(skipped) == 0 {
+		return nil, nil, fmt.Errorf("store: job %q has no checkpoints", job)
+	}
+	return mans, skipped, nil
+}
+
+// GetNewestRestorable walks ref's generation chain newest-first and
+// returns the payload of the first generation that both assembles
+// bit-identical (healing from replicas where it can) and passes the
+// caller's validate hook — e.g. "does this payload decode as a process
+// image". The returned *DegradedRestore is nil when the newest generation
+// restored cleanly; otherwise it lists every newer generation that was
+// skipped and why. When nothing restores, the DegradedRestore itself is
+// returned as the error, so callers always get a typed outcome instead of
+// a silent wrong payload.
+func (s *Store) GetNewestRestorable(clock *vtime.Clock, ref string, validate func(payload []byte, man Manifest) error) ([]byte, Manifest, *DegradedRestore, error) {
+	mans, skipped, err := s.Generations(ref)
+	if err != nil {
+		return nil, Manifest{}, nil, err
+	}
+	tried := append([]SkippedCheckpoint(nil), skipped...)
+	for _, m := range mans {
+		payload, gerr := s.assemble(clock, m, true)
+		if gerr != nil {
+			tried = append(tried, SkippedCheckpoint{ID: m.ID(), Seq: m.Seq, Reason: gerr.Error()})
+			continue
+		}
+		if validate != nil {
+			if verr := validate(payload, m); verr != nil {
+				tried = append(tried, SkippedCheckpoint{ID: m.ID(), Seq: m.Seq, Reason: "validate: " + verr.Error()})
+				continue
+			}
+		}
+		var newer []SkippedCheckpoint
+		for _, t := range tried {
+			if t.Seq > m.Seq {
+				newer = append(newer, t)
+			}
+		}
+		sort.Slice(newer, func(i, j int) bool { return newer[i].Seq > newer[j].Seq })
+		if len(newer) == 0 {
+			return payload, m, nil, nil
+		}
+		return payload, m, &DegradedRestore{Requested: ref, Restored: m.ID(), Skipped: newer}, nil
+	}
+	sort.Slice(tried, func(i, j int) bool { return tried[i].Seq > tried[j].Seq })
+	deg := &DegradedRestore{Requested: ref, Skipped: tried}
+	return nil, Manifest{}, deg, deg
+}

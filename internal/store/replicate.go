@@ -20,53 +20,95 @@ type ReplicateStats struct {
 // another node's filesystem. Chunks already present at the destination
 // (from earlier replications or the destination's own checkpoints) are
 // skipped, so replicating successive checkpoints of a job moves only the
-// delta. Source reads and destination writes charge their filesystem
-// models to clock; nic, when positive, additionally charges the
-// node-to-node transfer for every copied byte.
+// delta. Every source chunk is verified end to end before it moves (a
+// corrupt primary copy heals from the source's own replicas rather than
+// propagating), and the destination side is crash-consistent: chunks and
+// manifest are staged with verified writes and published by rename,
+// manifest last, so an interrupted replication leaves dst unchanged apart
+// from staged files its Recover reclaims — and re-running the same
+// Replicate is idempotent. Source reads and destination writes charge
+// their filesystem models to clock; nic, when positive, additionally
+// charges the node-to-node transfer for every copied byte.
 //
 // After replication the checkpoint restores from dst with no reference
 // to the source filesystem, which is what lets core.Migrate-style flows
 // pull from the nearest replica instead of NFS.
 func (s *Store) Replicate(clock *vtime.Clock, ref string, dst *Store, nic hw.Bandwidth) (Manifest, ReplicateStats, error) {
-	var st ReplicateStats
 	if dst == nil {
-		return Manifest{}, st, fmt.Errorf("store: replicate: nil destination")
+		return Manifest{}, ReplicateStats{}, fmt.Errorf("store: replicate: nil destination")
 	}
 	man, err := s.Resolve(ref)
 	if err != nil {
-		return Manifest{}, st, err
+		return Manifest{}, ReplicateStats{}, err
 	}
+	st, err := s.copyManifestTo(clock, man, dst, nic, nil)
+	return man, st, err
+}
+
+// copyManifestTo moves one manifest and its missing chunks into dst with
+// a crash-consistent staged commit. chunkData, when non-nil, maps chunk
+// sums to their uncompressed content; it is Put's write-through escape
+// hatch — if the freshly committed primary copy of a chunk already rotted
+// by the time we read it back for replication, the chunk is recompressed
+// from memory instead of failing the replication.
+func (s *Store) copyManifestTo(clock *vtime.Clock, man Manifest, dst *Store, nic hw.Bandwidth, chunkData map[string][]byte) (ReplicateStats, error) {
+	var st ReplicateStats
 	sw := vtime.NewStopwatch(clock)
+	txdir := fmt.Sprintf("%srepl-%s-%08d-%d", dst.stagingPrefix(), man.Job, man.Seq, dst.nextTxn())
+
+	type stagedFile struct{ tmp, final string }
+	var staged []stagedFile
+	stagedSums := map[string]bool{} // a manifest can reference one sum many times
 	for _, c := range man.Chunks {
-		if dst.fs.Exists(dst.chunkPath(c.Sum)) {
+		if stagedSums[c.Sum] || dst.fs.Exists(dst.chunkPath(c.Sum)) {
 			st.ChunksSkipped++
 			continue
 		}
-		// Move the stored (compressed) representation verbatim; content
+		// The stored (compressed) representation moves verbatim; content
 		// addresses stay valid and no recompression is needed.
-		blob, err := s.fs.ReadFile(clock, s.chunkPath(c.Sum))
+		blob, _, err := s.fetchBlob(clock, c, true)
 		if err != nil {
-			return man, st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
+			chunk, ok := chunkData[c.Sum]
+			if !ok {
+				return st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
+			}
+			if blob, err = s.cfg.Compression.compress(clock, chunk); err != nil {
+				return st, err
+			}
+			// Repair the primary copy too, best effort.
+			_ = s.writeVerified(clock, s.chunkPath(c.Sum), blob)
 		}
 		if nic > 0 {
 			clock.Advance(nic.Transfer(int64(len(blob))))
 		}
-		if err := dst.fs.WriteFile(clock, dst.chunkPath(c.Sum), blob); err != nil {
-			return man, st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
+		tmp := txdir + "/" + c.Sum
+		if err := dst.writeVerified(clock, tmp, blob); err != nil {
+			return st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
 		}
+		staged = append(staged, stagedFile{tmp: tmp, final: dst.chunkPath(c.Sum)})
+		stagedSums[c.Sum] = true
 		st.ChunksCopied++
 		st.BytesCopied += int64(len(blob))
 	}
+
 	frame, err := encodeManifest(man)
 	if err != nil {
-		return man, st, err
+		return st, err
 	}
 	if nic > 0 {
 		clock.Advance(nic.Transfer(int64(len(frame))))
 	}
-	if err := dst.fs.WriteFile(clock, dst.manifestPath(man.Job, man.Seq), frame); err != nil {
-		return man, st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
+	if err := dst.writeVerifiedMeta(clock, txdir+"/manifest", frame); err != nil {
+		return st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
+	}
+	for _, sf := range staged {
+		if err := dst.renameRetry(sf.tmp, sf.final); err != nil {
+			return st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
+		}
+	}
+	if err := dst.renameRetry(txdir+"/manifest", dst.manifestPath(man.Job, man.Seq)); err != nil {
+		return st, fmt.Errorf("store: replicate %s: %w", man.ID(), err)
 	}
 	st.Time = sw.Elapsed()
-	return man, st, nil
+	return st, nil
 }

@@ -1,14 +1,17 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"checl/internal/hw"
 	"checl/internal/proc"
 	"checl/internal/vtime"
 )
@@ -25,6 +28,11 @@ type Config struct {
 	// Compression is the modelled compression stage; the zero value
 	// selects flate.BestSpeed at 400 MB/s compress, 1.2 GB/s decompress.
 	Compression CompressModel
+	// WriteRetries is how many times verified writes, renames, removes and
+	// plain reads are retried past transient *proc.ErrIO (and, for writes,
+	// torn/lost outcomes caught by read-back). Default 2; *proc.ErrNoSpace
+	// is never retried.
+	WriteRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -43,21 +51,40 @@ func (c Config) withDefaults() Config {
 	if c.Compression == (CompressModel{}) {
 		c.Compression = defaultCompression()
 	}
+	if c.WriteRetries == 0 {
+		c.WriteRetries = 2
+	}
 	return c
 }
 
 // Store is a content-addressed checkpoint store on one backing
 // filesystem. Chunks live under <prefix>/chunks/<sha256>, shared by every
-// job; manifests live under <prefix>/manifests/<job>/<seq>.
+// job; manifests live under <prefix>/manifests/<job>/<seq>. Mutating
+// operations stage their files under <prefix>/staging/ and publish them
+// with atomic renames, manifest last, so a crash mid-operation never
+// corrupts Latest; Recover sweeps the staging area and quarantines torn
+// manifests into <prefix>/quarantine/.
 type Store struct {
 	fs  *proc.FS
 	cfg Config
 
-	mu sync.Mutex // serialises Put/GC/Replicate sequencing
+	mu  sync.Mutex // serialises Put/GC/Replicate/Recover/Scrub sequencing
+	txn uint64     // staging-directory counter, monotone under mu
+
+	healMu   sync.Mutex
+	replicas []replicaRef
+	heals    HealStats
+}
+
+// replicaRef is one attached replica and the modelled link to it.
+type replicaRef struct {
+	st  *Store
+	nic hw.Bandwidth
 }
 
 // New opens (or creates — the store is its own directory layout) a store
-// on fs.
+// on fs. Callers opening a store that may have crashed mid-operation
+// should run Recover before trusting capacity or Latest.
 func New(fs *proc.FS, cfg Config) *Store {
 	return &Store{fs: fs, cfg: cfg.withDefaults()}
 }
@@ -73,6 +100,139 @@ func (s *Store) manifestPath(job string, seq uint64) string {
 	return fmt.Sprintf("%s/manifests/%s/%08d", s.cfg.Prefix, job, seq)
 }
 
+func (s *Store) stagingPrefix() string    { return s.cfg.Prefix + "/staging/" }
+func (s *Store) quarantinePrefix() string { return s.cfg.Prefix + "/quarantine/" }
+
+// nextTxn hands out a fresh staging-directory suffix.
+func (s *Store) nextTxn() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txn++
+	return s.txn
+}
+
+// errCorruptManifest marks a manifest frame that is present but does not
+// decode (torn write, bit rot) — an integrity failure, as opposed to an
+// infrastructure failure like a persistent EIO.
+var errCorruptManifest = errors.New("corrupt manifest frame")
+
+// isTransientIO reports whether err is an injected transient I/O error
+// worth retrying. *proc.ErrNoSpace deliberately is not: retrying cannot
+// create capacity.
+func isTransientIO(err error) bool {
+	var eio *proc.ErrIO
+	return errors.As(err, &eio)
+}
+
+// readRetry reads path from fs, retrying transient EIO up to retries
+// times. Bit rot is not an error at this layer — it surfaces as corrupt
+// data to the caller's checksum.
+func readRetry(clock *vtime.Clock, fs *proc.FS, path string, retries int) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		data, err := fs.ReadFile(clock, path)
+		if err == nil {
+			return data, nil
+		}
+		if !isTransientIO(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// writeVerified writes path and reads it back, retrying until the stored
+// bytes equal data or the retry budget runs out. This is what turns torn
+// writes, lost writes and transient EIO into at-worst a latency cost:
+// a Put that returns success has proven its bytes are on disk.
+// *proc.ErrNoSpace aborts immediately.
+func (s *Store) writeVerified(clock *vtime.Clock, path string, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.WriteRetries; attempt++ {
+		if err := s.fs.WriteFile(clock, path, data); err != nil {
+			var nospace *proc.ErrNoSpace
+			if errors.As(err, &nospace) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		back, err := s.fs.ReadFile(clock, path)
+		if err == nil && bytes.Equal(back, data) {
+			return nil
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("store: verifying %s: %w", path, err)
+		} else {
+			lastErr = fmt.Errorf("store: %s corrupt immediately after write", path)
+		}
+	}
+	return lastErr
+}
+
+// writeVerifiedMeta is writeVerified for manifest-sized metadata: the
+// write itself charges normally, but the read-back verification runs
+// against a throwaway clock, matching readManifest's convention that
+// manifest frames are a few KB of metadata whose transfer time vanishes
+// next to the chunk I/O.
+func (s *Store) writeVerifiedMeta(clock *vtime.Clock, path string, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.WriteRetries; attempt++ {
+		if err := s.fs.WriteFile(clock, path, data); err != nil {
+			var nospace *proc.ErrNoSpace
+			if errors.As(err, &nospace) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		back, err := s.fs.ReadFile(vtime.NewClock(), path)
+		if err == nil && bytes.Equal(back, data) {
+			return nil
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("store: verifying %s: %w", path, err)
+		} else {
+			lastErr = fmt.Errorf("store: %s corrupt immediately after write", path)
+		}
+	}
+	return lastErr
+}
+
+// renameRetry publishes old at new, retrying transient EIO. Renames are
+// atomic in FS, so a failed attempt leaves both paths untouched.
+func (s *Store) renameRetry(old, new string) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.WriteRetries; attempt++ {
+		if err := s.fs.Rename(old, new); err == nil {
+			return nil
+		} else {
+			lastErr = err
+			if !isTransientIO(err) {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
+// removeRetry deletes path, retrying transient EIO.
+func (s *Store) removeRetry(path string) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.WriteRetries; attempt++ {
+		if err := s.fs.Remove(path); err == nil {
+			return nil
+		} else {
+			lastErr = err
+			if !isTransientIO(err) {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
 // PutStats reports what one Put cost and how well it deduplicated.
 type PutStats struct {
 	Manifest    string // manifest ID ("job@seq")
@@ -81,7 +241,7 @@ type PutStats struct {
 	NewChunks   int            // chunks not already present in the store
 	NewBytes    int64          // uncompressed bytes of those new chunks
 	StoredBytes int64          // bytes actually written for them (post-compression)
-	Time        vtime.Duration // compress + write time charged to the clock
+	Time        vtime.Duration // compress + write + verify time charged to the clock
 }
 
 // DedupRatio is the fraction of the payload satisfied by chunks already
@@ -96,23 +256,42 @@ func (p PutStats) DedupRatio() float64 {
 // Put stores one checkpoint payload for job: the payload is chunked,
 // chunks already present (from any job) are skipped, new chunks are
 // compressed and written, and a manifest linking to the job's previous
-// checkpoint is recorded. Compression and write time are charged to
-// clock. A full filesystem surfaces as *proc.ErrNoSpace.
+// checkpoint is recorded. Compression, write and read-back-verify time
+// are charged to clock. A full filesystem surfaces as *proc.ErrNoSpace.
+//
+// The commit is crash-consistent: everything is staged under
+// <prefix>/staging/ with verified writes, then published by renaming the
+// chunks and finally the manifest — the atomic commit point. A Put cut
+// short at any earlier operation leaves only staged files no manifest
+// references; Recover reclaims them. If the store has attached replicas
+// (AttachReplica), the committed checkpoint is then written through to
+// each of them before Put returns, so the moment a Put succeeds every
+// replica can serve it; a write-through failure is returned as an error
+// even though the primary commit stands.
 func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, PutStats, error) {
 	if job == "" || strings.ContainsAny(job, "/@") {
 		return Manifest{}, PutStats{}, fmt.Errorf("store: invalid job name %q", job)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 
-	parent := ""
+	// Sequence numbers come from the listing, not from the newest decodable
+	// manifest, so a torn newest manifest is never silently overwritten —
+	// it stays in place for Recover/Scrub and the new checkpoint gets the
+	// next number. The parent link does come from the newest decodable one.
 	seq := uint64(1)
+	if seqs := s.jobSeqs(job); len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+	}
+	parent := ""
 	if last, ok, err := s.latest(job); err != nil {
+		s.mu.Unlock()
 		return Manifest{}, PutStats{}, err
 	} else if ok {
 		parent = last.ID()
-		seq = last.Seq + 1
 	}
+
+	s.txn++
+	txdir := fmt.Sprintf("%sput-%s-%08d-%d", s.stagingPrefix(), job, seq, s.txn)
 
 	sw := vtime.NewStopwatch(clock)
 	ck := chunker{min: s.cfg.MinChunk, avg: s.cfg.AvgChunk, max: s.cfg.MaxChunk}
@@ -122,21 +301,37 @@ func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, P
 	}
 	stats := PutStats{Manifest: man.ID(), TotalBytes: int64(len(payload))}
 
+	type stagedChunk struct{ tmp, final string }
+	var staged []stagedChunk
+	stagedSize := map[string]int64{} // stored size of chunks staged by this Put
+	chunkData := map[string][]byte{} // uncompressed chunks, for write-through repair
+	fail := func(err error) (Manifest, PutStats, error) {
+		// Leave the staged files where they are: an error return is
+		// equivalent to a crash at this point, and Recover is the one
+		// janitor for both.
+		s.mu.Unlock()
+		return Manifest{}, stats, err
+	}
+
 	for _, chunk := range ck.split(payload) {
 		sum256 := sha256.Sum256(chunk)
 		sum := hex.EncodeToString(sum256[:])
 		ref := ChunkRef{Sum: sum, Size: int64(len(chunk))}
-		path := s.chunkPath(sum)
-		if stored, err := s.fs.Size(path); err == nil {
+		chunkData[sum] = chunk
+		if stored, ok := stagedSize[sum]; ok {
+			ref.Stored = stored
+		} else if stored, err := s.fs.Size(s.chunkPath(sum)); err == nil {
 			ref.Stored = stored
 		} else {
 			blob, cerr := s.cfg.Compression.compress(clock, chunk)
 			if cerr != nil {
-				return Manifest{}, stats, cerr
+				return fail(cerr)
 			}
-			if werr := s.fs.WriteFile(clock, path, blob); werr != nil {
-				return Manifest{}, stats, fmt.Errorf("store: writing chunk %s: %w", sum[:12], werr)
+			if werr := s.writeVerified(clock, txdir+"/"+sum, blob); werr != nil {
+				return fail(fmt.Errorf("store: writing chunk %s: %w", sum[:12], werr))
 			}
+			staged = append(staged, stagedChunk{tmp: txdir + "/" + sum, final: s.chunkPath(sum)})
+			stagedSize[sum] = int64(len(blob))
 			ref.Stored = int64(len(blob))
 			stats.NewChunks++
 			stats.NewBytes += int64(len(chunk))
@@ -150,10 +345,31 @@ func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, P
 	man.Digest = hex.EncodeToString(digest[:])
 	frame, err := encodeManifest(man)
 	if err != nil {
-		return Manifest{}, stats, err
+		return fail(err)
 	}
-	if err := s.fs.WriteFile(clock, s.manifestPath(job, seq), frame); err != nil {
-		return Manifest{}, stats, fmt.Errorf("store: writing manifest %s: %w", man.ID(), err)
+	if err := s.writeVerifiedMeta(clock, txdir+"/manifest", frame); err != nil {
+		return fail(fmt.Errorf("store: writing manifest %s: %w", man.ID(), err))
+	}
+
+	// Publish: chunks first, then the manifest — the atomic commit point.
+	for _, sc := range staged {
+		if err := s.renameRetry(sc.tmp, sc.final); err != nil {
+			return fail(fmt.Errorf("store: committing chunk for %s: %w", man.ID(), err))
+		}
+	}
+	if err := s.renameRetry(txdir+"/manifest", s.manifestPath(job, seq)); err != nil {
+		return fail(fmt.Errorf("store: committing manifest %s: %w", man.ID(), err))
+	}
+	s.mu.Unlock()
+
+	// Write-through: the checkpoint is durable on the primary; now make it
+	// durable on every attached replica before reporting success.
+	for _, r := range s.replicaList() {
+		if _, err := s.copyManifestTo(clock, man, r.st, r.nic, chunkData); err != nil {
+			stats.Time = sw.Elapsed()
+			return man, stats, fmt.Errorf("store: %s committed but replication to %s failed: %w",
+				man.ID(), r.st.fs.Name(), err)
+		}
 	}
 	stats.Time = sw.Elapsed()
 	return man, stats, nil
@@ -162,43 +378,55 @@ func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, P
 // Get reconstructs a checkpoint payload. ref is either a manifest ID
 // ("job@seq") or a bare job name, which selects the job's latest
 // checkpoint. Every chunk is verified against its content address and the
-// assembled payload against the manifest digest.
+// assembled payload against the manifest digest; a chunk that is missing
+// or corrupt on the primary is transparently healed from the attached
+// replicas (see AttachReplica and HealStats).
 func (s *Store) Get(clock *vtime.Clock, ref string) ([]byte, Manifest, error) {
 	man, err := s.Resolve(ref)
 	if err != nil {
 		return nil, Manifest{}, err
 	}
+	payload, err := s.assemble(clock, man, true)
+	return payload, man, err
+}
+
+// assemble reads and verifies every chunk of man and checks the payload
+// digest. With heal set, failed chunks fall back to the replicas.
+func (s *Store) assemble(clock *vtime.Clock, man Manifest, heal bool) ([]byte, error) {
 	payload := make([]byte, 0, man.Size)
 	for _, cref := range man.Chunks {
-		chunk, err := s.readChunk(clock, cref)
+		_, chunk, err := s.fetchBlob(clock, cref, heal)
 		if err != nil {
-			return nil, man, err
+			return nil, err
 		}
 		payload = append(payload, chunk...)
 	}
 	digest := sha256.Sum256(payload)
 	if got := hex.EncodeToString(digest[:]); got != man.Digest {
-		return nil, man, fmt.Errorf("store: %s: payload digest mismatch (manifest %s, assembled %s)",
+		return nil, fmt.Errorf("store: %s: payload digest mismatch (manifest %s, assembled %s)",
 			man.ID(), man.Digest[:12], got[:12])
 	}
-	return payload, man, nil
+	return payload, nil
 }
 
-// readChunk loads, decompresses and verifies one chunk.
-func (s *Store) readChunk(clock *vtime.Clock, ref ChunkRef) ([]byte, error) {
-	blob, err := s.fs.ReadFile(clock, s.chunkPath(ref.Sum))
+// verifyChunkAt loads one chunk's stored representation from fs and
+// verifies it end to end: read (with EIO retries), decompress, content
+// hash. It returns both the stored blob (for replication) and the
+// uncompressed chunk.
+func verifyChunkAt(clock *vtime.Clock, fs *proc.FS, path string, comp CompressModel, wantSum string, retries int) (blob, chunk []byte, err error) {
+	blob, err = readRetry(clock, fs, path, retries)
 	if err != nil {
-		return nil, fmt.Errorf("store: chunk %s missing: %w", ref.Sum[:12], err)
+		return nil, nil, fmt.Errorf("store: chunk %s missing: %w", wantSum[:12], err)
 	}
-	chunk, err := s.cfg.Compression.decompress(clock, blob)
+	chunk, err = comp.decompress(clock, blob)
 	if err != nil {
-		return nil, fmt.Errorf("store: chunk %s: %w", ref.Sum[:12], err)
+		return nil, nil, fmt.Errorf("store: chunk %s: %w", wantSum[:12], err)
 	}
 	sum := sha256.Sum256(chunk)
-	if got := hex.EncodeToString(sum[:]); got != ref.Sum {
-		return nil, fmt.Errorf("store: chunk %s corrupt (content hashes to %s)", ref.Sum[:12], got[:12])
+	if got := hex.EncodeToString(sum[:]); got != wantSum {
+		return nil, nil, fmt.Errorf("store: chunk %s corrupt (content hashes to %s)", wantSum[:12], got[:12])
 	}
-	return chunk, nil
+	return blob, chunk, nil
 }
 
 // Resolve looks a ref up without reading chunk data. ref is "job@seq" or
@@ -209,7 +437,7 @@ func (s *Store) Resolve(ref string) (Manifest, error) {
 		if err != nil {
 			return Manifest{}, fmt.Errorf("store: bad manifest ref %q: %w", ref, err)
 		}
-		return s.readManifest(job, seq)
+		return s.readManifestHealed(job, seq)
 	}
 	man, ok, err := s.latest(ref)
 	if err != nil {
@@ -221,53 +449,57 @@ func (s *Store) Resolve(ref string) (Manifest, error) {
 	return man, nil
 }
 
-// Latest reports the newest manifest of a job, if any.
+// Latest reports the newest decodable manifest of a job, if any. Torn or
+// rotten manifest frames are skipped — an interrupted Put can never make
+// a job unrestorable, only push Latest back one generation until Recover
+// or Scrub deals with the bad frame.
 func (s *Store) Latest(job string) (Manifest, bool, error) {
 	return s.latest(job)
 }
 
 func (s *Store) latest(job string) (Manifest, bool, error) {
-	var best Manifest
-	found := false
+	seqs := s.jobSeqs(job)
+	for i := len(seqs) - 1; i >= 0; i-- {
+		m, err := s.readManifestHealed(job, seqs[i])
+		if err == nil {
+			return m, true, nil
+		}
+		if errors.Is(err, errCorruptManifest) {
+			continue
+		}
+		return Manifest{}, false, err
+	}
+	return Manifest{}, false, nil
+}
+
+// jobSeqs lists the sequence numbers present (decodable or not) for job,
+// ascending.
+func (s *Store) jobSeqs(job string) []uint64 {
 	prefix := fmt.Sprintf("%s/manifests/%s/", s.cfg.Prefix, job)
+	var seqs []uint64
 	for _, p := range s.fs.List() {
 		if !strings.HasPrefix(p, prefix) {
 			continue
 		}
-		seq, err := strconv.ParseUint(strings.TrimPrefix(p, prefix), 10, 64)
-		if err != nil {
-			continue
-		}
-		if !found || seq > best.Seq {
-			m, err := s.readManifest(job, seq)
-			if err != nil {
-				return Manifest{}, false, err
-			}
-			best, found = m, true
+		if seq, err := strconv.ParseUint(strings.TrimPrefix(p, prefix), 10, 64); err == nil {
+			seqs = append(seqs, seq)
 		}
 	}
-	return best, found, nil
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
 }
 
-// readManifest loads and validates one manifest frame. Manifest reads are
-// metadata operations and charge no virtual time (they are a few KB
-// against multi-MB images; the latency is inside the chunk reads).
-func (s *Store) readManifest(job string, seq uint64) (Manifest, error) {
-	data, err := s.fs.ReadFile(vtime.NewClock(), s.manifestPath(job, seq))
-	if err != nil {
-		return Manifest{}, fmt.Errorf("store: manifest %s: %w", manifestID(job, seq), err)
-	}
-	m, err := decodeManifest(data)
-	if err != nil {
-		return Manifest{}, fmt.Errorf("store: manifest %s: %w", manifestID(job, seq), err)
-	}
-	return m, nil
-}
-
-// Manifests lists every manifest in the store, ordered by job then seq.
-func (s *Store) Manifests() ([]Manifest, error) {
+// listManifestFiles scans the manifest namespace and returns every
+// (job, seq) with a file present, ordered by job then seq.
+func (s *Store) listManifestFiles() []struct {
+	Job string
+	Seq uint64
+} {
 	prefix := s.cfg.Prefix + "/manifests/"
-	var out []Manifest
+	var out []struct {
+		Job string
+		Seq uint64
+	}
 	for _, p := range s.fs.List() {
 		if !strings.HasPrefix(p, prefix) {
 			continue
@@ -281,9 +513,54 @@ func (s *Store) Manifests() ([]Manifest, error) {
 		if err != nil {
 			continue
 		}
-		m, err := s.readManifest(job, seq)
+		out = append(out, struct {
+			Job string
+			Seq uint64
+		}{job, seq})
+	}
+	return out
+}
+
+// readManifest loads and validates one manifest frame. Manifest reads are
+// metadata operations and charge no virtual time (they are a few KB
+// against multi-MB images; the latency is inside the chunk reads). A
+// frame that fails to decode wraps errCorruptManifest so callers can tell
+// integrity failures from infrastructure ones.
+func (s *Store) readManifest(job string, seq uint64) (Manifest, error) {
+	data, err := readRetry(vtime.NewClock(), s.fs, s.manifestPath(job, seq), s.cfg.WriteRetries)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest %s: %w", manifestID(job, seq), err)
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest %s: %w: %v", manifestID(job, seq), errCorruptManifest, err)
+	}
+	return m, nil
+}
+
+// ManifestIssue reports one manifest file that could not be loaded.
+type ManifestIssue struct {
+	Job string
+	Seq uint64
+	Err error
+}
+
+// ID formats the issue's manifest reference ("job@seq").
+func (i ManifestIssue) ID() string { return manifestID(i.Job, i.Seq) }
+
+// Manifests lists every decodable manifest in the store, ordered by job
+// then seq, plus one issue per manifest file that failed to load — a
+// single torn frame is a finding for that manifest only, it cannot mask
+// the rest of the store. Corrupt frames heal transparently from attached
+// replicas; an issue is reported only when no good copy exists anywhere.
+func (s *Store) Manifests() ([]Manifest, []ManifestIssue) {
+	var out []Manifest
+	var issues []ManifestIssue
+	for _, mf := range s.listManifestFiles() {
+		m, err := s.readManifestHealed(mf.Job, mf.Seq)
 		if err != nil {
-			return nil, err
+			issues = append(issues, ManifestIssue{Job: mf.Job, Seq: mf.Seq, Err: err})
+			continue
 		}
 		out = append(out, m)
 	}
@@ -293,7 +570,7 @@ func (s *Store) Manifests() ([]Manifest, error) {
 		}
 		return out[i].Seq < out[j].Seq
 	})
-	return out, nil
+	return out, issues
 }
 
 // Jobs lists the jobs with at least one checkpoint, sorted.
@@ -332,7 +609,7 @@ func (s *Store) chunkSums() map[string]int64 {
 }
 
 // TotalStoredBytes reports the bytes the store occupies on its backing
-// filesystem (chunks + manifests).
+// filesystem (chunks + manifests + any staged or quarantined leftovers).
 func (s *Store) TotalStoredBytes() int64 {
 	var n int64
 	for _, p := range s.fs.List() {

@@ -16,6 +16,8 @@ go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
     -benchtime "$benchtime" . >"$tmp"
 go test -run '^$' -bench 'BenchmarkFig4RuntimeOverhead' \
     -benchtime 1x . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkScrubHeal' \
+    -benchtime 3x . >>"$tmp"
 
 awk '
 function grab(line, unit,   i, n, f) {
@@ -31,6 +33,11 @@ function grab(line, unit,   i, n, f) {
     trips[name]  = grab($0, "ipc-roundtrips/op")
     allocs[name] = grab($0, "allocs/op")
     mbs[name]    = grab($0, "MB/s")
+}
+/^BenchmarkScrubHeal/ {
+    heal_chunks = grab($0, "healed-chunks")
+    heal_mb     = grab($0, "healed-MB")
+    scrub_ms    = grab($0, "scrub-ms")
 }
 /^BenchmarkFig4RuntimeOverhead\// {
     cfg = $1
@@ -63,6 +70,9 @@ END {
     if (ns["info-cached"] + 0 > 0)
         printf "  \"info_cache_speedup\": %.1f,\n",
                ns["info-forwarded"] / ns["info-cached"]
+    if (heal_chunks != "")
+        printf "  \"scrub_heal\": {\"healed_chunks\": %s, \"healed_mb\": %s, \"scrub_ms\": %s},\n",
+               heal_chunks, heal_mb, scrub_ms
     printf "  \"benchtime\": \"%s\"\n", BT
     printf "}\n"
 }' BT="$benchtime" "$tmp" >"$out"

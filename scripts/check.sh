@@ -18,6 +18,13 @@ go test -race ./...
 # most likely to flake under scheduling nondeterminism, so run them repeatedly
 # under the race detector.
 go test -run Fault -count=5 -race ./internal/...
+# Durability gate: the disk-fault, crash-recovery, and self-healing paths
+# run repeatedly under the race detector, and the store CLI must stay clean
+# both fault-free and under a seeded disk fault plan.
+go test -run 'DiskFault|Durable|Recover|Scrub|Heal|Degraded|Interrupted' -count=3 -race \
+    ./internal/proc/ ./internal/store/ ./internal/core/ ./internal/mpi/
+go run ./cmd/checl-inspect store fsck >/dev/null
+go run ./cmd/checl-inspect -disk-faults 7 store scrub >/dev/null
 # Hot-path gate: the pipelined proxy path (raw frames, enqueue batching,
 # info caches, stats counters) crosses goroutines in ipc/proxy/core, so its
 # tests get their own repeated race-detector pass.
