@@ -618,6 +618,172 @@ func BenchmarkProxyCallOverhead(b *testing.B) {
 			}
 		}
 	})
+	// Same read with a caller-pooled destination: the raw frame lands in
+	// the reused buffer and the steady state allocates nothing per call.
+	b.Run("read-1MB-pooled", func(b *testing.B) {
+		c, q, _, mems := benchProxyApp(b, core.Options{})
+		big := bigBuffer(b, c, mems[0])
+		if _, err := c.EnqueueWriteBuffer(q, big, true, 0, make([]byte, 1<<20), nil); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		b.SetBytes(1 << 20)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.EnqueueReadBufferInto(q, big, true, 0, 1<<20, nil, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- concurrent incremental checkpointing (DESIGN.md §9) ----
+
+// benchBufferSet attaches CheCL and populates count device buffers of
+// size bytes each with deterministic pseudo-random content, the working
+// set the checkpoint-path benchmarks drain.
+func benchBufferSet(b *testing.B, opts core.Options, count int, size int64) (*proc.Node, *core.CheCL, ocl.CommandQueue, []ocl.Mem) {
+	b.Helper()
+	node := proc.NewNode("bench", hw.TableISpec(), ocl.NVIDIA())
+	p := node.Spawn("bench")
+	c, err := core.Attach(p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plats, err := c.GetPlatformIDs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	devs, err := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := c.CreateContext(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := c.CreateCommandQueue(ctx, devs[0], 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, size)
+	mems := make([]ocl.Mem, count)
+	for i := range mems {
+		if mems[i], err = c.CreateBuffer(ctx, ocl.MemReadWrite, size, nil); err != nil {
+			b.Fatal(err)
+		}
+		rng.Read(data)
+		if _, err := c.EnqueueWriteBuffer(q, mems[i], true, 0, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return node, c, q, mems
+}
+
+// BenchmarkCheckpointDrain contrasts the serial device-to-host drain
+// (one blocking read and one IPC round trip per buffer) with the
+// parallel worker-pool drain (one batched IPC call, reads spread over
+// ephemeral per-worker queues) on a 128-buffer, 32 MB working set.
+func BenchmarkCheckpointDrain(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("parallel-x%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			var st core.CheckpointStats
+			for i := 0; i < b.N; i++ {
+				node, c, _, _ := benchBufferSet(b, core.Options{DrainWorkers: workers}, 128, 256<<10)
+				var err error
+				st, err = c.Checkpoint(node.LocalDisk, "drain.ckpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Detach()
+			}
+			b.ReportMetric(st.Phases.Preprocess.Seconds()*1e6, "preprocess-us")
+			b.ReportMetric(float64(st.DrainWorkers), "drain-workers")
+		})
+	}
+}
+
+// BenchmarkIncrementalCopiedBytes measures the bytes the second
+// checkpoint drains after the application rewrote one of eight buffers:
+// full mode re-copies the whole working set, incremental mode copies the
+// one dirty buffer and reuses the parent's chunk refs for the rest.
+func BenchmarkIncrementalCopiedBytes(b *testing.B) {
+	for _, inc := range []bool{false, true} {
+		inc := inc
+		name := "full"
+		if inc {
+			name = "incremental"
+		}
+		b.Run(name, func(b *testing.B) {
+			var st core.CheckpointStats
+			for i := 0; i < b.N; i++ {
+				node, c, q, mems := benchBufferSet(b, core.Options{Incremental: inc}, 8, 1<<20)
+				if _, err := c.Checkpoint(node.LocalDisk, "inc1.ckpt"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.EnqueueWriteBuffer(q, mems[0], true, 0, make([]byte, 1<<20), nil); err != nil {
+					b.Fatal(err)
+				}
+				var err error
+				st, err = c.Checkpoint(node.LocalDisk, "inc2.ckpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Detach()
+			}
+			b.ReportMetric(float64(st.DirtyBytes)/1e6, "copied-MB")
+			b.ReportMetric(float64(st.CleanBytes)/1e6, "clean-MB")
+			b.ReportMetric(st.Phases.Preprocess.Seconds()*1e6, "second-ckpt-preprocess-us")
+		})
+	}
+}
+
+// BenchmarkStorePutPipeline contrasts the serial store Put (each chunk
+// compresses, then writes, in turn) with the pipelined Put that overlaps
+// compression of later chunks with the write of earlier ones. The store
+// sits on the RAM-disk staging tier with 1 MB chunks, where Put is
+// compression-bound — exactly the regime the worker pipeline hides.
+func BenchmarkStorePutPipeline(b *testing.B) {
+	// Half-compressible payload: unique random content (no dedup) whose
+	// zero halves keep the modelled compressor busy per chunk.
+	payload := make([]byte, 12<<20)
+	rand.New(rand.NewSource(9)).Read(payload)
+	for off := 0; off < len(payload); off += 1024 {
+		for j := off + 512; j < off+1024; j++ {
+			payload[j] = 0
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("pipelined-x%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			var put store.PutStats
+			for i := 0; i < b.N; i++ {
+				node := proc.NewNode("bench", hw.TableISpec(), ocl.NVIDIA())
+				st := store.New(node.RAMDisk, store.Config{
+					MinChunk: 256 << 10, AvgChunk: 1 << 20, MaxChunk: 4 << 20,
+					PipelineWorkers: workers,
+				})
+				var err error
+				_, put, err = st.Put(node.Clock, "pipe", payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(put.Time.Seconds()*1e3, "put-ms")
+			b.ReportMetric(float64(put.TotalBytes)/1e6/put.Time.Seconds(), "store-MB/s")
+		})
+	}
 }
 
 // BenchmarkInterpreterThroughput measures the OpenCL C interpreter on the

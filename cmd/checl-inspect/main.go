@@ -43,6 +43,8 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "problem-size multiplier")
 	faults := flag.Int("faults", 0, "crash the API proxy every N calls (0 disables fault injection)")
 	diskFaults := flag.Int("disk-faults", 0, "inject a disk fault every N store filesystem operations (0 disables)")
+	incremental := flag.Bool("incremental", false,
+		"attach with incremental checkpointing (parallel drain) and show the per-generation dirty/clean split")
 	flag.Parse()
 
 	if args := flag.Args(); len(args) > 0 {
@@ -64,6 +66,10 @@ func main() {
 	node := proc.NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
 	p := node.Spawn(app.Name)
 	opts := core.Options{}
+	if *incremental {
+		opts.Incremental = true
+		opts.DrainWorkers = 8
+	}
 	var inj *ipc.FaultInjector
 	if *faults > 0 {
 		// Seeded kill-every-N mix: connection kills at every frame position
@@ -114,8 +120,23 @@ func main() {
 	fmt.Printf("  file size:     %.3f MB\n", float64(st.FileSize)/1e6)
 	fmt.Printf("  staged:        %d buffers, %.3f MB device data\n",
 		st.StagedBuffers, float64(st.StagedBytes)/1e6)
+	printDrain(st)
 	fmt.Printf("  phases:        sync %s | preprocess %s | write %s | postprocess %s\n",
 		st.Phases.Sync, st.Phases.Preprocess, st.Phases.Write, st.Phases.Postprocess)
+
+	if *incremental {
+		// A second generation of the idle application: every buffer is
+		// clean, so the drain copies nothing and the store/file payload is
+		// all parent reuse.
+		st2, err := c.Checkpoint(node.LocalDisk, app.Name+".ckpt")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nincremental generation 2 (application idle since generation 1):")
+		printDrain(st2)
+		fmt.Printf("  phases:        sync %s | preprocess %s | write %s | postprocess %s\n",
+			st2.Phases.Sync, st2.Phases.Preprocess, st2.Phases.Write, st2.Phases.Postprocess)
+	}
 
 	img, err := cpr.ReadImage(vtime.NewClock(), node.LocalDisk, st.Path)
 	if err != nil {
@@ -212,6 +233,16 @@ func storeCmd(appName string, scale float64, sub string, diskFaults int) {
 	}
 }
 
+// printDrain summarises a checkpoint's dirty/clean buffer split: what the
+// preprocess phase actually copied off the device versus what rode on the
+// parent generation's chunks.
+func printDrain(st core.CheckpointStats) {
+	fmt.Printf("  drained:       %d dirty (%.3f MB copied), %d clean reused (%.3f MB), %d released skipped, %d drain workers\n",
+		st.DirtyBuffers, float64(st.DirtyBytes)/1e6,
+		st.CleanBuffers, float64(st.CleanBytes)/1e6,
+		st.SkippedReleased, st.DrainWorkers)
+}
+
 func storeLs(st *store.Store) {
 	mans, issues := st.Manifests()
 	fmt.Printf("checkpoint store on %q: %d manifests, %d jobs, %.3f MB stored\n",
@@ -219,13 +250,22 @@ func storeLs(st *store.Store) {
 	for _, iss := range issues {
 		fmt.Printf("  UNREADABLE %s: %v\n", iss.ID(), iss.Err)
 	}
-	fmt.Printf("  %-20s %-20s %8s %12s %8s\n", "MANIFEST", "PARENT", "CHUNKS", "SIZE", "DIGEST")
+	byID := make(map[string]store.Manifest, len(mans))
+	for _, m := range mans {
+		byID[m.ID()] = m
+	}
+	fmt.Printf("  %-20s %-20s %8s %12s %12s %8s\n", "MANIFEST", "PARENT", "CHUNKS", "SIZE", "DELTA", "DIGEST")
 	for _, m := range mans {
 		parent := m.Parent
+		var pm *store.Manifest
+		if p, ok := byID[m.Parent]; ok {
+			pm = &p
+		}
 		if parent == "" {
 			parent = "-"
 		}
-		fmt.Printf("  %-20s %-20s %8d %12d %8s\n", m.ID(), parent, len(m.Chunks), m.Size, m.Digest[:8])
+		fmt.Printf("  %-20s %-20s %8d %12d %12d %8s\n",
+			m.ID(), parent, len(m.Chunks), m.Size, m.DeltaSize(pm), m.Digest[:8])
 	}
 }
 

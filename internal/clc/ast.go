@@ -59,6 +59,13 @@ type Type struct {
 	Kind  TypeKind
 	Elem  *Type     // element type when Kind == TPtr
 	Space AddrSpace // address space of the pointee for TPtr, of the object otherwise
+
+	// ConstElem records a `const` qualifier on the pointee (e.g.
+	// `const __global float*`): the kernel cannot store through this
+	// parameter, so write-set analysis may drop it from the conservative
+	// wildcard fallback. It is qualifier metadata, not part of structural
+	// identity: Equal and String ignore it.
+	ConstElem bool
 }
 
 // Primitive singleton types.

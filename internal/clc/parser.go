@@ -199,6 +199,7 @@ func (p *Parser) skipParens() error {
 func (p *Parser) parseType() (*Type, AddrSpace, error) {
 	space := ASPrivate
 	unsigned := false
+	sawConst := false
 	var base *Type
 	sawBase := false
 	for {
@@ -217,6 +218,9 @@ func (p *Parser) parseType() (*Type, AddrSpace, error) {
 			space = ASPrivate
 			p.pos++
 		case t.Is("const") || t.Is("volatile") || t.Is("restrict"):
+			if t.Is("const") {
+				sawConst = true
+			}
 			p.pos++
 		case t.Is("__read_only") || t.Is("read_only") || t.Is("__write_only") ||
 			t.Is("write_only") || t.Is("__read_write") || t.Is("read_write"):
@@ -292,10 +296,17 @@ done:
 		}
 	}
 	typ := base
+	firstPtr := true
 	for p.cur().Is("*") {
 		p.pos++
 		typ = PtrTo(typ, space)
-		// const/restrict after '*'.
+		// A `const` before the first '*' qualifies the pointee: the kernel
+		// cannot store through this pointer.
+		if firstPtr && sawConst {
+			typ.ConstElem = true
+		}
+		firstPtr = false
+		// const/restrict after '*' qualify the pointer variable itself.
 		for p.cur().Is("const") || p.cur().Is("restrict") || p.cur().Is("volatile") {
 			p.pos++
 		}

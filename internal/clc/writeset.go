@@ -25,11 +25,22 @@ func (p *Program) WriteSet(name string) ([]int, bool) {
 		if ClassifyParam(prm.Type) != ParamMemHandle {
 			continue
 		}
-		if written[prm.Name] || written[wildcard] {
+		// The wildcard (an untraceable store) conservatively dirties every
+		// pointer parameter — except ones the type system already proves
+		// read-only: __constant pointers and const-element pointers cannot
+		// be stored through, so even an untraceable store cannot hit them.
+		if written[prm.Name] || (written[wildcard] && !readOnlyParam(prm.Type)) {
 			out = append(out, i)
 		}
 	}
 	return out, true
+}
+
+// readOnlyParam reports whether a pointer parameter is provably read-only:
+// the kernel cannot legally store through a __constant pointer or a
+// pointer to const.
+func readOnlyParam(t *Type) bool {
+	return t.Kind == TPtr && (t.Space == ASConstant || t.ConstElem)
 }
 
 // wildcard marks "some untraceable pointer was stored through".

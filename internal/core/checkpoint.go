@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"checl/internal/cpr"
 	"checl/internal/hw"
@@ -38,18 +40,71 @@ type CheckpointStats struct {
 	StagedBuffers int
 	StagedBytes   int64
 
+	// Incremental breakdown: dirty buffers were re-staged from the
+	// device, clean buffers kept their previous staged copy (and, for
+	// store checkpoints, reuse the parent generation's chunk refs).
+	DirtyBuffers    int
+	DirtyBytes      int64
+	CleanBuffers    int
+	CleanBytes      int64
+	SkippedReleased int // dead records (released but still kernel-bound)
+	DrainWorkers    int // device-to-host streams used by the preprocess
+
 	// Store-backed checkpoints only: the manifest written and the
 	// dedup/compression breakdown of the Put. Nil for flat-file dumps.
 	Manifest string
 	StorePut *store.PutStats
+
+	// Overlapped store writes (Options.OverlapStoreWrite, delayed mode):
+	// BackgroundWrite marks a checkpoint whose store write was released
+	// to the background — Manifest/StorePut/Overlap are filled in on
+	// LastCheckpoint() once the barrier lands. Overlap is the portion of
+	// the write hidden behind application progress. BackgroundErr on a
+	// later checkpoint reports that the previous generation's background
+	// write failed (that checkpoint re-staged everything).
+	BackgroundWrite bool
+	Overlap         vtime.Duration
+	BackgroundErr   *BackgroundWriteError
 }
+
+// BackgroundWriteError is the typed failure of an overlapped store write,
+// surfaced at the barrier (the next checkpoint or WaitBackgroundWrite).
+type BackgroundWriteError struct {
+	Job string
+	Err error
+}
+
+func (e *BackgroundWriteError) Error() string {
+	return fmt.Sprintf("checl: background store write of job %q failed: %v", e.Job, e.Err)
+}
+
+func (e *BackgroundWriteError) Unwrap() error { return e.Err }
+
+// bgWrite tracks one overlapped store write. The goroutine runs the Put
+// against a scratch clock; the barrier charges the portion of its virtual
+// duration that application progress did not already cover.
+type bgWrite struct {
+	job       string
+	done      chan struct{}
+	startedAt vtime.Time     // application clock when the write launched
+	dur       vtime.Duration // virtual duration of the Put
+	man       string
+	put       *store.PutStats
+	err       error
+}
+
+// memRegion names the application memory region holding one buffer's
+// staged contents during a dump. Keyed by the stable CheCL handle, so the
+// region name — and therefore its store segment — is identical across
+// generations, which is what lets clean segments reuse parent chunk refs.
+func memRegion(h Handle) string { return fmt.Sprintf("checl.mem/%x", uint64(h)) }
 
 // Checkpoint performs the §III-C procedure: synchronise, stage device
 // buffers into host memory, dump the (now OpenCL-free) application process
 // with the conventional CPR backend, and drop the staged copies.
 func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
 	stats := CheckpointStats{Path: path, FSName: fs.Name()}
-	err := c.runCheckpoint(&stats, func() (int64, error) {
+	err := c.runCheckpoint(&stats, func(map[string]bool) (int64, error) {
 		wst, err := c.opts.Backend.Checkpoint(c.app, fs, path)
 		return wst.Bytes, err
 	})
@@ -67,8 +122,25 @@ func (c *CheCL) CheckpointToStore(st *store.Store, job string) (CheckpointStats,
 		return CheckpointStats{}, fmt.Errorf("checl: backend %s cannot checkpoint to a store", c.opts.Backend.Name())
 	}
 	stats := CheckpointStats{Path: job, FSName: st.FS().Name()}
-	err := c.runCheckpoint(&stats, func() (int64, error) {
-		wst, put, err := sb.CheckpointToStore(c.app, st, job)
+	// Barrier on a previous overlapped write: the new generation dedups
+	// against its parent, so the parent must be committed first. If it
+	// failed, the clean flags describe an uncommitted generation — every
+	// buffer is re-staged and the failure is surfaced typed.
+	if err := c.WaitBackgroundWrite(); err != nil {
+		if bge := (*BackgroundWriteError)(nil); errors.As(err, &bge) {
+			stats.BackgroundErr = bge
+		} else {
+			stats.BackgroundErr = &BackgroundWriteError{Job: job, Err: err}
+		}
+		for _, m := range c.db.mems {
+			m.Dirty = true
+		}
+	}
+	err := c.runCheckpoint(&stats, func(clean map[string]bool) (int64, error) {
+		if c.opts.OverlapStoreWrite && c.opts.Mode == Delayed && !c.opts.Destructive {
+			return c.startBackgroundPut(sb, st, job, clean, &stats)
+		}
+		wst, put, err := sb.CheckpointToStoreIncremental(c.app, st, job, clean)
 		if err != nil {
 			return 0, err
 		}
@@ -79,9 +151,73 @@ func (c *CheCL) CheckpointToStore(st *store.Store, job string) (CheckpointStats,
 	return stats, err
 }
 
+// startBackgroundPut snapshots the process image synchronously and hands
+// the chunk/compress/write pipeline to a background goroutine against a
+// scratch clock, releasing the application immediately. The barrier
+// (WaitBackgroundWrite) charges whatever portion of the write the
+// application's own progress did not hide.
+func (c *CheCL) startBackgroundPut(sb cpr.StoreBackend, st *store.Store, job string, clean map[string]bool, stats *CheckpointStats) (int64, error) {
+	data, segs, err := cpr.SnapshotStoreImage(sb, c.app, clean)
+	if err != nil {
+		return 0, err
+	}
+	bg := &bgWrite{job: job, done: make(chan struct{}), startedAt: c.app.Clock().Now()}
+	c.bg = bg
+	go func() {
+		defer close(bg.done)
+		scratch := vtime.NewClock()
+		sw := vtime.NewStopwatch(scratch)
+		_, put, err := st.PutSegmented(scratch, job, data, segs)
+		bg.dur = sw.Elapsed()
+		if err != nil {
+			bg.err = err
+			return
+		}
+		bg.man = put.Manifest
+		bg.put = &put
+	}()
+	stats.BackgroundWrite = true
+	return int64(len(data)), nil
+}
+
+// WaitBackgroundWrite barriers on an in-flight overlapped store write:
+// it blocks until the write lands, charges the non-hidden remainder of
+// its virtual duration to the application clock, retro-fills the last
+// checkpoint's Manifest/StorePut/Overlap (visible via LastCheckpoint),
+// and returns the write's failure, if any, as a *BackgroundWriteError.
+// It is a no-op when no write is in flight.
+func (c *CheCL) WaitBackgroundWrite() error {
+	bg := c.bg
+	if bg == nil {
+		return nil
+	}
+	c.bg = nil
+	<-bg.done
+	clock := c.app.Clock()
+	hidden := clock.Now().Sub(bg.startedAt)
+	if hidden > bg.dur {
+		hidden = bg.dur
+	}
+	// AdvanceTo is monotone: if the application already ran past the
+	// write's end, the whole write was hidden and nothing is charged.
+	clock.AdvanceTo(bg.startedAt.Add(bg.dur))
+	if bg.err != nil {
+		return &BackgroundWriteError{Job: bg.job, Err: bg.err}
+	}
+	if lc := c.lastCkpt; lc != nil && lc.BackgroundWrite && lc.Manifest == "" {
+		lc.Manifest = bg.man
+		lc.StorePut = bg.put
+		lc.Overlap = hidden
+	}
+	return nil
+}
+
 // runCheckpoint executes the four §III-C phases around a pluggable
-// phase-3 writer (flat file or store), filling stats in place.
-func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)) error {
+// phase-3 writer (flat file or store), filling stats in place. The
+// writer receives the clean-region map (nil outside incremental mode):
+// region names of buffers whose staged copy is byte-identical to the
+// previous generation's, so a store writer can reuse parent chunk refs.
+func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string]bool) (int64, error)) error {
 	clock := c.app.Clock()
 
 	// Phase 1: synchronisation. Deferred batched commands must reach the
@@ -103,31 +239,71 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 
 	// Phase 2: preprocessing. Copy user data from device memory to host
 	// memory. In incremental mode only buffers possibly modified since
-	// the previous checkpoint are re-staged.
+	// the previous checkpoint are re-staged; clean buffers keep their
+	// previous staged copy and are reported to the phase-3 writer so a
+	// store can reuse the parent generation's chunk refs. CL_MEM_USE_HOST_PTR
+	// buffers are always conservatively dirty: the application can write
+	// through the aliased host pointer without any API call CheCL sees.
+	var clean map[string]bool
+	if c.opts.Incremental {
+		clean = map[string]bool{}
+	}
+	var dirty []*memRec
 	for _, m := range c.db.orderedMems() {
-		if c.opts.Incremental && !m.Dirty && m.Data != nil {
+		if m.Released {
+			// Dead record: refcount hit zero but a kernel argument still
+			// names the buffer. Its contents are unreachable by the
+			// application — nothing to copy; restore recreates a
+			// placeholder allocation.
+			stats.SkippedReleased++
 			continue
 		}
-		qrec := c.anyQueueFor(m.Ctx)
-		if qrec == nil {
+		if c.opts.Incremental && !m.Dirty && !m.UseHostPtr && m.Data != nil {
+			clean[memRegion(m.H)] = true
+			stats.CleanBuffers++
+			stats.CleanBytes += m.Size
+			continue
+		}
+		if c.anyQueueFor(m.Ctx) == nil {
 			// No queue in this context: the buffer was never usable by a
 			// kernel; stage zeros of the right size.
 			m.Data = make([]byte, m.Size)
-		} else {
+			m.Dirty = false
+			stats.StagedBuffers++
+			stats.StagedBytes += m.Size
+			stats.DirtyBuffers++
+			stats.DirtyBytes += m.Size
+			continue
+		}
+		dirty = append(dirty, m)
+	}
+	stats.DrainWorkers = 1
+	if c.opts.DrainWorkers > 1 && len(dirty) > 1 {
+		stats.DrainWorkers = c.opts.DrainWorkers
+		if err := c.drainParallel(dirty, c.opts.DrainWorkers); err != nil {
+			return fmt.Errorf("checl: checkpoint preprocess: %w", err)
+		}
+	} else {
+		for _, m := range dirty {
+			qrec := c.anyQueueFor(m.Ctx)
 			mrec := m
 			var data []byte
 			if err := c.forward("clEnqueueReadBuffer", func(api *proxy.Client) error {
 				var e error
-				data, _, e = api.EnqueueReadBuffer(qrec.real, mrec.real, true, 0, mrec.Size, nil)
+				data, _, e = api.EnqueueReadBufferInto(qrec.real, mrec.real, true, 0, mrec.Size, nil, mrec.Data)
 				return e
 			}); err != nil {
 				return fmt.Errorf("checl: checkpoint preprocess: %w", err)
 			}
 			m.Data = data
 		}
+	}
+	for _, m := range dirty {
 		m.Dirty = false
 		stats.StagedBuffers++
 		stats.StagedBytes += m.Size
+		stats.DirtyBuffers++
+		stats.DirtyBytes += m.Size
 	}
 	stats.Phases.Preprocess = sw.Reset()
 
@@ -138,14 +314,25 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 	}
 
 	// Phase 3: write. Serialise the object database into the application's
-	// address space and let the dump function (conventional CPR backend or
-	// checkpoint store) persist the process image.
-	blob, err := c.db.encode()
+	// address space — each staged buffer as its own region, keyed by the
+	// stable CheCL handle, so unchanged buffers land in identical store
+	// segments across generations — and let the dump function
+	// (conventional CPR backend or checkpoint store) persist the image.
+	blob, err := c.db.encodeStripped()
 	if err != nil {
 		return err
 	}
+	var memRegions []string
+	for _, m := range c.db.orderedMems() {
+		if m.Released || m.Data == nil {
+			continue
+		}
+		name := memRegion(m.H)
+		c.app.SetRegion(name, m.Data)
+		memRegions = append(memRegions, name)
+	}
 	c.app.SetRegion(dbRegion, blob)
-	bytes, err := dump()
+	bytes, err := dump(clean)
 	if err != nil {
 		return fmt.Errorf("checl: checkpoint write: %w", err)
 	}
@@ -156,6 +343,9 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 	// memory. (CheCL keeps the OpenCL objects alive — unlike CheCUDA, no
 	// recreation is needed, which is why this phase is negligible.)
 	c.app.RemoveRegion(dbRegion)
+	for _, name := range memRegions {
+		c.app.RemoveRegion(name)
+	}
 	if c.opts.Destructive {
 		// CheCUDA-style recreation of everything that was torn down,
 		// using the staged copies before they are dropped.
@@ -183,6 +373,126 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func() (int64, error)
 	stats.Phases.Postprocess = sw.Reset()
 	c.lastCkpt = stats
 	return nil
+}
+
+// drainParallel stages dirty buffers through up to `workers` concurrent
+// device-to-host streams per context. Fresh (ephemeral) command queues
+// have no backlog, so their copy chains overlap on the device's DMA
+// engines; buffers are assigned longest-first to the least-loaded stream
+// (LPT greedy) and a single batched round-trip issues every non-blocking
+// read plus one finish per stream — one IPC latency charge for the whole
+// drain instead of one per buffer.
+func (c *CheCL) drainParallel(dirty []*memRec, workers int) error {
+	// Queues cannot cross contexts; group and drain per context in
+	// deterministic (Seq) order.
+	byCtx := map[Handle][]*memRec{}
+	var order []Handle
+	for _, m := range dirty {
+		if _, ok := byCtx[m.Ctx]; !ok {
+			order = append(order, m.Ctx)
+		}
+		byCtx[m.Ctx] = append(byCtx[m.Ctx], m)
+	}
+	for _, ctxH := range order {
+		if err := c.drainCtx(ctxH, byCtx[ctxH], workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CheCL) drainCtx(ctxH Handle, items []*memRec, workers int) error {
+	ctx, err := c.db.context(ctxH)
+	if err != nil {
+		return err
+	}
+	if len(ctx.Devices) == 0 {
+		return ocl.Errf("CheCL", ocl.InvalidContext, "context %#x has no devices", uint64(ctxH))
+	}
+	dev, err := c.db.device(ctx.Devices[0])
+	if err != nil {
+		return err
+	}
+	w := workers
+	if w > len(items) {
+		w = len(items)
+	}
+
+	// LPT greedy: biggest buffers first onto the least-loaded stream,
+	// balancing the per-queue copy chains (the drain ends when the
+	// longest chain does).
+	order := make([]*memRec, len(items))
+	copy(order, items)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Size != order[j].Size {
+			return order[i].Size > order[j].Size
+		}
+		return order[i].Seq < order[j].Seq
+	})
+	assign := make([]int, len(order))
+	load := make([]int64, w)
+	for i := range order {
+		best := 0
+		for q := 1; q < w; q++ {
+			if load[q] < load[best] {
+				best = q
+			}
+		}
+		assign[i] = best
+		load[best] += order[i].Size
+	}
+
+	return c.forward("checkpoint drain", func(api *proxy.Client) error {
+		queues := make([]ocl.CommandQueue, w)
+		for i := range queues {
+			q, err := api.CreateCommandQueue(ctx.real, dev.real, 0)
+			if err != nil {
+				return err
+			}
+			queues[i] = q
+		}
+		defer func() {
+			for _, q := range queues {
+				api.ReleaseCommandQueue(q) //nolint:errcheck // best-effort teardown
+			}
+		}()
+		cmds := make([]proxy.BatchCmd, 0, len(order)+w)
+		for i, m := range order {
+			cmds = append(cmds, proxy.BatchCmd{
+				Op:    proxy.BatchRead,
+				Queue: queues[assign[i]],
+				Mem:   m.real,
+				Size:  m.Size,
+			})
+		}
+		for _, q := range queues {
+			cmds = append(cmds, proxy.BatchCmd{Op: proxy.BatchFinish, Queue: q})
+		}
+		resp, raw, err := api.EnqueueBatch(cmds, nil)
+		if err != nil {
+			return err
+		}
+		if resp.ErrIdx >= 0 {
+			return ocl.Errf(resp.ErrOp, ocl.Status(resp.ErrStatus), "%s", resp.ErrDetail)
+		}
+		// Copy each buffer's bytes out of the shared batch frame into its
+		// staging buffer (reusing prior capacity) — the frame itself must
+		// not be aliased past this call.
+		off := int64(0)
+		for i, m := range order {
+			n := resp.ReadLens[i]
+			buf := m.Data
+			if int64(cap(buf)) >= n {
+				buf = buf[:n]
+			} else {
+				buf = make([]byte, n)
+			}
+			copy(buf, raw[off:off+n])
+			m.Data = buf
+			off += n
+		}
+		return nil
+	})
 }
 
 // anyQueueFor returns some queue of the given context, or nil.
@@ -278,6 +588,17 @@ func rebuild(node *proc.Node, app *proc.Process, what string, opts Options, stat
 		return nil, err
 	}
 	app.RemoveRegion(dbRegion)
+
+	// Reattach per-buffer regions (stripped-database format): each staged
+	// buffer travelled as its own region so store checkpoints could dedup
+	// it segment-wise. Old images carry the data inline in the database
+	// blob and have no such regions — both decode correctly here.
+	for _, m := range db.orderedMems() {
+		if blob := app.Region(memRegion(m.H)); blob != nil {
+			m.Data = append([]byte(nil), blob...)
+			app.RemoveRegion(memRegion(m.H))
+		}
+	}
 
 	vendor, err := selectVendor(node, opts.VendorName)
 	if err != nil {
@@ -414,6 +735,15 @@ func (c *CheCL) rebindAll() (RestartStats, error) {
 			return stats, err
 		}
 		m.real = real
+		if m.Released {
+			// Dead record kept only because a kernel argument still names
+			// it: a placeholder allocation satisfies the binding, nothing
+			// to upload.
+			m.Dirty = false
+			m.UseHostPtr = false
+			m.hostPtr = nil
+			continue
+		}
 		if m.Data != nil {
 			q := c.anyQueueFor(m.Ctx)
 			if q != nil {
@@ -616,6 +946,18 @@ func MigrateViaStore(c *CheCL, src *store.Store, job string, target *proc.Node, 
 	ckpt, err := c.CheckpointToStore(src, job)
 	if err != nil {
 		return nil, ms, err
+	}
+	// Migration needs the manifest now: barrier on an overlapped write
+	// and pick up the retro-filled Manifest/StorePut.
+	if err := c.WaitBackgroundWrite(); err != nil {
+		return nil, ms, err
+	}
+	if ckpt.Manifest == "" {
+		if lc := c.lastCkpt; lc != nil {
+			ckpt.Manifest = lc.Manifest
+			ckpt.StorePut = lc.StorePut
+			ckpt.Overlap = lc.Overlap
+		}
 	}
 	ms.Checkpoint = ckpt
 

@@ -81,6 +81,20 @@ type Options struct {
 	// drain). A batched command's error is delivered at the flush as a
 	// *BatchError attributing the originating call.
 	BatchEnqueues bool
+	// DrainWorkers bounds the checkpoint preprocess parallelism: dirty
+	// buffers are drained over that many concurrent device-to-host
+	// streams per context (ephemeral queues inside one batched IPC
+	// frame). Values <= 1 keep the serial per-buffer drain.
+	DrainWorkers int
+	// OverlapStoreWrite releases the application after the copy phase of
+	// a delayed-mode store checkpoint: the chunk/compress/write pipeline
+	// runs in the background while the application continues, and the
+	// next checkpoint (or WaitBackgroundWrite) barriers on it. A failed
+	// background write is surfaced as CheckpointStats.BackgroundErr on
+	// the next checkpoint and forces that checkpoint to re-stage every
+	// buffer. Only effective with Mode == Delayed and a non-destructive
+	// store checkpoint.
+	OverlapStoreWrite bool
 }
 
 // CheCL is one attached instance of the tool: it implements ocl.API for
@@ -95,6 +109,7 @@ type CheCL struct {
 	inFailover bool // a failover rebind is running; don't recurse
 	fstats     FailoverStats
 	lastCkpt   *CheckpointStats
+	bg         *bgWrite // in-flight overlapped store write, nil when none
 
 	// Deferred commands awaiting the next synchronisation-point flush
 	// (Options.BatchEnqueues).
@@ -563,9 +578,35 @@ func (c *CheCL) ReleaseMemObject(h ocl.Mem) error {
 	}
 	rec.Refs--
 	if rec.Refs <= 0 {
-		delete(c.db.mems, rec.H)
+		if c.memReferenced(rec.H) {
+			// A live kernel still binds this buffer: the record must stay
+			// so clSetKernelArg replay works after a restore. It becomes a
+			// dead record — its contents are gone with the release, so the
+			// checkpoint preprocess must never stage it again.
+			rec.Released = true
+			rec.Data = nil
+			rec.Dirty = false
+			rec.UseHostPtr = false
+			rec.hostPtr = nil
+		} else {
+			delete(c.db.mems, rec.H)
+		}
 	}
 	return nil
+}
+
+// memReferenced reports whether any live kernel's recorded argument still
+// carries the mem handle h.
+func (c *CheCL) memReferenced(h Handle) bool {
+	for _, k := range c.db.kernels {
+		for _, a := range k.Args {
+			if a.Set && !a.Local && len(a.Raw) == 8 &&
+				Handle(binary.LittleEndian.Uint64(a.Raw)) == h {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ---- sampler wrappers ----
@@ -958,7 +999,7 @@ func (c *CheCL) translateArg(prec *programRec, kernel string, index int, size in
 					kernel, index, sig.Params[index].Name)
 			}
 			mh := Handle(binary.LittleEndian.Uint64(value))
-			mrec, err := c.db.mem(mh)
+			mrec, err := c.db.memAny(mh)
 			if err != nil {
 				return nil, false, err
 			}
@@ -1150,6 +1191,57 @@ func (c *CheCL) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, 
 	return data, ev, nil
 }
 
+// EnqueueReadBufferInto is EnqueueReadBuffer with a caller-owned
+// destination: when buf has capacity for size bytes the read lands in it
+// and the steady state allocates nothing on the client side (the
+// returned slice then aliases buf). Batched-enqueue sessions fall back
+// to the allocating path — the read data arrives inside the batch frame
+// and must be copied out regardless.
+func (c *CheCL) EnqueueReadBufferInto(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event, buf []byte) ([]byte, ocl.Event, error) {
+	if c.batching() {
+		data, ev, err := c.EnqueueReadBuffer(q, m, blocking, offset, size, waits)
+		if err != nil {
+			return nil, 0, err
+		}
+		if int64(cap(buf)) >= int64(len(data)) {
+			buf = buf[:len(data)]
+			copy(buf, data)
+			return buf, ev, nil
+		}
+		return data, ev, nil
+	}
+	c.enterCall()
+	qrec, err := c.db.queue(Handle(q))
+	if err != nil {
+		return nil, 0, err
+	}
+	mrec, err := c.db.mem(Handle(m))
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		data []byte
+		real ocl.Event
+	)
+	err = c.forward("clEnqueueReadBuffer", func(api *proxy.Client) error {
+		rw, e := c.translateWaits(waits)
+		if e != nil {
+			return e
+		}
+		data, real, e = api.EnqueueReadBufferInto(qrec.real, mrec.real, blocking, offset, size, rw, buf)
+		return e
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	c.shadowWrite(mrec, offset, data)
+	ev := c.wrapEvent(qrec.H, "read", real)
+	if blocking {
+		c.atSyncPoint()
+	}
+	return data, ev, nil
+}
+
 // EnqueueCopyBuffer wraps clEnqueueCopyBuffer.
 func (c *CheCL) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, dstOff, size int64, waits []ocl.Event) (ocl.Event, error) {
 	c.enterCall()
@@ -1309,9 +1401,17 @@ func (c *CheCL) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int,
 		return 0, err
 	}
 
-	// Dirty marking for incremental checkpointing.
+	// Dirty marking for incremental checkpointing. A USE_HOST_PTR buffer
+	// is dirtied by the cache protocol itself: the pre-launch push makes
+	// the device copy track the application-owned host region, which can
+	// change without any OpenCL call — so it can never be assumed clean.
 	for _, mrec := range written {
 		mrec.Dirty = true
+	}
+	for _, mrec := range boundMems {
+		if mrec.UseHostPtr {
+			mrec.Dirty = true
+		}
 	}
 	return c.wrapEvent(qrec.H, "ndrange:"+krec.Name, real), nil
 }

@@ -191,6 +191,7 @@ type memRec struct {
 	Data       []byte // staged device contents (preprocess phase)
 	Dirty      bool   // may differ from Data (incremental mode)
 	UseHostPtr bool
+	Released   bool // refcount hit zero but a live kernel still binds it
 	real       ocl.Mem
 	hostPtr    []byte // app-side region for CL_MEM_USE_HOST_PTR
 }
@@ -318,6 +319,16 @@ func (db *database) queue(h Handle) (*queueRec, error) {
 }
 
 func (db *database) mem(h Handle) (*memRec, error) {
+	if r, ok := db.mems[h]; ok && !r.Released {
+		return r, nil
+	}
+	return nil, ocl.Errf("CheCL", ocl.InvalidMemObject, "%#x is not a live CheCL mem handle", uint64(h))
+}
+
+// memAny is mem including dead (Released) records: the restore-time
+// clSetKernelArg replay must still resolve a handle a kernel captured
+// before the application dropped its last reference.
+func (db *database) memAny(h Handle) (*memRec, error) {
 	if r, ok := db.mems[h]; ok {
 		return r, nil
 	}
@@ -388,12 +399,21 @@ func (db *database) orderedEvents() []*eventRec {
 
 // Counts reports live objects per class (diagnostics and tests).
 func (db *database) Counts() map[string]int {
+	// Dead (Released) mem records stay in the map only so kernel-arg
+	// replay can resolve them after a restore; the application-visible
+	// count excludes them.
+	liveMems := 0
+	for _, m := range db.mems {
+		if !m.Released {
+			liveMems++
+		}
+	}
 	return map[string]int{
 		"platform": len(db.platforms),
 		"device":   len(db.devices),
 		"context":  len(db.contexts),
 		"cmd_que":  len(db.queues),
-		"mem":      len(db.mems),
+		"mem":      liveMems,
 		"sampler":  len(db.samplers),
 		"prog":     len(db.programs),
 		"kernel":   len(db.kernels),
@@ -416,8 +436,17 @@ type snapshot struct {
 	Events    []eventRec
 }
 
-// encode serialises the database.
-func (db *database) encode() ([]byte, error) {
+// encode serialises the database, staged buffer contents included.
+func (db *database) encode() ([]byte, error) { return db.encodeWith(false) }
+
+// encodeStripped serialises the database with every mem record's staged
+// Data nil'd out: the dump path stores each buffer's bytes as its own
+// process memory region (one store segment per buffer), so the contents
+// must not also ride inside the database blob — that would defeat the
+// per-buffer clean-segment reuse and double the image size.
+func (db *database) encodeStripped() ([]byte, error) { return db.encodeWith(true) }
+
+func (db *database) encodeWith(stripData bool) ([]byte, error) {
 	var s snapshot
 	s.Seq = db.seq
 	for _, r := range orderedVals(db.platforms, func(r *platformRec) uint64 { return r.Seq }) {
@@ -433,7 +462,11 @@ func (db *database) encode() ([]byte, error) {
 		s.Queues = append(s.Queues, *r)
 	}
 	for _, r := range db.orderedMems() {
-		s.Mems = append(s.Mems, *r)
+		rec := *r
+		if stripData {
+			rec.Data = nil
+		}
+		s.Mems = append(s.Mems, rec)
 	}
 	for _, r := range db.orderedSamplers() {
 		s.Samplers = append(s.Samplers, *r)

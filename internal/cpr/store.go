@@ -1,7 +1,9 @@
 package cpr
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sort"
 
 	"checl/internal/proc"
 	"checl/internal/store"
@@ -18,6 +20,13 @@ type StoreBackend interface {
 	// deduplicating against the job's earlier checkpoints (and any other
 	// job's chunks). The same eligibility rules as Checkpoint apply.
 	CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error)
+	// CheckpointToStoreIncremental is CheckpointToStore with clean-region
+	// hints: regions whose names map to true in clean are asserted
+	// byte-identical to the job's previous checkpoint, and the store
+	// reuses that generation's chunk refs for them instead of re-chunking
+	// (store.PutSegmented). A nil map selects the legacy unsegmented
+	// encoding, byte-identical to CheckpointToStore.
+	CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job string, clean map[string]bool) (Stats, *store.PutStats, error)
 	// RestartFromStore re-creates a process on node n from a store
 	// checkpoint. ref is a manifest ID ("job@seq") or a bare job name
 	// (its latest checkpoint). When the newest generation cannot be
@@ -55,8 +64,10 @@ func checkpointable(backend string, p *proc.Process, tree bool) error {
 
 // checkpointToStore is the shared store write path: encode the image
 // deterministically and hand it to the store, which chunks,
-// deduplicates, compresses and journals it.
-func checkpointToStore(backend string, p *proc.Process, st *store.Store, job string, tree bool) (Stats, *store.PutStats, error) {
+// deduplicates, compresses and journals it. A non-nil clean map selects
+// the segmented encoding: each region becomes its own store segment so
+// unchanged regions reuse the parent generation's chunk refs.
+func checkpointToStore(backend string, p *proc.Process, st *store.Store, job string, tree bool, clean map[string]bool) (Stats, *store.PutStats, error) {
 	if err := checkpointable(backend, p, tree); err != nil {
 		return Stats{}, nil, err
 	}
@@ -65,21 +76,104 @@ func checkpointToStore(backend string, p *proc.Process, st *store.Store, job str
 	if err != nil {
 		return Stats{}, nil, err
 	}
-	_, put, err := st.Put(p.Clock(), job, data)
+	var put store.PutStats
+	if clean == nil {
+		_, put, err = st.Put(p.Clock(), job, data)
+	} else {
+		var segs []store.Segment
+		if segs, err = imageSegments(img, int64(len(data)), clean); err != nil {
+			return Stats{}, nil, err
+		}
+		_, put, err = st.PutSegmented(p.Clock(), job, data, segs)
+	}
 	if err != nil {
 		return Stats{}, nil, fmt.Errorf("%s: checkpoint to store: %w", backend, err)
 	}
 	return Stats{Bytes: int64(len(data)), Time: put.Time}, &put, nil
 }
 
+// imageSegments derives the store segment map of an image's deterministic
+// encoding: a "_head" segment covering the frame header, process name,
+// app state and region count (always dirty — the header checksum changes
+// whenever anything does), then one "region/<name>" segment per region in
+// the encoder's sorted order. Regions whose names map to true in clean
+// are marked Clean. total is the full encoded length, used to verify the
+// derived offsets stay in lockstep with encodeImage.
+func imageSegments(img Image, total int64, clean map[string]bool) ([]store.Segment, error) {
+	uvarintLen := func(n uint64) int64 {
+		l := int64(1)
+		for n >= 0x80 {
+			n >>= 7
+			l++
+		}
+		return l
+	}
+	frameLen := func(n int) int64 { return uvarintLen(uint64(n)) + int64(n) }
+
+	names := make([]string, 0, len(img.Regions))
+	for name := range img.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	off := int64(len(imageMagic)+2+sha256.Size) +
+		frameLen(len(img.ProcessName)) + frameLen(len(img.AppState)) +
+		uvarintLen(uint64(len(names)))
+	segs := []store.Segment{{Name: "_head", Off: 0, Len: off}}
+	for _, name := range names {
+		n := frameLen(len(name)) + frameLen(len(img.Regions[name]))
+		segs = append(segs, store.Segment{Name: "region/" + name, Off: off, Len: n, Clean: clean[name]})
+		off += n
+	}
+	if off != total {
+		return nil, fmt.Errorf("cpr: segment map out of sync with encoding (%d vs %d bytes)", off, total)
+	}
+	return segs, nil
+}
+
+// SnapshotStoreImage encodes p's memory image and derives its store
+// segment map without writing anything to a store: the overlapped
+// checkpoint path snapshots the process synchronously, releases the
+// application, and hands the encoded bytes to a background PutSegmented.
+// A nil clean map yields a nil segment map (legacy unsegmented write).
+func SnapshotStoreImage(b Backend, p *proc.Process, clean map[string]bool) ([]byte, []store.Segment, error) {
+	tree := b.Name() == "dmtcp"
+	if err := checkpointable(b.Name(), p, tree); err != nil {
+		return nil, nil, err
+	}
+	img := Image{ProcessName: p.Name, Regions: p.SnapshotRegions()}
+	data, err := encodeImage(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	if clean == nil {
+		return data, nil, nil
+	}
+	segs, err := imageSegments(img, int64(len(data)), clean)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, segs, nil
+}
+
 // CheckpointToStore implements StoreBackend.
 func (BLCR) CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error) {
-	return checkpointToStore("blcr", p, st, job, false)
+	return checkpointToStore("blcr", p, st, job, false, nil)
 }
 
 // CheckpointToStore implements StoreBackend.
 func (DMTCP) CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error) {
-	return checkpointToStore("dmtcp", p, st, job, true)
+	return checkpointToStore("dmtcp", p, st, job, true, nil)
+}
+
+// CheckpointToStoreIncremental implements StoreBackend.
+func (BLCR) CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job string, clean map[string]bool) (Stats, *store.PutStats, error) {
+	return checkpointToStore("blcr", p, st, job, false, clean)
+}
+
+// CheckpointToStoreIncremental implements StoreBackend.
+func (DMTCP) CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job string, clean map[string]bool) (Stats, *store.PutStats, error) {
+	return checkpointToStore("dmtcp", p, st, job, true, clean)
 }
 
 // restartFromStore is the shared store restart path: walk the generation

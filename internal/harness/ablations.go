@@ -211,6 +211,30 @@ func ablationIncremental(scale float64) (AblationResult, error) {
 		})
 		c.Detach()
 	}
+
+	// Drain concurrency: the same all-dirty first checkpoint staged
+	// serially vs over parallel device-to-host streams (ephemeral queues
+	// inside one batched IPC frame).
+	for _, workers := range []int{1, 8} {
+		name := "serial-drain"
+		if workers > 1 {
+			name = fmt.Sprintf("parallel-drain-x%d", workers)
+		}
+		node, c, err := runAppUnderCheCL("oclVectorAdd", scale*4,
+			core.Options{Incremental: true, DrainWorkers: workers})
+		if err != nil {
+			return res, err
+		}
+		st, err := c.Checkpoint(node.LocalDisk, "ip.ckpt")
+		if err != nil {
+			c.Detach()
+			return res, err
+		}
+		res.Variants = append(res.Variants, AblationVariant{
+			Name: name, Metric: "1st-checkpoint preprocess", Value: st.Phases.Preprocess,
+		})
+		c.Detach()
+	}
 	return res, nil
 }
 

@@ -30,8 +30,12 @@ func TestAblations(t *testing.T) {
 	}
 
 	inc := byName["incremental-checkpoint"]
-	if len(inc.Variants) != 2 || !(inc.Variants[0].Value > inc.Variants[1].Value) {
+	if len(inc.Variants) != 4 || !(inc.Variants[0].Value > inc.Variants[1].Value) {
 		t.Errorf("incremental ablation: %+v", inc.Variants)
+	}
+	if len(inc.Variants) == 4 && !(inc.Variants[3].Value < inc.Variants[2].Value) {
+		t.Errorf("incremental ablation: parallel drain %v not faster than serial %v",
+			inc.Variants[3].Value, inc.Variants[2].Value)
 	}
 
 	storage := byName["checkpoint-storage"]

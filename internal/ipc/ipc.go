@@ -299,11 +299,24 @@ func (f *frameReader) rawBody(buf []byte) error {
 
 // readRaw reads one raw frame into a fresh buffer.
 func (f *frameReader) readRaw() ([]byte, error) {
+	return f.readRawInto(nil)
+}
+
+// readRawInto reads one raw frame into buf when its capacity suffices,
+// allocating a fresh buffer only when it does not. This is the client
+// half of the zero-copy read path: a caller that drains the same buffer
+// repeatedly (checkpoint staging) reaches a steady state with no
+// per-read allocation.
+func (f *frameReader) readRawInto(buf []byte) ([]byte, error) {
 	size, err := f.rawHeader()
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, size)
+	if cap(buf) >= size {
+		buf = buf[:size]
+	} else {
+		buf = make([]byte, size)
+	}
 	if err := f.rawBody(buf); err != nil {
 		return nil, err
 	}
@@ -387,7 +400,7 @@ func (c *Conn) SetDeadline(clock *vtime.Clock, timeout vtime.Duration) {
 // resp (which must be a pointer). It returns the number of bytes the call
 // moved across the transport.
 func (c *Conn) Call(method string, req, resp any) (int64, error) {
-	_, n, err := c.exchange(method, 0, req, nil, false, resp)
+	_, n, err := c.exchange(method, 0, req, nil, false, resp, nil)
 	return n, err
 }
 
@@ -396,7 +409,7 @@ func (c *Conn) Call(method string, req, resp any) (int64, error) {
 // call so that re-sending it after a reconnect replays the cached
 // response instead of re-executing the handler.
 func (c *Conn) CallSeq(method string, seq uint64, req, resp any) (int64, error) {
-	_, n, err := c.exchange(method, seq, req, nil, false, resp)
+	_, n, err := c.exchange(method, seq, req, nil, false, resp, nil)
 	return n, err
 }
 
@@ -404,7 +417,14 @@ func (c *Conn) CallSeq(method string, seq uint64, req, resp any) (int64, error) 
 // the server attached to its response (nil when the response carried
 // none).
 func (c *Conn) CallRecvRaw(method string, seq uint64, req, resp any) ([]byte, int64, error) {
-	return c.exchange(method, seq, req, nil, false, resp)
+	return c.exchange(method, seq, req, nil, false, resp, nil)
+}
+
+// CallRecvRawInto is CallRecvRaw that receives the response's raw
+// payload into buf when its capacity suffices (the returned slice then
+// aliases buf); a short or nil buf falls back to a fresh allocation.
+func (c *Conn) CallRecvRawInto(method string, seq uint64, req, resp any, buf []byte) ([]byte, int64, error) {
+	return c.exchange(method, seq, req, nil, false, resp, buf)
 }
 
 // CallRawSeq is CallSeq with a raw payload attached to the request: rawReq
@@ -413,11 +433,13 @@ func (c *Conn) CallRecvRaw(method string, seq uint64, req, resp any) ([]byte, in
 // response, it is returned as rawResp (nil when the response carried
 // none).
 func (c *Conn) CallRawSeq(method string, seq uint64, req any, rawReq []byte, resp any) (rawResp []byte, n int64, err error) {
-	return c.exchange(method, seq, req, rawReq, true, resp)
+	return c.exchange(method, seq, req, rawReq, true, resp, nil)
 }
 
 // exchange runs one request/response cycle under the connection lock.
-func (c *Conn) exchange(method string, seq uint64, req any, rawReq []byte, hasRaw bool, resp any) ([]byte, int64, error) {
+// into, when non-nil and large enough, receives the response's raw
+// payload in place of a fresh allocation.
+func (c *Conn) exchange(method string, seq uint64, req any, rawReq []byte, hasRaw bool, resp any, into []byte) ([]byte, int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.downErr != nil {
@@ -458,7 +480,7 @@ func (c *Conn) exchange(method string, seq uint64, req any, rawReq []byte, hasRa
 		}
 		if env.Raw {
 			var err error
-			if rawResp, err = c.fr.readRaw(); err != nil {
+			if rawResp, err = c.fr.readRawInto(into); err != nil {
 				return nil, c.count.bytes() - before, c.fail(method, fmt.Errorf("receiving %s payload: %w", method, err))
 			}
 		}

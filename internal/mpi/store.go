@@ -23,6 +23,13 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 	var stats GlobalSnapshotStats
 	r.Barrier()
 
+	// An overlapped store write from an earlier solo checkpoint must not
+	// still be in flight while the coordinated protocol runs: barrier on
+	// it here, before this rank's local snapshot.
+	if err := checl.WaitBackgroundWrite(); err != nil {
+		return stats, fmt.Errorf("mpi: rank %d background write: %w", r.rank, err)
+	}
+
 	localPath := fmt.Sprintf("%s.local.%d", job, r.rank)
 	cst, err := checl.Checkpoint(r.node.LocalDisk, localPath)
 	if err != nil {

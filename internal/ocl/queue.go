@@ -105,6 +105,14 @@ func (r *Runtime) EnqueueWriteBuffer(qid CommandQueue, mid Mem, blocking bool, o
 // EnqueueReadBuffer implements clEnqueueReadBuffer. The read data is
 // returned (in real OpenCL it lands in a caller-supplied pointer).
 func (r *Runtime) EnqueueReadBuffer(qid CommandQueue, mid Mem, blocking bool, offset, size int64, waits []Event) ([]byte, Event, error) {
+	return r.EnqueueReadBufferInto(qid, mid, blocking, offset, size, waits, nil)
+}
+
+// EnqueueReadBufferInto is EnqueueReadBuffer with a caller-owned
+// destination — the closest Go analogue of the real call's void* out
+// pointer. When buf's capacity covers size the read lands in it and the
+// returned slice aliases buf; otherwise a fresh slice is allocated.
+func (r *Runtime) EnqueueReadBufferInto(qid CommandQueue, mid Mem, blocking bool, offset, size int64, waits []Event, buf []byte) ([]byte, Event, error) {
 	r.mu.Lock()
 	q, ok := r.queues[qid]
 	if !ok {
@@ -130,7 +138,12 @@ func (r *Runtime) EnqueueReadBuffer(qid CommandQueue, mid Mem, blocking bool, of
 	dur := r.devToHostBW(dev).Transfer(size)
 	queued := r.clock.Now()
 	start, end := r.schedule(q, horizon, dur)
-	out := make([]byte, size)
+	out := buf
+	if int64(cap(out)) >= size {
+		out = out[:size]
+	} else {
+		out = make([]byte, size)
+	}
 	copy(out, b.data[offset:offset+size])
 	ev := r.newEvent(qid, "read", queued, start, end)
 	r.mu.Unlock()

@@ -149,21 +149,23 @@ func idempotent(method string) bool {
 // call forwards one API call, charging its modelled cost, retrying over a
 // fresh connection when the transport dies under it.
 func (c *Client) call(method string, req, resp any) error {
-	_, err := c.exchange(method, req, nil, false, resp)
+	_, err := c.exchange(method, req, nil, false, resp, nil)
 	return err
 }
 
 // callRaw is call with a raw payload attached to the request; it returns
 // the raw payload the server attached to its response, if any.
 func (c *Client) callRaw(method string, req any, rawReq []byte, resp any) ([]byte, error) {
-	return c.exchange(method, req, rawReq, true, resp)
+	return c.exchange(method, req, rawReq, true, resp, nil)
 }
 
 // exchange forwards one API call, charging its modelled cost, retrying
 // over a fresh connection when the transport dies under it. A retried
 // request re-sends the same raw payload under the same sequence number,
 // so the server's dedupe cache treats the whole frame set as one call.
-func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, resp any) ([]byte, error) {
+// into, when non-nil and large enough, receives the response's raw
+// payload in place of a fresh allocation.
+func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, resp any, into []byte) ([]byte, error) {
 	var seq uint64
 	if !idempotent(method) {
 		seq = c.seq.Add(1)
@@ -185,7 +187,7 @@ func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, r
 		if sendRaw {
 			raw, n, err = conn.CallRawSeq(method, seq, req, rawReq, resp)
 		} else {
-			raw, n, err = conn.CallRecvRaw(method, seq, req, resp)
+			raw, n, err = conn.CallRecvRawInto(method, seq, req, resp, into)
 		}
 		c.calls.Add(1)
 		c.bytes.Add(n)
@@ -396,11 +398,20 @@ func (c *Client) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool
 }
 
 func (c *Client) EnqueueReadBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event) ([]byte, ocl.Event, error) {
+	return c.EnqueueReadBufferInto(q, m, blocking, offset, size, waits, nil)
+}
+
+// EnqueueReadBufferInto is EnqueueReadBuffer with a caller-supplied
+// destination: when buf's capacity covers the read, the data lands in it
+// and the returned slice aliases buf (no allocation); otherwise a fresh
+// buffer is returned. Callers that drain the same buffer every
+// checkpoint reach a steady state where reads allocate nothing.
+func (c *Client) EnqueueReadBufferInto(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event, buf []byte) ([]byte, ocl.Event, error) {
 	var r EnqueueReadBufferResp
 	// The data comes back as the response's raw frame.
 	data, err := c.exchange("clEnqueueReadBuffer", EnqueueReadBufferReq{
 		Queue: q, Mem: m, Blocking: blocking, Offset: offset, Size: size, Waits: waits,
-	}, nil, false, &r)
+	}, nil, false, &r, buf)
 	return data, r.Event, err
 }
 

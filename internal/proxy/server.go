@@ -9,6 +9,27 @@ import (
 	"checl/internal/ocl"
 )
 
+// readBufferInto reads through the API's caller-owned-destination variant
+// when the implementation has one (the in-process Runtime does); otherwise
+// it falls back to the allocating call and copies into buf when its
+// capacity suffices. Either way the result lands in buf whenever
+// cap(buf) >= size, which is what the pooled response paths rely on.
+func readBufferInto(api ocl.API, q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event, buf []byte) ([]byte, ocl.Event, error) {
+	type intoAPI interface {
+		EnqueueReadBufferInto(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset, size int64, waits []ocl.Event, buf []byte) ([]byte, ocl.Event, error)
+	}
+	if ri, ok := api.(intoAPI); ok {
+		return ri.EnqueueReadBufferInto(q, m, blocking, offset, size, waits, buf)
+	}
+	data, ev, err := api.EnqueueReadBuffer(q, m, blocking, offset, size, waits)
+	if err == nil && cap(buf) >= len(data) {
+		buf = buf[:len(data)]
+		copy(buf, data)
+		return buf, ev, nil
+	}
+	return data, ev, err
+}
+
 // NewServer builds an RPC server that forwards every API method to api
 // (normally an *ocl.Runtime living in the proxy process).
 func NewServer(api ocl.API) *ipc.Server {
@@ -122,8 +143,16 @@ func NewServer(api ocl.API) *ipc.Server {
 		ev, err := api.EnqueueWriteBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, payload, r.Waits)
 		return EventResp{Event: ev}, nil, err
 	})
+	// The read-response payload scratch is safe to reuse across calls:
+	// the client keeps one call in flight at a time, the frame is fully
+	// on the wire before the handler returns, and read responses are
+	// never replay-cached (reads are idempotent, so they carry seq 0).
+	var readScratch []byte
 	ipc.RegisterRaw(s, "clEnqueueReadBuffer", func(r EnqueueReadBufferReq, _ []byte) (EnqueueReadBufferResp, []byte, error) {
-		data, ev, err := api.EnqueueReadBuffer(r.Queue, r.Mem, r.Blocking, r.Offset, r.Size, r.Waits)
+		if int64(cap(readScratch)) < r.Size && r.Size >= 0 {
+			readScratch = make([]byte, r.Size)
+		}
+		data, ev, err := readBufferInto(api, r.Queue, r.Mem, r.Blocking, r.Offset, r.Size, r.Waits, readScratch[:0])
 		return EnqueueReadBufferResp{Event: ev}, data, err
 	})
 	ipc.RegisterRaw(s, "clEnqueueBatch", func(r EnqueueBatchReq, payload []byte) (EnqueueBatchResp, []byte, error) {
@@ -226,11 +255,19 @@ func runBatch(api ocl.API, r EnqueueBatchReq, payload []byte) (EnqueueBatchResp,
 			ev, err = api.EnqueueWriteBuffer(cmd.Queue, cmd.Mem, cmd.Blocking, cmd.Offset,
 				payload[cmd.PayloadOff:cmd.PayloadOff+cmd.PayloadLen], waits)
 		case BatchRead:
+			// Read straight into the response frame's spare capacity —
+			// no intermediate per-command buffer.
+			off := len(out)
+			if need := off + int(cmd.Size); cmd.Size >= 0 && cap(out) < need {
+				grown := make([]byte, off, need)
+				copy(grown, out)
+				out = grown
+			}
 			var data []byte
-			data, ev, err = api.EnqueueReadBuffer(cmd.Queue, cmd.Mem, cmd.Blocking, cmd.Offset, cmd.Size, waits)
+			data, ev, err = readBufferInto(api, cmd.Queue, cmd.Mem, cmd.Blocking, cmd.Offset, cmd.Size, waits, out[off:off])
 			if err == nil {
 				resp.ReadLens[i] = int64(len(data))
-				out = append(out, data...)
+				out = out[:off+len(data)]
 			}
 		case BatchCopy:
 			ev, err = api.EnqueueCopyBuffer(cmd.Queue, cmd.Src, cmd.Dst, cmd.SrcOff, cmd.DstOff, cmd.Size, waits)

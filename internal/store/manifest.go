@@ -24,6 +24,19 @@ type ChunkRef struct {
 	Stored int64  // stored (possibly compressed) length, including codec tag
 }
 
+// SegmentRef records how a named region of the payload maps onto the
+// manifest's chunk list. Segments partition Chunks in order: the first
+// segment owns the first Chunks entries, and so on. Clean segments were
+// not re-chunked; their refs were copied from the parent manifest.
+// Legacy manifests have no segments (nil Segments gob-encodes exactly as
+// before), in which case the whole payload is one anonymous dirty region.
+type SegmentRef struct {
+	Name   string
+	Size   int64 // payload bytes covered by this segment
+	Chunks int   // number of consecutive ChunkRefs belonging to it
+	Clean  bool  // chunk refs inherited from the parent, payload unchanged
+}
+
 // Manifest describes one checkpoint in the store: which chunks
 // reconstruct it, in order, plus integrity and lineage metadata.
 type Manifest struct {
@@ -32,9 +45,41 @@ type Manifest struct {
 	Seq       uint64 // 1-based checkpoint number within the job
 	Parent    string // ID of the previous checkpoint of this job, "" for the first
 	Chunks    []ChunkRef
-	Size      int64  // total payload bytes
-	Digest    string // SHA-256 of the whole payload, hex
+	Segments  []SegmentRef // optional named-region map over Chunks; nil for legacy images
+	Size      int64        // total payload bytes
+	Digest    string       // SHA-256 of the whole payload, hex
 	CreatedAt vtime.Time
+}
+
+// DeltaSize reports how many payload bytes of the manifest are new
+// relative to its parent: the total size of dirty segments. For legacy
+// manifests without segment info it falls back to comparing chunk sets —
+// the bytes of chunks not present in parent. A nil/zero parent makes the
+// whole payload the delta.
+func (m Manifest) DeltaSize(parent *Manifest) int64 {
+	if parent == nil || parent.Job == "" {
+		return m.Size
+	}
+	if len(m.Segments) > 0 {
+		var dirty int64
+		for _, s := range m.Segments {
+			if !s.Clean {
+				dirty += s.Size
+			}
+		}
+		return dirty
+	}
+	inParent := make(map[string]bool, len(parent.Chunks))
+	for _, c := range parent.Chunks {
+		inParent[c.Sum] = true
+	}
+	var delta int64
+	for _, c := range m.Chunks {
+		if !inParent[c.Sum] {
+			delta += c.Size
+		}
+	}
+	return delta
 }
 
 // ID names the manifest within the store ("job@seq").

@@ -33,6 +33,15 @@ type Config struct {
 	// torn/lost outcomes caught by read-back). Default 2; *proc.ErrNoSpace
 	// is never retried.
 	WriteRetries int
+	// PipelineWorkers bounds the modelled compression workers feeding
+	// Put's single staging writer. Values <= 1 keep the fully serial
+	// charging (each chunk compresses, then writes, in turn); higher
+	// values overlap compression of later chunks with the write of
+	// earlier ones and charge the pipeline's makespan instead. The
+	// filesystem operation order is identical either way — workers stage,
+	// one committer renames manifest-last — so seeded fault plans hit the
+	// same operations in the same sequence.
+	PipelineWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +251,18 @@ type PutStats struct {
 	NewBytes    int64          // uncompressed bytes of those new chunks
 	StoredBytes int64          // bytes actually written for them (post-compression)
 	Time        vtime.Duration // compress + write + verify time charged to the clock
+
+	// Clean-segment reuse (PutSegmented): chunk refs copied verbatim from
+	// the parent manifest without re-reading, hashing or probing the
+	// covered payload bytes.
+	ReusedChunks int
+	ReusedBytes  int64
+	// Stage times for the chunk pipeline: total compression time and
+	// total write+verify time over the new chunks. With PipelineWorkers
+	// <= 1 these add up (with the dedup probes) to Time; in pipelined
+	// mode they overlap and Time reflects the makespan.
+	CompressTime vtime.Duration
+	WriteTime    vtime.Duration
 }
 
 // DedupRatio is the fraction of the payload satisfied by chunks already
@@ -269,8 +290,87 @@ func (p PutStats) DedupRatio() float64 {
 // replica can serve it; a write-through failure is returned as an error
 // even though the primary commit stands.
 func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, PutStats, error) {
+	return s.PutSegmented(clock, job, payload, nil)
+}
+
+// Segment names one contiguous region of a PutSegmented payload. Segments
+// must tile the payload exactly (ascending contiguous offsets covering
+// every byte) and carry unique non-empty names. A segment marked Clean
+// asserts its bytes are identical to the same-named segment of the job's
+// previous checkpoint; when the parent manifest confirms the name and size,
+// the parent's chunk refs are copied verbatim — no chunking, hashing,
+// probing or compression for those bytes. A Clean segment with no matching
+// parent segment is silently treated as dirty. The manifest digest always
+// covers the full payload, so a wrongly-Clean segment (bytes changed but
+// flagged clean) fails loudly at Get time rather than restoring stale data.
+type Segment struct {
+	Name     string
+	Off, Len int64
+	Clean    bool
+}
+
+// validSegments checks that segs tile a payload of the given size.
+func validSegments(segs []Segment, size int64) error {
+	var off int64
+	seen := make(map[string]bool, len(segs))
+	for i, sg := range segs {
+		if sg.Name == "" {
+			return fmt.Errorf("store: segment %d has no name", i)
+		}
+		if seen[sg.Name] {
+			return fmt.Errorf("store: duplicate segment name %q", sg.Name)
+		}
+		seen[sg.Name] = true
+		if sg.Len < 0 || sg.Off != off {
+			return fmt.Errorf("store: segment %q does not tile the payload (off %d len %d, want off %d)",
+				sg.Name, sg.Off, sg.Len, off)
+		}
+		off += sg.Len
+	}
+	if off != size {
+		return fmt.Errorf("store: segments cover %d bytes, payload has %d", off, size)
+	}
+	return nil
+}
+
+// pipelineMakespan models Put's bounded-stage pipeline over the new
+// chunks: `workers` compression workers feed the single staging writer,
+// which writes chunks in staging order (the crash-consistent commit wants
+// one committer renaming manifest-last). Chunk i starts compressing on the
+// earliest-free worker; the writer picks it up once both the writer is
+// free and the compression is done.
+func pipelineMakespan(workers int, compDur, writeDur []vtime.Duration) vtime.Duration {
+	free := make([]vtime.Duration, workers)
+	var wEnd vtime.Duration
+	for i := range compDur {
+		w := 0
+		for j := 1; j < workers; j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		free[w] += compDur[i]
+		if free[w] > wEnd {
+			wEnd = free[w]
+		}
+		wEnd += writeDur[i]
+	}
+	return wEnd
+}
+
+// PutSegmented is Put with a caller-supplied segment map over the payload:
+// each segment becomes an independently chunked region recorded in the
+// manifest, and segments marked Clean reuse the parent manifest's chunk
+// refs instead of being re-chunked (see Segment). nil segs is exactly the
+// legacy Put — one anonymous dirty region, no segment map in the manifest.
+func (s *Store) PutSegmented(clock *vtime.Clock, job string, payload []byte, segs []Segment) (Manifest, PutStats, error) {
 	if job == "" || strings.ContainsAny(job, "/@") {
 		return Manifest{}, PutStats{}, fmt.Errorf("store: invalid job name %q", job)
+	}
+	if segs != nil {
+		if err := validSegments(segs, int64(len(payload))); err != nil {
+			return Manifest{}, PutStats{}, err
+		}
 	}
 	s.mu.Lock()
 
@@ -283,11 +383,14 @@ func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, P
 		seq = seqs[len(seqs)-1] + 1
 	}
 	parent := ""
+	var parentMan Manifest
+	haveParent := false
 	if last, ok, err := s.latest(job); err != nil {
 		s.mu.Unlock()
 		return Manifest{}, PutStats{}, err
 	} else if ok {
 		parent = last.ID()
+		parentMan, haveParent = last, true
 	}
 
 	s.txn++
@@ -313,32 +416,110 @@ func (s *Store) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, P
 		return Manifest{}, stats, err
 	}
 
-	for _, chunk := range ck.split(payload) {
-		sum256 := sha256.Sum256(chunk)
-		sum := hex.EncodeToString(sum256[:])
-		ref := ChunkRef{Sum: sum, Size: int64(len(chunk))}
-		chunkData[sum] = chunk
-		if stored, ok := stagedSize[sum]; ok {
-			ref.Stored = stored
-		} else if stored, err := s.fs.Size(s.chunkPath(sum)); err == nil {
-			ref.Stored = stored
-		} else {
-			blob, cerr := s.cfg.Compression.compress(clock, chunk)
-			if cerr != nil {
-				return fail(cerr)
+	// In pipelined mode every chunk still compresses and writes in staging
+	// order in real execution — identical FS operation sequence — but each
+	// stage is timed on a scratch clock and the makespan of the modelled
+	// worker pipeline is charged once at the end.
+	pipelined := s.cfg.PipelineWorkers > 1
+	var compDur, writeDur []vtime.Duration
+
+	// Parent chunk refs sliced per segment name, for clean-segment reuse.
+	parentSeg := map[string]SegmentRef{}
+	parentSegChunks := map[string][]ChunkRef{}
+	if haveParent && len(parentMan.Segments) > 0 {
+		at := 0
+		for _, ps := range parentMan.Segments {
+			if at+ps.Chunks > len(parentMan.Chunks) {
+				// Defensive: a segment map that does not cover the chunk
+				// list exactly grants no reuse.
+				parentSeg, parentSegChunks = map[string]SegmentRef{}, nil
+				break
 			}
-			if werr := s.writeVerified(clock, txdir+"/"+sum, blob); werr != nil {
-				return fail(fmt.Errorf("store: writing chunk %s: %w", sum[:12], werr))
-			}
-			staged = append(staged, stagedChunk{tmp: txdir + "/" + sum, final: s.chunkPath(sum)})
-			stagedSize[sum] = int64(len(blob))
-			ref.Stored = int64(len(blob))
-			stats.NewChunks++
-			stats.NewBytes += int64(len(chunk))
-			stats.StoredBytes += int64(len(blob))
+			parentSeg[ps.Name] = ps
+			parentSegChunks[ps.Name] = parentMan.Chunks[at : at+ps.Chunks]
+			at += ps.Chunks
 		}
-		man.Chunks = append(man.Chunks, ref)
-		stats.TotalChunks++
+	}
+
+	// stageRange chunks one dirty byte range and stages its new chunks,
+	// returning how many ChunkRefs it appended.
+	stageRange := func(data []byte) (int, error) {
+		n := 0
+		for _, chunk := range ck.split(data) {
+			sum256 := sha256.Sum256(chunk)
+			sum := hex.EncodeToString(sum256[:])
+			ref := ChunkRef{Sum: sum, Size: int64(len(chunk))}
+			chunkData[sum] = chunk
+			if stored, ok := stagedSize[sum]; ok {
+				ref.Stored = stored
+			} else if stored, err := s.fs.Size(s.chunkPath(sum)); err == nil {
+				ref.Stored = stored
+			} else {
+				cclock, wclock := clock, clock
+				if pipelined {
+					cclock, wclock = vtime.NewClock(), vtime.NewClock()
+				}
+				csw := vtime.NewStopwatch(cclock)
+				blob, cerr := s.cfg.Compression.compress(cclock, chunk)
+				if cerr != nil {
+					return n, cerr
+				}
+				cd := csw.Elapsed()
+				wsw := vtime.NewStopwatch(wclock)
+				if werr := s.writeVerified(wclock, txdir+"/"+sum, blob); werr != nil {
+					return n, fmt.Errorf("store: writing chunk %s: %w", sum[:12], werr)
+				}
+				wd := wsw.Elapsed()
+				stats.CompressTime += cd
+				stats.WriteTime += wd
+				if pipelined {
+					compDur = append(compDur, cd)
+					writeDur = append(writeDur, wd)
+				}
+				staged = append(staged, stagedChunk{tmp: txdir + "/" + sum, final: s.chunkPath(sum)})
+				stagedSize[sum] = int64(len(blob))
+				ref.Stored = int64(len(blob))
+				stats.NewChunks++
+				stats.NewBytes += int64(len(chunk))
+				stats.StoredBytes += int64(len(blob))
+			}
+			man.Chunks = append(man.Chunks, ref)
+			stats.TotalChunks++
+			n++
+		}
+		return n, nil
+	}
+
+	if segs == nil {
+		if _, err := stageRange(payload); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, sg := range segs {
+			if sg.Clean {
+				if ps, ok := parentSeg[sg.Name]; ok && ps.Size == sg.Len {
+					refs := parentSegChunks[sg.Name]
+					man.Chunks = append(man.Chunks, refs...)
+					man.Segments = append(man.Segments, SegmentRef{
+						Name: sg.Name, Size: sg.Len, Chunks: len(refs), Clean: true,
+					})
+					stats.TotalChunks += len(refs)
+					stats.ReusedChunks += len(refs)
+					stats.ReusedBytes += sg.Len
+					continue
+				}
+				// No matching parent segment: chunk it like a dirty one.
+			}
+			n, err := stageRange(payload[sg.Off : sg.Off+sg.Len])
+			if err != nil {
+				return fail(err)
+			}
+			man.Segments = append(man.Segments, SegmentRef{Name: sg.Name, Size: sg.Len, Chunks: n})
+		}
+	}
+
+	if pipelined && len(compDur) > 0 {
+		clock.Advance(pipelineMakespan(s.cfg.PipelineWorkers, compDur, writeDur))
 	}
 
 	digest := sha256.Sum256(payload)

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Hot-path benchmark harness: runs the Fig. 4 overhead sweep and the
-# proxy-call microbenchmarks, then distils the headline metrics into
-# BENCH_pr3.json at the repo root.
+# Hot-path benchmark harness: runs the Fig. 4 overhead sweep, the
+# proxy-call microbenchmarks, and the concurrent-checkpoint benchmarks,
+# then distils the headline metrics into BENCH_pr3.json and
+# BENCH_pr5.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -eu
@@ -9,8 +10,10 @@ cd "$(dirname "$0")/.."
 
 benchtime=${1:-200x}
 out=BENCH_pr3.json
+out5=BENCH_pr5.json
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp5=$(mktemp)
+trap 'rm -f "$tmp" "$tmp5"' EXIT
 
 go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
     -benchtime "$benchtime" . >"$tmp"
@@ -18,6 +21,9 @@ go test -run '^$' -bench 'BenchmarkFig4RuntimeOverhead' \
     -benchtime 1x . >>"$tmp"
 go test -run '^$' -bench 'BenchmarkScrubHeal' \
     -benchtime 3x . >>"$tmp"
+go test -run '^$' \
+    -bench 'BenchmarkCheckpointDrain|BenchmarkIncrementalCopiedBytes|BenchmarkStorePutPipeline' \
+    -benchtime 3x . >"$tmp5"
 
 awk '
 function grab(line, unit,   i, n, f) {
@@ -79,3 +85,49 @@ END {
 
 echo "bench.sh: wrote $out"
 cat "$out"
+
+# BENCH_pr5.json: the concurrent incremental checkpointing headlines —
+# bytes the second checkpoint copies (full vs incremental), the
+# serial-vs-parallel drain, the serial-vs-pipelined store Put, and the
+# raw-vs-pooled 1 MB read path.
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkIncrementalCopiedBytes\/full/ {
+    full_copied = grab($0, "copied-MB"); full_pre = grab($0, "second-ckpt-preprocess-us")
+}
+/^BenchmarkIncrementalCopiedBytes\/incremental/ {
+    inc_copied = grab($0, "copied-MB"); inc_clean = grab($0, "clean-MB")
+    inc_pre = grab($0, "second-ckpt-preprocess-us")
+}
+/^BenchmarkCheckpointDrain\/serial/      { drain_serial = grab($0, "preprocess-us") }
+/^BenchmarkCheckpointDrain\/parallel-x8/ { drain_par = grab($0, "preprocess-us") }
+/^BenchmarkStorePutPipeline\/serial/       { put_serial = grab($0, "put-ms") }
+/^BenchmarkStorePutPipeline\/pipelined-x4/ {
+    put_pipe = grab($0, "put-ms"); put_mbs = grab($0, "store-MB/s")
+}
+/^BenchmarkProxyCallOverhead\/read-1MB-raw/ {
+    read_raw_mbs = grab($0, "MB/s"); read_raw_allocs = grab($0, "allocs/op")
+}
+/^BenchmarkProxyCallOverhead\/read-1MB-pooled/ {
+    read_pool_mbs = grab($0, "MB/s"); read_pool_allocs = grab($0, "allocs/op")
+}
+END {
+    printf "{\n"
+    printf "  \"incremental_checkpoint\": {\"full_copied_mb\": %s, \"incremental_copied_mb\": %s, \"clean_mb\": %s, \"bytes_copied_reduction\": %.1f, \"full_preprocess_us\": %s, \"incremental_preprocess_us\": %s},\n",
+           full_copied, inc_copied, inc_clean, full_copied / inc_copied, full_pre, inc_pre
+    printf "  \"parallel_drain\": {\"serial_preprocess_us\": %s, \"parallel_x8_preprocess_us\": %s, \"speedup\": %.2f},\n",
+           drain_serial, drain_par, drain_serial / drain_par
+    printf "  \"store_put_pipeline\": {\"serial_put_ms\": %s, \"pipelined_x4_put_ms\": %s, \"speedup\": %.2f, \"pipelined_mb_per_s\": %s},\n",
+           put_serial, put_pipe, put_serial / put_pipe, put_mbs
+    printf "  \"pooled_reads\": {\"raw_mb_per_s\": %s, \"pooled_mb_per_s\": %s, \"raw_allocs_per_op\": %s, \"pooled_allocs_per_op\": %s},\n",
+           read_raw_mbs, read_pool_mbs, read_raw_allocs, read_pool_allocs
+    printf "  \"benchtime\": \"%s\"\n", BT
+    printf "}\n"
+}' BT="$benchtime" "$tmp" "$tmp5" >"$out5"
+
+echo "bench.sh: wrote $out5"
+cat "$out5"

@@ -31,4 +31,13 @@ go run ./cmd/checl-inspect -disk-faults 7 store scrub >/dev/null
 go vet ./internal/ipc/ ./internal/proxy/ ./internal/core/
 go test -run 'Raw|Batch|Cache|StatsRace' -count=3 -race \
     ./internal/ipc/ ./internal/proxy/ ./internal/core/
+# Concurrent-checkpoint gate: dirty-buffer tracking, the parallel drain
+# pool, and the overlapped background store write cross goroutines, so
+# their tests run repeatedly under the race detector. The ablation run
+# keeps the full-vs-incremental and serial-vs-parallel-drain orderings
+# honest, and the inspect demo exercises the dirty/clean split end to end.
+go test -run 'Incremental|ParallelDrain|Overlapped|BackgroundWrite|Released' -count=3 -race \
+    ./internal/core/
+go test -run 'TestAblations' -race ./internal/harness/
+go run ./cmd/checl-inspect -incremental -scale 0.2 >/dev/null
 echo "check.sh: all green"
