@@ -21,6 +21,7 @@ import (
 
 	"checl/internal/apps"
 	"checl/internal/core"
+	"checl/internal/fleet"
 	"checl/internal/harness"
 	"checl/internal/hw"
 	"checl/internal/ipc"
@@ -782,6 +783,49 @@ func BenchmarkStorePutPipeline(b *testing.B) {
 			}
 			b.ReportMetric(put.Time.Seconds()*1e3, "put-ms")
 			b.ReportMetric(float64(put.TotalBytes)/1e6/put.Time.Seconds(), "store-MB/s")
+		})
+	}
+}
+
+// ---- fleet-scale checkpoint scheduler (DESIGN.md §10) ----
+
+// BenchmarkFleetBursty is the PR's acceptance experiment: 1000 bursty
+// jobs over a heterogeneous Table I inventory, the no-migration arm
+// against the migration arm (identical admission and preemption). With
+// rebalancing on, burst overflow parked on slow CPU devices is rescued
+// onto GPUs as they free, so migration must win on BOTH throughput and
+// p99 completion latency.
+func BenchmarkFleetBursty(b *testing.B) {
+	for _, mig := range []bool{false, true} {
+		mig := mig
+		name := "no-migration"
+		if mig {
+			name = "migration"
+		}
+		b.Run(name, func(b *testing.B) {
+			var r fleet.Report
+			for i := 0; i < b.N; i++ {
+				specs := fleet.Bursty(fleet.TrafficConfig{Seed: 42, Jobs: 1000})
+				cfg := fleet.Config{
+					Model:      fleet.DefaultCostModel(),
+					Migration:  mig,
+					Preemption: true,
+				}
+				var err error
+				r, err = fleet.New(fleet.DefaultNodes(6, 2), cfg).Run(specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Completed+len(r.Rejected) != 1000 {
+					b.Fatalf("settled %d of 1000 jobs", r.Completed+len(r.Rejected))
+				}
+			}
+			b.ReportMetric(r.ThroughputJobsPerSec, "jobs/s")
+			b.ReportMetric(r.P50Latency.Seconds()*1e3, "p50-ms")
+			b.ReportMetric(r.P99Latency.Seconds()*1e3, "p99-ms")
+			b.ReportMetric(r.MaxLatency.Seconds()*1e3, "max-ms")
+			b.ReportMetric(float64(r.Migrations), "migrations")
+			b.ReportMetric(float64(r.Evictions), "evictions")
 		})
 	}
 }

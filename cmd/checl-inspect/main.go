@@ -14,6 +14,9 @@
 //	checl-inspect [flags] store scrub                repair the store from its replica
 //	checl-inspect [-disk-faults N] store ...         inject a disk fault every N filesystem
 //	                                                 operations while the store fills
+//	checl-inspect [flags] fleet                      run a bursty fleet-scheduler scenario and
+//	                                                 render utilization, queueing, migrations,
+//	                                                 evictions and the latency histogram
 //
 // The store subcommands checkpoint the demo app twice into a
 // content-addressed store (with one replica attached), so `ls` shows
@@ -45,12 +48,23 @@ func main() {
 	diskFaults := flag.Int("disk-faults", 0, "inject a disk fault every N store filesystem operations (0 disables)")
 	incremental := flag.Bool("incremental", false,
 		"attach with incremental checkpointing (parallel drain) and show the per-generation dirty/clean split")
+	fleetJobs := flag.Int("fleet-jobs", 400, "fleet: number of jobs in the bursty workload")
+	fleetSeed := flag.Int64("fleet-seed", 42, "fleet: traffic seed")
+	fleetGPUs := flag.Int("fleet-gpus", 4, "fleet: GPU nodes in the inventory")
+	fleetCPUs := flag.Int("fleet-cpus", 2, "fleet: CPU-only nodes in the inventory")
+	fleetSample := flag.Int("fleet-sample", 0, "fleet: run every Nth job through the real core+store checkpoint path (0 disables)")
+	fleetNoMig := flag.Bool("fleet-no-migration", false, "fleet: disable rebalancing migrations")
+	fleetNoPre := flag.Bool("fleet-no-preemption", false, "fleet: disable checkpoint-evict preemption")
 	flag.Parse()
 
 	if args := flag.Args(); len(args) > 0 {
+		if args[0] == "fleet" && len(args) == 1 {
+			fleetCmd(*fleetJobs, *fleetSeed, *fleetGPUs, *fleetCPUs, *fleetSample, !*fleetNoMig, !*fleetNoPre)
+			return
+		}
 		if args[0] != "store" || len(args) != 2 ||
 			(args[1] != "ls" && args[1] != "fsck" && args[1] != "scrub") {
-			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\" or \"store scrub\")\n", args)
+			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\", \"store scrub\" or \"fleet\")\n", args)
 			os.Exit(2)
 		}
 		storeCmd(*appName, *scale, args[1], *diskFaults)

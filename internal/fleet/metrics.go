@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"sort"
+
+	"checl/internal/vtime"
+)
+
+// metrics accumulates run statistics inside the event loop.
+type metrics struct {
+	rejected       []string
+	completed      int
+	queuePeak      int
+	migrations     int
+	migratedBytes  int64
+	evictions      int
+	evictedBytes   int64
+	restores       int
+	realJobs       int
+	realRoundTrips int
+	realMismatches int
+
+	latencies []vtime.Duration
+	waits     []vtime.Duration
+	samples   []QueueSample
+	lastDone  vtime.Time
+}
+
+func (m *metrics) done(j *job, now vtime.Time) {
+	m.completed++
+	m.latencies = append(m.latencies, now.Sub(j.spec.Arrival))
+	m.waits = append(m.waits, j.waited)
+	if now > m.lastDone {
+		m.lastDone = now
+	}
+}
+
+func (m *metrics) sampleQueue(now vtime.Time, depth, parked int) {
+	m.samples = append(m.samples, QueueSample{At: now, Depth: depth, Parked: parked})
+}
+
+// QueueSample is the admission-queue depth observed at one rebalance tick.
+type QueueSample struct {
+	At vtime.Time
+	// Depth is the number of waiting jobs; Parked of those hold a
+	// committed checkpoint (they were evicted and await a slot).
+	Depth  int
+	Parked int
+}
+
+// DeviceReport is one device's utilization over the run.
+type DeviceReport struct {
+	Key     string
+	Device  string
+	JobsRun int
+	Busy    vtime.Duration
+	// Utilization is Busy over the run's makespan.
+	Utilization float64
+}
+
+// Report is the aggregate outcome of one fleet run.
+type Report struct {
+	Jobs      int
+	Completed int
+	Rejected  []string
+
+	Start    vtime.Time
+	End      vtime.Time
+	Makespan vtime.Duration
+	// ThroughputJobsPerSec is completed jobs over the makespan.
+	ThroughputJobsPerSec float64
+
+	// Latency is completion time minus arrival time, per completed job.
+	MeanLatency vtime.Duration
+	P50Latency  vtime.Duration
+	P90Latency  vtime.Duration
+	P99Latency  vtime.Duration
+	MaxLatency  vtime.Duration
+	MeanWait    vtime.Duration
+	Latencies   []vtime.Duration
+
+	Migrations    int
+	MigratedBytes int64
+	Evictions     int
+	EvictedBytes  int64
+	Restores      int
+	QueuePeak     int
+	Samples       []QueueSample
+
+	// Honesty sampling: jobs that carried a real CheCL application, how
+	// many of their evict/restore round-trips went through the real
+	// core+store checkpoint path, and how many came back corrupted
+	// (must be zero).
+	RealJobs       int
+	RealRoundTrips int
+	RealMismatches int
+
+	Devices []DeviceReport
+}
+
+func (f *Fleet) report() Report {
+	m := &f.metrics
+	r := Report{
+		Jobs:           len(f.jobs),
+		Completed:      m.completed,
+		Rejected:       m.rejected,
+		Migrations:     m.migrations,
+		MigratedBytes:  m.migratedBytes,
+		Evictions:      m.evictions,
+		EvictedBytes:   m.evictedBytes,
+		Restores:       m.restores,
+		QueuePeak:      m.queuePeak,
+		Samples:        m.samples,
+		RealJobs:       m.realJobs,
+		RealRoundTrips: m.realRoundTrips,
+		RealMismatches: m.realMismatches,
+		Latencies:      m.latencies,
+	}
+	if len(f.arrivals) > 0 {
+		r.Start = f.arrivals[0].spec.Arrival
+	}
+	r.End = m.lastDone
+	if r.End > r.Start {
+		r.Makespan = r.End.Sub(r.Start)
+	}
+	if r.Makespan > 0 {
+		r.ThroughputJobsPerSec = float64(r.Completed) / r.Makespan.Seconds()
+	}
+	if len(m.latencies) > 0 {
+		sorted := append([]vtime.Duration(nil), m.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.MeanLatency = meanDuration(m.latencies)
+		r.P50Latency = percentile(sorted, 0.50)
+		r.P90Latency = percentile(sorted, 0.90)
+		r.P99Latency = percentile(sorted, 0.99)
+		r.MaxLatency = sorted[len(sorted)-1]
+	}
+	if len(m.waits) > 0 {
+		r.MeanWait = meanDuration(m.waits)
+	}
+	for _, d := range f.devices {
+		dr := DeviceReport{
+			Key:     d.key,
+			Device:  d.model.Name,
+			JobsRun: d.jobsRun,
+			Busy:    d.busy,
+		}
+		if r.Makespan > 0 {
+			dr.Utilization = d.busy.Seconds() / r.Makespan.Seconds()
+			if dr.Utilization > 1 {
+				dr.Utilization = 1
+			}
+		}
+		r.Devices = append(r.Devices, dr)
+	}
+	return r
+}
+
+func meanDuration(ds []vtime.Duration) vtime.Duration {
+	var sum vtime.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / vtime.Duration(len(ds))
+}
+
+// percentile reads the q-th quantile from an ascending-sorted slice using
+// the nearest-rank method.
+func percentile(sorted []vtime.Duration, q float64) vtime.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Histogram buckets the completed-job latencies into n logarithmically
+// spaced buckets between the minimum and maximum, for rendering.
+type HistogramBucket struct {
+	UpTo  vtime.Duration
+	Count int
+}
+
+// LatencyHistogram summarises the latency distribution into at most n
+// buckets with doubling bounds starting at the smallest latency.
+func (r Report) LatencyHistogram(n int) []HistogramBucket {
+	if len(r.Latencies) == 0 || n <= 0 {
+		return nil
+	}
+	sorted := append([]vtime.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo <= 0 {
+		lo = 1
+	}
+	var bounds []vtime.Duration
+	for b := lo; b < hi && len(bounds) < n-1; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, hi)
+	out := make([]HistogramBucket, len(bounds))
+	for i, b := range bounds {
+		out[i].UpTo = b
+	}
+	bi := 0
+	for _, l := range sorted {
+		for bi < len(bounds)-1 && l > bounds[bi] {
+			bi++
+		}
+		out[bi].Count++
+	}
+	return out
+}

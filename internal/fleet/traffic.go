@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"checl/internal/vtime"
+)
+
+// TrafficConfig parameterises the bursty synthetic workload. Zero values
+// take the defaults noted on each field; the same seed always produces
+// the same traffic.
+type TrafficConfig struct {
+	Seed int64
+	Jobs int // total jobs; default 100
+
+	// Bursts: jobs arrive in groups of MinBurst..MaxBurst (uniform;
+	// defaults 8..48) spread over BurstSpread (default 200ms), with
+	// exponentially distributed gaps of mean BurstGap (default 5s)
+	// between group starts.
+	MinBurst    int
+	MaxBurst    int
+	BurstSpread vtime.Duration
+	BurstGap    vtime.Duration
+
+	// Job sizes: Flops log-uniform in MinFlops..MaxFlops (defaults
+	// 2e10..2e12 — roughly 40ms..4s on a Tesla C1060, 1s..85s on the
+	// CPU device), MemBytes log-uniform in MinMem..MaxMem (defaults
+	// 4MiB..256MiB).
+	MinFlops float64
+	MaxFlops float64
+	MinMem   int64
+	MaxMem   int64
+
+	// Recompile time uniform in MinRecompile..MaxRecompile (defaults
+	// 50ms..400ms).
+	MinRecompile vtime.Duration
+	MaxRecompile vtime.Duration
+
+	// Priority mix: HighFrac of jobs are High, LowFrac are Low, the rest
+	// Normal. Defaults 0.15 and 0.30.
+	HighFrac float64
+	LowFrac  float64
+
+	// DirtyFrac is the fraction of a job's working set it dirties per
+	// second after a committed checkpoint (JobSpec.DirtyBytesPerSec =
+	// DirtyFrac * MemBytes). Default 0.1; negative disables dirty
+	// tracking (jobs checkpoint at full working-set price).
+	DirtyFrac float64
+}
+
+func (c TrafficConfig) withDefaults() TrafficConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 100
+	}
+	if c.MinBurst <= 0 {
+		c.MinBurst = 8
+	}
+	if c.MaxBurst < c.MinBurst {
+		c.MaxBurst = c.MinBurst + 40
+	}
+	if c.BurstSpread <= 0 {
+		c.BurstSpread = 200 * vtime.Millisecond
+	}
+	if c.BurstGap <= 0 {
+		c.BurstGap = 5 * vtime.Second
+	}
+	if c.MinFlops <= 0 {
+		c.MinFlops = 2e10
+	}
+	if c.MaxFlops < c.MinFlops {
+		c.MaxFlops = 2e12
+	}
+	if c.MinMem <= 0 {
+		c.MinMem = 4 << 20
+	}
+	if c.MaxMem < c.MinMem {
+		c.MaxMem = 256 << 20
+	}
+	if c.MinRecompile <= 0 {
+		c.MinRecompile = 50 * vtime.Millisecond
+	}
+	if c.MaxRecompile < c.MinRecompile {
+		c.MaxRecompile = 400 * vtime.Millisecond
+	}
+	if c.HighFrac <= 0 {
+		c.HighFrac = 0.15
+	}
+	if c.LowFrac <= 0 {
+		c.LowFrac = 0.30
+	}
+	if c.DirtyFrac == 0 {
+		c.DirtyFrac = 0.1
+	}
+	return c
+}
+
+// Bursty generates the synthetic workload described by the config:
+// deterministic for a given seed, jobs named job-0000.. in arrival order.
+func Bursty(cfg TrafficConfig) []JobSpec {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	logUniform := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	}
+
+	specs := make([]JobSpec, 0, cfg.Jobs)
+	burstAt := vtime.Time(0)
+	for len(specs) < cfg.Jobs {
+		n := cfg.MinBurst + rng.Intn(cfg.MaxBurst-cfg.MinBurst+1)
+		for k := 0; k < n && len(specs) < cfg.Jobs; k++ {
+			prio := Normal
+			switch u := rng.Float64(); {
+			case u < cfg.HighFrac:
+				prio = High
+			case u < cfg.HighFrac+cfg.LowFrac:
+				prio = Low
+			}
+			mem := int64(logUniform(float64(cfg.MinMem), float64(cfg.MaxMem)))
+			dirty := 0.0
+			if cfg.DirtyFrac > 0 {
+				dirty = cfg.DirtyFrac * float64(mem)
+			}
+			recRange := cfg.MaxRecompile - cfg.MinRecompile
+			specs = append(specs, JobSpec{
+				Name:             fmt.Sprintf("job-%04d", len(specs)),
+				Arrival:          burstAt.Add(vtime.Duration(rng.Int63n(int64(cfg.BurstSpread) + 1))),
+				Flops:            logUniform(cfg.MinFlops, cfg.MaxFlops),
+				MemBytes:         mem,
+				Recompile:        cfg.MinRecompile + vtime.Duration(rng.Int63n(int64(recRange)+1)),
+				Priority:         prio,
+				DirtyBytesPerSec: dirty,
+			})
+		}
+		burstAt = burstAt.Add(vtime.FromSeconds(rng.ExpFloat64() * cfg.BurstGap.Seconds()))
+	}
+	return specs
+}

@@ -87,19 +87,36 @@ type DeviceModel struct {
 	LaunchOverhead vtime.Duration
 }
 
+// SustainedEfficiency is the sustained fraction of peak rates the roofline
+// assumes, uniform across devices. It is the single source of truth for
+// every consumer that converts peak GFLOPS into achieved GFLOPS — the
+// kernel-execution model here and the scheduler's runtime estimator
+// (sched.EstimateRuntime) — so the planner and the hardware model cannot
+// drift apart.
+const SustainedEfficiency = 0.55
+
+// SustainedRate reports the achieved compute rate of the device in
+// FLOP/s: the peak derated by SustainedEfficiency. Zero for degenerate
+// (zero-GFLOPS) devices.
+func (d DeviceModel) SustainedRate() float64 {
+	if d.GFLOPS <= 0 {
+		return 0
+	}
+	return d.GFLOPS * 1e9 * SustainedEfficiency
+}
+
 // KernelTime models the execution time of a kernel instance that performs
 // flops floating-point operations and moves memBytes to/from global
 // memory. The device is modelled as a roofline: the kernel is bound by
 // whichever of compute or memory traffic takes longer, plus launch
-// overhead. Efficiency derates the peak rates to sustained ones.
+// overhead. SustainedEfficiency derates the peak rates to sustained ones.
 func (d DeviceModel) KernelTime(flops float64, memBytes int64) vtime.Duration {
-	const efficiency = 0.55 // sustained fraction of peak, uniform across devices
 	var compute, memory float64
 	if d.GFLOPS > 0 {
-		compute = flops / (d.GFLOPS * 1e9 * efficiency)
+		compute = flops / d.SustainedRate()
 	}
 	if d.MemBandwidth > 0 {
-		memory = float64(memBytes) / (float64(d.MemBandwidth) * efficiency)
+		memory = float64(memBytes) / (float64(d.MemBandwidth) * SustainedEfficiency)
 	}
 	t := compute
 	if memory > t {

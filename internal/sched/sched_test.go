@@ -151,7 +151,153 @@ func TestPlanEmptyInputs(t *testing.T) {
 }
 
 func TestEstimateRuntimeZeroDevice(t *testing.T) {
-	if EstimateRuntime(1e9, hw.DeviceModel{}) < vtime.Duration(1<<61) {
-		t.Error("zero-rate device should report effectively infinite time")
+	got := EstimateRuntime(1e9, hw.DeviceModel{})
+	if !got.IsInf() {
+		t.Errorf("zero-rate device estimate = %v, want vtime.Infinity", got)
+	}
+	if got != vtime.Infinity {
+		t.Errorf("estimate = %v, want the typed Infinity sentinel", got)
+	}
+}
+
+func TestEvaluateRejectsDegenerateSlot(t *testing.T) {
+	p := planner()
+	job := JobState{
+		Name: "j", RemainingFlops: 1e13, MemBytes: 8 << 20,
+		Device: hw.CoreI7920(), NodeName: "pc-0",
+	}
+	if _, ok := p.Evaluate(job, Slot{NodeName: "pc-1", Device: hw.DeviceModel{Name: "dead"}}); ok {
+		t.Error("a zero-GFLOPS slot must never be schedulable")
+	}
+}
+
+func TestEvaluateRescuesJobOffDegenerateDevice(t *testing.T) {
+	p := planner()
+	// A job stranded on a degenerate device gains Infinity from any
+	// working slot, regardless of MinGain.
+	p.MinGain = vtime.Minute
+	job := JobState{
+		Name: "stranded", RemainingFlops: 1e12, MemBytes: 8 << 20,
+		Device: hw.DeviceModel{Name: "dead"}, NodeName: "pc-0",
+	}
+	m, ok := p.Evaluate(job, Slot{NodeName: "pc-1", Device: hw.TeslaC1060()})
+	if !ok {
+		t.Fatal("stranded job should move to any working device")
+	}
+	if !m.Gain.IsInf() {
+		t.Errorf("gain = %v, want Infinity", m.Gain)
+	}
+}
+
+func TestEvaluateRejectsInsufficientGlobalMemory(t *testing.T) {
+	p := planner()
+	job := JobState{
+		Name: "huge-ws", RemainingFlops: 1e13, MemBytes: 2 << 30, // 2 GiB
+		Device: hw.CoreI7920(), NodeName: "pc-0",
+	}
+	// The HD5870 has 1 GiB of global memory: the job does not fit.
+	if _, ok := p.Evaluate(job, Slot{NodeName: "pc-1", Device: hw.RadeonHD5870()}); ok {
+		t.Error("job larger than the device's global memory must not move there")
+	}
+}
+
+func TestMigrationCostUsesLiveDirtySet(t *testing.T) {
+	p := planner()
+	full := JobState{Name: "full", MemBytes: 512 << 20}
+	inc := JobState{Name: "inc", MemBytes: 512 << 20, HasCheckpoint: true, DirtyBytes: 4 << 20}
+	cf, ci := p.MigrationCost(full), p.MigrationCost(inc)
+	if ci >= cf {
+		t.Errorf("incremental cost %v should be far below full cost %v", ci, cf)
+	}
+	// A fully clean checkpointed job pays only image overhead + β.
+	clean := JobState{Name: "clean", MemBytes: 512 << 20, HasCheckpoint: true}
+	if c := p.MigrationCost(clean); c >= ci {
+		t.Errorf("clean job cost %v should not exceed the dirty job's %v", c, ci)
+	}
+}
+
+func TestEstimateRuntimeMatchesRoofline(t *testing.T) {
+	// The planner's estimator and the hw roofline must share the
+	// sustained-efficiency constant: a pure-compute kernel's time (minus
+	// launch overhead) equals the scheduler's runtime estimate.
+	dev := hw.TeslaC1060()
+	const flops = 1e12
+	est := EstimateRuntime(flops, dev)
+	kt := dev.KernelTime(flops, 0) - dev.LaunchOverhead
+	diff := est - kt
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > vtime.Microsecond {
+		t.Errorf("EstimateRuntime %v and roofline %v disagree — efficiency constants drifted", est, kt)
+	}
+}
+
+// TestPlanDeterministicAcrossInputOrders is the fleet-rebalancer
+// contract: equal-gain candidates tie-break stably (job name, then slot
+// identity), so the plan is a pure function of the job and slot sets
+// regardless of the order map iteration delivered them in.
+func TestPlanDeterministicAcrossInputOrders(t *testing.T) {
+	p := planner()
+	// Four identical jobs and three identical slots: every candidate has
+	// exactly the same gain, so only the tie-break decides.
+	jobByName := map[string]JobState{}
+	for _, n := range []string{"job-a", "job-b", "job-c", "job-d"} {
+		jobByName[n] = JobState{
+			Name: n, RemainingFlops: 1e13, MemBytes: 16 << 20,
+			Device: hw.CoreI7920(), NodeName: "cpu-0",
+		}
+	}
+	slotByKey := map[string]Slot{}
+	for _, n := range []string{"gpu-0/dev0", "gpu-1/dev0", "gpu-2/dev0"} {
+		s := Slot{NodeName: n[:5], Device: hw.TeslaC1060(), Key: n}
+		slotByKey[n] = s
+	}
+
+	var want []Move
+	for iter := 0; iter < 50; iter++ {
+		// Map iteration order varies run to run; rebuilding the slices
+		// from the maps each iteration exercises different input orders.
+		var jobs []JobState
+		for _, j := range jobByName {
+			jobs = append(jobs, j)
+		}
+		var slots []Slot
+		for _, s := range slotByKey {
+			slots = append(slots, s)
+		}
+		plan := p.Plan(jobs, slots)
+		if len(plan) != 3 {
+			t.Fatalf("plan %v: want 3 moves", plan)
+		}
+		if want == nil {
+			want = plan
+			// The tie-break itself: alphabetical jobs onto alphabetical slots.
+			for i, wj := range []string{"job-a", "job-b", "job-c"} {
+				if plan[i].Job != wj || plan[i].ToSlot != []string{"gpu-0/dev0", "gpu-1/dev0", "gpu-2/dev0"}[i] {
+					t.Fatalf("tie-break order wrong: %v", plan)
+				}
+			}
+			continue
+		}
+		for i := range plan {
+			if plan[i] != want[i] {
+				t.Fatalf("iteration %d: plan diverged: %v vs %v", iter, plan, want)
+			}
+		}
+	}
+}
+
+func TestPlanDuplicateSlotKeysCollapse(t *testing.T) {
+	p := planner()
+	jobs := []JobState{
+		{Name: "a", RemainingFlops: 1e13, MemBytes: 8 << 20, Device: hw.CoreI7920(), NodeName: "n0"},
+		{Name: "b", RemainingFlops: 1e13, MemBytes: 8 << 20, Device: hw.CoreI7920(), NodeName: "n1"},
+	}
+	// The same physical slot listed twice must still be assigned once.
+	s := Slot{NodeName: "g0", Device: hw.TeslaC1060(), Key: "g0/dev0"}
+	plan := p.Plan(jobs, []Slot{s, s})
+	if len(plan) != 1 {
+		t.Fatalf("duplicate slot produced %d moves: %v", len(plan), plan)
 	}
 }

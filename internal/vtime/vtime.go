@@ -29,6 +29,42 @@ const (
 	Minute               = 60 * Second
 )
 
+// Infinity is the explicit "never completes" duration: the runtime a
+// scheduler predicts for work placed on a degenerate device (zero compute
+// rate), or the gain of a move away from one. It is a typed rejection, not
+// a large number — arithmetic on it must go through SatAdd/SatSub so it
+// stays absorbing instead of overflowing.
+const Infinity Duration = 1<<63 - 1
+
+// IsInf reports whether the duration is the Infinity sentinel.
+func (d Duration) IsInf() bool { return d == Infinity }
+
+// SatAdd adds two durations, saturating at Infinity: adding anything to an
+// infinite duration (or overflowing) stays infinite.
+func (d Duration) SatAdd(e Duration) Duration {
+	if d.IsInf() || e.IsInf() {
+		return Infinity
+	}
+	s := d + e
+	if d > 0 && e > 0 && s < 0 { // overflow
+		return Infinity
+	}
+	return s
+}
+
+// SatSub subtracts e from d with Infinity absorbing: an infinite d minus
+// any finite e stays infinite, and subtracting an infinite e from a finite
+// d yields the most negative duration (an unpayable cost).
+func (d Duration) SatSub(e Duration) Duration {
+	if d.IsInf() {
+		return Infinity
+	}
+	if e.IsInf() {
+		return -Infinity
+	}
+	return d - e
+}
+
 // FromSeconds converts a floating-point number of seconds to a Duration.
 func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
 
@@ -40,6 +76,12 @@ func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
 
 // String formats the duration with a unit chosen by magnitude.
 func (d Duration) String() string {
+	if d.IsInf() {
+		return "+inf"
+	}
+	if d == -Infinity {
+		return "-inf"
+	}
 	abs := d
 	if abs < 0 {
 		abs = -abs

@@ -35,6 +35,42 @@ func TestDurationString(t *testing.T) {
 	}
 }
 
+func TestInfinity(t *testing.T) {
+	if !Infinity.IsInf() {
+		t.Error("Infinity.IsInf() = false")
+	}
+	if (2 * Second).IsInf() {
+		t.Error("a finite duration reports IsInf")
+	}
+	if got := Infinity.String(); got != "+inf" {
+		t.Errorf("Infinity.String() = %q, want \"+inf\"", got)
+	}
+	if got := (-Infinity).String(); got != "-inf" {
+		t.Errorf("(-Infinity).String() = %q, want \"-inf\"", got)
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b, add, sub Duration
+	}{
+		{2 * Second, 3 * Second, 5 * Second, -Second},
+		{Infinity, Second, Infinity, Infinity},
+		{Second, Infinity, Infinity, -Infinity},
+		{Infinity, Infinity, Infinity, Infinity},
+		// Plain addition of two huge finite durations would wrap negative.
+		{Infinity - 1, Infinity - 1, Infinity, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.SatAdd(c.b); got != c.add {
+			t.Errorf("%v.SatAdd(%v) = %v, want %v", c.a, c.b, got, c.add)
+		}
+		if got := c.a.SatSub(c.b); got != c.sub {
+			t.Errorf("%v.SatSub(%v) = %v, want %v", c.a, c.b, got, c.sub)
+		}
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	a := Time(0).Add(2 * Second)
 	b := a.Add(500 * Millisecond)

@@ -1,8 +1,8 @@
 #!/bin/sh
 # Hot-path benchmark harness: runs the Fig. 4 overhead sweep, the
-# proxy-call microbenchmarks, and the concurrent-checkpoint benchmarks,
-# then distils the headline metrics into BENCH_pr3.json and
-# BENCH_pr5.json at the repo root.
+# proxy-call microbenchmarks, the concurrent-checkpoint benchmarks, and
+# the fleet-scheduler arms, then distils the headline metrics into
+# BENCH_pr3.json, BENCH_pr5.json and BENCH_pr6.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -eu
@@ -11,9 +11,11 @@ cd "$(dirname "$0")/.."
 benchtime=${1:-200x}
 out=BENCH_pr3.json
 out5=BENCH_pr5.json
+out6=BENCH_pr6.json
 tmp=$(mktemp)
 tmp5=$(mktemp)
-trap 'rm -f "$tmp" "$tmp5"' EXIT
+tmp6=$(mktemp)
+trap 'rm -f "$tmp" "$tmp5" "$tmp6"' EXIT
 
 go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
     -benchtime "$benchtime" . >"$tmp"
@@ -24,6 +26,7 @@ go test -run '^$' -bench 'BenchmarkScrubHeal' \
 go test -run '^$' \
     -bench 'BenchmarkCheckpointDrain|BenchmarkIncrementalCopiedBytes|BenchmarkStorePutPipeline' \
     -benchtime 3x . >"$tmp5"
+go test -run '^$' -bench 'BenchmarkFleetBursty' -benchtime 3x . >"$tmp6"
 
 awk '
 function grab(line, unit,   i, n, f) {
@@ -131,3 +134,38 @@ END {
 
 echo "bench.sh: wrote $out5"
 cat "$out5"
+
+# BENCH_pr6.json: the fleet-scheduler acceptance experiment — 1000 bursty
+# jobs, migration-as-load-balancing against the no-migration baseline.
+# Migration must win on BOTH throughput and p99 completion latency.
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkFleetBursty\/no-migration/ {
+    base_thr = grab($0, "jobs/s"); base_p50 = grab($0, "p50-ms")
+    base_p99 = grab($0, "p99-ms"); base_max = grab($0, "max-ms")
+    base_evt = grab($0, "evictions")
+}
+/^BenchmarkFleetBursty\/migration/ {
+    mig_thr = grab($0, "jobs/s"); mig_p50 = grab($0, "p50-ms")
+    mig_p99 = grab($0, "p99-ms"); mig_max = grab($0, "max-ms")
+    mig_migrations = grab($0, "migrations"); mig_evt = grab($0, "evictions")
+}
+END {
+    printf "{\n"
+    printf "  \"jobs\": 1000,\n"
+    printf "  \"no_migration\": {\"throughput_jobs_per_s\": %s, \"p50_ms\": %s, \"p99_ms\": %s, \"max_ms\": %s, \"evictions\": %s},\n",
+           base_thr, base_p50, base_p99, base_max, base_evt
+    printf "  \"migration\": {\"throughput_jobs_per_s\": %s, \"p50_ms\": %s, \"p99_ms\": %s, \"max_ms\": %s, \"migrations\": %s, \"evictions\": %s},\n",
+           mig_thr, mig_p50, mig_p99, mig_max, mig_migrations, mig_evt
+    printf "  \"throughput_gain\": %.2f,\n", mig_thr / base_thr
+    printf "  \"p99_improvement\": %.2f,\n", base_p99 / mig_p99
+    printf "  \"migration_wins_both\": %s\n", (mig_thr + 0 > base_thr + 0 && mig_p99 + 0 < base_p99 + 0) ? "true" : "false"
+    printf "}\n"
+}' "$tmp6" >"$out6"
+
+echo "bench.sh: wrote $out6"
+cat "$out6"

@@ -40,4 +40,12 @@ go test -run 'Incremental|ParallelDrain|Overlapped|BackgroundWrite|Released' -co
     ./internal/core/
 go test -run 'TestAblations' -race ./internal/harness/
 go run ./cmd/checl-inspect -incremental -scale 0.2 >/dev/null
+# Fleet-scheduler gate: the 500-job bursty soak (with sampled jobs going
+# through the real core+store eviction path) and the planner/fleet
+# determinism tests run under the race detector, and the operator view
+# must render a sampled scenario cleanly.
+go test -run 'TestFleetSampledSoak|TestFleetDeterminism|TestFleetMigrationBeatsBaseline|TestFleetRealEvictionBitIdentical' \
+    -count=2 -race ./internal/fleet/
+go test -run 'TestPlanDeterministicAcrossInputOrders' -count=3 -race ./internal/sched/
+go run ./cmd/checl-inspect -fleet-jobs 200 -fleet-sample 40 fleet >/dev/null
 echo "check.sh: all green"
