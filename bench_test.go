@@ -14,6 +14,7 @@
 package checl_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"checl/internal/harness"
 	"checl/internal/hw"
 	"checl/internal/ipc"
+	"checl/internal/mpi"
 	"checl/internal/ocl"
 	"checl/internal/proc"
 	"checl/internal/store"
@@ -826,6 +828,161 @@ func BenchmarkFleetBursty(b *testing.B) {
 			b.ReportMetric(r.MaxLatency.Seconds()*1e3, "max-ms")
 			b.ReportMetric(float64(r.Migrations), "migrations")
 			b.ReportMetric(float64(r.Evictions), "evictions")
+		})
+	}
+}
+
+// BenchmarkPartialRestart is the PR-7 acceptance experiment: recover one
+// killed rank at world sizes 8/64/256, partial restart (segment fetch +
+// message replay, survivors keep running) against the full global
+// rollback. Partial recovery vtime should stay roughly flat as the world
+// grows — it touches one rank's bytes — while full rollback re-reads and
+// re-restores every rank.
+func BenchmarkPartialRestart(b *testing.B) {
+	const epochs = 2
+	const job = "bjob"
+	mkCluster := func(size int) *proc.Cluster {
+		return proc.NewCluster("bc", size, hw.TableISpec(), func(int) []*ocl.Vendor {
+			return []*ocl.Vendor{ocl.AMD()}
+		})
+	}
+	// Minimal epoch body: ring exchange + coordinated store checkpoint.
+	// Non-root op order per epoch: send(1) recv(2) barrier(3) barrier(4)
+	// ckpt-send(5) commit-barrier(6) — op 8 is the epoch-1 ring recv,
+	// safely after the first committed generation.
+	const killOp = 8
+	mkBody := func(st *store.Store, checls []*core.CheCL) func(*mpi.Rank) error {
+		return func(r *mpi.Rank) error {
+			rank := r.Rank()
+			if checls[rank] == nil {
+				c, err := core.Attach(r.Process(), core.Options{})
+				if err != nil {
+					return err
+				}
+				plats, _ := c.GetPlatformIDs()
+				devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeAll)
+				ctx, err := c.CreateContext(devs[:1])
+				if err != nil {
+					return err
+				}
+				q, err := c.CreateCommandQueue(ctx, devs[0], 0)
+				if err != nil {
+					return err
+				}
+				buf, err := c.CreateBuffer(ctx, ocl.MemReadWrite, 64<<10, nil)
+				if err != nil {
+					return err
+				}
+				state := make([]byte, 64<<10)
+				for i := range state {
+					state[i] = byte(rank + i)
+				}
+				if _, err := c.EnqueueWriteBuffer(q, buf, true, 0, state, nil); err != nil {
+					return err
+				}
+				checls[rank] = c
+			}
+			size := r.Size()
+			for e := r.World().Generation(); e < epochs; e++ {
+				if err := r.Send((rank+1)%size, 1, []byte{byte(e)}); err != nil {
+					return err
+				}
+				if _, err := r.Recv((rank+size-1)%size, 1); err != nil {
+					return err
+				}
+				if _, err := r.CoordinatedCheckpointToStore(checls[rank], st, job); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	plan := func(victim int) *mpi.RankFaultInjector {
+		return mpi.NewRankFaultInjector(mpi.RankFaultPlan{
+			Seed:  1,
+			Kills: []mpi.RankKill{{Rank: victim, AtOp: killOp}},
+		})
+	}
+	for _, size := range []int{8, 64, 256} {
+		size := size
+		victim := size / 2
+		b.Run(fmt.Sprintf("partial-%d", size), func(b *testing.B) {
+			var pr *mpi.PartialRestore
+			var rec mpi.RecoveryStats
+			for i := 0; i < b.N; i++ {
+				cl := mkCluster(size)
+				st := store.New(cl.NFS, store.Config{})
+				w, err := mpi.NewWorldWithOptions(cl, size, mpi.Options{
+					LogMessages: true, Fault: plan(victim),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				checls := make([]*core.CheCL, size)
+				err = w.RunWithRecovery(mkBody(st, checls), func(r *mpi.Rank, _ *mpi.RankKilled) error {
+					c, p, err := w.RestoreRank(st, job, r.Rank(), core.Options{})
+					if err != nil {
+						return err
+					}
+					checls[r.Rank()] = c
+					pr = p
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pr == nil || pr.Rank != victim {
+					b.Fatalf("partial restore did not happen: %+v", pr)
+				}
+				rec = w.RecoveryStats()
+			}
+			b.ReportMetric(pr.RecoveryVtime.Seconds()*1e3, "recovery-vtime-ms")
+			b.ReportMetric(float64(pr.SegmentBytes)/1e6, "restored-MB")
+			b.ReportMetric(float64(rec.ReplayedMessages), "replayed-msgs")
+			b.ReportMetric(rec.SurvivorStallVtime.Seconds()*1e3, "survivor-stall-ms")
+		})
+		b.Run(fmt.Sprintf("full-%d", size), func(b *testing.B) {
+			var recovery vtime.Duration
+			var restoredMB float64
+			for i := 0; i < b.N; i++ {
+				cl := mkCluster(size)
+				st := store.New(cl.NFS, store.Config{})
+				// Logging off: a rank death is unrecoverable in place and
+				// the whole world unwinds — the classic global rollback.
+				w, err := mpi.NewWorldWithOptions(cl, size, mpi.Options{Fault: plan(victim)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				checls := make([]*core.CheCL, size)
+				if err := w.Run(mkBody(st, checls)); !errors.Is(err, mpi.ErrRankDown) {
+					b.Fatalf("run = %v, want ErrRankDown", err)
+				}
+				for _, r := range w.Ranks() {
+					r.Process().Kill()
+				}
+				before := make([]vtime.Time, len(cl.Nodes))
+				for n, node := range cl.Nodes {
+					before[n] = node.Clock.Now()
+				}
+				restored, _, err := mpi.RestoreGlobalFromStore(cl, st, job, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovery = 0
+				for n, node := range cl.Nodes {
+					if d := node.Clock.Now().Sub(before[n]); d > recovery {
+						recovery = d
+					}
+				}
+				restoredMB = 0
+				for _, c := range restored {
+					restoredMB += 64.0 / 1024
+					c.Detach()
+					c.App().Kill()
+				}
+			}
+			b.ReportMetric(recovery.Seconds()*1e3, "recovery-vtime-ms")
+			b.ReportMetric(restoredMB, "restored-MB")
 		})
 	}
 }

@@ -17,6 +17,10 @@
 //	checl-inspect [flags] fleet                      run a bursty fleet-scheduler scenario and
 //	                                                 render utilization, queueing, migrations,
 //	                                                 evictions and the latency histogram
+//	checl-inspect [flags] mpi                        kill one rank of an MPI job mid-epoch and
+//	                                                 partial-restart it from its segment of the
+//	                                                 committed generation; print the per-rank
+//	                                                 log/replay/stall accounting
 //
 // The store subcommands checkpoint the demo app twice into a
 // content-addressed store (with one replica attached), so `ls` shows
@@ -55,6 +59,10 @@ func main() {
 	fleetSample := flag.Int("fleet-sample", 0, "fleet: run every Nth job through the real core+store checkpoint path (0 disables)")
 	fleetNoMig := flag.Bool("fleet-no-migration", false, "fleet: disable rebalancing migrations")
 	fleetNoPre := flag.Bool("fleet-no-preemption", false, "fleet: disable checkpoint-evict preemption")
+	mpiRanks := flag.Int("mpi-ranks", 4, "mpi: world size (one rank per node)")
+	mpiEpochs := flag.Int("mpi-epochs", 3, "mpi: compute/checkpoint epochs")
+	mpiKillRank := flag.Int("mpi-kill-rank", 2, "mpi: rank to kill (-1 picks a seeded victim)")
+	mpiKillOp := flag.Int("mpi-kill-op", 10, "mpi: kill the victim at its Nth MPI operation")
 	flag.Parse()
 
 	if args := flag.Args(); len(args) > 0 {
@@ -62,9 +70,13 @@ func main() {
 			fleetCmd(*fleetJobs, *fleetSeed, *fleetGPUs, *fleetCPUs, *fleetSample, !*fleetNoMig, !*fleetNoPre)
 			return
 		}
+		if args[0] == "mpi" && len(args) == 1 {
+			mpiCmd(*mpiRanks, *mpiEpochs, *mpiKillRank, *mpiKillOp)
+			return
+		}
 		if args[0] != "store" || len(args) != 2 ||
 			(args[1] != "ls" && args[1] != "fsck" && args[1] != "scrub") {
-			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\", \"store scrub\" or \"fleet\")\n", args)
+			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\", \"store scrub\", \"fleet\" or \"mpi\")\n", args)
 			os.Exit(2)
 		}
 		storeCmd(*appName, *scale, args[1], *diskFaults)

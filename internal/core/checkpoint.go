@@ -541,6 +541,32 @@ func Restore(node *proc.Node, fs *proc.FS, path string, opts Options) (*CheCL, R
 	return c, stats, nil
 }
 
+// RestoreImage restarts a checkpointed CheCL application from an
+// in-memory image instead of a file: the per-rank restore entry point.
+// MPI partial restart uses it to revive one failed rank from its own
+// segment of a coordinated global snapshot without touching the other
+// ranks' bytes. The caller has already charged whatever read cost
+// produced the image (e.g. store.GetSegment on the node's clock).
+func RestoreImage(node *proc.Node, image []byte, opts Options) (*CheCL, RestartStats, error) {
+	if opts.Backend == nil {
+		opts.Backend = cpr.BLCR{}
+	}
+	stats := RestartStats{PerClass: map[string]vtime.Duration{}}
+	total := vtime.NewStopwatch(node.Clock)
+
+	app, _, err := cpr.RestartImage(node, image)
+	if err != nil {
+		return nil, stats, fmt.Errorf("checl: restart: %w", err)
+	}
+
+	c, err := rebuild(node, app, "image", opts, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Total = total.Elapsed()
+	return c, stats, nil
+}
+
 // RestoreFromStore is Restore reading from a content-addressed checkpoint
 // store instead of a flat file. ref is a manifest ID ("job@seq") or a
 // bare job name (its latest checkpoint). If the newest generation cannot

@@ -191,13 +191,28 @@ func (BLCR) Restart(n *proc.Node, fs *proc.FS, path string) (*proc.Process, Stat
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	p, st, err := RestartImage(n, data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st.Time = sw.Elapsed()
+	return p, st, nil
+}
+
+// RestartImage re-creates a process on node n from an in-memory checkpoint
+// image. It is the file-less half of Restart, for callers that already
+// hold the bytes — e.g. one rank's segment of an MPI global snapshot
+// fetched from a content-addressed store — and have charged the read cost
+// wherever the bytes came from. The returned Stats carry only the image
+// size; no virtual time is spent here.
+func RestartImage(n *proc.Node, data []byte) (*proc.Process, Stats, error) {
 	img, err := decodeImage(data)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	p := n.Spawn(img.ProcessName)
 	p.RestoreRegions(img.Regions)
-	return p, Stats{Bytes: int64(len(data)), Time: sw.Elapsed()}, nil
+	return p, Stats{Bytes: int64(len(data))}, nil
 }
 
 // DMTCP is the Distributed MultiThreaded CheckPointing-like backend: a

@@ -1,0 +1,183 @@
+package mpi
+
+import (
+	"sort"
+
+	"checl/internal/vtime"
+)
+
+// Sender-side message logging. Every Send between two committed
+// coordinated generations is appended to the (sender, receiver) channel
+// log with a monotone per-channel sequence number. The log is what makes
+// a single-rank restore possible without touching the survivors: the
+// failed rank's inbound traffic since the last commit is replayed from
+// the logs in sequence order, and its re-executed outbound traffic is
+// suppressed by sequence number.
+//
+// Logs are truncated at every committed generation — but only entries the
+// receiver has already consumed. An entry still sitting unconsumed in a
+// receiver's inbox at commit time crosses the commit cut (it was sent
+// before the cut, will be received after it) and must survive truncation,
+// or a post-commit death of the receiver would lose it.
+
+// logEntry is one logged send.
+type logEntry struct {
+	Seq      int64
+	Tag      int
+	SentAt   vtime.Time
+	Data     []byte
+	Consumed bool // matched by a Recv on the receiver
+}
+
+// chanLog is the log of one (sender, receiver) channel. Entries are in
+// ascending Seq order.
+type chanLog struct {
+	entries []logEntry
+	bytes   int64
+}
+
+// logCounters aggregates log accounting across all channels.
+type logCounters struct {
+	entries          int
+	bytes            int64
+	highWaterEntries int
+	highWaterBytes   int64
+	truncatedEntries int
+	truncatedBytes   int64
+}
+
+// LogStats reports the message-log footprint: current size, the largest
+// it has ever been (high-water), and how much commit truncation has
+// reclaimed. Bounded growth shows up as a stable high-water mark across
+// generations.
+type LogStats struct {
+	Entries          int
+	Bytes            int64
+	HighWaterEntries int
+	HighWaterBytes   int64
+	TruncatedEntries int
+	TruncatedBytes   int64
+}
+
+// LogStats reports the current message-log accounting.
+func (w *World) LogStats() LogStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return LogStats{
+		Entries:          w.logStats.entries,
+		Bytes:            w.logStats.bytes,
+		HighWaterEntries: w.logStats.highWaterEntries,
+		HighWaterBytes:   w.logStats.highWaterBytes,
+		TruncatedEntries: w.logStats.truncatedEntries,
+		TruncatedBytes:   w.logStats.truncatedBytes,
+	}
+}
+
+// RankLogBytes reports the current logged outbound bytes per sender rank
+// (tooling view).
+func (w *World) RankLogBytes() []int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int64, len(w.ranks))
+	for from := range w.logs {
+		for to := range w.logs[from] {
+			out[from] += w.logs[from][to].bytes
+		}
+	}
+	return out
+}
+
+func (w *World) appendLogLocked(from, to int, e logEntry) {
+	cl := &w.logs[from][to]
+	cl.entries = append(cl.entries, e)
+	cl.bytes += int64(len(e.Data))
+	w.logStats.entries++
+	w.logStats.bytes += int64(len(e.Data))
+	if w.logStats.entries > w.logStats.highWaterEntries {
+		w.logStats.highWaterEntries = w.logStats.entries
+	}
+	if w.logStats.bytes > w.logStats.highWaterBytes {
+		w.logStats.highWaterBytes = w.logStats.bytes
+	}
+}
+
+// findLogEntry looks one logged send up by channel and sequence number.
+func (w *World) findLogEntry(from, to int, seq int64) *logEntry {
+	cl := &w.logs[from][to]
+	i := sort.Search(len(cl.entries), func(i int) bool { return cl.entries[i].Seq >= seq })
+	if i < len(cl.entries) && cl.entries[i].Seq == seq {
+		return &cl.entries[i]
+	}
+	return nil
+}
+
+// markConsumedLocked records that the receiver matched the logged send,
+// making the entry eligible for truncation at the next commit.
+func (w *World) markConsumedLocked(from, to int, seq int64) {
+	if ent := w.findLogEntry(from, to, seq); ent != nil {
+		ent.Consumed = true
+	}
+}
+
+// truncateLogsLocked drops every consumed entry at a generation commit.
+// Unconsumed entries — messages in flight across the commit cut — are
+// retained for a possible post-commit replay.
+func (w *World) truncateLogsLocked() {
+	for from := range w.logs {
+		for to := range w.logs[from] {
+			cl := &w.logs[from][to]
+			if len(cl.entries) == 0 {
+				continue
+			}
+			kept := cl.entries[:0]
+			for _, e := range cl.entries {
+				if e.Consumed {
+					w.logStats.truncatedEntries++
+					w.logStats.truncatedBytes += int64(len(e.Data))
+					w.logStats.entries--
+					w.logStats.bytes -= int64(len(e.Data))
+					cl.bytes -= int64(len(e.Data))
+					continue
+				}
+				kept = append(kept, e)
+			}
+			cl.entries = kept
+		}
+	}
+}
+
+// replaySetLocked assembles the inbound replay queue for a restored rank:
+// every retained log entry addressed to it, across all senders, ordered
+// deterministically by original send time (then sender, then sequence).
+// Per-channel sequence order is preserved — SentAt is monotone per
+// sender. Consumed flags are reset: the restored rank re-executes from
+// the commit cut and will consume them again.
+func (w *World) replaySetLocked(rank int) ([]message, int64) {
+	var msgs []message
+	var bytes int64
+	for from := range w.logs {
+		cl := &w.logs[from][rank]
+		for i := range cl.entries {
+			e := &cl.entries[i]
+			e.Consumed = false
+			msgs = append(msgs, message{
+				from:   from,
+				tag:    e.Tag,
+				seq:    e.Seq,
+				data:   append([]byte(nil), e.Data...),
+				sentAt: e.SentAt,
+			})
+			bytes += int64(len(e.Data))
+		}
+	}
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].sentAt != msgs[j].sentAt {
+			return msgs[i].sentAt < msgs[j].sentAt
+		}
+		if msgs[i].from != msgs[j].from {
+			return msgs[i].from < msgs[j].from
+		}
+		return msgs[i].seq < msgs[j].seq
+	})
+	return msgs, bytes
+}

@@ -103,7 +103,9 @@ func TestBarrierAlignsClocks(t *testing.T) {
 	err := w.Run(func(r *Rank) error {
 		// Skew the clocks: rank i burns i seconds.
 		r.Node().Clock.Advance(vtime.Duration(r.Rank()) * vtime.Second)
-		r.Barrier()
+		if err := r.Barrier(); err != nil {
+			return err
+		}
 		if now := r.Node().Clock.Now(); now < vtime.Time(2*vtime.Second) {
 			return fmt.Errorf("rank %d clock %v after barrier, want >= 2s", r.Rank(), now)
 		}

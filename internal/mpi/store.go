@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 
 	"checl/internal/core"
 	"checl/internal/proc"
@@ -13,15 +14,78 @@ import (
 // content-addressed checkpoint store (typically on the shared NFS)
 // instead of a flat NFS file, so successive global snapshots of the same
 // job — where most ranks' state is unchanged — write only the delta.
+//
+// The payload is the concatenation of the per-rank local snapshots, with
+// one named store segment per rank ("rank/00042"). Segments are what make
+// partial restart O(one rank): RestoreRank fetches a single rank's bytes
+// via store.GetSegment without assembling the other ranks' chunks.
+
+// rankSegPrefix namespaces the per-rank segments of a global snapshot.
+const rankSegPrefix = "rank/"
+
+func rankSegment(rank int) string { return fmt.Sprintf("%s%05d", rankSegPrefix, rank) }
+
+// flattenLocals concatenates rank-ordered local snapshots into one
+// payload with a per-rank segment map.
+func flattenLocals(locals [][]byte) ([]byte, []store.Segment) {
+	var total int
+	for _, l := range locals {
+		total += len(l)
+	}
+	payload := make([]byte, 0, total)
+	segs := make([]store.Segment, 0, len(locals))
+	for i, l := range locals {
+		segs = append(segs, store.Segment{
+			Name: rankSegment(i),
+			Off:  int64(len(payload)),
+			Len:  int64(len(l)),
+		})
+		payload = append(payload, l...)
+	}
+	return payload, segs
+}
+
+// splitSnapshot recovers the rank-ordered local snapshots from a store
+// payload: segment-mapped payloads split by the manifest's per-rank
+// segments, legacy payloads decode as the gob global-snapshot format.
+func splitSnapshot(data []byte, man store.Manifest) ([][]byte, error) {
+	if len(man.Segments) == 0 {
+		return decodeGlobalSnapshot(data)
+	}
+	locals := make([][]byte, 0, len(man.Segments))
+	var off int64
+	for _, seg := range man.Segments {
+		if !strings.HasPrefix(seg.Name, rankSegPrefix) {
+			return nil, fmt.Errorf("mpi: %s: segment %q is not a rank segment", man.ID(), seg.Name)
+		}
+		if off+seg.Size > int64(len(data)) {
+			return nil, fmt.Errorf("mpi: %s: segment %q overruns the payload", man.ID(), seg.Name)
+		}
+		locals = append(locals, data[off:off+seg.Size])
+		off += seg.Size
+	}
+	if off != int64(len(data)) {
+		return nil, fmt.Errorf("mpi: %s: segments cover %d of %d payload bytes", man.ID(), off, len(data))
+	}
+	return locals, nil
+}
 
 // CoordinatedCheckpointToStore is CoordinatedCheckpoint with the global
 // snapshot written into st under job. Local per-rank snapshots still go
 // to each node's local disk (the Hursey-style two-level flow); only
-// rank 0's aggregate goes through the store. Every rank returns its own
-// stats; rank 0's additionally carries the store Put breakdown.
+// rank 0's aggregate goes through the store, segmented per rank. Every
+// rank returns its own stats; rank 0's additionally carries the store
+// Put breakdown.
+//
+// The final barrier doubles as the generation commit point: its
+// completion atomically records the manifest, snapshots the channel
+// sequence counters, and truncates the sender message logs — the cut a
+// partial restore resumes from.
 func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, job string) (GlobalSnapshotStats, error) {
 	var stats GlobalSnapshotStats
-	r.Barrier()
+	if err := r.Barrier(); err != nil {
+		return stats, err
+	}
 
 	// An overlapped store write from an earlier solo checkpoint must not
 	// still be in flight while the coordinated protocol runs: barrier on
@@ -35,7 +99,9 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 	if err != nil {
 		return stats, fmt.Errorf("mpi: rank %d local snapshot: %w", r.rank, err)
 	}
-	r.Barrier() // all local snapshots complete
+	if err := r.Barrier(); err != nil { // all local snapshots complete
+		return stats, err
+	}
 
 	if r.rank != 0 {
 		data, err := r.node.LocalDisk.ReadFile(r.node.Clock, localPath)
@@ -45,7 +111,9 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 		if err := r.Send(0, tagCkpt, data); err != nil {
 			return stats, err
 		}
-		r.Barrier() // global snapshot complete
+		if err := r.commitBarrier(""); err != nil { // global snapshot committed
+			return stats, err
+		}
 		stats.LocalTimes = []vtime.Duration{cst.Phases.Total()}
 		stats.LocalSizes = []int64{cst.FileSize}
 		return stats, nil
@@ -66,22 +134,21 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 		}
 		locals[i] = data
 	}
-	global, err := encodeGlobalSnapshot(locals)
-	if err != nil {
-		return stats, err
-	}
-	man, put, err := st.Put(r.node.Clock, job, global)
+	payload, segs := flattenLocals(locals)
+	man, put, err := st.PutSegmented(r.node.Clock, job, payload, segs)
 	if err != nil {
 		return stats, fmt.Errorf("mpi: global snapshot to store: %w", err)
 	}
 	stats.AggregateTime = sw.Elapsed()
-	stats.GlobalSize = int64(len(global))
+	stats.GlobalSize = int64(len(payload))
 	stats.LocalTimes = []vtime.Duration{cst.Phases.Total()}
 	stats.LocalSizes = []int64{cst.FileSize}
 	stats.Total = cst.Phases.Total() + stats.AggregateTime
 	stats.Manifest = man.ID()
 	stats.StorePut = &put
-	r.Barrier()
+	if err := r.commitBarrier(man.ID()); err != nil {
+		return stats, err
+	}
 	return stats, nil
 }
 
@@ -91,12 +158,12 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 // local snapshot restores on node i%len(nodes).
 //
 // The restore is globally consistent or not at all: a candidate
-// generation counts as restorable only if it decodes as a global snapshot
-// AND every rank restores from it — a generation that fails partway is
-// torn down completely before the next older one is tried. The returned
-// *store.DegradedRestore is nil when the newest generation restored;
-// otherwise it lists every newer generation that was skipped and why, and
-// when no generation works it is also the returned error.
+// generation counts as restorable only if it splits into per-rank
+// snapshots AND every rank restores from it — a generation that fails
+// partway is torn down completely before the next older one is tried.
+// The returned *store.DegradedRestore is nil when the newest generation
+// restored; otherwise it lists every newer generation that was skipped
+// and why, and when no generation works it is also the returned error.
 func RestoreGlobalFromStore(cluster *proc.Cluster, st *store.Store, ref string, opts core.Options) ([]*core.CheCL, *store.DegradedRestore, error) {
 	if len(cluster.Nodes) == 0 {
 		return nil, nil, fmt.Errorf("mpi: cluster has no nodes")
@@ -104,7 +171,7 @@ func RestoreGlobalFromStore(cluster *proc.Cluster, st *store.Store, ref string, 
 	coord := cluster.Nodes[0]
 	var restored []*core.CheCL
 	validate := func(data []byte, man store.Manifest) error {
-		locals, err := decodeGlobalSnapshot(data)
+		locals, err := splitSnapshot(data, man)
 		if err != nil {
 			return err
 		}

@@ -129,6 +129,21 @@ type Process struct {
 	deviceMapped bool
 	regions      map[string][]byte
 	pending      []Signal
+	onExit       []func()
+}
+
+// OnExit registers fn to run when the process dies. Hooks fire after the
+// process is marked dead and removed from its node, outside every process
+// and node lock, in registration order — so a hook may safely take its own
+// locks or call back into proc. Hooks registered on an already-dead
+// process never run. The MPI layer uses this as its rank-death hook.
+func (p *Process) OnExit(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.alive {
+		return
+	}
+	p.onExit = append(p.onExit, fn)
 }
 
 // Node returns the node the process currently runs on.
@@ -203,6 +218,8 @@ func (p *Process) Kill() {
 	children := append([]*Process(nil), p.children...)
 	node := p.node
 	pid := p.PID
+	hooks := p.onExit
+	p.onExit = nil
 	p.mu.Unlock()
 
 	for _, c := range children {
@@ -211,6 +228,9 @@ func (p *Process) Kill() {
 	node.mu.Lock()
 	delete(node.procs, pid)
 	node.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // MapDevice marks the process address space as containing GPU device

@@ -248,3 +248,38 @@ func TestFSCapacity(t *testing.T) {
 		t.Errorf("unbounded fs refused a write: %v", err)
 	}
 }
+
+func TestOnExitHooks(t *testing.T) {
+	n := testNode()
+	app := n.Spawn("app")
+	child := app.Fork("proxy")
+	var order []string
+	app.OnExit(func() {
+		// Hooks fire after the whole tree is dead and the node is cleaned
+		// up, so a death watcher sees the final state.
+		if child.Alive() {
+			t.Error("hook ran before children were killed")
+		}
+		if len(n.Processes()) != 0 {
+			t.Error("hook ran before node cleanup")
+		}
+		order = append(order, "a")
+	})
+	app.OnExit(func() { order = append(order, "b") })
+	app.Kill()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("hooks ran %v, want [a b] in registration order", order)
+	}
+	app.Kill() // idempotent: hooks must not re-fire
+	if len(order) != 2 {
+		t.Errorf("hooks re-fired on second kill: %v", order)
+	}
+
+	// Hooks registered on an already-dead process never run.
+	ran := false
+	app.OnExit(func() { ran = true })
+	app.Kill()
+	if ran {
+		t.Error("hook registered after death ran")
+	}
+}

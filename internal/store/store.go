@@ -571,6 +571,48 @@ func (s *Store) Get(clock *vtime.Clock, ref string) ([]byte, Manifest, error) {
 	return payload, man, err
 }
 
+// GetSegment reconstructs one named segment of a checkpoint payload
+// without assembling the rest: only the chunks the segment owns are read
+// (healed from replicas as needed) and each is verified against its
+// content address. The full-payload digest cannot be checked from a
+// partial read — per-chunk SHA-256 verification stands in for it. This is
+// what makes MPI partial restart read O(one rank) instead of O(world):
+// segments partition the manifest's chunk list in order, so a rank's
+// bytes are a consecutive chunk run.
+func (s *Store) GetSegment(clock *vtime.Clock, ref, name string) ([]byte, Manifest, error) {
+	man, err := s.Resolve(ref)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	if len(man.Segments) == 0 {
+		return nil, man, fmt.Errorf("store: %s: no segment map (whole-payload checkpoint)", man.ID())
+	}
+	first := 0
+	for _, seg := range man.Segments {
+		if seg.Name != name {
+			first += seg.Chunks
+			continue
+		}
+		if first+seg.Chunks > len(man.Chunks) {
+			return nil, man, fmt.Errorf("store: %s: segment %q claims chunks beyond manifest", man.ID(), name)
+		}
+		payload := make([]byte, 0, seg.Size)
+		for _, cref := range man.Chunks[first : first+seg.Chunks] {
+			_, chunk, err := s.fetchBlob(clock, cref, true)
+			if err != nil {
+				return nil, man, err
+			}
+			payload = append(payload, chunk...)
+		}
+		if int64(len(payload)) != seg.Size {
+			return nil, man, fmt.Errorf("store: %s: segment %q assembled to %d bytes, manifest says %d",
+				man.ID(), name, len(payload), seg.Size)
+		}
+		return payload, man, nil
+	}
+	return nil, man, fmt.Errorf("store: %s: no segment named %q", man.ID(), name)
+}
+
 // assemble reads and verifies every chunk of man and checks the payload
 // digest. With heal set, failed chunks fall back to the replicas.
 func (s *Store) assemble(clock *vtime.Clock, man Manifest, heal bool) ([]byte, error) {

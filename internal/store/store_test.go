@@ -377,3 +377,62 @@ func TestStorageModelCharged(t *testing.T) {
 		t.Errorf("ram-disk store put (%v) not cheaper than disk (%v)", ramClock.Now(), diskClock.Now())
 	}
 }
+
+// TestGetSegment: a single rank's bytes come back from a segmented
+// checkpoint without assembling the rest of the payload, bit-exact.
+func TestGetSegment(t *testing.T) {
+	st := New(testFS(), Config{})
+	clock := vtime.NewClock()
+	a, b, c := payload(10, 300<<10), payload(11, 5<<10), payload(12, 90<<10)
+	full := append(append(append([]byte{}, a...), b...), c...)
+	segs := []Segment{
+		{Name: "rank/00000", Off: 0, Len: int64(len(a))},
+		{Name: "rank/00001", Off: int64(len(a)), Len: int64(len(b))},
+		{Name: "rank/00002", Off: int64(len(a) + len(b)), Len: int64(len(c))},
+	}
+	man, _, err := st.PutSegmented(clock, "segjob", full, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{a, b, c} {
+		name := segs[i].Name
+		got, gman, err := st.GetSegment(clock, "segjob", name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gman.ID() != man.ID() {
+			t.Errorf("%s resolved %s, want %s", name, gman.ID(), man.ID())
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: payload diverged (%d bytes, want %d)", name, len(got), len(want))
+		}
+	}
+	// Reading one segment must charge less than reading the whole payload.
+	before := clock.Now()
+	if _, _, err := st.GetSegment(clock, "segjob", "rank/00001"); err != nil {
+		t.Fatal(err)
+	}
+	segCost := clock.Now().Sub(before)
+	before = clock.Now()
+	if _, _, err := st.Get(clock, "segjob"); err != nil {
+		t.Fatal(err)
+	}
+	fullCost := clock.Now().Sub(before)
+	if !(segCost < fullCost) {
+		t.Errorf("segment read (%v) should be cheaper than full read (%v)", segCost, fullCost)
+	}
+
+	if _, _, err := st.GetSegment(clock, "segjob", "rank/99999"); err == nil {
+		t.Error("unknown segment name should fail")
+	}
+	if _, _, err := st.GetSegment(clock, "nosuchjob", "rank/00000"); err == nil {
+		t.Error("unknown job should fail")
+	}
+	man2, _, err := st.Put(clock, "flatjob", payload(13, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.GetSegment(clock, man2.ID(), "rank/00000"); err == nil {
+		t.Error("segment read of an unsegmented checkpoint should fail")
+	}
+}

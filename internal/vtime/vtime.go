@@ -161,6 +161,59 @@ func (c *Clock) AdvanceTo(t Time) Time {
 	return c.now
 }
 
+// StallTracker accumulates labelled stall time: virtual time a caller
+// spent parked waiting on something other than its own work — an MPI
+// survivor waiting out another rank's restore, a queue waiting on a
+// recovering peer. Labels keep independent totals so one tracker can
+// account for several stall sources. Safe for concurrent use.
+type StallTracker struct {
+	mu     sync.Mutex
+	total  Duration
+	events int
+	byLbl  map[string]Duration
+}
+
+// Add charges d of stall time under label. Non-positive durations are
+// ignored (a waiter released at its own arrival time did not stall).
+func (t *StallTracker) Add(label string, d Duration) {
+	if d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byLbl == nil {
+		t.byLbl = map[string]Duration{}
+	}
+	t.total += d
+	t.events++
+	t.byLbl[label] += d
+}
+
+// Total reports the accumulated stall time across all labels.
+func (t *StallTracker) Total() Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events reports how many stalls were recorded.
+func (t *StallTracker) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// ByLabel returns a copy of the per-label stall totals.
+func (t *StallTracker) ByLabel() map[string]Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]Duration, len(t.byLbl))
+	for k, v := range t.byLbl {
+		out[k] = v
+	}
+	return out
+}
+
 // Stopwatch measures spans of virtual time against a Clock.
 type Stopwatch struct {
 	clock *Clock

@@ -154,3 +154,45 @@ func TestStopwatch(t *testing.T) {
 		t.Errorf("Elapsed after reset = %v, want 1s", e)
 	}
 }
+
+func TestStallTracker(t *testing.T) {
+	var st StallTracker
+	st.Add("barrier", 2*Second)
+	st.Add("recv", Second)
+	st.Add("barrier", Second)
+	st.Add("recv", 0)       // ignored
+	st.Add("recv", -Second) // ignored
+	if st.Total() != 4*Second {
+		t.Errorf("Total = %v, want 4s", st.Total())
+	}
+	if st.Events() != 3 {
+		t.Errorf("Events = %d, want 3", st.Events())
+	}
+	by := st.ByLabel()
+	if by["barrier"] != 3*Second || by["recv"] != Second {
+		t.Errorf("ByLabel = %v", by)
+	}
+	// The returned map is a copy.
+	by["barrier"] = 0
+	if st.ByLabel()["barrier"] != 3*Second {
+		t.Error("ByLabel exposed internal state")
+	}
+}
+
+func TestStallTrackerConcurrent(t *testing.T) {
+	var st StallTracker
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				st.Add("x", Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Total() != 800*Microsecond || st.Events() != 800 {
+		t.Errorf("concurrent adds lost updates: %v / %d", st.Total(), st.Events())
+	}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Hot-path benchmark harness: runs the Fig. 4 overhead sweep, the
-# proxy-call microbenchmarks, the concurrent-checkpoint benchmarks, and
-# the fleet-scheduler arms, then distils the headline metrics into
-# BENCH_pr3.json, BENCH_pr5.json and BENCH_pr6.json at the repo root.
+# proxy-call microbenchmarks, the concurrent-checkpoint benchmarks, the
+# fleet-scheduler arms, and the partial-restart recovery sweep, then
+# distils the headline metrics into BENCH_pr3.json, BENCH_pr5.json,
+# BENCH_pr6.json and BENCH_pr7.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -eu
@@ -12,10 +13,12 @@ benchtime=${1:-200x}
 out=BENCH_pr3.json
 out5=BENCH_pr5.json
 out6=BENCH_pr6.json
+out7=BENCH_pr7.json
 tmp=$(mktemp)
 tmp5=$(mktemp)
 tmp6=$(mktemp)
-trap 'rm -f "$tmp" "$tmp5" "$tmp6"' EXIT
+tmp7=$(mktemp)
+trap 'rm -f "$tmp" "$tmp5" "$tmp6" "$tmp7"' EXIT
 
 go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
     -benchtime "$benchtime" . >"$tmp"
@@ -27,6 +30,7 @@ go test -run '^$' \
     -bench 'BenchmarkCheckpointDrain|BenchmarkIncrementalCopiedBytes|BenchmarkStorePutPipeline' \
     -benchtime 3x . >"$tmp5"
 go test -run '^$' -bench 'BenchmarkFleetBursty' -benchtime 3x . >"$tmp6"
+go test -run '^$' -bench 'BenchmarkPartialRestart' -benchtime 1x . >"$tmp7"
 
 awk '
 function grab(line, unit,   i, n, f) {
@@ -169,3 +173,59 @@ END {
 
 echo "bench.sh: wrote $out6"
 cat "$out6"
+
+# BENCH_pr7.json: the partial-restart acceptance experiment — recover one
+# killed rank at world sizes 8/64/256, partial restart (per-rank segment
+# fetch + sender-log replay) against the full global rollback. Partial
+# recovery vtime must stay roughly flat as the world grows and beat the
+# full rollback by >= 2x at 256 ranks.
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkPartialRestart\/partial-/ {
+    size = $1
+    sub(/^BenchmarkPartialRestart\/partial-/, "", size)
+    sub(/-[0-9]+$/, "", size)
+    part[size]  = grab($0, "recovery-vtime-ms")
+    pmb[size]   = grab($0, "restored-MB")
+    stall[size] = grab($0, "survivor-stall-ms")
+    sizes = sizes (sizes == "" ? "" : " ") size
+}
+/^BenchmarkPartialRestart\/full-/ {
+    size = $1
+    sub(/^BenchmarkPartialRestart\/full-/, "", size)
+    sub(/-[0-9]+$/, "", size)
+    full[size] = grab($0, "recovery-vtime-ms")
+    fmb[size]  = grab($0, "restored-MB")
+}
+END {
+    printf "{\n"
+    printf "  \"recovery_vtime_ms\": {\n"
+    n = split(sizes, s, " ")
+    for (i = 1; i <= n; i++)
+        printf "%s    \"%s\": {\"partial\": %s, \"full_rollback\": %s, \"speedup\": %.1f}",
+               (i > 1 ? ",\n" : ""), s[i], part[s[i]], full[s[i]], full[s[i]] / part[s[i]]
+    printf "\n  },\n"
+    printf "  \"restored_mb\": {\n"
+    for (i = 1; i <= n; i++)
+        printf "%s    \"%s\": {\"partial\": %s, \"full_rollback\": %s}",
+               (i > 1 ? ",\n" : ""), s[i], pmb[s[i]], fmb[s[i]]
+    printf "\n  },\n"
+    printf "  \"survivor_stall_ms\": {"
+    for (i = 1; i <= n; i++)
+        printf "%s\"%s\": %s", (i > 1 ? ", " : ""), s[i], stall[s[i]]
+    printf "},\n"
+    big = s[n]; small = s[1]
+    printf "  \"partial_flat_8_to_256\": %s,\n",
+           (part[big] + 0 < 2 * (part[small] + 0)) ? "true" : "false"
+    printf "  \"partial_speedup_at_%s\": %.1f,\n", big, full[big] / part[big]
+    printf "  \"partial_wins_2x_at_%s\": %s\n", big,
+           (full[big] + 0 >= 2 * (part[big] + 0)) ? "true" : "false"
+    printf "}\n"
+}' "$tmp7" >"$out7"
+
+echo "bench.sh: wrote $out7"
+cat "$out7"

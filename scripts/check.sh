@@ -48,4 +48,13 @@ go test -run 'TestFleetSampledSoak|TestFleetDeterminism|TestFleetMigrationBeatsB
     -count=2 -race ./internal/fleet/
 go test -run 'TestPlanDeterministicAcrossInputOrders' -count=3 -race ./internal/sched/
 go run ./cmd/checl-inspect -fleet-jobs 200 -fleet-sample 40 fleet >/dev/null
+# Partial-restart gate: the seeded rank-kill soak sweeps the kill across
+# every MPI-op position of a victim rank (bit-identical completion, one
+# partial restore each), the collectives/two-deaths/log-bound tests cover
+# the replay protocol edges, and the inspect demo drives a kill+restore
+# end to end. All repeatedly under the race detector: RestoreRank runs
+# concurrently with parked survivors by construction.
+go test -run 'TestRankKillPositionSweep|TestPartialRestore|TestCollectivesDuringRecovery|TestTwoRanksDieSameEpoch|TestMessageLogBounded|TestRankDownWithoutLogging|TestRankFaultInjector' \
+    -count=3 -race ./internal/mpi/
+go run ./cmd/checl-inspect mpi >/dev/null
 echo "check.sh: all green"
