@@ -29,6 +29,7 @@ import (
 	"checl/internal/mpi"
 	"checl/internal/ocl"
 	"checl/internal/proc"
+	"checl/internal/proxy"
 	"checl/internal/store"
 	"checl/internal/vtime"
 )
@@ -520,18 +521,27 @@ __kernel void vadd(__global const float* a, __global const float* b,
 
 // BenchmarkProxyCallOverhead measures the wall-clock (not virtual) cost
 // of the interposition hot path. Sub-benchmarks contrast the pipelined
-// paths this PR adds against the classic one-round-trip-per-call path;
-// the ipc-roundtrips/op metric counts actual wire calls per iteration.
+// paths against the classic one-round-trip-per-call path, and the framed
+// stream against the shared-memory ring transport. The ipc-roundtrips/op
+// metric counts calls that waited for a response; posted/op counts
+// fire-and-forget submissions that completed with zero round trips.
 func BenchmarkProxyCallOverhead(b *testing.B) {
-	roundTrips := func(b *testing.B, c *core.CheCL, before int64) {
+	ringOpts := func(opts core.Options) core.Options {
+		opts.Transport = proxy.TransportRing
+		return opts
+	}
+	roundTrips := func(b *testing.B, c *core.CheCL, before proxy.Stats) {
 		b.Helper()
-		b.ReportMetric(float64(c.Proxy().Client.Stats().Calls-before)/float64(b.N), "ipc-roundtrips/op")
+		st := c.Proxy().Client.Stats()
+		sync := (st.Calls - st.Posted) - (before.Calls - before.Posted)
+		b.ReportMetric(float64(sync)/float64(b.N), "ipc-roundtrips/op")
+		b.ReportMetric(float64(st.Posted-before.Posted)/float64(b.N), "posted/op")
 	}
 
 	// Immutable info served from the object DB: zero round trips once warm.
 	b.Run("info-cached", func(b *testing.B) {
 		c, _, _, _ := benchProxyApp(b, core.Options{})
-		before := c.Proxy().Client.Stats().Calls
+		before := c.Proxy().Client.Stats()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -546,7 +556,7 @@ func BenchmarkProxyCallOverhead(b *testing.B) {
 	// A query CheCL cannot cache: the one-round-trip-per-call baseline.
 	b.Run("info-forwarded", func(b *testing.B) {
 		c, _, _, mems := benchProxyApp(b, core.Options{})
-		before := c.Proxy().Client.Stats().Calls
+		before := c.Proxy().Client.Stats()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -561,7 +571,7 @@ func BenchmarkProxyCallOverhead(b *testing.B) {
 	// The enqueue loop every compute app runs: 3 launches + clFinish.
 	launchLoop := func(b *testing.B, opts core.Options) {
 		c, q, k, _ := benchProxyApp(b, opts)
-		before := c.Proxy().Client.Stats().Calls
+		before := c.Proxy().Client.Stats()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -579,6 +589,39 @@ func BenchmarkProxyCallOverhead(b *testing.B) {
 	}
 	b.Run("launch-unbatched", func(b *testing.B) { launchLoop(b, core.Options{}) })
 	b.Run("launch-batched", func(b *testing.B) { launchLoop(b, core.Options{BatchEnqueues: true}) })
+	b.Run("launch-unbatched-ring", func(b *testing.B) { launchLoop(b, ringOpts(core.Options{})) })
+	b.Run("launch-batched-ring", func(b *testing.B) { launchLoop(b, ringOpts(core.Options{BatchEnqueues: true})) })
+
+	// The argument-rebinding loop iterative solvers run between launches:
+	// 3 clSetKernelArg + 1 launch + clFinish. Unbatched on the framed
+	// stream that is 5 synchronous round trips; the ring posts the three
+	// SetKernelArg calls fire-and-forget (zero round trips until the
+	// clFinish sync point) and pays only 2.
+	setArgsLoop := func(b *testing.B, opts core.Options) {
+		c, q, k, _ := benchProxyApp(b, opts)
+		nb := make([]byte, 4)
+		before := c.Proxy().Client.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 3; j++ {
+				nb[0] = byte(i + j)
+				if err := c.SetKernelArg(k, 3, 4, nb); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := c.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{256}, [3]int{64}, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Finish(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		roundTrips(b, c, before)
+	}
+	b.Run("setargs-framed", func(b *testing.B) { setArgsLoop(b, core.Options{}) })
+	b.Run("setargs-ring", func(b *testing.B) { setArgsLoop(b, ringOpts(core.Options{})) })
 
 	// 1 MB buffer traffic over the zero-copy raw frames.
 	bigBuffer := func(b *testing.B, c *core.CheCL, sample ocl.Mem) ocl.Mem {
@@ -625,6 +668,40 @@ func BenchmarkProxyCallOverhead(b *testing.B) {
 	// the reused buffer and the steady state allocates nothing per call.
 	b.Run("read-1MB-pooled", func(b *testing.B) {
 		c, q, _, mems := benchProxyApp(b, core.Options{})
+		big := bigBuffer(b, c, mems[0])
+		if _, err := c.EnqueueWriteBuffer(q, big, true, 0, make([]byte, 1<<20), nil); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		b.SetBytes(1 << 20)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.EnqueueReadBufferInto(q, big, true, 0, 1<<20, nil, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The same 1 MB traffic over the shared-memory ring: no frame
+	// headers, no copy into a socket buffer — the write payload crosses
+	// by reference and the read lands zero-copy in the pooled buffer via
+	// the ring-aware server handler.
+	b.Run("write-1MB-ring", func(b *testing.B) {
+		c, q, _, mems := benchProxyApp(b, ringOpts(core.Options{}))
+		big := bigBuffer(b, c, mems[0])
+		data := make([]byte, 1<<20)
+		b.SetBytes(1 << 20)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.EnqueueWriteBuffer(q, big, true, 0, data, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-1MB-ring", func(b *testing.B) {
+		c, q, _, mems := benchProxyApp(b, ringOpts(core.Options{}))
 		big := bigBuffer(b, c, mems[0])
 		if _, err := c.EnqueueWriteBuffer(q, big, true, 0, make([]byte, 1<<20), nil); err != nil {
 			b.Fatal(err)

@@ -41,6 +41,7 @@ import (
 	"checl/internal/ipc"
 	"checl/internal/ocl"
 	"checl/internal/proc"
+	"checl/internal/proxy"
 	"checl/internal/store"
 	"checl/internal/vtime"
 )
@@ -48,6 +49,8 @@ import (
 func main() {
 	appName := flag.String("app", "oclMatrixMul", "application to checkpoint and inspect")
 	scale := flag.Float64("scale", 0.5, "problem-size multiplier")
+	transport := flag.String("transport", "framed",
+		"app<->proxy transport: \"framed\" (length-prefixed stream) or \"ring\" (shared-memory ring)")
 	faults := flag.Int("faults", 0, "crash the API proxy every N calls (0 disables fault injection)")
 	diskFaults := flag.Int("disk-faults", 0, "inject a disk fault every N store filesystem operations (0 disables)")
 	incremental := flag.Bool("incremental", false,
@@ -92,6 +95,15 @@ func main() {
 	node := proc.NewNode("pc0", hw.TableISpec(), ocl.NVIDIA())
 	p := node.Spawn(app.Name)
 	opts := core.Options{}
+	switch *transport {
+	case "framed":
+		// The default stream transport; opts.Transport zero value.
+	case "ring":
+		opts.Transport = proxy.TransportRing
+	default:
+		fmt.Fprintf(os.Stderr, "checl-inspect: unknown transport %q (want \"framed\" or \"ring\")\n", *transport)
+		os.Exit(2)
+	}
 	if *incremental {
 		opts.Incremental = true
 		opts.DrainWorkers = 8
@@ -127,6 +139,7 @@ func main() {
 	if _, err := app.Run(env); err != nil {
 		fatal(err)
 	}
+	runStats := c.Proxy().Client.Stats()
 	if inj != nil {
 		fs := c.FailoverStats()
 		cs := c.Proxy().Client.Stats()
@@ -141,6 +154,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	printTransport(*transport, runStats, c.Proxy().Client.Stats())
 
 	fmt.Printf("checkpoint %s (%s mode, %s filesystem)\n", st.Path, c.Options().Mode, st.FSName)
 	fmt.Printf("  file size:     %.3f MB\n", float64(st.FileSize)/1e6)
@@ -257,6 +271,33 @@ func storeCmd(appName string, scale float64, sub string, diskFaults int) {
 	case "scrub":
 		storeScrub(node, st)
 	}
+}
+
+// printTransport renders the per-phase proxy traffic on the selected
+// transport: total calls, fire-and-forget posts (completed with zero
+// round trips), synchronous round trips, and the wire/modelled bytes.
+// The checkpoint row is the delta the checkpoint itself added on top of
+// the application run (zeroed if a failover swapped the proxy between
+// the samples, since client stats are per-connection-generation).
+func printTransport(name string, run, after proxy.Stats) {
+	row := func(phase string, s proxy.Stats) {
+		fmt.Printf("  %-11s %-8s %8d %8d %12d %10.3f MB\n",
+			phase, name, s.Calls, s.Posted, s.Calls-s.Posted, float64(s.Bytes)/1e6)
+	}
+	ckpt := proxy.Stats{
+		Calls:  after.Calls - run.Calls,
+		Posted: after.Posted - run.Posted,
+		Bytes:  after.Bytes - run.Bytes,
+	}
+	if ckpt.Calls < 0 || ckpt.Bytes < 0 {
+		ckpt = proxy.Stats{}
+	}
+	fmt.Printf("proxy traffic by phase:\n")
+	fmt.Printf("  %-11s %-8s %8s %8s %12s %13s\n",
+		"PHASE", "TRANSPORT", "CALLS", "POSTED", "ROUNDTRIPS", "BYTES")
+	row("run", run)
+	row("checkpoint", ckpt)
+	fmt.Println()
 }
 
 // printDrain summarises a checkpoint's dirty/clean buffer split: what the

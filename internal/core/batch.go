@@ -92,10 +92,18 @@ func (c *CheCL) batching() bool { return c.opts.BatchEnqueues }
 // (diagnostics and tests).
 func (c *CheCL) PendingBatch() int { return len(c.batch) }
 
-// Drain flushes every deferred command, delivering any pending deferred
-// error. It is the explicit synchronisation point tools and tests use
-// before inspecting proxy-side state directly.
-func (c *CheCL) Drain() error { return c.flushBatch() }
+// Drain flushes every deferred command and settles posted transport
+// submissions, delivering any pending deferred error. It is the explicit
+// synchronisation point tools and tests use before inspecting proxy-side
+// state directly.
+func (c *CheCL) Drain() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
+	return c.forward("SettlePosted", func(api *proxy.Client) error {
+		return api.SettlePosted()
+	})
+}
 
 // pendingEvent mints the CheCL event a deferred command will complete.
 // Its real handle stays zero until the flush binds it.

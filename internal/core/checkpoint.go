@@ -227,6 +227,14 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 	if err := c.flushBatch(); err != nil {
 		return fmt.Errorf("checl: checkpoint drain: %w", err)
 	}
+	// Posted (fire-and-forget) transport submissions settle before the
+	// queues drain, so a deferred remote error fails the checkpoint here
+	// and never hides inside the dumped state.
+	if err := c.forward("SettlePosted", func(api *proxy.Client) error {
+		return api.SettlePosted()
+	}); err != nil {
+		return fmt.Errorf("checl: checkpoint settle: %w", err)
+	}
 	for _, q := range c.db.orderedQueues() {
 		qrec := q
 		if err := c.forward("clFinish", func(api *proxy.Client) error {

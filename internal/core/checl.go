@@ -74,6 +74,12 @@ type Options struct {
 	// Retry bounds the proxy client's reconnect-and-retry loop; zero
 	// fields fall back to proxy.DefaultRetryPolicy.
 	Retry proxy.RetryPolicy
+	// Transport selects the app<->proxy transport. The default (pipe) and
+	// unix-socket variants carry framed gob RPC; proxy.TransportRing is
+	// the shared-memory ring: SPSC submission/completion queues, posted
+	// (zero-round-trip) enqueue-class calls settled at sync points, and
+	// zero-copy bulk reads. Fault plans behave identically on either.
+	Transport proxy.Transport
 	// BatchEnqueues pipelines the hot path: clSetKernelArg and the
 	// fire-and-forget clEnqueue* calls are coalesced into one IPC frame,
 	// flushed at the next synchronisation point (clFinish, any read,
@@ -184,7 +190,12 @@ func (c *CheCL) CacheStats() CacheStats {
 }
 
 // Detach kills the API proxy. The application process survives.
-func (c *CheCL) Detach() { c.px.Kill() }
+func (c *CheCL) Detach() {
+	// Best-effort settle of posted transport submissions: their handlers
+	// run before the proxy dies, keeping teardown deterministic.
+	_ = c.px.Client.SettlePosted()
+	c.px.Kill()
+}
 
 // handleToBytes encodes a handle the way it crosses clSetKernelArg.
 func handleToBytes(h uint64) []byte {

@@ -1,0 +1,213 @@
+package core
+
+// Transport parity: the ring transport must be observationally identical
+// to the framed stream. Every benchmark app runs on both transports,
+// clean and under the same seeded kill plans, and the final buffer
+// contents must be bit-identical across all arms. The framed stream is
+// the reference (and the fault-injection workhorse); the ring is the
+// hot-path optimisation and must never change results.
+
+import (
+	"testing"
+
+	"checl/internal/apps"
+	"checl/internal/ipc"
+	"checl/internal/ocl"
+	"checl/internal/proxy"
+)
+
+// runAppOn runs one benchmark app under CheCL on the given transport and
+// returns the digest of every live buffer plus the proxy client stats of
+// the (final) proxy.
+func runAppOn(t *testing.T, a apps.App, scale float64, inj *ipc.FaultInjector, batch bool, tr proxy.Transport) (map[Handle]string, proxy.Stats) {
+	t.Helper()
+	node := newNodeNV("pc0")
+	app := node.Spawn(a.Name)
+	opts := Options{
+		AutoFailover:  true,
+		Shadow:        ShadowFull,
+		Fault:         inj,
+		BatchEnqueues: batch,
+		Transport:     tr,
+	}
+	c, err := Attach(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Detach()
+	env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: scale}
+	if _, err := a.Run(env); err != nil {
+		t.Fatalf("%s on %v: %v", a.Name, tr, err)
+	}
+	digests := memDigests(t, c)
+	return digests, c.Proxy().Client.Stats()
+}
+
+// ringKillPlan is faultKillPlan extended with the ring-specific fault
+// points (torn slot publish, stalled consumer, arena poison). On the
+// framed stream those kinds are inert; on the ring they land at the
+// analogous protocol positions.
+func ringKillPlan(seed uint64, everyN int) ipc.FaultPlan {
+	p := faultKillPlan(seed, everyN)
+	p.Kinds = append(append([]ipc.FaultKind(nil), p.Kinds...), ipc.RingFaultKinds...)
+	return p
+}
+
+func diffDigests(t *testing.T, arm string, want, got map[Handle]string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: object count diverged: %d vs %d", arm, len(want), len(got))
+	}
+	for h, w := range want {
+		if g, ok := got[h]; !ok {
+			t.Errorf("%s: buffer %v missing", arm, h)
+		} else if g != w {
+			t.Errorf("%s: buffer %v contents diverged: %s vs %s", arm, h, g, w)
+		}
+	}
+}
+
+// TestTransportParitySoak is the ring acceptance soak: every benchmark
+// app, batched and unbatched, on both transports, clean and under the
+// same seeded kill-every-K + proxy-crash plan. All arms must produce
+// bit-identical buffer contents, and the clean runs must agree on the
+// call-level stats (same Calls, same Batched commands — only Posted and
+// wire Bytes may differ, because the ring posts enqueue-class calls and
+// models slot/arena traffic instead of gob frames).
+func TestTransportParitySoak(t *testing.T) {
+	scale := 0.2
+	everyN := 40
+	if testing.Short() {
+		everyN = 80
+	}
+	for _, batch := range []bool{false, true} {
+		batch := batch
+		name := "unbatched"
+		if batch {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			var totalPosted int64
+			for _, a := range apps.All() {
+				a := a
+				t.Run(a.Name, func(t *testing.T) {
+					ref, fstats := runAppOn(t, a, scale, nil, batch, proxy.TransportPipe)
+
+					ringClean, rstats := runAppOn(t, a, scale, nil, batch, proxy.TransportRing)
+					diffDigests(t, "ring-clean", ref, ringClean)
+					if fstats.Calls != rstats.Calls {
+						t.Errorf("clean Calls diverged: framed=%d ring=%d", fstats.Calls, rstats.Calls)
+					}
+					if fstats.Batched != rstats.Batched {
+						t.Errorf("clean Batched diverged: framed=%d ring=%d", fstats.Batched, rstats.Batched)
+					}
+					if fstats.Posted != 0 {
+						t.Errorf("framed transport posted %d calls; posting is ring-only", fstats.Posted)
+					}
+					totalPosted += rstats.Posted
+
+					inj := ipc.NewFaultInjector(faultKillPlan(2026, everyN))
+					framedFaulted, _ := runAppOn(t, a, scale, inj, batch, proxy.TransportPipe)
+					diffDigests(t, "framed-faulted", ref, framedFaulted)
+
+					rinj := ipc.NewFaultInjector(faultKillPlan(2026, everyN))
+					ringFaulted, _ := runAppOn(t, a, scale, rinj, batch, proxy.TransportRing)
+					diffDigests(t, "ring-faulted", ref, ringFaulted)
+					if rinj.Injected() == 0 && inj.Injected() > 0 {
+						t.Errorf("kill plan fired %d faults on framed but none on ring", inj.Injected())
+					}
+				})
+			}
+			// Not every app rebinds kernel args (pure bandwidth tests
+			// post nothing), but across the suite the unbatched ring
+			// runs must have exercised the fire-and-forget path.
+			if !batch && totalPosted == 0 {
+				t.Errorf("no unbatched ring run posted any call; fire-and-forget path untested")
+			}
+		})
+	}
+}
+
+// TestTransportParityRingFaultKinds drives one app through the
+// ring-extended kill plan (torn slots, stalled consumers, arena poison on
+// top of the kill mix) and checks bit-identical results against a clean
+// framed run. One app suffices: the ring-only kinds exercise transport
+// machinery, not app behaviour.
+func TestTransportParityRingFaultKinds(t *testing.T) {
+	all := apps.All()
+	if len(all) == 0 {
+		t.Skip("no benchmark apps registered")
+	}
+	a := all[0]
+	for _, cand := range all {
+		if cand.Name == "Triad" { // chatty app: plenty of calls to fault
+			a = cand
+		}
+	}
+	ref, _ := runAppOn(t, a, 0.2, nil, false, proxy.TransportPipe)
+	inj := ipc.NewFaultInjector(ringKillPlan(2026, 10))
+	faulted, _ := runAppOn(t, a, 0.2, inj, false, proxy.TransportRing)
+	diffDigests(t, "ring-extended-faults", ref, faulted)
+	if inj.Injected() == 0 {
+		t.Error("ring-extended plan injected nothing")
+	}
+}
+
+// TestTransportParityCheckpointDigest: a checkpoint taken on one
+// transport restores to identical buffer contents on either transport —
+// the checkpoint image is transport-agnostic.
+func TestTransportParityCheckpointDigest(t *testing.T) {
+	run := func(tr proxy.Transport) map[Handle]string {
+		node := newNodeNV("pc0")
+		_, c := attach(t, node, Options{Shadow: ShadowFull, Transport: tr})
+		app := setupVaddApp(t, c, 256)
+		app.launch(t)
+		if err := c.Finish(app.q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Checkpoint(node.LocalDisk, "parity.ckpt"); err != nil {
+			t.Fatal(err)
+		}
+		nc, _, err := Restore(node, node.LocalDisk, "parity.ckpt", Options{Transport: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Detach()
+		return memDigests(t, nc)
+	}
+	framed := run(proxy.TransportPipe)
+	ring := run(proxy.TransportRing)
+	diffDigests(t, "checkpoint-restore", framed, ring)
+}
+
+// TestRingCheckpointDrainConcurrent is the core half of the -race gate:
+// a checkpoint with parallel drain workers issues concurrent reads over
+// one ring while posted submissions from the run are still settling.
+func TestRingCheckpointDrainConcurrent(t *testing.T) {
+	node := newNodeNV("pc0")
+	_, c := attach(t, node, Options{
+		Shadow:       ShadowFull,
+		Transport:    proxy.TransportRing,
+		DrainWorkers: 4,
+	})
+	app := setupVaddApp(t, c, 1024)
+	app.launch(t)
+	// Leave fire-and-forget work in flight: the checkpoint's settle step
+	// must drain it before the parallel preprocess reads begin.
+	for i := 0; i < 8; i++ {
+		if err := c.SetKernelArg(app.k, 3, 4, u32bytes(uint32(app.n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := c.Checkpoint(node.LocalDisk, "ringdrain.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DrainWorkers <= 1 {
+		t.Errorf("parallel drain did not engage: workers = %d", stats.DrainWorkers)
+	}
+	if c.Proxy().Client.Stats().Posted == 0 {
+		t.Error("no posted calls reached the ring")
+	}
+	app.verify(t)
+}

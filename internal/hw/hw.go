@@ -193,6 +193,27 @@ type InterconnectModel struct {
 	NIC      Bandwidth // node-to-node network
 }
 
+// RingModel parameterises the shared-memory ring transport between the
+// application and its API proxy: the cost of publishing one fixed-size
+// slot, the cacheline-granular polling cost the consumer pays to observe
+// it (doorbell-free — no syscall, no wakeup IPI), and the bandwidth of
+// the shared arena bulk payloads travel through. One control round trip
+// is two publishes plus two polls, so the per-call floor sits far below a
+// socket's syscall-bound IPCCallLatency, and large transfers run at
+// arena (memory) bandwidth instead of the stream's copy-in/copy-out rate.
+type RingModel struct {
+	SlotPublish vtime.Duration // write + publish one submission/completion slot
+	Poll        vtime.Duration // consumer-side cacheline poll that observes it
+	ArenaBW     Bandwidth      // shared-arena bandwidth for bulk payloads
+}
+
+// RoundTrip reports the modelled time of one synchronous call moving n
+// payload bytes: submit publish + consumer poll, arena transfer, then
+// completion publish + producer poll.
+func (r RingModel) RoundTrip(n int64) vtime.Duration {
+	return 2*r.SlotPublish + 2*r.Poll + r.ArenaBW.Transfer(n)
+}
+
 // SystemSpec is a whole evaluation machine: Table I of the paper.
 type SystemSpec struct {
 	Name      string
@@ -202,6 +223,11 @@ type SystemSpec struct {
 	LocalDisk StorageModel
 	NFS       StorageModel
 	RAMDisk   StorageModel
+
+	// Ring models the optional shared-memory ring transport to the API
+	// proxy (the fast path; the framed stream costs stay in
+	// IPCCallLatency/Inter.Memcpy).
+	Ring RingModel
 
 	// IPCCallLatency is the fixed one-way cost of forwarding one API call
 	// from the application process to its API proxy. Two are charged per

@@ -115,5 +115,10 @@ func TableISpec() SystemSpec {
 		},
 		IPCCallLatency: 9 * vtime.Microsecond,
 		ProxyForkCost:  80 * vtime.Millisecond,
+		Ring: RingModel{
+			SlotPublish: 150 * vtime.Nanosecond,
+			Poll:        60 * vtime.Nanosecond,
+			ArenaBW:     12.8 * GBps, // one-copy shared arena ~ DDR3 stream rate
+		},
 	}
 }

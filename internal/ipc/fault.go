@@ -48,6 +48,20 @@ const (
 	// FaultDelay advances the virtual clock by Plan.Delay before the
 	// request, exercising per-call deadlines.
 	FaultDelay
+	// FaultTornSlotPublish (ring only) tears a submission-slot publish: the
+	// consumer observes a half-written slot and the ring latches down with
+	// the request unexecuted — the ring analogue of FaultKillMidRequest.
+	// Inert on the framed transport.
+	FaultTornSlotPublish
+	// FaultStalledConsumer (ring only) models the service loop wedging: the
+	// plan's Delay elapses with the slot unconsumed, then the ring latches
+	// down without executing the request. Inert on the framed transport.
+	FaultStalledConsumer
+	// FaultArenaPoison (ring only) corrupts the shared arena under a
+	// completed call: the request executes, but its completion arrives
+	// poisoned and the client latches the ring down — the ring analogue of
+	// FaultKillMidResponse. Inert on the framed transport.
+	FaultArenaPoison
 )
 
 func (k FaultKind) String() string {
@@ -68,6 +82,12 @@ func (k FaultKind) String() string {
 		return "crash-server"
 	case FaultDelay:
 		return "delay"
+	case FaultTornSlotPublish:
+		return "torn-slot-publish"
+	case FaultStalledConsumer:
+		return "stalled-consumer"
+	case FaultArenaPoison:
+		return "arena-poison"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -81,6 +101,16 @@ var killKinds = []FaultKind{
 	FaultKillBeforeResponse,
 	FaultKillBetween,
 	FaultKillMidResponse,
+}
+
+// RingFaultKinds are the fault points specific to the shared-memory ring
+// transport. They slot into FaultPlan.Kinds like any other kind; on the
+// framed transport they are inert (the call runs unfaulted), so a plan
+// mixing them stays valid on both backends.
+var RingFaultKinds = []FaultKind{
+	FaultTornSlotPublish,
+	FaultStalledConsumer,
+	FaultArenaPoison,
 }
 
 // FaultPlan is a deterministic schedule of injected faults.

@@ -124,36 +124,28 @@ type CallFaulter interface {
 	CallStarting() error
 }
 
-// countingRWC counts the bytes crossing an io.ReadWriteCloser.
+// countingRWC feeds the bytes crossing an io.ReadWriteCloser into the
+// shared TransportStats layer (reads as received, writes as sent).
 type countingRWC struct {
-	rwc io.ReadWriteCloser
-	mu  sync.Mutex
-	n   int64
+	rwc   io.ReadWriteCloser
+	stats TransportStats
 }
 
 func (c *countingRWC) Read(p []byte) (int, error) {
 	n, err := c.rwc.Read(p)
-	c.mu.Lock()
-	c.n += int64(n)
-	c.mu.Unlock()
+	c.stats.AddRecv(int64(n))
 	return n, err
 }
 
 func (c *countingRWC) Write(p []byte) (int, error) {
 	n, err := c.rwc.Write(p)
-	c.mu.Lock()
-	c.n += int64(n)
-	c.mu.Unlock()
+	c.stats.AddSent(int64(n))
 	return n, err
 }
 
 func (c *countingRWC) Close() error { return c.rwc.Close() }
 
-func (c *countingRWC) bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *countingRWC) bytes() int64 { return c.stats.Total() }
 
 // frameWriter buffers one gob message and emits it as a single
 // length-prefixed frame on flush.
@@ -322,25 +314,6 @@ func (f *frameReader) readRawInto(buf []byte) ([]byte, error) {
 	}
 	return buf, nil
 }
-
-// rawBufPool recycles the server's inbound raw-payload buffers. The
-// handler contract — the payload slice is valid only until the handler
-// returns — is what makes reuse safe; ocl.Runtime copies what it keeps.
-var rawBufPool sync.Pool
-
-func getRawBuf(n int) *[]byte {
-	if v := rawBufPool.Get(); v != nil {
-		bp := v.(*[]byte)
-		if cap(*bp) >= n {
-			*bp = (*bp)[:n]
-			return bp
-		}
-	}
-	b := make([]byte, n)
-	return &b
-}
-
-func putRawBuf(bp *[]byte) { rawBufPool.Put(bp) }
 
 // Conn is the client side of an RPC connection. One call is outstanding
 // at a time; Conn is safe for concurrent use.
@@ -512,6 +485,26 @@ func (c *Conn) fail(method string, err error) error {
 	return &DownError{Method: method, Err: err}
 }
 
+// Stats exposes the connection's byte accounting.
+func (c *Conn) Stats() *TransportStats { return &c.count.stats }
+
+// Post on the framed transport reports ok=false: the stream is strictly
+// request/response, so callers fall back to a synchronous CallSeq with
+// the sequence number they had already assigned.
+func (c *Conn) Post(method string, seq uint64, req any) (int64, bool, error) {
+	return 0, false, nil
+}
+
+// Reap is a no-op on the framed transport: nothing is ever outstanding.
+func (c *Conn) Reap() error { return nil }
+
+// PostedPending is always zero on the framed transport.
+func (c *Conn) PostedPending() int { return 0 }
+
+// TakeDeferred is always nil on the framed transport: errors surface on
+// the call that caused them.
+func (c *Conn) TakeDeferred() error { return nil }
+
 // Down reports whether the connection has been latched down.
 func (c *Conn) Down() bool {
 	c.mu.Lock()
@@ -555,6 +548,7 @@ type handlerCtx struct {
 type Server struct {
 	mu       sync.Mutex
 	handlers map[string]func(*handlerCtx) error
+	ring     map[string]RingHandler
 	maxFrame int
 
 	seen      map[uint64]cachedResp
@@ -567,9 +561,36 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{
 		handlers: map[string]func(*handlerCtx) error{},
+		ring:     map[string]RingHandler{},
 		maxFrame: DefaultMaxFrame,
 		seen:     map[uint64]cachedResp{},
 	}
+}
+
+// RingHandler is the ring-dispatch form of a handler: the request arrives
+// as the typed value the client submitted (no gob), payload is the
+// request's raw payload (nil when none), and into — when non-nil — is the
+// client's destination buffer for the response payload, letting a handler
+// serve a bulk read zero-copy. The returned raw slice must stay valid
+// after the handler returns (it rides the completion queue); it may alias
+// into, never reused scratch.
+type RingHandler func(req any, payload []byte, into []byte) (resp any, raw []byte, err error)
+
+// RegisterRing installs (or overrides) the ring-dispatch handler for
+// method. RegisterRaw already derives a ring handler from the framed one,
+// so only handlers that want the zero-copy into path register here.
+func (s *Server) RegisterRing(method string, fn RingHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring[method] = fn
+}
+
+// ringHandler looks up the ring-dispatch handler for method.
+func (s *Server) ringHandler(method string) (RingHandler, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.ring[method]
+	return h, ok
 }
 
 // SetMaxFrame overrides the inbound frame-size limit.
@@ -652,6 +673,18 @@ func Register[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error
 func RegisterRaw[Req, Resp any](s *Server, method string, fn func(req Req, payload []byte) (Resp, []byte, error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The same registration also serves the ring transport: the request
+	// arrives as the typed value itself, so dispatch is a type assertion
+	// instead of a gob decode. Handlers that want the zero-copy into path
+	// override this via RegisterRing.
+	s.ring[method] = func(req any, payload []byte, _ []byte) (any, []byte, error) {
+		typed, ok := req.(Req)
+		if !ok {
+			return nil, nil, fmt.Errorf("ipc: %s: request is %T, want %T", method, req, typed)
+		}
+		resp, raw, err := fn(typed, payload)
+		return resp, raw, err
+	}
 	s.handlers[method] = func(ctx *handlerCtx) error {
 		var req Req
 		if err := ctx.dec.Decode(&req); err != nil {

@@ -1,0 +1,628 @@
+// Shared-memory ring transport. Where the framed transport serialises
+// every call through gob and a byte stream, the ring models the
+// io_uring/NVMe-style pair of single-producer/single-consumer queues an
+// application and its proxy would share in mapped memory: the client
+// publishes fixed-size submission slots, the proxy's service loop polls
+// them doorbell-free, and completions come back on a second ring. Typed
+// request/response values cross by reference (same address space in this
+// model), so the gob encode/decode and copy-in/copy-out that dominate the
+// framed hot path disappear; bulk reads land zero-copy in the caller's
+// buffer via the handler `into` path. Fire-and-forget submission (Post)
+// completes enqueue-class calls with zero round trips until the next sync
+// point, whose synchronous call drains the earlier completions in FIFO
+// order.
+//
+// Fault injection is cooperative rather than byte-level: the client picks
+// the call's fault from the same seeded FaultInjector stream the framed
+// transport uses, and the kind rides inside the submission slot so the
+// service loop can tear down at the matching protocol position (see the
+// fault matrix in serveOne). Replay dedupe runs against the same Server
+// cache, so a reconnect-and-retry after a kill behaves identically on
+// both backends.
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"checl/internal/vtime"
+)
+
+// ringSlotBytes is the modelled size of one submission or completion slot
+// (a cacheline for the descriptor plus an inline header). The ring's byte
+// accounting charges one slot per publish or completion plus the raw
+// payload it points at; gob envelopes do not exist here.
+const ringSlotBytes = 64
+
+// DefaultRingDepth is the default slot count per queue. It must exceed
+// the largest burst of posted (unreaped) submissions a client is allowed
+// to build up — proxy.Client settles well before this fills.
+const DefaultRingDepth = 256
+
+// Spin budgets before a waiter parks. The client burns longer (it is the
+// latency-sensitive side); the service loop yields sooner so an idle
+// proxy does not monopolise a CPU.
+const (
+	ringClientSpin = 512
+	ringServerSpin = 256
+)
+
+// errRingClosed wakes waiters on a torn-down queue.
+var errRingClosed = errors.New("ipc: ring closed")
+
+// spsc is a lock-free single-producer/single-consumer bounded queue.
+// head/tail are free-running uint64 counters (masked into the power-of-2
+// buffer), so full/empty never alias. Waiters spin first, then park on a
+// condvar; the publishing side only touches the mutex when someone is
+// actually asleep.
+type spsc[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // next slot the consumer pops
+	tail atomic.Uint64 // next slot the producer fills
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleepers int
+	down     atomic.Bool
+}
+
+func newSPSC[T any](depth int) *spsc[T] {
+	if depth < 2 {
+		depth = 2
+	}
+	// Round up to a power of two so masking replaces modulo.
+	n := 1
+	for n < depth {
+		n <<= 1
+	}
+	q := &spsc[T]{buf: make([]T, n), mask: uint64(n - 1)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push publishes v, blocking while the queue is full. A closed queue
+// fails immediately — in-flight slots die with the ring, like bytes in a
+// killed stream.
+func (q *spsc[T]) push(v T) error {
+	spins := 0
+	for {
+		if q.down.Load() {
+			return errRingClosed
+		}
+		tail := q.tail.Load()
+		if tail-q.head.Load() < uint64(len(q.buf)) {
+			q.buf[tail&q.mask] = v
+			q.tail.Store(tail + 1)
+			q.wake()
+			return nil
+		}
+		if spins++; spins < ringClientSpin {
+			runtime.Gosched()
+			continue
+		}
+		q.sleep(func() bool {
+			return q.down.Load() || q.tail.Load()-q.head.Load() < uint64(len(q.buf))
+		})
+		spins = 0
+	}
+}
+
+// pop consumes the next slot, blocking while the queue is empty.
+func (q *spsc[T]) pop(spinBudget int) (T, error) {
+	var zero T
+	spins := 0
+	for {
+		if q.down.Load() {
+			return zero, errRingClosed
+		}
+		head := q.head.Load()
+		if head != q.tail.Load() {
+			v := q.buf[head&q.mask]
+			q.buf[head&q.mask] = zero // release references for GC
+			q.head.Store(head + 1)
+			q.wake()
+			return v, nil
+		}
+		if spins++; spins < spinBudget {
+			runtime.Gosched()
+			continue
+		}
+		q.sleep(func() bool {
+			return q.down.Load() || q.head.Load() != q.tail.Load()
+		})
+		spins = 0
+	}
+}
+
+// sleep parks until ready reports true. The condition reads only atomics,
+// and wakers broadcast under the same mutex, so no wakeup is lost.
+func (q *spsc[T]) sleep(ready func() bool) {
+	q.mu.Lock()
+	for !ready() {
+		q.sleepers++
+		q.cond.Wait()
+		q.sleepers--
+	}
+	q.mu.Unlock()
+}
+
+// wake rouses parked waiters, touching the mutex only when there are any.
+func (q *spsc[T]) wake() {
+	q.mu.Lock()
+	if q.sleepers > 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// close tears the queue down and wakes every waiter.
+func (q *spsc[T]) close() {
+	q.down.Store(true)
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// ringMsg is one submission slot.
+type ringMsg struct {
+	idx     uint64 // submission index; completions echo it back
+	method  string
+	seq     uint64 // replay-dedupe sequence; 0 = idempotent
+	req     any    // the typed request value, by reference
+	payload []byte // raw request payload (valid until the handler returns)
+	into    []byte // caller's destination for the response payload, if any
+	posted  bool   // fire-and-forget: the client will not wait on this
+	fault   FaultKind
+}
+
+// ringCpl is one completion slot.
+type ringCpl struct {
+	idx    uint64
+	method string
+	env    respEnvelope
+	resp   any
+	raw    []byte
+	fault  FaultKind // non-None: the completion arrived poisoned
+}
+
+// RingConfig configures a Ring.
+type RingConfig struct {
+	// Fault, when non-nil, drives the ring's cooperative fault injection
+	// from the same seeded plan state the framed transport uses.
+	Fault *FaultInjector
+	// Depth is the slot count per queue (rounded up to a power of two);
+	// 0 means DefaultRingDepth.
+	Depth int
+}
+
+// Ring is the client handle of a shared-memory ring transport bound to a
+// Server. Run the server half with Serve (usually on its own goroutine).
+// Like Conn, one synchronous call is outstanding at a time and the type
+// is safe for concurrent use.
+type Ring struct {
+	srv   *Server
+	inj   *FaultInjector
+	stats TransportStats
+
+	sq *spsc[ringMsg]
+	cq *spsc[ringCpl]
+
+	// mu is the producer lock: it serialises submissions and completion
+	// draining. The service loop never takes it — a client blocked on its
+	// completion holds mu the whole time.
+	mu       sync.Mutex
+	nextIdx  uint64
+	clock    *vtime.Clock
+	timeout  vtime.Duration
+	maxFrame int
+
+	outstanding atomic.Int64 // posted submissions not yet completed
+
+	// stateMu guards the down latch and the deferred-error slot; both
+	// sides touch them, so they stay off mu.
+	stateMu  sync.Mutex
+	downErr  error
+	deferred error
+}
+
+// NewRing builds a ring transport served by srv. The caller starts the
+// service loop with go ring.Serve().
+func NewRing(srv *Server, cfg RingConfig) *Ring {
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+	return &Ring{
+		srv:      srv,
+		inj:      cfg.Fault,
+		sq:       newSPSC[ringMsg](depth),
+		cq:       newSPSC[ringCpl](depth),
+		maxFrame: DefaultMaxFrame,
+	}
+}
+
+// SetMaxFrame bounds a single raw payload, mirroring the framed limit.
+func (r *Ring) SetMaxFrame(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxFrame = n
+}
+
+// SetDeadline arms a per-call deadline on the virtual clock, identical in
+// meaning to Conn.SetDeadline.
+func (r *Ring) SetDeadline(clock *vtime.Clock, timeout vtime.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = clock
+	r.timeout = timeout
+}
+
+// Stats exposes the ring's modelled byte accounting.
+func (r *Ring) Stats() *TransportStats { return &r.stats }
+
+// Down reports whether the ring has been latched down.
+func (r *Ring) Down() bool {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.downErr != nil
+}
+
+// Close tears the ring down; both sides wake with ErrConnDown-class
+// failures and the service loop exits.
+func (r *Ring) Close() error {
+	r.latch(errors.New("connection closed"))
+	return nil
+}
+
+// latch records the first cause of death and closes both queues.
+func (r *Ring) latch(err error) {
+	r.stateMu.Lock()
+	if r.downErr == nil {
+		r.downErr = err
+	}
+	r.stateMu.Unlock()
+	r.sq.close()
+	r.cq.close()
+}
+
+// fail latches the ring down and wraps the (first) cause as a DownError.
+func (r *Ring) fail(method string, err error) error {
+	r.stateMu.Lock()
+	if r.downErr == nil {
+		r.downErr = err
+	}
+	cause := r.downErr
+	r.stateMu.Unlock()
+	r.sq.close()
+	r.cq.close()
+	return &DownError{Method: method, Err: cause}
+}
+
+// downError returns the latched cause, if any.
+func (r *Ring) downError() error {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.downErr
+}
+
+// Call invokes method synchronously over the ring.
+func (r *Ring) Call(method string, req, resp any) (int64, error) {
+	_, n, err := r.exchange(method, 0, req, nil, resp, nil)
+	return n, err
+}
+
+// CallSeq is Call with an explicit dedupe sequence number.
+func (r *Ring) CallSeq(method string, seq uint64, req, resp any) (int64, error) {
+	_, n, err := r.exchange(method, seq, req, nil, resp, nil)
+	return n, err
+}
+
+// CallRecvRaw additionally returns the response's raw payload, if any.
+func (r *Ring) CallRecvRaw(method string, seq uint64, req, resp any) ([]byte, int64, error) {
+	return r.exchange(method, seq, req, nil, resp, nil)
+}
+
+// CallRecvRawInto passes buf to the server as the response payload's
+// destination: a ring-aware handler writes straight into it (zero-copy),
+// and a derived handler's payload is copied into it on completion.
+func (r *Ring) CallRecvRawInto(method string, seq uint64, req, resp any, buf []byte) ([]byte, int64, error) {
+	return r.exchange(method, seq, req, nil, resp, buf)
+}
+
+// CallRawSeq attaches rawReq to the request. The slice crosses by
+// reference and the handler contract (valid until the handler returns)
+// holds because the call is synchronous.
+func (r *Ring) CallRawSeq(method string, seq uint64, req any, rawReq []byte, resp any) ([]byte, int64, error) {
+	return r.exchange(method, seq, req, rawReq, resp, nil)
+}
+
+// Post publishes method fire-and-forget and returns as soon as the slot
+// is in the submission queue. The completion is drained by the next
+// synchronous call or Reap; a remote error it carries parks in the
+// deferred slot (TakeDeferred).
+func (r *Ring) Post(method string, seq uint64, req any) (int64, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.downError(); err != nil {
+		return 0, true, &DownError{Method: method, Err: err}
+	}
+	kind, err := r.submitFault(method)
+	if err != nil {
+		return 0, true, err
+	}
+	idx := r.nextIdx
+	r.nextIdx++
+	n := int64(ringSlotBytes)
+	r.stats.AddSent(n)
+	msg := ringMsg{idx: idx, method: method, seq: seq, req: req, posted: true, fault: kind}
+	if err := r.sq.push(msg); err != nil {
+		return n, true, r.fail(method, err)
+	}
+	r.outstanding.Add(1)
+	return n, true, nil
+}
+
+// Reap blocks until every posted submission has completed (or the ring is
+// down). Remote errors land in the deferred slot, not the return value.
+func (r *Ring) Reap() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.outstanding.Load() > 0 {
+		cpl, err := r.cq.pop(ringClientSpin)
+		if err != nil {
+			return r.fail("reap", err)
+		}
+		if err := r.consumePosted(cpl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PostedPending reports the posted submissions not yet completed.
+func (r *Ring) PostedPending() int { return int(r.outstanding.Load()) }
+
+// TakeDeferred returns (and clears) the first remote error a posted call
+// came back with.
+func (r *Ring) TakeDeferred() error {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	err := r.deferred
+	r.deferred = nil
+	return err
+}
+
+// submitFault draws the call's fault from the injector and fires the
+// submission-side kinds. The returned kind (if any) rides in the slot for
+// the service loop to act on.
+func (r *Ring) submitFault(method string) (FaultKind, error) {
+	if r.inj == nil {
+		return FaultNone, nil
+	}
+	kind := r.inj.nextKind()
+	switch kind {
+	case FaultKillBeforeRequest:
+		// Nothing reaches the submission queue — the ring analogue of a
+		// stream killed before the first request byte.
+		return FaultNone, r.fail(method, fmt.Errorf("%w before the request", errKilled))
+	case FaultCrashServer:
+		// The proxy process dies before consuming the slot. The crash hook
+		// runs on this side so the service loop (which the hook's teardown
+		// waits on) is never the one triggering its own demise.
+		err := r.fail(method, fmt.Errorf("fault injected: proxy crashed before consuming the slot"))
+		r.inj.fireCrash()
+		return FaultNone, err
+	case FaultDelay:
+		r.inj.delay()
+		return FaultNone, nil
+	}
+	return kind, nil
+}
+
+// consumePosted accounts one posted completion: stats, poison detection,
+// deferred-error capture.
+func (r *Ring) consumePosted(cpl ringCpl) error {
+	r.stats.AddRecv(int64(ringSlotBytes + len(cpl.raw)))
+	r.outstanding.Add(-1)
+	if cpl.fault != FaultNone {
+		return r.fail(cpl.method, fmt.Errorf("fault injected: %s completion poisoned (%s)", cpl.method, cpl.fault))
+	}
+	if cpl.env.ErrOp != "" {
+		r.stateMu.Lock()
+		if r.deferred == nil {
+			r.deferred = &DeferredError{
+				Method: cpl.method,
+				Err:    &RemoteError{Op: cpl.env.ErrOp, Detail: cpl.env.ErrDetail, Status: cpl.env.ErrStatus},
+			}
+		}
+		r.stateMu.Unlock()
+	}
+	return nil
+}
+
+// exchange runs one synchronous submission/completion cycle under the
+// producer lock, draining any earlier posted completions on the way (the
+// SPSC queues guarantee FIFO, so everything posted before this call
+// completes before it).
+func (r *Ring) exchange(method string, seq uint64, req any, rawReq []byte, resp any, into []byte) ([]byte, int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.downError(); err != nil {
+		return nil, 0, &DownError{Method: method, Err: err}
+	}
+	var start vtime.Time
+	if r.clock != nil {
+		start = r.clock.Now()
+	}
+	kind, err := r.submitFault(method)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rawReq) > r.maxFrame {
+		return nil, 0, r.fail(method, fmt.Errorf("%d-byte payload: %w (max %d)", len(rawReq), ErrFrameTooLarge, r.maxFrame))
+	}
+	idx := r.nextIdx
+	r.nextIdx++
+	n := int64(ringSlotBytes + len(rawReq))
+	r.stats.AddSent(n)
+	msg := ringMsg{idx: idx, method: method, seq: seq, req: req, payload: rawReq, into: into, fault: kind}
+	if err := r.sq.push(msg); err != nil {
+		return nil, n, r.fail(method, err)
+	}
+	for {
+		cpl, err := r.cq.pop(ringClientSpin)
+		if err != nil {
+			return nil, n, r.fail(method, err)
+		}
+		if cpl.idx != idx {
+			if err := r.consumePosted(cpl); err != nil {
+				return nil, n, err
+			}
+			continue
+		}
+		recv := int64(ringSlotBytes + len(cpl.raw))
+		r.stats.AddRecv(recv)
+		n += recv
+		if cpl.fault != FaultNone {
+			return nil, n, r.fail(method, fmt.Errorf("fault injected: %s completion poisoned (%s)", method, cpl.fault))
+		}
+		if len(cpl.raw) > r.maxFrame {
+			return nil, n, r.fail(method, fmt.Errorf("%d-byte payload: %w (max %d)", len(cpl.raw), ErrFrameTooLarge, r.maxFrame))
+		}
+		var callErr error
+		var rawResp []byte
+		if cpl.env.ErrOp != "" {
+			callErr = &RemoteError{Op: cpl.env.ErrOp, Detail: cpl.env.ErrDetail, Status: cpl.env.ErrStatus}
+		} else {
+			if resp != nil && cpl.resp != nil {
+				dst := reflect.ValueOf(resp).Elem()
+				src := reflect.ValueOf(cpl.resp)
+				if !src.Type().AssignableTo(dst.Type()) {
+					return nil, n, r.fail(method, fmt.Errorf("ipc: %s: response is %s, want %s", method, src.Type(), dst.Type()))
+				}
+				dst.Set(src)
+			}
+			rawResp = cpl.raw
+		}
+		if r.clock != nil && r.timeout > 0 {
+			if elapsed := r.clock.Now().Sub(start); elapsed > r.timeout {
+				return nil, n, r.fail(method,
+					fmt.Errorf("%s exceeded the %s call deadline (took %s)", method, r.timeout, elapsed))
+			}
+		}
+		return rawResp, n, callErr
+	}
+}
+
+// Serve is the proxy-side service loop: it polls the submission queue,
+// dispatches ring handlers, and publishes completions until the ring goes
+// down. Run it on its own goroutine.
+func (r *Ring) Serve() {
+	for {
+		msg, err := r.sq.pop(ringServerSpin)
+		if err != nil {
+			return
+		}
+		if !r.serveOne(msg) {
+			return
+		}
+	}
+}
+
+// serveOne handles one submission. It returns false when a fault latched
+// the ring down and the service loop should exit.
+//
+// The server-side fault matrix (the kind rides in msg.fault):
+//
+//	FaultKillMidRequest, FaultTornSlotPublish — the consumer observes a
+//	  torn slot: down, request NOT executed.
+//	FaultStalledConsumer — the service loop wedges for the plan's Delay,
+//	  then dies: down, request NOT executed.
+//	FaultKillBeforeResponse, FaultKillBetween — the handler EXECUTES (and
+//	  a sequenced response enters the replay cache), then the completion
+//	  is lost: down. This is the case replay dedupe exists for.
+//	FaultKillMidResponse, FaultArenaPoison — the handler executes and the
+//	  completion is delivered poisoned; the client latches down on it.
+func (r *Ring) serveOne(msg ringMsg) bool {
+	switch msg.fault {
+	case FaultKillMidRequest, FaultTornSlotPublish:
+		r.latch(fmt.Errorf("fault injected: torn %s submission slot", msg.method))
+		return false
+	case FaultStalledConsumer:
+		if r.inj != nil {
+			r.inj.delay()
+		}
+		r.latch(fmt.Errorf("fault injected: ring consumer stalled on %s", msg.method))
+		return false
+	}
+
+	var cpl ringCpl
+	cpl.idx, cpl.method = msg.idx, msg.method
+
+	if msg.seq != 0 {
+		if cached, ok := r.srv.lookupReplay(msg.seq); ok {
+			cpl.env, cpl.resp = cached.env, cached.resp
+			if cached.raw != nil {
+				// The cache keeps its pinned copy; the client gets its own
+				// (into its destination buffer when it offered one).
+				if cap(msg.into) >= len(cached.raw) {
+					cpl.raw = msg.into[:len(cached.raw)]
+				} else {
+					cpl.raw = make([]byte, len(cached.raw))
+				}
+				copy(cpl.raw, cached.raw)
+			}
+			return r.complete(msg, cpl)
+		}
+	}
+
+	h, ok := r.srv.ringHandler(msg.method)
+	if !ok {
+		cpl.env = respEnvelope{ErrOp: msg.method, ErrDetail: "unknown method", ErrStatus: -9998}
+		return r.complete(msg, cpl)
+	}
+	resp, raw, err := h(msg.req, msg.payload, msg.into)
+	env := envFor(msg.method, err)
+	if err != nil {
+		raw = nil
+	}
+	env.Raw = raw != nil
+	cpl.env, cpl.resp, cpl.raw = env, resp, raw
+	if msg.seq != 0 {
+		cacheRaw := raw
+		if raw != nil {
+			// The delivered payload may alias the client's buffer (the
+			// zero-copy into path); the replay cache pins its own copy so a
+			// later replay is immune to client mutation.
+			cacheRaw = append([]byte(nil), raw...)
+		}
+		r.srv.storeReplay(msg.seq, cachedResp{env: env, resp: resp, raw: cacheRaw})
+	}
+	return r.complete(msg, cpl)
+}
+
+// complete publishes a completion, applying the response-side faults.
+func (r *Ring) complete(msg ringMsg, cpl ringCpl) bool {
+	switch msg.fault {
+	case FaultKillBeforeResponse, FaultKillBetween:
+		// Executed, completion lost.
+		r.latch(fmt.Errorf("fault injected: %s completion lost", msg.method))
+		return false
+	case FaultKillMidResponse, FaultArenaPoison:
+		cpl.fault = msg.fault
+	}
+	if err := r.cq.push(cpl); err != nil {
+		return false
+	}
+	// A poisoned completion takes the ring down as soon as it is seen;
+	// the service loop stops here rather than racing the latch.
+	if cpl.fault != FaultNone {
+		return false
+	}
+	return true
+}

@@ -15,10 +15,38 @@ import (
 // CostModel prices one forwarded API call: a fixed round-trip latency plus
 // a copy of the payload at the given bandwidth. For a same-node proxy the
 // bandwidth is host memcpy; for a remote proxy (the §V extension) it is
-// the NIC.
+// the NIC. When Ring is set the call instead rides the shared-memory ring
+// and is priced from its slot/poll/arena model.
 type CostModel struct {
 	CallLatency vtime.Duration // one-way; charged twice per round trip
 	CopyBW      hw.Bandwidth
+	Ring        *hw.RingModel // non-nil: price calls as ring traffic
+}
+
+// roundTrip prices one synchronous call moving n bytes.
+func (m CostModel) roundTrip(n int64) vtime.Duration {
+	if m.Ring != nil {
+		return m.Ring.RoundTrip(n)
+	}
+	return 2*m.CallLatency + m.CopyBW.Transfer(n)
+}
+
+// postCost prices one fire-and-forget submission: a single slot publish
+// plus the arena share of its payload — no completion wait.
+func (m CostModel) postCost(n int64) vtime.Duration {
+	if m.Ring != nil {
+		return m.Ring.SlotPublish + m.Ring.ArenaBW.Transfer(n)
+	}
+	return 2*m.CallLatency + m.CopyBW.Transfer(n)
+}
+
+// reapCost prices the completion-queue poll a sync point pays to settle
+// the posted backlog.
+func (m CostModel) reapCost() vtime.Duration {
+	if m.Ring != nil {
+		return m.Ring.Poll
+	}
+	return 0
 }
 
 // RetryPolicy bounds the client's transparent reconnect-and-retry loop.
@@ -57,6 +85,7 @@ type Stats struct {
 	Calls      int64 // calls sent on the wire (retries included)
 	Bytes      int64
 	Batched    int64 // commands coalesced into clEnqueueBatch calls
+	Posted     int64 // calls submitted fire-and-forget (zero round trips)
 	Retries    int64 // calls re-sent after a transport fault
 	Reconnects int64 // fresh connections dialled to the same proxy
 }
@@ -78,28 +107,45 @@ type Client struct {
 	retry RetryPolicy
 
 	mu     sync.Mutex
-	conn   *ipc.Conn
-	redial func() (*ipc.Conn, error)
+	conn   ipc.Transport
+	redial func() (ipc.Transport, error)
 	closed bool
+
+	// postMu guards the posted-but-unsettled call list (and the deferred
+	// error captured while replaying it). Lock order: postMu before mu,
+	// never the reverse.
+	postMu       sync.Mutex
+	pendingPosts []postedCall
+	deferred     error
 
 	seq        atomic.Uint64
 	calls      atomic.Int64
 	bytes      atomic.Int64
 	batched    atomic.Int64
+	posted     atomic.Int64
 	retries    atomic.Int64
 	reconnects atomic.Int64
 }
 
+// postedCall remembers one fire-and-forget submission so it can be
+// re-sent synchronously — same method, same seq — if the transport dies
+// before its completion is observed.
+type postedCall struct {
+	method string
+	seq    uint64
+	req    any
+}
+
 var _ ocl.API = (*Client)(nil)
 
-// NewClient wraps an RPC connection as an API client.
-func NewClient(conn *ipc.Conn, clock *vtime.Clock, cost CostModel) *Client {
+// NewClient wraps an RPC transport as an API client.
+func NewClient(conn ipc.Transport, clock *vtime.Clock, cost CostModel) *Client {
 	return &Client{conn: conn, clock: clock, cost: cost, retry: DefaultRetryPolicy}
 }
 
 // SetRedial installs the function that dials a replacement connection to
 // the same proxy after a transport fault.
-func (c *Client) SetRedial(fn func() (*ipc.Conn, error)) {
+func (c *Client) SetRedial(fn func() (ipc.Transport, error)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.redial = fn
@@ -118,6 +164,7 @@ func (c *Client) Stats() Stats {
 		Calls:      c.calls.Load(),
 		Bytes:      c.bytes.Load(),
 		Batched:    c.batched.Load(),
+		Posted:     c.posted.Load(),
 		Retries:    c.retries.Load(),
 		Reconnects: c.reconnects.Load(),
 	}
@@ -170,6 +217,12 @@ func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, r
 	if !idempotent(method) {
 		seq = c.seq.Add(1)
 	}
+	return c.exchangeSeq(method, seq, req, rawReq, sendRaw, resp, into)
+}
+
+// exchangeSeq is exchange with the dedupe sequence number already
+// assigned (the posted-call fallback path re-uses the seq it drew).
+func (c *Client) exchangeSeq(method string, seq uint64, req any, rawReq []byte, sendRaw bool, resp any, into []byte) ([]byte, error) {
 	c.mu.Lock()
 	policy := c.retry
 	c.mu.Unlock()
@@ -191,8 +244,15 @@ func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, r
 		}
 		c.calls.Add(1)
 		c.bytes.Add(n)
-		c.clock.Advance(2*c.cost.CallLatency + c.cost.CopyBW.Transfer(n))
+		c.clock.Advance(c.cost.roundTrip(n))
 		if err == nil {
+			// A synchronous completion drains every earlier posted
+			// completion first (FIFO), so settled posts can be pruned and
+			// any deferred error they carried surfaces here.
+			c.prunePosted(conn)
+			if derr := c.takeDeferred(conn); derr != nil {
+				return raw, derr
+			}
 			return raw, nil
 		}
 		var re *ipc.RemoteError
@@ -218,24 +278,176 @@ func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, r
 }
 
 // reconnect swaps in a fresh connection if the failed one is still
-// current. It reports whether a retry is worth attempting.
-func (c *Client) reconnect(failed *ipc.Conn) bool {
+// current, then re-sends any posted calls the dead transport swallowed.
+// It reports whether a retry is worth attempting.
+func (c *Client) reconnect(failed ipc.Transport) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed || c.redial == nil {
+		c.mu.Unlock()
 		return false
 	}
 	if c.conn != failed {
-		return true // another caller already redialled
+		c.mu.Unlock()
+		return true // another caller already redialled (and replayed)
 	}
 	conn, err := c.redial()
 	if err != nil {
+		c.mu.Unlock()
 		return false
 	}
-	_ = c.conn.Close()
+	old := c.conn
 	c.conn = conn
 	c.reconnects.Add(1)
+	c.mu.Unlock()
+	_ = old.Close()
+	return c.replayPosted(conn)
+}
+
+// replayPosted re-sends every posted-but-unsettled call synchronously on
+// the fresh connection with its original sequence number: a call whose
+// first execution survived is answered from the server's dedupe cache,
+// the rest execute now — exactly-once either way (the seq-0 posts, Flush
+// and Barrier, re-execute harmlessly). It reports whether the connection
+// survived the replay; on a fresh death the unsent tail stays pending
+// for the next reconnect.
+func (c *Client) replayPosted(conn ipc.Transport) bool {
+	if c.posted.Load() == 0 {
+		return true
+	}
+	c.postMu.Lock()
+	defer c.postMu.Unlock()
+	for len(c.pendingPosts) > 0 {
+		pc := c.pendingPosts[0]
+		var r Empty
+		n, err := conn.CallSeq(pc.method, pc.seq, pc.req, &r)
+		c.calls.Add(1)
+		c.bytes.Add(n)
+		c.retries.Add(1)
+		c.clock.Advance(c.cost.roundTrip(n))
+		if err != nil {
+			var re *ipc.RemoteError
+			if !errors.As(err, &re) {
+				return false
+			}
+			// A remote error from a fire-and-forget call stays deferred,
+			// exactly as if its completion had carried it.
+			if c.deferred == nil {
+				c.deferred = &ipc.DeferredError{Method: pc.method, Err: err}
+			}
+		}
+		c.pendingPosts = c.pendingPosts[1:]
+	}
 	return true
+}
+
+// prunePosted drops the completed prefix of the posted-call list.
+// Completions arrive in FIFO posting order, so the transport's
+// outstanding count alone identifies how many leading entries settled.
+func (c *Client) prunePosted(conn ipc.Transport) {
+	if c.posted.Load() == 0 {
+		return // never posted anything: the framed fast path stays lock-free
+	}
+	c.postMu.Lock()
+	if done := len(c.pendingPosts) - conn.PostedPending(); done > 0 {
+		c.pendingPosts = c.pendingPosts[done:]
+	}
+	c.postMu.Unlock()
+}
+
+// takeDeferred surfaces the first deferred remote error, whether it came
+// back on a drained completion or during a posted-call replay.
+func (c *Client) takeDeferred(conn ipc.Transport) error {
+	if err := conn.TakeDeferred(); err != nil {
+		return err
+	}
+	if c.posted.Load() == 0 {
+		return nil
+	}
+	c.postMu.Lock()
+	err := c.deferred
+	c.deferred = nil
+	c.postMu.Unlock()
+	return err
+}
+
+// postWindow bounds the posted-but-unsettled backlog. It must stay well
+// under the ring's queue depth or an unreaped burst could fill the
+// completion queue and wedge both sides.
+const postWindow = 64
+
+// post forwards an Empty-response call fire-and-forget when the transport
+// supports it, deferring its completion to the next synchronous call or
+// sync point — zero round trips until then. On a synchronous transport it
+// degrades to a plain call with the same sequence number.
+func (c *Client) post(method string, req any) error {
+	var seq uint64
+	if !idempotent(method) {
+		seq = c.seq.Add(1)
+	}
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	n, ok, err := conn.Post(method, seq, req)
+	if !ok {
+		var r Empty
+		_, err := c.exchangeSeq(method, seq, req, nil, false, &r, nil)
+		return err
+	}
+	c.calls.Add(1)
+	c.posted.Add(1)
+	c.bytes.Add(n)
+	c.clock.Advance(c.cost.postCost(n))
+	c.postMu.Lock()
+	c.pendingPosts = append(c.pendingPosts, postedCall{method: method, seq: seq, req: req})
+	pend := len(c.pendingPosts)
+	c.postMu.Unlock()
+	if err != nil {
+		// The transport died on the publish. The call is in the pending
+		// list, so a successful reconnect replays it synchronously.
+		if errors.Is(err, ipc.ErrConnDown) && c.reconnect(conn) {
+			return nil
+		}
+		return err
+	}
+	if pend >= postWindow {
+		return c.SettlePosted()
+	}
+	return nil
+}
+
+// SettlePosted is the sync-point barrier for posted calls: it blocks
+// until every fire-and-forget submission has completed — reconnecting
+// and replaying the backlog synchronously if the transport died with
+// some in flight — and surfaces the first deferred remote error.
+func (c *Client) SettlePosted() error {
+	if c.posted.Load() == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	policy := c.retry
+	c.mu.Unlock()
+	backoff := policy.Backoff
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		err := conn.Reap()
+		if err == nil {
+			c.clock.Advance(c.cost.reapCost())
+			c.prunePosted(conn)
+			return c.takeDeferred(conn)
+		}
+		if !errors.Is(err, ipc.ErrConnDown) || attempt >= policy.Attempts {
+			return err
+		}
+		c.clock.Advance(backoff)
+		if backoff *= 2; backoff > policy.MaxBackoff {
+			backoff = policy.MaxBackoff
+		}
+		if !c.reconnect(conn) {
+			return err
+		}
+	}
 }
 
 // --- forwarded API surface (one method per OpenCL entry point) ---
@@ -384,8 +596,9 @@ func (c *Client) ReleaseKernel(k ocl.Kernel) error {
 }
 
 func (c *Client) SetKernelArg(k ocl.Kernel, index int, size int64, value []byte) error {
-	var r Empty
-	return c.call("clSetKernelArg", SetKernelArgReq{Kernel: k, Index: index, Size: size, Value: value}, &r)
+	// Enqueue-class fire-and-forget: on the ring this completes with zero
+	// round trips until the next sync point.
+	return c.post("clSetKernelArg", SetKernelArgReq{Kernel: k, Index: index, Size: size, Value: value})
 }
 
 func (c *Client) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool, offset int64, data []byte, waits []ocl.Event) (ocl.Event, error) {
@@ -452,13 +665,11 @@ func (c *Client) EnqueueMarker(q ocl.CommandQueue) (ocl.Event, error) {
 }
 
 func (c *Client) EnqueueBarrier(q ocl.CommandQueue) error {
-	var r Empty
-	return c.call("clEnqueueBarrier", QueueReq{Queue: q}, &r)
+	return c.post("clEnqueueBarrier", QueueReq{Queue: q})
 }
 
 func (c *Client) Flush(q ocl.CommandQueue) error {
-	var r Empty
-	return c.call("clFlush", QueueReq{Queue: q}, &r)
+	return c.post("clFlush", QueueReq{Queue: q})
 }
 
 func (c *Client) Finish(q ocl.CommandQueue) error {

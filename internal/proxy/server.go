@@ -155,6 +155,23 @@ func NewServer(api ocl.API) *ipc.Server {
 		data, ev, err := readBufferInto(api, r.Queue, r.Mem, r.Blocking, r.Offset, r.Size, r.Waits, readScratch[:0])
 		return EnqueueReadBufferResp{Event: ev}, data, err
 	})
+	// Ring dispatch overrides the derived read handler for two reasons:
+	// the framed handler's reusable scratch must never escape onto the
+	// completion queue (the client may retain a read result), and when the
+	// client supplied a destination buffer the data should land in it
+	// directly — the zero-copy arm of the ring transport.
+	s.RegisterRing("clEnqueueReadBuffer", func(req any, _ []byte, into []byte) (any, []byte, error) {
+		r, ok := req.(EnqueueReadBufferReq)
+		if !ok {
+			return nil, nil, fmt.Errorf("ipc: clEnqueueReadBuffer: request is %T, want %T", req, r)
+		}
+		buf := into[:0]
+		if r.Size >= 0 && int64(cap(into)) < r.Size {
+			buf = make([]byte, 0, r.Size)
+		}
+		data, ev, err := readBufferInto(api, r.Queue, r.Mem, r.Blocking, r.Offset, r.Size, r.Waits, buf)
+		return EnqueueReadBufferResp{Event: ev}, data, err
+	})
 	ipc.RegisterRaw(s, "clEnqueueBatch", func(r EnqueueBatchReq, payload []byte) (EnqueueBatchResp, []byte, error) {
 		return runBatch(api, r, payload)
 	})

@@ -50,12 +50,15 @@ func Spawn(app *proc.Process, vendor *ocl.Vendor) (*Proxy, error) {
 	return SpawnWithOptions(app, vendor, SpawnOpts{})
 }
 
-// dial opens a fresh connection to the live proxy process and starts
-// serving it. It is both the initial connect and the Client's redial path
-// after a transport fault.
-func (p *Proxy) dial() (*ipc.Conn, error) {
+// dial opens a fresh transport generation to the live proxy process and
+// starts serving it. It is both the initial connect and the Client's
+// redial path after a transport fault.
+func (p *Proxy) dial() (ipc.Transport, error) {
 	if !p.Process.Alive() {
 		return nil, fmt.Errorf("proxy: cannot dial: proxy process is dead")
+	}
+	if p.opts.Transport == TransportRing {
+		return p.dialRing()
 	}
 	appEnd, proxyEnd, err := connect(p.opts.Transport)
 	if err != nil {
@@ -84,6 +87,31 @@ func (p *Proxy) dial() (*ipc.Conn, error) {
 		conn.SetDeadline(p.node.Clock, p.opts.CallTimeout)
 	}
 	return conn, nil
+}
+
+// dialRing maps a fresh shared-memory ring generation to the live proxy
+// and starts its service loop. Rings tear down (and are redialled) on
+// injected faults exactly like framed connections; the server — and with
+// it the replay-dedupe cache — persists across generations.
+func (p *Proxy) dialRing() (ipc.Transport, error) {
+	ring := ipc.NewRing(p.server, ipc.RingConfig{Fault: p.opts.Fault})
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		_ = ring.Close()
+		return nil, fmt.Errorf("proxy: cannot dial: proxy was killed")
+	}
+	p.conns = append(p.conns, ring)
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		ring.Serve()
+	}()
+	if p.opts.CallTimeout > 0 {
+		ring.SetDeadline(p.node.Clock, p.opts.CallTimeout)
+	}
+	return ring, nil
 }
 
 // Kill terminates the proxy process, closes every transport generation,

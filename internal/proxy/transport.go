@@ -22,11 +22,21 @@ const (
 	TransportPipe Transport = iota
 	// TransportUnix uses a real Unix domain socket pair.
 	TransportUnix
+	// TransportRing uses the shared-memory ring (ipc.Ring): lock-free
+	// SPSC submission/completion queues polled doorbell-free, typed
+	// values crossing by reference, bulk reads landing zero-copy in the
+	// caller's buffer, and fire-and-forget posting for enqueue-class
+	// calls. Its modelled cost comes from hw.RingModel instead of the
+	// framed IPCCallLatency/Memcpy pair.
+	TransportRing
 )
 
 func (t Transport) String() string {
-	if t == TransportUnix {
+	switch t {
+	case TransportUnix:
 		return "unix-socket"
+	case TransportRing:
+		return "ring"
 	}
 	return "pipe"
 }
@@ -68,6 +78,10 @@ func SpawnWithOptions(app *proc.Process, vendor *ocl.Vendor, opts SpawnOpts) (*P
 	cost := CostModel{
 		CallLatency: node.Spec.IPCCallLatency,
 		CopyBW:      node.Spec.Inter.Memcpy,
+	}
+	if opts.Transport == TransportRing {
+		ring := node.Spec.Ring
+		cost.Ring = &ring
 	}
 	p.Client = NewClient(conn, node.Clock, cost)
 	p.Client.SetRetryPolicy(opts.Retry)

@@ -3,7 +3,7 @@
 # proxy-call microbenchmarks, the concurrent-checkpoint benchmarks, the
 # fleet-scheduler arms, and the partial-restart recovery sweep, then
 # distils the headline metrics into BENCH_pr3.json, BENCH_pr5.json,
-# BENCH_pr6.json and BENCH_pr7.json at the repo root.
+# BENCH_pr6.json, BENCH_pr7.json and BENCH_pr8.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -eu
@@ -14,6 +14,7 @@ out=BENCH_pr3.json
 out5=BENCH_pr5.json
 out6=BENCH_pr6.json
 out7=BENCH_pr7.json
+out8=BENCH_pr8.json
 tmp=$(mktemp)
 tmp5=$(mktemp)
 tmp6=$(mktemp)
@@ -229,3 +230,46 @@ END {
 
 echo "bench.sh: wrote $out7"
 cat "$out7"
+
+# BENCH_pr8.json: the shared-memory ring transport acceptance — the ring
+# arms of the proxy microbenchmarks against their framed baselines. The
+# read-1MB-ring bandwidth must be >= 2x the pooled framed read, and the
+# setargs loop must show the posted (zero-round-trip) submissions the
+# framed stream cannot offer.
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkProxyCallOverhead\// {
+    name = $1
+    sub(/^BenchmarkProxyCallOverhead\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name]     = grab($0, "ns/op")
+    trips[name]  = grab($0, "ipc-roundtrips/op")
+    posted[name] = grab($0, "posted/op")
+    mbs[name]    = grab($0, "MB/s")
+}
+END {
+    printf "{\n"
+    printf "  \"read_1mb\": {\"framed_pooled_mb_per_s\": %s, \"ring_mb_per_s\": %s, \"ring_speedup\": %.2f, \"ring_2x\": %s},\n",
+           mbs["read-1MB-pooled"], mbs["read-1MB-ring"],
+           mbs["read-1MB-ring"] / mbs["read-1MB-pooled"],
+           (mbs["read-1MB-ring"] + 0 >= 2 * (mbs["read-1MB-pooled"] + 0)) ? "true" : "false"
+    printf "  \"write_1mb\": {\"framed_raw_mb_per_s\": %s, \"ring_mb_per_s\": %s, \"ring_speedup\": %.2f},\n",
+           mbs["write-1MB-raw"], mbs["write-1MB-ring"],
+           mbs["write-1MB-ring"] / mbs["write-1MB-raw"]
+    printf "  \"launch_ns\": {\"framed_batched\": %s, \"ring_batched\": %s, \"framed_unbatched\": %s, \"ring_unbatched\": %s},\n",
+           ns["launch-batched"], ns["launch-batched-ring"],
+           ns["launch-unbatched"], ns["launch-unbatched-ring"]
+    printf "  \"setargs_loop\": {\"framed_roundtrips_per_op\": %s, \"ring_roundtrips_per_op\": %s, \"framed_posted_per_op\": %s, \"ring_posted_per_op\": %s, \"zero_roundtrip_posting\": %s},\n",
+           trips["setargs-framed"], trips["setargs-ring"],
+           posted["setargs-framed"], posted["setargs-ring"],
+           (posted["setargs-ring"] + 0 > 0 && trips["setargs-ring"] + 0 < trips["setargs-framed"] + 0) ? "true" : "false"
+    printf "  \"benchtime\": \"%s\"\n", BT
+    printf "}\n"
+}' BT="$benchtime" "$tmp" >"$out8"
+
+echo "bench.sh: wrote $out8"
+cat "$out8"

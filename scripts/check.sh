@@ -57,4 +57,12 @@ go run ./cmd/checl-inspect -fleet-jobs 200 -fleet-sample 40 fleet >/dev/null
 go test -run 'TestRankKillPositionSweep|TestPartialRestore|TestCollectivesDuringRecovery|TestTwoRanksDieSameEpoch|TestMessageLogBounded|TestRankDownWithoutLogging|TestRankFaultInjector' \
     -count=3 -race ./internal/mpi/
 go run ./cmd/checl-inspect mpi >/dev/null
+# Ring-transport gate: the lock-free SPSC queues, fire-and-forget posting,
+# and the checkpoint drain over the ring cross goroutines by construction,
+# so the ring unit tests and the cross-transport parity soak run repeatedly
+# under the race detector. The inspect smoke proves the CLI can drive a
+# full run+checkpoint over the ring.
+go test -run 'Ring|TransportParity' -count=3 -race \
+    ./internal/ipc/ ./internal/proxy/ ./internal/core/
+go run ./cmd/checl-inspect -transport ring -scale 0.2 >/dev/null
 echo "check.sh: all green"
