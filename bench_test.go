@@ -14,6 +14,7 @@
 package checl_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -364,6 +365,148 @@ func BenchmarkStoreDedup(b *testing.B) {
 	b.ReportMetric(1-float64(newBytes)/float64(totalBytes), "dedup-ratio")
 	b.ReportMetric(float64(newBytes)/1e6, "new-MB-written")
 	b.ReportMetric(float64(totalBytes)/1e6, "flat-MB-equivalent")
+}
+
+// benchFleet builds an n-node erasure-coded checkpoint fleet with node
+// states attached, fine chunking, for the erasure benchmarks.
+func benchFleet(b *testing.B, n int) (*store.Fleet, []*proc.NodeState) {
+	b.Helper()
+	nodes := make([]store.FleetNode, n)
+	states := make([]*proc.NodeState, n)
+	for i := range nodes {
+		name := fmt.Sprintf("ck-%02d", i)
+		fs := proc.NewFS(name, hw.TableISpec().LocalDisk)
+		states[i] = proc.NewNodeState(name)
+		fs.SetNodeState(states[i])
+		nodes[i] = store.FleetNode{Name: name, FS: fs}
+	}
+	fl, err := store.NewFleet(nodes, store.FleetConfig{
+		Store: store.Config{MinChunk: 1 << 10, AvgChunk: 4 << 10, MaxChunk: 16 << 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fl, states
+}
+
+// BenchmarkErasureFleet is the PR 9 acceptance experiment: the
+// erasure-coded sharded checkpoint fleet against the single-store +
+// full-replica baseline. Arms report degraded-read latency (any m nodes
+// down, restore still bit-identical), rebuild throughput after a node
+// replacement, the cross-job dedup ratio over a population of similar
+// jobs, and the physical storage overhead against PR 4's replication.
+func BenchmarkErasureFleet(b *testing.B) {
+	const payloadMB = 4
+	mkPayload := func(seed int64) []byte {
+		p := make([]byte, payloadMB<<20)
+		rand.New(rand.NewSource(seed)).Read(p)
+		return p
+	}
+
+	b.Run("degraded-read", func(b *testing.B) {
+		var healthyMS, degradedMS float64
+		for i := 0; i < b.N; i++ {
+			fl, states := benchFleet(b, 6)
+			clock := vtime.NewClock()
+			data := mkPayload(1)
+			if _, _, err := fl.Put(clock, "bench", data); err != nil {
+				b.Fatal(err)
+			}
+			sw := vtime.NewStopwatch(clock)
+			got, _, err := fl.Get(clock, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			healthyMS = sw.Elapsed().Seconds() * 1e3
+			states[0].SetDown(true)
+			states[3].SetDown(true)
+			sw = vtime.NewStopwatch(clock)
+			deg, _, err := fl.Get(clock, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			degradedMS = sw.Elapsed().Seconds() * 1e3
+			if !bytes.Equal(got, data) || !bytes.Equal(deg, data) {
+				b.Fatal("read not bit-identical")
+			}
+		}
+		b.ReportMetric(healthyMS, "healthy-read-ms")
+		b.ReportMetric(degradedMS, "degraded-read-ms")
+		b.ReportMetric(degradedMS/healthyMS, "degraded-slowdown-x")
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		var st store.RebuildStats
+		for i := 0; i < b.N; i++ {
+			fl, _ := benchFleet(b, 6)
+			clock := vtime.NewClock()
+			if _, _, err := fl.Put(clock, "bench", mkPayload(2)); err != nil {
+				b.Fatal(err)
+			}
+			victim := fl.Nodes()[0]
+			if err := fl.ReplaceNode(victim, proc.NewFS(victim, hw.TableISpec().LocalDisk)); err != nil {
+				b.Fatal(err)
+			}
+			var err error
+			if st, err = fl.Rebuild(clock); err != nil {
+				b.Fatal(err)
+			}
+			if st.ShardsRebuilt == 0 {
+				b.Fatal("rebuild re-coded nothing")
+			}
+		}
+		b.ReportMetric(float64(st.BytesRebuilt)/1e6, "rebuilt-MB")
+		b.ReportMetric(st.Time.Seconds()*1e3, "rebuild-ms")
+		b.ReportMetric(float64(st.BytesRebuilt)/1e6/st.Time.Seconds(), "rebuild-MB/s")
+	})
+
+	b.Run("cross-job-dedup", func(b *testing.B) {
+		const jobs = 100
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			fl, _ := benchFleet(b, 8)
+			clock := vtime.NewClock()
+			base := mkPayload(3)
+			var logical int64
+			for j := 0; j < jobs; j++ {
+				tail := make([]byte, 8<<10)
+				rand.New(rand.NewSource(int64(500 + j))).Read(tail)
+				p := append(append([]byte(nil), base...), tail...)
+				logical += int64(len(p))
+				if _, _, err := fl.Put(clock, fmt.Sprintf("job-%03d", j), p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ratio = float64(logical) / float64(fl.TotalStoredBytes())
+		}
+		b.ReportMetric(float64(jobs), "jobs")
+		b.ReportMetric(ratio, "dedup-ratio-x")
+	})
+
+	b.Run("overhead-vs-replica", func(b *testing.B) {
+		var fleetX, replicaX float64
+		for i := 0; i < b.N; i++ {
+			data := mkPayload(4)
+			clock := vtime.NewClock()
+
+			fl, _ := benchFleet(b, 6)
+			if _, _, err := fl.Put(clock, "bench", data); err != nil {
+				b.Fatal(err)
+			}
+			fleetX = float64(fl.TotalStoredBytes()) / float64(len(data))
+
+			cfg := store.Config{MinChunk: 1 << 10, AvgChunk: 4 << 10, MaxChunk: 16 << 10}
+			st := store.New(proc.NewFS("primary", hw.TableISpec().LocalDisk), cfg)
+			replica := store.New(proc.NewFS("replica", hw.TableISpec().LocalDisk), cfg)
+			st.AttachReplica(replica, hw.TableISpec().Inter.NIC)
+			if _, _, err := st.Put(clock, "bench", data); err != nil {
+				b.Fatal(err)
+			}
+			replicaX = float64(st.TotalStoredBytes()+replica.TotalStoredBytes()) / float64(len(data))
+		}
+		b.ReportMetric(fleetX, "fleet-overhead-x")
+		b.ReportMetric(replicaX, "replica-overhead-x")
+	})
 }
 
 // BenchmarkScrubHeal measures the store's self-repair pass: a 3-generation

@@ -14,6 +14,10 @@
 //	checl-inspect [flags] store scrub                repair the store from its replica
 //	checl-inspect [-disk-faults N] store ...         inject a disk fault every N filesystem
 //	                                                 operations while the store fills
+//	checl-inspect [flags] store fleet                checkpoint into a 6-node 4+2 erasure-coded
+//	                                                 fleet; show placement, a degraded read with
+//	                                                 m nodes down, and a node-replacement rebuild
+//	                                                 (-node-faults N injects node-level faults)
 //	checl-inspect [flags] fleet                      run a bursty fleet-scheduler scenario and
 //	                                                 render utilization, queueing, migrations,
 //	                                                 evictions and the latency histogram
@@ -53,6 +57,7 @@ func main() {
 		"app<->proxy transport: \"framed\" (length-prefixed stream) or \"ring\" (shared-memory ring)")
 	faults := flag.Int("faults", 0, "crash the API proxy every N calls (0 disables fault injection)")
 	diskFaults := flag.Int("disk-faults", 0, "inject a disk fault every N store filesystem operations (0 disables)")
+	nodeFaults := flag.Int("node-faults", 0, "store fleet: inject a node fault (crash/slow/rot/torn write) every N shard operations (0 disables)")
 	incremental := flag.Bool("incremental", false,
 		"attach with incremental checkpointing (parallel drain) and show the per-generation dirty/clean split")
 	fleetJobs := flag.Int("fleet-jobs", 400, "fleet: number of jobs in the bursty workload")
@@ -78,9 +83,13 @@ func main() {
 			return
 		}
 		if args[0] != "store" || len(args) != 2 ||
-			(args[1] != "ls" && args[1] != "fsck" && args[1] != "scrub") {
-			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\", \"store scrub\", \"fleet\" or \"mpi\")\n", args)
+			(args[1] != "ls" && args[1] != "fsck" && args[1] != "scrub" && args[1] != "fleet") {
+			fmt.Fprintf(os.Stderr, "checl-inspect: unknown command %q (want \"store ls\", \"store fsck\", \"store scrub\", \"store fleet\", \"fleet\" or \"mpi\")\n", args)
 			os.Exit(2)
+		}
+		if args[1] == "fleet" {
+			storeFleetCmd(*appName, *scale, *nodeFaults)
+			return
 		}
 		storeCmd(*appName, *scale, args[1], *diskFaults)
 		return

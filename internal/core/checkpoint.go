@@ -116,12 +116,12 @@ func (c *CheCL) Checkpoint(fs *proc.FS, path string) (CheckpointStats, error) {
 // writes only what previous checkpoints (of any job) have not already
 // stored. The configured Backend must support store checkpoints (both
 // simulated backends do).
-func (c *CheCL) CheckpointToStore(st *store.Store, job string) (CheckpointStats, error) {
+func (c *CheCL) CheckpointToStore(st store.Backend, job string) (CheckpointStats, error) {
 	sb, ok := c.opts.Backend.(cpr.StoreBackend)
 	if !ok {
 		return CheckpointStats{}, fmt.Errorf("checl: backend %s cannot checkpoint to a store", c.opts.Backend.Name())
 	}
-	stats := CheckpointStats{Path: job, FSName: st.FS().Name()}
+	stats := CheckpointStats{Path: job, FSName: st.Name()}
 	// Barrier on a previous overlapped write: the new generation dedups
 	// against its parent, so the parent must be committed first. If it
 	// failed, the clean flags describe an uncommitted generation — every
@@ -156,7 +156,7 @@ func (c *CheCL) CheckpointToStore(st *store.Store, job string) (CheckpointStats,
 // scratch clock, releasing the application immediately. The barrier
 // (WaitBackgroundWrite) charges whatever portion of the write the
 // application's own progress did not hide.
-func (c *CheCL) startBackgroundPut(sb cpr.StoreBackend, st *store.Store, job string, clean map[string]bool, stats *CheckpointStats) (int64, error) {
+func (c *CheCL) startBackgroundPut(sb cpr.StoreBackend, st store.Backend, job string, clean map[string]bool, stats *CheckpointStats) (int64, error) {
 	data, segs, err := cpr.SnapshotStoreImage(sb, c.app, clean)
 	if err != nil {
 		return 0, err
@@ -583,7 +583,7 @@ func RestoreImage(node *proc.Node, image []byte, opts Options) (*CheCL, RestartS
 // reported in RestartStats.Degraded. When no generation restores, the
 // returned error wraps the typed *store.DegradedRestore — the caller
 // always learns exactly what was lost, never gets a wrong payload.
-func RestoreFromStore(node *proc.Node, st *store.Store, ref string, opts Options) (*CheCL, RestartStats, error) {
+func RestoreFromStore(node *proc.Node, st store.Backend, ref string, opts Options) (*CheCL, RestartStats, error) {
 	if opts.Backend == nil {
 		opts.Backend = cpr.BLCR{}
 	}
@@ -971,9 +971,12 @@ func Migrate(c *CheCL, fs *proc.FS, path string, target *proc.Node, opts Options
 // (moving only chunks dst is missing — repeated migrations of a
 // mostly-unchanged job transfer only the delta), and the application
 // restarts on target reading from dst. Pass dst == nil (or dst == src,
-// e.g. an NFS-backed store both nodes reach) to skip replication and
-// restore straight from src.
-func MigrateViaStore(c *CheCL, src *store.Store, job string, target *proc.Node, dst *store.Store, opts Options) (*CheCL, MigrationStats, error) {
+// e.g. an NFS-backed store or an erasure-coded fleet both nodes reach) to
+// skip replication and restore straight from src. Chunk-level replication
+// is a plain-store operation; a fleet already spreads every checkpoint
+// across its nodes, so migrating via a fleet uses the shared-store path
+// (dst nil or == src), and mixing backend kinds is rejected.
+func MigrateViaStore(c *CheCL, src store.Backend, job string, target *proc.Node, dst store.Backend, opts Options) (*CheCL, MigrationStats, error) {
 	var ms MigrationStats
 	srcNode := c.app.Node()
 
@@ -997,8 +1000,13 @@ func MigrateViaStore(c *CheCL, src *store.Store, job string, target *proc.Node, 
 
 	restoreStore := src
 	if dst != nil && dst != src {
+		srcStore, sok := src.(*store.Store)
+		dstStore, dok := dst.(*store.Store)
+		if !sok || !dok {
+			return nil, ms, fmt.Errorf("checl: migrate via store: replication needs plain stores on both sides (src %s, dst %s) — a fleet is shared, pass dst == src", src.Name(), dst.Name())
+		}
 		sw := vtime.NewStopwatch(target.Clock)
-		if _, _, err := src.Replicate(target.Clock, ckpt.Manifest, dst, srcNode.Spec.Inter.NIC); err != nil {
+		if _, _, err := srcStore.Replicate(target.Clock, ckpt.Manifest, dstStore, srcNode.Spec.Inter.NIC); err != nil {
 			return nil, ms, err
 		}
 		ms.Transfer = sw.Elapsed()

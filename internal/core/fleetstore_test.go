@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"checl/internal/apps"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/store"
+)
+
+// newTestFleet builds a 6-node 4+2 erasure-coded checkpoint fleet with
+// per-node states attached so the tests can take nodes down.
+func newTestFleet(t *testing.T) (*store.Fleet, map[string]*proc.NodeState) {
+	t.Helper()
+	nodes := make([]store.FleetNode, 6)
+	states := map[string]*proc.NodeState{}
+	for i := range nodes {
+		name := fmt.Sprintf("ck-%02d", i)
+		fs := proc.NewFS(name, hw.TableISpec().LocalDisk)
+		ns := proc.NewNodeState(name)
+		fs.SetNodeState(ns)
+		nodes[i] = store.FleetNode{Name: name, FS: fs}
+		states[name] = ns
+	}
+	fl, err := store.NewFleet(nodes, store.FleetConfig{Store: fineChunks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl, states
+}
+
+// lossSubsets enumerates every subset of up to m=2 of the 6 node names.
+func lossSubsets(names []string) [][]string {
+	var out [][]string
+	for i := range names {
+		out = append(out, []string{names[i]})
+	}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			out = append(out, []string{names[i], names[j]})
+		}
+	}
+	return out
+}
+
+// TestFleetStoreAppsDegradedBitIdentical is the node-loss acceptance
+// soak: every benchmark app checkpoints into the erasure-coded fleet and
+// restores bit-identical with store nodes down. The first app sweeps
+// every loss pattern up to m; the rest rotate through the patterns so
+// the whole space stays covered across the suite without repeating the
+// full sweep per app.
+func TestFleetStoreAppsDegradedBitIdentical(t *testing.T) {
+	fl, states := newTestFleet(t)
+	subsets := lossSubsets(fl.Nodes())
+	allUp := func() {
+		for _, ns := range states {
+			ns.SetDown(false)
+		}
+	}
+
+	for ai, a := range apps.All() {
+		ai, a := ai, a
+		t.Run(a.Name, func(t *testing.T) {
+			node := newNodeNV(fmt.Sprintf("src-%d", ai))
+			app := node.Spawn(a.Name)
+			c, err := Attach(app, Options{Incremental: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: 0.2}
+			if _, err := a.Run(env); err != nil {
+				t.Fatalf("%s: %v", a.Name, err)
+			}
+			want := memDigests(t, c)
+			ck, err := c.CheckpointToStore(fl, a.Name)
+			if err != nil {
+				t.Fatalf("checkpoint into fleet: %v", err)
+			}
+			if ck.FSName != fl.Name() {
+				t.Fatalf("checkpoint recorded destination %q, want %q", ck.FSName, fl.Name())
+			}
+			c.App().Kill()
+			c.Detach()
+
+			picks := subsets
+			if ai > 0 {
+				picks = [][]string{
+					subsets[ai%len(subsets)],
+					subsets[(ai*7+3)%len(subsets)],
+				}
+			}
+			for si, down := range picks {
+				allUp()
+				for _, name := range down {
+					states[name].SetDown(true)
+				}
+				tgt := newNodeNV(fmt.Sprintf("tgt-%d-%d", ai, si))
+				c2, rst, err := RestoreFromStore(tgt, fl, a.Name, Options{Incremental: true})
+				if err != nil {
+					t.Fatalf("restore with %v down: %v", down, err)
+				}
+				if rst.Degraded != nil {
+					t.Fatalf("restore with %v down fell back a generation: %v", down, rst.Degraded)
+				}
+				got := memDigests(t, c2)
+				if len(got) != len(want) {
+					t.Fatalf("down=%v: buffer count %d, want %d", down, len(got), len(want))
+				}
+				for h, w := range want {
+					if got[h] != w {
+						t.Fatalf("down=%v: buffer %v diverged", down, h)
+					}
+				}
+				c2.App().Kill()
+				c2.Detach()
+			}
+			allUp()
+		})
+	}
+}

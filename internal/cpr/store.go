@@ -19,14 +19,14 @@ type StoreBackend interface {
 	// CheckpointToStore dumps p's memory image into st under job,
 	// deduplicating against the job's earlier checkpoints (and any other
 	// job's chunks). The same eligibility rules as Checkpoint apply.
-	CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error)
+	CheckpointToStore(p *proc.Process, st store.Backend, job string) (Stats, *store.PutStats, error)
 	// CheckpointToStoreIncremental is CheckpointToStore with clean-region
 	// hints: regions whose names map to true in clean are asserted
 	// byte-identical to the job's previous checkpoint, and the store
 	// reuses that generation's chunk refs for them instead of re-chunking
 	// (store.PutSegmented). A nil map selects the legacy unsegmented
 	// encoding, byte-identical to CheckpointToStore.
-	CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job string, clean map[string]bool) (Stats, *store.PutStats, error)
+	CheckpointToStoreIncremental(p *proc.Process, st store.Backend, job string, clean map[string]bool) (Stats, *store.PutStats, error)
 	// RestartFromStore re-creates a process on node n from a store
 	// checkpoint. ref is a manifest ID ("job@seq") or a bare job name
 	// (its latest checkpoint). When the newest generation cannot be
@@ -35,7 +35,7 @@ type StoreBackend interface {
 	// the returned *store.DegradedRestore reports what was skipped; it is
 	// nil for a clean restore of the newest generation. When no
 	// generation restores at all the DegradedRestore is also the error.
-	RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error)
+	RestartFromStore(n *proc.Node, st store.Backend, ref string) (*proc.Process, Stats, *store.DegradedRestore, error)
 }
 
 // checkpointable reports the same eligibility the flat-file Checkpoint
@@ -67,7 +67,7 @@ func checkpointable(backend string, p *proc.Process, tree bool) error {
 // deduplicates, compresses and journals it. A non-nil clean map selects
 // the segmented encoding: each region becomes its own store segment so
 // unchanged regions reuse the parent generation's chunk refs.
-func checkpointToStore(backend string, p *proc.Process, st *store.Store, job string, tree bool, clean map[string]bool) (Stats, *store.PutStats, error) {
+func checkpointToStore(backend string, p *proc.Process, st store.Backend, job string, tree bool, clean map[string]bool) (Stats, *store.PutStats, error) {
 	if err := checkpointable(backend, p, tree); err != nil {
 		return Stats{}, nil, err
 	}
@@ -157,22 +157,22 @@ func SnapshotStoreImage(b Backend, p *proc.Process, clean map[string]bool) ([]by
 }
 
 // CheckpointToStore implements StoreBackend.
-func (BLCR) CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error) {
+func (BLCR) CheckpointToStore(p *proc.Process, st store.Backend, job string) (Stats, *store.PutStats, error) {
 	return checkpointToStore("blcr", p, st, job, false, nil)
 }
 
 // CheckpointToStore implements StoreBackend.
-func (DMTCP) CheckpointToStore(p *proc.Process, st *store.Store, job string) (Stats, *store.PutStats, error) {
+func (DMTCP) CheckpointToStore(p *proc.Process, st store.Backend, job string) (Stats, *store.PutStats, error) {
 	return checkpointToStore("dmtcp", p, st, job, true, nil)
 }
 
 // CheckpointToStoreIncremental implements StoreBackend.
-func (BLCR) CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job string, clean map[string]bool) (Stats, *store.PutStats, error) {
+func (BLCR) CheckpointToStoreIncremental(p *proc.Process, st store.Backend, job string, clean map[string]bool) (Stats, *store.PutStats, error) {
 	return checkpointToStore("blcr", p, st, job, false, clean)
 }
 
 // CheckpointToStoreIncremental implements StoreBackend.
-func (DMTCP) CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job string, clean map[string]bool) (Stats, *store.PutStats, error) {
+func (DMTCP) CheckpointToStoreIncremental(p *proc.Process, st store.Backend, job string, clean map[string]bool) (Stats, *store.PutStats, error) {
 	return checkpointToStore("dmtcp", p, st, job, true, clean)
 }
 
@@ -180,7 +180,7 @@ func (DMTCP) CheckpointToStoreIncremental(p *proc.Process, st *store.Store, job 
 // chain newest-first, taking the first checkpoint that both assembles
 // bit-identical (healed from replicas where possible) and decodes as a
 // process image.
-func restartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
+func restartFromStore(n *proc.Node, st store.Backend, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
 	sw := vtime.NewStopwatch(n.Clock)
 	var img Image
 	validate := func(data []byte, _ store.Manifest) error {
@@ -201,18 +201,18 @@ func restartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process,
 }
 
 // RestartFromStore implements StoreBackend.
-func (BLCR) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
+func (BLCR) RestartFromStore(n *proc.Node, st store.Backend, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
 	return restartFromStore(n, st, ref)
 }
 
 // RestartFromStore implements StoreBackend.
-func (DMTCP) RestartFromStore(n *proc.Node, st *store.Store, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
+func (DMTCP) RestartFromStore(n *proc.Node, st store.Backend, ref string) (*proc.Process, Stats, *store.DegradedRestore, error) {
 	return restartFromStore(n, st, ref)
 }
 
 // ReadImageFromStore loads and decodes a store checkpoint without
 // restarting it (tooling, MPI global-snapshot aggregation).
-func ReadImageFromStore(clock *vtime.Clock, st *store.Store, ref string) (Image, error) {
+func ReadImageFromStore(clock *vtime.Clock, st store.Backend, ref string) (Image, error) {
 	data, _, err := st.Get(clock, ref)
 	if err != nil {
 		return Image{}, err

@@ -39,6 +39,7 @@ import (
 
 	"checl/internal/core"
 	"checl/internal/hw"
+	"checl/internal/proc"
 	"checl/internal/sched"
 	"checl/internal/vtime"
 )
@@ -114,6 +115,17 @@ type Config struct {
 	// checkpoint path and are verified bit-identical. Zero disables
 	// sampling.
 	SampleEvery int
+	// StoreNodes switches the sampled jobs' checkpoint destination from
+	// the single NFS store to an erasure-coded store.Fleet of that many
+	// nodes (4+2 Reed-Solomon; minimum 6, smaller positive values are
+	// rounded up). Zero keeps the single-store rig.
+	StoreNodes int
+	// StoreFaults, when non-nil, seeds a node-fault injector over the
+	// erasure fleet's store nodes: sampled evict/restore traffic then
+	// runs through crashes, slow nodes, shard rot and torn writes, and
+	// the bit-identical verification still has to hold. Ignored unless
+	// StoreNodes selects a fleet. MaxDown is clamped to the parity count.
+	StoreFaults *proc.NodeFaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -306,7 +318,10 @@ func (f *Fleet) Run(specs []JobSpec) (Report, error) {
 		return f.arrivals[i].spec.Name < f.arrivals[k].spec.Name
 	})
 	if f.cfg.SampleEvery > 0 && len(f.arrivals) > 0 {
-		f.rig = newRealRig()
+		var err error
+		if f.rig, err = newRealRig(f.cfg); err != nil {
+			return Report{}, err
+		}
 		for i := f.cfg.SampleEvery - 1; i < len(f.arrivals); i += f.cfg.SampleEvery {
 			f.arrivals[i].real = &realJob{}
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"checl/internal/hw"
+	"checl/internal/proc"
 	"checl/internal/vtime"
 )
 
@@ -211,6 +212,38 @@ func TestFleetSampledSoak(t *testing.T) {
 	}
 	if r.Migrations == 0 {
 		t.Error("soak run performed no migrations")
+	}
+}
+
+// TestFleetErasureStoreSoak parks sampled jobs in an erasure-coded
+// checkpoint fleet whose store nodes crash, slow down, rot shards and
+// tear writes mid-run; every restore must still come back bit-identical.
+// The check.sh node-loss gate runs this with -race.
+func TestFleetErasureStoreSoak(t *testing.T) {
+	specs := Bursty(TrafficConfig{Seed: 23, Jobs: 300})
+	cfg := testConfig()
+	cfg.SampleEvery = 25
+	cfg.StoreNodes = 6
+	cfg.StoreFaults = &proc.NodeFaultPlan{Seed: 42, EveryN: 7, ReviveAfter: 40}
+	f := New(DefaultNodes(4, 2), cfg)
+	r, err := f.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed+len(r.Rejected) != 300 {
+		t.Fatalf("settled %d of 300", r.Completed+len(r.Rejected))
+	}
+	if r.RealJobs != 12 {
+		t.Errorf("real jobs = %d, want 12", r.RealJobs)
+	}
+	if r.RealMismatches != 0 {
+		t.Fatalf("%d corrupted real restores through the erasure fleet", r.RealMismatches)
+	}
+	if f.rig == nil || f.rig.ckfleet == nil {
+		t.Fatal("sampling rig did not build an erasure fleet")
+	}
+	if f.rig.inj == nil || f.rig.inj.Injected() == 0 {
+		t.Error("node-fault injector never fired — soak exercised nothing")
 	}
 }
 

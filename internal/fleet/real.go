@@ -23,18 +23,45 @@ import (
 // eviction time.
 type realRig struct {
 	cluster *proc.Cluster
-	st      *store.Store
+	st      store.Backend
+	ckfleet *store.Fleet // non-nil when Config.StoreNodes selected a fleet
+	inj     *proc.NodeFaultInjector
 	seq     int
 }
 
-func newRealRig() *realRig {
+func newRealRig(cfg Config) (*realRig, error) {
 	cluster := proc.NewCluster("fleet", 2, hw.TableISpec(), func(int) []*ocl.Vendor {
 		return []*ocl.Vendor{ocl.NVIDIA()}
 	})
-	return &realRig{
-		cluster: cluster,
-		st:      store.New(cluster.NFS, store.Config{}),
+	r := &realRig{cluster: cluster}
+	if cfg.StoreNodes <= 0 {
+		r.st = store.New(cluster.NFS, store.Config{})
+		return r, nil
 	}
+	fcfg := store.FleetConfig{} // 4+2 Reed-Solomon defaults
+	n := cfg.StoreNodes
+	if n < 6 { // need at least k+m homes
+		n = 6
+	}
+	nodes := make([]store.FleetNode, n)
+	for i := range nodes {
+		name := fmt.Sprintf("ckpt-%02d", i)
+		nodes[i] = store.FleetNode{Name: name, FS: proc.NewFS(name, hw.TableISpec().LocalDisk)}
+	}
+	fl, err := store.NewFleet(nodes, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint store fleet: %w", err)
+	}
+	if cfg.StoreFaults != nil {
+		plan := *cfg.StoreFaults
+		if plan.MaxDown <= 0 || plan.MaxDown > fl.Config().ParityShards {
+			plan.MaxDown = fl.Config().ParityShards
+		}
+		r.inj = proc.NewNodeFaultInjector(plan)
+		fl.AttachFaults(r.inj)
+	}
+	r.st, r.ckfleet = fl, fl
+	return r, nil
 }
 
 // realJob is the live state of one sampled job. The CheCL handles (queue

@@ -1,0 +1,47 @@
+package hw
+
+import "checl/internal/vtime"
+
+// CodingModel parameterises the CPU cost of the store fleet's systematic
+// Reed-Solomon erasure coding. The codec itself is real (GF(256)
+// arithmetic over the modelled byte arrays, so shards genuinely
+// reconstruct); this model charges its virtual time, exactly like the
+// compression stage: rates are expressed as multiply-accumulate bytes
+// per second, the unit real SIMD GF(256) kernels are benchmarked in.
+type CodingModel struct {
+	// Encode is the parity-generation rate. Producing m parity shards
+	// over k data shards performs one MAC per data byte per parity
+	// shard, so encoding a chunk of dataBytes costs m*dataBytes MACs.
+	Encode Bandwidth
+	// Reconstruct is the decode-side rate for rebuilding lost shards
+	// from any k survivors: one inverted-matrix MAC per surviving byte
+	// per rebuilt shard, i.e. lost*dataBytes MACs per chunk.
+	Reconstruct Bandwidth
+}
+
+// DefaultCoding is in the ballpark of a single core running a
+// table-driven GF(256) kernel (no SIMD): a few GB/s of MACs.
+func DefaultCoding() CodingModel {
+	return CodingModel{
+		Encode:      4 * GBps,
+		Reconstruct: 2500 * MBps,
+	}
+}
+
+// EncodeTime reports the modelled time to generate m parity shards for a
+// chunk of dataBytes split across k data shards.
+func (c CodingModel) EncodeTime(dataBytes int64, k, m int) vtime.Duration {
+	if k <= 0 || m <= 0 {
+		return 0
+	}
+	return c.Encode.Transfer(dataBytes * int64(m))
+}
+
+// ReconstructTime reports the modelled time to rebuild lost shards of a
+// chunk of dataBytes from k survivors.
+func (c CodingModel) ReconstructTime(dataBytes int64, k, lost int) vtime.Duration {
+	if k <= 0 || lost <= 0 {
+		return 0
+	}
+	return c.Reconstruct.Transfer(dataBytes * int64(lost))
+}

@@ -24,6 +24,12 @@ const (
 	GBps Bandwidth = 1e9
 )
 
+// GigE is the payload rate of a gigabit-Ethernet link (125 MB/s wire
+// rate). It is the single source of truth for the modelled store-to-store
+// link: the default replica/heal bandwidth in store tests and the default
+// per-shard link rate of the erasure-coded store fleet.
+const GigE = 125 * MBps
+
 // Transfer reports the virtual time needed to move n bytes at this rate.
 // A zero or negative bandwidth reports zero time (infinitely fast), which
 // is used by tests that want to isolate other costs.

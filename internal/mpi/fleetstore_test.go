@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"checl/internal/core"
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proc"
+	"checl/internal/store"
+	"checl/internal/vtime"
+)
+
+// TestGlobalSnapshotThroughErasureFleet takes a coordinated global
+// snapshot of a 2-rank job into an erasure-coded store fleet, then
+// restores both ranks with m store nodes down — the global restore must
+// be clean (no generation fallback) and every buffer bit-identical. The
+// per-rank segment read the partial restart uses must also survive the
+// same loss.
+func TestGlobalSnapshotThroughErasureFleet(t *testing.T) {
+	cl := cluster(2)
+	nodes := make([]store.FleetNode, 6)
+	states := make([]*proc.NodeState, 6)
+	for i := range nodes {
+		name := fmt.Sprintf("ck-%02d", i)
+		fs := proc.NewFS(name, hw.TableISpec().LocalDisk)
+		states[i] = proc.NewNodeState(name)
+		fs.SetNodeState(states[i])
+		nodes[i] = store.FleetNode{Name: name, FS: fs}
+	}
+	fl, err := store.NewFleet(nodes, store.FleetConfig{
+		Store: store.Config{MinChunk: 1 << 10, AvgChunk: 4 << 10, MaxChunk: 16 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, _ := NewWorld(cl, 2)
+	const src = `
+__kernel void fill(__global float* x, float v, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) x[i] = v + (float)i;
+}`
+	type rankState struct {
+		q   ocl.CommandQueue
+		buf ocl.Mem
+	}
+	rs := make([]rankState, 2)
+	err = w.Run(func(r *Rank) error {
+		c, err := core.Attach(r.Process(), core.Options{Incremental: true})
+		if err != nil {
+			return err
+		}
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+		ctx, _ := c.CreateContext(devs)
+		q, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+		prog, _ := c.CreateProgramWithSource(ctx, src)
+		if err := c.BuildProgram(prog, ""); err != nil {
+			return err
+		}
+		k, _ := c.CreateKernel(prog, "fill")
+		buf, _ := c.CreateBuffer(ctx, ocl.MemReadWrite, 4*1024, nil)
+		h := make([]byte, 8)
+		binary.LittleEndian.PutUint64(h, uint64(buf))
+		if err := c.SetKernelArg(k, 0, 8, h); err != nil {
+			return err
+		}
+		v := make([]byte, 4)
+		binary.LittleEndian.PutUint32(v, math.Float32bits(float32(10*(r.Rank()+1))))
+		if err := c.SetKernelArg(k, 1, 4, v); err != nil {
+			return err
+		}
+		n := make([]byte, 4)
+		binary.LittleEndian.PutUint32(n, 1024)
+		if err := c.SetKernelArg(k, 2, 4, n); err != nil {
+			return err
+		}
+		if _, err := c.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{1024}, [3]int{64}, nil); err != nil {
+			return err
+		}
+		if err := c.Finish(q); err != nil {
+			return err
+		}
+		rs[r.Rank()] = rankState{q: q, buf: buf}
+		if _, err := r.CoordinatedCheckpointToStore(c, fl, "mpifleet"); err != nil {
+			return err
+		}
+		c.Proxy().Kill()
+		r.Process().Kill()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two store nodes down: both the global restore and the partial
+	// restart's per-rank segment read must still work, bit-identical.
+	states[2].SetDown(true)
+	states[5].SetDown(true)
+	defer func() {
+		states[2].SetDown(false)
+		states[5].SetDown(false)
+	}()
+
+	restored, deg, err := RestoreGlobalFromStore(cl, fl, "mpifleet", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != nil {
+		t.Fatalf("restore with m nodes down fell back: %v", deg)
+	}
+	for rank, c := range restored {
+		data, _, err := c.EnqueueReadBuffer(rs[rank].q, rs[rank].buf, true, 0, 4*1024, nil)
+		if err != nil {
+			t.Fatalf("rank %d read after restore: %v", rank, err)
+		}
+		for i := 0; i < 1024; i++ {
+			got := math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			want := float32(10*(rank+1)) + float32(i)
+			if got != want {
+				t.Fatalf("rank %d: buf[%d] = %v, want %v", rank, i, got, want)
+			}
+		}
+		c.Detach()
+	}
+
+	if seg, _, err := fl.GetSegment(vtime.NewClock(), "mpifleet", "rank/00000"); err != nil {
+		t.Fatalf("per-rank segment read with m nodes down: %v", err)
+	} else if len(seg) == 0 {
+		t.Fatal("per-rank segment came back empty")
+	}
+}

@@ -90,7 +90,7 @@ func (w *World) unsupportedLocked(rank int, reason string) error {
 // RunWithRecovery). When partial restore cannot proceed the returned
 // error is (or wraps) *PartialRestoreUnsupported and the world is failed:
 // kill the remaining rank processes and use RestoreGlobalFromStore.
-func (w *World) RestoreRank(st *store.Store, ref string, rank int, opts core.Options) (*core.CheCL, *PartialRestore, error) {
+func (w *World) RestoreRank(st store.Backend, ref string, rank int, opts core.Options) (*core.CheCL, *PartialRestore, error) {
 	if rank < 0 || rank >= len(w.ranks) {
 		return nil, nil, fmt.Errorf("mpi: restore of invalid rank %d", rank)
 	}

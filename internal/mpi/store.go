@@ -81,7 +81,7 @@ func splitSnapshot(data []byte, man store.Manifest) ([][]byte, error) {
 // completion atomically records the manifest, snapshots the channel
 // sequence counters, and truncates the sender message logs — the cut a
 // partial restore resumes from.
-func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, job string) (GlobalSnapshotStats, error) {
+func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st store.Backend, job string) (GlobalSnapshotStats, error) {
 	var stats GlobalSnapshotStats
 	if err := r.Barrier(); err != nil {
 		return stats, err
@@ -164,7 +164,7 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st *store.Store, 
 // The returned *store.DegradedRestore is nil when the newest generation
 // restored; otherwise it lists every newer generation that was skipped
 // and why, and when no generation works it is also the returned error.
-func RestoreGlobalFromStore(cluster *proc.Cluster, st *store.Store, ref string, opts core.Options) ([]*core.CheCL, *store.DegradedRestore, error) {
+func RestoreGlobalFromStore(cluster *proc.Cluster, st store.Backend, ref string, opts core.Options) ([]*core.CheCL, *store.DegradedRestore, error) {
 	if len(cluster.Nodes) == 0 {
 		return nil, nil, fmt.Errorf("mpi: cluster has no nodes")
 	}

@@ -19,6 +19,7 @@ type FS struct {
 	model    hw.StorageModel
 	capacity int64 // 0 = unbounded
 	fault    *FaultInjector
+	node     *NodeState
 
 	mu    sync.Mutex
 	files map[string][]byte
@@ -38,6 +39,14 @@ func WithCapacity(bytes int64) FSOption {
 // Remove and Rename consults it and fails (or corrupts) per the plan.
 func WithFault(inj *FaultInjector) FSOption {
 	return func(fs *FS) { fs.fault = inj }
+}
+
+// WithNodeState attaches a node-level state: while the node is down every
+// operation fails with *ErrNodeDown, and while it is slow every operation
+// charges a multiple of its modelled time. Composes with WithFault — a
+// store node can be both flaky at the disk level and crashed as a whole.
+func WithNodeState(ns *NodeState) FSOption {
+	return func(fs *FS) { fs.node = ns }
 }
 
 // NewFS constructs an empty filesystem with the given storage model.
@@ -70,6 +79,21 @@ func (fs *FS) Capacity() int64 { return fs.capacity }
 // construction. Not safe to race with in-flight operations.
 func (fs *FS) SetFault(inj *FaultInjector) { fs.fault = inj }
 
+// SetNodeState attaches (or, with nil, detaches) a node-level state after
+// construction. Not safe to race with in-flight operations.
+func (fs *FS) SetNodeState(ns *NodeState) { fs.node = ns }
+
+// Node exposes the attached node state, if any.
+func (fs *FS) Node() *NodeState { return fs.node }
+
+// scaled applies the node's slow factor to a modelled duration.
+func scaled(d vtime.Duration, factor float64) vtime.Duration {
+	if factor == 1 || d <= 0 {
+		return d
+	}
+	return vtime.Duration(float64(d) * factor)
+}
+
 // Name identifies the filesystem ("local", "ramdisk", "nfs").
 func (fs *FS) Name() string { return fs.name }
 
@@ -83,8 +107,18 @@ func (fs *FS) WriteFile(clock *vtime.Clock, path string, data []byte) error {
 	if path == "" {
 		return fmt.Errorf("fs %s: empty path", fs.name)
 	}
+	down, scale := fs.node.gate()
+	if down {
+		return &ErrNodeDown{Node: fs.node.Node(), Op: "write", Path: path}
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.node.takeTorn() {
+		n := len(data) / 2
+		clock.Advance(scaled(fs.model.WriteTime(int64(n)), scale))
+		fs.files[path] = append([]byte(nil), data[:n]...)
+		return &ErrIO{FS: fs.name, Op: "write", Path: path}
+	}
 	if fs.capacity > 0 {
 		used := fs.usedLocked()
 		after := used - int64(len(fs.files[path])) + int64(len(data))
@@ -98,13 +132,13 @@ func (fs *FS) WriteFile(clock *vtime.Clock, path string, data []byte) error {
 			// Only a prefix reaches the disk, replacing any previous
 			// content, and the writer learns about it through an error.
 			n := len(data) / 2
-			clock.Advance(fs.model.WriteTime(int64(n)))
+			clock.Advance(scaled(fs.model.WriteTime(int64(n)), scale))
 			fs.files[path] = append([]byte(nil), data[:n]...)
 			return &ErrIO{FS: fs.name, Op: "write", Path: path}
 		case DiskFaultLostWrite:
 			// The write is acknowledged but nothing persists; previous
 			// content, if any, survives untouched.
-			clock.Advance(fs.model.WriteTime(int64(len(data))))
+			clock.Advance(scaled(fs.model.WriteTime(int64(len(data))), scale))
 			return nil
 		case DiskFaultEIO:
 			return &ErrIO{FS: fs.name, Op: "write", Path: path}
@@ -112,7 +146,7 @@ func (fs *FS) WriteFile(clock *vtime.Clock, path string, data []byte) error {
 			return &ErrNoSpace{FS: fs.name, Capacity: fs.capacity, Used: fs.usedLocked(), Need: int64(len(data))}
 		}
 	}
-	clock.Advance(fs.model.WriteTime(int64(len(data))))
+	clock.Advance(scaled(fs.model.WriteTime(int64(len(data))), scale))
 	fs.files[path] = append([]byte(nil), data...)
 	return nil
 }
@@ -128,6 +162,10 @@ func (fs *FS) usedLocked() int64 {
 
 // ReadFile loads the file at path, charging the read time to clock.
 func (fs *FS) ReadFile(clock *vtime.Clock, path string) ([]byte, error) {
+	down, scale := fs.node.gate()
+	if down {
+		return nil, &ErrNodeDown{Node: fs.node.Node(), Op: "read", Path: path}
+	}
 	fs.mu.Lock()
 	data, ok := fs.files[path]
 	if fs.fault != nil {
@@ -152,12 +190,15 @@ func (fs *FS) ReadFile(clock *vtime.Clock, path string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("fs %s: no such file %q", fs.name, path)
 	}
-	clock.Advance(fs.model.ReadTime(int64(len(data))))
+	clock.Advance(scaled(fs.model.ReadTime(int64(len(data))), scale))
 	return append([]byte(nil), data...), nil
 }
 
 // Remove deletes the file at path. Removing a missing file is an error.
 func (fs *FS) Remove(path string) error {
+	if down, _ := fs.node.gate(); down {
+		return &ErrNodeDown{Node: fs.node.Node(), Op: "remove", Path: path}
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.fault != nil {
@@ -180,6 +221,9 @@ func (fs *FS) Remove(path string) error {
 func (fs *FS) Rename(oldPath, newPath string) error {
 	if newPath == "" {
 		return fmt.Errorf("fs %s: empty path", fs.name)
+	}
+	if down, _ := fs.node.gate(); down {
+		return &ErrNodeDown{Node: fs.node.Node(), Op: "rename", Path: oldPath}
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -226,6 +270,25 @@ func (fs *FS) List() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// FlipBit corrupts the stored copy of path in place: bit (bits mod the
+// file's bit count) flips, silently — no time is charged and no error is
+// returned, exactly like decay at rest. Reports whether a bit flipped
+// (false for a missing or empty file). The node fault injector uses this
+// for at-rest shard rot; a later read observes the corruption.
+func (fs *FS) FlipBit(path string, bits uint64) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok || len(data) == 0 {
+		return false
+	}
+	rotten := append([]byte(nil), data...)
+	bit := bits % uint64(len(rotten)*8)
+	rotten[bit/8] ^= 1 << (bit % 8)
+	fs.files[path] = rotten
+	return true
 }
 
 // TotalBytes reports the sum of all file sizes.

@@ -1,0 +1,399 @@
+package proc
+
+// Node-level fault injection for store fleets. Where DiskFaultPlan makes
+// individual filesystem operations fail the way disks fail, NodeFaultPlan
+// makes whole storage nodes fail the way cluster nodes fail: a node
+// crashes (every operation on its filesystem errors until it revives or
+// is replaced), a node goes slow (every operation charges a multiple of
+// its modelled time for a while), a shard at rest rots (one bit of one
+// stored file flips in place, silently), or a shard write tears. The two
+// injectors compose: an FS may carry a per-operation FaultInjector and a
+// NodeState from a NodeFaultInjector at the same time.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NodeFaultKind selects how an injected node fault manifests.
+type NodeFaultKind int
+
+const (
+	// NodeFaultNone leaves the fleet alone.
+	NodeFaultNone NodeFaultKind = iota
+	// NodeFaultCrash takes one node down: every subsequent operation on
+	// its filesystem fails with *ErrNodeDown until the plan's
+	// ReviveAfter elapses (0 = the node stays down until replaced).
+	NodeFaultCrash
+	// NodeFaultSlow makes one node slow: its next SlowFor operations
+	// charge SlowFactor times their modelled duration.
+	NodeFaultSlow
+	// NodeFaultShardRot flips one bit of one stored file on the victim
+	// node, in place and silently — at-rest decay a later read observes.
+	NodeFaultShardRot
+	// NodeFaultTornWrite arms the victim so its next write persists only
+	// a prefix and fails with *ErrIO.
+	NodeFaultTornWrite
+)
+
+func (k NodeFaultKind) String() string {
+	switch k {
+	case NodeFaultNone:
+		return "none"
+	case NodeFaultCrash:
+		return "node-crash"
+	case NodeFaultSlow:
+		return "slow-node"
+	case NodeFaultShardRot:
+		return "shard-rot"
+	case NodeFaultTornWrite:
+		return "torn-shard-write"
+	default:
+		return fmt.Sprintf("node-fault(%d)", int(k))
+	}
+}
+
+// nodeKillKinds is the default mix: every failure mode a k+m erasure
+// fleet must absorb without losing a byte.
+var nodeKillKinds = []NodeFaultKind{
+	NodeFaultCrash,
+	NodeFaultSlow,
+	NodeFaultShardRot,
+	NodeFaultTornWrite,
+}
+
+// ErrNodeDown reports an operation against a crashed store node. It is
+// not transient: retrying against the same node cannot succeed — the
+// caller must read elsewhere (degraded read) or wait for a rebuild.
+type ErrNodeDown struct {
+	Node string
+	Op   string
+	Path string
+}
+
+func (e *ErrNodeDown) Error() string {
+	return fmt.Sprintf("node %s: down (%s %s)", e.Node, e.Op, e.Path)
+}
+
+// NodeFaultPlan is a deterministic schedule of injected node faults.
+type NodeFaultPlan struct {
+	Seed      uint64          // drives victim and kind choice; same seed, same faults
+	EveryN    int             // inject on every Nth fleet operation; <= 0 disables
+	SkipFirst int             // leave the first SkipFirst operations alone
+	Max       int             // stop injecting after Max faults; 0 = unlimited
+	Kinds     []NodeFaultKind // candidate kinds; nil means nodeKillKinds
+
+	// ReviveAfter brings a crashed node back after that many further
+	// fleet operations; 0 keeps it down until SetDown(false) or a
+	// replacement. Rebuild-style tests keep it 0.
+	ReviveAfter int
+	// MaxDown caps how many registered nodes may be crashed at once; a
+	// crash drawn beyond the cap is dropped. 0 keeps one node alive
+	// (never crash the last registered node); an erasure-fleet soak sets
+	// it to the parity count m so the plan stays within what the coding
+	// tolerates.
+	MaxDown int
+	// SlowFor / SlowFactor parameterise NodeFaultSlow: the victim's next
+	// SlowFor filesystem operations charge SlowFactor times their
+	// modelled duration. Defaults 64 ops at 8x.
+	SlowFor    int
+	SlowFactor float64
+}
+
+// NodeFaultEvent records one injected node fault for reporting.
+type NodeFaultEvent struct {
+	Op   int // 1-based index of the faulted fleet operation
+	Kind NodeFaultKind
+	Node string
+	Path string // the file a shard-rot landed on, if any
+}
+
+// NodeState is the injectable node-level condition of one filesystem:
+// down, slow, or armed for a torn write. An FS consults its NodeState
+// (WithNodeState/SetNodeState) on every operation. Safe for concurrent
+// use.
+type NodeState struct {
+	mu       sync.Mutex
+	node     string
+	down     bool
+	slowFor  int
+	slowBy   float64
+	tornNext int
+}
+
+// NewNodeState builds a standalone healthy state (tests; the usual path
+// is NodeFaultInjector.Register).
+func NewNodeState(node string) *NodeState { return &NodeState{node: node} }
+
+// Node reports the node name the state belongs to.
+func (ns *NodeState) Node() string { return ns.node }
+
+// SetDown crashes (true) or revives (false) the node.
+func (ns *NodeState) SetDown(down bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.down = down
+}
+
+// Down reports whether the node is currently crashed. A nil state is a
+// healthy node, so callers can ask an FS with no node state attached.
+func (ns *NodeState) Down() bool {
+	if ns == nil {
+		return false
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.down
+}
+
+// Slow makes the node's next forOps operations charge factor times their
+// modelled duration.
+func (ns *NodeState) Slow(factor float64, forOps int) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.slowBy, ns.slowFor = factor, forOps
+}
+
+// ArmTornWrite makes the node's next write tear (persist a prefix, fail
+// with *ErrIO).
+func (ns *NodeState) ArmTornWrite() {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.tornNext++
+}
+
+// gate is consulted by the FS at the top of every operation: reports
+// whether the node is down and the time-scale factor for this operation.
+func (ns *NodeState) gate() (down bool, scale float64) {
+	if ns == nil {
+		return false, 1
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.down {
+		return true, 1
+	}
+	scale = 1
+	if ns.slowFor > 0 {
+		ns.slowFor--
+		scale = ns.slowBy
+	}
+	return false, scale
+}
+
+// takeTorn consumes one armed torn write, if any.
+func (ns *NodeState) takeTorn() bool {
+	if ns == nil {
+		return false
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.tornNext > 0 {
+		ns.tornNext--
+		return true
+	}
+	return false
+}
+
+// NodeFaultInjector owns a node fault plan's mutable state across a set
+// of registered store nodes. The fleet ticks it once per shard-level
+// operation; when the plan fires, a seeded RNG picks the victim node and
+// the fault kind. Deterministic per seed: same registrations in the same
+// order, same tick sequence, same faults.
+type NodeFaultInjector struct {
+	mu        sync.Mutex
+	plan      NodeFaultPlan
+	rng       uint64
+	ops       int
+	injected  int
+	suspended int
+	targets   []*nodeTarget
+	events    []NodeFaultEvent
+	revive    map[*nodeTarget]int // target -> op count at which it comes back
+}
+
+type nodeTarget struct {
+	name  string
+	fs    *FS
+	state *NodeState
+}
+
+// NewNodeFaultInjector builds an injector for plan.
+func NewNodeFaultInjector(plan NodeFaultPlan) *NodeFaultInjector {
+	if plan.SlowFor <= 0 {
+		plan.SlowFor = 64
+	}
+	if plan.SlowFactor <= 1 {
+		plan.SlowFactor = 8
+	}
+	return &NodeFaultInjector{
+		plan:   plan,
+		rng:    plan.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		revive: map[*nodeTarget]int{},
+	}
+}
+
+// Register adds one store node to the victim pool, attaches a fresh
+// NodeState to its filesystem, and returns the state (so callers can
+// also crash or revive the node by hand).
+func (f *NodeFaultInjector) Register(name string, fs *FS) *NodeState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := &NodeState{node: name}
+	fs.SetNodeState(st)
+	f.targets = append(f.targets, &nodeTarget{name: name, fs: fs, state: st})
+	return st
+}
+
+// Suspend pauses injection (nestable); Resume undoes one Suspend.
+// Rebuild and scrub sweeps suspend the injector so repairing the fleet
+// cannot itself be faulted into a livelock.
+func (f *NodeFaultInjector) Suspend() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.suspended++
+}
+
+// Resume undoes one Suspend.
+func (f *NodeFaultInjector) Resume() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.suspended > 0 {
+		f.suspended--
+	}
+}
+
+// Ops reports how many fleet operations the injector has seen.
+func (f *NodeFaultInjector) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected reports how many node faults have fired.
+func (f *NodeFaultInjector) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Events returns the injected faults in order.
+func (f *NodeFaultInjector) Events() []NodeFaultEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeFaultEvent, len(f.events))
+	copy(out, f.events)
+	return out
+}
+
+// Down lists the names of currently crashed nodes, sorted.
+func (f *NodeFaultInjector) Down() []string {
+	f.mu.Lock()
+	targets := append([]*nodeTarget(nil), f.targets...)
+	f.mu.Unlock()
+	var out []string
+	for _, t := range targets {
+		if t.state.Down() {
+			out = append(out, t.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// next draws one splitmix64 value.
+func (f *NodeFaultInjector) next() uint64 {
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Tick counts one fleet-level operation, revives crashed nodes whose
+// time has come, and — when the plan fires — picks a victim and injects
+// one fault. Crashes respect the plan's MaxDown cap (by default the last
+// registered node is never taken down: an erasure fleet with every node
+// dead is not a robustness scenario, it is a power cut).
+func (f *NodeFaultInjector) Tick() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	for t, at := range f.revive {
+		if f.ops >= at {
+			t.state.SetDown(false)
+			delete(f.revive, t)
+		}
+	}
+	switch {
+	case f.plan.EveryN <= 0,
+		f.suspended > 0,
+		len(f.targets) == 0,
+		f.ops <= f.plan.SkipFirst,
+		f.plan.Max > 0 && f.injected >= f.plan.Max,
+		f.ops%f.plan.EveryN != 0:
+		return
+	}
+	kinds := f.plan.Kinds
+	if len(kinds) == 0 {
+		kinds = nodeKillKinds
+	}
+	z := f.next()
+	kind := kinds[z%uint64(len(kinds))]
+	victim := f.targets[(z>>16)%uint64(len(f.targets))]
+	ev := NodeFaultEvent{Op: f.ops, Kind: kind, Node: victim.name}
+	switch kind {
+	case NodeFaultCrash:
+		down := 0
+		for _, t := range f.targets {
+			if t.state.Down() {
+				down++
+			}
+		}
+		cap := f.plan.MaxDown
+		if cap <= 0 {
+			cap = len(f.targets) - 1
+		}
+		if down >= cap || victim.state.Down() {
+			return // cap reached; a dead victim is a no-op
+		}
+		victim.state.SetDown(true)
+		if f.plan.ReviveAfter > 0 {
+			f.revive[victim] = f.ops + f.plan.ReviveAfter
+		}
+	case NodeFaultSlow:
+		victim.state.Slow(f.plan.SlowFactor, f.plan.SlowFor)
+	case NodeFaultShardRot:
+		path, ok := pickRotTarget(victim.fs, f.next())
+		if !ok {
+			return // empty node: nothing at rest to rot
+		}
+		victim.fs.FlipBit(path, f.next())
+		ev.Path = path
+	case NodeFaultTornWrite:
+		victim.state.ArmTornWrite()
+	}
+	f.injected++
+	f.events = append(f.events, ev)
+}
+
+// pickRotTarget chooses the file a shard-rot lands on: a seeded pick
+// among the node's shard files (any file when it has no shards yet).
+func pickRotTarget(fs *FS, bits uint64) (string, bool) {
+	paths := fs.List()
+	if len(paths) == 0 {
+		return "", false
+	}
+	var shards []string
+	for _, p := range paths {
+		if strings.Contains(p, "/shards/") {
+			shards = append(shards, p)
+		}
+	}
+	if len(shards) > 0 {
+		paths = shards
+	}
+	return paths[bits%uint64(len(paths))], true
+}

@@ -1,0 +1,355 @@
+package store
+
+// Systematic Reed-Solomon erasure coding over GF(256) for the store
+// fleet. The codec is real — parity shards are genuine GF(256) linear
+// combinations of the data bytes, so any k of the k+m shards reconstruct
+// the chunk bit-for-bit — while its CPU time is charged through
+// hw.CodingModel like every other modelled cost.
+//
+// The generator matrix is a (k+m)×k Vandermonde matrix put in systematic
+// form: multiply by the inverse of its top k×k block so the top k rows
+// become the identity (data shards are plain slices of the chunk, no
+// decode on the healthy path) and the bottom m rows become the parity
+// rows. Any k rows of the result are invertible — any k rows of a
+// Vandermonde matrix over distinct points are, and right-multiplying by
+// one fixed invertible matrix preserves that — which is exactly the
+// "any m losses survivable" property the fleet sells.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// GF(256) with the AES polynomial x^8+x^4+x^3+x+1 (0x11d reduced),
+// table-driven: exp is doubled so mul can skip the mod-255 fold.
+var (
+	gfExp [512]byte
+	gfLog [256]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+func gfInv(a byte) byte {
+	return gfExp[255-gfLog[a]]
+}
+
+// Coder encodes chunks into k data + m parity shards and reconstructs
+// them from any k survivors. Stateless beyond the precomputed generator
+// matrix; safe for concurrent use.
+type Coder struct {
+	k, m int
+	// gen is the systematic (k+m)×k generator: rows 0..k-1 identity,
+	// rows k..k+m-1 parity coefficients.
+	gen [][]byte
+}
+
+// NewCoder builds a coder for k data and m parity shards. k+m is capped
+// at 256 by the field size.
+func NewCoder(k, m int) (*Coder, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("coder: need k >= 1 and m >= 1, got k=%d m=%d", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("coder: k+m = %d exceeds GF(256) limit of 256 shards", k+m)
+	}
+	// Vandermonde rows over the distinct points 0..k+m-1: row i is
+	// [i^0, i^1, ..., i^(k-1)].
+	v := make([][]byte, k+m)
+	for i := range v {
+		v[i] = make([]byte, k)
+		acc := byte(1)
+		for j := 0; j < k; j++ {
+			v[i][j] = acc
+			acc = gfMul(acc, byte(i))
+		}
+	}
+	top := make([][]byte, k)
+	for i := range top {
+		top[i] = append([]byte(nil), v[i]...)
+	}
+	inv, err := matInvert(top)
+	if err != nil {
+		return nil, fmt.Errorf("coder: vandermonde top block not invertible: %w", err)
+	}
+	gen := matMul(v, inv)
+	return &Coder{k: k, m: m, gen: gen}, nil
+}
+
+// K reports the data-shard count.
+func (c *Coder) K() int { return c.k }
+
+// M reports the parity-shard count.
+func (c *Coder) M() int { return c.m }
+
+// ShardSize reports the per-shard byte count for a chunk of n bytes: the
+// chunk is zero-padded up to a multiple of k before slicing.
+func (c *Coder) ShardSize(n int) int {
+	return (n + c.k - 1) / c.k
+}
+
+// Encode splits data into k data shards (zero-padded) and computes m
+// parity shards. The returned slice has k+m entries of equal length;
+// index order matches the generator rows, so shards[0..k-1] concatenated
+// and trimmed to len(data) are the original bytes.
+func (c *Coder) Encode(data []byte) [][]byte {
+	size := c.ShardSize(len(data))
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		shard := make([]byte, size)
+		copy(shard, data[min(i*size, len(data)):min((i+1)*size, len(data))])
+		shards[i] = shard
+	}
+	for p := 0; p < c.m; p++ {
+		row := c.gen[c.k+p]
+		shard := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			src := shards[j]
+			for b := range shard {
+				shard[b] ^= gfMul(coef, src[b])
+			}
+		}
+		shards[c.k+p] = shard
+	}
+	return shards
+}
+
+// Reconstruct rebuilds the full k+m shard set from any k survivors.
+// have maps shard index -> shard bytes (all the same length); it must
+// hold at least k entries. The survivors are used as-is — callers verify
+// per-shard checksums first so a rotten shard is treated as missing, not
+// trusted into the solve.
+func (c *Coder) Reconstruct(have map[int][]byte) ([][]byte, error) {
+	if len(have) < c.k {
+		return nil, fmt.Errorf("coder: %d shards survive, need %d of %d", len(have), c.k, c.k+c.m)
+	}
+	// Pick the k lowest surviving indices: deterministic, and it favours
+	// data shards so the solve degenerates to identity when none are lost.
+	rows := make([]int, 0, c.k)
+	for i := 0; i < c.k+c.m && len(rows) < c.k; i++ {
+		if _, ok := have[i]; ok {
+			rows = append(rows, i)
+		}
+	}
+	size := len(have[rows[0]])
+	sub := make([][]byte, c.k)
+	for i, r := range rows {
+		if len(have[r]) != size {
+			return nil, fmt.Errorf("coder: shard %d length %d, want %d", r, len(have[r]), size)
+		}
+		sub[i] = append([]byte(nil), c.gen[r]...)
+	}
+	inv, err := matInvert(sub)
+	if err != nil {
+		return nil, fmt.Errorf("coder: surviving rows not invertible: %w", err)
+	}
+	// data = inv · survivors, then re-encode the parity rows.
+	out := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		if shard, ok := have[i]; ok {
+			out[i] = append([]byte(nil), shard...)
+			continue
+		}
+		shard := make([]byte, size)
+		for j, r := range rows {
+			coef := inv[i][j]
+			if coef == 0 {
+				continue
+			}
+			src := have[r]
+			for b := range shard {
+				shard[b] ^= gfMul(coef, src[b])
+			}
+		}
+		out[i] = shard
+	}
+	for p := 0; p < c.m; p++ {
+		if shard, ok := have[c.k+p]; ok {
+			out[c.k+p] = append([]byte(nil), shard...)
+			continue
+		}
+		row := c.gen[c.k+p]
+		shard := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			src := out[j]
+			for b := range shard {
+				shard[b] ^= gfMul(coef, src[b])
+			}
+		}
+		out[c.k+p] = shard
+	}
+	return out, nil
+}
+
+// Join concatenates the k data shards and trims to n bytes — the inverse
+// of Encode's split for a chunk of original length n.
+func (c *Coder) Join(shards [][]byte, n int) []byte {
+	out := make([]byte, 0, n)
+	for i := 0; i < c.k && len(out) < n; i++ {
+		out = append(out, shards[i]...)
+	}
+	return out[:n]
+}
+
+// matMul multiplies a (r×n) by b (n×c) over GF(256).
+func matMul(a, b [][]byte) [][]byte {
+	rows, n, cols := len(a), len(b), len(b[0])
+	out := make([][]byte, rows)
+	for i := range out {
+		out[i] = make([]byte, cols)
+		for j := 0; j < cols; j++ {
+			var s byte
+			for t := 0; t < n; t++ {
+				s ^= gfMul(a[i][t], b[t][j])
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// matInvert inverts a square matrix over GF(256) by Gauss-Jordan
+// elimination. The input rows are consumed.
+func matInvert(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("singular at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if d := m[col][col]; d != 1 {
+			di := gfInv(d)
+			for j := 0; j < n; j++ {
+				m[col][j] = gfMul(m[col][j], di)
+				inv[col][j] = gfMul(inv[col][j], di)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			coef := m[r][col]
+			for j := 0; j < n; j++ {
+				m[r][j] ^= gfMul(coef, m[col][j])
+				inv[r][j] ^= gfMul(coef, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Shard framing: every shard is persisted wrapped in a small header so a
+// read can tell a healthy shard from a rotten or torn one and — crucially
+// — WHICH shard it holds. Reed-Solomon alone detects that something is
+// wrong; the per-shard digest localises it, turning silent corruption
+// into a known erasure the solve can route around.
+
+const (
+	shardMagic   = "CHECLSHD"
+	shardVersion = 1
+	// shardHeaderSize: magic(8) + version(1) + idx(1) + k(1) + m(1) +
+	// payload length(4) + original blob length(4) + sha256(32).
+	shardHeaderSize = 8 + 4 + 4 + 4 + sha256.Size
+)
+
+// encodeShard frames one shard payload for persistence. origLen is the
+// pre-split (compressed chunk blob) length: every shard records it so a
+// read can trim the k joined data shards back to the original bytes
+// without consulting anything but the shards themselves. The digest
+// covers the header fields too — a flipped bit anywhere in the frame
+// (geometry, lengths, payload) reads as an erasure, never as a
+// plausible shard with a wrong trim length.
+func encodeShard(idx, k, m, origLen int, payload []byte) []byte {
+	out := make([]byte, shardHeaderSize+len(payload))
+	copy(out, shardMagic)
+	out[8] = shardVersion
+	out[9] = byte(idx)
+	out[10] = byte(k)
+	out[11] = byte(m)
+	binary.BigEndian.PutUint32(out[12:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[16:], uint32(origLen))
+	copy(out[shardHeaderSize:], payload)
+	sum := shardDigest(out)
+	copy(out[20:], sum[:])
+	return out
+}
+
+// shardDigest hashes the covered portion of a frame: the header fields
+// after the magic (version, geometry, lengths) plus the payload, with
+// the digest field itself excluded.
+func shardDigest(frame []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(frame[8:20])
+	h.Write(frame[shardHeaderSize:])
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// decodeShard verifies a framed shard and returns its payload and
+// geometry. Any mismatch — magic, version, truncation, digest — is an
+// error: the shard is an erasure.
+func decodeShard(blob []byte) (idx, k, m, origLen int, payload []byte, err error) {
+	if len(blob) < shardHeaderSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("shard: %d bytes, shorter than header", len(blob))
+	}
+	if string(blob[:8]) != shardMagic {
+		return 0, 0, 0, 0, nil, fmt.Errorf("shard: bad magic")
+	}
+	if blob[8] != shardVersion {
+		return 0, 0, 0, 0, nil, fmt.Errorf("shard: unsupported version %d", blob[8])
+	}
+	idx, k, m = int(blob[9]), int(blob[10]), int(blob[11])
+	n := binary.BigEndian.Uint32(blob[12:])
+	origLen = int(binary.BigEndian.Uint32(blob[16:]))
+	if int(n) != len(blob)-shardHeaderSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("shard: payload length %d, frame holds %d", n, len(blob)-shardHeaderSize)
+	}
+	payload = blob[shardHeaderSize:]
+	sum := shardDigest(blob)
+	if string(sum[:]) != string(blob[20:20+sha256.Size]) {
+		return 0, 0, 0, 0, nil, fmt.Errorf("shard: digest mismatch")
+	}
+	return idx, k, m, origLen, payload, nil
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// combinations enumerates all size-r subsets of [0, n).
+func combinations(n, r int) [][]int {
+	var out [][]int
+	idx := make([]int, r)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == r {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func TestCoderRoundTripAllLossPatterns(t *testing.T) {
+	for _, geo := range []struct{ k, m int }{{2, 1}, {4, 2}, {3, 3}, {8, 2}} {
+		c, err := NewCoder(geo.k, geo.m)
+		if err != nil {
+			t.Fatalf("NewCoder(%d,%d): %v", geo.k, geo.m, err)
+		}
+		data := make([]byte, 1000+geo.k) // deliberately not a multiple of k
+		for i := range data {
+			data[i] = byte(i*31 + 7)
+		}
+		shards := c.Encode(data)
+		if len(shards) != geo.k+geo.m {
+			t.Fatalf("k=%d m=%d: %d shards", geo.k, geo.m, len(shards))
+		}
+		// Systematic: the data shards concatenated ARE the data.
+		if got := c.Join(shards, len(data)); !bytes.Equal(got, data) {
+			t.Fatalf("k=%d m=%d: data shards do not join to the input", geo.k, geo.m)
+		}
+		// Every loss pattern up to m erasures reconstructs bit-identical.
+		for lost := 1; lost <= geo.m; lost++ {
+			for _, gone := range combinations(geo.k+geo.m, lost) {
+				have := map[int][]byte{}
+				for i, s := range shards {
+					have[i] = s
+				}
+				for _, g := range gone {
+					delete(have, g)
+				}
+				rec, err := c.Reconstruct(have)
+				if err != nil {
+					t.Fatalf("k=%d m=%d lost=%v: %v", geo.k, geo.m, gone, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(rec[i], shards[i]) {
+						t.Fatalf("k=%d m=%d lost=%v: shard %d differs after reconstruction", geo.k, geo.m, gone, i)
+					}
+				}
+				if got := c.Join(rec, len(data)); !bytes.Equal(got, data) {
+					t.Fatalf("k=%d m=%d lost=%v: payload differs after reconstruction", geo.k, geo.m, gone)
+				}
+			}
+		}
+		// m+1 erasures must fail, not fabricate data.
+		have := map[int][]byte{}
+		for i := geo.m + 1; i < geo.k+geo.m; i++ {
+			have[i] = shards[i]
+		}
+		if len(have) < geo.k {
+			if _, err := c.Reconstruct(have); err == nil {
+				t.Fatalf("k=%d m=%d: reconstruction from %d shards succeeded, need %d", geo.k, geo.m, len(have), geo.k)
+			}
+		}
+	}
+}
+
+func TestCoderRejectsBadGeometry(t *testing.T) {
+	for _, geo := range []struct{ k, m int }{{0, 1}, {1, 0}, {-1, 2}, {200, 100}} {
+		if _, err := NewCoder(geo.k, geo.m); err == nil {
+			t.Errorf("NewCoder(%d,%d) succeeded", geo.k, geo.m)
+		}
+	}
+}
+
+func TestShardFrameRoundTripAndTamperDetection(t *testing.T) {
+	payload := []byte("shard payload bytes")
+	frame := encodeShard(3, 4, 2, 77, payload)
+	idx, k, m, orig, got, err := decodeShard(frame)
+	if err != nil || idx != 3 || k != 4 || m != 2 || orig != 77 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: idx=%d k=%d m=%d orig=%d payload=%q err=%v", idx, k, m, orig, got, err)
+	}
+	// Every single flipped bit — magic, geometry, lengths, digest or
+	// payload — must turn the shard into a detected erasure.
+	for bit := 0; bit < len(frame)*8; bit++ {
+		tampered := append([]byte(nil), frame...)
+		tampered[bit/8] ^= 1 << (bit % 8)
+		if _, _, _, _, _, err := decodeShard(tampered); err == nil {
+			t.Fatalf("flipped bit %d (byte %d) went undetected", bit, bit/8)
+		}
+	}
+	if _, _, _, _, _, err := decodeShard(frame[:10]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+func TestShardMapDeterministicAcrossInputOrders(t *testing.T) {
+	names := []string{"store-3", "store-1", "store-4", "store-0", "store-2", "store-5"}
+	perms := [][]string{
+		names,
+		{"store-0", "store-1", "store-2", "store-3", "store-4", "store-5"},
+		{"store-5", "store-4", "store-3", "store-2", "store-1", "store-0"},
+		{"store-2", "store-5", "store-0", "store-4", "store-1", "store-3"},
+	}
+	var ref *ShardMap
+	for pi, perm := range perms {
+		m, err := newShardMap(perm)
+		if err != nil {
+			t.Fatalf("perm %d: %v", pi, err)
+		}
+		if ref == nil {
+			ref = m
+			continue
+		}
+		for c := 0; c < 200; c++ {
+			sum := fmt.Sprintf("%064x", c*2654435761)
+			want := ref.Place(sum, 6)
+			got := m.Place(sum, 6)
+			if fmt.Sprint(want) != fmt.Sprint(got) {
+				t.Fatalf("perm %d chunk %d: placement %v, want %v", pi, c, got, want)
+			}
+		}
+	}
+}
+
+func TestShardMapPlacementProperties(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	m, err := newShardMap(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	for c := 0; c < 2000; c++ {
+		sum := fmt.Sprintf("%064x", c*40503+1)
+		p := m.Place(sum, 6)
+		if len(p) != 6 {
+			t.Fatalf("chunk %d: %d nodes placed, want 6", c, len(p))
+		}
+		seen := map[string]bool{}
+		for _, n := range p {
+			if seen[n] {
+				t.Fatalf("chunk %d: node %s placed twice", c, n)
+			}
+			seen[n] = true
+		}
+		load[p[0]]++ // primary (shard 0) load
+	}
+	// Primary placement should be roughly uniform: no node under 1/3 or
+	// over 3x its fair share of 2000/6.
+	fair := 2000 / 6
+	for n, l := range load {
+		if l < fair/3 || l > fair*3 {
+			t.Fatalf("node %s holds %d primaries, fair share %d — ring badly skewed", n, l, fair)
+		}
+	}
+	if _, err := newShardMap([]string{"x", "x"}); err == nil {
+		t.Fatal("duplicate node names accepted")
+	}
+	if _, err := newShardMap(nil); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+}

@@ -252,7 +252,7 @@ func TestInterruptedReplicateIdempotentRerun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, _, err := src.Replicate(clock, "job", dst, 125*hw.MBps); err == nil {
+	if _, _, err := src.Replicate(clock, "job", dst, hw.GigE); err == nil {
 		t.Fatal("replicate should have failed under a 3-deep EIO burst")
 	}
 	// The destination has only staged leftovers: no manifest published.
@@ -261,7 +261,7 @@ func TestInterruptedReplicateIdempotentRerun(t *testing.T) {
 	}
 
 	// Injector exhausted; the rerun completes and is idempotent after.
-	man, _, err := src.Replicate(clock, "job", dst, 125*hw.MBps)
+	man, _, err := src.Replicate(clock, "job", dst, hw.GigE)
 	if err != nil {
 		t.Fatalf("replicate rerun: %v", err)
 	}
@@ -276,7 +276,7 @@ func TestInterruptedReplicateIdempotentRerun(t *testing.T) {
 	if err != nil || !rep.OK() {
 		t.Fatalf("replica fsck: %v %v", err, rep.Errors)
 	}
-	_, st, err := src.Replicate(clock, "job", dst, 125*hw.MBps)
+	_, st, err := src.Replicate(clock, "job", dst, hw.GigE)
 	if err != nil || st.ChunksCopied != 0 {
 		t.Errorf("third replicate not a no-op: %+v %v", st, err)
 	}
@@ -285,7 +285,7 @@ func TestInterruptedReplicateIdempotentRerun(t *testing.T) {
 func TestGetHealsFromReplica(t *testing.T) {
 	s := New(testFS(), Config{})
 	replica := New(proc.NewFS("replica", hw.TableISpec().LocalDisk), Config{})
-	s.AttachReplica(replica, 125*hw.MBps)
+	s.AttachReplica(replica, hw.GigE)
 	clock := vtime.NewClock()
 	data := payload(25, 512<<10)
 	man, _, err := s.Put(clock, "job", data)
@@ -342,7 +342,7 @@ func TestGetWithoutReplicasFailsLoud(t *testing.T) {
 func TestScrubHealsDamagedStore(t *testing.T) {
 	s := New(testFS(), Config{})
 	replica := New(proc.NewFS("replica", hw.TableISpec().LocalDisk), Config{})
-	s.AttachReplica(replica, 125*hw.MBps)
+	s.AttachReplica(replica, hw.GigE)
 	clock := vtime.NewClock()
 	versions := uniqueVersions(2, 256<<10, 64<<10)
 	var mans []Manifest
@@ -392,7 +392,7 @@ func TestScrubDoesNotResurrectGCdGenerations(t *testing.T) {
 	// scrub must pull back what the primary *lost*, never what it *dropped*.
 	s := New(testFS(), Config{})
 	replica := New(proc.NewFS("replica", hw.TableISpec().LocalDisk), Config{})
-	s.AttachReplica(replica, 125*hw.MBps)
+	s.AttachReplica(replica, hw.GigE)
 	clock := vtime.NewClock()
 	for _, v := range uniqueVersions(3, 256<<10, 32<<10) {
 		if _, _, err := s.Put(clock, "job", v); err != nil {
@@ -539,8 +539,8 @@ func TestPutWritesThroughToReplicas(t *testing.T) {
 	s := New(testFS(), Config{})
 	r1 := New(proc.NewFS("replica1", hw.TableISpec().LocalDisk), Config{})
 	r2 := New(proc.NewFS("replica2", hw.TableISpec().LocalDisk), Config{})
-	s.AttachReplica(r1, 125*hw.MBps)
-	s.AttachReplica(r2, 125*hw.MBps)
+	s.AttachReplica(r1, hw.GigE)
+	s.AttachReplica(r2, hw.GigE)
 	clock := vtime.NewClock()
 	versions := uniqueVersions(2, 256<<10, 32<<10)
 
@@ -613,8 +613,8 @@ func TestDurableFaultSoakKillEveryK(t *testing.T) {
 	s := faultStore(inj)
 	r1 := New(proc.NewFS("replica1", hw.TableISpec().LocalDisk), Config{})
 	r2 := New(proc.NewFS("replica2", hw.TableISpec().LocalDisk), Config{})
-	s.AttachReplica(r1, 125*hw.MBps)
-	s.AttachReplica(r2, 125*hw.MBps)
+	s.AttachReplica(r1, hw.GigE)
+	s.AttachReplica(r2, hw.GigE)
 	clock := vtime.NewClock()
 
 	base := payload(28, 512<<10)

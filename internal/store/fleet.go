@@ -1,0 +1,919 @@
+package store
+
+// Fleet is the erasure-coded, sharded successor to AttachReplica's
+// full-copy replication: N store nodes, each chunk split into k data +
+// m parity shards placed on k+m distinct nodes by a consistent-hash map
+// over the chunk's content address. Any checkpoint restores bit-identical
+// with any m nodes down — a degraded Get gathers any k surviving shards
+// and reconstructs — at (k+m)/k storage overhead instead of replication's
+// 2x. Manifests are small, so they are mirrored to every node rather than
+// sharded; one surviving copy resolves any ref.
+//
+// Commit protocol: shards are content-addressed and written verified at
+// their final paths (writing the same chunk twice is idempotent, so no
+// staging dance is needed), then the manifest is published on every alive
+// node — the per-node commit point, same manifest-last rule as Store.
+// A crash mid-Put leaves orphan shards that GC reclaims.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"checl/internal/hw"
+	"checl/internal/proc"
+	"checl/internal/vtime"
+)
+
+// FleetNode names one store node and its backing filesystem.
+type FleetNode struct {
+	Name string
+	FS   *proc.FS
+}
+
+// FleetConfig parameterises a Fleet. The zero value selects 4+2 coding
+// over a GigE link with default per-node store settings.
+type FleetConfig struct {
+	// DataShards (k) and ParityShards (m): each chunk becomes k+m shards
+	// on distinct nodes and survives any m losses. Defaults 4 and 2.
+	DataShards, ParityShards int
+	// Link models the node-to-node network; shard transfers charge it.
+	// Default hw.GigE.
+	Link hw.Bandwidth
+	// Coding charges the CPU time of parity generation and reconstruction.
+	// The zero value selects hw.DefaultCoding.
+	Coding hw.CodingModel
+	// Store configures the per-node stores (chunking bounds, compression,
+	// write retries). The zero value selects Store's defaults.
+	Store Config
+	// RebuildBatch/RebuildPause pace Rebuild: after each batch of
+	// RebuildBatch chunks the rebuilder idles for RebuildPause, so a
+	// node replacement does not flatten the surviving nodes with a
+	// thundering herd of reconstruction reads. Defaults 32 chunks, 2 ms.
+	RebuildBatch int
+	RebuildPause vtime.Duration
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.DataShards == 0 {
+		c.DataShards = 4
+	}
+	if c.ParityShards == 0 {
+		c.ParityShards = 2
+	}
+	if c.Link == 0 {
+		c.Link = hw.GigE
+	}
+	if c.Coding == (hw.CodingModel{}) {
+		c.Coding = hw.DefaultCoding()
+	}
+	if c.RebuildBatch == 0 {
+		c.RebuildBatch = 32
+	}
+	if c.RebuildPause == 0 {
+		c.RebuildPause = 2 * vtime.Millisecond
+	}
+	c.Store = c.Store.withDefaults()
+	return c
+}
+
+// fleetNode is one member: a Store over the node's filesystem (reusing
+// its verified writes, manifest framing and path layout).
+type fleetNode struct {
+	name string
+	st   *Store
+}
+
+// Fleet is an erasure-coded checkpoint store over N nodes. It implements
+// Backend, so core, cpr and mpi checkpoint into it exactly as into a
+// single Store.
+type Fleet struct {
+	cfg   FleetConfig
+	coder *Coder
+	smap  *ShardMap
+
+	mu    sync.Mutex // serialises Put/GC/Rebuild/Scrub sequencing
+	nodes map[string]*fleetNode
+	names []string // sorted
+
+	inj *proc.NodeFaultInjector
+
+	healMu sync.Mutex
+	heals  HealStats
+}
+
+// NewFleet builds a fleet over the given nodes. Node names must be
+// unique and there must be at least k+m of them; input order is
+// irrelevant — placement depends only on the name set.
+func NewFleet(nodes []FleetNode, cfg FleetConfig) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	coder, err := NewCoder(cfg.DataShards, cfg.ParityShards)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) < cfg.DataShards+cfg.ParityShards {
+		return nil, fmt.Errorf("store: fleet: %d nodes cannot hold %d+%d shards on distinct nodes",
+			len(nodes), cfg.DataShards, cfg.ParityShards)
+	}
+	f := &Fleet{cfg: cfg, coder: coder, nodes: map[string]*fleetNode{}}
+	for _, n := range nodes {
+		if n.Name == "" || strings.ContainsAny(n.Name, "/@") {
+			return nil, fmt.Errorf("store: fleet: invalid node name %q", n.Name)
+		}
+		if _, dup := f.nodes[n.Name]; dup {
+			return nil, fmt.Errorf("store: fleet: duplicate node name %q", n.Name)
+		}
+		f.nodes[n.Name] = &fleetNode{name: n.Name, st: New(n.FS, cfg.Store)}
+		f.names = append(f.names, n.Name)
+	}
+	sort.Strings(f.names)
+	if f.smap, err = newShardMap(f.names); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Name identifies the backend in checkpoint records and tooling.
+func (f *Fleet) Name() string {
+	return fmt.Sprintf("fleet(%d nodes, %d+%d)", len(f.names), f.cfg.DataShards, f.cfg.ParityShards)
+}
+
+// Config exposes the resolved configuration.
+func (f *Fleet) Config() FleetConfig { return f.cfg }
+
+// Nodes lists the node names, sorted.
+func (f *Fleet) Nodes() []string { return append([]string(nil), f.names...) }
+
+// NodeStore exposes one member's Store (tooling, tests).
+func (f *Fleet) NodeStore(name string) (*Store, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[name]
+	if !ok {
+		return nil, false
+	}
+	return n.st, true
+}
+
+// AttachFaults registers every node with the injector (in sorted name
+// order, so fault schedules are deterministic) and ticks it on every
+// subsequent shard-level operation.
+func (f *Fleet) AttachFaults(inj *proc.NodeFaultInjector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, name := range f.names {
+		inj.Register(name, f.nodes[name].st.fs)
+	}
+	f.inj = inj
+}
+
+// SetFaultInjector installs (or with nil removes) an injector to tick
+// without registering nodes — for tests that register a hand-picked
+// victim subset themselves. AttachFaults is the usual entry point.
+func (f *Fleet) SetFaultInjector(inj *proc.NodeFaultInjector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inj = inj
+}
+
+// Heals reports the fleet's cumulative self-repair counters (degraded
+// reads that wrote shards back, scrub and rebuild repairs).
+func (f *Fleet) Heals() HealStats {
+	f.healMu.Lock()
+	defer f.healMu.Unlock()
+	return f.heals
+}
+
+func (f *Fleet) recordShardHeal(n int, bytes int64) {
+	f.healMu.Lock()
+	defer f.healMu.Unlock()
+	f.heals.ShardsHealed += n
+	f.heals.ShardBytesHealed += bytes
+}
+
+func (f *Fleet) recordManifestHeal(n int) {
+	f.healMu.Lock()
+	defer f.healMu.Unlock()
+	f.heals.ManifestsHealed += n
+}
+
+// tick advances the node fault plan by one fleet-level shard operation.
+func (f *Fleet) tick() {
+	if f.inj != nil {
+		f.inj.Tick()
+	}
+}
+
+// alive reports whether the node is serving (no node state = healthy).
+func (n *fleetNode) alive() bool { return !n.st.fs.Node().Down() }
+
+// shardPath is where node n keeps shard idx of the chunk at sum.
+func (f *Fleet) shardPath(n *fleetNode, sum string, idx int) string {
+	return fmt.Sprintf("%s/shards/%s/%d", n.st.cfg.Prefix, sum, idx)
+}
+
+// placement returns the k+m nodes holding the chunk's shards, in shard
+// index order.
+func (f *Fleet) placement(sum string) []*fleetNode {
+	names := f.smap.Place(sum, f.cfg.DataShards+f.cfg.ParityShards)
+	out := make([]*fleetNode, len(names))
+	for i, name := range names {
+		out[i] = f.nodes[name]
+	}
+	return out
+}
+
+// chunkPresent probes whether the chunk is already durably stored: at
+// least k of its shards exist. Like Store's fs.Size dedup probe this is a
+// metadata operation and charges no time. When present it also reports
+// the original blob length read from one shard frame.
+func (f *Fleet) chunkPresent(sum string) (int64, bool) {
+	nodes := f.placement(sum)
+	present := 0
+	first := -1
+	for i, n := range nodes {
+		if n.st.fs.Exists(f.shardPath(n, sum, i)) {
+			present++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	if present < f.cfg.DataShards {
+		return 0, false
+	}
+	blob, err := readRetry(vtime.NewClock(), nodes[first].st.fs, f.shardPath(nodes[first], sum, first), f.cfg.Store.WriteRetries)
+	if err != nil {
+		return 0, false
+	}
+	if _, _, _, origLen, _, derr := decodeShard(blob); derr == nil {
+		return int64(origLen), true
+	}
+	return 0, false
+}
+
+// writeChunkShards encodes blob into k+m shards and writes them to their
+// placement nodes. Disk writes to distinct nodes overlap (the caller is
+// charged the slowest one); the shard frames all leave through the
+// writer's single link, so link time is charged for the total bytes.
+// Down nodes are skipped; fewer than k successful writes is an error.
+// Returns the physical bytes written.
+func (f *Fleet) writeChunkShards(clock *vtime.Clock, sum string, blob []byte) (int64, error) {
+	clock.Advance(f.cfg.Coding.EncodeTime(int64(len(blob)), f.cfg.DataShards, f.cfg.ParityShards))
+	shards := f.coder.Encode(blob)
+	nodes := f.placement(sum)
+	var written, linkBytes int64
+	var diskMax vtime.Duration
+	ok := 0
+	var firstErr error
+	for i, shard := range shards {
+		f.tick()
+		n := nodes[i]
+		frame := encodeShard(i, f.cfg.DataShards, f.cfg.ParityShards, len(blob), shard)
+		if !n.alive() {
+			if firstErr == nil {
+				firstErr = &proc.ErrNodeDown{Node: n.name, Op: "write", Path: f.shardPath(n, sum, i)}
+			}
+			continue
+		}
+		sc := vtime.NewClock()
+		if err := n.st.writeVerified(sc, f.shardPath(n, sum, i), frame); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if d := sc.Now().Sub(0); d > diskMax {
+			diskMax = d
+		}
+		linkBytes += int64(len(frame))
+		written += int64(len(frame))
+		ok++
+	}
+	clock.Advance(f.cfg.Link.Transfer(linkBytes) + diskMax)
+	if ok < f.cfg.DataShards {
+		return written, fmt.Errorf("store: fleet: chunk %s: only %d of %d shards written (need %d): %v",
+			sum[:12], ok, len(shards), f.cfg.DataShards, firstErr)
+	}
+	return written, nil
+}
+
+// shardStates reads every shard of a chunk: verified payloads keyed by
+// index, the original blob length, and the indices that are missing,
+// corrupt or on a down node. rot rotates the read order so bulk
+// operations (Rebuild) spread their source reads across the survivors
+// instead of hammering the ring-order nodes. Disk reads overlap across
+// nodes (max charged); link time covers the bytes actually pulled.
+func (f *Fleet) shardStates(clock *vtime.Clock, sum string, rot int, stopAtK bool) (have map[int][]byte, origLen int, bad []int) {
+	total := f.cfg.DataShards + f.cfg.ParityShards
+	nodes := f.placement(sum)
+	have = map[int][]byte{}
+	origLen = -1
+	var linkBytes int64
+	var diskMax vtime.Duration
+	for off := 0; off < total; off++ {
+		if stopAtK && len(have) >= f.cfg.DataShards {
+			break
+		}
+		i := (off + rot) % total
+		f.tick()
+		n := nodes[i]
+		if !n.alive() {
+			bad = append(bad, i)
+			continue
+		}
+		sc := vtime.NewClock()
+		frame, err := readRetry(sc, n.st.fs, f.shardPath(n, sum, i), f.cfg.Store.WriteRetries)
+		if d := sc.Now().Sub(0); d > diskMax {
+			diskMax = d
+		}
+		if err != nil {
+			bad = append(bad, i)
+			continue
+		}
+		linkBytes += int64(len(frame))
+		idx, _, _, orig, payload, derr := decodeShard(frame)
+		if derr != nil || idx != i {
+			bad = append(bad, i)
+			continue
+		}
+		have[i] = payload
+		origLen = orig
+	}
+	clock.Advance(f.cfg.Link.Transfer(linkBytes) + diskMax)
+	sort.Ints(bad)
+	return have, origLen, bad
+}
+
+// fetchChunk reads and verifies one chunk. The healthy path reads the k
+// data shards and concatenates — no GF(256) work at all. When any data
+// shard is an erasure (down node, missing file, failed digest) the
+// parity shards join the gather and the chunk reconstructs from any k
+// survivors, charging the coding model; the reconstructed shards are
+// written back to their alive home nodes best-effort, so a degraded read
+// heals the fleet as a side effect.
+func (f *Fleet) fetchChunk(clock *vtime.Clock, ref ChunkRef) ([]byte, error) {
+	k := f.cfg.DataShards
+	have, origLen, bad := f.shardStates(clock, ref.Sum, 0, true)
+	if len(have) < k {
+		return nil, fmt.Errorf("store: fleet: chunk %s lost: %d of %d shards survive, need %d",
+			ref.Sum[:12], len(have), k+f.cfg.ParityShards, k)
+	}
+	var blob []byte
+	dataIntact := true
+	for i := 0; i < k; i++ {
+		if _, ok := have[i]; !ok {
+			dataIntact = false
+			break
+		}
+	}
+	if dataIntact {
+		blob = make([]byte, 0, origLen)
+		for i := 0; i < k && len(blob) < origLen; i++ {
+			blob = append(blob, have[i]...)
+		}
+		blob = blob[:origLen]
+	} else {
+		lost := 0
+		for i := 0; i < k; i++ {
+			if _, ok := have[i]; !ok {
+				lost++
+			}
+		}
+		clock.Advance(f.cfg.Coding.ReconstructTime(int64(origLen), k, lost))
+		shards, err := f.coder.Reconstruct(have)
+		if err != nil {
+			return nil, fmt.Errorf("store: fleet: chunk %s: %w", ref.Sum[:12], err)
+		}
+		blob = f.coder.Join(shards, origLen)
+		f.healShards(ref.Sum, origLen, shards, bad)
+	}
+	chunk, err := f.cfg.Store.Compression.decompress(clock, blob)
+	if err != nil {
+		return nil, fmt.Errorf("store: fleet: chunk %s: %w", ref.Sum[:12], err)
+	}
+	sum := sha256.Sum256(chunk)
+	if got := hex.EncodeToString(sum[:]); got != ref.Sum {
+		return nil, fmt.Errorf("store: fleet: chunk %s corrupt (content hashes to %s)", ref.Sum[:12], got[:12])
+	}
+	return chunk, nil
+}
+
+// healShards writes the given shard indices back to their alive home
+// nodes, best effort on a scratch clock (repair is background work a
+// degraded read should not also pay for). Counted in HealStats.
+func (f *Fleet) healShards(sum string, origLen int, shards [][]byte, idxs []int) {
+	nodes := f.placement(sum)
+	healed, bytes := 0, int64(0)
+	for _, i := range idxs {
+		n := nodes[i]
+		if !n.alive() {
+			continue
+		}
+		frame := encodeShard(i, f.cfg.DataShards, f.cfg.ParityShards, origLen, shards[i])
+		if err := n.st.writeVerified(vtime.NewClock(), f.shardPath(n, sum, i), frame); err == nil {
+			healed++
+			bytes += int64(len(frame))
+		}
+	}
+	if healed > 0 {
+		f.recordShardHeal(healed, bytes)
+	}
+}
+
+// assemble reads and verifies every chunk of man and checks the payload
+// digest — Store.assemble over shards.
+func (f *Fleet) assemble(clock *vtime.Clock, man Manifest) ([]byte, error) {
+	payload := make([]byte, 0, man.Size)
+	for _, cref := range man.Chunks {
+		chunk, err := f.fetchChunk(clock, cref)
+		if err != nil {
+			return nil, err
+		}
+		payload = append(payload, chunk...)
+	}
+	digest := sha256.Sum256(payload)
+	if got := hex.EncodeToString(digest[:]); got != man.Digest {
+		return nil, fmt.Errorf("store: fleet: %s: payload digest mismatch (manifest %s, assembled %s)",
+			man.ID(), man.Digest[:12], got[:12])
+	}
+	return payload, nil
+}
+
+// Put stores one checkpoint payload for job — Store.Put over the fleet.
+func (f *Fleet) Put(clock *vtime.Clock, job string, payload []byte) (Manifest, PutStats, error) {
+	return f.PutSegmented(clock, job, payload, nil)
+}
+
+// PutSegmented is Store.PutSegmented over the fleet: the payload chunks
+// identically (same content-defined chunker, so cross-job dedup carries
+// over), each new chunk compresses once and fans out as k+m shards, and
+// the manifest publishes to every alive node. The commit tolerates up to
+// m down nodes: a chunk commits with >= k shards written and the
+// manifest with at most m copies missing; anything less fails the Put.
+func (f *Fleet) PutSegmented(clock *vtime.Clock, job string, payload []byte, segs []Segment) (Manifest, PutStats, error) {
+	if job == "" || strings.ContainsAny(job, "/@") {
+		return Manifest{}, PutStats{}, fmt.Errorf("store: invalid job name %q", job)
+	}
+	if segs != nil {
+		if err := validSegments(segs, int64(len(payload))); err != nil {
+			return Manifest{}, PutStats{}, err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	seq := uint64(1)
+	if seqs := f.jobSeqs(job); len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+	}
+	parent := ""
+	var parentMan Manifest
+	haveParent := false
+	if last, ok, err := f.latest(job); err != nil {
+		return Manifest{}, PutStats{}, err
+	} else if ok {
+		parent = last.ID()
+		parentMan, haveParent = last, true
+	}
+
+	sw := vtime.NewStopwatch(clock)
+	ck := chunker{min: f.cfg.Store.MinChunk, avg: f.cfg.Store.AvgChunk, max: f.cfg.Store.MaxChunk}
+	man := Manifest{
+		Version: manifestVersion, Job: job, Seq: seq, Parent: parent,
+		Size: int64(len(payload)), CreatedAt: clock.Now(),
+	}
+	stats := PutStats{Manifest: man.ID(), TotalBytes: int64(len(payload))}
+	written := map[string]int64{} // blob length of chunks this Put wrote
+
+	parentSeg := map[string]SegmentRef{}
+	parentSegChunks := map[string][]ChunkRef{}
+	if haveParent && len(parentMan.Segments) > 0 {
+		at := 0
+		for _, ps := range parentMan.Segments {
+			if at+ps.Chunks > len(parentMan.Chunks) {
+				parentSeg, parentSegChunks = map[string]SegmentRef{}, nil
+				break
+			}
+			parentSeg[ps.Name] = ps
+			parentSegChunks[ps.Name] = parentMan.Chunks[at : at+ps.Chunks]
+			at += ps.Chunks
+		}
+	}
+
+	stageRange := func(data []byte) (int, error) {
+		n := 0
+		for _, chunk := range ck.split(data) {
+			sum256 := sha256.Sum256(chunk)
+			sum := hex.EncodeToString(sum256[:])
+			ref := ChunkRef{Sum: sum, Size: int64(len(chunk))}
+			if stored, ok := written[sum]; ok {
+				ref.Stored = stored
+			} else if stored, ok := f.chunkPresent(sum); ok {
+				ref.Stored = stored
+			} else {
+				csw := vtime.NewStopwatch(clock)
+				blob, cerr := f.cfg.Store.Compression.compress(clock, chunk)
+				if cerr != nil {
+					return n, cerr
+				}
+				stats.CompressTime += csw.Elapsed()
+				wsw := vtime.NewStopwatch(clock)
+				phys, werr := f.writeChunkShards(clock, sum, blob)
+				stats.StoredBytes += phys
+				if werr != nil {
+					return n, werr
+				}
+				stats.WriteTime += wsw.Elapsed()
+				written[sum] = int64(len(blob))
+				ref.Stored = int64(len(blob))
+				stats.NewChunks++
+				stats.NewBytes += int64(len(chunk))
+			}
+			man.Chunks = append(man.Chunks, ref)
+			stats.TotalChunks++
+			n++
+		}
+		return n, nil
+	}
+
+	if segs == nil {
+		if _, err := stageRange(payload); err != nil {
+			return Manifest{}, stats, err
+		}
+	} else {
+		for _, sg := range segs {
+			if sg.Clean {
+				if ps, ok := parentSeg[sg.Name]; ok && ps.Size == sg.Len {
+					refs := parentSegChunks[sg.Name]
+					man.Chunks = append(man.Chunks, refs...)
+					man.Segments = append(man.Segments, SegmentRef{
+						Name: sg.Name, Size: sg.Len, Chunks: len(refs), Clean: true,
+					})
+					stats.TotalChunks += len(refs)
+					stats.ReusedChunks += len(refs)
+					stats.ReusedBytes += sg.Len
+					continue
+				}
+			}
+			n, err := stageRange(payload[sg.Off : sg.Off+sg.Len])
+			if err != nil {
+				return Manifest{}, stats, err
+			}
+			man.Segments = append(man.Segments, SegmentRef{Name: sg.Name, Size: sg.Len, Chunks: n})
+		}
+	}
+
+	digest := sha256.Sum256(payload)
+	man.Digest = hex.EncodeToString(digest[:])
+	frame, err := encodeManifest(man)
+	if err != nil {
+		return Manifest{}, stats, err
+	}
+	published, err := f.publishManifest(clock, man.Job, man.Seq, frame)
+	if err != nil {
+		return Manifest{}, stats, err
+	}
+	stats.StoredBytes += int64(published) * int64(len(frame))
+	stats.Time = sw.Elapsed()
+	return man, stats, nil
+}
+
+// publishManifest writes the manifest frame to every alive node and
+// reports how many copies landed. At most m copies may be missing — that
+// keeps at least one copy alive through any later m-node loss (n-2m >= 1
+// whenever m < k) — otherwise the commit fails.
+func (f *Fleet) publishManifest(clock *vtime.Clock, job string, seq uint64, frame []byte) (int, error) {
+	published := 0
+	var firstErr error
+	var diskMax vtime.Duration
+	var linkBytes int64
+	for _, name := range f.names {
+		f.tick()
+		n := f.nodes[name]
+		if !n.alive() {
+			if firstErr == nil {
+				firstErr = &proc.ErrNodeDown{Node: name, Op: "write", Path: n.st.manifestPath(job, seq)}
+			}
+			continue
+		}
+		sc := vtime.NewClock()
+		if err := n.st.writeVerifiedMeta(sc, n.st.manifestPath(job, seq), frame); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if d := sc.Now().Sub(0); d > diskMax {
+			diskMax = d
+		}
+		linkBytes += int64(len(frame))
+		published++
+	}
+	clock.Advance(f.cfg.Link.Transfer(linkBytes) + diskMax)
+	if published < len(f.names)-f.cfg.ParityShards {
+		return published, fmt.Errorf("store: fleet: manifest %s published to only %d of %d nodes (tolerate at most %d missing): %v",
+			manifestID(job, seq), published, len(f.names), f.cfg.ParityShards, firstErr)
+	}
+	return published, nil
+}
+
+// readManifestFleet resolves one manifest from the first node holding a
+// decodable copy, walking sorted names. When an earlier node failed
+// (down, lost or corrupt frame) and a later one served, the good frame
+// is re-published to the failed alive nodes best effort — manifest reads
+// self-heal exactly like Store's replica fallback.
+func (f *Fleet) readManifestFleet(job string, seq uint64) (Manifest, error) {
+	var failed []*fleetNode
+	var lastErr error
+	for _, name := range f.names {
+		n := f.nodes[name]
+		if !n.alive() {
+			continue
+		}
+		if !n.st.fs.Exists(n.st.manifestPath(job, seq)) {
+			failed = append(failed, n)
+			continue
+		}
+		m, err := n.st.readManifest(job, seq)
+		if err != nil {
+			lastErr = err
+			failed = append(failed, n)
+			continue
+		}
+		if len(failed) > 0 {
+			if frame, ferr := encodeManifest(m); ferr == nil {
+				healed := 0
+				for _, fn := range failed {
+					if werr := fn.st.writeVerifiedMeta(vtime.NewClock(), fn.st.manifestPath(job, seq), frame); werr == nil {
+						healed++
+					}
+				}
+				f.recordManifestHeal(healed)
+			}
+		}
+		return m, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("store: manifest %s: no copy on any alive node", manifestID(job, seq))
+	}
+	return Manifest{}, lastErr
+}
+
+// jobSeqs unions the job's sequence numbers across alive nodes.
+func (f *Fleet) jobSeqs(job string) []uint64 {
+	seen := map[uint64]bool{}
+	for _, name := range f.names {
+		n := f.nodes[name]
+		if !n.alive() {
+			continue
+		}
+		for _, seq := range n.st.jobSeqs(job) {
+			seen[seq] = true
+		}
+	}
+	seqs := make([]uint64, 0, len(seen))
+	for s := range seen {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// latest mirrors Store.latest over the fleet's manifest union.
+func (f *Fleet) latest(job string) (Manifest, bool, error) {
+	seqs := f.jobSeqs(job)
+	for i := len(seqs) - 1; i >= 0; i-- {
+		m, err := f.readManifestFleet(job, seqs[i])
+		if err == nil {
+			return m, true, nil
+		}
+	}
+	return Manifest{}, false, nil
+}
+
+// Latest reports the newest resolvable manifest of a job, if any.
+func (f *Fleet) Latest(job string) (Manifest, bool, error) {
+	return f.latest(job)
+}
+
+// Resolve looks a ref up without reading chunk data — Store.Resolve over
+// the fleet.
+func (f *Fleet) Resolve(ref string) (Manifest, error) {
+	if job, seqStr, ok := strings.Cut(ref, "@"); ok {
+		seq, err := parseSeq(ref, seqStr)
+		if err != nil {
+			return Manifest{}, err
+		}
+		return f.readManifestFleet(job, seq)
+	}
+	man, ok, err := f.latest(ref)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if !ok {
+		return Manifest{}, fmt.Errorf("store: job %q has no checkpoints", ref)
+	}
+	return man, nil
+}
+
+// Get reconstructs a checkpoint payload — Store.Get over the fleet, with
+// degraded reads in place of replica healing.
+func (f *Fleet) Get(clock *vtime.Clock, ref string) ([]byte, Manifest, error) {
+	man, err := f.Resolve(ref)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	payload, err := f.assemble(clock, man)
+	return payload, man, err
+}
+
+// GetSegment reconstructs one named segment without assembling the rest
+// — Store.GetSegment over the fleet (MPI partial restart's read path).
+func (f *Fleet) GetSegment(clock *vtime.Clock, ref, name string) ([]byte, Manifest, error) {
+	man, err := f.Resolve(ref)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	if len(man.Segments) == 0 {
+		return nil, man, fmt.Errorf("store: %s: no segment map (whole-payload checkpoint)", man.ID())
+	}
+	first := 0
+	for _, seg := range man.Segments {
+		if seg.Name != name {
+			first += seg.Chunks
+			continue
+		}
+		if first+seg.Chunks > len(man.Chunks) {
+			return nil, man, fmt.Errorf("store: %s: segment %q claims chunks beyond manifest", man.ID(), name)
+		}
+		payload := make([]byte, 0, seg.Size)
+		for _, cref := range man.Chunks[first : first+seg.Chunks] {
+			chunk, err := f.fetchChunk(clock, cref)
+			if err != nil {
+				return nil, man, err
+			}
+			payload = append(payload, chunk...)
+		}
+		if int64(len(payload)) != seg.Size {
+			return nil, man, fmt.Errorf("store: %s: segment %q assembled to %d bytes, manifest says %d",
+				man.ID(), name, len(payload), seg.Size)
+		}
+		return payload, man, nil
+	}
+	return nil, man, fmt.Errorf("store: %s: no segment named %q", man.ID(), name)
+}
+
+// Generations lists the restore fallback chain for ref — Store.Generations
+// over the fleet's manifest union.
+func (f *Fleet) Generations(ref string) ([]Manifest, []SkippedCheckpoint, error) {
+	job, ceiling := ref, uint64(1<<63)
+	if j, seqStr, ok := strings.Cut(ref, "@"); ok {
+		seq, err := parseSeq(ref, seqStr)
+		if err != nil {
+			return nil, nil, err
+		}
+		job, ceiling = j, seq
+	}
+	seqs := f.jobSeqs(job)
+	var mans []Manifest
+	var skipped []SkippedCheckpoint
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if seqs[i] > ceiling {
+			continue
+		}
+		m, err := f.readManifestFleet(job, seqs[i])
+		if err != nil {
+			skipped = append(skipped, SkippedCheckpoint{ID: manifestID(job, seqs[i]), Seq: seqs[i], Reason: err.Error()})
+			continue
+		}
+		mans = append(mans, m)
+	}
+	if len(mans) == 0 && len(skipped) == 0 {
+		return nil, nil, fmt.Errorf("store: job %q has no checkpoints", job)
+	}
+	return mans, skipped, nil
+}
+
+// GetNewestRestorable walks ref's generation chain newest-first — the
+// same typed degraded-restore contract as Store.GetNewestRestorable, so
+// core and mpi restores are backend-agnostic.
+func (f *Fleet) GetNewestRestorable(clock *vtime.Clock, ref string, validate func(payload []byte, man Manifest) error) ([]byte, Manifest, *DegradedRestore, error) {
+	mans, skipped, err := f.Generations(ref)
+	if err != nil {
+		return nil, Manifest{}, nil, err
+	}
+	tried := append([]SkippedCheckpoint(nil), skipped...)
+	for _, m := range mans {
+		payload, gerr := f.assemble(clock, m)
+		if gerr != nil {
+			tried = append(tried, SkippedCheckpoint{ID: m.ID(), Seq: m.Seq, Reason: gerr.Error()})
+			continue
+		}
+		if validate != nil {
+			if verr := validate(payload, m); verr != nil {
+				tried = append(tried, SkippedCheckpoint{ID: m.ID(), Seq: m.Seq, Reason: "validate: " + verr.Error()})
+				continue
+			}
+		}
+		var newer []SkippedCheckpoint
+		for _, t := range tried {
+			if t.Seq > m.Seq {
+				newer = append(newer, t)
+			}
+		}
+		sort.Slice(newer, func(i, j int) bool { return newer[i].Seq > newer[j].Seq })
+		if len(newer) == 0 {
+			return payload, m, nil, nil
+		}
+		return payload, m, &DegradedRestore{Requested: ref, Restored: m.ID(), Skipped: newer}, nil
+	}
+	sort.Slice(tried, func(i, j int) bool { return tried[i].Seq > tried[j].Seq })
+	deg := &DegradedRestore{Requested: ref, Skipped: tried}
+	return nil, Manifest{}, deg, deg
+}
+
+// Manifests lists every resolvable manifest across the fleet, ordered by
+// job then seq, plus one issue per manifest no alive node can decode.
+func (f *Fleet) Manifests() ([]Manifest, []ManifestIssue) {
+	type key struct {
+		Job string
+		Seq uint64
+	}
+	seen := map[key]bool{}
+	var keys []key
+	for _, name := range f.names {
+		n := f.nodes[name]
+		if !n.alive() {
+			continue
+		}
+		for _, mf := range n.st.listManifestFiles() {
+			k := key{mf.Job, mf.Seq}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Job != keys[j].Job {
+			return keys[i].Job < keys[j].Job
+		}
+		return keys[i].Seq < keys[j].Seq
+	})
+	var out []Manifest
+	var issues []ManifestIssue
+	for _, k := range keys {
+		m, err := f.readManifestFleet(k.Job, k.Seq)
+		if err != nil {
+			issues = append(issues, ManifestIssue{Job: k.Job, Seq: k.Seq, Err: err})
+			continue
+		}
+		out = append(out, m)
+	}
+	return out, issues
+}
+
+// Jobs lists the jobs with at least one checkpoint anywhere in the fleet.
+func (f *Fleet) Jobs() []string {
+	seen := map[string]bool{}
+	for _, name := range f.names {
+		n := f.nodes[name]
+		if !n.alive() {
+			continue
+		}
+		for _, j := range n.st.Jobs() {
+			seen[j] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for j := range seen {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalStoredBytes sums the physical occupancy of every node — shards,
+// parity, mirrored manifests, quarantine. This is the number the
+// durability-per-byte comparison against replication uses.
+func (f *Fleet) TotalStoredBytes() int64 {
+	var n int64
+	for _, name := range f.names {
+		n += f.nodes[name].st.TotalStoredBytes()
+	}
+	return n
+}
+
+// parseSeq parses the sequence half of a "job@seq" ref.
+func parseSeq(ref, seqStr string) (uint64, error) {
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: bad manifest ref %q: %w", ref, err)
+	}
+	return seq, nil
+}

@@ -20,13 +20,21 @@ import (
 	"checl/internal/vtime"
 )
 
-// HealStats counts the repairs a store has performed on itself since it
-// was opened (healing reads, Scrub passes, write-through repair).
+// HealStats is the shared per-store byte ledger every repair and copy
+// path reports through — healing reads, Scrub passes, write-through
+// repair, Replicate, and the fleet's shard reconstruction — so
+// fleet-wide reports aggregate one shape instead of per-feature fields.
 type HealStats struct {
 	ChunksHealed      int   // chunks re-fetched from a replica
 	BytesHealed       int64 // stored bytes of those chunks
-	ManifestsHealed   int   // manifest frames restored from a replica
+	ManifestsHealed   int   // manifest frames restored from a replica or peer node
 	WritebackFailures int   // healed reads whose primary re-write failed
+
+	ChunksCopied int   // chunks moved to another store (Replicate)
+	BytesCopied  int64 // stored bytes of those chunks
+
+	ShardsHealed     int   // erasure shards reconstructed onto their home nodes
+	ShardBytesHealed int64 // physical bytes of those shards
 }
 
 // Sub returns the difference h - prev (for per-pass deltas).
@@ -36,6 +44,24 @@ func (h HealStats) Sub(prev HealStats) HealStats {
 		BytesHealed:       h.BytesHealed - prev.BytesHealed,
 		ManifestsHealed:   h.ManifestsHealed - prev.ManifestsHealed,
 		WritebackFailures: h.WritebackFailures - prev.WritebackFailures,
+		ChunksCopied:      h.ChunksCopied - prev.ChunksCopied,
+		BytesCopied:       h.BytesCopied - prev.BytesCopied,
+		ShardsHealed:      h.ShardsHealed - prev.ShardsHealed,
+		ShardBytesHealed:  h.ShardBytesHealed - prev.ShardBytesHealed,
+	}
+}
+
+// Add returns the sum h + o (for fleet-wide aggregation across nodes).
+func (h HealStats) Add(o HealStats) HealStats {
+	return HealStats{
+		ChunksHealed:      h.ChunksHealed + o.ChunksHealed,
+		BytesHealed:       h.BytesHealed + o.BytesHealed,
+		ManifestsHealed:   h.ManifestsHealed + o.ManifestsHealed,
+		WritebackFailures: h.WritebackFailures + o.WritebackFailures,
+		ChunksCopied:      h.ChunksCopied + o.ChunksCopied,
+		BytesCopied:       h.BytesCopied + o.BytesCopied,
+		ShardsHealed:      h.ShardsHealed + o.ShardsHealed,
+		ShardBytesHealed:  h.ShardBytesHealed + o.ShardBytesHealed,
 	}
 }
 

@@ -7,11 +7,12 @@ import (
 	"checl/internal/vtime"
 )
 
-// ReplicateStats reports what one replication moved.
+// ReplicateStats reports what one replication moved. The byte counters
+// live in the embedded HealStats (ChunksCopied/BytesCopied), the shared
+// ledger fleet-wide reports aggregate.
 type ReplicateStats struct {
-	ChunksCopied  int
+	HealStats
 	ChunksSkipped int // already present at the destination
-	BytesCopied   int64
 	Time          vtime.Duration
 }
 

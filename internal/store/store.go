@@ -101,6 +101,9 @@ func New(fs *proc.FS, cfg Config) *Store {
 // FS exposes the backing filesystem (tooling, tests).
 func (s *Store) FS() *proc.FS { return s.fs }
 
+// Name identifies the store by its backing filesystem (Backend).
+func (s *Store) Name() string { return s.fs.Name() }
+
 func (s *Store) chunkPath(sum string) string {
 	return s.cfg.Prefix + "/chunks/" + sum
 }

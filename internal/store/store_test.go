@@ -305,7 +305,7 @@ func TestReplicate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	man, st, err := src.Replicate(clock, "job", dst, 125*hw.MBps)
+	man, st, err := src.Replicate(clock, "job", dst, hw.GigE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestReplicate(t *testing.T) {
 	}
 
 	// Re-replicating moves nothing.
-	_, st2, err := src.Replicate(clock, "job", dst, 125*hw.MBps)
+	_, st2, err := src.Replicate(clock, "job", dst, hw.GigE)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,8 @@
 # proxy-call microbenchmarks, the concurrent-checkpoint benchmarks, the
 # fleet-scheduler arms, and the partial-restart recovery sweep, then
 # distils the headline metrics into BENCH_pr3.json, BENCH_pr5.json,
-# BENCH_pr6.json, BENCH_pr7.json and BENCH_pr8.json at the repo root.
+# BENCH_pr6.json, BENCH_pr7.json, BENCH_pr8.json and BENCH_pr9.json at
+# the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -eu
@@ -15,11 +16,13 @@ out5=BENCH_pr5.json
 out6=BENCH_pr6.json
 out7=BENCH_pr7.json
 out8=BENCH_pr8.json
+out9=BENCH_pr9.json
 tmp=$(mktemp)
 tmp5=$(mktemp)
 tmp6=$(mktemp)
 tmp7=$(mktemp)
-trap 'rm -f "$tmp" "$tmp5" "$tmp6" "$tmp7"' EXIT
+tmp9=$(mktemp)
+trap 'rm -f "$tmp" "$tmp5" "$tmp6" "$tmp7" "$tmp9"' EXIT
 
 go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
     -benchtime "$benchtime" . >"$tmp"
@@ -32,6 +35,7 @@ go test -run '^$' \
     -benchtime 3x . >"$tmp5"
 go test -run '^$' -bench 'BenchmarkFleetBursty' -benchtime 3x . >"$tmp6"
 go test -run '^$' -bench 'BenchmarkPartialRestart' -benchtime 1x . >"$tmp7"
+go test -run '^$' -bench 'BenchmarkErasureFleet' -benchtime 1x . >"$tmp9"
 
 awk '
 function grab(line, unit,   i, n, f) {
@@ -273,3 +277,48 @@ END {
 
 echo "bench.sh: wrote $out8"
 cat "$out8"
+
+# BENCH_pr9.json: the erasure-coded checkpoint fleet acceptance — a
+# degraded read with m nodes down must stay close to the healthy read,
+# Rebuild must restore redundancy at useful throughput, cross-job dedup
+# must pay for itself, and the (k+m)/k physical overhead must beat PR 4's
+# full-replica baseline (fleet_overhead_beats_replica: fleet < 2x and
+# strictly below the replica arm on the same payload).
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkErasureFleet\/degraded-read/ {
+    healthy_ms = grab($0, "healthy-read-ms")
+    degraded_ms = grab($0, "degraded-read-ms")
+    slowdown = grab($0, "degraded-slowdown-x")
+}
+/^BenchmarkErasureFleet\/rebuild/ {
+    reb_mb = grab($0, "rebuilt-MB"); reb_ms = grab($0, "rebuild-ms")
+    reb_mbs = grab($0, "rebuild-MB/s")
+}
+/^BenchmarkErasureFleet\/cross-job-dedup/ {
+    dedup_jobs = grab($0, "jobs"); dedup_ratio = grab($0, "dedup-ratio-x")
+}
+/^BenchmarkErasureFleet\/overhead-vs-replica/ {
+    fleet_x = grab($0, "fleet-overhead-x"); replica_x = grab($0, "replica-overhead-x")
+}
+END {
+    printf "{\n"
+    printf "  \"degraded_read\": {\"healthy_ms\": %s, \"degraded_ms\": %s, \"slowdown\": %s},\n",
+           healthy_ms, degraded_ms, slowdown
+    printf "  \"rebuild\": {\"rebuilt_mb\": %s, \"rebuild_ms\": %s, \"mb_per_s\": %s},\n",
+           reb_mb, reb_ms, reb_mbs
+    printf "  \"cross_job_dedup\": {\"jobs\": %s, \"ratio\": %s},\n",
+           dedup_jobs, dedup_ratio
+    printf "  \"storage_overhead\": {\"fleet_x\": %s, \"replica_x\": %s},\n",
+           fleet_x, replica_x
+    printf "  \"fleet_overhead_beats_replica\": %s\n",
+           (fleet_x + 0 < 2 && fleet_x + 0 < replica_x + 0) ? "true" : "false"
+    printf "}\n"
+}' "$tmp9" >"$out9"
+
+echo "bench.sh: wrote $out9"
+cat "$out9"

@@ -65,4 +65,17 @@ go run ./cmd/checl-inspect mpi >/dev/null
 go test -run 'Ring|TransportParity' -count=3 -race \
     ./internal/ipc/ ./internal/proxy/ ./internal/core/
 go run ./cmd/checl-inspect -transport ring -scale 0.2 >/dev/null
+# Erasure-fleet gate: the sharded checkpoint fleet's node-loss surface —
+# the (node, fault-position) kill sweep, every-loss-pattern degraded
+# reads, rebuild/scrub/GC, the seeded node-fault soak, and the app/MPI
+# restores through the fleet with m nodes down — runs repeatedly under
+# the race detector (Scrub and the soak fan out goroutines per node).
+# The inspect smoke drives checkpoint -> degraded read -> node
+# replacement -> rebuild end to end under a seeded node fault plan.
+go test -run 'TestFleet|TestNodeKillPositionSweep|TestNodeFault' -count=2 -race \
+    ./internal/store/ ./internal/proc/
+go test -run 'TestFleetStoreAppsDegradedBitIdentical' -race ./internal/core/
+go test -run 'TestGlobalSnapshotThroughErasureFleet' -count=2 -race ./internal/mpi/
+go test -run 'TestFleetErasureStoreSoak' -race ./internal/fleet/
+go run ./cmd/checl-inspect -node-faults 11 store fleet >/dev/null
 echo "check.sh: all green"
