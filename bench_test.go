@@ -968,6 +968,120 @@ func BenchmarkIncrementalCopiedBytes(b *testing.B) {
 	}
 }
 
+// ---- speculative stop-free checkpointing (DESIGN.md §15) ----
+
+// benchSpecSweep takes one store checkpoint of a 32-buffer working set
+// with a violation fraction frac: after the epoch begins (speculative
+// arm), frac of the buffers are rewritten — violating their in-flight
+// copies — while blocking readbacks of the last buffer stand in for the
+// application's continued execution, the time the speculative drain
+// hides behind. The stop-drain arm performs the identical work before a
+// conventional checkpoint.
+func benchSpecSweep(b *testing.B, speculative bool, frac float64) core.CheckpointStats {
+	b.Helper()
+	const bufs, size = 32, int64(1 << 20)
+	opts := core.Options{Mode: core.Delayed, Incremental: true, DrainWorkers: 8, OverlapStoreWrite: true}
+	opts.SpeculativeDrain = speculative
+	node, c, q, mems := benchBufferSet(b, opts, bufs, size)
+	defer c.Detach()
+	st := store.New(proc.NewFS("spec-disk", hw.TableISpec().LocalDisk), store.Config{})
+	_ = node
+
+	if speculative {
+		if err := c.BeginCheckpointEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	junk := make([]byte, size)
+	for i := 0; i < int(float64(bufs)*frac+0.5); i++ {
+		if _, err := c.EnqueueWriteBuffer(q, mems[i], true, 0, junk, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ { // app progress: blocking readbacks
+		if _, _, err := c.EnqueueReadBuffer(q, mems[bufs-1], true, 0, size, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stats, err := c.CheckpointToStore(st, "sweep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.WaitBackgroundWrite(); err != nil {
+		b.Fatal(err)
+	}
+	return stats
+}
+
+// BenchmarkSpeculativeStall is the PR's acceptance experiment: the
+// application-visible checkpoint stall of the stop-drain path vs the
+// speculative epoch, on the Fig. 4 applications (re-running the app
+// mid-epoch as the overlapped workload) and on a write-hot synthetic
+// sweep over the violation fraction. At low violation the speculative
+// stall must be an order of magnitude below stop-drain; at 100%
+// violation every copy is retaken, and it must never be worse.
+func BenchmarkSpeculativeStall(b *testing.B) {
+	for _, appName := range []string{"oclVectorAdd", "oclMatrixMul", "oclDCT8x8"} {
+		for _, spec := range []bool{false, true} {
+			appName, spec := appName, spec
+			mode := "stop-drain"
+			if spec {
+				mode = "speculative"
+			}
+			b.Run(fmt.Sprintf("app=%s/mode=%s", appName, mode), func(b *testing.B) {
+				var stats core.CheckpointStats
+				for i := 0; i < b.N; i++ {
+					opts := core.Options{Mode: core.Delayed, Incremental: true, DrainWorkers: 8, OverlapStoreWrite: true, SpeculativeDrain: spec}
+					node, c, app := benchCheCLApp(b, appName, opts)
+					st := store.New(proc.NewFS("spec-disk", hw.TableISpec().LocalDisk), store.Config{})
+					_ = node
+					if spec {
+						if err := c.BeginCheckpointEpoch(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// The application keeps computing while the epoch drains.
+					env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: benchScale}
+					if _, err := app.Run(env); err != nil {
+						b.Fatal(err)
+					}
+					var err error
+					stats, err = c.CheckpointToStore(st, appName)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.WaitBackgroundWrite(); err != nil {
+						b.Fatal(err)
+					}
+					c.Detach()
+				}
+				b.ReportMetric(stats.StallTime.Seconds()*1e6, "stall-us")
+				b.ReportMetric(stats.Overlap.Seconds()*1e6, "overlap-us")
+				b.ReportMetric(float64(stats.ViolatedBuffers), "violated")
+			})
+		}
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		for _, spec := range []bool{false, true} {
+			frac, spec := frac, spec
+			mode := "stop-drain"
+			if spec {
+				mode = "speculative"
+			}
+			b.Run(fmt.Sprintf("sweep/f=%.2f/mode=%s", frac, mode), func(b *testing.B) {
+				var stats core.CheckpointStats
+				for i := 0; i < b.N; i++ {
+					stats = benchSpecSweep(b, spec, frac)
+				}
+				b.ReportMetric(stats.StallTime.Seconds()*1e6, "stall-us")
+				b.ReportMetric(stats.Phases.Preprocess.Seconds()*1e6, "drain-us")
+				b.ReportMetric(stats.Overlap.Seconds()*1e6, "overlap-us")
+				b.ReportMetric(float64(stats.RecopiedBytes)/1e6, "recopied-MB")
+			})
+		}
+	}
+}
+
 // BenchmarkStorePutPipeline contrasts the serial store Put (each chunk
 // compresses, then writes, in turn) with the pipelined Put that overlaps
 // compression of later chunks with the write of earlier ones. The store

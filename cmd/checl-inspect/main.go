@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"checl/internal/apps"
 	"checl/internal/core"
@@ -60,6 +61,8 @@ func main() {
 	nodeFaults := flag.Int("node-faults", 0, "store fleet: inject a node fault (crash/slow/rot/torn write) every N shard operations (0 disables)")
 	incremental := flag.Bool("incremental", false,
 		"attach with incremental checkpointing (parallel drain) and show the per-generation dirty/clean split")
+	speculative := flag.Bool("speculative", false,
+		"open a speculative (stop-free) checkpoint epoch before each checkpoint and show the per-generation STALL split")
 	fleetJobs := flag.Int("fleet-jobs", 400, "fleet: number of jobs in the bursty workload")
 	fleetSeed := flag.Int64("fleet-seed", 42, "fleet: traffic seed")
 	fleetGPUs := flag.Int("fleet-gpus", 4, "fleet: GPU nodes in the inventory")
@@ -117,6 +120,12 @@ func main() {
 		opts.Incremental = true
 		opts.DrainWorkers = 8
 	}
+	if *speculative {
+		opts.SpeculativeDrain = true
+		if opts.DrainWorkers == 0 {
+			opts.DrainWorkers = 8
+		}
+	}
 	var inj *ipc.FaultInjector
 	if *faults > 0 {
 		// Seeded kill-every-N mix: connection kills at every frame position
@@ -159,6 +168,13 @@ func main() {
 		fmt.Printf("  failovers:     %d proxy respawns, %d calls replayed to rebind\n", fs.Failovers, fs.ReplayedCalls)
 		fmt.Printf("  recovery:      last %s, total %s\n\n", fs.LastRecovery, fs.TotalRecovery)
 	}
+	if *speculative {
+		// The epoch would normally open at a checkpoint signal; the
+		// inspector opens it explicitly so the drain below is overlapped.
+		if err := c.BeginCheckpointEpoch(); err != nil {
+			fatal(err)
+		}
+	}
 	st, err := c.Checkpoint(node.LocalDisk, app.Name+".ckpt")
 	if err != nil {
 		fatal(err)
@@ -177,6 +193,11 @@ func main() {
 		// A second generation of the idle application: every buffer is
 		// clean, so the drain copies nothing and the store/file payload is
 		// all parent reuse.
+		if *speculative {
+			if err := c.BeginCheckpointEpoch(); err != nil {
+				fatal(err)
+			}
+		}
 		st2, err := c.Checkpoint(node.LocalDisk, app.Name+".ckpt")
 		if err != nil {
 			fatal(err)
@@ -185,6 +206,17 @@ func main() {
 		printDrain(st2)
 		fmt.Printf("  phases:        sync %s | preprocess %s | write %s | postprocess %s\n",
 			st2.Phases.Sync, st2.Phases.Preprocess, st2.Phases.Write, st2.Phases.Postprocess)
+		labels := c.Stall().ByLabel()
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  stall split:  ")
+		for _, k := range keys {
+			fmt.Printf(" %s=%s", k, labels[k])
+		}
+		fmt.Printf(" (total %s over %d events)\n", c.Stall().Total(), c.Stall().Events())
 	}
 
 	img, err := cpr.ReadImage(vtime.NewClock(), node.LocalDisk, st.Path)
@@ -317,6 +349,16 @@ func printDrain(st core.CheckpointStats) {
 		st.DirtyBuffers, float64(st.DirtyBytes)/1e6,
 		st.CleanBuffers, float64(st.CleanBytes)/1e6,
 		st.SkippedReleased, st.DrainWorkers)
+	if st.Speculative {
+		fmt.Printf("  STALL:         %s app-visible | speculated %d (%.3f MB), violated %d, recopied %.3f MB, overlap %s\n",
+			st.StallTime, st.SpeculatedBuffers, float64(st.SpeculatedBytes)/1e6,
+			st.ViolatedBuffers, float64(st.RecopiedBytes)/1e6, st.Overlap)
+	} else {
+		fmt.Printf("  STALL:         %s app-visible (stop-drain)\n", st.StallTime)
+	}
+	if st.EpochAborted != "" {
+		fmt.Printf("  epoch aborted: %s\n", st.EpochAborted)
+	}
 }
 
 func storeLs(st *store.Store) {

@@ -65,6 +65,24 @@ type CheckpointStats struct {
 	BackgroundWrite bool
 	Overlap         vtime.Duration
 	BackgroundErr   *BackgroundWriteError
+
+	// Speculative (stop-free) checkpointing (Options.SpeculativeDrain):
+	// Speculative marks a checkpoint that committed an epoch.
+	// SpeculatedBuffers/SpeculatedBytes count the overlapped copies;
+	// ViolatedBuffers those whose write-set was touched after their copy
+	// began; RecopiedBytes the re-drained residue (retry ladder plus
+	// fallback). StallTime is the application-visible stall of the whole
+	// checkpoint — phase total plus epoch submission — while Overlap
+	// accumulates the drain (and store-write) time hidden behind
+	// application progress. EpochAborted names the fault that killed an
+	// epoch before this checkpoint, which then stop-drained instead.
+	Speculative       bool
+	SpeculatedBuffers int
+	SpeculatedBytes   int64
+	ViolatedBuffers   int
+	RecopiedBytes     int64
+	StallTime         vtime.Duration
+	EpochAborted      string
 }
 
 // BackgroundWriteError is the typed failure of an overlapped store write,
@@ -201,6 +219,7 @@ func (c *CheCL) WaitBackgroundWrite() error {
 	// AdvanceTo is monotone: if the application already ran past the
 	// write's end, the whole write was hidden and nothing is charged.
 	clock.AdvanceTo(bg.startedAt.Add(bg.dur))
+	c.stall.Add("write-barrier", bg.dur-hidden)
 	if bg.err != nil {
 		return &BackgroundWriteError{Job: bg.job, Err: bg.err}
 	}
@@ -219,6 +238,14 @@ func (c *CheCL) WaitBackgroundWrite() error {
 // previous generation's, so a store writer can reuse parent chunk refs.
 func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string]bool) (int64, error)) error {
 	clock := c.app.Clock()
+
+	// A speculative epoch that died before this checkpoint (proxy
+	// failover, failed begin) is reported here; the checkpoint below
+	// stop-drains as usual.
+	if c.epochAborted != "" {
+		stats.EpochAborted = c.epochAborted
+		c.epochAborted = ""
+	}
 
 	// Phase 1: synchronisation. Deferred batched commands must reach the
 	// proxy before the queues drain, and any deferred error fails the
@@ -244,6 +271,19 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 		}
 	}
 	stats.Phases.Sync = sw.Reset()
+	c.stall.Add("ckpt-sync", stats.Phases.Sync)
+
+	// Commit an open speculative epoch now that the queues are quiesced:
+	// the overlapped drain is barriered, violated copies are re-drained,
+	// and the surviving entries are adopted by the partition below in
+	// place of a stop-drain. commitEpoch charges its own stall labels
+	// (spec-wait, spec-commit); epochSW carves them out of ckpt-drain.
+	epochSW := vtime.NewStopwatch(clock)
+	spec, err := c.commitEpoch(stats)
+	if err != nil {
+		return fmt.Errorf("checl: checkpoint preprocess: %w", err)
+	}
+	specCharged := epochSW.Elapsed()
 
 	// Phase 2: preprocessing. Copy user data from device memory to host
 	// memory. In incremental mode only buffers possibly modified since
@@ -266,6 +306,20 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 			stats.SkippedReleased++
 			continue
 		}
+		if ent, ok := spec[m.H]; ok {
+			// Adopted speculative copy: the epoch already produced (and
+			// validated) this buffer's bytes, so the stop-drain below
+			// skips it. The bytes are new relative to the parent
+			// generation — the buffer is NOT reported clean to the
+			// phase-3 writer.
+			m.Data = ent.data
+			m.Dirty = false
+			stats.StagedBuffers++
+			stats.StagedBytes += m.Size
+			stats.DirtyBuffers++
+			stats.DirtyBytes += m.Size
+			continue
+		}
 		if c.opts.Incremental && !m.Dirty && !m.UseHostPtr && m.Data != nil {
 			clean[memRegion(m.H)] = true
 			stats.CleanBuffers++
@@ -286,6 +340,9 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 		dirty = append(dirty, m)
 	}
 	stats.DrainWorkers = 1
+	if stats.Speculative && c.opts.DrainWorkers > 1 {
+		stats.DrainWorkers = c.opts.DrainWorkers
+	}
 	if c.opts.DrainWorkers > 1 && len(dirty) > 1 {
 		stats.DrainWorkers = c.opts.DrainWorkers
 		if err := c.drainParallel(dirty, c.opts.DrainWorkers); err != nil {
@@ -314,6 +371,7 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 		stats.DirtyBytes += m.Size
 	}
 	stats.Phases.Preprocess = sw.Reset()
+	c.stall.Add("ckpt-drain", stats.Phases.Preprocess-specCharged)
 
 	// Destructive (CheCUDA-style) ablation: tear down every OpenCL object
 	// and the proxy before the dump.
@@ -345,6 +403,7 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 		return fmt.Errorf("checl: checkpoint write: %w", err)
 	}
 	stats.Phases.Write = sw.Reset()
+	c.stall.Add("ckpt-write", stats.Phases.Write)
 	stats.FileSize = bytes
 
 	// Phase 4: postprocessing. Drop the staged copies to reclaim host
@@ -379,6 +438,12 @@ func (c *CheCL) runCheckpoint(stats *CheckpointStats, dump func(clean map[string
 		}
 	}
 	stats.Phases.Postprocess = sw.Reset()
+	c.stall.Add("ckpt-post", stats.Phases.Postprocess)
+	// StallTime = what the application actually waited: the four phases
+	// plus (for a speculative checkpoint) the epoch submission cost,
+	// seeded into StallTime by commitEpoch. The hidden drain is in
+	// Overlap, not here.
+	stats.StallTime += stats.Phases.Total()
 	c.lastCkpt = stats
 	return nil
 }

@@ -101,6 +101,18 @@ type Options struct {
 	// buffer. Only effective with Mode == Delayed and a non-destructive
 	// store checkpoint.
 	OverlapStoreWrite bool
+	// SpeculativeDrain overlaps the checkpoint preprocess with continued
+	// execution (stop-free checkpointing): a checkpoint signal opens an
+	// epoch that starts copying the dirty set on the DrainWorkers streams
+	// without quiescing the queues; kernels launched during the epoch run
+	// normally and their clc write-sets validate the in-flight copies.
+	// At commit (the delayed checkpoint's sync point) violated buffers
+	// are re-copied — bounded retries, then a short stop-drain for the
+	// residue — so the image stays bit-identical to a stop-drain's.
+	// Most effective with Mode == Delayed; a fault mid-epoch aborts the
+	// epoch deterministically and the checkpoint falls back to the
+	// ordinary stop-drain.
+	SpeculativeDrain bool
 }
 
 // CheCL is one attached instance of the tool: it implements ocl.API for
@@ -121,6 +133,20 @@ type CheCL struct {
 	// (Options.BatchEnqueues).
 	batch      []*pendingCmd
 	batchBytes int64
+
+	// Speculative checkpoint epoch (Options.SpeculativeDrain): the
+	// in-flight overlapped drain, its sequence counter, the reason the
+	// last epoch aborted (surfaced on the next checkpoint's stats), and
+	// the cumulative checkpoint-stall accounting.
+	epoch        *specEpoch
+	epochSeq     uint64
+	epochAborted string
+	stall        vtime.StallTracker
+
+	// specReviolate is a test seam: after retry-ladder pass n the
+	// returned handles are re-flagged violated, modelling a producer that
+	// keeps touching buffers between validation passes.
+	specReviolate func(pass int) []Handle
 }
 
 var _ ocl.API = (*CheCL)(nil)
@@ -215,6 +241,15 @@ func (c *CheCL) enterCall() {
 		}
 		if sig == proc.SIGUSR1 {
 			c.pending = true
+		}
+	}
+	if c.pending && c.opts.Mode == Delayed && c.opts.SpeculativeDrain && c.epoch == nil {
+		// Stop-free checkpointing: the epoch opens at signal receipt and
+		// the overlapped drain runs while the application keeps going
+		// until the delayed checkpoint fires at the next sync point. A
+		// failed begin is not fatal — the checkpoint stop-drains instead.
+		if err := c.BeginCheckpointEpoch(); err != nil {
+			c.epochAborted = fmt.Sprintf("epoch begin: %v", err)
 		}
 	}
 	if c.pending && c.opts.Mode == Immediate {
@@ -589,6 +624,9 @@ func (c *CheCL) ReleaseMemObject(h ocl.Mem) error {
 	}
 	rec.Refs--
 	if rec.Refs <= 0 {
+		// An in-flight speculative copy of a released buffer must never
+		// commit: the record either dies or becomes a dead placeholder.
+		c.epochDrop(rec.H)
 		if c.memReferenced(rec.H) {
 			// A live kernel still binds this buffer: the record must stay
 			// so clSetKernelArg replay works after a restore. It becomes a
@@ -1101,6 +1139,7 @@ func (c *CheCL) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool,
 			return 0, err
 		}
 		mrec.Dirty = true
+		c.epochTouch(mrec)
 		c.shadowWrite(mrec, offset, data)
 		ev := c.pendingEvent(qrec.H, "write")
 		if err := c.deferCmd(&pendingCmd{
@@ -1133,6 +1172,7 @@ func (c *CheCL) EnqueueWriteBuffer(q ocl.CommandQueue, m ocl.Mem, blocking bool,
 		return 0, err
 	}
 	mrec.Dirty = true
+	c.epochTouch(mrec)
 	c.shadowWrite(mrec, offset, data)
 	ev := c.wrapEvent(qrec.H, "write", real)
 	if blocking {
@@ -1274,6 +1314,7 @@ func (c *CheCL) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, 
 			return 0, err
 		}
 		drec.Dirty = true
+		c.epochTouch(drec)
 		c.shadowCopy(srec, drec, srcOff, dstOff, size)
 		ev := c.pendingEvent(qrec.H, "copy")
 		if err := c.deferCmd(&pendingCmd{
@@ -1298,6 +1339,7 @@ func (c *CheCL) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, 
 		return 0, err
 	}
 	drec.Dirty = true
+	c.epochTouch(drec)
 	c.shadowCopy(srec, drec, srcOff, dstOff, size)
 	return c.wrapEvent(qrec.H, "copy", real), nil
 }
@@ -1360,6 +1402,7 @@ func (c *CheCL) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int,
 			}
 			for _, mrec := range written {
 				mrec.Dirty = true
+				c.epochTouch(mrec)
 			}
 			return ocl.Event(ev.H), nil
 		}
@@ -1418,10 +1461,12 @@ func (c *CheCL) EnqueueNDRangeKernel(q ocl.CommandQueue, k ocl.Kernel, dims int,
 	// change without any OpenCL call — so it can never be assumed clean.
 	for _, mrec := range written {
 		mrec.Dirty = true
+		c.epochTouch(mrec)
 	}
 	for _, mrec := range boundMems {
 		if mrec.UseHostPtr {
 			mrec.Dirty = true
+			c.epochTouch(mrec)
 		}
 	}
 	return c.wrapEvent(qrec.H, "ndrange:"+krec.Name, real), nil

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"checl/internal/hw"
+	"checl/internal/ocl"
+	"checl/internal/proxy"
+	"checl/internal/vtime"
+)
+
+// EpochState is the phase of the speculative checkpoint epoch state
+// machine: Idle → Speculating → Validating → Committing → Idle. The
+// transitions are driven by BeginCheckpointEpoch (Idle → Speculating) and
+// the checkpoint commit inside runCheckpoint (Speculating → Validating →
+// Committing → Idle); abortEpoch collapses any state back to Idle.
+type EpochState int
+
+// Epoch states.
+const (
+	EpochIdle EpochState = iota
+	EpochSpeculating
+	EpochValidating
+	EpochCommitting
+)
+
+// String names the state for diagnostics.
+func (s EpochState) String() string {
+	switch s {
+	case EpochIdle:
+		return "Idle"
+	case EpochSpeculating:
+		return "Speculating"
+	case EpochValidating:
+		return "Validating"
+	case EpochCommitting:
+		return "Committing"
+	default:
+		return fmt.Sprintf("EpochState(%d)", int(s))
+	}
+}
+
+// maxSpecRetries bounds the commit-time re-copy ladder: a violated buffer
+// is re-drained at most this many validated passes before the residue is
+// taken by an unconditional final pass. The queues are quiesced by the
+// time the ladder runs, so the final pass cannot itself be violated —
+// the ladder terminates by construction, never by luck.
+const maxSpecRetries = 3
+
+// specEntry is one buffer's in-flight speculative copy.
+type specEntry struct {
+	m        *memRec
+	data     []byte // bytes captured by the overlapped drain
+	violated bool   // a write-set touched the buffer after the copy began
+}
+
+// specEpoch is one speculative checkpoint epoch (§III-C overlapped with
+// continued execution): the set of buffers being copied while the
+// application keeps enqueuing, plus the modelled completion horizon of
+// those copies.
+type specEpoch struct {
+	id      uint64
+	state   EpochState
+	began   vtime.Time     // application clock at epoch begin
+	copyEnd vtime.Time     // modelled completion of the overlapped drain
+	copyDur vtime.Duration // total modelled drain duration
+	submit  vtime.Duration // app-visible cost of launching the epoch
+	entries map[Handle]*specEntry
+}
+
+// EpochState reports the state of the speculative checkpoint epoch.
+func (c *CheCL) EpochState() EpochState {
+	if c.epoch == nil {
+		return EpochIdle
+	}
+	return c.epoch.state
+}
+
+// Stall exposes the cumulative checkpoint-induced stall accounting:
+// labelled virtual time the application spent parked on checkpoint work
+// (sync, drain, write, postprocess) rather than its own progress. With
+// SpeculativeDrain most of the former drain stall moves into the hidden
+// overlap and only the residue appears here.
+func (c *CheCL) Stall() *vtime.StallTracker { return &c.stall }
+
+// BeginCheckpointEpoch opens a speculative checkpoint epoch: the current
+// dirty set starts draining to the host on the DrainWorkers streams
+// *without* quiescing the command queues, and the application keeps
+// running. Kernel launches during the epoch intersect their clc write-set
+// with the in-flight speculation set; touched buffers are re-copied at
+// commit. The epoch commits inside the next Checkpoint/CheckpointToStore
+// call. No-op unless Options.SpeculativeDrain is set or when an epoch is
+// already open.
+func (c *CheCL) BeginCheckpointEpoch() error {
+	if !c.opts.SpeculativeDrain || c.epoch != nil {
+		return nil
+	}
+	clock := c.app.Clock()
+	sw := vtime.NewStopwatch(clock)
+
+	// The speculative copy is a consistent cut of the device state at
+	// epoch begin: deferred batched commands and posted transport
+	// submissions must land first, so everything enqueued *before* this
+	// point is captured and everything after is caught by validation.
+	if err := c.flushBatch(); err != nil {
+		return fmt.Errorf("checl: epoch begin: %w", err)
+	}
+	if err := c.forward("SettlePosted", func(api *proxy.Client) error {
+		return api.SettlePosted()
+	}); err != nil {
+		return fmt.Errorf("checl: epoch begin: %w", err)
+	}
+
+	ep := &specEpoch{
+		id:      c.epochSeq + 1,
+		state:   EpochSpeculating,
+		began:   clock.Now(),
+		entries: map[Handle]*specEntry{},
+	}
+
+	// Candidate set: exactly the buffers the commit would have to drain.
+	// CL_MEM_USE_HOST_PTR buffers are excluded — the application writes
+	// through the aliased host region without any API call CheCL could
+	// validate against. Clean incremental buffers keep their previous
+	// staged copy; queue-less contexts are zero-filled at commit.
+	byCtx := map[Handle][]*memRec{}
+	var ctxOrder []Handle
+	for _, m := range c.db.orderedMems() {
+		if m.Released || m.UseHostPtr {
+			continue
+		}
+		if c.opts.Incremental && !m.Dirty && m.Data != nil {
+			continue
+		}
+		if c.anyQueueFor(m.Ctx) == nil {
+			continue
+		}
+		if _, ok := byCtx[m.Ctx]; !ok {
+			ctxOrder = append(ctxOrder, m.Ctx)
+		}
+		byCtx[m.Ctx] = append(byCtx[m.Ctx], m)
+	}
+
+	workers := c.opts.DrainWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	ep.copyEnd = ep.began
+	for _, ctxH := range ctxOrder {
+		if err := c.speculateCtx(ep, ctxH, byCtx[ctxH], workers); err != nil {
+			return fmt.Errorf("checl: epoch begin: %w", err)
+		}
+	}
+	c.epochSeq++
+	ep.submit = sw.Elapsed()
+	c.epoch = ep
+	c.stall.Add("spec-begin", ep.submit)
+	return nil
+}
+
+// speculateCtx issues the overlapped drain of one context's candidate
+// buffers: the same LPT stream assignment as the stop-drain, but the
+// batch carries no BatchFinish and its frame cost is deferred — only the
+// submission round trip is charged now; the copy chains' completion
+// horizon is modelled into ep.copyEnd and charged (minus whatever the
+// application hid) at commit.
+func (c *CheCL) speculateCtx(ep *specEpoch, ctxH Handle, items []*memRec, workers int) error {
+	ctx, err := c.db.context(ctxH)
+	if err != nil {
+		return err
+	}
+	if len(ctx.Devices) == 0 {
+		return ocl.Errf("CheCL", ocl.InvalidContext, "context %#x has no devices", uint64(ctxH))
+	}
+	dev, err := c.db.device(ctx.Devices[0])
+	if err != nil {
+		return err
+	}
+	w := workers
+	if w > len(items) {
+		w = len(items)
+	}
+
+	// LPT greedy, like the stop-drain: biggest buffers first onto the
+	// least-loaded stream.
+	order := make([]*memRec, len(items))
+	copy(order, items)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Size != order[j].Size {
+			return order[i].Size > order[j].Size
+		}
+		return order[i].Seq < order[j].Seq
+	})
+	assign := make([]int, len(order))
+	load := make([]int64, w)
+	for i := range order {
+		best := 0
+		for q := 1; q < w; q++ {
+			if load[q] < load[best] {
+				best = q
+			}
+		}
+		assign[i] = best
+		load[best] += order[i].Size
+	}
+
+	clock := c.app.Clock()
+	return c.forward("speculative drain", func(api *proxy.Client) error {
+		queues := make([]ocl.CommandQueue, w)
+		for i := range queues {
+			q, err := api.CreateCommandQueue(ctx.real, dev.real, 0)
+			if err != nil {
+				return err
+			}
+			queues[i] = q
+		}
+		defer func() {
+			for _, q := range queues {
+				api.ReleaseCommandQueue(q) //nolint:errcheck // best-effort teardown
+			}
+		}()
+		cmds := make([]proxy.BatchCmd, 0, len(order))
+		for i, m := range order {
+			cmds = append(cmds, proxy.BatchCmd{
+				Op:    proxy.BatchRead,
+				Queue: queues[assign[i]],
+				Mem:   m.real,
+				Size:  m.Size,
+			})
+		}
+		resp, raw, frame, err := api.EnqueueBatchOverlapped(cmds, nil, ep.id)
+		if err != nil {
+			return err
+		}
+		if resp.ErrIdx >= 0 {
+			return ocl.Errf(resp.ErrOp, ocl.Status(resp.ErrStatus), "%s", resp.ErrDetail)
+		}
+		// Completion horizon of this context's drain: the longest
+		// per-stream DtoH chain overlapped on the DMA engines, plus the
+		// deferred response frame.
+		bw := c.app.Node().Spec.Inter.PCIeDtoH
+		if dev.Info.Type == hw.DeviceCPU {
+			bw = c.app.Node().Spec.Inter.Memcpy
+		}
+		end := clock.Now().Add(hw.DrainMakespan(bw, load) + frame)
+		if end.Sub(ep.copyEnd) > 0 {
+			ep.copyEnd = end
+		}
+		// The captured bytes are the buffer state at epoch begin (the
+		// runtime applies effects eagerly; only the *cost* is deferred).
+		// They live in fresh slices — m.Data stays untouched until the
+		// entry is adopted at commit, so an abort loses nothing.
+		off := int64(0)
+		for i, m := range order {
+			n := resp.ReadLens[i]
+			ep.entries[m.H] = &specEntry{m: m, data: append([]byte(nil), raw[off:off+n]...)}
+			off += n
+		}
+		return nil
+	})
+}
+
+// epochTouch marks a buffer's in-flight speculative copy violated: a
+// command that (per its clc write-set, or conservatively) may write the
+// buffer ran after the copy began. Called from every site that sets
+// m.Dirty. Cheap no-op outside an epoch.
+func (c *CheCL) epochTouch(m *memRec) {
+	ep := c.epoch
+	if ep == nil || ep.state != EpochSpeculating {
+		return
+	}
+	if ent, ok := ep.entries[m.H]; ok {
+		ent.violated = true
+	}
+}
+
+// epochDrop removes a buffer from the speculation set (release during the
+// epoch): its copy will never be committed.
+func (c *CheCL) epochDrop(h Handle) {
+	if c.epoch != nil {
+		delete(c.epoch.entries, h)
+	}
+}
+
+// abortEpoch deterministically tears down an in-flight epoch: the
+// speculative copies are dropped and the next checkpoint falls back to
+// the ordinary stop-drain. Buffers keep their Dirty flags, so no state is
+// lost — only the overlap. The reason surfaces as EpochAborted on the
+// next checkpoint's stats.
+func (c *CheCL) abortEpoch(why string) {
+	if c.epoch == nil {
+		return
+	}
+	c.epoch = nil
+	c.epochAborted = why
+}
+
+// commitEpoch closes the epoch inside a checkpoint: it charges the
+// non-hidden remainder of the overlapped drain, validates the speculation
+// set, re-copies violated buffers through the bounded retry ladder, and
+// returns the adopted entries keyed by handle. The caller (runCheckpoint)
+// runs after the phase-1 quiesce, so re-copies read settled device state.
+// Returns nil outside an epoch.
+func (c *CheCL) commitEpoch(stats *CheckpointStats) (map[Handle]*specEntry, error) {
+	ep := c.epoch
+	if ep == nil {
+		return nil, nil
+	}
+	c.epoch = nil
+	clock := c.app.Clock()
+	sw := vtime.NewStopwatch(clock)
+	stats.Speculative = true
+	stats.StallTime = ep.submit
+
+	// Barrier on the overlapped drain: the same hidden/charge pattern as
+	// WaitBackgroundWrite. If the application ran past the copies'
+	// completion horizon the whole drain was hidden and nothing is
+	// charged.
+	ep.state = EpochValidating
+	if d := ep.copyEnd.Sub(ep.began); d > 0 {
+		ep.copyDur = d
+	}
+	var residual vtime.Duration
+	if r := ep.copyEnd.Sub(clock.Now()); r > 0 {
+		residual = r
+	}
+	clock.AdvanceTo(ep.copyEnd)
+	c.stall.Add("spec-wait", residual)
+	stats.Overlap += ep.copyDur - residual
+
+	// Validation: deterministic (Seq) order, stale entries flagged by the
+	// launch-path write-set hooks.
+	entries := make([]*specEntry, 0, len(ep.entries))
+	for _, ent := range ep.entries {
+		entries = append(entries, ent)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].m.Seq < entries[j].m.Seq })
+	var violated []*specEntry
+	for _, ent := range entries {
+		stats.SpeculatedBuffers++
+		stats.SpeculatedBytes += ent.m.Size
+		if ent.violated {
+			violated = append(violated, ent)
+		}
+	}
+	stats.ViolatedBuffers = len(violated)
+
+	// Commit: re-copy the violated residue. Each pass re-drains every
+	// currently-violated buffer; a pass can in principle be invalidated
+	// again (the specReviolate seam models a concurrent producer), so
+	// after maxSpecRetries passes the ladder ends with the pass it just
+	// ran — the queues are quiesced, making that pass a short stop-drain
+	// that is final by construction. Never unbounded.
+	ep.state = EpochCommitting
+	for pass := 1; len(violated) > 0; pass++ {
+		for _, ent := range violated {
+			ent.violated = false
+		}
+		if err := c.specRecopy(violated); err != nil {
+			return nil, err
+		}
+		for _, ent := range violated {
+			stats.RecopiedBytes += ent.m.Size
+			ent.data = ent.m.Data
+		}
+		if pass >= maxSpecRetries {
+			break
+		}
+		if c.specReviolate != nil {
+			for _, h := range c.specReviolate(pass) {
+				if ent, ok := ep.entries[h]; ok {
+					ent.violated = true
+				}
+			}
+		}
+		violated = violated[:0]
+		for _, ent := range entries {
+			if ent.violated {
+				violated = append(violated, ent)
+			}
+		}
+	}
+	ep.state = EpochIdle
+	c.stall.Add("spec-commit", sw.Elapsed())
+	return ep.entries, nil
+}
+
+// specRecopy re-drains violated buffers through the ordinary blocking
+// machinery (the queues are already quiesced — this is the "short
+// stop-drain" of the fallback ladder).
+func (c *CheCL) specRecopy(ents []*specEntry) error {
+	mems := make([]*memRec, 0, len(ents))
+	for _, ent := range ents {
+		if c.anyQueueFor(ent.m.Ctx) == nil {
+			// The last queue of the context went away mid-epoch: stage
+			// zeros, exactly as the stop-drain partition would.
+			ent.m.Data = make([]byte, ent.m.Size)
+			continue
+		}
+		mems = append(mems, ent.m)
+	}
+	if len(mems) == 0 {
+		return nil
+	}
+	if c.opts.DrainWorkers > 1 && len(mems) > 1 {
+		return c.drainParallel(mems, c.opts.DrainWorkers)
+	}
+	for _, m := range mems {
+		qrec := c.anyQueueFor(m.Ctx)
+		mrec := m
+		var data []byte
+		if err := c.forward("clEnqueueReadBuffer", func(api *proxy.Client) error {
+			var e error
+			data, _, e = api.EnqueueReadBufferInto(qrec.real, mrec.real, true, 0, mrec.Size, nil, mrec.Data)
+			return e
+		}); err != nil {
+			return err
+		}
+		m.Data = data
+	}
+	return nil
+}

@@ -119,6 +119,10 @@ func (c *CheCL) forward(op string, fn func(api *proxy.Client) error) error {
 func (c *CheCL) failover() error {
 	c.inFailover = true
 	defer func() { c.inFailover = false }()
+	// A proxy death invalidates an in-flight speculative epoch: the
+	// copies the old proxy was producing are gone. Deterministic abort —
+	// the next checkpoint stop-drains and reports EpochAborted.
+	c.abortEpoch("proxy failover")
 	if c.opts.Fault != nil {
 		// Recovery must not be re-faulted into a livelock; real faults
 		// resume once the rebind is done.

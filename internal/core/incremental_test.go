@@ -289,7 +289,7 @@ func TestReleasedBufferSkippedInCheckpoint(t *testing.T) {
 // only dirty data) and the checkpoint disk injects seeded faults healed
 // by a clean replica; the full-reference mode writes one clean full
 // checkpoint of the same final state.
-func runIncrementalRestoreDigest(t *testing.T, a apps.App, scale float64, inj *ipc.FaultInjector, incremental bool) map[Handle]string {
+func runIncrementalRestoreDigest(t *testing.T, a apps.App, scale float64, inj *ipc.FaultInjector, incremental, speculative bool) map[Handle]string {
 	t.Helper()
 	node := newNodeNV("pc0")
 	appProc := node.Spawn(a.Name)
@@ -297,6 +297,9 @@ func runIncrementalRestoreDigest(t *testing.T, a apps.App, scale float64, inj *i
 	if incremental {
 		opts.Incremental = true
 		opts.DrainWorkers = 4
+	}
+	if speculative {
+		opts.SpeculativeDrain = true
 	}
 	c, err := Attach(appProc, opts)
 	if err != nil {
@@ -360,6 +363,15 @@ func runIncrementalRestoreDigest(t *testing.T, a apps.App, scale float64, inj *i
 
 	if incremental {
 		ckpt() // gen1: everything dirty
+		if speculative {
+			// Begin the epoch before the mutation: the junk write lands
+			// mid-epoch and must violate the in-flight speculative copy.
+			// Under seeded proxy kills the begin itself may fail; the
+			// checkpoint then stop-drains, which is the abort contract.
+			if err := c.BeginCheckpointEpoch(); err != nil {
+				t.Logf("%s: epoch begin aborted under faults: %v", a.Name, err)
+			}
+		}
 		mutate()
 		gen2 := ckpt() // gen2: only the mutated buffer re-staged
 		if len(c.db.orderedMems()) > 1 && gen2.CleanBuffers == 0 {
@@ -384,7 +396,9 @@ func runIncrementalRestoreDigest(t *testing.T, a apps.App, scale float64, inj *i
 // TestFaultAppsIncrementalBitIdentical is the PR's acceptance soak: for
 // every benchmark app, an incremental + parallel-drain checkpoint taken
 // under seeded proxy kills and checkpoint-disk faults restores
-// bit-identical to a clean full checkpoint of the same state.
+// bit-identical to a clean full checkpoint of the same state — and so
+// does a speculative-drain checkpoint whose epoch saw the mutation land
+// mid-flight under the same fault mix.
 func TestFaultAppsIncrementalBitIdentical(t *testing.T) {
 	scale := 0.2
 	everyN := 40
@@ -394,17 +408,21 @@ func TestFaultAppsIncrementalBitIdentical(t *testing.T) {
 	for _, a := range apps.All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
-			full := runIncrementalRestoreDigest(t, a, scale, nil, false)
+			full := runIncrementalRestoreDigest(t, a, scale, nil, false, false)
 			inj := ipc.NewFaultInjector(faultKillPlan(2027, everyN))
-			inc := runIncrementalRestoreDigest(t, a, scale, inj, true)
-			if len(full) != len(inc) {
-				t.Fatalf("object count diverged: full=%d incremental=%d", len(full), len(inc))
-			}
-			for h, want := range full {
-				if got, ok := inc[h]; !ok {
-					t.Errorf("buffer %v missing from incremental restore", h)
-				} else if got != want {
-					t.Errorf("buffer %v diverged: %s vs %s", h, got, want)
+			inc := runIncrementalRestoreDigest(t, a, scale, inj, true, false)
+			specInj := ipc.NewFaultInjector(faultKillPlan(2029, everyN))
+			spec := runIncrementalRestoreDigest(t, a, scale, specInj, true, true)
+			for label, got := range map[string]map[Handle]string{"incremental": inc, "speculative": spec} {
+				if len(full) != len(got) {
+					t.Fatalf("object count diverged: full=%d %s=%d", len(full), label, len(got))
+				}
+				for h, want := range full {
+					if g, ok := got[h]; !ok {
+						t.Errorf("buffer %v missing from %s restore", h, label)
+					} else if g != want {
+						t.Errorf("buffer %v diverged in %s arm: %s vs %s", h, label, g, want)
+					}
 				}
 			}
 		})

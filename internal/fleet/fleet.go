@@ -126,6 +126,17 @@ type Config struct {
 	// the bit-identical verification still has to hold. Ignored unless
 	// StoreNodes selects a fleet. MaxDown is clamped to the parity count.
 	StoreFaults *proc.NodeFaultPlan
+	// SpeculativeDrain models the jobs checkpointing with the stop-free
+	// speculative drain (core.Options.SpeculativeDrain): the planner's Tm
+	// then charges the job only the validation/commit stall residue
+	// instead of the full stop-drain copy — the drain itself still
+	// occupies the source device's DMA engines. Sampled real jobs run
+	// with the option enabled.
+	SpeculativeDrain bool
+	// SpecViolationRate is the modelled fraction of a speculatively
+	// drained checkpoint that is violated and re-copied synchronously
+	// (0..1). Default 0.1 when SpeculativeDrain is on.
+	SpecViolationRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +145,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinGain <= 0 {
 		c.MinGain = 250 * vtime.Millisecond
+	}
+	if c.SpeculativeDrain && c.SpecViolationRate <= 0 {
+		c.SpecViolationRate = 0.1
+	}
+	if c.SpecViolationRate > 1 {
+		c.SpecViolationRate = 1
 	}
 	return c
 }
@@ -447,11 +464,28 @@ func (f *Fleet) jobState(j *job, on *device) sched.JobState {
 		DirtyBytes:     j.dirty,
 		RecompileTime:  j.spec.Recompile,
 	}
+	if f.cfg.SpeculativeDrain {
+		js.CkptStall = f.specStall(j)
+	}
 	if on != nil {
 		js.Device = on.model
 		js.NodeName = on.node.name
 	}
 	return js
+}
+
+// specStall models the application-visible stall of a speculatively
+// drained checkpoint: the configured violation fraction of the copy term
+// is re-copied synchronously (the validated remainder is hidden behind
+// the job's own execution). Always positive so the planner takes the
+// speculative branch of MigrationCost.
+func (f *Fleet) specStall(j *job) vtime.Duration {
+	copyTerm := f.cfg.Model.Predict(j.ckptBytes()+imageOverhead, 0) - f.cfg.Model.Predict(imageOverhead, 0)
+	st := vtime.Duration(float64(copyTerm) * f.cfg.SpecViolationRate)
+	if st < 1 {
+		st = 1
+	}
+	return st
 }
 
 // progress advances a running job's remaining work and live dirty set to

@@ -32,7 +32,7 @@ type AblationResult struct {
 	Variants []AblationVariant
 }
 
-// Ablations runs all seven ablations and returns their measurements.
+// Ablations runs all eight ablations and returns their measurements.
 func Ablations(scale float64) ([]AblationResult, error) {
 	var out []AblationResult
 
@@ -77,6 +77,12 @@ func Ablations(scale float64) ([]AblationResult, error) {
 		return nil, err
 	}
 	out = append(out, disk)
+
+	spec, err := ablationSpeculative(scale)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, spec)
 	return out, nil
 }
 
@@ -531,6 +537,62 @@ func ablationDiskFaults(scale float64) (AblationResult, error) {
 	res.Variants = append(res.Variants, AblationVariant{
 		Name: fmt.Sprintf("scrub-heal-x%d", rep.Healed.ChunksHealed), Metric: "scrub pass", Value: sw.Elapsed(),
 	})
+	return res, nil
+}
+
+// ablationSpeculative: stop-drain vs speculative stop-free checkpointing
+// (DESIGN.md §15). Both arms checkpoint the app's working set to a store
+// with the write overlapped; the speculative arm begins the epoch first
+// and lets the app keep running (a second pass of the same app) while
+// the drain proceeds on speculation, so only the validation residue is
+// application-visible.
+func ablationSpeculative(scale float64) (AblationResult, error) {
+	res := AblationResult{
+		Name:  "speculative-checkpoint",
+		Claim: "write-set speculation hides the drain behind continued execution",
+	}
+	for _, speculative := range []bool{false, true} {
+		name := "stop-drain"
+		if speculative {
+			name = "speculative"
+		}
+		opts := core.Options{
+			Mode: core.Delayed, Incremental: true, DrainWorkers: 8,
+			OverlapStoreWrite: true, SpeculativeDrain: speculative,
+		}
+		node, c, err := runAppUnderCheCL("oclVectorAdd", scale, opts)
+		if err != nil {
+			return res, err
+		}
+		st := store.New(proc.NewFS("ckpt-disk", hw.TableISpec().LocalDisk), store.Config{})
+		if speculative {
+			if err := c.BeginCheckpointEpoch(); err != nil {
+				c.Detach()
+				return res, err
+			}
+		}
+		// The application keeps computing while the epoch drains.
+		app, _ := apps.ByName("oclVectorAdd")
+		env := &apps.Env{API: c, DeviceMask: ocl.DeviceTypeGPU, Scale: scale}
+		if _, err := app.Run(env); err != nil {
+			c.Detach()
+			return res, err
+		}
+		cst, err := c.CheckpointToStore(st, "abl")
+		if err != nil {
+			c.Detach()
+			return res, err
+		}
+		if err := c.WaitBackgroundWrite(); err != nil {
+			c.Detach()
+			return res, err
+		}
+		res.Variants = append(res.Variants, AblationVariant{
+			Name: name, Metric: "app-visible stall", Value: cst.StallTime,
+		})
+		_ = node
+		c.Detach()
+	}
 	return res, nil
 }
 

@@ -11,8 +11,8 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 7 {
-		t.Fatalf("ablations = %d, want 7", len(results))
+	if len(results) != 8 {
+		t.Fatalf("ablations = %d, want 8", len(results))
 	}
 	byName := map[string]AblationResult{}
 	for _, r := range results {
@@ -87,6 +87,15 @@ func TestAblations(t *testing.T) {
 	}
 	if !strings.HasPrefix(dfa.Variants[2].Name, "scrub-heal-x") || dfa.Variants[2].Value <= 0 {
 		t.Errorf("disk-faults scrub variant: %+v", dfa.Variants[2])
+	}
+
+	spec := byName["speculative-checkpoint"]
+	if len(spec.Variants) != 2 {
+		t.Fatalf("speculative ablation: %+v", spec.Variants)
+	}
+	stop, overlapped := spec.Variants[0].Value, spec.Variants[1].Value
+	if !(overlapped > 0 && overlapped < stop) {
+		t.Errorf("speculative ablation: speculative stall %v not below stop-drain %v", overlapped, stop)
 	}
 
 	var buf bytes.Buffer

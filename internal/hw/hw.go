@@ -40,6 +40,21 @@ func (b Bandwidth) Transfer(n int64) vtime.Duration {
 	return vtime.FromSeconds(float64(n) / float64(b))
 }
 
+// DrainMakespan models the completion horizon of a set of concurrent
+// device-to-host copy chains: stream i moves streamBytes[i] at bw, the
+// chains overlap on the device's DMA engines, and the drain ends when the
+// longest chain does. This is the overlapped-copy duration a speculative
+// checkpoint epoch hides behind continued kernel execution.
+func DrainMakespan(bw Bandwidth, streamBytes []int64) vtime.Duration {
+	var makespan vtime.Duration
+	for _, n := range streamBytes {
+		if d := bw.Transfer(n); d > makespan {
+			makespan = d
+		}
+	}
+	return makespan
+}
+
 // String formats the bandwidth in the customary MB/s or GB/s.
 func (b Bandwidth) String() string {
 	switch {

@@ -555,6 +555,7 @@ type Server struct {
 	seenFIFO  []uint64
 	seenBytes int64
 	replayed  int64
+	inflight  map[uint64]chan struct{}
 }
 
 // NewServer returns an empty server.
@@ -564,6 +565,7 @@ func NewServer() *Server {
 		ring:     map[string]RingHandler{},
 		maxFrame: DefaultMaxFrame,
 		seen:     map[uint64]cachedResp{},
+		inflight: map[uint64]chan struct{}{},
 	}
 }
 
@@ -609,22 +611,45 @@ func (s *Server) ReplayedCalls() int64 {
 	return s.replayed
 }
 
-// lookupReplay returns the cached response for seq, if any.
-func (s *Server) lookupReplay(seq uint64) (cachedResp, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.seen[seq]
-	if ok {
-		s.replayed++
+// claimSeq resolves how a sequenced request should be served. A completed
+// seq replays from the cache (served=true). A seq that is still executing —
+// its connection generation died mid-call and the client re-sent it on a
+// fresh one — blocks until the original handler finishes, then replays its
+// response: a sequenced handler never runs twice, and in particular never
+// overlapped with its own stale execution (the runtime behind the handlers
+// is not safe for concurrent mutation). A fresh seq is claimed: the caller
+// owns the execution and must invoke done with the final response, which
+// caches it and wakes any replays waiting on the claim.
+func (s *Server) claimSeq(seq uint64) (r cachedResp, served bool, done func(cachedResp)) {
+	for {
+		s.mu.Lock()
+		if r, ok := s.seen[seq]; ok {
+			s.replayed++
+			s.mu.Unlock()
+			return r, true, nil
+		}
+		ch, busy := s.inflight[seq]
+		if !busy {
+			ch = make(chan struct{})
+			s.inflight[seq] = ch
+			s.mu.Unlock()
+			return cachedResp{}, false, func(out cachedResp) {
+				s.mu.Lock()
+				s.storeReplayLocked(seq, out)
+				delete(s.inflight, seq)
+				s.mu.Unlock()
+				close(ch)
+			}
+		}
+		s.mu.Unlock()
+		<-ch
 	}
-	return r, ok
 }
 
-// storeReplay remembers the response to seq, evicting the oldest entries
-// once the window is full by count or by pinned raw-payload bytes.
-func (s *Server) storeReplay(seq uint64, r cachedResp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// storeReplayLocked remembers the response to seq, evicting the oldest
+// entries once the window is full by count or by pinned raw-payload bytes.
+// Callers hold s.mu.
+func (s *Server) storeReplayLocked(seq uint64, r cachedResp) {
 	if _, ok := s.seen[seq]; ok {
 		return
 	}
@@ -704,15 +729,18 @@ func RegisterRaw[Req, Resp any](s *Server, method string, fn func(req Req, paylo
 			}
 			payload = *pooled
 		}
-		// The replay lookup happens only after the raw frame is consumed,
+		// The replay claim happens only after the raw frame is consumed,
 		// so a replayed request leaves the stream at a frame boundary.
+		var done func(cachedResp)
 		if ctx.seq != 0 {
-			if cached, ok := s.lookupReplay(ctx.seq); ok {
+			cached, served, claim := s.claimSeq(ctx.seq)
+			if served {
 				if pooled != nil {
 					putRawBuf(pooled)
 				}
 				return writeResp(method, cached, ctx.enc, ctx.fw)
 			}
+			done = claim
 		}
 		resp, rawResp, err := fn(req, payload)
 		if pooled != nil {
@@ -724,8 +752,8 @@ func RegisterRaw[Req, Resp any](s *Server, method string, fn func(req Req, paylo
 		}
 		env.Raw = rawResp != nil
 		out := cachedResp{env: env, resp: resp, raw: rawResp}
-		if ctx.seq != 0 {
-			s.storeReplay(ctx.seq, out)
+		if done != nil {
+			done(out)
 		}
 		return writeResp(method, out, ctx.enc, ctx.fw)
 	}

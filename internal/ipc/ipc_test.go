@@ -5,7 +5,9 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 type addReq struct{ A, B int }
@@ -145,4 +147,68 @@ func TestBytesScaleWithPayload(t *testing.T) {
 	if big < small+99_000 {
 		t.Errorf("payload not reflected in wire bytes: small=%d big=%d", small, big)
 	}
+}
+
+// TestReplayWaitsForInflightCall pins the dedupe contract for the window a
+// transport fault opens: the original connection dies while its handler is
+// still executing, the client re-sends the same seq on a fresh connection,
+// and the replay must wait for the stale execution and serve its cached
+// response — never run the handler a second time (the runtime behind real
+// handlers is not safe for concurrent mutation).
+func TestReplayWaitsForInflightCall(t *testing.T) {
+	s := NewServer()
+	var calls int32
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	Register(s, "slow", func(r addReq) (addResp, error) {
+		atomic.AddInt32(&calls, 1)
+		entered <- struct{}{}
+		<-gate
+		return addResp{Sum: r.A + r.B}, nil
+	})
+
+	// Original call on conn1; its handler parks inside the server.
+	conn1 := pair(t, s)
+	origErr := make(chan error, 1)
+	go func() {
+		var resp addResp
+		_, err := conn1.CallSeq("slow", 7, addReq{A: 2, B: 40}, &resp)
+		origErr <- err
+	}()
+	<-entered
+
+	// The transport fault: the first connection dies mid-call while the
+	// handler is still running. The client replays seq 7 on a fresh
+	// connection generation, like Conn redial does.
+	conn2 := pair(t, s)
+	replayed := make(chan addResp, 1)
+	go func() {
+		var resp addResp
+		if _, err := conn2.CallSeq("slow", 7, addReq{A: 2, B: 40}, &resp); err != nil {
+			t.Errorf("replayed call: %v", err)
+		}
+		replayed <- resp
+	}()
+
+	// The replay must block on the in-flight claim, not re-enter the
+	// handler.
+	select {
+	case <-entered:
+		t.Fatal("replayed seq re-entered the handler while the original was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate) // stale execution completes; the replay serves its response
+	resp := <-replayed
+	if resp.Sum != 42 {
+		t.Errorf("replayed sum = %d, want 42", resp.Sum)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("handler ran %d times, want 1", got)
+	}
+	if got := s.ReplayedCalls(); got != 1 {
+		t.Errorf("ReplayedCalls = %d, want 1", got)
+	}
+	conn1.Close()
+	<-origErr
 }

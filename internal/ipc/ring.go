@@ -564,8 +564,10 @@ func (r *Ring) serveOne(msg ringMsg) bool {
 	var cpl ringCpl
 	cpl.idx, cpl.method = msg.idx, msg.method
 
+	var done func(cachedResp)
 	if msg.seq != 0 {
-		if cached, ok := r.srv.lookupReplay(msg.seq); ok {
+		cached, served, claim := r.srv.claimSeq(msg.seq)
+		if served {
 			cpl.env, cpl.resp = cached.env, cached.resp
 			if cached.raw != nil {
 				// The cache keeps its pinned copy; the client gets its own
@@ -579,11 +581,15 @@ func (r *Ring) serveOne(msg ringMsg) bool {
 			}
 			return r.complete(msg, cpl)
 		}
+		done = claim
 	}
 
 	h, ok := r.srv.ringHandler(msg.method)
 	if !ok {
 		cpl.env = respEnvelope{ErrOp: msg.method, ErrDetail: "unknown method", ErrStatus: -9998}
+		if done != nil {
+			done(cachedResp{env: cpl.env})
+		}
 		return r.complete(msg, cpl)
 	}
 	resp, raw, err := h(msg.req, msg.payload, msg.into)
@@ -593,7 +599,7 @@ func (r *Ring) serveOne(msg ringMsg) bool {
 	}
 	env.Raw = raw != nil
 	cpl.env, cpl.resp, cpl.raw = env, resp, raw
-	if msg.seq != 0 {
+	if done != nil {
 		cacheRaw := raw
 		if raw != nil {
 			// The delivered payload may alias the client's buffer (the
@@ -601,7 +607,7 @@ func (r *Ring) serveOne(msg ringMsg) bool {
 			// later replay is immune to client mutation.
 			cacheRaw = append([]byte(nil), raw...)
 		}
-		r.srv.storeReplay(msg.seq, cachedResp{env: env, resp: resp, raw: cacheRaw})
+		done(cachedResp{env: env, resp: resp, raw: cacheRaw})
 	}
 	return r.complete(msg, cpl)
 }

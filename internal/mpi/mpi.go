@@ -785,6 +785,12 @@ type GlobalSnapshotStats struct {
 	GlobalSize    int64
 	Total         vtime.Duration // slowest local + aggregation
 
+	// LocalStalls is the per-rank application-visible stall of the local
+	// snapshot (CheckpointStats.StallTime): with SpeculativeDrain the
+	// drain overlaps this rank's continued execution and only the residue
+	// appears here.
+	LocalStalls []vtime.Duration
+
 	// Store-backed snapshots only, set on rank 0: the manifest written
 	// and the dedup/compression breakdown of the store Put.
 	Manifest string
@@ -801,6 +807,16 @@ func (r *Rank) CoordinatedCheckpoint(checl *core.CheCL, globalPath string) (Glob
 	var stats GlobalSnapshotStats
 	if err := r.Barrier(); err != nil {
 		return stats, err
+	}
+
+	// Speculative drain per rank: the epoch opens right after the
+	// coordination barrier, so every rank's device-to-host copy overlaps
+	// whatever work it still does before its local snapshot; validation
+	// happens inside checl.Checkpoint, before the commit barrier below.
+	if checl.Options().SpeculativeDrain {
+		if err := checl.BeginCheckpointEpoch(); err != nil {
+			return stats, fmt.Errorf("mpi: rank %d epoch begin: %w", r.rank, err)
+		}
 	}
 
 	localPath := fmt.Sprintf("%s.local.%d", globalPath, r.rank)
@@ -826,6 +842,7 @@ func (r *Rank) CoordinatedCheckpoint(checl *core.CheCL, globalPath string) (Glob
 		}
 		stats.LocalTimes = []vtime.Duration{st.Phases.Total()}
 		stats.LocalSizes = []int64{st.FileSize}
+		stats.LocalStalls = []vtime.Duration{st.StallTime}
 		return stats, nil
 	}
 
@@ -859,6 +876,7 @@ func (r *Rank) CoordinatedCheckpoint(checl *core.CheCL, globalPath string) (Glob
 	stats.GlobalSize = int64(len(global))
 	stats.LocalTimes = []vtime.Duration{st.Phases.Total()}
 	stats.LocalSizes = []int64{st.FileSize}
+	stats.LocalStalls = []vtime.Duration{st.StallTime}
 	stats.Total = st.Phases.Total() + stats.AggregateTime
 	if err := r.commitBarrier(""); err != nil {
 		return stats, err

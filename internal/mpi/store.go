@@ -94,6 +94,14 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st store.Backend,
 		return stats, fmt.Errorf("mpi: rank %d background write: %w", r.rank, err)
 	}
 
+	// Speculative drain per rank (see CoordinatedCheckpoint): validation
+	// happens inside checl.Checkpoint, before the commit barrier.
+	if checl.Options().SpeculativeDrain {
+		if err := checl.BeginCheckpointEpoch(); err != nil {
+			return stats, fmt.Errorf("mpi: rank %d epoch begin: %w", r.rank, err)
+		}
+	}
+
 	localPath := fmt.Sprintf("%s.local.%d", job, r.rank)
 	cst, err := checl.Checkpoint(r.node.LocalDisk, localPath)
 	if err != nil {
@@ -116,6 +124,7 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st store.Backend,
 		}
 		stats.LocalTimes = []vtime.Duration{cst.Phases.Total()}
 		stats.LocalSizes = []int64{cst.FileSize}
+		stats.LocalStalls = []vtime.Duration{cst.StallTime}
 		return stats, nil
 	}
 
@@ -143,6 +152,7 @@ func (r *Rank) CoordinatedCheckpointToStore(checl *core.CheCL, st store.Backend,
 	stats.GlobalSize = int64(len(payload))
 	stats.LocalTimes = []vtime.Duration{cst.Phases.Total()}
 	stats.LocalSizes = []int64{cst.FileSize}
+	stats.LocalStalls = []vtime.Duration{cst.StallTime}
 	stats.Total = cst.Phases.Total() + stats.AggregateTime
 	stats.Manifest = man.ID()
 	stats.StorePut = &put

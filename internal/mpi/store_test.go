@@ -9,6 +9,7 @@ import (
 	"checl/internal/core"
 	"checl/internal/ocl"
 	"checl/internal/store"
+	"checl/internal/vtime"
 )
 
 // TestCoordinatedCheckpointToStore takes two successive store-backed
@@ -231,5 +232,113 @@ func TestRestoreGlobalFromStoreErrors(t *testing.T) {
 	st := store.New(cl.NFS, store.Config{})
 	if _, _, err := RestoreGlobalFromStore(cl, st, "missing", core.Options{}); err == nil {
 		t.Error("restore from missing snapshot should fail")
+	}
+}
+
+// TestCoordinatedSpeculativeCheckpoint takes a store-backed global
+// snapshot of a 2-rank job whose ranks run with SpeculativeDrain: each
+// rank's drain runs as a speculative epoch begun after the coordination
+// barrier, the per-rank stall lands in LocalStalls, and the restored
+// ranks are bit-identical.
+func TestCoordinatedSpeculativeCheckpoint(t *testing.T) {
+	cl := cluster(2)
+	st := store.New(cl.NFS, store.Config{})
+	w, _ := NewWorld(cl, 2)
+	const src = `
+__kernel void fill(__global float* x, float v, uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) x[i] = v + (float)i;
+}`
+	type rankState struct {
+		q   ocl.CommandQueue
+		buf ocl.Mem
+	}
+	states := make([]rankState, 2)
+	var mu sync.Mutex
+	stalls := make([]vtime.Duration, 0, 2)
+	err := w.Run(func(r *Rank) error {
+		c, err := core.Attach(r.Process(), core.Options{
+			Incremental: true, DrainWorkers: 4, SpeculativeDrain: true,
+		})
+		if err != nil {
+			return err
+		}
+		plats, _ := c.GetPlatformIDs()
+		devs, _ := c.GetDeviceIDs(plats[0], ocl.DeviceTypeGPU)
+		ctx, _ := c.CreateContext(devs)
+		q, _ := c.CreateCommandQueue(ctx, devs[0], 0)
+		prog, _ := c.CreateProgramWithSource(ctx, src)
+		if err := c.BuildProgram(prog, ""); err != nil {
+			return err
+		}
+		k, _ := c.CreateKernel(prog, "fill")
+		buf, _ := c.CreateBuffer(ctx, ocl.MemReadWrite, 4*1024, nil)
+		h := make([]byte, 8)
+		binary.LittleEndian.PutUint64(h, uint64(buf))
+		if err := c.SetKernelArg(k, 0, 8, h); err != nil {
+			return err
+		}
+		v := make([]byte, 4)
+		binary.LittleEndian.PutUint32(v, math.Float32bits(float32(100*(r.Rank()+1))))
+		if err := c.SetKernelArg(k, 1, 4, v); err != nil {
+			return err
+		}
+		n := make([]byte, 4)
+		binary.LittleEndian.PutUint32(n, 1024)
+		if err := c.SetKernelArg(k, 2, 4, n); err != nil {
+			return err
+		}
+		if _, err := c.EnqueueNDRangeKernel(q, k, 1, [3]int{}, [3]int{1024}, [3]int{64}, nil); err != nil {
+			return err
+		}
+		if err := c.Finish(q); err != nil {
+			return err
+		}
+		states[r.Rank()] = rankState{q: q, buf: buf}
+
+		gs, err := r.CoordinatedCheckpointToStore(c, st, "specjob")
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		stalls = append(stalls, gs.LocalStalls...)
+		mu.Unlock()
+		c.Proxy().Kill()
+		r.Process().Kill()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(stalls) != 2 {
+		t.Fatalf("collected %d rank stalls, want 2", len(stalls))
+	}
+	for i, s := range stalls {
+		if s <= 0 {
+			t.Errorf("rank stall %d = %s, want > 0 (write phase is app-visible)", i, s)
+		}
+	}
+
+	restored, deg, err := RestoreGlobalFromStore(cl, st, "specjob", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != nil {
+		t.Fatalf("clean restore reported degradation: %v", deg)
+	}
+	for rank, c := range restored {
+		data, _, err := c.EnqueueReadBuffer(states[rank].q, states[rank].buf, true, 0, 4*1024, nil)
+		if err != nil {
+			t.Fatalf("rank %d read after restore: %v", rank, err)
+		}
+		for i := 0; i < 1024; i++ {
+			got := math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			want := float32(100*(rank+1)) + float32(i)
+			if got != want {
+				t.Fatalf("rank %d: buf[%d] = %v, want %v", rank, i, got, want)
+			}
+		}
+		c.Detach()
 	}
 }

@@ -85,6 +85,7 @@ type Stats struct {
 	Calls      int64 // calls sent on the wire (retries included)
 	Bytes      int64
 	Batched    int64 // commands coalesced into clEnqueueBatch calls
+	Speculated int64 // commands shipped by overlapped (epoch-tagged) batches
 	Posted     int64 // calls submitted fire-and-forget (zero round trips)
 	Retries    int64 // calls re-sent after a transport fault
 	Reconnects int64 // fresh connections dialled to the same proxy
@@ -122,6 +123,7 @@ type Client struct {
 	calls      atomic.Int64
 	bytes      atomic.Int64
 	batched    atomic.Int64
+	speculated atomic.Int64
 	posted     atomic.Int64
 	retries    atomic.Int64
 	reconnects atomic.Int64
@@ -164,6 +166,7 @@ func (c *Client) Stats() Stats {
 		Calls:      c.calls.Load(),
 		Bytes:      c.bytes.Load(),
 		Batched:    c.batched.Load(),
+		Speculated: c.speculated.Load(),
 		Posted:     c.posted.Load(),
 		Retries:    c.retries.Load(),
 		Reconnects: c.reconnects.Load(),
@@ -223,6 +226,15 @@ func (c *Client) exchange(method string, req any, rawReq []byte, sendRaw bool, r
 // exchangeSeq is exchange with the dedupe sequence number already
 // assigned (the posted-call fallback path re-uses the seq it drew).
 func (c *Client) exchangeSeq(method string, seq uint64, req any, rawReq []byte, sendRaw bool, resp any, into []byte) ([]byte, error) {
+	return c.exchangeSeqPriced(method, seq, req, rawReq, sendRaw, resp, into, nil)
+}
+
+// exchangeSeqPriced is exchangeSeq with a pluggable price for the
+// successful wire exchange: price(n) returns the duration charged to the
+// application clock for a frame of n bytes. nil keeps the default
+// synchronous round-trip price. Retry backoff and re-sends are always
+// charged in full — only the final successful exchange is re-priced.
+func (c *Client) exchangeSeqPriced(method string, seq uint64, req any, rawReq []byte, sendRaw bool, resp any, into []byte, price func(n int64) vtime.Duration) ([]byte, error) {
 	c.mu.Lock()
 	policy := c.retry
 	c.mu.Unlock()
@@ -244,7 +256,11 @@ func (c *Client) exchangeSeq(method string, seq uint64, req any, rawReq []byte, 
 		}
 		c.calls.Add(1)
 		c.bytes.Add(n)
-		c.clock.Advance(c.cost.roundTrip(n))
+		if price != nil {
+			c.clock.Advance(price(n))
+		} else {
+			c.clock.Advance(c.cost.roundTrip(n))
+		}
 		if err == nil {
 			// A synchronous completion drains every earlier posted
 			// completion first (FIFO), so settled posts can be pruned and
@@ -640,6 +656,36 @@ func (c *Client) EnqueueBatch(cmds []BatchCmd, payload []byte) (EnqueueBatchResp
 		c.batched.Add(int64(len(cmds)))
 	}
 	return r, raw, err
+}
+
+// EnqueueBatchOverlapped ships a batch whose bulk data transfer is
+// overlapped with continued application progress (the speculative
+// checkpoint drain): the application clock is charged only the
+// control-frame submission — an empty round trip — and the full modelled
+// transfer cost of the actual frame is returned, so the caller can model
+// the copy's completion horizon and charge whatever remainder its own
+// progress did not hide. Every command is tagged with the epoch id for
+// server/transport attribution. The returned data is complete and
+// consistent at the moment of the exchange; only its cost is deferred.
+func (c *Client) EnqueueBatchOverlapped(cmds []BatchCmd, payload []byte, epoch uint64) (EnqueueBatchResp, []byte, vtime.Duration, error) {
+	for i := range cmds {
+		cmds[i].Epoch = epoch
+	}
+	var (
+		r     EnqueueBatchResp
+		frame vtime.Duration
+	)
+	seq := c.seq.Add(1)
+	raw, err := c.exchangeSeqPriced("clEnqueueBatch", seq, EnqueueBatchReq{Cmds: cmds}, payload, true, &r, nil,
+		func(n int64) vtime.Duration {
+			frame = c.cost.roundTrip(n)
+			return c.cost.roundTrip(0)
+		})
+	if err == nil {
+		c.batched.Add(int64(len(cmds)))
+		c.speculated.Add(int64(len(cmds)))
+	}
+	return r, raw, frame, err
 }
 
 func (c *Client) EnqueueCopyBuffer(q ocl.CommandQueue, src, dst ocl.Mem, srcOff, dstOff, size int64, waits []ocl.Event) (ocl.Event, error) {

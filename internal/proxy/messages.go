@@ -237,6 +237,11 @@ type BatchCmd struct {
 	Local      [3]int
 	Waits      []ocl.Event
 	WaitIdx    []int
+	// Epoch tags commands issued by a speculative checkpoint epoch
+	// (core's stop-free drain): non-zero identifies the epoch the command
+	// belongs to, so transports and tooling can attribute the overlapped
+	// traffic. Zero for ordinary batched commands.
+	Epoch uint64
 }
 
 // EnqueueBatchReq ships a coalesced run of deferred commands.

@@ -3,8 +3,8 @@
 # proxy-call microbenchmarks, the concurrent-checkpoint benchmarks, the
 # fleet-scheduler arms, and the partial-restart recovery sweep, then
 # distils the headline metrics into BENCH_pr3.json, BENCH_pr5.json,
-# BENCH_pr6.json, BENCH_pr7.json, BENCH_pr8.json and BENCH_pr9.json at
-# the repo root.
+# BENCH_pr6.json, BENCH_pr7.json, BENCH_pr8.json, BENCH_pr9.json and
+# BENCH_pr10.json at the repo root.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -eu
@@ -17,12 +17,14 @@ out6=BENCH_pr6.json
 out7=BENCH_pr7.json
 out8=BENCH_pr8.json
 out9=BENCH_pr9.json
+out10=BENCH_pr10.json
 tmp=$(mktemp)
 tmp5=$(mktemp)
 tmp6=$(mktemp)
 tmp7=$(mktemp)
 tmp9=$(mktemp)
-trap 'rm -f "$tmp" "$tmp5" "$tmp6" "$tmp7" "$tmp9"' EXIT
+tmp10=$(mktemp)
+trap 'rm -f "$tmp" "$tmp5" "$tmp6" "$tmp7" "$tmp9" "$tmp10"' EXIT
 
 go test -run '^$' -bench 'BenchmarkProxyCallOverhead' -benchmem \
     -benchtime "$benchtime" . >"$tmp"
@@ -36,6 +38,7 @@ go test -run '^$' \
 go test -run '^$' -bench 'BenchmarkFleetBursty' -benchtime 3x . >"$tmp6"
 go test -run '^$' -bench 'BenchmarkPartialRestart' -benchtime 1x . >"$tmp7"
 go test -run '^$' -bench 'BenchmarkErasureFleet' -benchtime 1x . >"$tmp9"
+go test -run '^$' -bench 'BenchmarkSpeculativeStall' -benchtime 1x . >"$tmp10"
 
 awk '
 function grab(line, unit,   i, n, f) {
@@ -322,3 +325,68 @@ END {
 
 echo "bench.sh: wrote $out9"
 cat "$out9"
+
+# BENCH_pr10.json: the speculative stop-free checkpointing acceptance —
+# app-visible checkpoint stall, stop-drain vs speculative epoch, on the
+# Fig. 4 apps and on a write-hot synthetic sweep over the violation
+# fraction. At zero violation the speculative stall must be >= 10x lower;
+# at 100% violation (every copy retaken) it must never be worse than
+# ~1.05x the stop-drain.
+awk '
+function grab(line, unit,   i, n, f) {
+    n = split(line, f, /[ \t]+/)
+    for (i = 1; i < n; i++) if (f[i+1] == unit) return f[i]
+    return ""
+}
+/^BenchmarkSpeculativeStall\/app=/ {
+    name = $1
+    sub(/^BenchmarkSpeculativeStall\/app=/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    split(name, p, /\/mode=/)
+    app = p[1]; mode = p[2]
+    app_stall[app, mode] = grab($0, "stall-us")
+    app_over[app, mode]  = grab($0, "overlap-us")
+    if (!(app in seen_app)) { seen_app[app] = 1; apps = apps (apps == "" ? "" : " ") app }
+}
+/^BenchmarkSpeculativeStall\/sweep\/f=/ {
+    name = $1
+    sub(/^BenchmarkSpeculativeStall\/sweep\/f=/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    split(name, p, /\/mode=/)
+    f = p[1]; mode = p[2]
+    sw_stall[f, mode] = grab($0, "stall-us")
+    sw_drain[f, mode] = grab($0, "drain-us")
+    sw_re[f, mode]    = grab($0, "recopied-MB")
+    if (!(f in seen_f)) { seen_f[f] = 1; fracs = fracs (fracs == "" ? "" : " ") f }
+}
+END {
+    printf "{\n"
+    printf "  \"apps_stall_us\": {\n"
+    n = split(apps, a, " ")
+    for (i = 1; i <= n; i++)
+        printf "%s    \"%s\": {\"stop_drain\": %s, \"speculative\": %s, \"overlap_us\": %s}",
+               (i > 1 ? ",\n" : ""), a[i],
+               app_stall[a[i], "stop-drain"], app_stall[a[i], "speculative"],
+               app_over[a[i], "speculative"]
+    printf "\n  },\n"
+    printf "  \"violation_sweep\": {\n"
+    m = split(fracs, fr, " ")
+    for (i = 1; i <= m; i++)
+        printf "%s    \"%s\": {\"stop_drain_stall_us\": %s, \"speculative_stall_us\": %s, \"speculative_drain_us\": %s, \"recopied_mb\": %s, \"stall_reduction\": %.1f}",
+               (i > 1 ? ",\n" : ""), fr[i],
+               sw_stall[fr[i], "stop-drain"], sw_stall[fr[i], "speculative"],
+               sw_drain[fr[i], "speculative"], sw_re[fr[i], "speculative"],
+               sw_stall[fr[i], "stop-drain"] / sw_stall[fr[i], "speculative"]
+    printf "\n  },\n"
+    low = fr[1]; high = fr[m]
+    printf "  \"stall_reduction_at_zero_violation\": %.1f,\n",
+           sw_stall[low, "stop-drain"] / sw_stall[low, "speculative"]
+    printf "  \"speculative_10x\": %s,\n",
+           (sw_stall[low, "stop-drain"] + 0 >= 10 * (sw_stall[low, "speculative"] + 0)) ? "true" : "false"
+    printf "  \"never_worse_at_full_violation\": %s\n",
+           (sw_stall[high, "speculative"] + 0 <= 1.05 * (sw_stall[high, "stop-drain"] + 0)) ? "true" : "false"
+    printf "}\n"
+}' "$tmp10" >"$out10"
+
+echo "bench.sh: wrote $out10"
+cat "$out10"

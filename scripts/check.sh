@@ -78,4 +78,15 @@ go test -run 'TestFleetStoreAppsDegradedBitIdentical' -race ./internal/core/
 go test -run 'TestGlobalSnapshotThroughErasureFleet' -count=2 -race ./internal/mpi/
 go test -run 'TestFleetErasureStoreSoak' -race ./internal/fleet/
 go run ./cmd/checl-inspect -node-faults 11 store fleet >/dev/null
+# Speculative-checkpoint gate: the epoch state machine's drain streams,
+# validation and bounded retry ladder cross goroutines (the speculative
+# copies ride the parallel drain pool), so the epoch tests, the
+# conservative-fallback and abort paths, and the speculative fault soak
+# run repeatedly under the race detector. The inspect smoke drives a
+# speculative incremental checkpoint end to end.
+go test -run 'Speculat|Epoch' -count=3 -race ./internal/core/
+go test -run 'TestCoordinatedSpeculativeCheckpoint' -count=2 -race ./internal/mpi/
+go test -run 'TestFleetSpeculativeDrain|TestMigrationCostSpeculativeStall' -race \
+    ./internal/fleet/ ./internal/sched/
+go run ./cmd/checl-inspect -incremental -speculative -scale 0.2 >/dev/null
 echo "check.sh: all green"
